@@ -1,0 +1,61 @@
+//! Errors raised when a baseline formalism's restrictions are violated.
+
+use std::fmt;
+
+/// Restriction violations of the baseline formalisms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Path expressions do not allow nested bursts (parallel regions inside
+    /// parallel regions) [Campbell & Habermann 1974].
+    NestedBurst,
+    /// Synchronization expressions require the operands of a parallel
+    /// composition to have disjoint alphabets [Guo, Salomaa & Yu 1996].
+    OverlappingParallelAlphabets {
+        /// Display form of an action occurring on both sides.
+        witness: String,
+    },
+    /// The formalism has no operator able to express the requested construct.
+    Unsupported {
+        /// The construct that cannot be expressed.
+        construct: String,
+        /// The formalism that lacks it.
+        formalism: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NestedBurst => {
+                write!(f, "path expressions do not allow nested parallel bursts")
+            }
+            BaselineError::OverlappingParallelAlphabets { witness } => write!(
+                f,
+                "synchronization expressions require disjoint alphabets for parallel \
+                 composition; `{witness}` occurs on both sides"
+            ),
+            BaselineError::Unsupported { construct, formalism } => {
+                write!(f, "{formalism} cannot express {construct}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_restriction() {
+        assert!(BaselineError::NestedBurst.to_string().contains("nested"));
+        let e = BaselineError::OverlappingParallelAlphabets { witness: "a".into() };
+        assert!(e.to_string().contains("disjoint"));
+        let e = BaselineError::Unsupported {
+            construct: "conjunction".into(),
+            formalism: "flow expressions".into(),
+        };
+        assert!(e.to_string().contains("flow expressions"));
+    }
+}

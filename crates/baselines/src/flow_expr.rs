@@ -1,0 +1,130 @@
+//! Event and flow expressions [Riddle 1973; Shaw 1978] — references [22, 23]
+//! of the paper.
+//!
+//! Flow expressions extend regular expressions with the shuffle operator and
+//! the shuffle closure (parallel composition and parallel iteration), but —
+//! as the paper's Fig. 2 records — they provide **no conjunction operator**
+//! and no parameters, so independently developed specifications cannot be
+//! combined without rewriting them around auxiliary synchronization symbols.
+
+use crate::error::BaselineError;
+use ix_core::{Action, Expr};
+
+/// A flow expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowExpr {
+    /// The empty word.
+    Epsilon,
+    /// A single action.
+    Atom(Action),
+    /// Concatenation.
+    Seq(Box<FlowExpr>, Box<FlowExpr>),
+    /// Choice.
+    Alt(Box<FlowExpr>, Box<FlowExpr>),
+    /// Shuffle (parallel composition).
+    Shuffle(Box<FlowExpr>, Box<FlowExpr>),
+    /// Kleene closure.
+    Star(Box<FlowExpr>),
+    /// Shuffle closure (parallel iteration).
+    ShuffleClosure(Box<FlowExpr>),
+}
+
+impl FlowExpr {
+    /// A single nullary action.
+    pub fn atom(name: &str) -> FlowExpr {
+        FlowExpr::Atom(Action::nullary(name))
+    }
+
+    /// Concatenation helper.
+    pub fn then(self, other: FlowExpr) -> FlowExpr {
+        FlowExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Choice helper.
+    pub fn or(self, other: FlowExpr) -> FlowExpr {
+        FlowExpr::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Shuffle helper.
+    pub fn shuffle(self, other: FlowExpr) -> FlowExpr {
+        FlowExpr::Shuffle(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene-closure helper.
+    pub fn star(self) -> FlowExpr {
+        FlowExpr::Star(Box::new(self))
+    }
+
+    /// Shuffle-closure helper.
+    pub fn shuffle_closure(self) -> FlowExpr {
+        FlowExpr::ShuffleClosure(Box::new(self))
+    }
+
+    /// Compiles to an interaction expression.  Flow expressions are a strict
+    /// subset of interaction expressions, so the translation is total.
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            FlowExpr::Epsilon => Expr::empty(),
+            FlowExpr::Atom(a) => Expr::atom(a.clone()),
+            FlowExpr::Seq(l, r) => Expr::seq(l.to_expr(), r.to_expr()),
+            FlowExpr::Alt(l, r) => Expr::or(l.to_expr(), r.to_expr()),
+            FlowExpr::Shuffle(l, r) => Expr::par(l.to_expr(), r.to_expr()),
+            FlowExpr::Star(b) => Expr::seq_iter(b.to_expr()),
+            FlowExpr::ShuffleClosure(b) => Expr::par_iter(b.to_expr()),
+        }
+    }
+
+    /// Flow expressions offer no conjunction; asking for one yields the
+    /// structural error the expressiveness matrix reports.
+    pub fn conjunction(_left: FlowExpr, _right: FlowExpr) -> Result<FlowExpr, BaselineError> {
+        Err(BaselineError::Unsupported {
+            construct: "conjunction of independently developed specifications".to_string(),
+            formalism: "flow expressions".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_state::{word_problem, Engine, WordStatus};
+
+    fn w(names: &[&str]) -> Vec<Action> {
+        names.iter().map(|n| Action::nullary(*n)).collect()
+    }
+
+    #[test]
+    fn shuffle_and_shuffle_closure_work() {
+        // readers-writers without exclusion: arbitrarily many overlapping
+        // read operations.
+        let e = FlowExpr::atom("read_start").then(FlowExpr::atom("read_end")).shuffle_closure()
+            .to_expr();
+        let mut eng = Engine::new(&e).unwrap();
+        assert!(eng.try_execute(&Action::nullary("read_start")));
+        assert!(eng.try_execute(&Action::nullary("read_start")));
+        assert!(eng.try_execute(&Action::nullary("read_end")));
+        assert!(eng.is_valid());
+
+        let e = FlowExpr::atom("a").shuffle(FlowExpr::atom("b")).to_expr();
+        assert_eq!(word_problem(&e, &w(&["b", "a"])).unwrap(), WordStatus::Complete);
+    }
+
+    #[test]
+    fn overlapping_shuffles_are_allowed_unlike_synchronization_expressions() {
+        let e = FlowExpr::atom("a").shuffle(FlowExpr::atom("a").then(FlowExpr::atom("b")))
+            .to_expr();
+        assert_eq!(word_problem(&e, &w(&["a", "a", "b"])).unwrap(), WordStatus::Complete);
+    }
+
+    #[test]
+    fn conjunction_is_structurally_unsupported() {
+        let err = FlowExpr::conjunction(FlowExpr::atom("a"), FlowExpr::atom("b"));
+        assert!(matches!(err, Err(BaselineError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn star_and_epsilon() {
+        let e = FlowExpr::Epsilon.or(FlowExpr::atom("a")).star().to_expr();
+        assert_eq!(word_problem(&e, &w(&["a", "a", "a"])).unwrap(), WordStatus::Complete);
+    }
+}

@@ -1,0 +1,215 @@
+//! The operator/feature matrix of Fig. 2.
+//!
+//! Fig. 2 of the paper arranges the formalisms based on extended regular
+//! expressions by the operators they provide and marks the "hole" that
+//! interaction expressions fill: none of the earlier formalisms offers all
+//! three dual operator pairs (sequential/parallel composition,
+//! sequential/parallel iteration, disjunction/conjunction) together with
+//! parameters and quantifiers, and most of them restrict how their operators
+//! may be nested.  [`render_matrix`] reproduces that comparison as a text
+//! table; the `reproduce fig2` command of `ix-bench` prints it.
+
+use std::fmt;
+
+/// The formalisms compared in Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formalism {
+    /// Plain regular expressions.
+    Regular,
+    /// Path expressions [2].
+    Path,
+    /// Synchronization expressions [10].
+    Synchronization,
+    /// Event and flow expressions [22, 23].
+    Flow,
+    /// CoCoA execution rules [9].
+    CoCoA,
+    /// Interaction expressions (this paper).
+    Interaction,
+}
+
+impl Formalism {
+    /// All formalisms, in the order of the figure.
+    pub fn all() -> [Formalism; 6] {
+        [
+            Formalism::Regular,
+            Formalism::Path,
+            Formalism::Synchronization,
+            Formalism::Flow,
+            Formalism::CoCoA,
+            Formalism::Interaction,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Formalism::Regular => "regular expressions",
+            Formalism::Path => "path expressions [2]",
+            Formalism::Synchronization => "synchronization expressions [10]",
+            Formalism::Flow => "event/flow expressions [22,23]",
+            Formalism::CoCoA => "CoCoA execution rules [9]",
+            Formalism::Interaction => "interaction expressions",
+        }
+    }
+}
+
+impl fmt::Display for Formalism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The operator axes of Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Feature {
+    /// Sequential composition.
+    SequentialComposition,
+    /// Sequential iteration (Kleene closure).
+    SequentialIteration,
+    /// Disjunction (choice).
+    Disjunction,
+    /// Parallel composition (shuffle).
+    ParallelComposition,
+    /// Parallel iteration (shuffle closure).
+    ParallelIteration,
+    /// Conjunction (intersection or coupling).
+    Conjunction,
+    /// Parametric actions.
+    Parameters,
+    /// Quantifiers over parameters.
+    Quantifiers,
+    /// Operators may be nested without restrictions.
+    UnrestrictedNesting,
+}
+
+impl Feature {
+    /// All features, in display order.
+    pub fn all() -> [Feature; 9] {
+        [
+            Feature::SequentialComposition,
+            Feature::SequentialIteration,
+            Feature::Disjunction,
+            Feature::ParallelComposition,
+            Feature::ParallelIteration,
+            Feature::Conjunction,
+            Feature::Parameters,
+            Feature::Quantifiers,
+            Feature::UnrestrictedNesting,
+        ]
+    }
+
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::SequentialComposition => "seq-comp",
+            Feature::SequentialIteration => "seq-iter",
+            Feature::Disjunction => "disjunct",
+            Feature::ParallelComposition => "par-comp",
+            Feature::ParallelIteration => "par-iter",
+            Feature::Conjunction => "conjunct",
+            Feature::Parameters => "params",
+            Feature::Quantifiers => "quantif",
+            Feature::UnrestrictedNesting => "nesting",
+        }
+    }
+}
+
+/// Whether a formalism provides a feature (the ✓/✗ entries of the matrix).
+pub fn supports(formalism: Formalism, feature: Feature) -> bool {
+    use Feature::*;
+    use Formalism::*;
+    match (formalism, feature) {
+        // Every formalism has the regular core.
+        (_, SequentialComposition) | (_, SequentialIteration) | (_, Disjunction) => true,
+        (Regular, _) => false,
+        (Path, ParallelComposition) => true, // bursts
+        (Path, ParallelIteration) => true,   // bursts are unbounded…
+        (Path, UnrestrictedNesting) => false, // …but must not be nested
+        (Path, _) => false,
+        (Synchronization, ParallelComposition) => true, // disjoint alphabets only
+        (Synchronization, Conjunction) => true,         // strict intersection
+        (Synchronization, UnrestrictedNesting) => false,
+        (Synchronization, _) => false,
+        (Flow, ParallelComposition) => true,
+        (Flow, ParallelIteration) => true,
+        (Flow, UnrestrictedNesting) => true,
+        (Flow, _) => false,
+        (CoCoA, Parameters) => true,
+        (CoCoA, Quantifiers) => true, // in a restricted form
+        (CoCoA, Conjunction) => true,
+        (CoCoA, _) => false,
+        (Interaction, _) => true,
+    }
+}
+
+/// The full matrix as (formalism, per-feature flags).
+pub fn matrix() -> Vec<(Formalism, Vec<(Feature, bool)>)> {
+    Formalism::all()
+        .into_iter()
+        .map(|f| (f, Feature::all().into_iter().map(|feat| (feat, supports(f, feat))).collect()))
+        .collect()
+}
+
+/// Renders the matrix as a fixed-width text table (the Fig. 2 reproduction).
+pub fn render_matrix() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<34}", "formalism"));
+    for feat in Feature::all() {
+        out.push_str(&format!("{:>10}", feat.label()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(34 + 10 * Feature::all().len()));
+    out.push('\n');
+    for (formalism, feats) in matrix() {
+        out.push_str(&format!("{:<34}", formalism.name()));
+        for (_, ok) in feats {
+            out.push_str(&format!("{:>10}", if ok { "yes" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_interaction_expressions_cover_every_axis() {
+        for f in Formalism::all() {
+            let complete = Feature::all().into_iter().all(|feat| supports(f, feat));
+            assert_eq!(complete, f == Formalism::Interaction, "{f}");
+        }
+    }
+
+    #[test]
+    fn every_formalism_has_the_regular_core() {
+        for f in Formalism::all() {
+            assert!(supports(f, Feature::SequentialComposition));
+            assert!(supports(f, Feature::SequentialIteration));
+            assert!(supports(f, Feature::Disjunction));
+        }
+    }
+
+    #[test]
+    fn known_restrictions_are_recorded() {
+        assert!(!supports(Formalism::Path, Feature::UnrestrictedNesting));
+        assert!(!supports(Formalism::Synchronization, Feature::UnrestrictedNesting));
+        assert!(!supports(Formalism::Flow, Feature::Conjunction));
+        assert!(!supports(Formalism::Regular, Feature::ParallelComposition));
+        assert!(supports(Formalism::CoCoA, Feature::Parameters));
+    }
+
+    #[test]
+    fn rendered_matrix_contains_all_rows_and_columns() {
+        let table = render_matrix();
+        for f in Formalism::all() {
+            assert!(table.contains(f.name()), "missing row {f}");
+        }
+        for feat in Feature::all() {
+            assert!(table.contains(feat.label()), "missing column {}", feat.label());
+        }
+        assert_eq!(table.lines().count(), 2 + Formalism::all().len());
+    }
+}

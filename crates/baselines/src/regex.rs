@@ -1,0 +1,116 @@
+//! Plain regular expressions — the common ancestor of all formalisms in
+//! Fig. 2.
+//!
+//! Regular expressions provide exactly the first operator of each of the
+//! three dual pairs identified by the paper: sequential composition (but not
+//! parallel composition), sequential iteration (but not parallel iteration),
+//! and disjunction (but not conjunction).  They serve as the weakest baseline
+//! of the expressiveness comparison and compile directly into interaction
+//! expressions.
+
+use ix_core::{Action, Expr};
+
+/// A classical regular expression over concrete actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty word ε.
+    Epsilon,
+    /// A single action.
+    Atom(Action),
+    /// Concatenation.
+    Seq(Box<Regex>, Box<Regex>),
+    /// Choice (disjunction).
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene closure.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// A single nullary action.
+    pub fn atom(name: &str) -> Regex {
+        Regex::Atom(Action::nullary(name))
+    }
+
+    /// Concatenation helper.
+    pub fn then(self, other: Regex) -> Regex {
+        Regex::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Choice helper.
+    pub fn or(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene-closure helper.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// Compiles the regular expression into an interaction expression.  The
+    /// translation is total: regular expressions are a strict subset of
+    /// interaction expressions.
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Regex::Epsilon => Expr::empty(),
+            Regex::Atom(a) => Expr::atom(a.clone()),
+            Regex::Seq(l, r) => Expr::seq(l.to_expr(), r.to_expr()),
+            Regex::Alt(l, r) => Expr::or(l.to_expr(), r.to_expr()),
+            Regex::Star(b) => Expr::seq_iter(b.to_expr()),
+        }
+    }
+
+    /// Number of operator and atom nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Epsilon | Regex::Atom(_) => 1,
+            Regex::Seq(l, r) | Regex::Alt(l, r) => 1 + l.size() + r.size(),
+            Regex::Star(b) => 1 + b.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_state::{word_problem, WordStatus};
+
+    fn w(names: &[&str]) -> Vec<Action> {
+        names.iter().map(|n| Action::nullary(*n)).collect()
+    }
+
+    #[test]
+    fn regex_compiles_to_equivalent_interaction_expression() {
+        // (a b)* (c | d)
+        let r = Regex::atom("a").then(Regex::atom("b")).star().then(
+            Regex::atom("c").or(Regex::atom("d")),
+        );
+        let e = r.to_expr();
+        assert_eq!(word_problem(&e, &w(&["a", "b", "c"])).unwrap(), WordStatus::Complete);
+        assert_eq!(word_problem(&e, &w(&["d"])).unwrap(), WordStatus::Complete);
+        assert_eq!(word_problem(&e, &w(&["a", "c"])).unwrap(), WordStatus::Illegal);
+        assert_eq!(word_problem(&e, &w(&["a", "b"])).unwrap(), WordStatus::Partial);
+    }
+
+    #[test]
+    fn epsilon_and_size() {
+        assert_eq!(Regex::Epsilon.to_expr(), Expr::empty());
+        let r = Regex::atom("a").or(Regex::Epsilon);
+        assert_eq!(r.size(), 3);
+        assert_eq!(word_problem(&r.to_expr(), &[]).unwrap(), WordStatus::Complete);
+    }
+
+    #[test]
+    fn regular_expressions_cannot_express_true_concurrency() {
+        // The closest a regular expression gets to "a and b in either order"
+        // is the explicit enumeration of both orders — which is exactly the
+        // 2^n blow-up the introduction of the paper complains about.
+        let r = Regex::atom("a").then(Regex::atom("b")).or(Regex::atom("b").then(Regex::atom("a")));
+        let e = r.to_expr();
+        assert_eq!(word_problem(&e, &w(&["a", "b"])).unwrap(), WordStatus::Complete);
+        assert_eq!(word_problem(&e, &w(&["b", "a"])).unwrap(), WordStatus::Complete);
+        // The interaction-expression parallel composition says the same in
+        // one operator.
+        let parallel = ix_core::parse("a | b").unwrap();
+        assert_eq!(word_problem(&parallel, &w(&["a", "b"])).unwrap(), WordStatus::Complete);
+    }
+}

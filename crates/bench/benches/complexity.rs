@@ -1,0 +1,165 @@
+//! Criterion benches for the complexity experiments of Secs. 4 and 6
+//! (experiments E12–E16 and E18 of DESIGN.md).
+//!
+//! * `word_problem_naive_vs_operational` — the naive formal-semantics
+//!   decision procedure explodes with the word length, the operational state
+//!   model stays polynomial (Sec. 4).
+//! * `quasi_regular_transitions` — per-word cost scales linearly with the
+//!   word length (constant per transition) for quasi-regular expressions
+//!   (Sec. 6, "harmless").
+//! * `benign_quantified_growth` — the Fig. 3/6/7 constraints scale
+//!   polynomially with the number of patients/departments (Sec. 6,
+//!   "benign").
+//! * `malignant_growth` — the selectively constructed malignant family
+//!   (Sec. 6).
+//! * `optimization_ablation` — the optimization function ρ keeps parallel
+//!   compositions flat; without it states double per transition (Sec. 5/6).
+//! * `multiplier_ablation` — native multiplier state vs. desugaring into
+//!   nested parallel compositions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ix_bench::*;
+use ix_core::Expr;
+use ix_state::{init, trans_with, word_problem, TransitionOptions};
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn word_problem_naive_vs_operational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("word_problem_naive_vs_operational");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let expr = naive_vs_operational_expr();
+    for n in [1usize, 2, 3] {
+        let word = naive_vs_operational_word(n);
+        group.bench_with_input(BenchmarkId::new("naive", word.len()), &word, |b, w| {
+            b.iter(|| ix_semantics::classify_word(&expr, w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("operational", word.len()), &word, |b, w| {
+            b.iter(|| word_problem(&expr, w).unwrap())
+        });
+    }
+    // The operational model handles word lengths far beyond anything the
+    // naive algorithm can touch.
+    for n in [8usize, 16] {
+        let word = naive_vs_operational_word(n);
+        group.bench_with_input(
+            BenchmarkId::new("operational_long", word.len()),
+            &word,
+            |b, w| b.iter(|| word_problem(&expr, w).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn quasi_regular_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quasi_regular_transitions");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let expr = quasi_regular_expr(2);
+    for len in [16usize, 64, 256] {
+        let word = ab_word(len);
+        group.bench_with_input(BenchmarkId::new("word_len", len), &word, |b, w| {
+            b.iter(|| word_problem(&expr, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn benign_quantified_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("benign_quantified_growth");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for patients in [2usize, 4, 8] {
+        let word = examination_word(patients, 2, 1);
+        let capacity = capacity_constraint(3);
+        group.bench_with_input(
+            BenchmarkId::new("fig6_capacity", patients),
+            &word,
+            |b, w| b.iter(|| word_problem(&capacity, w).unwrap()),
+        );
+        let coupled = coupled_constraint();
+        group.bench_with_input(BenchmarkId::new("fig7_coupled", patients), &word, |b, w| {
+            b.iter(|| word_problem(&coupled, w).unwrap())
+        });
+    }
+    for patients in [2usize, 4] {
+        let word = preparation_word(patients, 3);
+        let fig3 = patient_constraint();
+        group.bench_with_input(BenchmarkId::new("fig3_patient", patients), &word, |b, w| {
+            b.iter(|| word_problem(&fig3, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn malignant_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("malignant_growth");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    let expr = ix_state::analysis::malignant_family();
+    for n in [6usize, 10, 14] {
+        let word = malignant_word(n);
+        group.bench_with_input(BenchmarkId::new("word_len", n), &word, |b, w| {
+            b.iter(|| word_problem(&expr, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn optimization_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimization_ablation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    // A parallel composition whose alternatives double per transition unless
+    // ρ prunes them.
+    let expr: Expr = ix_core::parse("(a - b)* | (a - b)* | (a - b)*").unwrap();
+    let word = ab_word(10);
+    for (label, optimize) in [("with_rho", true), ("without_rho", false)] {
+        group.bench_with_input(BenchmarkId::new(label, word.len()), &word, |b, w| {
+            b.iter(|| {
+                let mut s = init(&expr).unwrap();
+                for a in w {
+                    s = trans_with(&s, a, TransitionOptions { optimize });
+                }
+                s.size()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn multiplier_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier_ablation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let word = examination_word(4, 1, 1);
+    for slots in [2u32, 4] {
+        let native = capacity_constraint(slots);
+        // Desugared: replace the multiplier by an explicit parallel
+        // composition of `slots` copies of the body.
+        let body = "(some p { call_patient_start(p, x) - call_patient_end(p, x) - \
+                     perform_examination_start(p, x) - perform_examination_end(p, x) })*";
+        let desugared_src = format!(
+            "all x {{ {} }}",
+            (0..slots).map(|_| format!("({body})")).collect::<Vec<_>>().join(" | ")
+        );
+        let desugared = ix_core::parse(&desugared_src).unwrap();
+        group.bench_with_input(BenchmarkId::new("native_mult", slots), &word, |b, w| {
+            b.iter(|| word_problem(&native, w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("desugared_par", slots), &word, |b, w| {
+            b.iter(|| word_problem(&desugared, w).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let c = configure(c);
+    word_problem_naive_vs_operational(c);
+    quasi_regular_transitions(c);
+    benign_quantified_growth(c);
+    malignant_growth(c);
+    optimization_ablation(c);
+    multiplier_ablation(c);
+}
+
+criterion_group!(complexity, benches);
+criterion_main!(complexity);

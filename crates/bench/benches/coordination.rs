@@ -1,0 +1,175 @@
+//! Criterion benches for the workflow-integration experiments of Sec. 7
+//! (experiments E11 and E17 of DESIGN.md).
+//!
+//! * `manager_throughput` — actions per second the interaction manager
+//!   sustains for the Fig. 6/7 constraints as the number of concurrently
+//!   coordinated patients grows, for the combined and the ask/confirm
+//!   protocol variants.
+//! * `adaptation_overhead` — the same workflow ensemble driven through
+//!   adapted worklist handlers vs. an adapted workflow engine (Fig. 11): the
+//!   measured quantity is end-to-end time; the accompanying `reproduce fig11`
+//!   report prints the protocol message counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ix_bench::*;
+use ix_manager::{InteractionManager, ProtocolVariant};
+use ix_wfms::{
+    AdaptedEngine, AdaptedWorklistHandler, CaseData, ManagerPort, WorkflowEngine,
+};
+use std::time::Duration;
+
+fn manager_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_throughput");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for patients in [4usize, 8, 16] {
+        let schedule = manager_schedule(patients, 2, 99);
+        let constraint = capacity_constraint(patients as u32);
+        group.bench_with_input(
+            BenchmarkId::new("combined_protocol", patients),
+            &schedule,
+            |b, word| {
+                b.iter(|| {
+                    let mut m =
+                        InteractionManager::with_protocol(&constraint, ProtocolVariant::Combined)
+                            .unwrap();
+                    let mut accepted = 0u64;
+                    for action in word {
+                        if m.try_execute(1, action).unwrap().is_some() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ask_confirm_protocol", patients),
+            &schedule,
+            |b, word| {
+                b.iter(|| {
+                    let mut m = InteractionManager::new(&constraint).unwrap();
+                    let mut accepted = 0u64;
+                    for action in word {
+                        if let Some(r) = m.ask(1, action).unwrap() {
+                            m.confirm(r).unwrap();
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            },
+        );
+        // Subscriptions add notification work per transition.
+        group.bench_with_input(
+            BenchmarkId::new("combined_with_subscriptions", patients),
+            &schedule,
+            |b, word| {
+                b.iter(|| {
+                    let mut m =
+                        InteractionManager::with_protocol(&constraint, ProtocolVariant::Combined)
+                            .unwrap();
+                    for (i, action) in word.iter().enumerate().take(patients) {
+                        m.subscribe(i as u64, action);
+                    }
+                    let mut accepted = 0u64;
+                    for action in word {
+                        if m.try_execute(1, action).unwrap().is_some() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Drives one examination workflow instance per patient through the adapted
+/// worklist-handler architecture.
+fn run_adapted_worklists(patients: usize) -> u64 {
+    let constraint = ix_wfms::ensemble_constraint();
+    let mut engine = WorkflowEngine::new();
+    let port = ManagerPort::new(&constraint, 1).unwrap();
+    let shared = port.handle();
+    let mut sono = AdaptedWorklistHandler::new("sono_assistant", port);
+    let mut sono_doc =
+        AdaptedWorklistHandler::new("sono_physician", ManagerPort::shared(shared.clone(), 2));
+    let mut ids = Vec::new();
+    for p in 1..=patients as i64 {
+        ids.push(engine.start_instance(
+            &ix_wfms::ultrasonography(),
+            CaseData { patient: p, examination: "sono".into() },
+        ));
+    }
+    // Drain every instance activity by activity (sequential workflows).
+    let mut done = false;
+    while !done {
+        done = true;
+        for handler_role in ["physician", "clerk", "nurse", "sono_assistant", "sono_physician"] {
+            let items: Vec<_> = engine.worklist(handler_role).to_vec();
+            for item in items {
+                done = false;
+                let handler = if handler_role == "sono_physician" { &mut sono_doc } else { &mut sono };
+                if handler.start(&mut engine, item.instance, item.activity).is_ok() {
+                    handler.complete(&mut engine, item.instance, item.activity).unwrap();
+                }
+            }
+        }
+        if engine.all_finished() {
+            done = true;
+        }
+    }
+    sono.messages() + sono_doc.messages()
+}
+
+/// Drives the same ensemble through the adapted-engine architecture.
+fn run_adapted_engine(patients: usize) -> u64 {
+    let constraint = ix_wfms::ensemble_constraint();
+    let mut engine = AdaptedEngine::new(ManagerPort::new(&constraint, 1).unwrap());
+    let mut ids = Vec::new();
+    for p in 1..=patients as i64 {
+        ids.push(engine.start_instance(
+            &ix_wfms::ultrasonography(),
+            CaseData { patient: p, examination: "sono".into() },
+        ));
+    }
+    let mut progress = true;
+    while progress && !engine.all_finished() {
+        progress = false;
+        let items = engine.engine().all_worklist_items();
+        for item in items {
+            if engine.start_activity(item.instance, item.activity).is_ok() {
+                engine.complete_activity(item.instance, item.activity).unwrap();
+                progress = true;
+            }
+        }
+    }
+    engine.messages()
+}
+
+fn adaptation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation_overhead");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for patients in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("adapted_worklist_handlers", patients),
+            &patients,
+            |b, &p| b.iter(|| run_adapted_worklists(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adapted_engine", patients),
+            &patients,
+            |b, &p| b.iter(|| run_adapted_engine(p)),
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    manager_throughput(c);
+    adaptation_overhead(c);
+}
+
+criterion_group!(coordination, benches);
+criterion_main!(coordination);

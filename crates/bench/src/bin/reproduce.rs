@@ -1,0 +1,350 @@
+//! `reproduce` — regenerates the paper's figures and experiment tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6]
+//! ```
+//!
+//! Every section prints the artifact this repository reproduces for the
+//! corresponding figure/table of the paper (see DESIGN.md §4 and
+//! EXPERIMENTS.md).  The output is deterministic except for wall-clock
+//! timings.
+
+use ix_bench::*;
+use ix_core::{display_word, Action, Value};
+use ix_manager::InteractionManager;
+use ix_semantics::{denote, Universe};
+use ix_state::{classify, init, trans, word_problem, Engine};
+use ix_wfms::{EnsembleSimulation, SimulationConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = arg == "all";
+    if all || arg == "fig1" {
+        fig1();
+    }
+    if all || arg == "fig2" {
+        fig2();
+    }
+    if all || arg == "fig3" {
+        fig3();
+    }
+    if all || arg == "fig4" {
+        fig4();
+    }
+    if all || arg == "fig5" {
+        fig5();
+    }
+    if all || arg == "fig6" {
+        fig6();
+    }
+    if all || arg == "fig7" {
+        fig7();
+    }
+    if all || arg == "table8" {
+        table8();
+    }
+    if all || arg == "fig9" {
+        fig9();
+    }
+    if all || arg == "fig10" {
+        fig10();
+    }
+    if all || arg == "fig11" {
+        fig11();
+    }
+    if all || arg == "sec4" {
+        sec4();
+    }
+    if all || arg == "sec6" {
+        sec6();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn fig1() {
+    heading("Fig. 1 — medical examination workflows (ultrasonography / endoscopy)");
+    for def in [ix_wfms::ultrasonography(), ix_wfms::endoscopy()] {
+        println!("workflow `{}` with {} activities:", def.name, def.len());
+        for a in &def.activities {
+            println!("    {:<28} performed by {}", a.name, a.role);
+        }
+    }
+    let report = EnsembleSimulation::new(SimulationConfig { patients: 3, seed: 1, max_steps: 20_000 }).run();
+    println!(
+        "ensemble run (3 patients, both workflows each): {} instances, {} completed, \
+         {} starts, {} vetoed by the interaction manager, {} protocol messages",
+        report.instances, report.completed, report.starts, report.denials, report.manager_messages
+    );
+}
+
+fn fig2() {
+    heading("Fig. 2 — formalisms based on extended regular expressions");
+    println!("{}", ix_baselines::render_matrix());
+    println!("expressibility of concrete synchronization scenarios:\n");
+    println!("{}", ix_baselines::render_scenarios());
+}
+
+fn fig3() {
+    heading("Fig. 3 — integrity constraint for patients (interaction graph)");
+    let graph = ix_graph::figures::fig3_patient_constraint();
+    let expr = ix_graph::figures::fig3_expr();
+    println!("expression: {expr}");
+    println!("graph nodes: {}, activities: {:?}", graph.size(), graph.activity_names());
+    println!("DOT export ({} bytes); first lines:", ix_graph::to_dot(&graph).len());
+    for line in ix_graph::to_dot(&graph).lines().take(5) {
+        println!("    {line}");
+    }
+    demo_patient_constraint(&expr);
+}
+
+fn demo_patient_constraint(expr: &ix_core::Expr) {
+    let mut engine = Engine::new(expr).unwrap();
+    let call = |p: i64, x: &str| {
+        Action::concrete("call_patient_start", [Value::int(p), Value::sym(x)])
+    };
+    engine.try_execute(&call(1, "sono"));
+    println!(
+        "after call_patient_start(1, sono): call_patient_start(1, endo) permitted = {}, \
+         call_patient_start(2, endo) permitted = {}",
+        engine.is_permitted(&call(1, "endo")),
+        engine.is_permitted(&call(2, "endo")),
+    );
+}
+
+fn fig4() {
+    heading("Fig. 4 — basic branching operators");
+    for graph in [ix_graph::figures::fig4_either_or(), ix_graph::figures::fig4_as_well_as()] {
+        let expr =
+            ix_graph::graph_to_expr(&graph, &ix_graph::figures::paper_registry()).unwrap();
+        println!("{:<24} => {expr}", graph.name);
+    }
+}
+
+fn fig5() {
+    heading("Fig. 5 — user-defined mutual exclusion operator");
+    let reg = ix_graph::figures::paper_registry();
+    let expanded = ix_core::parse_with("flash!(x, y, z)", &reg).unwrap();
+    println!("flash(x, y, z) expands to: {expanded}");
+    let graph = ix_graph::figures::fig5_mutex_definition();
+    println!("definition graph has {} nodes", graph.size());
+}
+
+fn fig6() {
+    heading("Fig. 6 — capacity restriction for examination departments");
+    let expr = ix_graph::figures::fig6_expr();
+    println!("expression: {expr}");
+    let mut engine = Engine::new(&expr).unwrap();
+    let call = |p: i64| {
+        Action::concrete("call_patient_start", [Value::int(p), Value::sym("sono")])
+    };
+    for p in 1..=3 {
+        engine.try_execute(&call(p));
+        engine.try_execute(&Action::concrete(
+            "call_patient_end",
+            [Value::int(p), Value::sym("sono")],
+        ));
+    }
+    println!(
+        "after three concurrent examinations in `sono`: 4th call permitted = {}, \
+         call in `endo` permitted = {}",
+        engine.is_permitted(&call(4)),
+        engine.is_permitted(&Action::concrete(
+            "call_patient_start",
+            [Value::int(4), Value::sym("endo")]
+        )),
+    );
+}
+
+fn fig7() {
+    heading("Fig. 7 — coupling of the patient and capacity constraints");
+    let expr = ix_graph::figures::fig7_expr();
+    let classification = classify(&expr);
+    println!("expression size: {} nodes, quantifiers: {}", expr.size(), expr.quantifier_count());
+    println!("complexity classification: {:?}", classification.benignity);
+    for reason in &classification.reasons {
+        println!("    - {reason}");
+    }
+    demo_patient_constraint(&expr);
+}
+
+fn table8() {
+    heading("Table 8 — formal semantics Φ/Ψ (bounded enumeration)");
+    let universe = Universe::new([Value::int(1), Value::int(2)]).with_fresh(1);
+    let samples = [
+        "a - b", "a | b", "a + b", "a & b", "a @ b", "(a - b)*", "(a - b)#", "a?",
+        "some p { e(p) }", "all p { e(p)? }",
+    ];
+    println!("{:<18} {:>6} {:>6}   complete words up to length 3", "expression", "|Φ|", "|Ψ|");
+    for src in samples {
+        let expr = ix_core::parse(src).unwrap();
+        let d = denote(&expr, &universe, 3).unwrap();
+        let words: Vec<String> =
+            d.phi.words().take(4).map(|w| display_word(w)).collect();
+        println!("{:<18} {:>6} {:>6}   {}", src, d.phi.len(), d.psi.len(), words.join(" "));
+    }
+}
+
+fn fig9() {
+    heading("Fig. 9 — word and action problems");
+    let expr = ix_core::parse("(call(1, sono) - perform(1, sono)) + (call(1, endo) - perform(1, endo))").unwrap();
+    let word = vec![
+        Action::concrete("call", [Value::int(1), Value::sym("sono")]),
+        Action::concrete("perform", [Value::int(1), Value::sym("sono")]),
+    ];
+    println!(
+        "word({}) = {:?} (2 = complete, 1 = partial, 0 = illegal)",
+        display_word(&word),
+        word_problem(&expr, &word).unwrap().code()
+    );
+    let mut engine = Engine::new(&expr).unwrap();
+    for action in [
+        Action::concrete("call", [Value::int(1), Value::sym("sono")]),
+        Action::concrete("call", [Value::int(1), Value::sym("endo")]),
+        Action::concrete("perform", [Value::int(1), Value::sym("sono")]),
+    ] {
+        let accepted = engine.try_execute(&action);
+        println!("action {action}: {}", if accepted { "Accept." } else { "Reject." });
+    }
+}
+
+fn fig10() {
+    heading("Fig. 10 — coordination and subscription protocols");
+    let constraint = ix_core::parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap();
+    let mut manager = InteractionManager::new(&constraint).unwrap();
+    let call = |p: i64, x: &str| Action::concrete("call", [Value::int(p), Value::sym(x)]);
+    let perform = |p: i64, x: &str| Action::concrete("perform", [Value::int(p), Value::sym(x)]);
+    manager.subscribe(2, &call(1, "endo"));
+    println!("client 2 subscribes to call(1, endo): currently permitted = {}", manager.is_permitted(&call(1, "endo")));
+    let r = manager.ask(1, &call(1, "sono")).unwrap().unwrap();
+    let notes = manager.confirm(r).unwrap();
+    println!("client 1 executes call(1, sono); notifications sent: {}", notes.len());
+    for n in &notes {
+        println!("    inform client {}: {} is now {}", n.client, n.action, if n.permitted { "permissible" } else { "not permissible" });
+    }
+    let r = manager.ask(1, &perform(1, "sono")).unwrap().unwrap();
+    let notes = manager.confirm(r).unwrap();
+    println!("client 1 executes perform(1, sono); notifications sent: {}", notes.len());
+    println!("manager statistics: {:?}", manager.stats());
+}
+
+fn fig11() {
+    heading("Fig. 11 — adaptation of worklist handlers vs. workflow engines");
+    let report_wl = ix_wfms_adapted_worklists_demo();
+    let report_en = ix_wfms_adapted_engine_demo();
+    println!("{:<34} {:>10} {:>12}", "architecture", "messages", "waterproof");
+    println!("{:<34} {:>10} {:>12}", "adapted worklist handlers", report_wl, "no");
+    println!("{:<34} {:>10} {:>12}", "adapted workflow engine", report_en, "yes");
+}
+
+fn ix_wfms_adapted_worklists_demo() -> u64 {
+    use ix_wfms::{AdaptedWorklistHandler, CaseData, ManagerPort, WorkflowEngine};
+    let constraint = ix_wfms::ensemble_constraint();
+    let mut engine = WorkflowEngine::new();
+    let port = ManagerPort::new(&constraint, 1).unwrap();
+    let shared = port.handle();
+    let mut a = AdaptedWorklistHandler::new("sono_assistant", port);
+    let mut b = AdaptedWorklistHandler::new("sono_physician", ManagerPort::shared(shared, 2));
+    let id = engine.start_instance(
+        &ix_wfms::ultrasonography(),
+        CaseData { patient: 1, examination: "sono".into() },
+    );
+    let mut steps = 0;
+    while !engine.all_finished() && steps < 100 {
+        steps += 1;
+        let items = engine.all_worklist_items();
+        for item in items {
+            let handler = if item.role == "sono_physician" { &mut b } else { &mut a };
+            let _ = handler.visible_items(&engine);
+            if handler.start(&mut engine, item.instance, item.activity).is_ok() {
+                handler.complete(&mut engine, item.instance, item.activity).unwrap();
+            }
+        }
+    }
+    let _ = id;
+    a.messages() + b.messages()
+}
+
+fn ix_wfms_adapted_engine_demo() -> u64 {
+    use ix_wfms::{AdaptedEngine, CaseData, ManagerPort};
+    let constraint = ix_wfms::ensemble_constraint();
+    let mut engine = AdaptedEngine::new(ManagerPort::new(&constraint, 1).unwrap());
+    engine.start_instance(
+        &ix_wfms::ultrasonography(),
+        CaseData { patient: 1, examination: "sono".into() },
+    );
+    let mut steps = 0;
+    while !engine.all_finished() && steps < 100 {
+        steps += 1;
+        let items = engine.engine().all_worklist_items();
+        for item in items {
+            if engine.start_activity(item.instance, item.activity).is_ok() {
+                engine.complete_activity(item.instance, item.activity).unwrap();
+            }
+        }
+    }
+    engine.messages()
+}
+
+fn sec4() {
+    heading("Sec. 4 — naive formal-semantics algorithm vs. operational state model");
+    let expr = naive_vs_operational_expr();
+    println!("expression: {expr}");
+    println!("{:>10} {:>16} {:>16}", "word len", "naive (µs)", "operational (µs)");
+    for n in [1usize, 2, 3] {
+        let word = naive_vs_operational_word(n);
+        let naive = time_naive(&expr, &word) as f64 / 1000.0;
+        let operational = time_operational(&expr, &word) as f64 / 1000.0;
+        println!("{:>10} {:>16.1} {:>16.1}", word.len(), naive, operational);
+    }
+    for n in [8usize, 16, 32] {
+        let word = naive_vs_operational_word(n);
+        let operational = time_operational(&expr, &word) as f64 / 1000.0;
+        println!("{:>10} {:>16} {:>16.1}", word.len(), "(intractable)", operational);
+    }
+}
+
+fn sec6() {
+    heading("Sec. 6 — state growth: harmless, benign and malignant expressions");
+    println!("quasi-regular (harmless): state size stays constant");
+    let expr = quasi_regular_expr(2);
+    for row in growth_profile(&expr, &ab_word(64), 16) {
+        println!("    len {:>4}: state size {:>5}, alternatives {:>5}", row.length, row.state_size, row.alternatives);
+    }
+    println!("benign quantified (Fig. 7): polynomial growth with the number of patients");
+    let expr = coupled_constraint();
+    for patients in [2usize, 4, 8] {
+        let word = examination_word(patients, 2, 1);
+        let rows = growth_profile(&expr, &word, word.len());
+        let last = rows.last().unwrap();
+        println!(
+            "    {:>2} patients ({:>3} actions): state size {:>6}, alternatives {:>5}",
+            patients, word.len(), last.state_size, last.alternatives
+        );
+    }
+    println!("malignant family (a# - b)#: super-polynomial growth");
+    let expr = ix_state::analysis::malignant_family();
+    let mut state = init(&expr).unwrap();
+    for (i, action) in malignant_word(12).iter().enumerate() {
+        state = trans(&state, action);
+        if (i + 1) % 3 == 0 {
+            println!("    len {:>3}: alternatives {:>8}", i + 1, state.alternative_count());
+        }
+    }
+    println!("classification of the paper's constraints:");
+    for (name, expr) in [
+        ("Fig. 3 patient constraint", patient_constraint()),
+        ("Fig. 6 capacity constraint", capacity_constraint(3)),
+        ("Fig. 7 coupled constraint", coupled_constraint()),
+        ("malignant family", ix_state::analysis::malignant_family()),
+    ] {
+        let c = classify(&expr);
+        println!("    {:<28} -> {:?}", name, c.benignity);
+    }
+}

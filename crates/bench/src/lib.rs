@@ -1,0 +1,91 @@
+//! # ix-bench — workloads and measurement helpers
+//!
+//! Shared infrastructure for the benchmark harness: expression families and
+//! workload (word) generators for the complexity experiments of Secs. 4 and
+//! 6, and small measurement helpers used both by the Criterion benches and by
+//! the `reproduce` binary that regenerates the paper's figures and the
+//! experiment tables of EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+pub use workloads::*;
+
+use ix_core::{Action, Expr};
+use ix_state::{init, trans, State};
+use std::time::Instant;
+
+/// One row of a growth table: word length vs. state size / transition cost.
+#[derive(Clone, Copy, Debug)]
+pub struct GrowthRow {
+    /// Number of actions processed so far.
+    pub length: usize,
+    /// State size after processing them.
+    pub state_size: usize,
+    /// Number of alternatives in the state.
+    pub alternatives: usize,
+    /// Wall-clock nanoseconds for the transition at this position.
+    pub transition_nanos: u128,
+}
+
+/// Feeds a word through the state model and records size / cost after every
+/// `stride`-th action.
+pub fn growth_profile(expr: &Expr, word: &[Action], stride: usize) -> Vec<GrowthRow> {
+    let mut state = init(expr).expect("benchmark expressions are closed");
+    let mut rows = Vec::new();
+    for (i, action) in word.iter().enumerate() {
+        let t0 = Instant::now();
+        state = trans(&state, action);
+        let nanos = t0.elapsed().as_nanos();
+        if (i + 1) % stride == 0 || i + 1 == word.len() {
+            rows.push(GrowthRow {
+                length: i + 1,
+                state_size: state.size(),
+                alternatives: state.alternative_count(),
+                transition_nanos: nanos,
+            });
+        }
+        assert!(!matches!(state, State::Null), "benchmark word must stay permissible");
+    }
+    rows
+}
+
+/// Total wall-clock time (nanoseconds) for running the whole word through the
+/// operational model.
+pub fn time_operational(expr: &Expr, word: &[Action]) -> u128 {
+    let t0 = Instant::now();
+    let _ = ix_state::word_problem(expr, word).expect("closed expression");
+    t0.elapsed().as_nanos()
+}
+
+/// Total wall-clock time (nanoseconds) for deciding the same word with the
+/// naive formal-semantics algorithm of Sec. 4.
+pub fn time_naive(expr: &Expr, word: &[Action]) -> u128 {
+    let t0 = Instant::now();
+    let _ = ix_semantics::classify_word(expr, word).expect("closed expression");
+    t0.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_profile_records_monotonic_lengths() {
+        let expr = ix_core::parse("(a - b)*").unwrap();
+        let word = ab_word(10);
+        let rows = growth_profile(&expr, &word, 2);
+        assert_eq!(rows.last().unwrap().length, 10);
+        assert!(rows.windows(2).all(|w| w[0].length < w[1].length));
+    }
+
+    #[test]
+    fn timing_helpers_return_nonzero_durations() {
+        let expr = ix_core::parse("(a - b)* | c#").unwrap();
+        let word = ab_word(6);
+        assert!(time_operational(&expr, &word) > 0);
+        assert!(time_naive(&expr, &word) > 0);
+    }
+}

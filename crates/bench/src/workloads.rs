@@ -1,0 +1,205 @@
+//! Expression families and word generators for the experiments.
+//!
+//! Every generator corresponds to a row of the per-experiment index in
+//! DESIGN.md: quasi-regular expressions (harmless, E13), the benign
+//! quantified constraints of Figs. 3/6/7 (E14), the malignant family (E15),
+//! and the workflow-coordination workloads of Sec. 7 (E17).  Words are
+//! constructed deterministically or from a seeded RNG so that benchmark runs
+//! are reproducible.
+
+use ix_core::{parse, Action, Expr, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The quasi-regular expression family of E13: nested sequences, choices and
+/// bounded parallel compositions, but no parallel iteration and no
+/// quantifiers.  `depth` controls nesting.
+pub fn quasi_regular_expr(depth: usize) -> Expr {
+    let mut src = String::from("(a - b)*");
+    for _ in 0..depth {
+        src = format!("(({src}) + (c - d)* | (e - f)*)");
+    }
+    parse(&src).expect("generated quasi-regular expression")
+}
+
+/// A word that keeps [`quasi_regular_expr`] permissible: repetitions of
+/// `a b`.
+pub fn ab_word(n: usize) -> Vec<Action> {
+    let a = Action::nullary("a");
+    let b = Action::nullary("b");
+    (0..n).map(|i| if i % 2 == 0 { a.clone() } else { b.clone() }).collect()
+}
+
+/// The benign, completely and uniformly quantified capacity constraint of
+/// Fig. 6 with a configurable capacity (E14).
+pub fn capacity_constraint(capacity: u32) -> Expr {
+    ix_graph::figures::capacity_constraint_expr(capacity)
+}
+
+/// The patient integrity constraint of Fig. 3.
+pub fn patient_constraint() -> Expr {
+    ix_graph::figures::fig3_expr()
+}
+
+/// The coupled constraint of Fig. 7.
+pub fn coupled_constraint() -> Expr {
+    ix_graph::figures::fig7_expr()
+}
+
+/// A workload word for the capacity/patient constraints: `patients` patients
+/// are called and examined in `departments` departments, interleaved
+/// round-robin so that at most `capacity` examinations per department are in
+/// progress at any time.  The word consists of the activity start/end actions
+/// used by Figs. 3, 6 and 7.
+pub fn examination_word(patients: usize, departments: usize, rounds: usize) -> Vec<Action> {
+    let mut word = Vec::new();
+    let dept = |d: usize| Value::sym(&format!("dept_{d}"));
+    for round in 0..rounds {
+        for p in 0..patients {
+            let patient = Value::Int((p + 1) as i64);
+            let x = dept((p + round) % departments.max(1));
+            for activity in ["call_patient", "perform_examination"] {
+                word.push(Action::concrete(&format!("{activity}_start"), [patient, x]));
+                word.push(Action::concrete(&format!("{activity}_end"), [patient, x]));
+            }
+        }
+    }
+    word
+}
+
+/// A preparation-heavy word exercising the arbitrarily-parallel branches of
+/// Fig. 3: every patient is prepared for several examinations concurrently.
+pub fn preparation_word(patients: usize, examinations: usize) -> Vec<Action> {
+    let mut word = Vec::new();
+    for p in 0..patients {
+        let patient = Value::Int((p + 1) as i64);
+        for e in 0..examinations {
+            let x = Value::sym(&format!("dept_{e}"));
+            word.push(Action::concrete("prepare_patient_start", [patient, x]));
+        }
+        for e in 0..examinations {
+            let x = Value::sym(&format!("dept_{e}"));
+            word.push(Action::concrete("prepare_patient_end", [patient, x]));
+        }
+    }
+    word
+}
+
+/// The malignant family of E15 (re-exported from the analysis module) and
+/// its driving word.
+pub fn malignant() -> (Expr, Vec<Action>) {
+    (ix_state::analysis::malignant_family(), ix_state::analysis::malignant_word(0))
+}
+
+/// The driving word `a^n` for the malignant family.
+pub fn malignant_word(n: usize) -> Vec<Action> {
+    ix_state::analysis::malignant_word(n)
+}
+
+/// A simple expression whose naive (formal-semantics) decision procedure
+/// explodes with the word length while the operational model stays flat
+/// (E12): the mutual exclusion of three branches under iteration.
+pub fn naive_vs_operational_expr() -> Expr {
+    parse("((a - b) + (c - d) + (e - f))* | (g - h)*").expect("static expression")
+}
+
+/// A word driving [`naive_vs_operational_expr`]: alternating mutual-exclusion
+/// rounds and overlapping g/h pairs.
+pub fn naive_vs_operational_word(n: usize) -> Vec<Action> {
+    let mut word = Vec::new();
+    let pairs = [("a", "b"), ("c", "d"), ("e", "f")];
+    for i in 0..n {
+        let (x, y) = pairs[i % pairs.len()];
+        word.push(Action::nullary(x));
+        word.push(Action::nullary("g"));
+        word.push(Action::nullary(y));
+        word.push(Action::nullary("h"));
+    }
+    word
+}
+
+/// A shuffled but constraint-respecting action schedule for the manager
+/// throughput benchmark (E17): all call/perform actions of `patients`
+/// patients in `departments` departments, shuffled within safe bounds.
+pub fn manager_schedule(patients: usize, departments: usize, seed: u64) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_patient: Vec<Vec<Action>> = Vec::new();
+    for p in 0..patients {
+        let patient = Value::Int((p + 1) as i64);
+        let x = Value::sym(&format!("dept_{}", p % departments.max(1)));
+        per_patient.push(vec![
+            Action::concrete("call_patient_start", [patient, x]),
+            Action::concrete("call_patient_end", [patient, x]),
+            Action::concrete("perform_examination_start", [patient, x]),
+            Action::concrete("perform_examination_end", [patient, x]),
+        ]);
+    }
+    // Interleave patients randomly while preserving each patient's order.
+    let mut word = Vec::new();
+    let mut cursors = vec![0usize; per_patient.len()];
+    let mut live: Vec<usize> = (0..per_patient.len()).collect();
+    while !live.is_empty() {
+        live.shuffle(&mut rng);
+        let p = live[0];
+        word.push(per_patient[p][cursors[p]].clone());
+        cursors[p] += 1;
+        if cursors[p] == per_patient[p].len() {
+            live.retain(|q| *q != p);
+        }
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_state::{word_problem, WordStatus};
+
+    #[test]
+    fn quasi_regular_family_is_harmless_and_words_stay_legal() {
+        for depth in 0..3 {
+            let e = quasi_regular_expr(depth);
+            assert!(ix_state::analysis::is_quasi_regular(&e));
+            assert_ne!(word_problem(&e, &ab_word(8)).unwrap(), WordStatus::Illegal);
+        }
+    }
+
+    #[test]
+    fn examination_words_respect_the_capacity_constraint() {
+        let expr = capacity_constraint(3);
+        let word = examination_word(3, 2, 2);
+        assert_ne!(word_problem(&expr, &word).unwrap(), WordStatus::Illegal);
+        // They also satisfy the coupled Fig. 7 constraint.
+        let word = examination_word(2, 2, 1);
+        assert_ne!(word_problem(&coupled_constraint(), &word).unwrap(), WordStatus::Illegal);
+    }
+
+    #[test]
+    fn preparation_words_exercise_fig3() {
+        let word = preparation_word(2, 3);
+        assert_ne!(word_problem(&patient_constraint(), &word).unwrap(), WordStatus::Illegal);
+    }
+
+    #[test]
+    fn manager_schedules_are_permissible_for_enough_capacity() {
+        let expr = capacity_constraint(8);
+        let word = manager_schedule(6, 2, 42);
+        assert_eq!(word.len(), 6 * 4);
+        assert_ne!(word_problem(&expr, &word).unwrap(), WordStatus::Illegal);
+        // Deterministic for a fixed seed.
+        assert_eq!(word, manager_schedule(6, 2, 42));
+        assert_ne!(word, manager_schedule(6, 2, 43));
+    }
+
+    #[test]
+    fn naive_vs_operational_words_stay_legal() {
+        let expr = naive_vs_operational_expr();
+        for n in 1..4 {
+            assert_ne!(
+                word_problem(&expr, &naive_vs_operational_word(n)).unwrap(),
+                WordStatus::Illegal
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Alphabets α(x) and the alphabet complement κ.
+//!
+//! The alphabet of an expression (last column of Table 8) is the set of
+//! abstract actions occurring in it.  The synchronization operator y ⊗ z uses
+//! the alphabet complement κ_x(y) = α(x) \ α(y): operand y only constrains
+//! actions of its own alphabet and lets all other actions of the combined
+//! expression pass freely (the "open-world assumption" behind the modular
+//! coupling of independently developed subgraphs, Fig. 7).
+//!
+//! Since abstract actions may contain parameters, membership of a *concrete*
+//! action in an alphabet is decided by unification-style matching (same name
+//! and arity, concrete argument positions equal, parameter positions bind
+//! consistently — see [`Action::matches_concrete`]).
+
+use crate::action::Action;
+use crate::expr::{Expr, ExprKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite set of abstract actions.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Alphabet {
+    actions: BTreeSet<Action>,
+}
+
+impl Alphabet {
+    /// The empty alphabet.
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Builds an alphabet from an iterator of abstract actions.
+    pub fn from_actions(actions: impl IntoIterator<Item = Action>) -> Alphabet {
+        Alphabet { actions: actions.into_iter().collect() }
+    }
+
+    /// Inserts an abstract action.
+    pub fn insert(&mut self, a: Action) {
+        self.actions.insert(a);
+    }
+
+    /// The abstract actions of this alphabet.
+    pub fn actions(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// Number of abstract actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Set union α(y) ∪ α(z).
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        Alphabet { actions: self.actions.union(&other.actions).cloned().collect() }
+    }
+
+    /// Set difference, used for the alphabet complement κ_x(y) = α(x) \ α(y).
+    pub fn difference(&self, other: &Alphabet) -> Alphabet {
+        Alphabet { actions: self.actions.difference(&other.actions).cloned().collect() }
+    }
+
+    /// True if the exact abstract action is a member (syntactic membership).
+    pub fn contains_abstract(&self, a: &Action) -> bool {
+        self.actions.contains(a)
+    }
+
+    /// True if the concrete action matches some abstract action of the
+    /// alphabet.  This is the membership test the synchronization operator
+    /// uses to decide whether an operand "knows" an action.
+    pub fn covers(&self, concrete: &Action) -> bool {
+        self.actions.iter().any(|a| a.matches_concrete(concrete))
+    }
+
+    /// True if the two alphabets share no footprint: no concrete action can
+    /// be covered by both.  Conservative approximation via pairwise
+    /// unifiability of abstract actions (equal names and arities with
+    /// compatible concrete positions).
+    pub fn is_disjoint(&self, other: &Alphabet) -> bool {
+        for a in &self.actions {
+            for b in &other.actions {
+                if abstract_actions_may_overlap(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// True if two abstract actions could be instantiated to the same concrete
+/// action.
+fn abstract_actions_may_overlap(a: &Action, b: &Action) -> bool {
+    if a.name() != b.name() || a.arity() != b.arity() {
+        return false;
+    }
+    a.args().iter().zip(b.args().iter()).all(|(ta, tb)| match (ta.as_value(), tb.as_value()) {
+        (Some(va), Some(vb)) => va == vb,
+        // A parameter position can be instantiated to anything.
+        _ => true,
+    })
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Action> for Alphabet {
+    fn from_iter<T: IntoIterator<Item = Action>>(iter: T) -> Alphabet {
+        Alphabet::from_actions(iter)
+    }
+}
+
+impl Expr {
+    /// The alphabet α(x): the set of abstract actions occurring in the
+    /// expression (Table 8, last column).  Quantifiers do not change the
+    /// alphabet — the abstract (parameterized) atoms themselves are its
+    /// elements.
+    pub fn alphabet(&self) -> Alphabet {
+        let mut alpha = Alphabet::new();
+        self.visit(&mut |e| {
+            if let ExprKind::Atom(a) = e.kind() {
+                alpha.insert(a.clone());
+            }
+        });
+        alpha
+    }
+
+    /// The alphabet complement κ_x(y) = α(x) \ α(y) where `self` plays the
+    /// role of the surrounding expression x.
+    pub fn alphabet_complement(&self, y: &Expr) -> Alphabet {
+        self.alphabet().difference(&y.alphabet())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Param, Term, Value};
+
+    fn atom(name: &str) -> Expr {
+        Expr::atom(Action::nullary(name))
+    }
+
+    fn act_p(name: &str, p: &str) -> Action {
+        Action::new(name, [Term::Param(Param::new(p))])
+    }
+
+    #[test]
+    fn alphabet_collects_atoms_across_operators() {
+        let e = Expr::sync(
+            Expr::seq(atom("a"), atom("b")),
+            Expr::or(atom("b"), atom("c")),
+        );
+        let alpha = e.alphabet();
+        assert_eq!(alpha.len(), 3);
+        assert!(alpha.contains_abstract(&Action::nullary("a")));
+        assert!(alpha.contains_abstract(&Action::nullary("c")));
+    }
+
+    #[test]
+    fn alphabet_complement_is_set_difference() {
+        let y = Expr::seq(atom("a"), atom("b"));
+        let z = Expr::seq(atom("b"), atom("c"));
+        let x = Expr::sync(y.clone(), z.clone());
+        let kappa_y = x.alphabet_complement(&y);
+        assert_eq!(kappa_y.len(), 1);
+        assert!(kappa_y.contains_abstract(&Action::nullary("c")));
+        let kappa_z = x.alphabet_complement(&z);
+        assert!(kappa_z.contains_abstract(&Action::nullary("a")));
+    }
+
+    #[test]
+    fn covers_uses_parameter_matching() {
+        let alpha = Alphabet::from_actions([act_p("call", "p")]);
+        assert!(alpha.covers(&Action::concrete("call", [Value::int(1)])));
+        assert!(alpha.covers(&Action::concrete("call", [Value::int(2)])));
+        assert!(!alpha.covers(&Action::concrete("call", [])));
+        assert!(!alpha.covers(&Action::concrete("perform", [Value::int(1)])));
+    }
+
+    #[test]
+    fn quantifiers_keep_parameterized_atoms_in_the_alphabet() {
+        let p = Param::new("p");
+        let e = Expr::par_q(p, Expr::atom(act_p("prepare", "p")));
+        let alpha = e.alphabet();
+        assert_eq!(alpha.len(), 1);
+        assert!(alpha.covers(&Action::concrete("prepare", [Value::int(5)])));
+    }
+
+    #[test]
+    fn disjointness_is_conservative_for_parameterized_actions() {
+        let a = Alphabet::from_actions([act_p("call", "p")]);
+        let b = Alphabet::from_actions([Action::concrete("call", [Value::int(1)])]);
+        let c = Alphabet::from_actions([Action::nullary("other")]);
+        assert!(!a.is_disjoint(&b), "call(p) may instantiate to call(1)");
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn union_and_display() {
+        let a = Alphabet::from_actions([Action::nullary("a")]);
+        let b = Alphabet::from_actions([Action::nullary("b")]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        let s = u.to_string();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn empty_expression_has_empty_alphabet() {
+        assert!(Expr::empty().alphabet().is_empty());
+        assert!(Alphabet::new().is_empty());
+    }
+}

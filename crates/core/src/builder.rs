@@ -1,0 +1,168 @@
+//! Ergonomic construction helpers.
+//!
+//! The builder functions make example code and tests read close to the
+//! paper's notation: `seq_all`, `or_all`, `par_all` fold a list with the
+//! corresponding binary operator, `act`/`actv`/`actp` build atoms, and
+//! [`mutex`] is the user-defined "flash" operator of Fig. 5 (a sequential
+//! iteration of an either-or of its branches).
+
+use crate::action::Action;
+use crate::expr::Expr;
+use crate::value::{Param, Term, Value};
+
+/// An atomic expression with explicit terms.
+pub fn act(name: &str, args: impl IntoIterator<Item = Term>) -> Expr {
+    Expr::atom(Action::new(name, args))
+}
+
+/// An atomic expression without arguments.
+pub fn act0(name: &str) -> Expr {
+    Expr::atom(Action::nullary(name))
+}
+
+/// An atomic expression with concrete values only.
+pub fn actv(name: &str, args: impl IntoIterator<Item = Value>) -> Expr {
+    Expr::atom(Action::concrete(name, args))
+}
+
+/// An atomic expression whose arguments are all parameters, given by name.
+pub fn actp(name: &str, params: &[&str]) -> Expr {
+    Expr::atom(Action::new(name, params.iter().map(|p| Term::Param(Param::new(p)))))
+}
+
+/// A parameter term, for mixing parameters and values in [`act`].
+pub fn pt(name: &str) -> Term {
+    Term::Param(Param::new(name))
+}
+
+/// A symbolic value term.
+pub fn vt(name: &str) -> Term {
+    Term::Value(Value::sym(name))
+}
+
+/// An integer value term.
+pub fn it(i: i64) -> Term {
+    Term::Value(Value::Int(i))
+}
+
+/// Folds a list of expressions with sequential composition.  The empty list
+/// yields ε.
+pub fn seq_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    fold(exprs, Expr::seq)
+}
+
+/// Folds a list of expressions with parallel composition.  The empty list
+/// yields ε.
+pub fn par_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    fold(exprs, Expr::par)
+}
+
+/// Folds a list of expressions with disjunction.  The empty list yields ε.
+pub fn or_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    fold(exprs, Expr::or)
+}
+
+/// Folds a list of expressions with conjunction.  The empty list yields ε.
+pub fn and_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    fold(exprs, Expr::and)
+}
+
+/// Folds a list of expressions with the synchronization (coupling) operator.
+/// The empty list yields ε.
+pub fn sync_all(exprs: impl IntoIterator<Item = Expr>) -> Expr {
+    fold(exprs, Expr::sync)
+}
+
+fn fold(exprs: impl IntoIterator<Item = Expr>, op: fn(Expr, Expr) -> Expr) -> Expr {
+    let mut it = exprs.into_iter();
+    let first = match it.next() {
+        Some(e) => e,
+        None => return Expr::empty(),
+    };
+    it.fold(first, op)
+}
+
+/// The user-defined mutual-exclusion ("flash") operator of Fig. 5: a
+/// sequential iteration of an either-or branching over the given branches.
+/// At any time at most one branch is in progress; after it completes another
+/// (possibly the same) branch may be entered.
+pub fn mutex(branches: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::seq_iter(or_all(branches))
+}
+
+/// A workflow activity mapped to its start/termination action pair
+/// (footnote 6): `activity(args) = activity_start(args) − activity_end(args)`.
+pub fn activity(name: &str, args: impl IntoIterator<Item = Term> + Clone) -> Expr {
+    Expr::seq(
+        act(&format!("{name}_start"), args.clone()),
+        act(&format!("{name}_end"), args),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprKind;
+
+    #[test]
+    fn folds_build_left_nested_trees() {
+        let e = seq_all([act0("a"), act0("b"), act0("c")]);
+        match e.kind() {
+            ExprKind::Seq(l, r) => {
+                assert!(matches!(l.kind(), ExprKind::Seq(..)));
+                assert!(matches!(r.kind(), ExprKind::Atom(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn empty_folds_yield_epsilon() {
+        assert_eq!(seq_all([]), Expr::empty());
+        assert_eq!(or_all([]), Expr::empty());
+        assert_eq!(par_all([]), Expr::empty());
+        assert_eq!(and_all([]), Expr::empty());
+        assert_eq!(sync_all([]), Expr::empty());
+    }
+
+    #[test]
+    fn singleton_folds_are_identity() {
+        let a = act0("a");
+        assert_eq!(seq_all([a.clone()]), a);
+        assert_eq!(or_all([a.clone()]), a);
+    }
+
+    #[test]
+    fn mutex_is_iterated_disjunction() {
+        let e = mutex([act0("x"), act0("y"), act0("z")]);
+        match e.kind() {
+            ExprKind::SeqIter(body) => {
+                assert!(matches!(body.kind(), ExprKind::Or(..)));
+                assert_eq!(body.atoms().len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn activity_expands_to_start_end_sequence() {
+        let e = activity("perform", [pt("p"), vt("sono")]);
+        match e.kind() {
+            ExprKind::Seq(s, t) => {
+                assert_eq!(s.atoms()[0].name().to_string(), "perform_start");
+                assert_eq!(t.atoms()[0].name().to_string(), "perform_end");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn term_helpers() {
+        assert_eq!(pt("p"), Term::Param(Param::new("p")));
+        assert_eq!(vt("sono"), Term::Value(Value::sym("sono")));
+        assert_eq!(it(4), Term::Value(Value::Int(4)));
+        let e = act("call", [pt("p"), vt("sono"), it(2)]);
+        assert_eq!(e.atoms()[0].arity(), 3);
+    }
+}

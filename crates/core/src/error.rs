@@ -1,0 +1,63 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or expanding interaction
+/// expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum CoreError {
+    /// A template was applied with the wrong number of operands.
+    TemplateArity { template: String, expected: usize, got: usize },
+    /// A template name was used that is not registered.
+    UnknownTemplate { template: String },
+    /// A template name was registered twice.
+    DuplicateTemplate { template: String },
+    /// The textual parser rejected the input.
+    Parse { position: usize, message: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TemplateArity { template, expected, got } => write!(
+                f,
+                "template `{template}` expects {expected} operand(s) but was applied to {got}"
+            ),
+            CoreError::UnknownTemplate { template } => {
+                write!(f, "unknown template `{template}`")
+            }
+            CoreError::DuplicateTemplate { template } => {
+                write!(f, "template `{template}` is already registered")
+            }
+            CoreError::Parse { position, message } => {
+                write!(f, "parse error at offset {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = CoreError::TemplateArity { template: "mutex".into(), expected: 3, got: 1 };
+        assert!(e.to_string().contains("mutex"));
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::Parse { position: 12, message: "unexpected token".into() };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::UnknownTemplate { template: "x".into() });
+    }
+}

@@ -1,0 +1,202 @@
+//! Simplification of interaction expressions.
+//!
+//! Sec. 3 notes that "numerous useful properties of interaction expressions,
+//! like commutativity, associativity, or idempotence of operators … can be
+//! formally proven".  This module applies a selection of those laws as
+//! language-preserving rewrite rules, which keeps machine-generated
+//! expressions (template expansions, graph conversions, desugarings) small
+//! before they are handed to the operational engine:
+//!
+//! * ε is the unit of sequential and parallel composition and idempotent
+//!   under both iterations and the option;
+//! * disjunction and conjunction are idempotent (`y + y = y`, `y & y = y`);
+//! * nested options and iterations collapse (`(y?)? = y?`, `(y*)* = y*`,
+//!   `(y?)* = y*`, `(y*)? = y*`);
+//! * the synchronization of an expression with ε or with itself is the
+//!   expression (`y @ y = y`, `y @ empty = y`);
+//! * multipliers of one instance are their body, multipliers of ε are ε.
+//!
+//! Every rule preserves Φ, Ψ and — where used by the synchronization
+//! operator — does not enlarge the alphabet; the bounded-equivalence property
+//! test in the workspace test suite checks the whole pass against the
+//! denotational oracle.
+
+use crate::expr::{Expr, ExprKind};
+
+/// Applies the simplification rules bottom-up until a fixpoint is reached.
+pub fn simplify(expr: &Expr) -> Expr {
+    let mut current = expr.clone();
+    loop {
+        let next = simplify_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+}
+
+fn simplify_once(expr: &Expr) -> Expr {
+    // Simplify the children first, then the node itself.
+    let rebuilt = match expr.kind() {
+        ExprKind::Empty | ExprKind::Atom(_) | ExprKind::Hole(_) => expr.clone(),
+        ExprKind::Option(y) => Expr::option(simplify_once(y)),
+        ExprKind::Seq(y, z) => Expr::seq(simplify_once(y), simplify_once(z)),
+        ExprKind::SeqIter(y) => Expr::seq_iter(simplify_once(y)),
+        ExprKind::Par(y, z) => Expr::par(simplify_once(y), simplify_once(z)),
+        ExprKind::ParIter(y) => Expr::par_iter(simplify_once(y)),
+        ExprKind::Or(y, z) => Expr::or(simplify_once(y), simplify_once(z)),
+        ExprKind::And(y, z) => Expr::and(simplify_once(y), simplify_once(z)),
+        ExprKind::Sync(y, z) => Expr::sync(simplify_once(y), simplify_once(z)),
+        ExprKind::SomeQ(p, y) => Expr::some_q(*p, simplify_once(y)),
+        ExprKind::ParQ(p, y) => Expr::par_q(*p, simplify_once(y)),
+        ExprKind::SyncQ(p, y) => Expr::sync_q(*p, simplify_once(y)),
+        ExprKind::AllQ(p, y) => Expr::all_q(*p, simplify_once(y)),
+        ExprKind::Mult(n, y) => Expr::mult(*n, simplify_once(y)),
+    };
+    rewrite(&rebuilt)
+}
+
+/// A single top-level rewrite step.
+fn rewrite(expr: &Expr) -> Expr {
+    match expr.kind() {
+        // ε is the unit of sequential and parallel composition.
+        ExprKind::Seq(y, z) | ExprKind::Par(y, z) => {
+            if matches!(y.kind(), ExprKind::Empty) {
+                return z.clone();
+            }
+            if matches!(z.kind(), ExprKind::Empty) {
+                return y.clone();
+            }
+            expr.clone()
+        }
+        // Idempotence of disjunction and conjunction; ε-absorption for the
+        // option-like disjunct.
+        ExprKind::Or(y, z) => {
+            if y == z {
+                return y.clone();
+            }
+            if matches!(z.kind(), ExprKind::Empty) {
+                return Expr::option(y.clone());
+            }
+            if matches!(y.kind(), ExprKind::Empty) {
+                return Expr::option(z.clone());
+            }
+            expr.clone()
+        }
+        ExprKind::And(y, z) | ExprKind::Sync(y, z) if y == z => y.clone(),
+        // Synchronizing with ε constrains nothing.
+        ExprKind::Sync(y, z) => {
+            if matches!(y.kind(), ExprKind::Empty) {
+                return z.clone();
+            }
+            if matches!(z.kind(), ExprKind::Empty) {
+                return y.clone();
+            }
+            expr.clone()
+        }
+        // Collapsing of nested option / iteration combinations.
+        ExprKind::Option(y) => match y.kind() {
+            ExprKind::Empty => Expr::empty(),
+            ExprKind::Option(_) => y.clone(),
+            ExprKind::SeqIter(_) | ExprKind::ParIter(_) => y.clone(),
+            _ => expr.clone(),
+        },
+        ExprKind::SeqIter(y) => match y.kind() {
+            ExprKind::Empty => Expr::empty(),
+            ExprKind::SeqIter(_) => y.clone(),
+            ExprKind::Option(inner) => Expr::seq_iter(inner.clone()),
+            _ => expr.clone(),
+        },
+        ExprKind::ParIter(y) => match y.kind() {
+            ExprKind::Empty => Expr::empty(),
+            ExprKind::ParIter(_) => y.clone(),
+            ExprKind::Option(inner) => Expr::par_iter(inner.clone()),
+            _ => expr.clone(),
+        },
+        // Trivial multipliers.
+        ExprKind::Mult(1, y) => y.clone(),
+        ExprKind::Mult(_, y) if matches!(y.kind(), ExprKind::Empty) => Expr::empty(),
+        _ => expr.clone(),
+    }
+}
+
+impl Expr {
+    /// Returns a simplified, language-equivalent expression (see
+    /// [`simplify`]).
+    pub fn simplified(&self) -> Expr {
+        simplify(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::act0;
+    use crate::parse;
+
+    fn simp(src: &str) -> String {
+        simplify(&parse(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn unit_laws() {
+        assert_eq!(simp("empty - a"), "a");
+        assert_eq!(simp("a - empty"), "a");
+        assert_eq!(simp("empty | a"), "a");
+        assert_eq!(simp("a @ empty"), "a");
+        assert_eq!(simp("empty @ (a - b)"), "a - b");
+    }
+
+    #[test]
+    fn idempotence_laws() {
+        assert_eq!(simp("a + a"), "a");
+        assert_eq!(simp("(a - b) & (a - b)"), "a - b");
+        assert_eq!(simp("(a - b) @ (a - b)"), "a - b");
+        // Different operands stay untouched.
+        assert_eq!(simp("a + b"), "a + b");
+    }
+
+    #[test]
+    fn option_and_iteration_collapse() {
+        assert_eq!(simp("a??"), "a?");
+        assert_eq!(simp("a**"), "a*");
+        assert_eq!(simp("(a?)*"), "a*");
+        assert_eq!(simp("(a*)?"), "a*");
+        assert_eq!(simp("(a#)?"), "a#");
+        assert_eq!(simp("(a?)#"), "a#");
+        assert_eq!(simp("empty?"), "empty");
+        assert_eq!(simp("empty*"), "empty");
+    }
+
+    #[test]
+    fn or_with_empty_becomes_option() {
+        assert_eq!(simp("a + empty"), "a?");
+        assert_eq!(simp("empty + a - b"), "(a - b)?");
+    }
+
+    #[test]
+    fn multiplier_rules() {
+        assert_eq!(simp("mult 1 { a - b }"), "a - b");
+        assert_eq!(simp("mult 3 { empty }"), "empty");
+        assert_eq!(simp("mult 3 { a }"), "mult 3 { a }");
+    }
+
+    #[test]
+    fn simplification_reaches_a_fixpoint_through_nesting() {
+        // ((a + a) - empty)?? simplifies all the way to a?.
+        let e = Expr::option(Expr::option(Expr::seq(
+            Expr::or(act0("a"), act0("a")),
+            Expr::empty(),
+        )));
+        assert_eq!(simplify(&e).to_string(), "a?");
+        // Simplification is idempotent.
+        let once = simplify(&e);
+        assert_eq!(simplify(&once), once);
+    }
+
+    #[test]
+    fn closed_quantified_expressions_are_preserved_structurally() {
+        let e = parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap();
+        assert_eq!(simplify(&e), e, "nothing to simplify");
+    }
+}

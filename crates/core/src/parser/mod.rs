@@ -1,0 +1,401 @@
+//! Recursive-descent parser for the textual notation of interaction
+//! expressions.
+//!
+//! See [`crate::printer`] for the grammar and precedence table.  The parser
+//! distinguishes parameters from symbolic values by scope: an identifier
+//! argument that is bound by an enclosing quantifier is read as a parameter,
+//! every other identifier argument is a symbolic value.  Template
+//! applications `name!(e1, ..., en)` are expanded immediately against the
+//! [`TemplateRegistry`] passed to [`parse_with`].
+
+mod lexer;
+
+pub use lexer::{lex, Token, TokenKind};
+
+use crate::error::{CoreError, CoreResult};
+use crate::expr::Expr;
+use crate::template::TemplateRegistry;
+use crate::value::{Param, Term, Value};
+use crate::Symbol;
+
+/// Parses an expression using an empty template registry.
+pub fn parse(src: &str) -> CoreResult<Expr> {
+    parse_with(src, &TemplateRegistry::new())
+}
+
+/// Parses an expression, expanding template applications against `registry`.
+pub fn parse_with(src: &str, registry: &TemplateRegistry) -> CoreResult<Expr> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0, registry, scope: Vec::new() };
+    let expr = parser.parse_expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(expr)
+}
+
+const KEYWORDS: &[&str] = &["some", "all", "sync", "each", "mult", "empty"];
+
+struct Parser<'r> {
+    tokens: Vec<Token>,
+    pos: usize,
+    registry: &'r TemplateRegistry,
+    /// Parameters bound by enclosing quantifiers, innermost last.
+    scope: Vec<String>,
+}
+
+impl<'r> Parser<'r> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> CoreResult<Token> {
+        if self.check(&kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn error(&self, message: String) -> CoreError {
+        CoreError::Parse { position: self.peek().offset, message }
+    }
+
+    // expr := and_level ( '@' and_level )*
+    fn parse_expr(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_and()?;
+        while self.eat(&TokenKind::At) {
+            let rhs = self.parse_and()?;
+            e = Expr::sync(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_or()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.parse_or()?;
+            e = Expr::and(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_or(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_par()?;
+        while self.eat(&TokenKind::Plus) {
+            let rhs = self.parse_par()?;
+            e = Expr::or(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_par(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_seq()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.parse_seq()?;
+            e = Expr::par(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_seq(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_postfix()?;
+        while self.eat(&TokenKind::Minus) {
+            let rhs = self.parse_postfix()?;
+            e = Expr::seq(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_postfix(&mut self) -> CoreResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                e = Expr::seq_iter(e);
+            } else if self.eat(&TokenKind::Hash) {
+                e = Expr::par_iter(e);
+            } else if self.eat(&TokenKind::Question) {
+                e = Expr::option(e);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> CoreResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Hole(name) => {
+                self.advance();
+                Ok(Expr::hole(name.as_str()))
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "empty" => {
+                    self.advance();
+                    Ok(Expr::empty())
+                }
+                "some" | "all" | "sync" | "each" => {
+                    self.advance();
+                    self.parse_quantifier(&name)
+                }
+                "mult" => {
+                    self.advance();
+                    self.parse_multiplier()
+                }
+                _ => {
+                    self.advance();
+                    self.parse_atom_or_template(name)
+                }
+            },
+            other => Err(self.error(format!("expected an expression, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_quantifier(&mut self, keyword: &str) -> CoreResult<Expr> {
+        let param_name = match self.advance().kind {
+            TokenKind::Ident(n) => {
+                if KEYWORDS.contains(&n.as_str()) {
+                    return Err(self.error(format!(
+                        "`{n}` is a reserved word and cannot be used as a parameter"
+                    )));
+                }
+                n
+            }
+            other => {
+                return Err(self.error(format!(
+                    "expected a parameter name after `{keyword}`, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.expect(TokenKind::LBrace)?;
+        self.scope.push(param_name.clone());
+        let body = self.parse_expr();
+        self.scope.pop();
+        let body = body?;
+        self.expect(TokenKind::RBrace)?;
+        let p = Param::new(&param_name);
+        Ok(match keyword {
+            "some" => Expr::some_q(p, body),
+            "all" => Expr::par_q(p, body),
+            "sync" => Expr::sync_q(p, body),
+            "each" => Expr::all_q(p, body),
+            _ => unreachable!("quantifier keyword"),
+        })
+    }
+
+    fn parse_multiplier(&mut self) -> CoreResult<Expr> {
+        let n = match self.advance().kind {
+            TokenKind::Int(i) if i > 0 => i as u32,
+            TokenKind::Int(i) => {
+                return Err(self.error(format!("multiplier count must be positive, got {i}")))
+            }
+            other => {
+                return Err(self.error(format!(
+                    "expected a positive integer after `mult`, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.expect(TokenKind::LBrace)?;
+        let body = self.parse_expr()?;
+        self.expect(TokenKind::RBrace)?;
+        Ok(Expr::mult(n, body))
+    }
+
+    fn parse_atom_or_template(&mut self, name: String) -> CoreResult<Expr> {
+        if self.eat(&TokenKind::Bang) {
+            // Template application: name!(e1, ..., en)
+            self.expect(TokenKind::LParen)?;
+            let mut args = Vec::new();
+            if !self.check(&TokenKind::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            return self.registry.expand(Symbol::new(&name), &args);
+        }
+        let mut terms = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.check(&TokenKind::RParen) {
+                loop {
+                    terms.push(self.parse_term()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(crate::builder::act(&name, terms))
+    }
+
+    fn parse_term(&mut self) -> CoreResult<Term> {
+        match self.advance().kind {
+            TokenKind::Int(i) => Ok(Term::Value(Value::Int(i))),
+            TokenKind::Ident(name) => {
+                if self.scope.iter().any(|s| s == &name) {
+                    Ok(Term::Param(Param::new(&name)))
+                } else {
+                    Ok(Term::Value(Value::sym(&name)))
+                }
+            }
+            other => Err(self.error(format!(
+                "expected an action argument (integer or identifier), found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{act0, actp, actv};
+    use crate::expr::ExprKind;
+
+    #[test]
+    fn parses_atoms_and_sequences() {
+        let e = parse("order - schedule - prepare").unwrap();
+        assert_eq!(e, Expr::seq(Expr::seq(act0("order"), act0("schedule")), act0("prepare")));
+    }
+
+    #[test]
+    fn parses_precedence_levels() {
+        let e = parse("a - b + c | d & e @ f").unwrap();
+        // Loosest at the top: sync.
+        assert!(matches!(e.kind(), ExprKind::Sync(..)));
+        let e = parse("(a + b) - c").unwrap();
+        assert!(matches!(e.kind(), ExprKind::Seq(..)));
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        assert_eq!(parse("a*").unwrap(), Expr::seq_iter(act0("a")));
+        assert_eq!(parse("a#").unwrap(), Expr::par_iter(act0("a")));
+        assert_eq!(parse("a?").unwrap(), Expr::option(act0("a")));
+        assert_eq!(parse("a*#?").unwrap(), Expr::option(Expr::par_iter(Expr::seq_iter(act0("a")))));
+    }
+
+    #[test]
+    fn arguments_are_params_only_when_bound() {
+        let e = parse("all p { prepare(p, x) }").unwrap();
+        match e.kind() {
+            ExprKind::ParQ(p, body) => {
+                assert_eq!(p.to_string(), "p");
+                let atom = &body.atoms()[0];
+                assert!(atom.args()[0].as_param().is_some(), "p is bound");
+                assert!(atom.args()[1].as_value().is_some(), "x is free, read as value");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Nested scopes: both parameters visible in the inner body.
+        let e = parse("all p { some x { call(p, x) } }").unwrap();
+        assert!(e.is_closed());
+    }
+
+    #[test]
+    fn parses_quantifiers_and_multiplier() {
+        let e = parse("sync x { mult 3 { some p { call(p, x) - perform(p, x) } } }").unwrap();
+        assert!(matches!(e.kind(), ExprKind::SyncQ(..)));
+        assert!(e.is_closed());
+        assert_eq!(e.quantifier_count(), 2);
+    }
+
+    #[test]
+    fn parses_integers_and_values() {
+        let e = parse("call(1, sono)").unwrap();
+        assert_eq!(e, actv("call", [Value::int(1), Value::sym("sono")]));
+    }
+
+    #[test]
+    fn expands_templates() {
+        let reg = TemplateRegistry::with_standard_operators();
+        let e = parse_with("mutex!(a, b, c)", &reg).unwrap();
+        assert_eq!(e, Expr::seq_iter(Expr::or(Expr::or(act0("a"), act0("b")), act0("c"))));
+        assert!(parse("mutex!(a, b, c)").is_err(), "unknown template without registry");
+    }
+
+    #[test]
+    fn parses_holes_and_empty() {
+        assert_eq!(parse("$x - empty").unwrap(), Expr::seq(Expr::hole("x"), Expr::empty()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("a -").is_err());
+        assert!(parse("(a - b").is_err());
+        assert!(parse("mult 0 { a }").is_err());
+        assert!(parse("mult x { a }").is_err());
+        assert!(parse("some { a }").is_err());
+        assert!(parse("some all { a }").is_err());
+        assert!(parse("a b").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("a - - b").unwrap_err();
+        match err {
+            CoreError::Parse { position, .. } => assert_eq!(position, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_parse_round_trip_for_paper_examples() {
+        let reg = TemplateRegistry::with_standard_operators();
+        let sources = [
+            "all p { (some x { prepare(p, x) })# + some x { call(p, x) - perform(p, x) } }",
+            "sync x { mult 3 { (some p { call(p, x) - perform(p, x) })* } }",
+            "a - (b + c)* | d#",
+            "mutex!(a - b, c, d?)",
+        ];
+        for src in sources {
+            let e = parse_with(src, &reg).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_with(&printed, &reg).unwrap();
+            assert_eq!(e, reparsed, "round trip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn parameterized_atoms_via_builder_match_parser() {
+        let e = parse("all p { prepare(p) }").unwrap();
+        let built = Expr::par_q(Param::new("p"), actp("prepare", &["p"]));
+        assert_eq!(e, built);
+    }
+}

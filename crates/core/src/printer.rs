@@ -1,0 +1,186 @@
+//! Pretty printer for the textual notation of interaction expressions.
+//!
+//! The textual notation (an ASCII rendering of the paper's operators) is:
+//!
+//! | Operator                  | Notation            |
+//! |---------------------------|---------------------|
+//! | atomic action             | `name(arg, ...)`    |
+//! | option                    | `y?`                |
+//! | sequential composition    | `y - z`             |
+//! | sequential iteration      | `y*`                |
+//! | parallel composition      | `y \| z`            |
+//! | parallel iteration        | `y#`                |
+//! | disjunction               | `y + z`             |
+//! | conjunction               | `y & z`             |
+//! | synchronization           | `y @ z`             |
+//! | disjunction quantifier    | `some p { y }`      |
+//! | parallel quantifier       | `all p { y }`       |
+//! | synchronization quantifier| `sync p { y }`      |
+//! | conjunction quantifier    | `each p { y }`      |
+//! | multiplier                | `mult n { y }`      |
+//! | empty expression          | `empty`             |
+//! | template hole             | `$name`             |
+//!
+//! Binding strength, from loosest to tightest: `@`, `&`, `+`, `|`, `-`,
+//! postfix (`*`, `#`, `?`).  The printer emits only the parentheses required
+//! by this precedence, and the parser accepts exactly this notation, so
+//! printing and re-parsing a *closed* expression yields a structurally equal
+//! expression (identifier arguments of open expressions are re-read as
+//! symbolic values rather than free parameters).
+
+use crate::expr::{Expr, ExprKind};
+use std::fmt;
+
+/// Precedence levels, higher binds tighter.
+fn precedence(kind: &ExprKind) -> u8 {
+    match kind {
+        ExprKind::Sync(..) => 1,
+        ExprKind::And(..) => 2,
+        ExprKind::Or(..) => 3,
+        ExprKind::Par(..) => 4,
+        ExprKind::Seq(..) => 5,
+        ExprKind::Option(_) | ExprKind::SeqIter(_) | ExprKind::ParIter(_) => 6,
+        // Primaries never need parentheses.
+        ExprKind::Empty
+        | ExprKind::Atom(_)
+        | ExprKind::Hole(_)
+        | ExprKind::SomeQ(..)
+        | ExprKind::ParQ(..)
+        | ExprKind::SyncQ(..)
+        | ExprKind::AllQ(..)
+        | ExprKind::Mult(..) => 7,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    let child_prec = precedence(child.kind());
+    if child_prec < parent_prec {
+        write!(f, "(")?;
+        write_expr(f, child)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, child)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    let prec = precedence(e.kind());
+    match e.kind() {
+        ExprKind::Empty => write!(f, "empty"),
+        ExprKind::Atom(a) => write!(f, "{a}"),
+        ExprKind::Hole(name) => write!(f, "${name}"),
+        ExprKind::Option(y) => {
+            write_child(f, y, prec + 1)?;
+            write!(f, "?")
+        }
+        ExprKind::SeqIter(y) => {
+            write_child(f, y, prec + 1)?;
+            write!(f, "*")
+        }
+        ExprKind::ParIter(y) => {
+            write_child(f, y, prec + 1)?;
+            write!(f, "#")
+        }
+        ExprKind::Seq(y, z) => {
+            write_child(f, y, prec)?;
+            write!(f, " - ")?;
+            write_child(f, z, prec + 1)
+        }
+        ExprKind::Par(y, z) => {
+            write_child(f, y, prec)?;
+            write!(f, " | ")?;
+            write_child(f, z, prec + 1)
+        }
+        ExprKind::Or(y, z) => {
+            write_child(f, y, prec)?;
+            write!(f, " + ")?;
+            write_child(f, z, prec + 1)
+        }
+        ExprKind::And(y, z) => {
+            write_child(f, y, prec)?;
+            write!(f, " & ")?;
+            write_child(f, z, prec + 1)
+        }
+        ExprKind::Sync(y, z) => {
+            write_child(f, y, prec)?;
+            write!(f, " @ ")?;
+            write_child(f, z, prec + 1)
+        }
+        ExprKind::SomeQ(p, y) => write!(f, "some {p} {{ {y} }}"),
+        ExprKind::ParQ(p, y) => write!(f, "all {p} {{ {y} }}"),
+        ExprKind::SyncQ(p, y) => write!(f, "sync {p} {{ {y} }}"),
+        ExprKind::AllQ(p, y) => write!(f, "each {p} {{ {y} }}"),
+        ExprKind::Mult(n, y) => write!(f, "mult {n} {{ {y} }}"),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{act0, actp, actv};
+    use crate::value::{Param, Value};
+
+    #[test]
+    fn atoms_and_arguments() {
+        assert_eq!(act0("a").to_string(), "a");
+        assert_eq!(actv("call", [Value::int(1), Value::sym("sono")]).to_string(), "call(1, sono)");
+        assert_eq!(actp("prepare", &["p", "x"]).to_string(), "prepare(p, x)");
+    }
+
+    #[test]
+    fn binary_operators_and_precedence() {
+        let e = Expr::or(Expr::seq(act0("a"), act0("b")), act0("c"));
+        assert_eq!(e.to_string(), "a - b + c");
+        let e = Expr::seq(Expr::or(act0("a"), act0("b")), act0("c"));
+        assert_eq!(e.to_string(), "(a + b) - c");
+        let e = Expr::sync(Expr::and(act0("a"), act0("b")), act0("c"));
+        assert_eq!(e.to_string(), "a & b @ c");
+        let e = Expr::and(Expr::sync(act0("a"), act0("b")), act0("c"));
+        assert_eq!(e.to_string(), "(a @ b) & c");
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert_eq!(Expr::seq_iter(act0("a")).to_string(), "a*");
+        assert_eq!(Expr::par_iter(act0("a")).to_string(), "a#");
+        assert_eq!(Expr::option(act0("a")).to_string(), "a?");
+        let e = Expr::seq_iter(Expr::seq(act0("a"), act0("b")));
+        assert_eq!(e.to_string(), "(a - b)*");
+        let e = Expr::seq(act0("a"), Expr::seq_iter(act0("b")));
+        assert_eq!(e.to_string(), "a - b*");
+    }
+
+    #[test]
+    fn quantifiers_and_multiplier() {
+        let p = Param::new("p");
+        let e = Expr::par_q(p, Expr::seq_iter(actp("prepare", &["p"])));
+        assert_eq!(e.to_string(), "all p { prepare(p)* }");
+        let e = Expr::mult(3, Expr::seq(act0("call"), act0("perform")));
+        assert_eq!(e.to_string(), "mult 3 { call - perform }");
+        assert_eq!(Expr::some_q(p, act0("a")).to_string(), "some p { a }");
+        assert_eq!(Expr::sync_q(p, act0("a")).to_string(), "sync p { a }");
+        assert_eq!(Expr::all_q(p, act0("a")).to_string(), "each p { a }");
+    }
+
+    #[test]
+    fn empty_and_holes() {
+        assert_eq!(Expr::empty().to_string(), "empty");
+        assert_eq!(Expr::hole("X").to_string(), "$X");
+        let e = Expr::seq(Expr::empty(), Expr::hole("body"));
+        assert_eq!(e.to_string(), "empty - $body");
+    }
+
+    #[test]
+    fn left_associative_chains_need_no_parentheses() {
+        let e = Expr::seq(Expr::seq(act0("a"), act0("b")), act0("c"));
+        assert_eq!(e.to_string(), "a - b - c");
+        let e = Expr::seq(act0("a"), Expr::seq(act0("b"), act0("c")));
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+}

@@ -1,0 +1,238 @@
+//! User-defined operators (templates).
+//!
+//! Fig. 5 of the paper defines the mutual-exclusion "flash" operator as a
+//! template: a named operator whose body is an ordinary interaction
+//! expression containing *holes* that are replaced by the operands at every
+//! use site.  Templates raise the level of abstraction of interaction graphs:
+//! an "interaction graph expert" predefines application-specific operators
+//! and unexperienced users apply them without knowing their definition.
+//!
+//! A [`TemplateRegistry`] stores definitions by name; [`Expr`] trees with
+//! [`ExprKind::Hole`] placeholders are instantiated via
+//! [`TemplateRegistry::expand`].  Recursive templates are rejected, mirroring
+//! the paper's deliberate exclusion of recursive expressions (Sec. 3).
+
+use crate::error::{CoreError, CoreResult};
+use crate::expr::{Expr, ExprKind};
+use crate::Symbol;
+use std::collections::BTreeMap;
+
+/// A user-defined operator definition.
+#[derive(Clone, Debug)]
+pub struct TemplateDef {
+    name: Symbol,
+    operands: Vec<Symbol>,
+    body: Expr,
+}
+
+impl TemplateDef {
+    /// Creates a template.  `operands` are the hole names used in `body`.
+    pub fn new(
+        name: impl Into<Symbol>,
+        operands: impl IntoIterator<Item = Symbol>,
+        body: Expr,
+    ) -> TemplateDef {
+        TemplateDef { name: name.into(), operands: operands.into_iter().collect(), body }
+    }
+
+    /// The operator name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// The declared operand (hole) names.
+    pub fn operands(&self) -> &[Symbol] {
+        &self.operands
+    }
+
+    /// The template body (contains holes).
+    pub fn body(&self) -> &Expr {
+        &self.body
+    }
+
+    /// Number of operands the template expects.
+    pub fn arity(&self) -> usize {
+        self.operands.len()
+    }
+
+    /// Instantiates the template with the given operand expressions.
+    pub fn instantiate(&self, args: &[Expr]) -> CoreResult<Expr> {
+        if args.len() != self.operands.len() {
+            return Err(CoreError::TemplateArity {
+                template: self.name.to_string(),
+                expected: self.operands.len(),
+                got: args.len(),
+            });
+        }
+        let mut map = BTreeMap::new();
+        for (name, arg) in self.operands.iter().zip(args) {
+            map.insert(*name, arg.clone());
+        }
+        Ok(fill_holes(&self.body, &map))
+    }
+}
+
+/// Replaces every hole found in `map`; holes not present are kept (so nested
+/// template definitions can be composed before registration).
+fn fill_holes(e: &Expr, map: &BTreeMap<Symbol, Expr>) -> Expr {
+    match e.kind() {
+        ExprKind::Hole(name) => map.get(name).cloned().unwrap_or_else(|| e.clone()),
+        ExprKind::Empty | ExprKind::Atom(_) => e.clone(),
+        ExprKind::Option(y) => Expr::option(fill_holes(y, map)),
+        ExprKind::Seq(y, z) => Expr::seq(fill_holes(y, map), fill_holes(z, map)),
+        ExprKind::SeqIter(y) => Expr::seq_iter(fill_holes(y, map)),
+        ExprKind::Par(y, z) => Expr::par(fill_holes(y, map), fill_holes(z, map)),
+        ExprKind::ParIter(y) => Expr::par_iter(fill_holes(y, map)),
+        ExprKind::Or(y, z) => Expr::or(fill_holes(y, map), fill_holes(z, map)),
+        ExprKind::And(y, z) => Expr::and(fill_holes(y, map), fill_holes(z, map)),
+        ExprKind::Sync(y, z) => Expr::sync(fill_holes(y, map), fill_holes(z, map)),
+        ExprKind::SomeQ(p, y) => Expr::some_q(*p, fill_holes(y, map)),
+        ExprKind::ParQ(p, y) => Expr::par_q(*p, fill_holes(y, map)),
+        ExprKind::SyncQ(p, y) => Expr::sync_q(*p, fill_holes(y, map)),
+        ExprKind::AllQ(p, y) => Expr::all_q(*p, fill_holes(y, map)),
+        ExprKind::Mult(n, y) => Expr::mult(*n, fill_holes(y, map)),
+    }
+}
+
+/// A registry of user-defined operators.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateRegistry {
+    defs: BTreeMap<Symbol, TemplateDef>,
+}
+
+impl TemplateRegistry {
+    /// An empty registry.
+    pub fn new() -> TemplateRegistry {
+        TemplateRegistry::default()
+    }
+
+    /// A registry preloaded with the paper's standard user-defined operators:
+    ///
+    /// * `mutex(x, y, z)` — the three-branch mutual-exclusion "flash"
+    ///   operator of Fig. 5: `(x + y + z)*`.
+    /// * `mutex2(x, y)` — the two-branch variant.
+    pub fn with_standard_operators() -> TemplateRegistry {
+        let mut r = TemplateRegistry::new();
+        let h = |n: &str| Expr::hole(n);
+        let mutex3 = TemplateDef::new(
+            "mutex",
+            ["x", "y", "z"].map(Symbol::new),
+            Expr::seq_iter(Expr::or(Expr::or(h("x"), h("y")), h("z"))),
+        );
+        let mutex2 = TemplateDef::new(
+            "mutex2",
+            ["x", "y"].map(Symbol::new),
+            Expr::seq_iter(Expr::or(h("x"), h("y"))),
+        );
+        r.register(mutex3).expect("standard operator");
+        r.register(mutex2).expect("standard operator");
+        r
+    }
+
+    /// Registers a definition.  The template body must not invoke the
+    /// template being defined (no recursion); since holes are plain
+    /// placeholders and bodies are fully built expressions, recursion cannot
+    /// be expressed and only duplicate names need to be rejected.
+    pub fn register(&mut self, def: TemplateDef) -> CoreResult<()> {
+        if self.defs.contains_key(&def.name()) {
+            return Err(CoreError::DuplicateTemplate { template: def.name().to_string() });
+        }
+        self.defs.insert(def.name(), def);
+        Ok(())
+    }
+
+    /// Looks up a definition by name.
+    pub fn get(&self, name: Symbol) -> Option<&TemplateDef> {
+        self.defs.get(&name)
+    }
+
+    /// True if a template with that name is registered.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.defs.contains_key(&name)
+    }
+
+    /// All registered definitions.
+    pub fn definitions(&self) -> impl Iterator<Item = &TemplateDef> {
+        self.defs.values()
+    }
+
+    /// Expands a template application.
+    pub fn expand(&self, name: Symbol, args: &[Expr]) -> CoreResult<Expr> {
+        let def = self
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownTemplate { template: name.to_string() })?;
+        def.instantiate(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{act0, actp};
+
+    #[test]
+    fn mutex_template_matches_fig5() {
+        let reg = TemplateRegistry::with_standard_operators();
+        let expanded = reg
+            .expand(Symbol::new("mutex"), &[act0("x"), act0("y"), act0("z")])
+            .unwrap();
+        // (x + y + z)* — a sequential iteration of a nested disjunction.
+        assert!(matches!(expanded.kind(), ExprKind::SeqIter(_)));
+        assert_eq!(expanded.atoms().len(), 3);
+        assert!(!expanded.contains_holes());
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let reg = TemplateRegistry::with_standard_operators();
+        let err = reg.expand(Symbol::new("mutex"), &[act0("x")]).unwrap_err();
+        assert!(matches!(err, CoreError::TemplateArity { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_template_is_an_error() {
+        let reg = TemplateRegistry::new();
+        let err = reg.expand(Symbol::new("nope"), &[]).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownTemplate { .. }));
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut reg = TemplateRegistry::new();
+        let def = TemplateDef::new("t", [Symbol::new("x")], Expr::hole("x"));
+        reg.register(def.clone()).unwrap();
+        assert!(matches!(
+            reg.register(def),
+            Err(CoreError::DuplicateTemplate { .. })
+        ));
+    }
+
+    #[test]
+    fn holes_are_substituted_below_every_operator() {
+        let body = Expr::par_q(
+            crate::value::Param::new("p"),
+            Expr::seq(Expr::hole("x"), Expr::mult(2, Expr::hole("y"))),
+        );
+        let def = TemplateDef::new("wrap", ["x", "y"].map(Symbol::new), body);
+        let out = def.instantiate(&[actp("a", &["p"]), actp("b", &["p"])]).unwrap();
+        assert!(!out.contains_holes());
+        assert_eq!(out.atoms().len(), 2);
+    }
+
+    #[test]
+    fn unknown_holes_are_preserved_for_composition() {
+        let body = Expr::seq(Expr::hole("x"), Expr::hole("keep"));
+        let def = TemplateDef::new("partial", [Symbol::new("x")], body);
+        let out = def.instantiate(&[act0("a")]).unwrap();
+        assert!(out.contains_holes(), "holes not named as operands survive");
+    }
+
+    #[test]
+    fn registry_queries() {
+        let reg = TemplateRegistry::with_standard_operators();
+        assert!(reg.contains(Symbol::new("mutex")));
+        assert!(reg.contains(Symbol::new("mutex2")));
+        assert_eq!(reg.definitions().count(), 2);
+        assert_eq!(reg.get(Symbol::new("mutex")).unwrap().arity(), 3);
+    }
+}

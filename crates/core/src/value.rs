@@ -1,0 +1,209 @@
+//! Concrete values (the set Ω) and formal parameters (the set Π).
+//!
+//! Action arguments are *terms*: either a concrete value ω ∈ Ω or a formal
+//! parameter p ∈ Π.  The paper requires Ω ∩ Π = ∅ and |Ω| = ∞; here the two
+//! sets are kept apart by the type system and Ω is the (conceptually
+//! unbounded) union of all integers and all interned symbols.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A concrete value ω ∈ Ω.
+///
+/// Values identify real-world entities such as patients (e.g. a social
+/// security number) or examination kinds (e.g. the symbolic values `sono` and
+/// `endo` from the paper's running example).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// An integer value (patient numbers, counters, ...).
+    Int(i64),
+    /// A symbolic value (`sono`, `endo`, department names, ...).
+    Sym(Symbol),
+}
+
+impl Value {
+    /// Convenience constructor for symbolic values.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Symbol::new(s))
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Sym(s)
+    }
+}
+
+/// A formal parameter p ∈ Π, bound by a quantifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Param(pub Symbol);
+
+impl Param {
+    /// Creates a parameter with the given name.
+    pub fn new(name: &str) -> Param {
+        Param(Symbol::new(name))
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Param {
+    fn from(s: &str) -> Param {
+        Param::new(s)
+    }
+}
+
+/// An action argument: a concrete value or a formal parameter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A concrete value ω ∈ Ω.
+    Value(Value),
+    /// A formal parameter p ∈ Π.
+    Param(Param),
+}
+
+impl Term {
+    /// Returns the contained value if this term is concrete.
+    pub fn as_value(&self) -> Option<Value> {
+        match self {
+            Term::Value(v) => Some(*v),
+            Term::Param(_) => None,
+        }
+    }
+
+    /// Returns the contained parameter if this term is a parameter.
+    pub fn as_param(&self) -> Option<Param> {
+        match self {
+            Term::Value(_) => None,
+            Term::Param(p) => Some(*p),
+        }
+    }
+
+    /// True if the term is a concrete value.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, Term::Value(_))
+    }
+
+    /// Substitutes `value` for the parameter `param`, leaving other terms
+    /// untouched.
+    pub fn substitute(&self, param: Param, value: Value) -> Term {
+        match self {
+            Term::Param(p) if *p == param => Term::Value(value),
+            other => *other,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Value(v) => write!(f, "{v}"),
+            Term::Param(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Value(v)
+    }
+}
+
+impl From<Param> for Term {
+    fn from(p: Param) -> Term {
+        Term::Param(p)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(i: i64) -> Term {
+        Term::Value(Value::Int(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_constructors_and_display() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::sym("sono").to_string(), "sono");
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("endo"), Value::sym("endo"));
+    }
+
+    #[test]
+    fn values_and_params_are_distinct_term_kinds() {
+        let v = Term::from(Value::sym("sono"));
+        let p = Term::from(Param::new("sono"));
+        assert_ne!(v, p, "Ω and Π must be disjoint");
+        assert!(v.is_concrete());
+        assert!(!p.is_concrete());
+    }
+
+    #[test]
+    fn term_substitution_only_hits_the_matching_parameter() {
+        let p = Param::new("p");
+        let x = Param::new("x");
+        let omega = Value::int(1);
+        assert_eq!(Term::Param(p).substitute(p, omega), Term::Value(omega));
+        assert_eq!(Term::Param(x).substitute(p, omega), Term::Param(x));
+        assert_eq!(
+            Term::Value(Value::sym("sono")).substitute(p, omega),
+            Term::Value(Value::sym("sono"))
+        );
+    }
+
+    #[test]
+    fn term_accessors() {
+        let p = Param::new("p");
+        assert_eq!(Term::Param(p).as_param(), Some(p));
+        assert_eq!(Term::Param(p).as_value(), None);
+        assert_eq!(Term::Value(Value::int(3)).as_value(), Some(Value::int(3)));
+        assert_eq!(Term::Value(Value::int(3)).as_param(), None);
+    }
+
+    #[test]
+    fn values_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Value> =
+            [Value::int(2), Value::int(1), Value::sym("a")].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

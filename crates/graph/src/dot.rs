@@ -1,0 +1,216 @@
+//! Graphviz (DOT) rendering of interaction graphs.
+//!
+//! The rendering follows the left-to-right reading of the paper's figures:
+//! activities are rectangular boxes, branching operators are drawn as pairs
+//! of circular "open"/"close" nodes enclosing their branches, repetition adds
+//! a dashed back edge, and quantifier/multiplier regions are labelled with
+//! their parameter or count.  The output is plain DOT text suitable for
+//! `dot -Tsvg`.
+
+use crate::model::{GraphNode, InteractionGraph};
+use std::fmt::Write as _;
+
+/// Renders an interaction graph as a DOT digraph.
+pub fn to_dot(graph: &InteractionGraph) -> String {
+    let mut out = String::new();
+    let mut builder = DotBuilder { out: &mut out, next_id: 0 };
+    writeln!(builder.out, "digraph \"{}\" {{", escape(&graph.name)).unwrap();
+    writeln!(builder.out, "  rankdir=LR;").unwrap();
+    writeln!(builder.out, "  node [fontsize=10];").unwrap();
+    let (entry, exit) = builder.emit(&graph.root);
+    let start = builder.point("start");
+    let end = builder.point("end");
+    builder.edge(&start, &entry, None);
+    builder.edge(&exit, &end, None);
+    writeln!(builder.out, "}}").unwrap();
+    out
+}
+
+struct DotBuilder<'a> {
+    out: &'a mut String,
+    next_id: usize,
+}
+
+impl DotBuilder<'_> {
+    fn fresh(&mut self) -> String {
+        let id = format!("n{}", self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn node(&mut self, label: &str, shape: &str) -> String {
+        let id = self.fresh();
+        writeln!(self.out, "  {id} [label=\"{}\", shape={shape}];", escape(label)).unwrap();
+        id
+    }
+
+    fn point(&mut self, label: &str) -> String {
+        self.node(label, "plaintext")
+    }
+
+    fn circle(&mut self, label: &str) -> String {
+        self.node(label, "circle")
+    }
+
+    fn edge(&mut self, from: &str, to: &str, style: Option<&str>) {
+        match style {
+            Some(s) => writeln!(self.out, "  {from} -> {to} [style={s}];").unwrap(),
+            None => writeln!(self.out, "  {from} -> {to};").unwrap(),
+        }
+    }
+
+    /// Emits a node and returns its (entry, exit) DOT node identifiers.
+    fn emit(&mut self, node: &GraphNode) -> (String, String) {
+        match node {
+            GraphNode::Activity { name, args } => {
+                let label = if args.is_empty() {
+                    name.clone()
+                } else {
+                    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                    format!("{name}\\n{}", args.join(", "))
+                };
+                let id = self.node(&label, "box");
+                (id.clone(), id)
+            }
+            GraphNode::Action { action } => {
+                let id = self.node(&action.to_string(), "ellipse");
+                (id.clone(), id)
+            }
+            GraphNode::Empty => {
+                let id = self.node("", "point");
+                (id.clone(), id)
+            }
+            GraphNode::Sequence(parts) => {
+                let mut entry: Option<String> = None;
+                let mut prev_exit: Option<String> = None;
+                for part in parts {
+                    let (e, x) = self.emit(part);
+                    if entry.is_none() {
+                        entry = Some(e.clone());
+                    }
+                    if let Some(p) = &prev_exit {
+                        self.edge(p, &e, None);
+                    }
+                    prev_exit = Some(x);
+                }
+                match (entry, prev_exit) {
+                    (Some(e), Some(x)) => (e, x),
+                    _ => {
+                        let id = self.node("", "point");
+                        (id.clone(), id)
+                    }
+                }
+            }
+            GraphNode::EitherOr(parts) => self.branching("○", parts),
+            GraphNode::AsWellAs(parts) => self.branching("◎", parts),
+            GraphNode::Conjunction(parts) => self.branching("∧", parts),
+            GraphNode::Coupling(parts) => self.branching("⊗", parts),
+            GraphNode::Optional(body) => {
+                let open = self.circle("?");
+                let close = self.circle("?");
+                let (e, x) = self.emit(body);
+                self.edge(&open, &e, None);
+                self.edge(&x, &close, None);
+                self.edge(&open, &close, Some("dotted"));
+                (open, close)
+            }
+            GraphNode::Repetition(body) => {
+                let open = self.circle("*");
+                let close = self.circle("*");
+                let (e, x) = self.emit(body);
+                self.edge(&open, &e, None);
+                self.edge(&x, &close, None);
+                self.edge(&close, &open, Some("dashed"));
+                (open, close)
+            }
+            GraphNode::ArbitraryParallel(body) => {
+                let open = self.circle("#");
+                let close = self.circle("#");
+                let (e, x) = self.emit(body);
+                self.edge(&open, &e, None);
+                self.edge(&x, &close, None);
+                self.edge(&close, &open, Some("dashed"));
+                (open, close)
+            }
+            GraphNode::SomeValue { param, body } => self.region(&format!("∃{param}"), body),
+            GraphNode::AllValues { param, body } => self.region(&format!("∀{param}"), body),
+            GraphNode::EveryValue { param, body } => self.region(&format!("⋀{param}"), body),
+            GraphNode::SyncValues { param, body } => self.region(&format!("⊗{param}"), body),
+            GraphNode::Multiplier { count, body } => self.region(&count.to_string(), body),
+            GraphNode::TemplateCall { name, args } => self.branching(&format!("{name}!"), args),
+        }
+    }
+
+    fn branching(&mut self, label: &str, parts: &[GraphNode]) -> (String, String) {
+        let open = self.circle(label);
+        let close = self.circle(label);
+        for part in parts {
+            let (e, x) = self.emit(part);
+            self.edge(&open, &e, None);
+            self.edge(&x, &close, None);
+        }
+        if parts.is_empty() {
+            self.edge(&open, &close, None);
+        }
+        (open, close)
+    }
+
+    fn region(&mut self, label: &str, body: &GraphNode) -> (String, String) {
+        let open = self.circle(label);
+        let close = self.circle(label);
+        let (e, x) = self.emit(body);
+        self.edge(&open, &e, None);
+        self.edge(&x, &close, None);
+        (open, close)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        for graph in [
+            figures::fig3_patient_constraint(),
+            figures::fig6_capacity_constraint(),
+            figures::fig7_coupled_constraints(),
+            figures::fig4_either_or(),
+            figures::fig5_mutex_definition(),
+        ] {
+            let dot = to_dot(&graph);
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.trim_end().ends_with('}'));
+            assert!(dot.contains("rankdir=LR"));
+            // Every opened bracket is closed.
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn activities_become_boxes_and_branchings_become_circles() {
+        let dot = to_dot(&figures::fig3_patient_constraint());
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("call_patient"));
+        assert!(dot.contains("perform_examination"));
+    }
+
+    #[test]
+    fn repetition_regions_have_back_edges() {
+        let dot = to_dot(&figures::fig5_mutex_definition());
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let g = InteractionGraph::new("say \"hi\"", GraphNode::Empty);
+        let dot = to_dot(&g);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,274 @@
+//! Reconstructions of the interaction graphs printed in the paper
+//! (Figs. 3–7) plus the template of the mutual-exclusion operator (Fig. 5).
+//!
+//! Each constructor returns an [`InteractionGraph`]; `*_expr` convenience
+//! functions return the denoted interaction expression, which is what the
+//! examples, the workflow integration and the benchmarks feed to the
+//! operational engine.
+
+use crate::convert::graph_to_expr;
+use crate::model::{GraphNode, InteractionGraph};
+use ix_core::builder::pt;
+use ix_core::{Expr, Param, Symbol, TemplateDef, TemplateRegistry};
+
+/// The template registry used by the paper's figures: the three-branch
+/// mutual-exclusion ("flash") operator of Fig. 5.
+pub fn paper_registry() -> TemplateRegistry {
+    let mut reg = TemplateRegistry::new();
+    reg.register(TemplateDef::new(
+        "flash",
+        ["x", "y", "z"].map(Symbol::new),
+        Expr::seq_iter(Expr::or(Expr::or(Expr::hole("x"), Expr::hole("y")), Expr::hole("z"))),
+    ))
+    .expect("fresh registry");
+    reg
+}
+
+/// Fig. 4 (left): the basic "either or" branching.
+pub fn fig4_either_or() -> InteractionGraph {
+    InteractionGraph::new(
+        "Fig. 4 — either or",
+        GraphNode::EitherOr(vec![
+            GraphNode::Action { action: ix_core::Action::nullary("y") },
+            GraphNode::Action { action: ix_core::Action::nullary("z") },
+        ]),
+    )
+}
+
+/// Fig. 4 (right): the basic "as well as" branching.
+pub fn fig4_as_well_as() -> InteractionGraph {
+    InteractionGraph::new(
+        "Fig. 4 — as well as",
+        GraphNode::AsWellAs(vec![
+            GraphNode::Action { action: ix_core::Action::nullary("y") },
+            GraphNode::Action { action: ix_core::Action::nullary("z") },
+        ]),
+    )
+}
+
+/// Fig. 5: the definition of the mutual-exclusion operator as a graph — a
+/// repetition of an either-or branching over the operands.
+pub fn fig5_mutex_definition() -> InteractionGraph {
+    InteractionGraph::new(
+        "Fig. 5 — mutual exclusion operator",
+        GraphNode::Repetition(Box::new(GraphNode::EitherOr(vec![
+            GraphNode::Action { action: ix_core::Action::nullary("x") },
+            GraphNode::Action { action: ix_core::Action::nullary("y") },
+            GraphNode::Action { action: ix_core::Action::nullary("z") },
+        ]))),
+    )
+}
+
+/// Fig. 3: the generic integrity constraint for patients.
+///
+/// For all patients p (concurrently): a patient may either be *prepared* for
+/// or *informed* about several examinations x simultaneously (upper and lower
+/// branches, arbitrarily parallel over "for some x" regions), or pass through
+/// exactly one examination at a time (middle branch: call − perform for some
+/// x) — the three branches being mutually exclusive over time via the
+/// "flash" operator of Fig. 5.
+pub fn fig3_patient_constraint() -> InteractionGraph {
+    let p = Param::new("p");
+    let x = Param::new("x");
+    let prepare = GraphNode::ArbitraryParallel(Box::new(GraphNode::SomeValue {
+        param: x,
+        body: Box::new(GraphNode::activity("prepare_patient", [pt("p"), pt("x")])),
+    }));
+    let examine = GraphNode::SomeValue {
+        param: x,
+        body: Box::new(GraphNode::Sequence(vec![
+            GraphNode::activity("call_patient", [pt("p"), pt("x")]),
+            GraphNode::activity("perform_examination", [pt("p"), pt("x")]),
+        ])),
+    };
+    let inform = GraphNode::ArbitraryParallel(Box::new(GraphNode::SomeValue {
+        param: x,
+        body: Box::new(GraphNode::activity("inform_patient", [pt("p"), pt("x")])),
+    }));
+    InteractionGraph::new(
+        "Fig. 3 — integrity constraint for patients",
+        GraphNode::AllValues {
+            param: p,
+            body: Box::new(GraphNode::TemplateCall {
+                name: Symbol::new("flash"),
+                args: vec![prepare, examine, inform],
+            }),
+        },
+    )
+}
+
+/// Fig. 6: the generic capacity restriction for examination departments —
+/// for each kind of examination x, at most three patients p may be between
+/// `call` and `perform` simultaneously.
+pub fn fig6_capacity_constraint() -> InteractionGraph {
+    let p = Param::new("p");
+    let x = Param::new("x");
+    InteractionGraph::new(
+        "Fig. 6 — capacity restriction for examination departments",
+        GraphNode::AllValues {
+            param: x,
+            body: Box::new(GraphNode::Multiplier {
+                count: 3,
+                body: Box::new(GraphNode::Repetition(Box::new(GraphNode::SomeValue {
+                    param: p,
+                    body: Box::new(GraphNode::Sequence(vec![
+                        GraphNode::activity("call_patient", [pt("p"), pt("x")]),
+                        GraphNode::activity("perform_examination", [pt("p"), pt("x")]),
+                    ])),
+                }))),
+            }),
+        },
+    )
+}
+
+/// Fig. 7: the coupling of the independently developed constraints of
+/// Figs. 3 and 6 — an activity is permitted iff it is permitted by every
+/// subgraph that mentions it.
+pub fn fig7_coupled_constraints() -> InteractionGraph {
+    InteractionGraph::new(
+        "Fig. 7 — coupling of patient and capacity constraints",
+        GraphNode::Coupling(vec![fig3_patient_constraint().root, fig6_capacity_constraint().root]),
+    )
+}
+
+/// The expression denoted by Fig. 3.
+pub fn fig3_expr() -> Expr {
+    graph_to_expr(&fig3_patient_constraint(), &paper_registry()).expect("paper figure")
+}
+
+/// The expression denoted by Fig. 6.
+pub fn fig6_expr() -> Expr {
+    graph_to_expr(&fig6_capacity_constraint(), &paper_registry()).expect("paper figure")
+}
+
+/// The expression denoted by Fig. 7.
+pub fn fig7_expr() -> Expr {
+    graph_to_expr(&fig7_coupled_constraints(), &paper_registry()).expect("paper figure")
+}
+
+/// A variant of Fig. 6 with a configurable capacity (used by the benchmarks
+/// and the ablation experiments).
+pub fn capacity_constraint_expr(capacity: u32) -> Expr {
+    let g = InteractionGraph::new(
+        "capacity restriction (parametric)",
+        GraphNode::AllValues {
+            param: Param::new("x"),
+            body: Box::new(GraphNode::Multiplier {
+                count: capacity,
+                body: Box::new(GraphNode::Repetition(Box::new(GraphNode::SomeValue {
+                    param: Param::new("p"),
+                    body: Box::new(GraphNode::Sequence(vec![
+                        GraphNode::activity("call_patient", [pt("p"), pt("x")]),
+                        GraphNode::activity("perform_examination", [pt("p"), pt("x")]),
+                    ])),
+                }))),
+            }),
+        },
+    );
+    graph_to_expr(&g, &paper_registry()).expect("parametric capacity constraint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{Action, Value};
+    use ix_state::Engine;
+
+    fn start(activity: &str, p: i64, x: &str) -> Action {
+        Action::concrete(&format!("{activity}_start"), [Value::int(p), Value::sym(x)])
+    }
+
+    fn end(activity: &str, p: i64, x: &str) -> Action {
+        Action::concrete(&format!("{activity}_end"), [Value::int(p), Value::sym(x)])
+    }
+
+    #[test]
+    fn figure_graphs_convert_to_closed_expressions() {
+        for (graph, expr) in [
+            (fig3_patient_constraint(), fig3_expr()),
+            (fig6_capacity_constraint(), fig6_expr()),
+            (fig7_coupled_constraints(), fig7_expr()),
+        ] {
+            assert!(expr.is_closed(), "{} must denote a closed expression", graph.name);
+            assert!(expr.quantifier_count() >= 2, "{}", graph.name);
+        }
+        assert_eq!(fig4_either_or().size(), 3);
+        assert_eq!(fig4_as_well_as().size(), 3);
+        assert_eq!(fig5_mutex_definition().size(), 5);
+    }
+
+    #[test]
+    fn fig3_enforces_mutual_exclusion_of_examinations_per_patient() {
+        let mut eng = Engine::new(&fig3_expr()).unwrap();
+        // Patient 1 is called to the ultrasonography…
+        assert!(eng.try_execute(&start("call_patient", 1, "sono")));
+        assert!(eng.try_execute(&end("call_patient", 1, "sono")));
+        // …and may not be called to the endoscopy before it is performed.
+        assert!(!eng.is_permitted(&start("call_patient", 1, "endo")));
+        // Another patient is unaffected.
+        assert!(eng.is_permitted(&start("call_patient", 2, "endo")));
+        // After the examination is performed the other call becomes
+        // permissible again.
+        assert!(eng.try_execute(&start("perform_examination", 1, "sono")));
+        assert!(eng.try_execute(&end("perform_examination", 1, "sono")));
+        assert!(eng.is_permitted(&start("call_patient", 1, "endo")));
+    }
+
+    #[test]
+    fn fig3_allows_parallel_preparations() {
+        let mut eng = Engine::new(&fig3_expr()).unwrap();
+        assert!(eng.try_execute(&start("prepare_patient", 1, "sono")));
+        assert!(eng.is_permitted(&start("prepare_patient", 1, "endo")), "preparations overlap");
+        // But a call is excluded while a preparation is in progress (the
+        // flash operator serializes the three branches).
+        assert!(!eng.is_permitted(&start("call_patient", 1, "sono")));
+        assert!(eng.try_execute(&end("prepare_patient", 1, "sono")));
+    }
+
+    #[test]
+    fn fig6_limits_each_department_to_three_patients() {
+        let mut eng = Engine::new(&fig6_expr()).unwrap();
+        for p in 1..=3 {
+            assert!(eng.try_execute(&start("call_patient", p, "sono")), "patient {p}");
+            assert!(eng.try_execute(&end("call_patient", p, "sono")), "patient {p}");
+        }
+        assert!(!eng.is_permitted(&start("call_patient", 4, "sono")), "department full");
+        // A different department is unaffected.
+        assert!(eng.is_permitted(&start("call_patient", 4, "endo")));
+        // Finishing one examination frees a slot.
+        assert!(eng.try_execute(&start("perform_examination", 2, "sono")));
+        assert!(eng.try_execute(&end("perform_examination", 2, "sono")));
+        assert!(eng.is_permitted(&start("call_patient", 4, "sono")));
+    }
+
+    #[test]
+    fn fig7_coupling_enforces_both_constraints() {
+        let mut eng = Engine::new(&fig7_expr()).unwrap();
+        // prepare is only mentioned by the patient constraint: permitted as
+        // soon as that subgraph permits it.
+        assert!(eng.try_execute(&start("prepare_patient", 9, "sono")));
+        assert!(eng.try_execute(&end("prepare_patient", 9, "sono")));
+        // The capacity constraint limits concurrent examinations to three per
+        // department even though the patient constraint would allow more
+        // (they are different patients).
+        for p in 1..=3 {
+            assert!(eng.try_execute(&start("call_patient", p, "sono")));
+            assert!(eng.try_execute(&end("call_patient", p, "sono")));
+        }
+        assert!(!eng.is_permitted(&start("call_patient", 4, "sono")));
+        // The patient constraint simultaneously blocks a second examination
+        // for an already-called patient in another department.
+        assert!(!eng.is_permitted(&start("call_patient", 1, "endo")));
+        // An uninvolved patient in another department is fine.
+        assert!(eng.is_permitted(&start("call_patient", 7, "endo")));
+    }
+
+    #[test]
+    fn parametric_capacity_matches_its_parameter() {
+        let expr = capacity_constraint_expr(1);
+        let mut eng = Engine::new(&expr).unwrap();
+        assert!(eng.try_execute(&start("call_patient", 1, "sono")));
+        assert!(eng.try_execute(&end("call_patient", 1, "sono")));
+        assert!(!eng.is_permitted(&start("call_patient", 2, "sono")));
+    }
+}

@@ -1,0 +1,273 @@
+//! The data model of interaction graphs (Sec. 2).
+//!
+//! Interaction graphs are the graphical, user-oriented view of interaction
+//! expressions: rectangular *activity* nodes connected by branching operators
+//! drawn as circles — a single circle chooses one branch ("either or"), a
+//! double circle traverses all branches ("as well as"), three circles allow
+//! arbitrarily many parallel traversals, and labelled circle pairs delimit
+//! quantifier and multiplier regions.  A graph is "merely a graphical
+//! notation of interaction expressions just like syntax charts constitute a
+//! graphical representation of context-free grammars".
+//!
+//! The [`GraphNode`] tree mirrors that structure; `to_expr`/`from_expr`
+//! convert between graphs and expressions, `dot` renders graphs for
+//! visualisation, and `figures` reconstructs the graphs printed in the paper.
+
+use ix_core::{Action, Param, Symbol, Term};
+
+/// A node of an interaction graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphNode {
+    /// A rectangular activity node: an activity with a positive duration,
+    /// mapped to a start/termination action pair (footnote 6).
+    Activity {
+        /// The activity name (e.g. `call patient`).
+        name: String,
+        /// The activity's parameters/arguments.
+        args: Vec<Term>,
+    },
+    /// A point-in-time action node (used when a graph is reconstructed from
+    /// an expression whose atoms are not activity start/end pairs).
+    Action {
+        /// The action.
+        action: Action,
+    },
+    /// The empty path (drawn as a plain edge).
+    Empty,
+    /// Left-to-right sequence of subgraphs.
+    Sequence(Vec<GraphNode>),
+    /// "Either or" branching (single circle): exactly one branch is
+    /// traversed.
+    EitherOr(Vec<GraphNode>),
+    /// "As well as" branching (double circle): all branches are traversed
+    /// concurrently and independently.
+    AsWellAs(Vec<GraphNode>),
+    /// Strict conjunction branching: every branch must accept the whole
+    /// traversal.
+    Conjunction(Vec<GraphNode>),
+    /// The coupling operator (Fig. 7): branches constrain only the
+    /// activities they mention.
+    Coupling(Vec<GraphNode>),
+    /// An optional region.
+    Optional(Box<GraphNode>),
+    /// Sequential iteration region (the `⟲` arrows of the paper's graphs).
+    Repetition(Box<GraphNode>),
+    /// "Arbitrarily parallel" region (three circles).
+    ArbitraryParallel(Box<GraphNode>),
+    /// "For some x" quantifier region.
+    SomeValue {
+        /// The quantified parameter.
+        param: Param,
+        /// The region body.
+        body: Box<GraphNode>,
+    },
+    /// "For all p" (concurrently) quantifier region.
+    AllValues {
+        /// The quantified parameter.
+        param: Param,
+        /// The region body.
+        body: Box<GraphNode>,
+    },
+    /// Conjunction quantifier region.
+    EveryValue {
+        /// The quantified parameter.
+        param: Param,
+        /// The region body.
+        body: Box<GraphNode>,
+    },
+    /// Synchronization quantifier region.
+    SyncValues {
+        /// The quantified parameter.
+        param: Param,
+        /// The region body.
+        body: Box<GraphNode>,
+    },
+    /// Multiplier region (e.g. the `3 … 3` operator of Fig. 6).
+    Multiplier {
+        /// Number of concurrent instances.
+        count: u32,
+        /// The region body.
+        body: Box<GraphNode>,
+    },
+    /// Application of a user-defined operator (e.g. the "flash" mutual
+    /// exclusion operator of Fig. 5).
+    TemplateCall {
+        /// The operator name.
+        name: Symbol,
+        /// The operand subgraphs.
+        args: Vec<GraphNode>,
+    },
+}
+
+/// A named interaction graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InteractionGraph {
+    /// Human-readable name (e.g. "integrity constraint for patients").
+    pub name: String,
+    /// The root node.
+    pub root: GraphNode,
+}
+
+impl InteractionGraph {
+    /// Creates a named graph.
+    pub fn new(name: impl Into<String>, root: GraphNode) -> InteractionGraph {
+        InteractionGraph { name: name.into(), root }
+    }
+
+    /// Number of nodes in the graph.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// All activity names mentioned in the graph.
+    pub fn activity_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.root.visit(&mut |n| {
+            if let GraphNode::Activity { name, .. } = n {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+}
+
+impl GraphNode {
+    /// Convenience constructor for activities.
+    pub fn activity(name: &str, args: impl IntoIterator<Item = Term>) -> GraphNode {
+        GraphNode::Activity { name: name.to_string(), args: args.into_iter().collect() }
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&GraphNode> {
+        match self {
+            GraphNode::Activity { .. } | GraphNode::Action { .. } | GraphNode::Empty => vec![],
+            GraphNode::Sequence(xs)
+            | GraphNode::EitherOr(xs)
+            | GraphNode::AsWellAs(xs)
+            | GraphNode::Conjunction(xs)
+            | GraphNode::Coupling(xs)
+            | GraphNode::TemplateCall { args: xs, .. } => xs.iter().collect(),
+            GraphNode::Optional(b)
+            | GraphNode::Repetition(b)
+            | GraphNode::ArbitraryParallel(b)
+            | GraphNode::SomeValue { body: b, .. }
+            | GraphNode::AllValues { body: b, .. }
+            | GraphNode::EveryValue { body: b, .. }
+            | GraphNode::SyncValues { body: b, .. }
+            | GraphNode::Multiplier { body: b, .. } => vec![b],
+        }
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&GraphNode)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// True if the subtree contains a template call that still needs
+    /// expansion.
+    pub fn contains_template_calls(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |n| {
+            if matches!(n, GraphNode::TemplateCall { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// A short label for the node kind (used by the DOT export and
+    /// diagnostics).
+    pub fn kind_label(&self) -> String {
+        match self {
+            GraphNode::Activity { name, .. } => format!("activity {name}"),
+            GraphNode::Action { action } => format!("action {action}"),
+            GraphNode::Empty => "empty".into(),
+            GraphNode::Sequence(_) => "sequence".into(),
+            GraphNode::EitherOr(_) => "either-or".into(),
+            GraphNode::AsWellAs(_) => "as-well-as".into(),
+            GraphNode::Conjunction(_) => "conjunction".into(),
+            GraphNode::Coupling(_) => "coupling".into(),
+            GraphNode::Optional(_) => "optional".into(),
+            GraphNode::Repetition(_) => "repetition".into(),
+            GraphNode::ArbitraryParallel(_) => "arbitrarily-parallel".into(),
+            GraphNode::SomeValue { param, .. } => format!("for some {param}"),
+            GraphNode::AllValues { param, .. } => format!("for all {param}"),
+            GraphNode::EveryValue { param, .. } => format!("for every {param}"),
+            GraphNode::SyncValues { param, .. } => format!("sync over {param}"),
+            GraphNode::Multiplier { count, .. } => format!("multiplier {count}"),
+            GraphNode::TemplateCall { name, .. } => format!("operator {name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::builder::pt;
+
+    fn sample() -> InteractionGraph {
+        InteractionGraph::new(
+            "sample",
+            GraphNode::Sequence(vec![
+                GraphNode::activity("order_examination", []),
+                GraphNode::EitherOr(vec![
+                    GraphNode::activity("call_patient", [pt("p")]),
+                    GraphNode::Empty,
+                ]),
+            ]),
+        )
+    }
+
+    #[test]
+    fn construction_and_size() {
+        let g = sample();
+        assert_eq!(g.size(), 5);
+        assert_eq!(g.activity_names(), vec!["order_examination", "call_patient"]);
+    }
+
+    #[test]
+    fn children_and_kind_labels() {
+        let g = sample();
+        assert_eq!(g.root.children().len(), 2);
+        assert_eq!(g.root.kind_label(), "sequence");
+        assert!(GraphNode::Empty.children().is_empty());
+        assert_eq!(
+            GraphNode::Multiplier { count: 3, body: Box::new(GraphNode::Empty) }.kind_label(),
+            "multiplier 3"
+        );
+    }
+
+    #[test]
+    fn template_call_detection() {
+        let g = GraphNode::TemplateCall {
+            name: Symbol::new("mutex"),
+            args: vec![GraphNode::Empty],
+        };
+        assert!(g.contains_template_calls());
+        assert!(!sample().root.contains_template_calls());
+    }
+
+    #[test]
+    fn graphs_are_cloneable_and_comparable() {
+        let g = sample();
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+        assert_ne!(
+            g.root,
+            GraphNode::Empty,
+            "structural equality distinguishes different graphs"
+        );
+    }
+}

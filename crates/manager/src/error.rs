@@ -1,0 +1,72 @@
+//! Error types of the interaction manager.
+
+use std::fmt;
+
+/// Errors raised by the interaction manager and its protocol machinery.
+#[derive(Debug)]
+pub enum ManagerError {
+    /// The interaction expression was rejected by the state model.
+    State(ix_state::StateError),
+    /// A confirmation referred to a reservation the manager does not know
+    /// (never granted, already confirmed, or expired).
+    UnknownReservation {
+        /// The unknown reservation id.
+        id: u64,
+    },
+    /// A confirmed action was not executable — the persistent log and the
+    /// expression disagree.
+    RejectedConfirmation {
+        /// Display form of the action.
+        action: String,
+    },
+    /// A recovery log contains an action the expression never permitted.
+    CorruptLog {
+        /// Display form of the offending action.
+        action: String,
+    },
+    /// Clients must only submit concrete actions.
+    NonConcreteAction {
+        /// Display form of the action.
+        action: String,
+    },
+    /// The protocol channel to a manager server was closed.
+    Disconnected,
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::State(e) => write!(f, "state model error: {e}"),
+            ManagerError::UnknownReservation { id } => {
+                write!(f, "unknown or expired reservation {id}")
+            }
+            ManagerError::RejectedConfirmation { action } => {
+                write!(f, "confirmed action `{action}` is not executable in the current state")
+            }
+            ManagerError::CorruptLog { action } => {
+                write!(f, "recovery log contains non-executable action `{action}`")
+            }
+            ManagerError::NonConcreteAction { action } => {
+                write!(f, "action `{action}` is not concrete")
+            }
+            ManagerError::Disconnected => write!(f, "interaction manager is not reachable"),
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+/// Result alias for manager operations.
+pub type ManagerResult<T> = Result<T, ManagerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(ManagerError::UnknownReservation { id: 7 }.to_string().contains('7'));
+        assert!(ManagerError::Disconnected.to_string().contains("not reachable"));
+        assert!(ManagerError::CorruptLog { action: "x".into() }.to_string().contains('x'));
+    }
+}

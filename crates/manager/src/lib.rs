@@ -1,0 +1,39 @@
+//! # ix-manager — the interaction manager and its protocols
+//!
+//! The runtime component of Sec. 7 of the paper: a central scheduler that
+//! owns an interaction expression (usually derived from an interaction
+//! graph) and arbitrates the execution of actions requested by interaction
+//! clients — workflow engines or worklist handlers — through the
+//! coordination protocol of Fig. 10, keeps subscribers informed about
+//! permissibility changes (subscription protocol), recovers from crashes by
+//! replaying its persistent log, and can be federated to avoid becoming a
+//! bottleneck.
+//!
+//! ```
+//! use ix_core::parse;
+//! use ix_core::{Action, Value};
+//! use ix_manager::InteractionManager;
+//!
+//! let constraint = parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap();
+//! let mut manager = InteractionManager::new(&constraint).unwrap();
+//! let call = Action::concrete("call", [Value::int(1), Value::sym("sono")]);
+//! let reservation = manager.ask(42, &call).unwrap().expect("granted");
+//! manager.confirm(reservation).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod manager;
+pub mod multi;
+pub mod protocol;
+pub mod queue;
+pub mod subscription;
+
+pub use error::{ManagerError, ManagerResult};
+pub use manager::{InteractionManager, ManagerStats, ProtocolVariant, Reservation};
+pub use multi::ManagerFederation;
+pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
+pub use queue::DurableQueue;
+pub use subscription::{ClientId, Notification, SubscriptionRegistry};

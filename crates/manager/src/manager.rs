@@ -1,0 +1,474 @@
+//! The interaction manager — the central scheduler of Sec. 7.
+//!
+//! The manager owns the interaction expression (usually obtained from an
+//! interaction graph) and its operational state, and arbitrates the execution
+//! of actions requested by interaction clients (workflow engines or worklist
+//! handlers) through the *coordination protocol* of Fig. 10:
+//!
+//! 1. the client **asks** for permission to execute an action,
+//! 2. the manager **replies** yes or no based on a tentative state
+//!    transition,
+//! 3. on yes, the client executes the action,
+//! 4. the client **confirms** the execution,
+//! 5. the manager performs the corresponding state transition.
+//!
+//! Between steps 2 and 5 the granted action is *reserved*: the simple
+//! protocol keeps the manager in a critical region until the confirmation
+//! arrives, which is exactly the vulnerability to client crashes the paper
+//! discusses; the leased protocol variant bounds the reservation with a
+//! logical-time lease, and the combined variant collapses ask + confirm into
+//! one round trip.  The subscription protocol keeps clients informed about
+//! permissibility changes of the actions they subscribed to.
+
+use crate::error::{ManagerError, ManagerResult};
+use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
+use ix_core::{Action, Alphabet, Expr};
+use ix_state::{Engine, StateMetrics};
+use std::collections::BTreeMap;
+
+/// The coordination-protocol variant used by a manager (Sec. 7 mentions
+/// "several alternative coordination protocols, possessing different
+/// complexity and particular advantages and disadvantages").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolVariant {
+    /// Ask / reply / confirm with an unbounded reservation: simple, but a
+    /// crashed client leaves the manager stuck in its critical region.
+    Simple,
+    /// Ask / reply / confirm where every grant carries a lease measured in
+    /// logical time units; expired reservations are rolled back.
+    Leased {
+        /// Number of logical time units a grant stays reserved.
+        lease: u64,
+    },
+    /// Combined request: ask and confirm collapse into a single message (the
+    /// client is trusted to execute the action after the reply).
+    Combined,
+}
+
+/// A granted, not yet confirmed reservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Identifier returned to the client.
+    pub id: u64,
+    /// The reserved action.
+    pub action: Action,
+    /// The client holding the reservation.
+    pub client: ClientId,
+    /// Logical time at which the reservation was granted.
+    pub granted_at: u64,
+    /// Logical expiry time (`u64::MAX` for the simple protocol).
+    pub expires_at: u64,
+}
+
+/// Statistics of a manager instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Number of ask requests processed.
+    pub asks: u64,
+    /// Number of grants (positive replies).
+    pub grants: u64,
+    /// Number of denials.
+    pub denials: u64,
+    /// Number of confirmed executions (state transitions performed).
+    pub confirmations: u64,
+    /// Number of reservations rolled back because their lease expired.
+    pub expired_reservations: u64,
+    /// Number of notifications sent to subscribers.
+    pub notifications: u64,
+}
+
+/// The interaction manager.
+#[derive(Clone, Debug)]
+pub struct InteractionManager {
+    engine: Engine,
+    alphabet: Alphabet,
+    variant: ProtocolVariant,
+    subscriptions: SubscriptionRegistry,
+    reservations: BTreeMap<u64, Reservation>,
+    next_reservation: u64,
+    clock: u64,
+    log: Vec<Action>,
+    stats: ManagerStats,
+}
+
+impl InteractionManager {
+    /// Creates a manager enforcing the given interaction expression with the
+    /// simple protocol.
+    pub fn new(expr: &Expr) -> ManagerResult<InteractionManager> {
+        InteractionManager::with_protocol(expr, ProtocolVariant::Simple)
+    }
+
+    /// Creates a manager with an explicit protocol variant.
+    pub fn with_protocol(
+        expr: &Expr,
+        variant: ProtocolVariant,
+    ) -> ManagerResult<InteractionManager> {
+        let engine = Engine::new(expr).map_err(ManagerError::State)?;
+        Ok(InteractionManager {
+            engine,
+            alphabet: expr.alphabet(),
+            variant,
+            subscriptions: SubscriptionRegistry::new(),
+            reservations: BTreeMap::new(),
+            next_reservation: 1,
+            clock: 0,
+            log: Vec::new(),
+            stats: ManagerStats::default(),
+        })
+    }
+
+    /// The protocol variant in use.
+    pub fn protocol(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// The expression the manager enforces.
+    pub fn expr(&self) -> &Expr {
+        self.engine.expr()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Metrics of the current interaction state.
+    pub fn state_metrics(&self) -> StateMetrics {
+        self.engine.metrics()
+    }
+
+    /// The log of confirmed actions (the manager's recovery source).
+    pub fn log(&self) -> &[Action] {
+        &self.log
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances logical time, expiring leased reservations that ran out.
+    /// Returns the rolled-back reservations.
+    pub fn advance_time(&mut self, delta: u64) -> Vec<Reservation> {
+        self.clock += delta;
+        let now = self.clock;
+        let expired: Vec<u64> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.expires_at <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::new();
+        for id in expired {
+            if let Some(r) = self.reservations.remove(&id) {
+                self.stats.expired_reservations += 1;
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Step 1/2 of the coordination protocol: a client asks for permission to
+    /// execute an action; the manager replies with a reservation id on grant.
+    ///
+    /// An action is granted iff the current interaction state permits it and
+    /// no conflicting reservation is outstanding (a reservation conflicts if
+    /// executing both reserved actions in either order is not permitted).
+    pub fn ask(&mut self, client: ClientId, action: &Action) -> ManagerResult<Option<u64>> {
+        self.stats.asks += 1;
+        if !action.is_concrete() {
+            return Err(ManagerError::NonConcreteAction { action: action.to_string() });
+        }
+        if !self.permitted_considering_reservations(action) {
+            self.stats.denials += 1;
+            return Ok(None);
+        }
+        self.stats.grants += 1;
+        let expires_at = match self.variant {
+            ProtocolVariant::Simple => u64::MAX,
+            ProtocolVariant::Leased { lease } => self.clock + lease,
+            ProtocolVariant::Combined => self.clock, // unused
+        };
+        if matches!(self.variant, ProtocolVariant::Combined) {
+            // The combined protocol commits immediately.
+            self.commit(action)?;
+            return Ok(Some(0));
+        }
+        let id = self.next_reservation;
+        self.next_reservation += 1;
+        self.reservations.insert(
+            id,
+            Reservation {
+                id,
+                action: action.clone(),
+                client,
+                granted_at: self.clock,
+                expires_at,
+            },
+        );
+        Ok(Some(id))
+    }
+
+    /// Step 4/5 of the coordination protocol: the client confirms the
+    /// execution of a previously granted action; the manager performs the
+    /// state transition and notifies subscribers of status changes.
+    pub fn confirm(&mut self, reservation_id: u64) -> ManagerResult<Vec<Notification>> {
+        let reservation = self
+            .reservations
+            .remove(&reservation_id)
+            .ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
+        self.commit(&reservation.action)
+    }
+
+    /// The combined ask-and-execute round trip (also used internally by the
+    /// `Combined` protocol variant).  Returns `None` if the action was
+    /// denied, otherwise the notifications produced by the state transition.
+    pub fn try_execute(
+        &mut self,
+        client: ClientId,
+        action: &Action,
+    ) -> ManagerResult<Option<Vec<Notification>>> {
+        self.stats.asks += 1;
+        if !action.is_concrete() {
+            return Err(ManagerError::NonConcreteAction { action: action.to_string() });
+        }
+        if !self.permitted_considering_reservations(action) {
+            self.stats.denials += 1;
+            return Ok(None);
+        }
+        let _ = client;
+        self.stats.grants += 1;
+        Ok(Some(self.commit(action)?))
+    }
+
+    /// True if the action is currently permitted (ignoring outstanding
+    /// reservations) — the "status" the subscription protocol reports.
+    pub fn is_permitted(&self, action: &Action) -> bool {
+        self.engine.is_permitted(action)
+    }
+
+    /// True if the manager's interaction expression mentions the action at
+    /// all.  Actions outside the alphabet are unconstrained (the open-world
+    /// assumption of the coupling operator, lifted to the deployment level):
+    /// clients do not need to ask about them.
+    pub fn controls(&self, action: &Action) -> bool {
+        self.alphabet.covers(action)
+    }
+
+    /// True if the interaction state is final (every constraint could stop
+    /// here).
+    pub fn is_final(&self) -> bool {
+        self.engine.is_final()
+    }
+
+    /// Registers a subscription: the client will receive a notification
+    /// whenever the permissibility of the action changes (Fig. 10, right).
+    /// The reply contains the current status so the client can initialize its
+    /// worklist.
+    pub fn subscribe(&mut self, client: ClientId, action: &Action) -> bool {
+        self.subscriptions.subscribe(client, action.clone());
+        self.is_permitted(action)
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&mut self, client: ClientId, action: &Action) {
+        self.subscriptions.unsubscribe(client, action);
+    }
+
+    /// Number of active subscriptions (for tests and statistics).
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Performs the state transition for an action and computes the
+    /// notifications for all subscribers whose action changed status.
+    fn commit(&mut self, action: &Action) -> ManagerResult<Vec<Notification>> {
+        let before = self.subscriptions.statuses(|a| self.engine.is_permitted(a));
+        if !self.engine.try_execute(action) {
+            return Err(ManagerError::RejectedConfirmation { action: action.to_string() });
+        }
+        self.log.push(action.clone());
+        self.stats.confirmations += 1;
+        let notifications =
+            self.subscriptions.diff(&before, |a| self.engine.is_permitted(a));
+        self.stats.notifications += notifications.len() as u64;
+        Ok(notifications)
+    }
+
+    /// Permissibility check that also accounts for outstanding reservations:
+    /// a granted-but-unconfirmed action must stay executable, so a new grant
+    /// is only given if the interaction expression permits the new action
+    /// *after* all reserved actions as well.
+    fn permitted_considering_reservations(&self, action: &Action) -> bool {
+        if self.reservations.is_empty() {
+            return self.engine.is_permitted(action);
+        }
+        // Simulate the reserved actions first (in grant order), then the
+        // requested one.
+        let mut probe = self.engine.clone();
+        for r in self.reservations.values() {
+            if !probe.try_execute(&r.action) {
+                // The reservation itself is no longer executable (should not
+                // happen unless a lease expired); ignore it for the probe.
+                continue;
+            }
+        }
+        probe.is_permitted(action)
+    }
+
+    /// Rebuilds a manager from an expression and a log of confirmed actions
+    /// (the recovery strategy of Sec. 7: replay the persistent log).
+    pub fn recover(
+        expr: &Expr,
+        variant: ProtocolVariant,
+        log: &[Action],
+    ) -> ManagerResult<InteractionManager> {
+        let mut manager = InteractionManager::with_protocol(expr, variant)?;
+        for action in log {
+            manager
+                .commit(action)
+                .map_err(|_| ManagerError::CorruptLog { action: action.to_string() })?;
+        }
+        // The statistics of the pre-crash instance are not recovered; only
+        // the interaction state and the log are.
+        manager.stats = ManagerStats { confirmations: log.len() as u64, ..Default::default() };
+        Ok(manager)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn call(p: i64, x: &str) -> Action {
+        Action::concrete("call", [Value::int(p), Value::sym(x)])
+    }
+
+    fn perform(p: i64, x: &str) -> Action {
+        Action::concrete("perform", [Value::int(p), Value::sym(x)])
+    }
+
+    fn patient_constraint() -> Expr {
+        parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap()
+    }
+
+    #[test]
+    fn ask_confirm_cycle_follows_fig10() {
+        let mut m = InteractionManager::new(&patient_constraint()).unwrap();
+        let r = m.ask(1, &call(1, "sono")).unwrap().expect("granted");
+        let notifications = m.confirm(r).unwrap();
+        assert!(notifications.is_empty(), "nobody subscribed yet");
+        assert_eq!(m.stats().grants, 1);
+        assert_eq!(m.stats().confirmations, 1);
+        assert_eq!(m.log().len(), 1);
+        // The second call for the same patient is denied until perform.
+        assert_eq!(m.ask(1, &call(1, "endo")).unwrap(), None);
+        let r = m.ask(1, &perform(1, "sono")).unwrap().expect("granted");
+        m.confirm(r).unwrap();
+        assert!(m.ask(1, &call(1, "endo")).unwrap().is_some());
+    }
+
+    #[test]
+    fn reservations_block_conflicting_grants() {
+        // Capacity one: once a call is granted (but not yet confirmed), a
+        // second call must not be granted even though the state has not
+        // changed yet.
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let mut m = InteractionManager::new(&expr).unwrap();
+        let r1 = m.ask(1, &call(1, "sono")).unwrap();
+        assert!(r1.is_some());
+        let r2 = m.ask(2, &call(2, "sono")).unwrap();
+        assert_eq!(r2, None, "slot reserved by the unconfirmed grant");
+        m.confirm(r1.unwrap()).unwrap();
+        assert_eq!(m.ask(2, &call(2, "sono")).unwrap(), None, "slot now actually occupied");
+        let r = m.ask(1, &perform(1, "sono")).unwrap().unwrap();
+        m.confirm(r).unwrap();
+        assert!(m.ask(2, &call(2, "sono")).unwrap().is_some());
+    }
+
+    #[test]
+    fn leased_reservations_expire_and_release_the_slot() {
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let mut m =
+            InteractionManager::with_protocol(&expr, ProtocolVariant::Leased { lease: 5 }).unwrap();
+        let r1 = m.ask(1, &call(1, "sono")).unwrap().unwrap();
+        assert_eq!(m.ask(2, &call(2, "sono")).unwrap(), None);
+        // The client crashes; after the lease expires the slot is free again.
+        let expired = m.advance_time(6);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, r1);
+        assert_eq!(m.stats().expired_reservations, 1);
+        assert!(m.ask(2, &call(2, "sono")).unwrap().is_some());
+        // A late confirmation of the expired reservation is rejected.
+        assert!(matches!(m.confirm(r1), Err(ManagerError::UnknownReservation { .. })));
+    }
+
+    #[test]
+    fn combined_protocol_commits_in_one_round_trip() {
+        let mut m = InteractionManager::with_protocol(
+            &patient_constraint(),
+            ProtocolVariant::Combined,
+        )
+        .unwrap();
+        assert!(m.ask(1, &call(1, "sono")).unwrap().is_some());
+        assert_eq!(m.log().len(), 1, "no separate confirmation needed");
+        assert_eq!(m.ask(1, &call(1, "endo")).unwrap(), None);
+    }
+
+    #[test]
+    fn subscriptions_report_status_changes() {
+        let mut m = InteractionManager::new(&patient_constraint()).unwrap();
+        assert!(m.subscribe(7, &call(1, "endo")), "initially permitted");
+        assert!(!m.subscribe(7, &perform(1, "sono")), "no call yet, so perform is disabled");
+        assert_eq!(m.subscription_count(), 2);
+        let notifications = m.try_execute(1, &call(1, "sono")).unwrap().unwrap();
+        // call(1, endo) became impermissible and perform(1, sono) became
+        // permissible: both subscribers' worklists must be updated.
+        assert_eq!(notifications.len(), 2);
+        let endo = notifications.iter().find(|n| n.action == call(1, "endo")).unwrap();
+        assert!(!endo.permitted);
+        assert_eq!(endo.client, 7);
+        let sono = notifications.iter().find(|n| n.action == perform(1, "sono")).unwrap();
+        assert!(sono.permitted);
+        // Completing the examination re-enables the other call.
+        let notifications = m.try_execute(1, &perform(1, "sono")).unwrap().unwrap();
+        assert!(notifications.iter().any(|n| n.action == call(1, "endo") && n.permitted));
+        m.unsubscribe(7, &call(1, "endo"));
+        assert_eq!(m.subscription_count(), 1);
+    }
+
+    #[test]
+    fn recovery_replays_the_confirmed_log() {
+        let mut m = InteractionManager::new(&patient_constraint()).unwrap();
+        for a in [call(1, "sono"), perform(1, "sono"), call(1, "endo")] {
+            let r = m.ask(1, &a).unwrap().unwrap();
+            m.confirm(r).unwrap();
+        }
+        let log = m.log().to_vec();
+        // The manager crashes; a new instance is built from the log.
+        let recovered =
+            InteractionManager::recover(&patient_constraint(), ProtocolVariant::Simple, &log)
+                .unwrap();
+        assert_eq!(recovered.log().len(), 3);
+        assert!(!recovered.is_permitted(&call(1, "sono")), "patient 1 is mid-examination");
+        assert!(recovered.is_permitted(&perform(1, "endo")));
+        // A corrupt log is rejected.
+        let bad = vec![perform(9, "sono")];
+        assert!(matches!(
+            InteractionManager::recover(&patient_constraint(), ProtocolVariant::Simple, &bad),
+            Err(ManagerError::CorruptLog { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_for_unknown_reservations_and_abstract_actions() {
+        let mut m = InteractionManager::new(&patient_constraint()).unwrap();
+        assert!(matches!(m.confirm(99), Err(ManagerError::UnknownReservation { id: 99 })));
+        let abstract_action = Action::new("call", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        assert!(matches!(
+            m.ask(1, &abstract_action),
+            Err(ManagerError::NonConcreteAction { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! Multiple interaction managers.
+//!
+//! To avoid the single interaction manager becoming a bottleneck, Sec. 7
+//! mentions generalizing the coordination protocols "to application scenarios
+//! involving multiple interaction managers".  [`ManagerFederation`] realizes
+//! the natural partitioning: every manager enforces one interaction
+//! expression, an action is routed to exactly the managers whose alphabet
+//! covers it, and the action is permitted iff *all* of them permit it — the
+//! same open-world rule the coupling operator applies within one expression,
+//! lifted to the deployment level.
+
+use crate::error::{ManagerError, ManagerResult};
+use crate::manager::{InteractionManager, ProtocolVariant};
+use crate::subscription::{ClientId, Notification};
+use ix_core::{Action, Alphabet, Expr};
+
+/// A federation of interaction managers, each responsible for one
+/// interaction expression.
+#[derive(Clone, Debug)]
+pub struct ManagerFederation {
+    members: Vec<FederationMember>,
+}
+
+#[derive(Clone, Debug)]
+struct FederationMember {
+    name: String,
+    alphabet: Alphabet,
+    manager: InteractionManager,
+}
+
+impl ManagerFederation {
+    /// Creates an empty federation.
+    pub fn new() -> ManagerFederation {
+        ManagerFederation { members: Vec::new() }
+    }
+
+    /// Adds a manager enforcing `expr` under the given name.
+    pub fn add(&mut self, name: &str, expr: &Expr) -> ManagerResult<()> {
+        self.add_with_protocol(name, expr, ProtocolVariant::Combined)
+    }
+
+    /// Adds a manager with an explicit protocol variant.
+    pub fn add_with_protocol(
+        &mut self,
+        name: &str,
+        expr: &Expr,
+        variant: ProtocolVariant,
+    ) -> ManagerResult<()> {
+        let manager = InteractionManager::with_protocol(expr, variant)?;
+        self.members.push(FederationMember {
+            name: name.to_string(),
+            alphabet: expr.alphabet(),
+            manager,
+        });
+        Ok(())
+    }
+
+    /// Number of member managers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the federation has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Names of the managers responsible for an action (those whose alphabet
+    /// covers it).
+    pub fn responsible(&self, action: &Action) -> Vec<&str> {
+        self.members
+            .iter()
+            .filter(|m| m.alphabet.covers(action))
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+
+    /// True if every responsible manager currently permits the action.
+    /// Actions no manager knows about are unconstrained (open world).
+    pub fn is_permitted(&self, action: &Action) -> bool {
+        self.members
+            .iter()
+            .filter(|m| m.alphabet.covers(action))
+            .all(|m| m.manager.is_permitted(action))
+    }
+
+    /// Asks every responsible manager and commits the action on all of them
+    /// if all agree; otherwise nothing is committed (all-or-nothing).
+    /// Returns `None` if some manager denied, otherwise the notifications of
+    /// all managers.
+    pub fn try_execute(
+        &mut self,
+        client: ClientId,
+        action: &Action,
+    ) -> ManagerResult<Option<Vec<Notification>>> {
+        if !action.is_concrete() {
+            return Err(ManagerError::NonConcreteAction { action: action.to_string() });
+        }
+        if !self.is_permitted(action) {
+            return Ok(None);
+        }
+        let mut notifications = Vec::new();
+        for member in &mut self.members {
+            if member.alphabet.covers(action) {
+                match member.manager.try_execute(client, action)? {
+                    Some(mut n) => notifications.append(&mut n),
+                    None => {
+                        // Cannot happen: permission was checked above and
+                        // single-threaded execution means no interleaving.
+                        return Err(ManagerError::RejectedConfirmation {
+                            action: action.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Some(notifications))
+    }
+
+    /// Subscribes a client to an action at every responsible manager and
+    /// returns whether the action is currently permitted overall.
+    pub fn subscribe(&mut self, client: ClientId, action: &Action) -> bool {
+        let mut permitted = true;
+        for member in &mut self.members {
+            if member.alphabet.covers(action) {
+                permitted &= member.manager.subscribe(client, action);
+            }
+        }
+        permitted
+    }
+
+    /// Total number of confirmed actions across all managers.
+    pub fn total_confirmations(&self) -> u64 {
+        self.members.iter().map(|m| m.manager.stats().confirmations).sum()
+    }
+}
+
+impl Default for ManagerFederation {
+    fn default() -> Self {
+        ManagerFederation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn call(p: i64, x: &str) -> Action {
+        Action::concrete("call", [Value::int(p), Value::sym(x)])
+    }
+
+    fn perform(p: i64, x: &str) -> Action {
+        Action::concrete("perform", [Value::int(p), Value::sym(x)])
+    }
+
+    fn prepare(p: i64, x: &str) -> Action {
+        Action::concrete("prepare", [Value::int(p), Value::sym(x)])
+    }
+
+    fn federation() -> ManagerFederation {
+        let mut fed = ManagerFederation::new();
+        // One manager per independently developed constraint — the
+        // deployment-level analogue of the Fig. 7 coupling.
+        fed.add(
+            "patients",
+            &parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap(),
+        )
+        .unwrap();
+        fed.add(
+            "capacity",
+            &parse("all x { mult 2 { (some p { call(p, x) - perform(p, x) })* } }").unwrap(),
+        )
+        .unwrap();
+        fed
+    }
+
+    #[test]
+    fn actions_are_routed_to_responsible_managers() {
+        let fed = federation();
+        assert_eq!(fed.len(), 2);
+        assert_eq!(fed.responsible(&call(1, "sono")), vec!["patients", "capacity"]);
+        // prepare is known to neither manager: unconstrained.
+        assert!(fed.responsible(&prepare(1, "sono")).is_empty());
+        assert!(fed.is_permitted(&prepare(1, "sono")));
+    }
+
+    #[test]
+    fn execution_requires_agreement_of_all_responsible_managers() {
+        let mut fed = federation();
+        // Fill the capacity of department sono with two different patients.
+        assert!(fed.try_execute(1, &call(1, "sono")).unwrap().is_some());
+        assert!(fed.try_execute(1, &call(2, "sono")).unwrap().is_some());
+        // Patient 3 is fine for the patient manager but the capacity manager
+        // says no.
+        assert_eq!(fed.try_execute(1, &call(3, "sono")).unwrap(), None);
+        // Patient 1 in another department is fine for capacity but not for
+        // the patient manager.
+        assert_eq!(fed.try_execute(1, &call(1, "endo")).unwrap(), None);
+        assert_eq!(fed.total_confirmations(), 4, "two actions × two managers");
+        // Completing one examination frees both constraints.
+        assert!(fed.try_execute(1, &perform(1, "sono")).unwrap().is_some());
+        assert!(fed.try_execute(1, &call(3, "sono")).unwrap().is_some());
+    }
+
+    #[test]
+    fn federation_subscriptions_aggregate_status() {
+        let mut fed = federation();
+        assert!(fed.subscribe(9, &call(1, "sono")));
+        let notes = fed.try_execute(1, &call(1, "sono")).unwrap().unwrap();
+        // Both managers notify the subscriber that the action is no longer
+        // permitted (it is mid-examination / occupies a slot).
+        assert!(notes.iter().any(|n| n.client == 9 && !n.permitted));
+    }
+
+    #[test]
+    fn empty_federation_permits_everything() {
+        let fed = ManagerFederation::default();
+        assert!(fed.is_empty());
+        assert!(fed.is_permitted(&call(1, "sono")));
+    }
+}

@@ -1,0 +1,373 @@
+//! Message-based coordination protocol between clients and a manager server.
+//!
+//! [`ManagerServer`] runs an [`InteractionManager`] on its own thread and
+//! serves requests arriving on a channel; [`ClientHandle`] is the
+//! client-side endpoint used by adapted worklist handlers or workflow
+//! engines (Fig. 11).  The message vocabulary follows Fig. 10: ask, confirm,
+//! combined execute, subscribe and unsubscribe; subscribers receive
+//! asynchronous status-change messages on their own notification channel.
+
+use crate::error::{ManagerError, ManagerResult};
+use crate::manager::{InteractionManager, ProtocolVariant};
+use crate::subscription::{ClientId, Notification};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ix_core::{Action, Expr};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// A request from a client to the manager (steps 1 and 4 of Fig. 10).
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Attach the channel on which a client wants to receive asynchronous
+    /// status-change notifications.
+    RegisterChannel {
+        /// The client the channel belongs to.
+        client: ClientId,
+        /// The sending half of the client's notification channel.
+        sender: Sender<Notification>,
+    },
+    /// Ask for permission to execute an action.
+    Ask {
+        /// Requesting client.
+        client: ClientId,
+        /// The action in question.
+        action: Action,
+    },
+    /// Confirm the execution of a granted action.
+    Confirm {
+        /// The reservation returned by the grant.
+        reservation: u64,
+    },
+    /// Combined ask-and-execute round trip.
+    Execute {
+        /// Requesting client.
+        client: ClientId,
+        /// The action to execute.
+        action: Action,
+    },
+    /// Subscribe to permissibility changes of an action.
+    Subscribe {
+        /// Subscribing client.
+        client: ClientId,
+        /// The action of interest.
+        action: Action,
+    },
+    /// Cancel a subscription.
+    Unsubscribe {
+        /// Subscribing client.
+        client: ClientId,
+        /// The action of interest.
+        action: Action,
+    },
+    /// Advance the manager's logical clock (lease expiry).
+    Tick {
+        /// Time units to advance.
+        delta: u64,
+    },
+    /// Shut the server down.
+    Shutdown,
+}
+
+/// A reply from the manager to a client (step 2 of Fig. 10).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The ask was granted; the client must confirm with the reservation id.
+    Granted {
+        /// Reservation to confirm later.
+        reservation: u64,
+    },
+    /// The ask or execute was denied.
+    Denied,
+    /// A combined execute succeeded.
+    Executed,
+    /// Subscription acknowledged; contains the current status.
+    Subscribed {
+        /// Whether the action is currently permitted.
+        permitted: bool,
+    },
+    /// Unsubscription acknowledged.
+    Unsubscribed,
+    /// A confirm was accepted.
+    Confirmed,
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+struct Envelope {
+    request: Request,
+    reply_to: Option<Sender<Reply>>,
+}
+
+/// The server side: owns the manager and the notification channels.
+pub struct ManagerServer {
+    requests: Sender<Envelope>,
+    handle: Option<JoinHandle<InteractionManager>>,
+}
+
+impl ManagerServer {
+    /// Spawns a manager server for the given expression and protocol.
+    pub fn spawn(expr: &Expr, variant: ProtocolVariant) -> ManagerResult<ManagerServer> {
+        let manager = InteractionManager::with_protocol(expr, variant)?;
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+        let handle = std::thread::spawn(move || serve(manager, rx));
+        Ok(ManagerServer { requests: tx, handle: Some(handle) })
+    }
+
+    /// Creates a client endpoint with its own notification channel.
+    pub fn client(&self, id: ClientId) -> ClientHandle {
+        let (note_tx, note_rx) = unbounded();
+        let _ = self.requests.send(Envelope {
+            request: Request::RegisterChannel { client: id, sender: note_tx },
+            reply_to: None,
+        });
+        ClientHandle { id, requests: self.requests.clone(), notifications: note_rx }
+    }
+
+    /// Stops the server and returns the final manager (with its state, log
+    /// and statistics).
+    pub fn shutdown(mut self) -> ManagerResult<InteractionManager> {
+        let _ = self.requests.send(Envelope { request: Request::Shutdown, reply_to: None });
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| ManagerError::Disconnected),
+            None => Err(ManagerError::Disconnected),
+        }
+    }
+}
+
+/// The client-side endpoint of the coordination protocol.
+pub struct ClientHandle {
+    id: ClientId,
+    requests: Sender<Envelope>,
+    notifications: Receiver<Notification>,
+}
+
+impl ClientHandle {
+    /// This client's identifier.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn call(&self, request: Request) -> ManagerResult<Reply> {
+        let (tx, rx) = unbounded();
+        self.requests
+            .send(Envelope { request, reply_to: Some(tx) })
+            .map_err(|_| ManagerError::Disconnected)?;
+        rx.recv().map_err(|_| ManagerError::Disconnected)
+    }
+
+    /// Step 1/2: ask for permission.  Returns the reservation id on grant.
+    pub fn ask(&self, action: &Action) -> ManagerResult<Option<u64>> {
+        match self.call(Request::Ask { client: self.id, action: action.clone() })? {
+            Reply::Granted { reservation } => Ok(Some(reservation)),
+            Reply::Denied => Ok(None),
+            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Step 4: confirm the execution of a granted action.
+    pub fn confirm(&self, reservation: u64) -> ManagerResult<()> {
+        match self.call(Request::Confirm { reservation })? {
+            Reply::Confirmed => Ok(()),
+            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Combined ask-and-execute round trip.  Returns false on denial.
+    pub fn execute(&self, action: &Action) -> ManagerResult<bool> {
+        match self.call(Request::Execute { client: self.id, action: action.clone() })? {
+            Reply::Executed => Ok(true),
+            Reply::Denied => Ok(false),
+            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Subscribes to status changes of an action; returns its current
+    /// status.  Notifications arrive via [`ClientHandle::poll_notifications`].
+    pub fn subscribe(&self, action: &Action) -> ManagerResult<bool> {
+        match self.call(Request::Subscribe { client: self.id, action: action.clone() })? {
+            Reply::Subscribed { permitted } => Ok(permitted),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&self, action: &Action) -> ManagerResult<()> {
+        match self.call(Request::Unsubscribe { client: self.id, action: action.clone() })? {
+            Reply::Unsubscribed => Ok(()),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Drains the notifications received so far.
+    pub fn poll_notifications(&self) -> Vec<Notification> {
+        self.notifications.try_iter().collect()
+    }
+
+    /// Advances the manager's logical clock.
+    pub fn tick(&self, delta: u64) -> ManagerResult<()> {
+        self.requests
+            .send(Envelope { request: Request::Tick { delta }, reply_to: None })
+            .map_err(|_| ManagerError::Disconnected)
+    }
+}
+
+fn serve(mut manager: InteractionManager, rx: Receiver<Envelope>) -> InteractionManager {
+    let mut notification_channels: HashMap<ClientId, Sender<Notification>> = HashMap::new();
+    let deliver = |manager_notes: Vec<Notification>,
+                       channels: &HashMap<ClientId, Sender<Notification>>| {
+        for note in manager_notes {
+            if let Some(ch) = channels.get(&note.client) {
+                let _ = ch.send(note);
+            }
+        }
+    };
+    while let Ok(envelope) = rx.recv() {
+        let reply = match envelope.request {
+            Request::Shutdown => break,
+            Request::Tick { delta } => {
+                manager.advance_time(delta);
+                None
+            }
+            Request::Ask { client, action } => Some(match manager.ask(client, &action) {
+                Ok(Some(reservation)) => Reply::Granted { reservation },
+                Ok(None) => Reply::Denied,
+                Err(e) => Reply::Error { message: e.to_string() },
+            }),
+            Request::Confirm { reservation } => Some(match manager.confirm(reservation) {
+                Ok(notes) => {
+                    deliver(notes, &notification_channels);
+                    Reply::Confirmed
+                }
+                Err(e) => Reply::Error { message: e.to_string() },
+            }),
+            Request::Execute { client, action } => {
+                Some(match manager.try_execute(client, &action) {
+                    Ok(Some(notes)) => {
+                        deliver(notes, &notification_channels);
+                        Reply::Executed
+                    }
+                    Ok(None) => Reply::Denied,
+                    Err(e) => Reply::Error { message: e.to_string() },
+                })
+            }
+            Request::RegisterChannel { client, sender } => {
+                notification_channels.insert(client, sender);
+                None
+            }
+            Request::Subscribe { client, action } => {
+                let permitted = manager.subscribe(client, &action);
+                Some(Reply::Subscribed { permitted })
+            }
+            Request::Unsubscribe { client, action } => {
+                manager.unsubscribe(client, &action);
+                Some(Reply::Unsubscribed)
+            }
+        };
+        if let (Some(reply), Some(reply_to)) = (reply, envelope.reply_to.as_ref()) {
+            let _ = reply_to.send(reply);
+        }
+    }
+    manager
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn call(p: i64, x: &str) -> Action {
+        Action::concrete("call", [Value::int(p), Value::sym(x)])
+    }
+
+    fn perform(p: i64, x: &str) -> Action {
+        Action::concrete("perform", [Value::int(p), Value::sym(x)])
+    }
+
+    fn constraint() -> Expr {
+        parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap()
+    }
+
+    #[test]
+    fn ask_execute_confirm_over_the_channel_protocol() {
+        let server = ManagerServer::spawn(&constraint(), ProtocolVariant::Simple).unwrap();
+        let client = server.client(1);
+        let r = client.ask(&call(1, "sono")).unwrap().expect("granted");
+        client.confirm(r).unwrap();
+        assert_eq!(client.ask(&call(1, "endo")).unwrap(), None, "denied while mid-examination");
+        let r = client.ask(&perform(1, "sono")).unwrap().unwrap();
+        client.confirm(r).unwrap();
+        let manager = server.shutdown().unwrap();
+        assert_eq!(manager.log().len(), 2);
+        assert_eq!(manager.stats().denials, 1);
+    }
+
+    #[test]
+    fn subscriptions_deliver_asynchronous_notifications() {
+        let server = ManagerServer::spawn(&constraint(), ProtocolVariant::Combined).unwrap();
+        let worklist_a = server.client(10);
+        let worklist_b = server.client(20);
+        assert!(worklist_b.subscribe(&call(1, "endo")).unwrap());
+        // Client A executes call(1, sono); B's subscribed action becomes
+        // impermissible and B is informed without polling the manager.
+        assert!(worklist_a.execute(&call(1, "sono")).unwrap());
+        let notes = wait_for_notes(&worklist_b, 1);
+        assert_eq!(notes.len(), 1);
+        assert!(!notes[0].permitted);
+        assert_eq!(notes[0].action, call(1, "endo"));
+        // Completing the examination flips it back.
+        assert!(worklist_a.execute(&perform(1, "sono")).unwrap());
+        let notes = wait_for_notes(&worklist_b, 1);
+        assert!(notes.iter().any(|n| n.permitted));
+        worklist_b.unsubscribe(&call(1, "endo")).unwrap();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_race_for_a_single_slot() {
+        // Capacity one: of two concurrent clients exactly one wins.
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let server = ManagerServer::spawn(&expr, ProtocolVariant::Combined).unwrap();
+        let mut handles = Vec::new();
+        for client_id in 0..4u64 {
+            let client = server.client(client_id);
+            handles.push(std::thread::spawn(move || {
+                client.execute(&call(client_id as i64, "sono")).unwrap()
+            }));
+        }
+        let wins: usize = handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
+        assert_eq!(wins, 1, "exactly one client gets the slot");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn leases_expire_via_tick() {
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let server = ManagerServer::spawn(&expr, ProtocolVariant::Leased { lease: 3 }).unwrap();
+        let crashing = server.client(1);
+        let healthy = server.client(2);
+        let _reservation = crashing.ask(&call(1, "sono")).unwrap().unwrap();
+        assert_eq!(healthy.ask(&call(2, "sono")).unwrap(), None, "slot reserved");
+        // The crashing client never confirms; advancing time frees the slot.
+        healthy.tick(5).unwrap();
+        assert!(healthy.ask(&call(2, "sono")).unwrap().is_some());
+        server.shutdown().unwrap();
+    }
+
+    fn wait_for_notes(client: &ClientHandle, at_least: usize) -> Vec<Notification> {
+        let mut notes = Vec::new();
+        for _ in 0..200 {
+            notes.extend(client.poll_notifications());
+            if notes.len() >= at_least {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        notes
+    }
+}

@@ -1,0 +1,137 @@
+//! Persistent (recoverable) message queues.
+//!
+//! Sec. 7 refers to the use of persistent message queues [Bernstein, Hsu &
+//! Mann 1990] for the communication between interaction manager and clients,
+//! so that requests survive crashes of either side.  This module provides an
+//! in-process simulation with the same interface contract: enqueued messages
+//! are appended to a durable log, dequeue hands out a message without
+//! removing it durably, and only an explicit acknowledgement removes it; a
+//! crash loses the volatile cursor but not the log, so unacknowledged
+//! messages are delivered again after recovery (at-least-once delivery).
+
+use std::collections::VecDeque;
+
+/// A recoverable queue with explicit acknowledgement.
+#[derive(Clone, Debug)]
+pub struct DurableQueue<T: Clone> {
+    /// The durable log of not-yet-acknowledged messages (in order).
+    log: VecDeque<T>,
+    /// Number of messages handed out but not yet acknowledged.
+    in_flight: usize,
+    /// Total number of messages ever enqueued (statistics).
+    enqueued: u64,
+    /// Total number of messages acknowledged (statistics).
+    acknowledged: u64,
+}
+
+impl<T: Clone> Default for DurableQueue<T> {
+    fn default() -> Self {
+        DurableQueue { log: VecDeque::new(), in_flight: 0, enqueued: 0, acknowledged: 0 }
+    }
+}
+
+impl<T: Clone> DurableQueue<T> {
+    /// An empty queue.
+    pub fn new() -> DurableQueue<T> {
+        DurableQueue::default()
+    }
+
+    /// Appends a message to the durable log.
+    pub fn enqueue(&mut self, message: T) {
+        self.log.push_back(message);
+        self.enqueued += 1;
+    }
+
+    /// Hands out the next unacknowledged, not-in-flight message without
+    /// removing it durably.
+    pub fn dequeue(&mut self) -> Option<T> {
+        if self.in_flight < self.log.len() {
+            let msg = self.log[self.in_flight].clone();
+            self.in_flight += 1;
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
+    /// Acknowledges the oldest in-flight message, removing it durably.
+    pub fn acknowledge(&mut self) -> bool {
+        if self.in_flight == 0 {
+            return false;
+        }
+        self.log.pop_front();
+        self.in_flight -= 1;
+        self.acknowledged += 1;
+        true
+    }
+
+    /// Simulates a crash of the consumer: the volatile in-flight cursor is
+    /// lost, so every unacknowledged message becomes deliverable again.
+    pub fn crash_recover(&mut self) {
+        self.in_flight = 0;
+    }
+
+    /// Number of messages in the durable log (unacknowledged).
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if there are no unacknowledged messages.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Number of messages currently handed out but unacknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Lifetime counters: (enqueued, acknowledged).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.enqueued, self.acknowledged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery_with_acknowledgement() {
+        let mut q = DurableQueue::new();
+        q.enqueue("a");
+        q.enqueue("b");
+        assert_eq!(q.dequeue(), Some("a"));
+        assert_eq!(q.dequeue(), Some("b"));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.acknowledge());
+        assert!(q.acknowledge());
+        assert!(!q.acknowledge());
+        assert!(q.is_empty());
+        assert_eq!(q.counters(), (2, 2));
+    }
+
+    #[test]
+    fn unacknowledged_messages_survive_a_crash() {
+        let mut q = DurableQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert!(q.acknowledge());
+        assert_eq!(q.dequeue(), Some(2));
+        // Consumer crashes before acknowledging message 2.
+        q.crash_recover();
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.dequeue(), Some(2), "message 2 is delivered again");
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn dequeue_without_messages_is_none() {
+        let mut q: DurableQueue<u8> = DurableQueue::new();
+        assert_eq!(q.dequeue(), None);
+        assert!(!q.acknowledge());
+    }
+}

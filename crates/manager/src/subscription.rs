@@ -1,0 +1,157 @@
+//! The subscription protocol (Fig. 10, right side).
+//!
+//! Clients subscribe to actions they are interested in; whenever a state
+//! transition changes the permissibility of a subscribed action from
+//! permissible to non-permissible or vice versa, the manager sends an
+//! informational message.  Clients use these messages to keep users'
+//! worklists up to date and to wait passively instead of busy-polling.
+
+use ix_core::Action;
+use std::collections::BTreeMap;
+
+/// Identifier of an interaction client.
+pub type ClientId = u64;
+
+/// A status-change notification sent to a subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Notification {
+    /// The subscriber.
+    pub client: ClientId,
+    /// The subscribed action whose status changed.
+    pub action: Action,
+    /// The new status: true = permissible, false = not permissible.
+    pub permitted: bool,
+}
+
+/// The registry of active subscriptions.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionRegistry {
+    /// action -> subscribed clients (sorted, deduplicated).
+    by_action: BTreeMap<Action, Vec<ClientId>>,
+}
+
+impl SubscriptionRegistry {
+    /// An empty registry.
+    pub fn new() -> SubscriptionRegistry {
+        SubscriptionRegistry::default()
+    }
+
+    /// Adds a subscription (idempotent).
+    pub fn subscribe(&mut self, client: ClientId, action: Action) {
+        let clients = self.by_action.entry(action).or_default();
+        if !clients.contains(&client) {
+            clients.push(client);
+            clients.sort_unstable();
+        }
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&mut self, client: ClientId, action: &Action) {
+        if let Some(clients) = self.by_action.get_mut(action) {
+            clients.retain(|c| *c != client);
+            if clients.is_empty() {
+                self.by_action.remove(action);
+            }
+        }
+    }
+
+    /// Number of (action, client) subscription pairs.
+    pub fn len(&self) -> usize {
+        self.by_action.values().map(Vec::len).sum()
+    }
+
+    /// True if nobody is subscribed to anything.
+    pub fn is_empty(&self) -> bool {
+        self.by_action.is_empty()
+    }
+
+    /// The subscribed actions.
+    pub fn actions(&self) -> impl Iterator<Item = &Action> {
+        self.by_action.keys()
+    }
+
+    /// Snapshot of the current status of every subscribed action.
+    pub fn statuses(&self, permitted: impl Fn(&Action) -> bool) -> BTreeMap<Action, bool> {
+        self.by_action.keys().map(|a| (a.clone(), permitted(a))).collect()
+    }
+
+    /// Notifications for every subscribed action whose status differs from
+    /// the `before` snapshot.
+    pub fn diff(
+        &self,
+        before: &BTreeMap<Action, bool>,
+        permitted: impl Fn(&Action) -> bool,
+    ) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for (action, clients) in &self.by_action {
+            let now = permitted(action);
+            let was = before.get(action).copied().unwrap_or(!now);
+            if was != now {
+                for client in clients {
+                    out.push(Notification { client: *client, action: action.clone(), permitted: now });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    #[test]
+    fn subscribe_and_unsubscribe_are_idempotent() {
+        let mut reg = SubscriptionRegistry::new();
+        reg.subscribe(1, a("x"));
+        reg.subscribe(1, a("x"));
+        reg.subscribe(2, a("x"));
+        assert_eq!(reg.len(), 2);
+        reg.unsubscribe(1, &a("x"));
+        reg.unsubscribe(1, &a("x"));
+        assert_eq!(reg.len(), 1);
+        reg.unsubscribe(2, &a("x"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let mut reg = SubscriptionRegistry::new();
+        reg.subscribe(1, a("x"));
+        reg.subscribe(2, a("y"));
+        let before = reg.statuses(|_| true);
+        // x flips to false, y stays true.
+        let notes = reg.diff(&before, |act| act.name().to_string() != "x");
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].client, 1);
+        assert!(!notes[0].permitted);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_get_notified() {
+        let mut reg = SubscriptionRegistry::new();
+        reg.subscribe(1, a("x"));
+        reg.subscribe(2, a("x"));
+        reg.subscribe(3, a("x"));
+        let before = reg.statuses(|_| false);
+        let notes = reg.diff(&before, |_| true);
+        assert_eq!(notes.len(), 3);
+        assert!(notes.iter().all(|n| n.permitted));
+    }
+
+    #[test]
+    fn statuses_snapshot_covers_all_subscribed_actions() {
+        let mut reg = SubscriptionRegistry::new();
+        reg.subscribe(1, a("x"));
+        reg.subscribe(1, a("y"));
+        let snap = reg.statuses(|act| act.name().to_string() == "x");
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[&a("x")], true);
+        assert_eq!(snap[&a("y")], false);
+        assert_eq!(reg.actions().count(), 2);
+    }
+}

@@ -1,0 +1,472 @@
+//! The formal (denotational) semantics of Table 8, computed as
+//! length-bounded languages.
+//!
+//! [`denote`] evaluates an interaction expression to its pair of bounded
+//! complete-word and partial-word languages (Φ, Ψ).  This is an executable
+//! transcription of the definitions in Table 8 and serves two purposes:
+//!
+//! 1. It is the *oracle* against which the operational semantics of
+//!    `ix-state` is validated (the correctness theorem of Sec. 4:
+//!    `w ∈ Ψ(x) ⇔ ψ(σ_w(x))` and `w ∈ Φ(x) ⇔ ϕ(σ_w(x))`).
+//! 2. It is the naive, exponentially expensive decision procedure for the
+//!    word problem that Sec. 4 contrasts with the state model; the benchmark
+//!    `word_problem_naive_vs_operational` measures exactly this gap.
+//!
+//! Quantifiers are grounded over a finite [`Universe`]; results are exact for
+//! words whose values are drawn from the universe, provided the universe
+//! contains at least one fresh value (see `universe.rs`).
+
+use crate::lang::Lang;
+use crate::universe::Universe;
+use ix_core::{Action, Expr, ExprKind};
+use std::fmt;
+
+/// The bounded Φ/Ψ pair of an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Denotation {
+    /// Bounded set of complete words, Φ(x) ∩ Σ^{≤ bound}.
+    pub phi: Lang,
+    /// Bounded set of partial words, Ψ(x) ∩ Σ^{≤ bound}.
+    pub psi: Lang,
+}
+
+/// Errors of the denotational evaluator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// The expression contains an unexpanded template hole.
+    TemplateHole {
+        /// Name of the offending hole.
+        name: String,
+    },
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::TemplateHole { name } => {
+                write!(f, "expression contains unexpanded template hole `${name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// Computes the bounded denotation (Φ, Ψ) of `expr`.
+///
+/// `bound` is the maximum word length considered; `universe` grounds the
+/// quantifiers.
+pub fn denote(expr: &Expr, universe: &Universe, bound: usize) -> Result<Denotation, SemanticsError> {
+    match expr.kind() {
+        ExprKind::Hole(name) => {
+            Err(SemanticsError::TemplateHole { name: name.to_string() })
+        }
+        ExprKind::Empty => Ok(Denotation { phi: Lang::epsilon(bound), psi: Lang::epsilon(bound) }),
+        ExprKind::Atom(a) => Ok(denote_atom(a, bound)),
+        ExprKind::Option(y) => {
+            let dy = denote(y, universe, bound)?;
+            Ok(Denotation { phi: dy.phi.union(&Lang::epsilon(bound)), psi: dy.psi })
+        }
+        ExprKind::Seq(y, z) => {
+            let dy = denote(y, universe, bound)?;
+            let dz = denote(z, universe, bound)?;
+            Ok(Denotation {
+                phi: dy.phi.concat(&dz.phi),
+                psi: dy.psi.union(&dy.phi.concat(&dz.psi)),
+            })
+        }
+        ExprKind::SeqIter(y) => {
+            let dy = denote(y, universe, bound)?;
+            let closure = dy.phi.kleene();
+            Ok(Denotation { phi: closure.clone(), psi: closure.concat(&dy.psi) })
+        }
+        ExprKind::Par(y, z) => {
+            let dy = denote(y, universe, bound)?;
+            let dz = denote(z, universe, bound)?;
+            Ok(Denotation { phi: dy.phi.shuffle(&dz.phi), psi: dy.psi.shuffle(&dz.psi) })
+        }
+        ExprKind::ParIter(y) => {
+            let dy = denote(y, universe, bound)?;
+            Ok(Denotation { phi: dy.phi.shuffle_closure(), psi: dy.psi.shuffle_closure() })
+        }
+        ExprKind::Or(y, z) => {
+            let dy = denote(y, universe, bound)?;
+            let dz = denote(z, universe, bound)?;
+            Ok(Denotation { phi: dy.phi.union(&dz.phi), psi: dy.psi.union(&dz.psi) })
+        }
+        ExprKind::And(y, z) => {
+            let dy = denote(y, universe, bound)?;
+            let dz = denote(z, universe, bound)?;
+            Ok(Denotation {
+                phi: dy.phi.intersection(&dz.phi),
+                psi: dy.psi.intersection(&dz.psi),
+            })
+        }
+        ExprKind::Sync(y, z) => {
+            let dy = denote(y, universe, bound)?;
+            let dz = denote(z, universe, bound)?;
+            let left = relax(&dy, expr, y, universe, bound);
+            let right = relax(&dz, expr, z, universe, bound);
+            Ok(Denotation {
+                phi: left.phi.intersection(&right.phi),
+                psi: left.psi.intersection(&right.psi),
+            })
+        }
+        ExprKind::Mult(n, y) => {
+            let dy = denote(y, universe, bound)?;
+            Ok(Denotation {
+                phi: dy.phi.shuffle_power(*n),
+                psi: dy.psi.shuffle_power(*n),
+            })
+        }
+        ExprKind::SomeQ(p, y) => {
+            let mut phi = Lang::empty(bound);
+            let mut psi = Lang::empty(bound);
+            for omega in universe.values() {
+                let inst = y.substitute(*p, *omega);
+                let d = denote(&inst, universe, bound)?;
+                phi = phi.union(&d.phi);
+                psi = psi.union(&d.psi);
+            }
+            Ok(Denotation { phi, psi })
+        }
+        ExprKind::ParQ(p, y) => {
+            // Infinite shuffle: empty unless every instantiation accepts ε;
+            // otherwise the union of finite shuffles, which the bounded
+            // shuffle of all grounded branches realizes (every branch
+            // contains ε, so subsets are covered automatically).
+            let mut phi = Lang::epsilon(bound);
+            let mut psi = Lang::epsilon(bound);
+            let mut all_have_epsilon = true;
+            for omega in universe.values() {
+                let inst = y.substitute(*p, *omega);
+                let d = denote(&inst, universe, bound)?;
+                if !d.phi.contains_epsilon() {
+                    all_have_epsilon = false;
+                }
+                phi = phi.shuffle(&d.phi);
+                psi = psi.shuffle(&d.psi);
+            }
+            if !all_have_epsilon {
+                phi = Lang::empty(bound);
+            }
+            Ok(Denotation { phi, psi })
+        }
+        ExprKind::SyncQ(p, y) => {
+            let mut phi: Option<Lang> = None;
+            let mut psi: Option<Lang> = None;
+            for omega in universe.values() {
+                let inst = y.substitute(*p, *omega);
+                let d = denote(&inst, universe, bound)?;
+                let relaxed = relax(&d, expr, &inst, universe, bound);
+                phi = Some(match phi {
+                    None => relaxed.phi,
+                    Some(acc) => acc.intersection(&relaxed.phi),
+                });
+                psi = Some(match psi {
+                    None => relaxed.psi,
+                    Some(acc) => acc.intersection(&relaxed.psi),
+                });
+            }
+            Ok(Denotation {
+                phi: phi.unwrap_or_else(|| Lang::epsilon(bound)),
+                psi: psi.unwrap_or_else(|| Lang::epsilon(bound)),
+            })
+        }
+        ExprKind::AllQ(p, y) => {
+            let mut phi: Option<Lang> = None;
+            let mut psi: Option<Lang> = None;
+            for omega in universe.values() {
+                let inst = y.substitute(*p, *omega);
+                let d = denote(&inst, universe, bound)?;
+                phi = Some(match phi {
+                    None => d.phi,
+                    Some(acc) => acc.intersection(&d.phi),
+                });
+                psi = Some(match psi {
+                    None => d.psi,
+                    Some(acc) => acc.intersection(&d.psi),
+                });
+            }
+            Ok(Denotation {
+                phi: phi.unwrap_or_else(|| Lang::epsilon(bound)),
+                psi: psi.unwrap_or_else(|| Lang::epsilon(bound)),
+            })
+        }
+    }
+}
+
+/// Shuffles an operand's languages with the Kleene closure of its alphabet
+/// complement κ_x(y)* — the "relaxation" applied by the synchronization
+/// operator and quantifier so that an operand only constrains the actions it
+/// knows about.
+fn relax(
+    d: &Denotation,
+    whole: &Expr,
+    operand: &Expr,
+    universe: &Universe,
+    bound: usize,
+) -> Denotation {
+    let whole_alpha = whole.alphabet();
+    let operand_alpha = operand.alphabet();
+    // Concrete actions covered by α(x) but not by α(operand).
+    let complement: Vec<Action> = universe
+        .ground_alphabet(&whole_alpha)
+        .into_iter()
+        .filter(|c| !operand_alpha.covers(c))
+        .collect();
+    let complement_star = Lang::all_words_over(&complement, bound);
+    Denotation {
+        phi: d.phi.shuffle(&complement_star),
+        psi: d.psi.shuffle(&complement_star),
+    }
+}
+
+fn denote_atom(a: &Action, bound: usize) -> Denotation {
+    if a.is_concrete() {
+        Denotation {
+            phi: Lang::single(a.clone(), bound),
+            psi: Lang::single(a.clone(), bound).union(&Lang::epsilon(bound)),
+        }
+    } else {
+        // {⟨a⟩} ∩ Σ* = ∅ for a non-concrete action: only the empty word is a
+        // partial word.
+        Denotation { phi: Lang::empty(bound), psi: Lang::epsilon(bound) }
+    }
+}
+
+/// Convenience wrapper: the bounded complete-word language Φ(x).
+pub fn phi(expr: &Expr, universe: &Universe, bound: usize) -> Result<Lang, SemanticsError> {
+    Ok(denote(expr, universe, bound)?.phi)
+}
+
+/// Convenience wrapper: the bounded partial-word language Ψ(x).
+pub fn psi(expr: &Expr, universe: &Universe, bound: usize) -> Result<Lang, SemanticsError> {
+    Ok(denote(expr, universe, bound)?.psi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::builder::{act0, actp, actv};
+    use ix_core::{parse, Param, Value, Word};
+
+    fn u() -> Universe {
+        Universe::new([Value::int(1), Value::int(2)]).with_fresh(1)
+    }
+
+    fn w(names: &[&str]) -> Word {
+        names.iter().map(|n| Action::nullary(*n)).collect()
+    }
+
+    #[test]
+    fn atom_semantics() {
+        let d = denote(&act0("a"), &u(), 3).unwrap();
+        assert_eq!(d.phi.len(), 1);
+        assert!(d.psi.contains_epsilon());
+        assert_eq!(d.psi.len(), 2);
+        // A parameterized atom accepts nothing but the empty partial word.
+        let d = denote(&actp("a", &["p"]), &u(), 3).unwrap();
+        assert!(d.phi.is_empty());
+        assert_eq!(d.psi.len(), 1);
+    }
+
+    #[test]
+    fn sequence_and_option() {
+        let e = parse("a - b?").unwrap();
+        let d = denote(&e, &u(), 3).unwrap();
+        assert!(d.phi.contains(&w(&["a"])));
+        assert!(d.phi.contains(&w(&["a", "b"])));
+        assert!(!d.phi.contains(&w(&["b"])));
+        assert!(d.psi.contains_epsilon());
+        assert!(d.psi.contains(&w(&["a"])));
+    }
+
+    #[test]
+    fn partial_words_of_sequence_include_prefixes_through_completion() {
+        let e = parse("a - b - c").unwrap();
+        let d = denote(&e, &u(), 4).unwrap();
+        for p in [&[][..], &w(&["a"])[..], &w(&["a", "b"])[..], &w(&["a", "b", "c"])[..]] {
+            assert!(d.psi.contains(p), "missing partial word {p:?}");
+        }
+        assert!(!d.psi.contains(&w(&["b"])));
+        assert_eq!(d.phi.len(), 1);
+    }
+
+    #[test]
+    fn iteration_and_parallel_composition() {
+        let e = parse("(a - b)*").unwrap();
+        let d = denote(&e, &u(), 4).unwrap();
+        assert!(d.phi.contains_epsilon());
+        assert!(d.phi.contains(&w(&["a", "b", "a", "b"])));
+        assert!(d.psi.contains(&w(&["a", "b", "a"])));
+        assert!(!d.psi.contains(&w(&["b"])));
+
+        let e = parse("a | b").unwrap();
+        let d = denote(&e, &u(), 2).unwrap();
+        assert!(d.phi.contains(&w(&["a", "b"])));
+        assert!(d.phi.contains(&w(&["b", "a"])));
+        assert_eq!(d.phi.len(), 2);
+    }
+
+    #[test]
+    fn parallel_iteration_allows_overlapping_instances() {
+        let e = parse("(a - b)#").unwrap();
+        let d = denote(&e, &u(), 4).unwrap();
+        assert!(d.phi.contains(&w(&["a", "a", "b", "b"])));
+        assert!(d.phi.contains_epsilon());
+        assert!(d.psi.contains(&w(&["a", "a"])));
+        assert!(!d.phi.contains(&w(&["b", "a"])));
+    }
+
+    #[test]
+    fn conjunction_vs_synchronization() {
+        // Strict conjunction over different alphabets accepts only words
+        // both operands accept completely — here nothing but nothing.
+        let strict = parse("a & b").unwrap();
+        let d = denote(&strict, &u(), 2).unwrap();
+        assert!(d.phi.is_empty());
+        // The coupling operator lets each operand ignore foreign actions.
+        let sync = parse("a @ b").unwrap();
+        let d = denote(&sync, &u(), 2).unwrap();
+        assert!(d.phi.contains(&w(&["a", "b"])));
+        assert!(d.phi.contains(&w(&["b", "a"])));
+        assert!(!d.phi.contains(&w(&["a"])), "a alone leaves operand b incomplete");
+    }
+
+    #[test]
+    fn synchronization_shares_common_actions() {
+        // Both operands know `b`; it must be allowed by both.
+        let e = parse("(a - b) @ (b - c)").unwrap();
+        let d = denote(&e, &u(), 3).unwrap();
+        assert!(d.phi.contains(&w(&["a", "b", "c"])));
+        assert!(!d.phi.contains(&w(&["b", "a", "c"])), "left operand requires a before b");
+        assert!(!d.phi.contains(&w(&["a", "c", "b"])), "right operand requires b before c");
+    }
+
+    #[test]
+    fn beyond_context_free_languages() {
+        // Sec. 3: the conjunction of the shuffle closure of a-b-c with
+        // a*-b*-c* accepts exactly the words a^n b^n c^n, a language that is
+        // not context-free — interaction expressions exceed regular (and
+        // even context-free) expressiveness.
+        let e = parse("(a - b - c)# & (a* - b* - c*)").unwrap();
+        let d = denote(&e, &u(), 6).unwrap();
+        assert!(d.phi.contains_epsilon());
+        assert!(d.phi.contains(&w(&["a", "b", "c"])));
+        assert!(d.phi.contains(&w(&["a", "a", "b", "b", "c", "c"])));
+        assert!(!d.phi.contains(&w(&["a", "b", "c", "a", "b", "c"])));
+        assert!(!d.phi.contains(&w(&["a", "a", "b", "c", "c"])));
+        assert!(!d.phi.contains(&w(&["a", "b"])));
+    }
+
+    #[test]
+    fn disjunction_quantifier_chooses_one_value() {
+        let p = Param::new("p");
+        let e = Expr::some_q(p, Expr::seq(actp("a", &["p"]), actp("b", &["p"])));
+        let d = denote(&e, &u(), 2).unwrap();
+        let a1b1 = vec![
+            Action::concrete("a", [Value::int(1)]),
+            Action::concrete("b", [Value::int(1)]),
+        ];
+        let a1b2 = vec![
+            Action::concrete("a", [Value::int(1)]),
+            Action::concrete("b", [Value::int(2)]),
+        ];
+        assert!(d.phi.contains(&a1b1));
+        assert!(!d.phi.contains(&a1b2), "a single value must be used consistently");
+    }
+
+    #[test]
+    fn parallel_quantifier_interleaves_values_independently() {
+        let p = Param::new("p");
+        let e = Expr::par_q(p, Expr::option(Expr::seq(actp("a", &["p"]), actp("b", &["p"]))));
+        let d = denote(&e, &u(), 4).unwrap();
+        let interleaved = vec![
+            Action::concrete("a", [Value::int(1)]),
+            Action::concrete("a", [Value::int(2)]),
+            Action::concrete("b", [Value::int(2)]),
+            Action::concrete("b", [Value::int(1)]),
+        ];
+        assert!(d.phi.contains(&interleaved));
+        assert!(d.phi.contains_epsilon());
+        // Without the option the body cannot accept ε, so Φ must be empty.
+        let e = Expr::par_q(p, Expr::seq(actp("a", &["p"]), actp("b", &["p"])));
+        let d = denote(&e, &u(), 4).unwrap();
+        assert!(d.phi.is_empty());
+        assert!(d.psi.contains_epsilon());
+    }
+
+    #[test]
+    fn conjunction_quantifier_requires_every_value() {
+        let p = Param::new("p");
+        // each p { a(p)? }: every instantiation must accept the whole word.
+        let e = Expr::all_q(p, Expr::option(actp("a", &["p"])));
+        let d = denote(&e, &u(), 2).unwrap();
+        assert!(d.phi.contains_epsilon());
+        // a(1) is not accepted by the instantiation with value 2.
+        assert!(!d.phi.contains(&vec![Action::concrete("a", [Value::int(1)])]));
+    }
+
+    #[test]
+    fn sync_quantifier_constrains_only_matching_values() {
+        let p = Param::new("p");
+        // sync p { (a(p) - b(p))* }: per value, a(p) must precede b(p);
+        // other values' actions are not constrained by that branch.  The
+        // body must accept ε, otherwise the infinite intersection over all
+        // (unseen) values is empty.
+        let e = Expr::sync_q(p, Expr::seq_iter(Expr::seq(actp("a", &["p"]), actp("b", &["p"]))));
+        let d = denote(&e, &u(), 4).unwrap();
+        let ok = vec![
+            Action::concrete("a", [Value::int(1)]),
+            Action::concrete("a", [Value::int(2)]),
+            Action::concrete("b", [Value::int(1)]),
+            Action::concrete("b", [Value::int(2)]),
+        ];
+        let bad = vec![
+            Action::concrete("b", [Value::int(1)]),
+            Action::concrete("a", [Value::int(1)]),
+        ];
+        assert!(d.phi.contains(&ok));
+        assert!(!d.psi.contains(&bad));
+    }
+
+    #[test]
+    fn multiplier_caps_concurrent_instances() {
+        let e = parse("mult 2 { a - b }").unwrap();
+        let d = denote(&e, &u(), 4).unwrap();
+        assert!(d.phi.contains(&w(&["a", "a", "b", "b"])));
+        assert!(d.psi.contains(&w(&["a", "a"])));
+        assert!(!d.psi.contains(&w(&["a", "a", "a"])), "only two instances exist");
+    }
+
+    #[test]
+    fn empty_expression_and_errors() {
+        let d = denote(&Expr::empty(), &u(), 2).unwrap();
+        assert_eq!(d.phi.len(), 1);
+        assert!(d.phi.contains_epsilon());
+        let err = denote(&Expr::hole("x"), &u(), 2).unwrap_err();
+        assert!(err.to_string().contains("$x"));
+    }
+
+    #[test]
+    fn phi_and_psi_wrappers() {
+        let e = actv("a", []);
+        assert_eq!(phi(&e, &u(), 2).unwrap().len(), 1);
+        assert_eq!(psi(&e, &u(), 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn every_psi_contains_epsilon() {
+        let sources = [
+            "a", "a - b", "a*", "a#", "a | b", "a + b", "a & b", "a @ b",
+            "some p { a(p) }", "all p { a(p)? }", "each p { a(p)? }", "sync p { a(p) }",
+            "mult 3 { a }", "empty", "a?",
+        ];
+        for src in sources {
+            let e = parse(src).unwrap();
+            let d = denote(&e, &u(), 2).unwrap();
+            assert!(d.psi.contains_epsilon(), "Ψ({src}) must contain ⟨⟩");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Bounded equivalence checking of interaction expressions.
+//!
+//! Two interaction expressions are *equal* in the sense of Sec. 3 if they
+//! possess the same alphabet and accept the same complete and partial words.
+//! Full equivalence is undecidable in general by exhaustive search; this
+//! module provides the bounded approximation used by tests of the algebraic
+//! laws (commutativity, associativity, idempotence, ...): equality of the
+//! bounded languages over a given universe and word-length bound.
+
+use crate::denote::{denote, SemanticsError};
+use crate::universe::Universe;
+use ix_core::Expr;
+
+/// Result of a bounded equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Languages agree up to the bound (a necessary condition for
+    /// equivalence, sufficient for the tested bound only).
+    EquivalentUpToBound,
+    /// The complete-word languages differ; a distinguishing word is given.
+    DifferentComplete(ix_core::Word),
+    /// The partial-word languages differ; a distinguishing word is given.
+    DifferentPartial(ix_core::Word),
+}
+
+impl Equivalence {
+    /// True if no difference was found.
+    pub fn holds(&self) -> bool {
+        matches!(self, Equivalence::EquivalentUpToBound)
+    }
+}
+
+/// Compares the bounded languages of two expressions.
+pub fn check_equivalent(
+    a: &Expr,
+    b: &Expr,
+    universe: &Universe,
+    bound: usize,
+) -> Result<Equivalence, SemanticsError> {
+    let da = denote(a, universe, bound)?;
+    let db = denote(b, universe, bound)?;
+    for w in da.phi.words() {
+        if !db.phi.contains(w) {
+            return Ok(Equivalence::DifferentComplete(w.clone()));
+        }
+    }
+    for w in db.phi.words() {
+        if !da.phi.contains(w) {
+            return Ok(Equivalence::DifferentComplete(w.clone()));
+        }
+    }
+    for w in da.psi.words() {
+        if !db.psi.contains(w) {
+            return Ok(Equivalence::DifferentPartial(w.clone()));
+        }
+    }
+    for w in db.psi.words() {
+        if !da.psi.contains(w) {
+            return Ok(Equivalence::DifferentPartial(w.clone()));
+        }
+    }
+    Ok(Equivalence::EquivalentUpToBound)
+}
+
+/// Convenience predicate: bounded equivalence holds.
+pub fn equivalent(a: &Expr, b: &Expr, universe: &Universe, bound: usize) -> bool {
+    check_equivalent(a, b, universe, bound).map(|e| e.holds()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn u() -> Universe {
+        Universe::new([Value::int(1), Value::int(2)]).with_fresh(1)
+    }
+
+    fn eq(a: &str, b: &str) -> bool {
+        equivalent(&parse(a).unwrap(), &parse(b).unwrap(), &u(), 4)
+    }
+
+    #[test]
+    fn algebraic_laws_hold_up_to_bound() {
+        // Commutativity of the symmetric operators.
+        assert!(eq("a + b", "b + a"));
+        assert!(eq("a & b", "b & a"));
+        assert!(eq("a | b", "b | a"));
+        assert!(eq("a @ b", "b @ a"));
+        // Associativity.
+        assert!(eq("(a + b) + c", "a + (b + c)"));
+        assert!(eq("(a - b) - c", "a - (b - c)"));
+        assert!(eq("(a | b) | c", "a | (b | c)"));
+        // Idempotence of disjunction and conjunction.
+        assert!(eq("a + a", "a"));
+        assert!(eq("(a - b) & (a - b)", "a - b"));
+        // ε is the unit of sequential and parallel composition.
+        assert!(eq("empty - a", "a"));
+        assert!(eq("a | empty", "a"));
+    }
+
+    #[test]
+    fn non_equivalences_are_detected_with_witnesses() {
+        let a = parse("a - b").unwrap();
+        let b = parse("b - a").unwrap();
+        match check_equivalent(&a, &b, &u(), 3).unwrap() {
+            Equivalence::EquivalentUpToBound => panic!("must differ"),
+            Equivalence::DifferentComplete(w) | Equivalence::DifferentPartial(w) => {
+                assert!(!w.is_empty());
+            }
+        }
+        assert!(!eq("a - b", "a | b"));
+        assert!(!eq("(a - b)*", "(a - b)#"));
+        assert!(!eq("a & b", "a @ b"));
+    }
+
+    #[test]
+    fn sequential_vs_parallel_iteration_differ_only_with_composite_bodies() {
+        // Over a single letter the two closures coincide...
+        assert!(eq("a*", "(a)#"));
+        // ...but not over a sequence (overlapping instances).
+        assert!(!eq("(a - b)*", "(a - b)#"));
+    }
+
+    #[test]
+    fn option_and_epsilon_laws() {
+        assert!(eq("a?", "a + empty"));
+        assert!(eq("empty?", "empty"));
+        assert!(!eq("a?", "a"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let hole = ix_core::Expr::hole("x");
+        assert!(check_equivalent(&hole, &hole, &u(), 2).is_err());
+        assert!(!equivalent(&hole, &hole, &u(), 2));
+    }
+}

@@ -1,0 +1,337 @@
+//! Finite, length-bounded languages over concrete actions.
+//!
+//! The formal semantics of interaction expressions (Table 8) defines the
+//! possibly infinite sets Φ(x) and Ψ(x) of complete and partial words.  For
+//! testing and as the "hopelessly inefficient" reference algorithm mentioned
+//! in Sec. 4 we work with their *length-bounded* restrictions: every
+//! [`Lang`] value represents `L ∩ Σ^{≤ bound}` for some language `L`.  All
+//! operations preserve this invariant, so results are exact up to the bound.
+
+use ix_core::{Action, Word};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite set of concrete words, all of length at most `bound`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lang {
+    words: BTreeSet<Word>,
+    bound: usize,
+}
+
+impl Lang {
+    /// The empty language ∅ (no words at all).
+    pub fn empty(bound: usize) -> Lang {
+        Lang { words: BTreeSet::new(), bound }
+    }
+
+    /// The language { ⟨⟩ } containing only the empty word.
+    pub fn epsilon(bound: usize) -> Lang {
+        let mut words = BTreeSet::new();
+        words.insert(Vec::new());
+        Lang { words, bound }
+    }
+
+    /// The language containing a single one-action word.
+    pub fn single(action: Action, bound: usize) -> Lang {
+        let mut l = Lang::empty(bound);
+        if bound >= 1 {
+            l.words.insert(vec![action]);
+        }
+        l
+    }
+
+    /// Builds a language from explicit words; words longer than the bound
+    /// are dropped.
+    pub fn from_words(words: impl IntoIterator<Item = Word>, bound: usize) -> Lang {
+        let words = words.into_iter().filter(|w| w.len() <= bound).collect();
+        Lang { words, bound }
+    }
+
+    /// The length bound this language was computed under.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the language contains no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// True if the empty word is a member.
+    pub fn contains_epsilon(&self) -> bool {
+        self.words.contains(&Vec::new())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, word: &[Action]) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Iterates over the words.
+    pub fn words(&self) -> impl Iterator<Item = &Word> {
+        self.words.iter()
+    }
+
+    /// Inserts a word (ignored if longer than the bound).
+    pub fn insert(&mut self, word: Word) {
+        if word.len() <= self.bound {
+            self.words.insert(word);
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Lang) -> Lang {
+        let bound = self.bound.min(other.bound);
+        Lang::from_words(self.words.union(&other.words).cloned(), bound)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Lang) -> Lang {
+        let bound = self.bound.min(other.bound);
+        Lang::from_words(self.words.intersection(&other.words).cloned(), bound)
+    }
+
+    /// Language concatenation U·V, truncated to the bound.
+    pub fn concat(&self, other: &Lang) -> Lang {
+        let bound = self.bound.min(other.bound);
+        let mut out = Lang::empty(bound);
+        for u in &self.words {
+            if u.len() > bound {
+                continue;
+            }
+            for v in &other.words {
+                if u.len() + v.len() > bound {
+                    continue;
+                }
+                let mut w = u.clone();
+                w.extend(v.iter().cloned());
+                out.words.insert(w);
+            }
+        }
+        out
+    }
+
+    /// Kleene closure U*, truncated to the bound: the least fixpoint of
+    /// `L = {ε} ∪ U·L` under the length bound.
+    pub fn kleene(&self) -> Lang {
+        let mut result = Lang::epsilon(self.bound);
+        loop {
+            let next = result.union(&result.concat(self));
+            if next == result {
+                return result;
+            }
+            result = next;
+        }
+    }
+
+    /// The shuffle (arbitrary interleaving) U ⊗ V, truncated to the bound.
+    pub fn shuffle(&self, other: &Lang) -> Lang {
+        let bound = self.bound.min(other.bound);
+        let mut out = Lang::empty(bound);
+        for u in &self.words {
+            for v in &other.words {
+                if u.len() + v.len() > bound {
+                    continue;
+                }
+                for w in shuffle_words(u, v) {
+                    out.words.insert(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// The shuffle closure U#, truncated to the bound: the least fixpoint of
+    /// `L = {ε} ∪ (U ⊗ L)` under the length bound.
+    pub fn shuffle_closure(&self) -> Lang {
+        let mut result = Lang::epsilon(self.bound);
+        loop {
+            let next = result.union(&self.shuffle(&result));
+            if next == result {
+                return result;
+            }
+            result = next;
+        }
+    }
+
+    /// The n-fold shuffle U ⊗ ... ⊗ U (n = 0 yields {ε}).
+    pub fn shuffle_power(&self, n: u32) -> Lang {
+        let mut result = Lang::epsilon(self.bound);
+        for _ in 0..n {
+            result = result.shuffle(self);
+        }
+        result
+    }
+
+    /// All words over the given concrete actions up to the bound (Σ'^{≤n}
+    /// for a finite action set Σ').  Used for alphabet-complement closures.
+    pub fn all_words_over(actions: &[Action], bound: usize) -> Lang {
+        let mut result = Lang::epsilon(bound);
+        let mut frontier: Vec<Word> = vec![Vec::new()];
+        for _ in 0..bound {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for a in actions {
+                    let mut w2 = w.clone();
+                    w2.push(a.clone());
+                    result.words.insert(w2.clone());
+                    next.push(w2);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+}
+
+/// All interleavings of two words (the shuffle u ⊗ v of Sec. 3).
+pub fn shuffle_words(u: &[Action], v: &[Action]) -> Vec<Word> {
+    fn go(u: &[Action], v: &[Action], prefix: &mut Word, out: &mut Vec<Word>) {
+        if u.is_empty() {
+            let mut w = prefix.clone();
+            w.extend(v.iter().cloned());
+            out.push(w);
+            return;
+        }
+        if v.is_empty() {
+            let mut w = prefix.clone();
+            w.extend(u.iter().cloned());
+            out.push(w);
+            return;
+        }
+        prefix.push(u[0].clone());
+        go(&u[1..], v, prefix, out);
+        prefix.pop();
+        prefix.push(v[0].clone());
+        go(u, &v[1..], prefix, out);
+        prefix.pop();
+    }
+    let mut out = Vec::new();
+    go(u, v, &mut Vec::new(), &mut out);
+    out
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", ix_core::display_word(w))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::Action;
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    fn w(names: &[&str]) -> Word {
+        names.iter().map(|n| a(n)).collect()
+    }
+
+    #[test]
+    fn construction_and_membership() {
+        let l = Lang::from_words([w(&["a"]), w(&["a", "b"])], 4);
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(&w(&["a"])));
+        assert!(!l.contains(&w(&["b"])));
+        assert!(!l.contains_epsilon());
+        assert!(Lang::epsilon(4).contains_epsilon());
+        assert!(Lang::empty(4).is_empty());
+    }
+
+    #[test]
+    fn bound_truncates_long_words() {
+        let l = Lang::from_words([w(&["a", "b", "c"])], 2);
+        assert!(l.is_empty());
+        let s = Lang::single(a("x"), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concat_and_kleene() {
+        let la = Lang::single(a("a"), 4);
+        let lb = Lang::single(a("b"), 4);
+        let ab = la.concat(&lb);
+        assert!(ab.contains(&w(&["a", "b"])));
+        assert_eq!(ab.len(), 1);
+        let star = la.kleene();
+        assert!(star.contains_epsilon());
+        assert!(star.contains(&w(&["a", "a", "a", "a"])));
+        assert!(!star.contains(&w(&["a", "b"])));
+        assert_eq!(star.len(), 5); // lengths 0..=4
+    }
+
+    #[test]
+    fn shuffle_of_words_produces_all_interleavings() {
+        let outs = shuffle_words(&w(&["a", "b"]), &w(&["c"]));
+        assert_eq!(outs.len(), 3);
+        assert!(outs.contains(&w(&["c", "a", "b"])));
+        assert!(outs.contains(&w(&["a", "c", "b"])));
+        assert!(outs.contains(&w(&["a", "b", "c"])));
+    }
+
+    #[test]
+    fn shuffle_of_languages_and_closure() {
+        let la = Lang::single(a("a"), 4);
+        let lb = Lang::single(a("b"), 4);
+        let sh = la.shuffle(&lb);
+        assert_eq!(sh.len(), 2);
+        assert!(sh.contains(&w(&["a", "b"])) && sh.contains(&w(&["b", "a"])));
+
+        let closure = la.shuffle_closure();
+        // a# over single letter = {ε, a, aa, aaa, aaaa}
+        assert_eq!(closure.len(), 5);
+
+        let ab = Lang::from_words([w(&["a", "b"])], 4);
+        let cl = ab.shuffle_closure();
+        // Words of length 4 include all interleavings of ab with ab, e.g. aabb.
+        assert!(cl.contains(&w(&["a", "a", "b", "b"])));
+        assert!(cl.contains(&w(&["a", "b", "a", "b"])));
+        assert!(!cl.contains(&w(&["b", "a"])), "b may not precede its own a");
+    }
+
+    #[test]
+    fn shuffle_power_counts_instances() {
+        let ab = Lang::from_words([w(&["a"])], 3);
+        let p2 = ab.shuffle_power(2);
+        assert!(p2.contains(&w(&["a", "a"])));
+        assert!(!p2.contains(&w(&["a"])));
+        let p0 = ab.shuffle_power(0);
+        assert!(p0.contains_epsilon());
+        assert_eq!(p0.len(), 1);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let la = Lang::from_words([w(&["a"]), w(&["b"])], 3);
+        let lb = Lang::from_words([w(&["b"]), w(&["c"])], 3);
+        assert_eq!(la.union(&lb).len(), 3);
+        let i = la.intersection(&lb);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&w(&["b"])));
+    }
+
+    #[test]
+    fn all_words_over_enumerates_sigma_star_bounded() {
+        let l = Lang::all_words_over(&[a("x"), a("y")], 2);
+        // ε, x, y, xx, xy, yx, yy
+        assert_eq!(l.len(), 7);
+    }
+}

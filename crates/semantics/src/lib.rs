@@ -1,0 +1,39 @@
+//! # ix-semantics — formal semantics of interaction expressions
+//!
+//! Executable transcription of the denotational semantics of Table 8 of
+//! *"Workflow and Process Synchronization with Interaction Expressions and
+//! Graphs"* (Heinlein, ICDE 2001): the sets Φ(x) of complete words and Ψ(x)
+//! of partial words, computed as length-bounded languages over a finite
+//! grounding of the value domain Ω.
+//!
+//! This crate intentionally favours fidelity to the definitions over speed —
+//! it is the reference oracle used to validate the operational semantics in
+//! `ix-state` and the baseline of the "naive algorithm is exponential"
+//! benchmark (Sec. 4 of the paper).
+//!
+//! ```
+//! use ix_core::parse;
+//! use ix_semantics::{denote, Universe};
+//! use ix_core::Value;
+//!
+//! let e = parse("(a - b)*").unwrap();
+//! let u = Universe::new([Value::int(1)]).with_fresh(1);
+//! let d = denote(&e, &u, 4).unwrap();
+//! assert!(d.phi.contains_epsilon());
+//! assert_eq!(d.phi.len(), 3);   // ε, ab, abab
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod denote;
+pub mod equiv;
+pub mod lang;
+pub mod member;
+pub mod universe;
+
+pub use denote::{denote, phi, psi, Denotation, SemanticsError};
+pub use equiv::{check_equivalent, equivalent, Equivalence};
+pub use lang::{shuffle_words, Lang};
+pub use member::{classify_word, classify_word_in, is_complete, is_partial, WordClass};
+pub use universe::Universe;

@@ -1,0 +1,122 @@
+//! The naive decision procedure for the word problem.
+//!
+//! Sec. 4 of the paper observes that transforming the definitions of Φ and Ψ
+//! "more or less directly" into executable code yields an algorithm whose
+//! complexity grows exponentially with the length of the word even for very
+//! simple expressions.  This module is that algorithm: it enumerates the
+//! bounded languages with the word's length as the bound and tests
+//! membership.  It serves as the correctness oracle for the operational
+//! semantics of `ix-state` and as the baseline of the benchmark
+//! `word_problem_naive_vs_operational` (experiment E12 of DESIGN.md).
+
+use crate::denote::{denote, SemanticsError};
+use crate::universe::Universe;
+use ix_core::{Action, Expr};
+
+/// Classification of a word with respect to an expression, mirroring the
+/// return value of the `word()` function of Fig. 9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordClass {
+    /// The word is not even a partial word.
+    Illegal,
+    /// The word is a partial but not a complete word.
+    Partial,
+    /// The word is a complete word.
+    Complete,
+}
+
+impl WordClass {
+    /// The integer encoding used by the paper's `word()` function
+    /// (0 = illegal, 1 = partial, 2 = complete).
+    pub fn code(self) -> i32 {
+        match self {
+            WordClass::Illegal => 0,
+            WordClass::Partial => 1,
+            WordClass::Complete => 2,
+        }
+    }
+}
+
+/// Decides the word problem by direct application of the formal semantics.
+///
+/// The universe used for grounding is the union of the values observed in the
+/// expression and the word plus one fresh value; this is exact for
+/// expressions whose quantifier bodies are completely quantified (see
+/// DESIGN.md) and for all quantifier-free expressions.
+pub fn classify_word(expr: &Expr, word: &[Action]) -> Result<WordClass, SemanticsError> {
+    let universe = Universe::observed(expr, &[word]).with_fresh(1);
+    classify_word_in(expr, word, &universe)
+}
+
+/// Same as [`classify_word`] but with an explicit universe.
+pub fn classify_word_in(
+    expr: &Expr,
+    word: &[Action],
+    universe: &Universe,
+) -> Result<WordClass, SemanticsError> {
+    let d = denote(expr, universe, word.len())?;
+    if d.phi.contains(word) {
+        Ok(WordClass::Complete)
+    } else if d.psi.contains(word) {
+        Ok(WordClass::Partial)
+    } else {
+        Ok(WordClass::Illegal)
+    }
+}
+
+/// True if the word is a complete word of the expression.
+pub fn is_complete(expr: &Expr, word: &[Action]) -> bool {
+    matches!(classify_word(expr, word), Ok(WordClass::Complete))
+}
+
+/// True if the word is at least a partial word of the expression.
+pub fn is_partial(expr: &Expr, word: &[Action]) -> bool {
+    matches!(classify_word(expr, word), Ok(WordClass::Partial | WordClass::Complete))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn w(names: &[&str]) -> Vec<Action> {
+        names.iter().map(|n| Action::nullary(*n)).collect()
+    }
+
+    #[test]
+    fn classifies_words_of_a_sequence() {
+        let e = parse("a - b - c").unwrap();
+        assert_eq!(classify_word(&e, &w(&[])).unwrap(), WordClass::Partial);
+        assert_eq!(classify_word(&e, &w(&["a"])).unwrap(), WordClass::Partial);
+        assert_eq!(classify_word(&e, &w(&["a", "b", "c"])).unwrap(), WordClass::Complete);
+        assert_eq!(classify_word(&e, &w(&["b"])).unwrap(), WordClass::Illegal);
+        assert_eq!(classify_word(&e, &w(&["a", "b", "c", "a"])).unwrap(), WordClass::Illegal);
+    }
+
+    #[test]
+    fn codes_match_fig9() {
+        assert_eq!(WordClass::Illegal.code(), 0);
+        assert_eq!(WordClass::Partial.code(), 1);
+        assert_eq!(WordClass::Complete.code(), 2);
+    }
+
+    #[test]
+    fn quantified_examination_constraint() {
+        // A patient may pass through at most one examination at a time.
+        let e = parse("(some x { call(1, x) - perform(1, x) })*").unwrap();
+        let call = |x: &str| Action::concrete("call", [Value::int(1), Value::sym(x)]);
+        let perform = |x: &str| Action::concrete("perform", [Value::int(1), Value::sym(x)]);
+        assert!(is_complete(&e, &[call("sono"), perform("sono"), call("endo"), perform("endo")]));
+        assert!(is_partial(&e, &[call("sono")]));
+        assert!(!is_partial(&e, &[call("sono"), call("endo")]), "second call before perform");
+    }
+
+    #[test]
+    fn helpers_are_consistent() {
+        let e = parse("a | b").unwrap();
+        assert!(is_complete(&e, &w(&["b", "a"])));
+        assert!(is_partial(&e, &w(&["b"])));
+        assert!(!is_complete(&e, &w(&["b"])));
+        assert!(!is_partial(&e, &w(&["c"])));
+    }
+}

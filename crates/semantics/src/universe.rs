@@ -1,0 +1,190 @@
+//! Finite groundings of the infinite value domain Ω.
+//!
+//! The formal semantics quantifies over an infinite set Ω of values.  For the
+//! bounded reference algorithm a quantifier is grounded over a finite
+//! [`Universe`]: the values that occur in the expression and in the words
+//! under consideration, plus a number of *fresh* values that stand for "all
+//! the other" elements of Ω.  One fresh value is sufficient whenever the
+//! words under test do not mention it (instantiations with different unseen
+//! values behave identically); more can be requested for experiments with
+//! non-completely-quantified parallel quantifiers.
+
+use ix_core::{Action, Expr, Value};
+use std::collections::BTreeSet;
+
+/// A finite grounding set for quantified parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Universe {
+    values: Vec<Value>,
+}
+
+impl Universe {
+    /// Creates a universe from explicit values (duplicates removed, order
+    /// preserved).
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Universe {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for v in values {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        Universe { values: out }
+    }
+
+    /// A universe consisting of the values mentioned in the given expression
+    /// and words.
+    pub fn observed(expr: &Expr, words: &[&[Action]]) -> Universe {
+        let mut vals: Vec<Value> = expr.mentioned_values().into_iter().collect();
+        for w in words {
+            for a in *w {
+                for v in a.values() {
+                    if !vals.contains(&v) {
+                        vals.push(v);
+                    }
+                }
+            }
+        }
+        Universe::new(vals)
+    }
+
+    /// Adds `n` fresh symbolic values that are guaranteed not to collide with
+    /// application values (they are named `_fresh_0`, `_fresh_1`, ...).
+    pub fn with_fresh(mut self, n: usize) -> Universe {
+        for i in 0..n {
+            let v = Value::sym(&format!("_fresh_{i}"));
+            if !self.values.contains(&v) {
+                self.values.push(v);
+            }
+        }
+        self
+    }
+
+    /// The grounding values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of grounding values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All concrete instantiations of an abstract action, replacing every
+    /// parameter position with every universe value (the concrete footprint
+    /// of the action within this grounding).
+    pub fn ground_action(&self, action: &Action) -> Vec<Action> {
+        let mut results = vec![action.clone()];
+        for p in action.params() {
+            let mut next = Vec::new();
+            for partial in &results {
+                for v in &self.values {
+                    next.push(partial.substitute(p, *v));
+                }
+            }
+            results = next;
+        }
+        results.retain(Action::is_concrete);
+        results.sort();
+        results.dedup();
+        results
+    }
+
+    /// All concrete instantiations of every action of an alphabet.
+    pub fn ground_alphabet(&self, alphabet: &ix_core::Alphabet) -> Vec<Action> {
+        let mut out: Vec<Action> = alphabet
+            .actions()
+            .flat_map(|a| self.ground_action(a))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The concrete footprint of an abstract action used as "self" for
+    /// argument-free actions.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.values.contains(v)
+    }
+}
+
+impl FromIterator<Value> for Universe {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Universe {
+        Universe::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::builder::{act, actp, pt, vt};
+    use ix_core::{Param, Term};
+
+    #[test]
+    fn construction_deduplicates() {
+        let u = Universe::new([Value::int(1), Value::int(1), Value::int(2)]);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&Value::int(2)));
+    }
+
+    #[test]
+    fn fresh_values_do_not_collide() {
+        let u = Universe::new([Value::int(1)]).with_fresh(2);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&Value::sym("_fresh_0")));
+        assert!(u.contains(&Value::sym("_fresh_1")));
+        // Adding fresh twice does not duplicate.
+        let u2 = u.clone().with_fresh(2);
+        assert_eq!(u2.len(), 3);
+    }
+
+    #[test]
+    fn observed_collects_expression_and_word_values() {
+        let e = act("call", [pt("p"), vt("sono")]);
+        let w = vec![Action::concrete("call", [Value::int(7), Value::sym("sono")])];
+        let u = Universe::observed(&e, &[&w]);
+        assert!(u.contains(&Value::sym("sono")));
+        assert!(u.contains(&Value::int(7)));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn ground_action_enumerates_all_instantiations() {
+        let u = Universe::new([Value::int(1), Value::int(2)]);
+        let a = Action::new("call", [Term::Param(Param::new("p")), Term::Value(Value::sym("x"))]);
+        let grounded = u.ground_action(&a);
+        assert_eq!(grounded.len(), 2);
+        assert!(grounded.iter().all(Action::is_concrete));
+        // Two parameters: cartesian product.
+        let b = Action::new("pair", [Term::Param(Param::new("p")), Term::Param(Param::new("q"))]);
+        assert_eq!(u.ground_action(&b).len(), 4);
+    }
+
+    #[test]
+    fn ground_action_of_concrete_action_is_itself() {
+        let u = Universe::new([Value::int(1)]);
+        let a = Action::concrete("done", [Value::int(9)]);
+        assert_eq!(u.ground_action(&a), vec![a]);
+    }
+
+    #[test]
+    fn ground_alphabet_covers_all_atoms() {
+        let u = Universe::new([Value::int(1), Value::int(2)]);
+        let e = ix_core::Expr::seq(actp("a", &["p"]), actp("b", &["p"]));
+        let grounded = u.ground_alphabet(&e.alphabet());
+        assert_eq!(grounded.len(), 4);
+    }
+
+    #[test]
+    fn empty_universe_grounds_parameterized_actions_to_nothing() {
+        let u = Universe::new([]);
+        assert!(u.is_empty());
+        let a = Action::new("a", [Term::Param(Param::new("p"))]);
+        assert!(u.ground_action(&a).is_empty());
+    }
+}

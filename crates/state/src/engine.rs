@@ -1,0 +1,311 @@
+//! The word and action problems (Fig. 9 of the paper).
+//!
+//! * The **word problem** classifies a finite action sequence as a complete,
+//!   partial or illegal word of an expression ([`word_problem`]).
+//! * The **action problem** is the on-line variant that drives real systems:
+//!   actions arrive one at a time and each must be accepted or rejected
+//!   immediately ([`Engine::try_execute`]).  Acceptance is decided by a
+//!   *tentative* state transition: if the successor state is valid the
+//!   transition is committed, otherwise the current state is kept — exactly
+//!   the `action()` loop of Fig. 9.
+//!
+//! The [`Engine`] is the component the interaction manager of `ix-manager`
+//! wraps; it also records the per-transition state metrics used by the
+//! complexity experiments.
+
+use crate::error::StateResult;
+use crate::init::init;
+use crate::predicates::{is_final, is_valid};
+use crate::state::{State, StateMetrics};
+use crate::trans::{trans_with, TransitionOptions};
+use ix_core::{Action, Expr};
+
+/// Classification of a word, mirroring the integer result of the paper's
+/// `word()` function (0 = illegal, 1 = partial, 2 = complete).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordStatus {
+    /// The word is not a partial word of the expression.
+    Illegal,
+    /// The word is a partial but not a complete word.
+    Partial,
+    /// The word is a complete word.
+    Complete,
+}
+
+impl WordStatus {
+    /// The paper's integer encoding.
+    pub fn code(self) -> i32 {
+        match self {
+            WordStatus::Illegal => 0,
+            WordStatus::Partial => 1,
+            WordStatus::Complete => 2,
+        }
+    }
+}
+
+/// Solves the word problem for a closed expression using the operational
+/// state model (the efficient counterpart of
+/// `ix_semantics::classify_word`).
+pub fn word_problem(expr: &Expr, word: &[Action]) -> StateResult<WordStatus> {
+    let mut state = init(expr)?;
+    for action in word {
+        state = trans_with(&state, action, TransitionOptions::default());
+        if state.is_null() {
+            return Ok(WordStatus::Illegal);
+        }
+    }
+    Ok(if is_final(&state) {
+        WordStatus::Complete
+    } else if is_valid(&state) {
+        WordStatus::Partial
+    } else {
+        WordStatus::Illegal
+    })
+}
+
+/// An incremental evaluator of one interaction expression: the component
+/// that answers "is this action currently permitted?" and tracks the state
+/// across committed executions.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    expr: Expr,
+    state: State,
+    options: TransitionOptions,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the default (optimizing) transition options.
+    pub fn new(expr: &Expr) -> StateResult<Engine> {
+        Engine::with_options(expr, TransitionOptions::default())
+    }
+
+    /// Creates an engine with explicit transition options.
+    pub fn with_options(expr: &Expr, options: TransitionOptions) -> StateResult<Engine> {
+        Ok(Engine { expr: expr.clone(), state: init(expr)?, options, accepted: 0, rejected: 0 })
+    }
+
+    /// The expression this engine enforces.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Metrics of the current state (size, alternatives).
+    pub fn metrics(&self) -> StateMetrics {
+        StateMetrics::of(&self.state)
+    }
+
+    /// True if the action sequence committed so far is a partial word.
+    /// (Always true unless the engine was constructed from an unsatisfiable
+    /// state or fed through [`Engine::force_execute`].)
+    pub fn is_valid(&self) -> bool {
+        is_valid(&self.state)
+    }
+
+    /// True if the action sequence committed so far is a complete word.
+    pub fn is_final(&self) -> bool {
+        is_final(&self.state)
+    }
+
+    /// Number of accepted (committed) actions.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of rejected action attempts.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Tentatively checks whether the action would currently be accepted,
+    /// without changing the state (step 1/2 of the coordination protocol:
+    /// "ask" / "reply").
+    pub fn is_permitted(&self, action: &Action) -> bool {
+        if !action.is_concrete() {
+            return false;
+        }
+        let next = trans_with(&self.state, action, self.options);
+        is_valid(&next)
+    }
+
+    /// Filters the permitted actions out of a candidate list (used to keep
+    /// worklists up to date).
+    pub fn permitted<'a>(&self, candidates: &'a [Action]) -> Vec<&'a Action> {
+        candidates.iter().filter(|a| self.is_permitted(a)).collect()
+    }
+
+    /// Performs the accept/reject step of the action problem: the action is
+    /// committed iff its tentative successor state is valid.  Returns true
+    /// if the action was accepted.
+    pub fn try_execute(&mut self, action: &Action) -> bool {
+        if !action.is_concrete() {
+            self.rejected += 1;
+            return false;
+        }
+        let next = trans_with(&self.state, action, self.options);
+        if is_valid(&next) {
+            self.state = next;
+            self.accepted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Commits the action unconditionally, even if it invalidates the state.
+    /// Used by failure-injection tests to model clients that bypass the
+    /// coordination protocol.
+    pub fn force_execute(&mut self, action: &Action) {
+        self.state = trans_with(&self.state, action, self.options);
+        self.accepted += 1;
+    }
+
+    /// Feeds a whole word, stopping at the first rejected action.  Returns
+    /// the number of accepted actions.
+    pub fn feed(&mut self, word: &[Action]) -> usize {
+        let mut n = 0;
+        for action in word {
+            if self.try_execute(action) {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Resets the engine to the initial state of its expression.
+    pub fn reset(&mut self) {
+        self.state = init(&self.expr).expect("expression validated at construction");
+        self.accepted = 0;
+        self.rejected = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    #[test]
+    fn word_problem_matches_fig9_codes() {
+        let e = parse("a - b").unwrap();
+        assert_eq!(word_problem(&e, &[]).unwrap(), WordStatus::Partial);
+        assert_eq!(word_problem(&e, &[a("a")]).unwrap(), WordStatus::Partial);
+        assert_eq!(word_problem(&e, &[a("a"), a("b")]).unwrap(), WordStatus::Complete);
+        assert_eq!(word_problem(&e, &[a("b")]).unwrap(), WordStatus::Illegal);
+        assert_eq!(WordStatus::Complete.code(), 2);
+    }
+
+    #[test]
+    fn action_problem_accepts_and_rejects() {
+        let e = parse("(x + y)*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        assert!(eng.try_execute(&a("x")));
+        assert!(eng.try_execute(&a("y")));
+        assert!(!eng.try_execute(&a("z")));
+        assert_eq!(eng.accepted(), 2);
+        assert_eq!(eng.rejected(), 1);
+        assert!(eng.is_final());
+    }
+
+    #[test]
+    fn tentative_checks_do_not_change_state() {
+        let e = parse("a - b").unwrap();
+        let eng = Engine::new(&e).unwrap();
+        assert!(eng.is_permitted(&a("a")));
+        assert!(!eng.is_permitted(&a("b")));
+        // Still at the initial state.
+        assert!(eng.is_permitted(&a("a")));
+        assert_eq!(eng.accepted(), 0);
+    }
+
+    #[test]
+    fn permitted_filters_candidates() {
+        let e = parse("(call(1, sono) - perform(1, sono)) @ (call(1, endo) - perform(1, endo))")
+            .unwrap();
+        let eng = Engine::new(&e).unwrap();
+        let candidates = vec![
+            Action::concrete("call", [Value::int(1), Value::sym("sono")]),
+            Action::concrete("perform", [Value::int(1), Value::sym("sono")]),
+            Action::concrete("call", [Value::int(1), Value::sym("endo")]),
+        ];
+        let permitted = eng.permitted(&candidates);
+        assert_eq!(permitted.len(), 2, "both calls allowed, perform not yet");
+    }
+
+    #[test]
+    fn mutual_exclusion_scenario_from_the_introduction() {
+        // Once the patient is called to one examination, the other call is
+        // disabled until the first examination is performed.
+        let e = parse(
+            "(call(1, sono) - perform(1, sono)) + (call(1, endo) - perform(1, endo)) \
+             + (call(1, sono) - perform(1, sono) - call(1, endo) - perform(1, endo)) \
+             + (call(1, endo) - perform(1, endo) - call(1, sono) - perform(1, sono))",
+        )
+        .unwrap();
+        let call = |x: &str| Action::concrete("call", [Value::int(1), Value::sym(x)]);
+        let perform = |x: &str| Action::concrete("perform", [Value::int(1), Value::sym(x)]);
+        let mut eng = Engine::new(&e).unwrap();
+        assert!(eng.is_permitted(&call("sono")));
+        assert!(eng.is_permitted(&call("endo")));
+        assert!(eng.try_execute(&call("sono")));
+        assert!(!eng.is_permitted(&call("endo")), "temporarily disabled");
+        assert!(eng.try_execute(&perform("sono")));
+        assert!(eng.is_permitted(&call("endo")), "re-enabled after completion");
+    }
+
+    #[test]
+    fn feed_and_reset() {
+        let e = parse("a - b - c").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        assert_eq!(eng.feed(&[a("a"), a("b"), a("z"), a("c")]), 2);
+        assert!(!eng.is_final());
+        eng.reset();
+        assert_eq!(eng.accepted(), 0);
+        assert_eq!(eng.feed(&[a("a"), a("b"), a("c")]), 3);
+        assert!(eng.is_final());
+    }
+
+    #[test]
+    fn force_execute_can_invalidate_the_state() {
+        let e = parse("a").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.force_execute(&a("z"));
+        assert!(!eng.is_valid());
+        assert!(!eng.try_execute(&a("a")), "nothing is permitted in the null state");
+    }
+
+    #[test]
+    fn non_concrete_actions_are_rejected() {
+        let e = parse("a").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        let abstract_action =
+            Action::new("a", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        assert!(!eng.is_permitted(&abstract_action));
+        assert!(!eng.try_execute(&abstract_action));
+    }
+
+    #[test]
+    fn engine_metrics_reflect_state_growth() {
+        let e = parse("(a - b)#").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        let m0 = eng.metrics();
+        eng.try_execute(&a("a"));
+        eng.try_execute(&a("a"));
+        let m2 = eng.metrics();
+        assert!(m2.size >= m0.size);
+        assert!(!m2.is_null);
+    }
+}

@@ -1,0 +1,214 @@
+//! The optimization function ρ of the state model (Secs. 4–5).
+//!
+//! ρ maps a state to an equivalent but less complex state: alternatives whose
+//! components are invalid are removed (they do not represent reasonable
+//! walker positions), duplicate alternatives are collapsed, and — as Sec. 5
+//! describes — invalid states are recognized eagerly and mapped to the
+//! special null state, which makes the separate validity predicate ψ
+//! dispensable in the optimized engine.  The partial-word sets Ψ are
+//! prefix-closed, so once a sub-state is invalid no continuation can revive
+//! it and dropping it preserves both ψ and ϕ.
+//!
+//! The optimization can be switched off (see
+//! [`crate::trans::TransitionOptions`]) to reproduce the worst-case state
+//! growth the complexity analysis of Sec. 6 warns about; the ablation
+//! benchmark `optimization_ablation` measures the difference.
+
+use crate::predicates::is_valid;
+use crate::state::{QuantState, State};
+
+/// The optimization function ρ: prunes invalid alternatives, deduplicates,
+/// and collapses invalid states to [`State::Null`].
+pub fn optimize(state: &State) -> State {
+    if !is_valid(state) {
+        return State::Null;
+    }
+    match state {
+        State::Null
+        | State::Epsilon
+        | State::AtomFresh { .. }
+        | State::AtomDone => state.clone(),
+        State::Option { at_start, body } => State::Option {
+            at_start: *at_start,
+            body: Box::new(optimize(body)),
+        },
+        State::Seq { right_expr, left, rights } => {
+            let mut new_rights: Vec<State> =
+                rights.iter().filter(|r| is_valid(r)).map(optimize).collect();
+            new_rights.sort();
+            new_rights.dedup();
+            State::Seq {
+                right_expr: right_expr.clone(),
+                left: Box::new(optimize(left)),
+                rights: new_rights,
+            }
+        }
+        State::SeqIter { body_expr, boundary, runs } => {
+            let mut new_runs: Vec<State> =
+                runs.iter().filter(|r| is_valid(r)).map(optimize).collect();
+            new_runs.sort();
+            new_runs.dedup();
+            State::SeqIter { body_expr: body_expr.clone(), boundary: *boundary, runs: new_runs }
+        }
+        State::Par { alts } => {
+            let mut new_alts: Vec<(State, State)> = alts
+                .iter()
+                .filter(|(l, r)| is_valid(l) && is_valid(r))
+                .map(|(l, r)| (optimize(l), optimize(r)))
+                .collect();
+            new_alts.sort();
+            new_alts.dedup();
+            State::Par { alts: new_alts }
+        }
+        State::ParIter { body_expr, alts } => {
+            let new_alts = prune_thread_alts(alts);
+            State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
+        }
+        State::Or { left, right } => State::Or {
+            left: Box::new(optimize(left)),
+            right: Box::new(optimize(right)),
+        },
+        State::And { left, right } => State::And {
+            left: Box::new(optimize(left)),
+            right: Box::new(optimize(right)),
+        },
+        State::Sync { left_alpha, right_alpha, left, right } => State::Sync {
+            left_alpha: left_alpha.clone(),
+            right_alpha: right_alpha.clone(),
+            left: Box::new(optimize(left)),
+            right: Box::new(optimize(right)),
+        },
+        State::SomeQ(q) => State::SomeQ(optimize_quant(q)),
+        State::AllQ(q) => State::AllQ(optimize_quant(q)),
+        State::SyncQ(q) => State::SyncQ(optimize_quant(q)),
+        State::ParQ { param, body_expr, body_accepts_epsilon, alts } => {
+            let mut new_alts: Vec<_> = alts
+                .iter()
+                .filter(|branches| branches.values().all(is_valid))
+                .map(|branches| {
+                    branches.iter().map(|(v, s)| (*v, optimize(s))).collect()
+                })
+                .collect();
+            new_alts.sort();
+            new_alts.dedup();
+            State::ParQ {
+                param: *param,
+                body_expr: body_expr.clone(),
+                body_accepts_epsilon: *body_accepts_epsilon,
+                alts: new_alts,
+            }
+        }
+        State::Mult { body_expr, capacity, body_accepts_epsilon, alts } => State::Mult {
+            body_expr: body_expr.clone(),
+            capacity: *capacity,
+            body_accepts_epsilon: *body_accepts_epsilon,
+            alts: prune_thread_alts(alts),
+        },
+    }
+}
+
+/// Prunes alternatives that contain an invalid thread, optimizes the
+/// survivors and deduplicates.
+fn prune_thread_alts(alts: &[Vec<State>]) -> Vec<Vec<State>> {
+    let mut out: Vec<Vec<State>> = alts
+        .iter()
+        .filter(|threads| threads.iter().all(is_valid))
+        .map(|threads| {
+            let mut t: Vec<State> = threads.iter().map(optimize).collect();
+            t.sort();
+            t
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Optimizes a quantifier state.  For conjunctive quantifiers (conjunction
+/// and synchronization quantifier) an invalid branch or template makes the
+/// whole state invalid, which the top-level validity check already turned
+/// into `Null`; the per-branch optimization below therefore only tidies up.
+/// For the disjunction quantifier, invalid branches are kept (as `Null`)
+/// rather than removed: removing them could let a later re-instantiation
+/// from the (still valid) template resurrect a branch that is already dead.
+fn optimize_quant(q: &QuantState) -> QuantState {
+    QuantState {
+        param: q.param,
+        body_expr: q.body_expr.clone(),
+        scope: q.scope.clone(),
+        template: Box::new(optimize(&q.template)),
+        branches: q.branches.iter().map(|(v, s)| (*v, optimize(s))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::init;
+    use crate::predicates::{is_final, is_valid};
+    use ix_core::parse;
+
+    #[test]
+    fn invalid_states_collapse_to_null() {
+        let s = State::Par { alts: vec![(State::Null, State::AtomDone)] };
+        assert_eq!(optimize(&s), State::Null);
+        assert_eq!(optimize(&State::Null), State::Null);
+    }
+
+    #[test]
+    fn pruning_removes_dead_alternatives_but_keeps_live_ones() {
+        let s = State::Par {
+            alts: vec![
+                (State::AtomDone, State::Null),
+                (State::AtomDone, State::Epsilon),
+                (State::AtomDone, State::Epsilon),
+            ],
+        };
+        let o = optimize(&s);
+        match &o {
+            State::Par { alts } => assert_eq!(alts.len(), 1, "pruned and deduplicated"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(is_valid(&s), is_valid(&o));
+        assert_eq!(is_final(&s), is_final(&o));
+    }
+
+    #[test]
+    fn optimization_preserves_predicates_on_initial_states() {
+        for src in [
+            "a - b", "(a + b)*", "a | b", "a#", "mult 3 { a? }", "some p { a(p) }",
+            "all p { a(p)? }", "sync x { (a(x) - b(x))* }",
+        ] {
+            let e = parse(src).unwrap();
+            let s = init(&e).unwrap();
+            let o = optimize(&s);
+            assert_eq!(is_valid(&s), is_valid(&o), "ψ preserved for {src}");
+            assert_eq!(is_final(&s), is_final(&o), "ϕ preserved for {src}");
+        }
+    }
+
+    #[test]
+    fn sequences_drop_null_right_runs() {
+        let s = State::Seq {
+            right_expr: ix_core::builder::act0("b"),
+            left: Box::new(State::AtomDone),
+            rights: vec![State::Null, State::AtomDone],
+        };
+        match optimize(&s) {
+            State::Seq { rights, .. } => assert_eq!(rights, vec![State::AtomDone]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_size_but_never_changes_meaning() {
+        let s = State::SeqIter {
+            body_expr: ix_core::builder::act0("a"),
+            boundary: false,
+            runs: vec![State::Null, State::Null, State::AtomDone],
+        };
+        let o = optimize(&s);
+        assert!(o.size() < s.size());
+        assert_eq!(is_valid(&o), is_valid(&s));
+    }
+}

@@ -1,0 +1,592 @@
+//! The state objects of the operational semantics (Sec. 4).
+//!
+//! Every interaction expression x is assigned an initial state σ(x); a state
+//! transition function τ maps a state and an action to a successor state;
+//! the predicates ψ ("valid") and ϕ ("final") correspond to the partial- and
+//! complete-word sets of the formal semantics; and the optimization function
+//! ρ replaces states by equivalent but smaller ones.  The construction of
+//! σ, τ, ψ, ϕ and ρ lives in the sibling modules `init`, `trans`,
+//! `predicates` and `optimize`; this module defines the state *data* and the
+//! generic helpers they share (size metrics and parameter substitution, which
+//! is what turns a quantifier's template state into the state of a concrete
+//! branch).
+//!
+//! States are hierarchically structured values mirroring the expression tree,
+//! with sets of *alternatives* wherever the walker metaphor of the paper
+//! allows several positions at once (sequences, iterations, parallel
+//! compositions, quantifiers).
+
+use ix_core::{Action, Alphabet, Expr, Param, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An alphabet together with the set of parameters that are bound by
+/// quantifiers *outside* the expression the alphabet belongs to.
+///
+/// The synchronization operator and quantifier route an action to an operand
+/// only if the operand's alphabet covers it.  Parameters bound by quantifiers
+/// *inside* the operand act as wildcards (the operand's own quantifier will
+/// dispatch on the value), whereas parameters bound *outside* stand for a
+/// specific-but-not-yet-observed value ("fresh") and therefore never match a
+/// concrete action; they become concrete when the enclosing quantifier
+/// instantiates the state by substitution.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ScopedAlphabet {
+    /// The abstract actions of the operand.
+    pub alphabet: Alphabet,
+    /// Parameters treated as "fresh, never matching" (bound outside).
+    pub blocked: BTreeSet<Param>,
+}
+
+impl ScopedAlphabet {
+    /// Builds the scoped alphabet of an operand expression: its alphabet plus
+    /// its free parameters as blocked parameters.
+    pub fn of(operand: &Expr) -> ScopedAlphabet {
+        ScopedAlphabet { alphabet: operand.alphabet(), blocked: operand.free_params() }
+    }
+
+    /// True if the concrete action is covered by the alphabet, treating
+    /// blocked parameters as never matching and all other parameters as
+    /// wildcards.
+    pub fn covers(&self, concrete: &Action) -> bool {
+        self.covers_blocking(concrete, &[])
+    }
+
+    /// Like [`ScopedAlphabet::covers`] but with additional temporarily
+    /// blocked parameters (used for quantifier templates, where the
+    /// quantifier's own parameter is also fresh).
+    pub fn covers_blocking(&self, concrete: &Action, extra_blocked: &[Param]) -> bool {
+        self.alphabet.actions().any(|a| {
+            let mentions_blocked = a
+                .params()
+                .iter()
+                .any(|p| self.blocked.contains(p) || extra_blocked.contains(p));
+            if mentions_blocked {
+                // An atom mentioning a fresh parameter can only match actions
+                // containing that (unobserved) value — i.e. never.
+                false
+            } else {
+                a.matches_concrete(concrete)
+            }
+        })
+    }
+
+    /// Coverage for a specific instantiation of a parameter (used for
+    /// quantifier branches): the parameter is substituted before matching.
+    pub fn covers_with(&self, concrete: &Action, param: Param, value: Value) -> bool {
+        self.alphabet.actions().any(|a| {
+            let inst = a.substitute(param, value);
+            let mentions_blocked = inst.params().iter().any(|p| self.blocked.contains(p));
+            if mentions_blocked {
+                false
+            } else {
+                inst.matches_concrete(concrete)
+            }
+        })
+    }
+
+    /// Substitutes a value for a parameter (when an enclosing quantifier
+    /// instantiates a branch); the parameter stops being blocked.
+    pub fn substitute(&self, param: Param, value: Value) -> ScopedAlphabet {
+        let mut blocked = self.blocked.clone();
+        blocked.remove(&param);
+        ScopedAlphabet {
+            alphabet: self.alphabet.actions().map(|a| a.substitute(param, value)).collect(),
+            blocked,
+        }
+    }
+}
+
+/// A state of the operational semantics.
+///
+/// `State` values are immutable; transitions build new states (sharing is by
+/// value, which keeps the tentative-transition pattern of the action problem
+/// allocation-friendly: the old state simply stays around if the transition
+/// is rejected).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum State {
+    /// The null (invalid) state: no walker position is consistent with the
+    /// actions processed so far.
+    Null,
+    /// State of the empty expression ε: valid and final until any action is
+    /// processed.
+    Epsilon,
+    /// State of an atomic expression whose action has not been traversed yet.
+    AtomFresh {
+        /// The expected action (may be non-concrete, in which case it can
+        /// never be traversed).
+        action: Action,
+    },
+    /// State of an atomic expression whose action has been traversed.
+    AtomDone,
+    /// State of an option.
+    Option {
+        /// True while no action has been processed (ε is still a complete
+        /// word of the option).
+        at_start: bool,
+        /// State of the body.
+        body: Box<State>,
+    },
+    /// State of a sequential composition y − z.
+    Seq {
+        /// The right operand, needed to spawn new right-hand runs whenever
+        /// the left operand completes.
+        right_expr: Expr,
+        /// State of the left operand.
+        left: Box<State>,
+        /// States of right-operand runs, one per completion point of the
+        /// left operand (deduplicated, sorted).
+        rights: Vec<State>,
+    },
+    /// State of a sequential iteration y*.
+    SeqIter {
+        /// The body expression, needed to start the next iteration.
+        body_expr: Expr,
+        /// True if the consumed word is a complete concatenation of body
+        /// words (the walker stands at an iteration boundary).
+        boundary: bool,
+        /// States of in-progress body runs (deduplicated, sorted).
+        runs: Vec<State>,
+    },
+    /// State of a parallel composition y ‖ z: the set of alternatives of the
+    /// paper's running example, each a pair of operand states.
+    Par {
+        /// The alternatives [l, r].
+        alts: Vec<(State, State)>,
+    },
+    /// State of a parallel iteration y#.
+    ParIter {
+        /// The body expression, needed to spawn new concurrent instances.
+        body_expr: Expr,
+        /// Alternatives; each alternative is the multiset (sorted vector) of
+        /// states of body instances that have consumed at least one action.
+        alts: Vec<Vec<State>>,
+    },
+    /// State of a disjunction y ∨ z.
+    Or {
+        /// State of the left operand.
+        left: Box<State>,
+        /// State of the right operand.
+        right: Box<State>,
+    },
+    /// State of a conjunction y ∧ z.
+    And {
+        /// State of the left operand.
+        left: Box<State>,
+        /// State of the right operand.
+        right: Box<State>,
+    },
+    /// State of a synchronization y ⊗ z (coupling operator).
+    Sync {
+        /// Scoped alphabet of the left operand (the actions it constrains).
+        left_alpha: ScopedAlphabet,
+        /// Scoped alphabet of the right operand.
+        right_alpha: ScopedAlphabet,
+        /// State of the left operand.
+        left: Box<State>,
+        /// State of the right operand.
+        right: Box<State>,
+    },
+    /// State of a disjunction quantifier (for some p).
+    SomeQ(QuantState),
+    /// State of a conjunction quantifier (for every p).
+    AllQ(QuantState),
+    /// State of a synchronization quantifier.
+    SyncQ(QuantState),
+    /// State of a parallel quantifier (for all p, concurrently).
+    ParQ {
+        /// The quantified parameter.
+        param: Param,
+        /// The (uninstantiated) body expression.
+        body_expr: Expr,
+        /// Whether ε is a complete word of the body — required for the
+        /// quantifier to have any complete word at all (the infinite shuffle
+        /// is empty otherwise).
+        body_accepts_epsilon: bool,
+        /// Alternatives; each alternative maps the values whose branch has
+        /// consumed at least one action to that branch's state.
+        alts: Vec<BTreeMap<Value, State>>,
+    },
+    /// State of a multiplier (n concurrent instances of the body).
+    Mult {
+        /// The body expression, needed to start instances lazily.
+        body_expr: Expr,
+        /// Total number of instances n.
+        capacity: u32,
+        /// Whether ε is a complete word of the body (idle instances must be
+        /// able to contribute the empty word for the whole state to be
+        /// final).
+        body_accepts_epsilon: bool,
+        /// Alternatives; each alternative is the multiset (sorted vector) of
+        /// states of instances that have consumed at least one action.
+        alts: Vec<Vec<State>>,
+    },
+}
+
+/// Shared representation of the three "whole word per branch" quantifiers
+/// (disjunction, conjunction, synchronization): a *template* state standing
+/// for every value that has not occurred yet, plus one instantiated branch
+/// per observed value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QuantState {
+    /// The quantified parameter.
+    pub param: Param,
+    /// The (uninstantiated) body expression.
+    pub body_expr: Expr,
+    /// Scoped alphabet of the body, used by the synchronization quantifier to
+    /// route actions.  The blocked set contains every parameter free in the
+    /// body (including the quantifier's own parameter); branch coverage
+    /// substitutes the quantifier parameter before matching, template
+    /// coverage leaves it blocked.
+    pub scope: ScopedAlphabet,
+    /// State of the body with the parameter left unbound; it represents all
+    /// branches whose value has not yet occurred in any processed action.
+    pub template: Box<State>,
+    /// Branch states for values that have occurred, keyed by value.
+    pub branches: BTreeMap<Value, State>,
+}
+
+impl State {
+    /// True if this is the null (invalid) state.
+    pub fn is_null(&self) -> bool {
+        matches!(self, State::Null)
+    }
+
+    /// The *size* of a state: the number of nodes of the hierarchical state
+    /// object.  This is the quantity whose growth Sec. 6 analyses (for a
+    /// parallel composition it is dominated by the number of alternatives).
+    pub fn size(&self) -> usize {
+        match self {
+            State::Null | State::Epsilon | State::AtomFresh { .. } | State::AtomDone => 1,
+            State::Option { body, .. } => 1 + body.size(),
+            State::Seq { left, rights, .. } => {
+                1 + left.size() + rights.iter().map(State::size).sum::<usize>()
+            }
+            State::SeqIter { runs, .. } => 1 + runs.iter().map(State::size).sum::<usize>(),
+            State::Par { alts } => {
+                1 + alts.iter().map(|(l, r)| l.size() + r.size()).sum::<usize>()
+            }
+            State::ParIter { alts, .. } | State::Mult { alts, .. } => {
+                1 + alts
+                    .iter()
+                    .map(|threads| 1 + threads.iter().map(State::size).sum::<usize>())
+                    .sum::<usize>()
+            }
+            State::Or { left, right } | State::And { left, right } => {
+                1 + left.size() + right.size()
+            }
+            State::Sync { left, right, .. } => 1 + left.size() + right.size(),
+            State::SomeQ(q) | State::AllQ(q) | State::SyncQ(q) => {
+                1 + q.template.size() + q.branches.values().map(State::size).sum::<usize>()
+            }
+            State::ParQ { alts, .. } => {
+                1 + alts
+                    .iter()
+                    .map(|branches| 1 + branches.values().map(State::size).sum::<usize>())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// The total number of alternatives held anywhere in the state — the
+    /// quantity the optimization function ρ keeps small in practice (Sec. 6).
+    pub fn alternative_count(&self) -> usize {
+        match self {
+            State::Null | State::Epsilon | State::AtomFresh { .. } | State::AtomDone => 0,
+            State::Option { body, .. } => body.alternative_count(),
+            State::Seq { left, rights, .. } => {
+                rights.len()
+                    + left.alternative_count()
+                    + rights.iter().map(State::alternative_count).sum::<usize>()
+            }
+            State::SeqIter { runs, .. } => {
+                runs.len() + runs.iter().map(State::alternative_count).sum::<usize>()
+            }
+            State::Par { alts } => {
+                alts.len()
+                    + alts
+                        .iter()
+                        .map(|(l, r)| l.alternative_count() + r.alternative_count())
+                        .sum::<usize>()
+            }
+            State::ParIter { alts, .. } | State::Mult { alts, .. } => {
+                alts.len()
+                    + alts
+                        .iter()
+                        .flat_map(|t| t.iter())
+                        .map(State::alternative_count)
+                        .sum::<usize>()
+            }
+            State::Or { left, right } | State::And { left, right } => {
+                left.alternative_count() + right.alternative_count()
+            }
+            State::Sync { left, right, .. } => {
+                left.alternative_count() + right.alternative_count()
+            }
+            State::SomeQ(q) | State::AllQ(q) | State::SyncQ(q) => {
+                q.template.alternative_count()
+                    + q.branches.values().map(State::alternative_count).sum::<usize>()
+            }
+            State::ParQ { alts, .. } => {
+                alts.len()
+                    + alts
+                        .iter()
+                        .flat_map(|b| b.values())
+                        .map(State::alternative_count)
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Substitutes a value for a parameter throughout the state, respecting
+    /// quantifier shadowing.  This is how a quantifier's template state is
+    /// turned into the state of the branch for a newly observed value: by the
+    /// substitution property, the branch for an unseen value ω behaves
+    /// exactly like the template until ω first occurs, so substituting at
+    /// that moment reconstructs the branch's true state.
+    pub fn substitute(&self, param: Param, value: Value) -> State {
+        match self {
+            State::Null => State::Null,
+            State::Epsilon => State::Epsilon,
+            State::AtomDone => State::AtomDone,
+            State::AtomFresh { action } => {
+                State::AtomFresh { action: action.substitute(param, value) }
+            }
+            State::Option { at_start, body } => State::Option {
+                at_start: *at_start,
+                body: Box::new(body.substitute(param, value)),
+            },
+            State::Seq { right_expr, left, rights } => State::Seq {
+                right_expr: right_expr.substitute(param, value),
+                left: Box::new(left.substitute(param, value)),
+                rights: rights.iter().map(|r| r.substitute(param, value)).collect(),
+            },
+            State::SeqIter { body_expr, boundary, runs } => State::SeqIter {
+                body_expr: body_expr.substitute(param, value),
+                boundary: *boundary,
+                runs: runs.iter().map(|r| r.substitute(param, value)).collect(),
+            },
+            State::Par { alts } => State::Par {
+                alts: alts
+                    .iter()
+                    .map(|(l, r)| (l.substitute(param, value), r.substitute(param, value)))
+                    .collect(),
+            },
+            State::ParIter { body_expr, alts } => State::ParIter {
+                body_expr: body_expr.substitute(param, value),
+                alts: alts
+                    .iter()
+                    .map(|threads| threads.iter().map(|t| t.substitute(param, value)).collect())
+                    .collect(),
+            },
+            State::Or { left, right } => State::Or {
+                left: Box::new(left.substitute(param, value)),
+                right: Box::new(right.substitute(param, value)),
+            },
+            State::And { left, right } => State::And {
+                left: Box::new(left.substitute(param, value)),
+                right: Box::new(right.substitute(param, value)),
+            },
+            State::Sync { left_alpha, right_alpha, left, right } => State::Sync {
+                left_alpha: left_alpha.substitute(param, value),
+                right_alpha: right_alpha.substitute(param, value),
+                left: Box::new(left.substitute(param, value)),
+                right: Box::new(right.substitute(param, value)),
+            },
+            State::SomeQ(q) => State::SomeQ(q.substitute(param, value)),
+            State::AllQ(q) => State::AllQ(q.substitute(param, value)),
+            State::SyncQ(q) => State::SyncQ(q.substitute(param, value)),
+            State::ParQ { param: own, body_expr, body_accepts_epsilon, alts } => {
+                if *own == param {
+                    // Shadowed: the inner quantifier rebinds the parameter.
+                    self.clone()
+                } else {
+                    State::ParQ {
+                        param: *own,
+                        body_expr: body_expr.substitute(param, value),
+                        body_accepts_epsilon: *body_accepts_epsilon,
+                        alts: alts
+                            .iter()
+                            .map(|branches| {
+                                branches
+                                    .iter()
+                                    .map(|(v, s)| (*v, s.substitute(param, value)))
+                                    .collect()
+                            })
+                            .collect(),
+                    }
+                }
+            }
+            State::Mult { body_expr, capacity, body_accepts_epsilon, alts } => State::Mult {
+                body_expr: body_expr.substitute(param, value),
+                capacity: *capacity,
+                body_accepts_epsilon: *body_accepts_epsilon,
+                alts: alts
+                    .iter()
+                    .map(|threads| threads.iter().map(|t| t.substitute(param, value)).collect())
+                    .collect(),
+            },
+        }
+    }
+}
+
+impl QuantState {
+    fn substitute(&self, param: Param, value: Value) -> QuantState {
+        if self.param == param {
+            // Shadowed by this quantifier's own binding.
+            return self.clone();
+        }
+        QuantState {
+            param: self.param,
+            body_expr: self.body_expr.substitute(param, value),
+            scope: self.scope.substitute(param, value),
+            template: Box::new(self.template.substitute(param, value)),
+            branches: self
+                .branches
+                .iter()
+                .map(|(v, s)| (*v, s.substitute(param, value)))
+                .collect(),
+        }
+    }
+}
+
+/// Summary metrics of a state, used by the complexity experiments of Sec. 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateMetrics {
+    /// Total node count of the state object.
+    pub size: usize,
+    /// Total number of alternatives across all alternative sets.
+    pub alternatives: usize,
+    /// Whether the state is the null state.
+    pub is_null: bool,
+}
+
+impl StateMetrics {
+    /// Captures the metrics of a state.
+    pub fn of(state: &State) -> StateMetrics {
+        StateMetrics {
+            size: state.size(),
+            alternatives: state.alternative_count(),
+            is_null: state.is_null(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::builder::{act0, actp};
+    use ix_core::Value;
+
+    #[test]
+    fn null_and_leaf_states() {
+        assert!(State::Null.is_null());
+        assert!(!State::Epsilon.is_null());
+        assert_eq!(State::Null.size(), 1);
+        assert_eq!(State::Epsilon.alternative_count(), 0);
+    }
+
+    #[test]
+    fn size_counts_nested_structure() {
+        let s = State::Par {
+            alts: vec![(State::AtomDone, State::Epsilon), (State::Null, State::AtomDone)],
+        };
+        assert_eq!(s.size(), 5);
+        assert_eq!(s.alternative_count(), 2);
+    }
+
+    #[test]
+    fn substitution_reaches_atoms_and_expressions() {
+        let p = ix_core::Param::new("p");
+        let s = State::Seq {
+            right_expr: actp("b", &["p"]),
+            left: Box::new(State::AtomFresh {
+                action: ix_core::Action::new("a", [ix_core::Term::Param(p)]),
+            }),
+            rights: vec![],
+        };
+        let s2 = s.substitute(p, Value::int(3));
+        match &s2 {
+            State::Seq { right_expr, left, .. } => {
+                assert!(right_expr.is_closed());
+                match left.as_ref() {
+                    State::AtomFresh { action } => assert!(action.is_concrete()),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitution_respects_quantifier_shadowing() {
+        let p = ix_core::Param::new("p");
+        let body = actp("a", &["p"]);
+        let inner = QuantState {
+            param: p,
+            body_expr: body.clone(),
+            scope: ScopedAlphabet::of(&body),
+            template: Box::new(State::AtomFresh {
+                action: ix_core::Action::new("a", [ix_core::Term::Param(p)]),
+            }),
+            branches: BTreeMap::new(),
+        };
+        let s = State::SomeQ(inner.clone());
+        let s2 = s.substitute(p, Value::int(1));
+        assert_eq!(s, s2, "the inner binding shadows the substitution");
+    }
+
+    #[test]
+    fn scoped_alphabet_blocks_outer_parameters() {
+        let body = ix_core::Expr::seq(actp("a", &["p"]), act0("c"));
+        let scope = ScopedAlphabet::of(&body);
+        let a1 = ix_core::Action::concrete("a", [Value::int(1)]);
+        let c = ix_core::Action::nullary("c");
+        // p is free in the body, hence blocked: a(1) is not covered...
+        assert!(!scope.covers(&a1));
+        // ...but c (no parameters) is, and so is a(1) once p is instantiated.
+        assert!(scope.covers(&c));
+        assert!(scope.covers_with(&a1, ix_core::Param::new("p"), Value::int(1)));
+        assert!(!scope.covers_with(&a1, ix_core::Param::new("p"), Value::int(2)));
+        // Substituting p concretizes the alphabet.
+        let inst = scope.substitute(ix_core::Param::new("p"), Value::int(1));
+        assert!(inst.covers(&a1));
+        assert!(!inst.covers(&ix_core::Action::concrete("a", [Value::int(2)])));
+    }
+
+    #[test]
+    fn scoped_alphabet_inner_parameters_are_wildcards() {
+        // A body whose parameter is bound by an inner quantifier: the
+        // parameter is not free, hence not blocked, hence a wildcard.
+        let body = ix_core::parse("some q { a(q) }").unwrap();
+        let scope = ScopedAlphabet::of(&body);
+        assert!(scope.covers(&ix_core::Action::concrete("a", [Value::int(7)])));
+        assert!(!scope.covers(&ix_core::Action::nullary("b")));
+        // Extra blocking (template use) can still disable matching.
+        assert!(scope.covers_blocking(
+            &ix_core::Action::concrete("a", [Value::int(7)]),
+            &[ix_core::Param::new("r")]
+        ));
+    }
+
+    #[test]
+    fn metrics_capture_size_and_alternatives() {
+        let s = State::SeqIter {
+            body_expr: act0("a"),
+            boundary: true,
+            runs: vec![State::AtomDone, State::AtomFresh { action: ix_core::Action::nullary("a") }],
+        };
+        let m = StateMetrics::of(&s);
+        assert_eq!(m.size, 3);
+        assert_eq!(m.alternatives, 2);
+        assert!(!m.is_null);
+    }
+
+    #[test]
+    fn states_order_and_hash() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<State> = [State::Null, State::Epsilon, State::AtomDone, State::Null]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 3);
+    }
+}

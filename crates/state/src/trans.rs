@@ -1,0 +1,453 @@
+//! The state transition function τ and its optimized variant τ̂ = ρ ∘ τ
+//! (Secs. 4–5).
+//!
+//! `step` is the pure transition function: it advances every possible walker
+//! position by the given concrete action, spawning new sub-runs where the
+//! expression allows them (next iterations, new parallel instances, new
+//! quantifier branches).  [`trans`] composes it with the optimization
+//! function ρ, exactly as the implementation section of the paper suggests;
+//! [`trans_with`] exposes the unoptimized variant for the ablation
+//! experiments of Sec. 6.
+
+use crate::init::initial_state;
+use crate::optimize::optimize;
+use crate::predicates::is_final;
+use crate::state::{QuantState, State};
+use ix_core::{Action, Value};
+
+/// Options controlling the transition function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionOptions {
+    /// Apply the optimization function ρ after every transition (the
+    /// default).  Switching this off reproduces the unbounded state growth
+    /// analysed in Sec. 6.
+    pub optimize: bool,
+}
+
+impl Default for TransitionOptions {
+    fn default() -> Self {
+        TransitionOptions { optimize: true }
+    }
+}
+
+/// The optimized state transition function τ̂(s, a) = ρ(τ(s, a)).
+pub fn trans(state: &State, action: &Action) -> State {
+    trans_with(state, action, TransitionOptions::default())
+}
+
+/// State transition with explicit options.
+pub fn trans_with(state: &State, action: &Action, opts: TransitionOptions) -> State {
+    let next = step(state, action);
+    if opts.optimize {
+        optimize(&next)
+    } else {
+        next
+    }
+}
+
+/// The pure transition function τ(s, a).
+pub fn step(state: &State, action: &Action) -> State {
+    match state {
+        State::Null => State::Null,
+        // ε accepts no action at all.
+        State::Epsilon => State::Null,
+        State::AtomFresh { action: expected } => {
+            if expected == action {
+                State::AtomDone
+            } else {
+                State::Null
+            }
+        }
+        State::AtomDone => State::Null,
+        State::Option { body, .. } => {
+            State::Option { at_start: false, body: Box::new(step(body, action)) }
+        }
+        State::Seq { right_expr, left, rights } => {
+            let new_left = step(left, action);
+            let mut new_rights: Vec<State> = rights.iter().map(|r| step(r, action)).collect();
+            if is_final(&new_left) {
+                new_rights.push(initial_state(right_expr));
+            }
+            new_rights.sort();
+            new_rights.dedup();
+            State::Seq {
+                right_expr: right_expr.clone(),
+                left: Box::new(new_left),
+                rights: new_rights,
+            }
+        }
+        State::SeqIter { body_expr, runs, .. } => {
+            let mut new_runs: Vec<State> = runs.iter().map(|r| step(r, action)).collect();
+            let boundary = new_runs.iter().any(is_final);
+            if boundary {
+                new_runs.push(initial_state(body_expr));
+            }
+            new_runs.sort();
+            new_runs.dedup();
+            State::SeqIter { body_expr: body_expr.clone(), boundary, runs: new_runs }
+        }
+        State::Par { alts } => {
+            // The paper's construction: every alternative [l, r] is replaced
+            // by the two alternatives [τ(l), r] and [l, τ(r)].
+            let mut new_alts = Vec::with_capacity(alts.len() * 2);
+            for (l, r) in alts {
+                new_alts.push((step(l, action), r.clone()));
+                new_alts.push((l.clone(), step(r, action)));
+            }
+            State::Par { alts: new_alts }
+        }
+        State::ParIter { body_expr, alts } => {
+            let new_alts = step_thread_alts(alts, body_expr, action, None);
+            State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
+        }
+        State::Or { left, right } => State::Or {
+            left: Box::new(step(left, action)),
+            right: Box::new(step(right, action)),
+        },
+        State::And { left, right } => State::And {
+            left: Box::new(step(left, action)),
+            right: Box::new(step(right, action)),
+        },
+        State::Sync { left_alpha, right_alpha, left, right } => {
+            let in_left = left_alpha.covers(action);
+            let in_right = right_alpha.covers(action);
+            if !in_left && !in_right {
+                // Actions outside α(x) are not part of the synchronization's
+                // language at all.
+                return State::Null;
+            }
+            State::Sync {
+                left_alpha: left_alpha.clone(),
+                right_alpha: right_alpha.clone(),
+                left: Box::new(if in_left { step(left, action) } else { (**left).clone() }),
+                right: Box::new(if in_right { step(right, action) } else { (**right).clone() }),
+            }
+        }
+        State::SomeQ(q) => State::SomeQ(step_broadcast_quant(q, action)),
+        State::AllQ(q) => State::AllQ(step_broadcast_quant(q, action)),
+        State::SyncQ(q) => step_sync_quant(q, action),
+        State::ParQ { param, body_expr, body_accepts_epsilon, alts } => {
+            let values = action.values();
+            if values.is_empty() {
+                // With a completely quantified body no branch can consume an
+                // action that mentions no value at all.
+                return State::Null;
+            }
+            let mut new_alts = Vec::new();
+            for branches in alts {
+                for v in &values {
+                    let mut next = branches.clone();
+                    let branch_state = match branches.get(v) {
+                        Some(existing) => step(existing, action),
+                        None => {
+                            let fresh = initial_state(&body_expr.substitute(*param, *v));
+                            step(&fresh, action)
+                        }
+                    };
+                    next.insert(*v, branch_state);
+                    new_alts.push(next);
+                }
+            }
+            State::ParQ {
+                param: *param,
+                body_expr: body_expr.clone(),
+                body_accepts_epsilon: *body_accepts_epsilon,
+                alts: new_alts,
+            }
+        }
+        State::Mult { body_expr, capacity, body_accepts_epsilon, alts } => {
+            let new_alts = step_thread_alts(alts, body_expr, action, Some(*capacity));
+            State::Mult {
+                body_expr: body_expr.clone(),
+                capacity: *capacity,
+                body_accepts_epsilon: *body_accepts_epsilon,
+                alts: new_alts,
+            }
+        }
+    }
+}
+
+/// Transition of the alternatives of a parallel iteration or multiplier:
+/// every alternative forks into "an existing instance consumes the action"
+/// (one variant per instance) and, capacity permitting, "a new instance is
+/// started with this action".
+fn step_thread_alts(
+    alts: &[Vec<State>],
+    body_expr: &ix_core::Expr,
+    action: &Action,
+    capacity: Option<u32>,
+) -> Vec<Vec<State>> {
+    let mut new_alts = Vec::new();
+    for threads in alts {
+        for i in 0..threads.len() {
+            let mut next = threads.clone();
+            next[i] = step(&threads[i], action);
+            next.sort();
+            new_alts.push(next);
+        }
+        let may_start = match capacity {
+            Some(cap) => (threads.len() as u32) < cap,
+            None => true,
+        };
+        if may_start {
+            let mut next = threads.clone();
+            next.push(step(&initial_state(body_expr), action));
+            next.sort();
+            new_alts.push(next);
+        }
+    }
+    new_alts
+}
+
+/// Transition of the disjunction and conjunction quantifiers: every branch —
+/// instantiated or represented by the template — processes every action.
+/// Branches for values that occur in the action for the first time are
+/// instantiated from the template *before* the transition (the template's
+/// state is exactly the state such a branch would have reached, because the
+/// branch's value has not occurred so far).
+fn step_broadcast_quant(q: &QuantState, action: &Action) -> QuantState {
+    let mut branches = q.branches.clone();
+    for v in new_values(q, action) {
+        branches.insert(v, q.template.substitute(q.param, v));
+    }
+    let branches = branches.into_iter().map(|(v, s)| (v, step(&s, action))).collect();
+    QuantState {
+        param: q.param,
+        body_expr: q.body_expr.clone(),
+        scope: q.scope.clone(),
+        template: Box::new(step(&q.template, action)),
+        branches,
+    }
+}
+
+/// Transition of the synchronization quantifier: like the broadcast
+/// quantifiers, but every branch only sees the actions covered by its own
+/// (instantiated) alphabet; all other actions pass it by untouched.  Actions
+/// covered by no instantiation at all are outside the quantifier's language.
+fn step_sync_quant(q: &QuantState, action: &Action) -> State {
+    let covered_somewhere = q.scope.covers_blocking(action, &[])
+        || action.values().iter().any(|v| q.scope.covers_with(action, q.param, *v));
+    if !covered_somewhere {
+        return State::Null;
+    }
+    let mut branches = q.branches.clone();
+    for v in new_values(q, action) {
+        branches.insert(v, q.template.substitute(q.param, v));
+    }
+    let branches = branches
+        .into_iter()
+        .map(|(v, s)| {
+            if q.scope.covers_with(action, q.param, v) {
+                (v, step(&s, action))
+            } else {
+                (v, s)
+            }
+        })
+        .collect();
+    let template = if q.scope.covers_blocking(action, &[]) {
+        Box::new(step(&q.template, action))
+    } else {
+        q.template.clone()
+    };
+    State::SyncQ(QuantState {
+        param: q.param,
+        body_expr: q.body_expr.clone(),
+        scope: q.scope.clone(),
+        template,
+        branches,
+    })
+}
+
+/// Values occurring in the action that have no instantiated branch yet.
+fn new_values(q: &QuantState, action: &Action) -> Vec<Value> {
+    action.values().into_iter().filter(|v| !q.branches.contains_key(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::init;
+    use crate::predicates::{is_final, is_valid};
+    use ix_core::{parse, Value};
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    fn run(src: &str, names: &[&str]) -> State {
+        let e = parse(src).unwrap();
+        let mut s = init(&e).unwrap();
+        for n in names {
+            s = trans(&s, &a(n));
+        }
+        s
+    }
+
+    fn run_actions(src: &str, actions: &[Action]) -> State {
+        let e = parse(src).unwrap();
+        let mut s = init(&e).unwrap();
+        for act in actions {
+            s = trans(&s, act);
+        }
+        s
+    }
+
+    #[test]
+    fn atoms_and_sequences() {
+        assert!(is_final(&run("a", &["a"])));
+        assert!(run("a", &["b"]).is_null());
+        assert!(run("a", &["a", "a"]).is_null());
+        let s = run("a - b - c", &["a", "b"]);
+        assert!(is_valid(&s) && !is_final(&s));
+        assert!(is_final(&run("a - b - c", &["a", "b", "c"])));
+        assert!(run("a - b - c", &["a", "c"]).is_null());
+    }
+
+    #[test]
+    fn option_and_iterations() {
+        assert!(is_final(&run("a?", &[])));
+        assert!(is_final(&run("a?", &["a"])));
+        assert!(run("a?", &["a", "a"]).is_null());
+        assert!(is_final(&run("(a - b)*", &[])));
+        assert!(is_final(&run("(a - b)*", &["a", "b", "a", "b"])));
+        assert!(!is_final(&run("(a - b)*", &["a", "b", "a"])));
+        assert!(run("(a - b)*", &["a", "a"]).is_null());
+        // Parallel iteration allows overlapping instances.
+        assert!(is_valid(&run("(a - b)#", &["a", "a"])));
+        assert!(is_final(&run("(a - b)#", &["a", "a", "b", "b"])));
+        assert!(run("(a - b)#", &["b"]).is_null());
+    }
+
+    #[test]
+    fn parallel_composition_is_an_arbitrary_interleaving() {
+        for word in [&["a", "b"][..], &["b", "a"][..]] {
+            assert!(is_final(&run("a | b", word)), "{word:?}");
+        }
+        assert!(!is_final(&run("a | b", &["a"])));
+        assert!(run("a | b", &["a", "a"]).is_null());
+    }
+
+    #[test]
+    fn disjunction_conjunction_and_synchronization() {
+        assert!(is_final(&run("a + b", &["a"])));
+        assert!(is_final(&run("a + b", &["b"])));
+        assert!(run("a + b", &["a", "b"]).is_null());
+        // Strict conjunction over different alphabets is unsatisfiable.
+        assert!(!is_final(&run("a & b", &["a"])));
+        // Coupling: each operand constrains only its own actions.
+        assert!(is_final(&run("a @ b", &["a", "b"])));
+        assert!(is_final(&run("a @ b", &["b", "a"])));
+        assert!(!is_final(&run("a @ b", &["a"])));
+        assert!(run("(a - b) @ (b - c)", &["b"]).is_null());
+        assert!(is_final(&run("(a - b) @ (b - c)", &["a", "b", "c"])));
+        assert!(run("(a - b) @ (b - c)", &["a", "c"]).is_null());
+        // Actions unknown to either operand are rejected.
+        assert!(run("a @ b", &["z"]).is_null());
+    }
+
+    #[test]
+    fn mutual_exclusion_flash_operator() {
+        // Fig. 5: (x + y + z)* — branches exclude each other over time.
+        let e = "(x + y + z)*";
+        assert!(is_final(&run(e, &["x", "y", "z", "x"])));
+        assert!(is_valid(&run(e, &["x"])));
+    }
+
+    #[test]
+    fn multiplier_enforces_capacity() {
+        let e = "mult 2 { a - b }";
+        assert!(is_valid(&run(e, &["a", "a"])));
+        assert!(run(e, &["a", "a", "a"]).is_null(), "only two concurrent instances");
+        assert!(is_final(&run(e, &["a", "b", "a", "b"])));
+        assert!(is_final(&run(e, &["a", "a", "b", "b"])));
+    }
+
+    #[test]
+    fn disjunction_quantifier_commits_to_one_value() {
+        let e = "some p { a(p) - b(p) }";
+        let a1 = Action::concrete("a", [Value::int(1)]);
+        let b1 = Action::concrete("b", [Value::int(1)]);
+        let b2 = Action::concrete("b", [Value::int(2)]);
+        assert!(is_final(&run_actions(e, &[a1.clone(), b1])));
+        assert!(run_actions(e, &[a1, b2]).is_null());
+    }
+
+    #[test]
+    fn parallel_quantifier_runs_values_independently() {
+        let e = "all p { (a(p) - b(p))? }";
+        let a1 = Action::concrete("a", [Value::int(1)]);
+        let a2 = Action::concrete("a", [Value::int(2)]);
+        let b1 = Action::concrete("b", [Value::int(1)]);
+        let b2 = Action::concrete("b", [Value::int(2)]);
+        assert!(is_final(&run_actions(e, &[a1.clone(), a2.clone(), b2, b1.clone()])));
+        assert!(run_actions(e, &[a1.clone(), a1.clone()]).is_null());
+        assert!(run_actions(e, &[b1.clone()]).is_null());
+        // An action without any value cannot belong to any branch.
+        assert!(run_actions(e, &[a(&"c".to_string())]).is_null());
+        let _ = b1;
+    }
+
+    #[test]
+    fn conjunction_quantifier_requires_all_values() {
+        let e = "each p { a(p)? }";
+        let a1 = Action::concrete("a", [Value::int(1)]);
+        // a(1) is rejected because the branch for any other value cannot
+        // accept it.
+        assert!(run_actions(e, &[a1]).is_null());
+        assert!(is_final(&run_actions(e, &[])));
+    }
+
+    #[test]
+    fn sync_quantifier_orders_actions_per_value_only() {
+        let e = "sync p { (a(p) - b(p))* }";
+        let a1 = Action::concrete("a", [Value::int(1)]);
+        let a2 = Action::concrete("a", [Value::int(2)]);
+        let b1 = Action::concrete("b", [Value::int(1)]);
+        let b2 = Action::concrete("b", [Value::int(2)]);
+        assert!(is_final(&run_actions(e, &[a1.clone(), a2.clone(), b1.clone(), b2.clone()])));
+        assert!(run_actions(e, &[b1.clone()]).is_null(), "b(1) before a(1)");
+        assert!(is_final(&run_actions(e, &[a2.clone(), b2.clone()])));
+        // Unknown action names are outside the quantifier's language.
+        assert!(run_actions(e, &[Action::concrete("z", [Value::int(1)])]).is_null());
+    }
+
+    #[test]
+    fn capacity_constraint_of_fig6() {
+        // all x { mult 3 { (some p { call(p, x) - perform(p, x) })* } }
+        let e = "all x { mult 3 { (some p { call(p, x) - perform(p, x) })* } }";
+        let call = |p: i64| Action::concrete("call", [Value::int(p), Value::sym("sono")]);
+        let perform = |p: i64| Action::concrete("perform", [Value::int(p), Value::sym("sono")]);
+        // Three patients may be in progress concurrently…
+        let s = run_actions(e, &[call(1), call(2), call(3)]);
+        assert!(is_valid(&s));
+        // …but a fourth call is rejected until someone finishes.
+        assert!(run_actions(e, &[call(1), call(2), call(3), call(4)]).is_null());
+        let s = run_actions(e, &[call(1), call(2), call(3), perform(2), call(4)]);
+        assert!(is_valid(&s));
+    }
+
+    #[test]
+    fn optimization_keeps_transition_results_equivalent() {
+        let words: &[&[&str]] = &[&["a"], &["a", "b"], &["a", "b", "a"], &["b"]];
+        for src in ["(a - b)* | (a + b)", "(a | b) - a", "a# & (a - a)"] {
+            let e = parse(src).unwrap();
+            for word in words {
+                let mut opt = init(&e).unwrap();
+                let mut raw = init(&e).unwrap();
+                for n in *word {
+                    opt = trans(&opt, &a(n));
+                    raw = trans_with(&raw, &a(n), TransitionOptions { optimize: false });
+                }
+                assert_eq!(is_valid(&opt), is_valid(&raw), "ψ for {src} on {word:?}");
+                assert_eq!(is_final(&opt), is_final(&raw), "ϕ for {src} on {word:?}");
+                assert!(opt.size() <= raw.size());
+            }
+        }
+    }
+
+    #[test]
+    fn null_absorbs_everything() {
+        let s = trans(&State::Null, &a("a"));
+        assert!(s.is_null());
+    }
+}

@@ -1,0 +1,332 @@
+//! The standard workflow engine and worklist handlers.
+//!
+//! The runtime component of a WfMS "basically consists of a workflow engine
+//! communicating with several worklist handlers via the WfMS's API"
+//! (Sec. 7).  [`WorkflowEngine`] instantiates workflow definitions, tracks
+//! activity life cycles, and offers schedulable activities to role-specific
+//! worklists; [`WorklistItem`]s are what users (or the scripted users of the
+//! simulation) see.  The engine itself knows nothing about inter-workflow
+//! dependencies — that is exactly the gap the adaptation strategies of
+//! Fig. 11 close.
+
+use crate::model::{ActivityId, ActivityState, CaseData, WorkflowDefinition, WorkflowInstance};
+use ix_core::{Action, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An entry of a user's worklist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorklistItem {
+    /// The workflow instance the activity belongs to.
+    pub instance: u64,
+    /// The activity.
+    pub activity: ActivityId,
+    /// Cached activity name.
+    pub activity_name: String,
+    /// The role the item is offered to.
+    pub role: String,
+    /// Whether the item is currently executable.  Standard worklist handlers
+    /// always show `true`; adapted components toggle this flag based on the
+    /// interaction manager's answers ("temporarily disappear from the
+    /// worklists — or at least become marked as currently not executable").
+    pub enabled: bool,
+}
+
+/// Errors of the workflow engine API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown instance id.
+    UnknownInstance(u64),
+    /// The activity is not in a state that allows the requested transition.
+    InvalidTransition {
+        /// The activity.
+        activity: String,
+        /// Its current state.
+        state: ActivityState,
+        /// The attempted operation.
+        operation: &'static str,
+    },
+    /// The activity was vetoed by the interaction manager.
+    Denied {
+        /// The activity.
+        activity: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownInstance(id) => write!(f, "unknown workflow instance {id}"),
+            EngineError::InvalidTransition { activity, state, operation } => {
+                write!(f, "cannot {operation} activity `{activity}` in state {state:?}")
+            }
+            EngineError::Denied { activity } => {
+                write!(f, "activity `{activity}` is currently not permitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The standard (unadapted) workflow engine.
+#[derive(Clone, Debug, Default)]
+pub struct WorkflowEngine {
+    instances: BTreeMap<u64, WorkflowInstance>,
+    next_instance: u64,
+    /// Per-role worklists.
+    worklists: BTreeMap<String, Vec<WorklistItem>>,
+    /// Number of activity state changes performed (statistics).
+    transitions: u64,
+}
+
+impl WorkflowEngine {
+    /// An engine without instances.
+    pub fn new() -> WorkflowEngine {
+        WorkflowEngine::default()
+    }
+
+    /// Starts a new instance of a definition for a case and schedules its
+    /// initially reachable activities.
+    pub fn start_instance(&mut self, definition: &WorkflowDefinition, case: CaseData) -> u64 {
+        self.next_instance += 1;
+        let id = self.next_instance;
+        let instance = WorkflowInstance::new(id, definition.clone(), case);
+        self.instances.insert(id, instance);
+        self.reschedule(id);
+        id
+    }
+
+    /// The instances currently known to the engine.
+    pub fn instances(&self) -> impl Iterator<Item = &WorkflowInstance> {
+        self.instances.values()
+    }
+
+    /// An instance by id.
+    pub fn instance(&self, id: u64) -> Option<&WorkflowInstance> {
+        self.instances.get(&id)
+    }
+
+    /// The worklist of a role.
+    pub fn worklist(&self, role: &str) -> &[WorklistItem] {
+        self.worklists.get(role).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All worklist items across roles.
+    pub fn all_worklist_items(&self) -> Vec<WorklistItem> {
+        self.worklists.values().flatten().cloned().collect()
+    }
+
+    /// Number of activity state transitions performed so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// True if every instance has finished.
+    pub fn all_finished(&self) -> bool {
+        self.instances.values().all(WorkflowInstance::is_finished)
+    }
+
+    /// The start action of an activity of an instance (footnote 6 mapping,
+    /// parameterized with the case data as in Fig. 3).
+    pub fn start_action(&self, instance: u64, activity: ActivityId) -> Option<Action> {
+        let inst = self.instances.get(&instance)?;
+        Some(activity_action(inst, activity, "start"))
+    }
+
+    /// The termination action of an activity of an instance.
+    pub fn end_action(&self, instance: u64, activity: ActivityId) -> Option<Action> {
+        let inst = self.instances.get(&instance)?;
+        Some(activity_action(inst, activity, "end"))
+    }
+
+    /// Starts an activity (a user picked the worklist item).  The item is
+    /// removed from the worklist.
+    pub fn start_activity(
+        &mut self,
+        instance: u64,
+        activity: ActivityId,
+    ) -> Result<(), EngineError> {
+        let inst =
+            self.instances.get_mut(&instance).ok_or(EngineError::UnknownInstance(instance))?;
+        let state = inst.state(activity);
+        if state != ActivityState::Ready {
+            return Err(EngineError::InvalidTransition {
+                activity: inst.definition.activity_name(activity).to_string(),
+                state,
+                operation: "start",
+            });
+        }
+        inst.set_state(activity, ActivityState::Running);
+        inst.skip_alternatives(activity);
+        self.transitions += 1;
+        self.remove_item(instance, activity);
+        // Items of skipped alternatives must disappear from the worklists.
+        self.drop_skipped_items(instance);
+        Ok(())
+    }
+
+    /// Completes a running activity and schedules its successors.
+    pub fn complete_activity(
+        &mut self,
+        instance: u64,
+        activity: ActivityId,
+    ) -> Result<(), EngineError> {
+        let inst =
+            self.instances.get_mut(&instance).ok_or(EngineError::UnknownInstance(instance))?;
+        let state = inst.state(activity);
+        if state != ActivityState::Running {
+            return Err(EngineError::InvalidTransition {
+                activity: inst.definition.activity_name(activity).to_string(),
+                state,
+                operation: "complete",
+            });
+        }
+        inst.set_state(activity, ActivityState::Completed);
+        self.transitions += 1;
+        self.reschedule(instance);
+        Ok(())
+    }
+
+    /// Recomputes the schedulable activities of an instance and offers the
+    /// newly ready ones to the responsible roles' worklists.
+    pub fn reschedule(&mut self, instance: u64) {
+        let Some(inst) = self.instances.get_mut(&instance) else { return };
+        let schedulable = inst.schedulable();
+        let mut new_items = Vec::new();
+        for activity in schedulable {
+            if inst.state(activity) == ActivityState::Pending {
+                inst.set_state(activity, ActivityState::Ready);
+                let def = &inst.definition.activities[activity];
+                new_items.push(WorklistItem {
+                    instance,
+                    activity,
+                    activity_name: def.name.clone(),
+                    role: def.role.clone(),
+                    enabled: true,
+                });
+            }
+        }
+        for item in new_items {
+            self.worklists.entry(item.role.clone()).or_default().push(item);
+        }
+    }
+
+    fn remove_item(&mut self, instance: u64, activity: ActivityId) {
+        for items in self.worklists.values_mut() {
+            items.retain(|i| !(i.instance == instance && i.activity == activity));
+        }
+    }
+
+    fn drop_skipped_items(&mut self, instance: u64) {
+        let Some(inst) = self.instances.get(&instance) else { return };
+        let skipped: Vec<ActivityId> = (0..inst.definition.len())
+            .filter(|a| inst.state(*a) == ActivityState::Skipped)
+            .collect();
+        for items in self.worklists.values_mut() {
+            items.retain(|i| !(i.instance == instance && skipped.contains(&i.activity)));
+        }
+    }
+
+    /// Marks a worklist item as enabled or disabled (used by adapted
+    /// components reacting to subscription notifications).
+    pub fn set_item_enabled(&mut self, instance: u64, activity: ActivityId, enabled: bool) {
+        for items in self.worklists.values_mut() {
+            for item in items.iter_mut() {
+                if item.instance == instance && item.activity == activity {
+                    item.enabled = enabled;
+                }
+            }
+        }
+    }
+}
+
+/// Maps an activity of an instance to its start or termination action,
+/// parameterized with the case's patient and examination (the parameters p
+/// and x of Figs. 3 and 6).
+pub fn activity_action(inst: &WorkflowInstance, activity: ActivityId, suffix: &str) -> Action {
+    let name = format!("{}_{}", inst.definition.activity_name(activity), suffix);
+    Action::concrete(
+        &name,
+        [Value::Int(inst.case.patient), Value::sym(&inst.case.examination)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ActivityDef, Flow};
+
+    fn definition() -> WorkflowDefinition {
+        WorkflowDefinition::new(
+            "mini",
+            vec![
+                ActivityDef { name: "order_examination".into(), role: "physician".into() },
+                ActivityDef { name: "call_patient".into(), role: "assistant".into() },
+                ActivityDef { name: "perform_examination".into(), role: "physician".into() },
+            ],
+            Flow::Sequence(vec![Flow::Activity(0), Flow::Activity(1), Flow::Activity(2)]),
+        )
+    }
+
+    fn case() -> CaseData {
+        CaseData { patient: 4711, examination: "sono".into() }
+    }
+
+    #[test]
+    fn instances_flow_through_worklists() {
+        let mut engine = WorkflowEngine::new();
+        let id = engine.start_instance(&definition(), case());
+        assert_eq!(engine.worklist("physician").len(), 1);
+        assert!(engine.worklist("assistant").is_empty());
+        engine.start_activity(id, 0).unwrap();
+        assert!(engine.worklist("physician").is_empty(), "started item leaves the worklist");
+        engine.complete_activity(id, 0).unwrap();
+        assert_eq!(engine.worklist("assistant").len(), 1);
+        engine.start_activity(id, 1).unwrap();
+        engine.complete_activity(id, 1).unwrap();
+        engine.start_activity(id, 2).unwrap();
+        engine.complete_activity(id, 2).unwrap();
+        assert!(engine.all_finished());
+        assert_eq!(engine.transitions(), 6);
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut engine = WorkflowEngine::new();
+        let id = engine.start_instance(&definition(), case());
+        assert!(matches!(
+            engine.complete_activity(id, 0),
+            Err(EngineError::InvalidTransition { operation: "complete", .. })
+        ));
+        assert!(matches!(
+            engine.start_activity(id, 2),
+            Err(EngineError::InvalidTransition { operation: "start", .. })
+        ));
+        assert!(matches!(
+            engine.start_activity(999, 0),
+            Err(EngineError::UnknownInstance(999))
+        ));
+    }
+
+    #[test]
+    fn activity_actions_carry_case_parameters() {
+        let mut engine = WorkflowEngine::new();
+        let id = engine.start_instance(&definition(), case());
+        let start = engine.start_action(id, 1).unwrap();
+        assert_eq!(start.name().to_string(), "call_patient_start");
+        assert_eq!(start.values(), vec![Value::Int(4711), Value::sym("sono")]);
+        let end = engine.end_action(id, 1).unwrap();
+        assert_eq!(end.name().to_string(), "call_patient_end");
+    }
+
+    #[test]
+    fn items_can_be_disabled_and_reenabled() {
+        let mut engine = WorkflowEngine::new();
+        let id = engine.start_instance(&definition(), case());
+        engine.set_item_enabled(id, 0, false);
+        assert!(!engine.worklist("physician")[0].enabled);
+        engine.set_item_enabled(id, 0, true);
+        assert!(engine.worklist("physician")[0].enabled);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ix-wfms — a simulated workflow management system
+//!
+//! The WfMS substrate the paper's Sec. 7 integrates with: workflow
+//! definitions and instances with block-structured control flow, a workflow
+//! engine with role-based worklists, and the two adaptation strategies of
+//! Fig. 11 that turn the WfMS into an interaction client of the interaction
+//! manager — adapted worklist handlers in front of a standard engine, or an
+//! adapted engine behind standard worklist handlers.  The `medical` module
+//! provides the examination workflows of Fig. 1 and an end-to-end ensemble
+//! simulation running under the coupled constraints of Fig. 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod engine;
+pub mod medical;
+pub mod model;
+
+pub use adapt::{AdaptedEngine, AdaptedWorklistHandler, CoordinationPort, ManagerPort, NoCoordination};
+pub use engine::{activity_action, EngineError, WorkflowEngine, WorklistItem};
+pub use medical::{
+    endoscopy, ensemble_constraint, ultrasonography, EnsembleSimulation, SimulationConfig,
+    SimulationReport,
+};
+pub use model::{
+    ActivityDef, ActivityId, ActivityState, CaseData, Flow, WorkflowDefinition, WorkflowInstance,
+};

@@ -1,0 +1,435 @@
+//! The workflow model of the simulated WfMS.
+//!
+//! A workflow definition is a block-structured control-flow tree over
+//! activities — sequences, parallel (AND) blocks, exclusive (XOR) choices and
+//! loops — which is sufficient to express the medical examination workflows
+//! of Fig. 1 and the usual intra-workflow control structures the paper
+//! contrasts with inter-workflow dependencies (Sec. 1).  A workflow instance
+//! executes one definition for one case (here: one patient and one
+//! examination type) and tracks the life cycle of every activity:
+//! `Pending → Ready → Running → Completed` (or `Skipped` for branches not
+//! taken).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an activity within a workflow definition.
+pub type ActivityId = usize;
+
+/// An activity declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivityDef {
+    /// Activity name, e.g. `call_patient`.
+    pub name: String,
+    /// The organizational role that performs the activity (used to route
+    /// worklist items), e.g. `medical_assistant`.
+    pub role: String,
+}
+
+/// Block-structured control flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// A single activity.
+    Activity(ActivityId),
+    /// Sequential execution of the blocks.
+    Sequence(Vec<Flow>),
+    /// Parallel (AND) execution of the blocks; all of them must complete.
+    Parallel(Vec<Flow>),
+    /// Exclusive (XOR) choice: exactly one block is executed, the others are
+    /// skipped as soon as one is entered.
+    Choice(Vec<Flow>),
+    /// A loop executing its body a fixed number of times (the simulation does
+    /// not need data-driven loop conditions).
+    Loop {
+        /// The loop body.
+        body: Box<Flow>,
+        /// Number of iterations.
+        iterations: u32,
+    },
+}
+
+/// A workflow definition (schema).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowDefinition {
+    /// Schema name, e.g. `ultrasonography`.
+    pub name: String,
+    /// The declared activities, indexed by [`ActivityId`].
+    pub activities: Vec<ActivityDef>,
+    /// The control-flow tree.
+    pub flow: Flow,
+}
+
+impl WorkflowDefinition {
+    /// Creates a definition, checking that the flow references only declared
+    /// activities and references each at most once (block structure).
+    pub fn new(name: &str, activities: Vec<ActivityDef>, flow: Flow) -> WorkflowDefinition {
+        let mut seen = Vec::new();
+        check_flow(&flow, activities.len(), &mut seen);
+        WorkflowDefinition { name: name.to_string(), activities, flow }
+    }
+
+    /// The id of the activity with the given name.
+    pub fn activity_id(&self, name: &str) -> Option<ActivityId> {
+        self.activities.iter().position(|a| a.name == name)
+    }
+
+    /// The name of an activity.
+    pub fn activity_name(&self, id: ActivityId) -> &str {
+        &self.activities[id].name
+    }
+
+    /// Number of declared activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// True if the definition declares no activities.
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+}
+
+fn check_flow(flow: &Flow, activity_count: usize, seen: &mut Vec<ActivityId>) {
+    match flow {
+        Flow::Activity(id) => {
+            assert!(*id < activity_count, "flow references undeclared activity {id}");
+            assert!(!seen.contains(id), "activity {id} occurs twice in the flow");
+            seen.push(*id);
+        }
+        Flow::Sequence(blocks) | Flow::Parallel(blocks) | Flow::Choice(blocks) => {
+            for b in blocks {
+                check_flow(b, activity_count, seen);
+            }
+        }
+        Flow::Loop { body, .. } => check_flow(body, activity_count, seen),
+    }
+}
+
+/// Life-cycle state of an activity within an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivityState {
+    /// Not yet reachable.
+    Pending,
+    /// Reachable: the engine has scheduled it (it appears in worklists).
+    Ready,
+    /// A user has started working on it.
+    Running,
+    /// Finished.
+    Completed,
+    /// Will never run (its XOR branch was not taken).
+    Skipped,
+}
+
+/// The case data of a workflow instance: the paper's examples coordinate on
+/// the patient and the kind of examination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseData {
+    /// Patient identifier (e.g. a social security number).
+    pub patient: i64,
+    /// Examination kind (e.g. `sono` or `endo`).
+    pub examination: String,
+}
+
+/// A running workflow instance.
+#[derive(Clone, Debug)]
+pub struct WorkflowInstance {
+    /// Instance identifier.
+    pub id: u64,
+    /// The definition this instance executes.
+    pub definition: WorkflowDefinition,
+    /// The case data.
+    pub case: CaseData,
+    /// Per-activity state.
+    pub states: BTreeMap<ActivityId, ActivityState>,
+    /// Remaining iterations of loops, keyed by a stable index of the loop
+    /// node in the flow tree.
+    pub loop_budget: BTreeMap<usize, u32>,
+}
+
+impl WorkflowInstance {
+    /// Creates an instance with every activity pending.
+    pub fn new(id: u64, definition: WorkflowDefinition, case: CaseData) -> WorkflowInstance {
+        let states = (0..definition.len()).map(|i| (i, ActivityState::Pending)).collect();
+        let mut loop_budget = BTreeMap::new();
+        index_loops(&definition.flow, &mut 0, &mut loop_budget);
+        WorkflowInstance { id, definition, case, states, loop_budget }
+    }
+
+    /// The state of an activity.
+    pub fn state(&self, id: ActivityId) -> ActivityState {
+        self.states[&id]
+    }
+
+    /// Sets the state of an activity.
+    pub fn set_state(&mut self, id: ActivityId, state: ActivityState) {
+        self.states.insert(id, state);
+    }
+
+    /// True if every activity is completed or skipped.
+    pub fn is_finished(&self) -> bool {
+        self.completed_of(&self.definition.flow.clone())
+    }
+
+    /// The activities that are currently ready to be *scheduled* according to
+    /// the control flow (ignoring inter-workflow constraints): pending
+    /// activities whose predecessors are completed.
+    pub fn schedulable(&self) -> Vec<ActivityId> {
+        let mut out = Vec::new();
+        self.collect_schedulable(&self.definition.flow.clone(), &mut out);
+        out
+    }
+
+    fn collect_schedulable(&self, flow: &Flow, out: &mut Vec<ActivityId>) {
+        match flow {
+            Flow::Activity(id) => {
+                if self.state(*id) == ActivityState::Pending {
+                    out.push(*id);
+                }
+            }
+            Flow::Sequence(blocks) => {
+                for b in blocks {
+                    if !self.completed_of(b) {
+                        self.collect_schedulable(b, out);
+                        break;
+                    }
+                }
+            }
+            Flow::Parallel(blocks) => {
+                for b in blocks {
+                    if !self.completed_of(b) {
+                        self.collect_schedulable(b, out);
+                    }
+                }
+            }
+            Flow::Choice(blocks) => {
+                // If some branch has been entered, only that branch continues;
+                // otherwise every branch's first activities are offered.
+                match blocks.iter().find(|b| self.entered(b)) {
+                    Some(active) => self.collect_schedulable(active, out),
+                    None => {
+                        for b in blocks {
+                            self.collect_schedulable(b, out);
+                        }
+                    }
+                }
+            }
+            Flow::Loop { body, .. } => {
+                // The loop body is re-armed by the engine when an iteration
+                // completes; scheduling-wise it behaves like its body.
+                self.collect_schedulable(body, out);
+            }
+        }
+    }
+
+    /// True if every activity of the block is completed or skipped.
+    pub fn completed_of(&self, flow: &Flow) -> bool {
+        match flow {
+            Flow::Activity(id) => matches!(
+                self.state(*id),
+                ActivityState::Completed | ActivityState::Skipped
+            ),
+            Flow::Sequence(blocks) | Flow::Parallel(blocks) => {
+                blocks.iter().all(|b| self.completed_of(b))
+            }
+            Flow::Choice(blocks) => {
+                // A choice is complete when one branch completed and the
+                // others are skipped (or it was skipped entirely).
+                blocks.iter().any(|b| self.completed_of(b) && self.entered(b))
+                    || blocks.iter().all(|b| self.skipped_of(b))
+            }
+            Flow::Loop { body, .. } => self.completed_of(body),
+        }
+    }
+
+    fn skipped_of(&self, flow: &Flow) -> bool {
+        match flow {
+            Flow::Activity(id) => self.state(*id) == ActivityState::Skipped,
+            Flow::Sequence(blocks) | Flow::Parallel(blocks) | Flow::Choice(blocks) => {
+                blocks.iter().all(|b| self.skipped_of(b))
+            }
+            Flow::Loop { body, .. } => self.skipped_of(body),
+        }
+    }
+
+    /// True if some activity of the block has been started or completed.
+    pub fn entered(&self, flow: &Flow) -> bool {
+        match flow {
+            Flow::Activity(id) => matches!(
+                self.state(*id),
+                ActivityState::Running | ActivityState::Completed | ActivityState::Ready
+            ),
+            Flow::Sequence(blocks) | Flow::Parallel(blocks) | Flow::Choice(blocks) => {
+                blocks.iter().any(|b| self.entered(b))
+            }
+            Flow::Loop { body, .. } => self.entered(body),
+        }
+    }
+
+    /// Marks every pending activity of the other branches of a choice as
+    /// skipped once `chosen` has been entered.
+    pub fn skip_alternatives(&mut self, chosen: ActivityId) {
+        let flow = self.definition.flow.clone();
+        self.skip_in(&flow, chosen);
+    }
+
+    fn skip_in(&mut self, flow: &Flow, chosen: ActivityId) {
+        if let Flow::Choice(blocks) = flow {
+            if let Some(active) = blocks.iter().position(|b| contains_activity(b, chosen)) {
+                for (i, b) in blocks.iter().enumerate() {
+                    if i != active {
+                        self.skip_all(b);
+                    }
+                }
+                self.skip_in(&blocks[active].clone(), chosen);
+                return;
+            }
+        }
+        for child in flow_children(flow) {
+            self.skip_in(&child.clone(), chosen);
+        }
+    }
+
+    fn skip_all(&mut self, flow: &Flow) {
+        match flow {
+            Flow::Activity(id) => {
+                if self.state(*id) == ActivityState::Pending {
+                    self.set_state(*id, ActivityState::Skipped);
+                }
+            }
+            _ => {
+                for child in flow_children(flow) {
+                    self.skip_all(&child.clone());
+                }
+            }
+        }
+    }
+}
+
+fn contains_activity(flow: &Flow, id: ActivityId) -> bool {
+    match flow {
+        Flow::Activity(a) => *a == id,
+        _ => flow_children(flow).iter().any(|c| contains_activity(c, id)),
+    }
+}
+
+fn flow_children(flow: &Flow) -> Vec<&Flow> {
+    match flow {
+        Flow::Activity(_) => vec![],
+        Flow::Sequence(b) | Flow::Parallel(b) | Flow::Choice(b) => b.iter().collect(),
+        Flow::Loop { body, .. } => vec![body],
+    }
+}
+
+fn index_loops(flow: &Flow, next: &mut usize, out: &mut BTreeMap<usize, u32>) {
+    if let Flow::Loop { iterations, .. } = flow {
+        out.insert(*next, *iterations);
+        *next += 1;
+    }
+    for c in flow_children(flow) {
+        index_loops(c, next, out);
+    }
+}
+
+impl fmt::Display for WorkflowInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} (patient {}, {})",
+            self.definition.name, self.id, self.case.patient, self.case.examination
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_definition() -> WorkflowDefinition {
+        WorkflowDefinition::new(
+            "demo",
+            vec![
+                ActivityDef { name: "a".into(), role: "r".into() },
+                ActivityDef { name: "b".into(), role: "r".into() },
+                ActivityDef { name: "c".into(), role: "r".into() },
+                ActivityDef { name: "d".into(), role: "r".into() },
+            ],
+            Flow::Sequence(vec![
+                Flow::Activity(0),
+                Flow::Parallel(vec![Flow::Activity(1), Flow::Activity(2)]),
+                Flow::Activity(3),
+            ]),
+        )
+    }
+
+    fn case() -> CaseData {
+        CaseData { patient: 1, examination: "sono".into() }
+    }
+
+    #[test]
+    fn schedulable_follows_sequence_and_parallel_blocks() {
+        let mut inst = WorkflowInstance::new(1, simple_definition(), case());
+        assert_eq!(inst.schedulable(), vec![0]);
+        inst.set_state(0, ActivityState::Completed);
+        assert_eq!(inst.schedulable(), vec![1, 2]);
+        inst.set_state(1, ActivityState::Completed);
+        assert_eq!(inst.schedulable(), vec![2]);
+        inst.set_state(2, ActivityState::Completed);
+        assert_eq!(inst.schedulable(), vec![3]);
+        inst.set_state(3, ActivityState::Completed);
+        assert!(inst.schedulable().is_empty());
+        assert!(inst.is_finished());
+    }
+
+    #[test]
+    fn choices_offer_all_branches_until_one_is_entered() {
+        let def = WorkflowDefinition::new(
+            "choice",
+            vec![
+                ActivityDef { name: "x".into(), role: "r".into() },
+                ActivityDef { name: "y".into(), role: "r".into() },
+            ],
+            Flow::Choice(vec![Flow::Activity(0), Flow::Activity(1)]),
+        );
+        let mut inst = WorkflowInstance::new(1, def, case());
+        assert_eq!(inst.schedulable(), vec![0, 1]);
+        inst.set_state(0, ActivityState::Running);
+        inst.skip_alternatives(0);
+        assert_eq!(inst.state(1), ActivityState::Skipped);
+        inst.set_state(0, ActivityState::Completed);
+        assert!(inst.is_finished());
+    }
+
+    #[test]
+    fn activity_lookup_and_display() {
+        let def = simple_definition();
+        assert_eq!(def.activity_id("c"), Some(2));
+        assert_eq!(def.activity_id("nope"), None);
+        assert_eq!(def.activity_name(0), "a");
+        assert_eq!(def.len(), 4);
+        assert!(!def.is_empty());
+        let inst = WorkflowInstance::new(7, def, case());
+        assert!(inst.to_string().contains("demo#7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared activity")]
+    fn flows_must_reference_declared_activities() {
+        WorkflowDefinition::new(
+            "bad",
+            vec![ActivityDef { name: "a".into(), role: "r".into() }],
+            Flow::Activity(5),
+        );
+    }
+
+    #[test]
+    fn loops_are_indexed() {
+        let def = WorkflowDefinition::new(
+            "loop",
+            vec![ActivityDef { name: "a".into(), role: "r".into() }],
+            Flow::Loop { body: Box::new(Flow::Activity(0)), iterations: 3 },
+        );
+        let inst = WorkflowInstance::new(1, def, case());
+        assert_eq!(inst.loop_budget.len(), 1);
+        assert_eq!(inst.loop_budget[&0], 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! The paper's running example end to end: the medical examination workflows
+//! of Fig. 1 executed by the simulated WfMS under the coupled inter-workflow
+//! constraints of Fig. 7 (patient integrity + department capacity), enforced
+//! through an adapted workflow engine (Fig. 11, right).
+//!
+//! Run with `cargo run --example medical_workflows`.
+
+use ix_wfms::{EnsembleSimulation, SimulationConfig};
+
+fn main() {
+    for patients in [1, 2, 4] {
+        let config = SimulationConfig { patients, seed: 2026, max_steps: 50_000 };
+        let report = EnsembleSimulation::new(config).run();
+        println!(
+            "{patients} patient(s): {} workflow instances, {} completed, {} activity starts, \
+             {} starts vetoed by the interaction manager, {} protocol messages, {} steps",
+            report.instances,
+            report.completed,
+            report.starts,
+            report.denials,
+            report.manager_messages,
+            report.steps
+        );
+        assert_eq!(report.instances, report.completed, "every workflow must finish");
+    }
+    println!("\nAll ensembles completed under the Fig. 7 constraints.");
+}

@@ -1,0 +1,61 @@
+//! The coordination and subscription protocols of Fig. 10 over real threads
+//! and channels, including the client-crash scenario that motivates the
+//! leased protocol variant (Sec. 7).
+//!
+//! Run with `cargo run --example protocol_simulation`.
+
+use ix_core::{parse, Action, Value};
+use ix_manager::{ManagerServer, ProtocolVariant};
+
+fn call(p: i64, x: &str) -> Action {
+    Action::concrete("call", [Value::int(p), Value::sym(x)])
+}
+
+fn perform(p: i64, x: &str) -> Action {
+    Action::concrete("perform", [Value::int(p), Value::sym(x)])
+}
+
+fn main() {
+    let constraint = parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap();
+
+    // --- coordination + subscription protocol -----------------------------
+    let server = ManagerServer::spawn(&constraint, ProtocolVariant::Combined).unwrap();
+    let ultrasound_worklist = server.client(1);
+    let endoscopy_worklist = server.client(2);
+
+    let watched = call(1, "endo");
+    let initially = endoscopy_worklist.subscribe(&watched).unwrap();
+    println!("endoscopy worklist subscribes to {watched}: initially permitted = {initially}");
+
+    println!("ultrasonography department executes call(1, sono)");
+    assert!(ultrasound_worklist.execute(&call(1, "sono")).unwrap());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    for note in endoscopy_worklist.poll_notifications() {
+        println!("  notification for client {}: {} is now {}", note.client, note.action,
+                 if note.permitted { "permissible" } else { "NOT permissible" });
+    }
+
+    println!("ultrasonography department executes perform(1, sono)");
+    assert!(ultrasound_worklist.execute(&perform(1, "sono")).unwrap());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    for note in endoscopy_worklist.poll_notifications() {
+        println!("  notification for client {}: {} is now {}", note.client, note.action,
+                 if note.permitted { "permissible" } else { "NOT permissible" });
+    }
+    let manager = server.shutdown().unwrap();
+    println!("manager processed {} confirmations, sent {} notifications\n",
+             manager.stats().confirmations, manager.stats().notifications);
+
+    // --- client crash and lease recovery ----------------------------------
+    let capacity_one = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+    let server = ManagerServer::spawn(&capacity_one, ProtocolVariant::Leased { lease: 10 }).unwrap();
+    let crashing = server.client(7);
+    let healthy = server.client(8);
+    let _grant = crashing.ask(&call(1, "sono")).unwrap().expect("granted");
+    println!("client 7 is granted call(1, sono) and then crashes before confirming");
+    println!("client 8 asks for call(2, sono): {:?}", healthy.ask(&call(2, "sono")).unwrap());
+    healthy.tick(20).unwrap();
+    println!("after the lease expires, client 8 asks again: {:?}",
+             healthy.ask(&call(2, "sono")).unwrap().map(|_| "granted"));
+    server.shutdown().unwrap();
+}

@@ -1,0 +1,30 @@
+//! Quickstart: build an interaction expression, check words, and run the
+//! on-line action problem (Fig. 9 of the paper).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ix_core::{parse, Action, Value};
+use ix_state::{word_problem, Engine, WordStatus};
+
+fn main() {
+    // A patient may pass through at most one examination at a time, for any
+    // number of examinations and any number of repetitions.
+    let constraint = parse("(some x { call(1, x) - perform(1, x) })*").unwrap();
+    println!("interaction expression: {constraint}");
+
+    // The word problem: classify a complete action sequence.
+    let call = |x: &str| Action::concrete("call", [Value::int(1), Value::sym(x)]);
+    let perform = |x: &str| Action::concrete("perform", [Value::int(1), Value::sym(x)]);
+    let word = vec![call("sono"), perform("sono"), call("endo"), perform("endo")];
+    assert_eq!(word_problem(&constraint, &word).unwrap(), WordStatus::Complete);
+    println!("the sequence sono-then-endo is a complete word");
+
+    // The action problem: accept or reject actions as they arrive.
+    let mut engine = Engine::new(&constraint).unwrap();
+    for action in [call("sono"), call("endo"), perform("sono"), call("endo")] {
+        let accepted = engine.try_execute(&action);
+        println!("  {action:<18} -> {}", if accepted { "Accept." } else { "Reject." });
+    }
+    assert!(engine.is_valid());
+    println!("final state is valid; complete = {}", engine.is_final());
+}

@@ -1,0 +1,158 @@
+//! `ixctl` — command-line front end for interaction expressions.
+//!
+//! ```text
+//! ixctl check    '<expression>'            parse, validate, classify
+//! ixctl simplify '<expression>'            apply the algebraic simplification pass
+//! ixctl dot      '<expression>'            print the Graphviz rendering of the graph view
+//! ixctl word     '<expression>' a b(1) …   solve the word problem for the given actions
+//! ixctl run      '<expression>'            action problem: read one action per stdin line
+//! ```
+//!
+//! Actions on the command line / stdin use the same syntax as atomic
+//! expressions, e.g. `call(1, sono)`.  The standard template registry
+//! (`mutex!`, `mutex2!`) and the paper's `flash!` operator are available.
+
+use ix_core::{parse_with, Action, CoreResult, Expr, ExprKind, TemplateRegistry};
+use ix_graph::{from_expr, to_dot, InteractionGraph};
+use ix_state::{classify, validate, Engine, WordStatus};
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn registry() -> TemplateRegistry {
+    let mut reg = TemplateRegistry::with_standard_operators();
+    // The paper's three-branch mutual exclusion operator under its own name.
+    let _ = reg.register(ix_core::TemplateDef::new(
+        "flash",
+        ["x", "y", "z"].map(ix_core::Symbol::new),
+        Expr::seq_iter(Expr::or(Expr::or(Expr::hole("x"), Expr::hole("y")), Expr::hole("z"))),
+    ));
+    reg
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: ixctl <check|simplify|dot|word|run> '<expression>' [actions...]";
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(source) = rest.first() else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    let expr = match parse_with(source, &registry()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let result = match command {
+        "check" => check(&expr),
+        "simplify" => {
+            println!("{}", ix_core::simplify(&expr));
+            Ok(())
+        }
+        "dot" => {
+            let graph = InteractionGraph::new(source.as_str(), from_expr(&expr));
+            println!("{}", to_dot(&graph));
+            Ok(())
+        }
+        "word" => word(&expr, &rest[1..]),
+        "run" => run(&expr),
+        other => {
+            eprintln!("unknown command `{other}`\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn check(expr: &Expr) -> CoreResult<()> {
+    println!("expression : {expr}");
+    println!("size       : {} nodes, depth {}", expr.size(), expr.depth());
+    println!("alphabet   : {}", expr.alphabet());
+    match validate(expr) {
+        Ok(()) => println!("state model: executable"),
+        Err(e) => println!("state model: NOT executable ({e})"),
+    }
+    let c = classify(expr);
+    println!("complexity : {:?}", c.benignity);
+    for reason in &c.reasons {
+        println!("             - {reason}");
+    }
+    Ok(())
+}
+
+fn word(expr: &Expr, action_sources: &[String]) -> CoreResult<()> {
+    let actions = parse_actions(action_sources)?;
+    match ix_state::word_problem(expr, &actions) {
+        Ok(status) => {
+            let name = match status {
+                WordStatus::Complete => "complete",
+                WordStatus::Partial => "partial",
+                WordStatus::Illegal => "illegal",
+            };
+            println!("{} ({})", status.code(), name);
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            Ok(())
+        }
+    }
+}
+
+fn run(expr: &Expr) -> CoreResult<()> {
+    let mut engine = match Engine::new(expr) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return Ok(());
+        }
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let action = parse_action(trimmed)?;
+        let accepted = engine.try_execute(&action);
+        println!("{}", if accepted { "Accept." } else { "Reject." });
+    }
+    println!(
+        "processed {} accepted / {} rejected; complete = {}",
+        engine.accepted(),
+        engine.rejected(),
+        engine.is_final()
+    );
+    Ok(())
+}
+
+fn parse_actions(sources: &[String]) -> CoreResult<Vec<Action>> {
+    sources.iter().map(|s| parse_action(s)).collect()
+}
+
+/// Parses a single concrete action using the expression parser (an atomic
+/// expression whose arguments are all values).
+fn parse_action(source: &str) -> CoreResult<Action> {
+    let expr = ix_core::parse(source)?;
+    match expr.kind() {
+        ExprKind::Atom(a) if a.is_concrete() => Ok(a.clone()),
+        _ => Err(ix_core::CoreError::Parse {
+            position: 0,
+            message: format!("`{source}` is not a concrete action"),
+        }),
+    }
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the interaction-expressions workspace.
+pub use ix_baselines as baselines;
+pub use ix_core as core;
+pub use ix_graph as graph;
+pub use ix_manager as manager;
+pub use ix_semantics as semantics;
+pub use ix_state as state;
+pub use ix_wfms as wfms;

@@ -1,0 +1,134 @@
+//! Property-based tests for the algebraic laws of interaction expressions
+//! (Sec. 3: "commutativity, associativity, or idempotence of operators …
+//! can be formally proven"), for the simplification pass of `ix-core`, and
+//! for the parser/printer round trip.
+//!
+//! All language comparisons are bounded equivalences against the
+//! denotational oracle of `ix-semantics` over a small grounding universe —
+//! the same notion of equality (same alphabet, same complete and partial
+//! words) the paper uses.
+
+use ix_core::{parse, simplify, Expr, Value};
+use ix_semantics::{equivalent, Universe};
+use proptest::prelude::*;
+
+fn universe() -> Universe {
+    Universe::new([Value::int(1), Value::int(2)]).with_fresh(1)
+}
+
+/// Strategy for small quantifier-free expressions over a fixed alphabet
+/// (quantified expressions are covered by `formal_vs_operational.rs`).
+fn small_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(parse("a").unwrap()),
+        Just(parse("b").unwrap()),
+        Just(parse("c").unwrap()),
+        Just(parse("e(1)").unwrap()),
+        Just(parse("empty").unwrap()),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Expr::option),
+            inner.clone().prop_map(Expr::seq_iter),
+            inner.clone().prop_map(Expr::par_iter),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::seq(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::par(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::sync(l, r)),
+            (1u32..3, inner.clone()).prop_map(|(n, e)| Expr::mult(n, e)),
+        ]
+    })
+}
+
+const BOUND: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn commutativity_of_symmetric_operators(x in small_expr(), y in small_expr()) {
+        let u = universe();
+        prop_assert!(equivalent(&Expr::or(x.clone(), y.clone()), &Expr::or(y.clone(), x.clone()), &u, BOUND));
+        prop_assert!(equivalent(&Expr::and(x.clone(), y.clone()), &Expr::and(y.clone(), x.clone()), &u, BOUND));
+        prop_assert!(equivalent(&Expr::par(x.clone(), y.clone()), &Expr::par(y.clone(), x.clone()), &u, BOUND));
+    }
+
+    #[test]
+    fn associativity_of_core_operators(x in small_expr(), y in small_expr(), z in small_expr()) {
+        let u = universe();
+        let left = Expr::seq(Expr::seq(x.clone(), y.clone()), z.clone());
+        let right = Expr::seq(x.clone(), Expr::seq(y.clone(), z.clone()));
+        prop_assert!(equivalent(&left, &right, &u, BOUND));
+        let left = Expr::or(Expr::or(x.clone(), y.clone()), z.clone());
+        let right = Expr::or(x.clone(), Expr::or(y.clone(), z.clone()));
+        prop_assert!(equivalent(&left, &right, &u, BOUND));
+        let left = Expr::par(Expr::par(x.clone(), y.clone()), z.clone());
+        let right = Expr::par(x.clone(), Expr::par(y.clone(), z.clone()));
+        prop_assert!(equivalent(&left, &right, &u, BOUND));
+    }
+
+    #[test]
+    fn idempotence_and_units(x in small_expr()) {
+        let u = universe();
+        prop_assert!(equivalent(&Expr::or(x.clone(), x.clone()), &x, &u, BOUND));
+        prop_assert!(equivalent(&Expr::and(x.clone(), x.clone()), &x, &u, BOUND));
+        prop_assert!(equivalent(&Expr::seq(Expr::empty(), x.clone()), &x, &u, BOUND));
+        prop_assert!(equivalent(&Expr::par(x.clone(), Expr::empty()), &x, &u, BOUND));
+        // The option is the disjunction with ε.
+        prop_assert!(equivalent(&Expr::option(x.clone()), &Expr::or(x.clone(), Expr::empty()), &u, BOUND));
+    }
+
+    #[test]
+    fn simplification_preserves_the_language(x in small_expr()) {
+        let u = universe();
+        let s = simplify(&x);
+        prop_assert!(s.size() <= x.size(), "simplification must not grow the expression");
+        prop_assert!(equivalent(&s, &x, &u, BOUND), "simplify changed {} into {}", x, s);
+    }
+
+    #[test]
+    fn print_parse_round_trip(x in small_expr()) {
+        let printed = x.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(x, reparsed, "round trip failed via {}", printed);
+    }
+
+    #[test]
+    fn word_problem_agrees_after_simplification(x in small_expr()) {
+        // The operational engine gives the same verdicts for the original and
+        // the simplified expression on a few short probe words.
+        let probes: Vec<Vec<ix_core::Action>> = vec![
+            vec![],
+            vec![ix_core::Action::nullary("a")],
+            vec![ix_core::Action::nullary("a"), ix_core::Action::nullary("b")],
+            vec![ix_core::Action::nullary("c"), ix_core::Action::nullary("c")],
+        ];
+        let s = simplify(&x);
+        for w in probes {
+            let original = ix_state::word_problem(&x, &w).unwrap();
+            let simplified = ix_state::word_problem(&s, &w).unwrap();
+            prop_assert_eq!(original, simplified, "{} vs {} on {:?}", x, s, w);
+        }
+    }
+}
+
+#[test]
+fn documented_laws_from_the_paper_hold() {
+    let u = universe();
+    // The examples the paper's Sec. 3 mentions explicitly.
+    for (lhs, rhs) in [
+        ("a + b", "b + a"),
+        ("(a + b) + c", "a + (b + c)"),
+        ("a + a", "a"),
+        ("a & a", "a"),
+        ("a | b", "b | a"),
+    ] {
+        assert!(
+            equivalent(&parse(lhs).unwrap(), &parse(rhs).unwrap(), &u, 4),
+            "{lhs} = {rhs}"
+        );
+    }
+    // Strict conjunction and coupling differ in general.
+    assert!(!equivalent(&parse("a & b").unwrap(), &parse("a @ b").unwrap(), &u, 3));
+}
