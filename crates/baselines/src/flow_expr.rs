@@ -97,7 +97,9 @@ mod tests {
     fn shuffle_and_shuffle_closure_work() {
         // readers-writers without exclusion: arbitrarily many overlapping
         // read operations.
-        let e = FlowExpr::atom("read_start").then(FlowExpr::atom("read_end")).shuffle_closure()
+        let e = FlowExpr::atom("read_start")
+            .then(FlowExpr::atom("read_end"))
+            .shuffle_closure()
             .to_expr();
         let mut eng = Engine::new(&e).unwrap();
         assert!(eng.try_execute(&Action::nullary("read_start")));
@@ -111,8 +113,8 @@ mod tests {
 
     #[test]
     fn overlapping_shuffles_are_allowed_unlike_synchronization_expressions() {
-        let e = FlowExpr::atom("a").shuffle(FlowExpr::atom("a").then(FlowExpr::atom("b")))
-            .to_expr();
+        let e =
+            FlowExpr::atom("a").shuffle(FlowExpr::atom("a").then(FlowExpr::atom("b"))).to_expr();
         assert_eq!(word_problem(&e, &w(&["a", "a", "b"])).unwrap(), WordStatus::Complete);
     }
 

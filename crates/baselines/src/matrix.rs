@@ -123,8 +123,8 @@ pub fn supports(formalism: Formalism, feature: Feature) -> bool {
         // Every formalism has the regular core.
         (_, SequentialComposition) | (_, SequentialIteration) | (_, Disjunction) => true,
         (Regular, _) => false,
-        (Path, ParallelComposition) => true, // bursts
-        (Path, ParallelIteration) => true,   // bursts are unbounded…
+        (Path, ParallelComposition) => true,  // bursts
+        (Path, ParallelIteration) => true,    // bursts are unbounded…
         (Path, UnrestrictedNesting) => false, // …but must not be nested
         (Path, _) => false,
         (Synchronization, ParallelComposition) => true, // disjoint alphabets only

@@ -81,9 +81,10 @@ mod tests {
     #[test]
     fn regex_compiles_to_equivalent_interaction_expression() {
         // (a b)* (c | d)
-        let r = Regex::atom("a").then(Regex::atom("b")).star().then(
-            Regex::atom("c").or(Regex::atom("d")),
-        );
+        let r = Regex::atom("a")
+            .then(Regex::atom("b"))
+            .star()
+            .then(Regex::atom("c").or(Regex::atom("d")));
         let e = r.to_expr();
         assert_eq!(word_problem(&e, &w(&["a", "b", "c"])).unwrap(), WordStatus::Complete);
         assert_eq!(word_problem(&e, &w(&["d"])).unwrap(), WordStatus::Complete);

@@ -42,8 +42,7 @@ pub fn mutual_exclusion() -> Scenario {
     Scenario {
         name: "mutual-exclusion",
         description: "two operations never overlap in time",
-        interaction_expr: parse("((read_start - read_end) + (write_start - write_end))*")
-            .unwrap(),
+        interaction_expr: parse("((read_start - read_end) + (write_start - write_end))*").unwrap(),
         expressible_by: vec![
             Formalism::Regular,
             Formalism::Path,
@@ -114,8 +113,7 @@ pub fn readers_writers() -> Scenario {
     Scenario {
         name: "readers-writers",
         description: "unbounded concurrent readers, exclusive writers",
-        interaction_expr: parse("((read_start - read_end)# + (write_start - write_end))*")
-            .unwrap(),
+        interaction_expr: parse("((read_start - read_end)# + (write_start - write_end))*").unwrap(),
         expressible_by: vec![
             Formalism::Path,
             Formalism::Flow,
@@ -143,10 +141,8 @@ pub fn modular_combination() -> Scenario {
     Scenario {
         name: "modular-combination",
         description: "combine independently developed subgraphs without auxiliary symbols",
-        interaction_expr: parse(
-            "(prepare - call - perform)* @ (mult 2 { (call - perform)* })",
-        )
-        .unwrap(),
+        interaction_expr: parse("(prepare - call - perform)* @ (mult 2 { (call - perform)* })")
+            .unwrap(),
         expressible_by: vec![Formalism::Interaction],
     }
 }

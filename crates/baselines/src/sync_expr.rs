@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn disjoint_parallel_composition_is_allowed() {
-        let e = SyncExpr::atom("a").then(SyncExpr::atom("b")).par(SyncExpr::atom("c")).to_expr()
+        let e = SyncExpr::atom("a")
+            .then(SyncExpr::atom("b"))
+            .par(SyncExpr::atom("c"))
+            .to_expr()
             .unwrap();
         assert_eq!(word_problem(&e, &w(&["a", "c", "b"])).unwrap(), WordStatus::Complete);
     }

@@ -29,7 +29,10 @@ fn configure(c: &mut Criterion) -> &mut Criterion {
 
 fn word_problem_naive_vs_operational(c: &mut Criterion) {
     let mut group = c.benchmark_group("word_problem_naive_vs_operational");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     let expr = naive_vs_operational_expr();
     for n in [1usize, 2, 3] {
         let word = naive_vs_operational_word(n);
@@ -44,18 +47,19 @@ fn word_problem_naive_vs_operational(c: &mut Criterion) {
     // naive algorithm can touch.
     for n in [8usize, 16] {
         let word = naive_vs_operational_word(n);
-        group.bench_with_input(
-            BenchmarkId::new("operational_long", word.len()),
-            &word,
-            |b, w| b.iter(|| word_problem(&expr, w).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("operational_long", word.len()), &word, |b, w| {
+            b.iter(|| word_problem(&expr, w).unwrap())
+        });
     }
     group.finish();
 }
 
 fn quasi_regular_transitions(c: &mut Criterion) {
     let mut group = c.benchmark_group("quasi_regular_transitions");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     let expr = quasi_regular_expr(2);
     for len in [16usize, 64, 256] {
         let word = ab_word(len);
@@ -68,15 +72,16 @@ fn quasi_regular_transitions(c: &mut Criterion) {
 
 fn benign_quantified_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("benign_quantified_growth");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for patients in [2usize, 4, 8] {
         let word = examination_word(patients, 2, 1);
         let capacity = capacity_constraint(3);
-        group.bench_with_input(
-            BenchmarkId::new("fig6_capacity", patients),
-            &word,
-            |b, w| b.iter(|| word_problem(&capacity, w).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("fig6_capacity", patients), &word, |b, w| {
+            b.iter(|| word_problem(&capacity, w).unwrap())
+        });
         let coupled = coupled_constraint();
         group.bench_with_input(BenchmarkId::new("fig7_coupled", patients), &word, |b, w| {
             b.iter(|| word_problem(&coupled, w).unwrap())
@@ -94,7 +99,10 @@ fn benign_quantified_growth(c: &mut Criterion) {
 
 fn malignant_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("malignant_growth");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     let expr = ix_state::analysis::malignant_family();
     for n in [6usize, 10, 14] {
         let word = malignant_word(n);
@@ -107,7 +115,10 @@ fn malignant_growth(c: &mut Criterion) {
 
 fn optimization_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimization_ablation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // A parallel composition whose alternatives double per transition unless
     // ρ prunes them.
     let expr: Expr = ix_core::parse("(a - b)* | (a - b)* | (a - b)*").unwrap();
@@ -128,7 +139,10 @@ fn optimization_ablation(c: &mut Criterion) {
 
 fn multiplier_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiplier_ablation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     let word = examination_word(4, 1, 1);
     for slots in [2u32, 4] {
         let native = capacity_constraint(slots);

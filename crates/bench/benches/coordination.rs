@@ -13,14 +13,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ix_bench::*;
 use ix_manager::{InteractionManager, ProtocolVariant};
-use ix_wfms::{
-    AdaptedEngine, AdaptedWorklistHandler, CaseData, ManagerPort, WorkflowEngine,
-};
+use ix_wfms::{AdaptedEngine, AdaptedWorklistHandler, CaseData, ManagerPort, WorkflowEngine};
 use std::time::Duration;
 
 fn manager_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("manager_throughput");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for patients in [4usize, 8, 16] {
         let schedule = manager_schedule(patients, 2, 99);
         let constraint = capacity_constraint(patients as u32);
@@ -29,7 +30,7 @@ fn manager_throughput(c: &mut Criterion) {
             &schedule,
             |b, word| {
                 b.iter(|| {
-                    let mut m =
+                    let m =
                         InteractionManager::with_protocol(&constraint, ProtocolVariant::Combined)
                             .unwrap();
                     let mut accepted = 0u64;
@@ -47,7 +48,7 @@ fn manager_throughput(c: &mut Criterion) {
             &schedule,
             |b, word| {
                 b.iter(|| {
-                    let mut m = InteractionManager::new(&constraint).unwrap();
+                    let m = InteractionManager::new(&constraint).unwrap();
                     let mut accepted = 0u64;
                     for action in word {
                         if let Some(r) = m.ask(1, action).unwrap() {
@@ -65,7 +66,7 @@ fn manager_throughput(c: &mut Criterion) {
             &schedule,
             |b, word| {
                 b.iter(|| {
-                    let mut m =
+                    let m =
                         InteractionManager::with_protocol(&constraint, ProtocolVariant::Combined)
                             .unwrap();
                     for (i, action) in word.iter().enumerate().take(patients) {
@@ -110,7 +111,8 @@ fn run_adapted_worklists(patients: usize) -> u64 {
             let items: Vec<_> = engine.worklist(handler_role).to_vec();
             for item in items {
                 done = false;
-                let handler = if handler_role == "sono_physician" { &mut sono_doc } else { &mut sono };
+                let handler =
+                    if handler_role == "sono_physician" { &mut sono_doc } else { &mut sono };
                 if handler.start(&mut engine, item.instance, item.activity).is_ok() {
                     handler.complete(&mut engine, item.instance, item.activity).unwrap();
                 }
@@ -150,18 +152,19 @@ fn run_adapted_engine(patients: usize) -> u64 {
 
 fn adaptation_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptation_overhead");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for patients in [2usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("adapted_worklist_handlers", patients),
             &patients,
             |b, &p| b.iter(|| run_adapted_worklists(p)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("adapted_engine", patients),
-            &patients,
-            |b, &p| b.iter(|| run_adapted_engine(p)),
-        );
+        group.bench_with_input(BenchmarkId::new("adapted_engine", patients), &patients, |b, &p| {
+            b.iter(|| run_adapted_engine(p))
+        });
     }
     group.finish();
 }

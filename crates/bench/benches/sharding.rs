@@ -1,0 +1,93 @@
+//! Criterion benches for the sharded kernel: monolithic vs. sharded manager
+//! under the contended multi-client workload, and the single-threaded
+//! engine-level comparison (state-size effect without lock contention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ix_bench::*;
+use ix_manager::{InteractionManager, ProtocolVariant};
+use ix_state::{Engine, ShardedEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn contended_manager_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_manager_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for components in [2usize, 4, 8] {
+        let expr = disjoint_components_constraint(components);
+        group.bench_with_input(BenchmarkId::new("monolithic", components), &expr, |b, expr| {
+            b.iter(|| {
+                let manager = Arc::new(
+                    InteractionManager::monolithic(expr, ProtocolVariant::Combined).unwrap(),
+                );
+                run_contended(manager, components, components, 25, 1).committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", components), &expr, |b, expr| {
+            b.iter(|| {
+                let manager = Arc::new(
+                    InteractionManager::with_protocol(expr, ProtocolVariant::Combined).unwrap(),
+                );
+                run_contended(manager, components, components, 25, 1).committed
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sharded_batched", components),
+            &expr,
+            |b, expr| {
+                b.iter(|| {
+                    let manager = Arc::new(
+                        InteractionManager::with_protocol(expr, ProtocolVariant::Combined).unwrap(),
+                    );
+                    run_contended(manager, components, components, 25, 16).committed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn engine_dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for components in [2usize, 4, 8] {
+        let expr = disjoint_components_constraint(components);
+        let mut word = Vec::new();
+        for p in 0..50i64 {
+            for k in 0..components {
+                word.push(component_call(k, p));
+                word.push(component_perform(k, p));
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("monolithic_engine", components),
+            &word,
+            |b, word| {
+                b.iter(|| {
+                    let mut engine = Engine::new(&expr).unwrap();
+                    engine.feed(word)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sharded_engine", components), &word, |b, word| {
+            b.iter(|| {
+                let mut engine = ShardedEngine::new(&expr).unwrap();
+                engine.feed(word)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    contended_manager_throughput(c);
+    engine_dispatch_overhead(c);
+}
+
+criterion_group!(sharding, benches);
+criterion_main!(sharding);

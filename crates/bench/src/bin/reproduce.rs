@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6]
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards]
 //! ```
 //!
 //! Every section prints the artifact this repository reproduces for the
@@ -60,6 +60,9 @@ fn main() {
     if all || arg == "sec6" {
         sec6();
     }
+    if all || arg == "shards" {
+        shards();
+    }
 }
 
 fn heading(title: &str) {
@@ -76,7 +79,8 @@ fn fig1() {
             println!("    {:<28} performed by {}", a.name, a.role);
         }
     }
-    let report = EnsembleSimulation::new(SimulationConfig { patients: 3, seed: 1, max_steps: 20_000 }).run();
+    let report =
+        EnsembleSimulation::new(SimulationConfig { patients: 3, seed: 1, max_steps: 20_000 }).run();
     println!(
         "ensemble run (3 patients, both workflows each): {} instances, {} completed, \
          {} starts, {} vetoed by the interaction manager, {} protocol messages",
@@ -106,9 +110,8 @@ fn fig3() {
 
 fn demo_patient_constraint(expr: &ix_core::Expr) {
     let mut engine = Engine::new(expr).unwrap();
-    let call = |p: i64, x: &str| {
-        Action::concrete("call_patient_start", [Value::int(p), Value::sym(x)])
-    };
+    let call =
+        |p: i64, x: &str| Action::concrete("call_patient_start", [Value::int(p), Value::sym(x)]);
     engine.try_execute(&call(1, "sono"));
     println!(
         "after call_patient_start(1, sono): call_patient_start(1, endo) permitted = {}, \
@@ -121,8 +124,7 @@ fn demo_patient_constraint(expr: &ix_core::Expr) {
 fn fig4() {
     heading("Fig. 4 — basic branching operators");
     for graph in [ix_graph::figures::fig4_either_or(), ix_graph::figures::fig4_as_well_as()] {
-        let expr =
-            ix_graph::graph_to_expr(&graph, &ix_graph::figures::paper_registry()).unwrap();
+        let expr = ix_graph::graph_to_expr(&graph, &ix_graph::figures::paper_registry()).unwrap();
         println!("{:<24} => {expr}", graph.name);
     }
 }
@@ -141,9 +143,7 @@ fn fig6() {
     let expr = ix_graph::figures::fig6_expr();
     println!("expression: {expr}");
     let mut engine = Engine::new(&expr).unwrap();
-    let call = |p: i64| {
-        Action::concrete("call_patient_start", [Value::int(p), Value::sym("sono")])
-    };
+    let call = |p: i64| Action::concrete("call_patient_start", [Value::int(p), Value::sym("sono")]);
     for p in 1..=3 {
         engine.try_execute(&call(p));
         engine.try_execute(&Action::concrete(
@@ -178,22 +178,31 @@ fn table8() {
     heading("Table 8 — formal semantics Φ/Ψ (bounded enumeration)");
     let universe = Universe::new([Value::int(1), Value::int(2)]).with_fresh(1);
     let samples = [
-        "a - b", "a | b", "a + b", "a & b", "a @ b", "(a - b)*", "(a - b)#", "a?",
-        "some p { e(p) }", "all p { e(p)? }",
+        "a - b",
+        "a | b",
+        "a + b",
+        "a & b",
+        "a @ b",
+        "(a - b)*",
+        "(a - b)#",
+        "a?",
+        "some p { e(p) }",
+        "all p { e(p)? }",
     ];
     println!("{:<18} {:>6} {:>6}   complete words up to length 3", "expression", "|Φ|", "|Ψ|");
     for src in samples {
         let expr = ix_core::parse(src).unwrap();
         let d = denote(&expr, &universe, 3).unwrap();
-        let words: Vec<String> =
-            d.phi.words().take(4).map(|w| display_word(w)).collect();
+        let words: Vec<String> = d.phi.words().take(4).map(|w| display_word(w)).collect();
         println!("{:<18} {:>6} {:>6}   {}", src, d.phi.len(), d.psi.len(), words.join(" "));
     }
 }
 
 fn fig9() {
     heading("Fig. 9 — word and action problems");
-    let expr = ix_core::parse("(call(1, sono) - perform(1, sono)) + (call(1, endo) - perform(1, endo))").unwrap();
+    let expr =
+        ix_core::parse("(call(1, sono) - perform(1, sono)) + (call(1, endo) - perform(1, endo))")
+            .unwrap();
     let word = vec![
         Action::concrete("call", [Value::int(1), Value::sym("sono")]),
         Action::concrete("perform", [Value::int(1), Value::sym("sono")]),
@@ -217,16 +226,24 @@ fn fig9() {
 fn fig10() {
     heading("Fig. 10 — coordination and subscription protocols");
     let constraint = ix_core::parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap();
-    let mut manager = InteractionManager::new(&constraint).unwrap();
+    let manager = InteractionManager::new(&constraint).unwrap();
     let call = |p: i64, x: &str| Action::concrete("call", [Value::int(p), Value::sym(x)]);
     let perform = |p: i64, x: &str| Action::concrete("perform", [Value::int(p), Value::sym(x)]);
     manager.subscribe(2, &call(1, "endo"));
-    println!("client 2 subscribes to call(1, endo): currently permitted = {}", manager.is_permitted(&call(1, "endo")));
+    println!(
+        "client 2 subscribes to call(1, endo): currently permitted = {}",
+        manager.is_permitted(&call(1, "endo"))
+    );
     let r = manager.ask(1, &call(1, "sono")).unwrap().unwrap();
     let notes = manager.confirm(r).unwrap();
     println!("client 1 executes call(1, sono); notifications sent: {}", notes.len());
     for n in &notes {
-        println!("    inform client {}: {} is now {}", n.client, n.action, if n.permitted { "permissible" } else { "not permissible" });
+        println!(
+            "    inform client {}: {} is now {}",
+            n.client,
+            n.action,
+            if n.permitted { "permissible" } else { "not permissible" }
+        );
     }
     let r = manager.ask(1, &perform(1, "sono")).unwrap().unwrap();
     let notes = manager.confirm(r).unwrap();
@@ -310,12 +327,86 @@ fn sec4() {
     }
 }
 
+/// The sharding experiment: monolithic vs. sharded kernel on the contended
+/// multi-client workload, plus the single-threaded engine-level comparison.
+/// Emits the machine-readable `BENCH_shards.json` so later changes have a
+/// perf trajectory to beat.
+fn shards() {
+    heading("Sharding — alphabet-partitioned kernel vs. the monolithic scheduler");
+    let cases_per_thread = 200;
+    let mut manager_rows = Vec::new();
+    println!(
+        "{:>10} {:>8} {:>7} {:>16} {:>16} {:>9}",
+        "components", "threads", "batch", "monolithic/s", "sharded/s", "speedup"
+    );
+    for components in [1usize, 2, 4, 8] {
+        for batch in [1usize, 16] {
+            let threads = components;
+            let (mono, sharded) =
+                contended_monolithic_vs_sharded(components, threads, cases_per_thread, batch);
+            let speedup = sharded.throughput() / mono.throughput().max(f64::MIN_POSITIVE);
+            println!(
+                "{:>10} {:>8} {:>7} {:>16.0} {:>16.0} {:>8.2}x",
+                components,
+                threads,
+                batch,
+                mono.throughput(),
+                sharded.throughput(),
+                speedup
+            );
+            manager_rows.push(format!(
+                "    {{\"components\": {components}, \"threads\": {threads}, \
+                 \"batch_size\": {batch}, \"actions\": {}, \
+                 \"monolithic_throughput\": {:.1}, \"sharded_throughput\": {:.1}, \
+                 \"speedup\": {:.3}}}",
+                mono.committed,
+                mono.throughput(),
+                sharded.throughput(),
+                speedup
+            ));
+        }
+    }
+    let mut engine_rows = Vec::new();
+    println!(
+        "\n{:>10} {:>16} {:>16} {:>9}   (single-threaded engine)",
+        "components", "monolithic (µs)", "sharded (µs)", "speedup"
+    );
+    for components in [1usize, 2, 4, 8] {
+        let (mono_nanos, sharded_nanos) = engine_monolithic_vs_sharded_nanos(components, 100);
+        let speedup = mono_nanos as f64 / (sharded_nanos as f64).max(1.0);
+        println!(
+            "{:>10} {:>16.1} {:>16.1} {:>8.2}x",
+            components,
+            mono_nanos as f64 / 1000.0,
+            sharded_nanos as f64 / 1000.0,
+            speedup
+        );
+        engine_rows.push(format!(
+            "    {{\"components\": {components}, \"monolithic_nanos\": {mono_nanos}, \
+             \"sharded_nanos\": {sharded_nanos}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"alphabet-partitioned sharding\",\n  \
+          \"workload\": \"contended call/perform pairs, one client per component, \
+          {cases_per_thread} cases per client\",\n  \
+          \"manager_contended\": [\n{}\n  ],\n  \"engine_single_thread\": [\n{}\n  ]\n}}\n",
+        manager_rows.join(",\n"),
+        engine_rows.join(",\n")
+    );
+    std::fs::write("BENCH_shards.json", &json).expect("write BENCH_shards.json");
+    println!("\nwrote BENCH_shards.json");
+}
+
 fn sec6() {
     heading("Sec. 6 — state growth: harmless, benign and malignant expressions");
     println!("quasi-regular (harmless): state size stays constant");
     let expr = quasi_regular_expr(2);
     for row in growth_profile(&expr, &ab_word(64), 16) {
-        println!("    len {:>4}: state size {:>5}, alternatives {:>5}", row.length, row.state_size, row.alternatives);
+        println!(
+            "    len {:>4}: state size {:>5}, alternatives {:>5}",
+            row.length, row.state_size, row.alternatives
+        );
     }
     println!("benign quantified (Fig. 7): polynomial growth with the number of patients");
     let expr = coupled_constraint();
@@ -325,7 +416,10 @@ fn sec6() {
         let last = rows.last().unwrap();
         println!(
             "    {:>2} patients ({:>3} actions): state size {:>6}, alternatives {:>5}",
-            patients, word.len(), last.state_size, last.alternatives
+            patients,
+            word.len(),
+            last.state_size,
+            last.alternatives
         );
     }
     println!("malignant family (a# - b)#: super-polynomial growth");

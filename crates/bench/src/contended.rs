@@ -1,0 +1,242 @@
+//! The contended multi-client coordination workload.
+//!
+//! Measures what the sharded kernel was built for: many clients hammering
+//! one interaction manager whose expression decomposes into
+//! alphabet-disjoint sync-components.  The monolithic manager serializes
+//! every ask/confirm cycle through one critical region *and* pays for one
+//! big compound state per transition; the sharded manager routes each client
+//! to its own component, so the same workload runs on independent locks over
+//! proportionally smaller states.
+//!
+//! The workload is intentionally embarrassingly partitionable — that is the
+//! regime the tentpole targets (think: one component per department /
+//! tenant / queue).  `run_contended` reports wall-clock throughput for any
+//! manager, so the monolithic/sharded comparison is one constructor away.
+
+use ix_core::{parse, Action, Expr, Value};
+use ix_manager::{InteractionManager, ProtocolVariant};
+use ix_state::{Engine, ShardedEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A constraint that decomposes into exactly `components` sync-components:
+/// the ⊗-coupling of `components` independent service groups, each enforcing
+/// "every case is called before it is performed" over its own action names.
+pub fn disjoint_components_constraint(components: usize) -> Expr {
+    assert!(components >= 1);
+    let group = |k: usize| format!("(some p {{ call_{k}(p) - perform_{k}(p) }})*");
+    let src = (0..components).map(group).collect::<Vec<_>>().join(" @ ");
+    parse(&src).expect("generated disjoint-component constraint")
+}
+
+/// The call action of case `p` in component `k`.
+pub fn component_call(k: usize, p: i64) -> Action {
+    Action::concrete(&format!("call_{k}"), [Value::int(p)])
+}
+
+/// The perform action of case `p` in component `k`.
+pub fn component_perform(k: usize, p: i64) -> Action {
+    Action::concrete(&format!("perform_{k}"), [Value::int(p)])
+}
+
+/// The schedule one client drives against component `k`: `cases`
+/// call/perform pairs, every action permissible when executed in order.
+pub fn component_schedule(k: usize, cases: usize) -> Vec<Action> {
+    let mut word = Vec::with_capacity(cases * 2);
+    for p in 0..cases {
+        word.push(component_call(k, p as i64));
+        word.push(component_perform(k, p as i64));
+    }
+    word
+}
+
+/// Outcome of one contended run.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionReport {
+    /// Number of client threads.
+    pub threads: usize,
+    /// Number of shards of the manager under test.
+    pub shards: usize,
+    /// Actions committed across all clients.
+    pub committed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ContentionReport {
+    /// Committed actions per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+}
+
+/// Runs `threads` clients against `manager`, client `t` driving component
+/// `t % components` with its own disjoint range of cases.  With
+/// `batch_size > 1` the clients submit their schedule through
+/// [`InteractionManager::try_execute_batch`] in chunks, otherwise one
+/// combined request per action.  Every submitted action is expected to
+/// commit (the workload is conflict-free by construction); the report counts
+/// what actually committed so a regression shows up as lost throughput, not
+/// a hang.
+pub fn run_contended(
+    manager: Arc<InteractionManager>,
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    batch_size: usize,
+) -> ContentionReport {
+    let shards = manager.shard_count();
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let manager = Arc::clone(&manager);
+        handles.push(std::thread::spawn(move || {
+            let k = t % components;
+            // Disjoint case ranges keep concurrent clients of the same
+            // component from colliding on a case id.
+            let offset = (t * cases_per_thread) as i64;
+            let mut committed = 0u64;
+            if batch_size > 1 {
+                let mut pending: Vec<Action> = Vec::with_capacity(batch_size);
+                for p in 0..cases_per_thread as i64 {
+                    pending.push(component_call(k, offset + p));
+                    pending.push(component_perform(k, offset + p));
+                    if pending.len() >= batch_size {
+                        let result =
+                            manager.try_execute_batch(t as u64, &pending).expect("concrete");
+                        committed += result.accepted.iter().filter(|a| **a).count() as u64;
+                        pending.clear();
+                    }
+                }
+                if !pending.is_empty() {
+                    let result = manager.try_execute_batch(t as u64, &pending).expect("concrete");
+                    committed += result.accepted.iter().filter(|a| **a).count() as u64;
+                }
+            } else {
+                for p in 0..cases_per_thread as i64 {
+                    for action in [component_call(k, offset + p), component_perform(k, offset + p)]
+                    {
+                        if manager.try_execute(t as u64, &action).expect("concrete").is_some() {
+                            committed += 1;
+                        }
+                    }
+                }
+            }
+            committed
+        }));
+    }
+    let committed = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+    ContentionReport { threads, shards, committed, elapsed: started.elapsed() }
+}
+
+/// Convenience pair: the same contended workload against a monolithic and a
+/// sharded manager for a `components`-way decomposable constraint.
+pub fn contended_monolithic_vs_sharded(
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    batch_size: usize,
+) -> (ContentionReport, ContentionReport) {
+    let expr = disjoint_components_constraint(components);
+    let monolithic = Arc::new(
+        InteractionManager::monolithic(&expr, ProtocolVariant::Combined).expect("valid constraint"),
+    );
+    let sharded = Arc::new(
+        InteractionManager::with_protocol(&expr, ProtocolVariant::Combined)
+            .expect("valid constraint"),
+    );
+    (
+        run_contended(monolithic, components, threads, cases_per_thread, batch_size),
+        run_contended(sharded, components, threads, cases_per_thread, batch_size),
+    )
+}
+
+/// Single-threaded engine-level comparison: total nanoseconds to drive the
+/// interleaved schedule of all components through a monolithic [`Engine`]
+/// versus a [`ShardedEngine`].  Isolates the state-size effect of sharding
+/// from the lock-contention effect.
+pub fn engine_monolithic_vs_sharded_nanos(
+    components: usize,
+    cases_per_component: usize,
+) -> (u128, u128) {
+    let expr = disjoint_components_constraint(components);
+    // Round-robin interleaving of the component schedules.
+    let mut word = Vec::new();
+    for p in 0..cases_per_component as i64 {
+        for k in 0..components {
+            word.push(component_call(k, p));
+        }
+        for k in 0..components {
+            word.push(component_perform(k, p));
+        }
+    }
+    let mut mono = Engine::new(&expr).expect("valid constraint");
+    let t0 = Instant::now();
+    for action in &word {
+        assert!(mono.try_execute(action), "schedule is permissible");
+    }
+    let mono_nanos = t0.elapsed().as_nanos();
+
+    let mut sharded = ShardedEngine::new(&expr).expect("valid constraint");
+    let t0 = Instant::now();
+    for action in &word {
+        assert!(sharded.try_execute(action), "schedule is permissible");
+    }
+    let sharded_nanos = t0.elapsed().as_nanos();
+    (mono_nanos, sharded_nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_state::word_problem;
+
+    #[test]
+    fn generated_constraints_partition_as_requested() {
+        for components in [1usize, 2, 4, 8] {
+            let expr = disjoint_components_constraint(components);
+            let manager =
+                InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+            assert_eq!(manager.shard_count(), components);
+        }
+    }
+
+    #[test]
+    fn component_schedules_are_permissible() {
+        let expr = disjoint_components_constraint(2);
+        for k in 0..2 {
+            let word = component_schedule(k, 3);
+            assert_ne!(word_problem(&expr, &word).unwrap(), ix_state::WordStatus::Illegal);
+        }
+    }
+
+    #[test]
+    fn contended_run_commits_every_action() {
+        let (mono, sharded) = contended_monolithic_vs_sharded(4, 4, 8, 1);
+        assert_eq!(mono.shards, 1);
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(mono.committed, 4 * 8 * 2);
+        assert_eq!(sharded.committed, 4 * 8 * 2);
+    }
+
+    #[test]
+    fn batched_submission_commits_the_same_set() {
+        let expr = disjoint_components_constraint(2);
+        let manager =
+            Arc::new(InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap());
+        let report = run_contended(manager, 2, 2, 10, 8);
+        assert_eq!(report.committed, 2 * 10 * 2);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn engine_level_comparison_runs_both_kernels() {
+        let (mono, sharded) = engine_monolithic_vs_sharded_nanos(4, 4);
+        assert!(mono > 0 && sharded > 0);
+    }
+}

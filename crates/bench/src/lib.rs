@@ -9,8 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contended;
 pub mod workloads;
 
+pub use contended::*;
 pub use workloads::*;
 
 use ix_core::{Action, Expr};

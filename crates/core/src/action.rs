@@ -34,10 +34,7 @@ impl Action {
     }
 
     /// Creates a concrete action from values only.
-    pub fn concrete(
-        name: impl Into<Symbol>,
-        args: impl IntoIterator<Item = Value>,
-    ) -> Action {
+    pub fn concrete(name: impl Into<Symbol>, args: impl IntoIterator<Item = Value>) -> Action {
         Action::new(name, args.into_iter().map(Term::Value))
     }
 

@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn alphabet_collects_atoms_across_operators() {
-        let e = Expr::sync(
-            Expr::seq(atom("a"), atom("b")),
-            Expr::or(atom("b"), atom("c")),
-        );
+        let e = Expr::sync(Expr::seq(atom("a"), atom("b")), Expr::or(atom("b"), atom("c")));
         let alpha = e.alphabet();
         assert_eq!(alpha.len(), 3);
         assert!(alpha.contains_abstract(&Action::nullary("a")));

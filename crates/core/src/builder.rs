@@ -93,10 +93,7 @@ pub fn mutex(branches: impl IntoIterator<Item = Expr>) -> Expr {
 /// A workflow activity mapped to its start/termination action pair
 /// (footnote 6): `activity(args) = activity_start(args) − activity_end(args)`.
 pub fn activity(name: &str, args: impl IntoIterator<Item = Term> + Clone) -> Expr {
-    Expr::seq(
-        act(&format!("{name}_start"), args.clone()),
-        act(&format!("{name}_end"), args),
-    )
+    Expr::seq(act(&format!("{name}_start"), args.clone()), act(&format!("{name}_end"), args))
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod error;
 pub mod expr;
 pub mod normalize;
 pub mod parser;
+pub mod partition;
 pub mod printer;
 pub mod subst;
 pub mod symbol;
@@ -48,6 +49,7 @@ pub use error::{CoreError, CoreResult};
 pub use expr::{Expr, ExprKind};
 pub use normalize::simplify;
 pub use parser::{parse, parse_with};
+pub use partition::{sync_components, Component, Partition};
 pub use symbol::Symbol;
 pub use template::{TemplateDef, TemplateRegistry};
 pub use value::{Param, Term, Value};

@@ -184,10 +184,8 @@ mod tests {
     #[test]
     fn simplification_reaches_a_fixpoint_through_nesting() {
         // ((a + a) - empty)?? simplifies all the way to a?.
-        let e = Expr::option(Expr::option(Expr::seq(
-            Expr::or(act0("a"), act0("a")),
-            Expr::empty(),
-        )));
+        let e =
+            Expr::option(Expr::option(Expr::seq(Expr::or(act0("a"), act0("a")), Expr::empty())));
         assert_eq!(simplify(&e).to_string(), "a?");
         // Simplification is idempotent.
         let once = simplify(&e);

@@ -1,0 +1,256 @@
+//! Alphabet-connectivity analysis: the partition of an expression into
+//! maximal *sync-components*.
+//!
+//! The synchronization operator y ⊗ z lets each operand constrain only the
+//! actions of its own alphabet (Sec. 5, Fig. 7).  When the operand alphabets
+//! are *disjoint*, the operands never observe each other's actions at all:
+//! the combined expression behaves exactly like the operands running
+//! independently side by side.  The same holds for a parallel composition
+//! y ‖ z with disjoint alphabets, because with no shared action every
+//! interleaving constraint degenerates to "each operand sees its own
+//! projection" — the coupling and the shuffle coincide.
+//!
+//! This module computes the maximal decomposition: the top-level chain of
+//! splittable composition points (every ⊗, and every ‖ whose operand
+//! alphabets are disjoint) is flattened into operands, operands whose
+//! alphabets may overlap are merged with a union–find, and each resulting
+//! group is re-joined with ⊗ (sound because ⊗ is associative and commutative
+//! and the flattened chain is semantically a single large ⊗).  The result is
+//! the list of independent components an execution engine can run as
+//! parallel shards — see `ix_state::ShardedEngine` and the sharded
+//! interaction manager of `ix-manager`.
+
+use crate::alphabet::Alphabet;
+use crate::expr::{Expr, ExprKind};
+
+/// The decomposition of an expression into independent sync-components.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    components: Vec<Component>,
+}
+
+/// One maximal sync-component: a sub-expression together with its alphabet.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// The component expression (a ⊗-join of the operands in this group).
+    pub expr: Expr,
+    /// The component's alphabet — disjoint from every other component's.
+    pub alphabet: Alphabet,
+}
+
+impl Partition {
+    /// Computes the maximal alphabet-disjoint partition of `expr`.
+    ///
+    /// The result always has at least one component; an expression that does
+    /// not decompose yields the trivial partition `[expr]`.
+    pub fn of(expr: &Expr) -> Partition {
+        let mut operands = Vec::new();
+        flatten(expr, &mut operands);
+        let alphabets: Vec<Alphabet> = operands.iter().map(|e| e.alphabet()).collect();
+
+        // Union–find over the operands: operands whose alphabets may cover a
+        // common concrete action must stay in the same component.
+        let mut parent: Vec<usize> = (0..operands.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..operands.len() {
+            for j in i + 1..operands.len() {
+                if !alphabets[i].is_disjoint(&alphabets[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[rj] = ri;
+                    }
+                }
+            }
+        }
+
+        // Group operands by root, preserving the original operand order both
+        // across and within groups.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..operands.len() {
+            let root = find(&mut parent, i);
+            match groups.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((root, vec![i])),
+            }
+        }
+
+        let components = groups
+            .into_iter()
+            .map(|(_, members)| {
+                let expr = members
+                    .iter()
+                    .map(|&i| operands[i].clone())
+                    .reduce(Expr::sync)
+                    .expect("every group has at least one operand");
+                let alphabet =
+                    members.iter().fold(Alphabet::new(), |acc, &i| acc.union(&alphabets[i]));
+                Component { expr, alphabet }
+            })
+            .collect();
+        Partition { components }
+    }
+
+    /// The components, in the order their first operand appears in the
+    /// original expression.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the partition has no components.  Never true for partitions
+    /// built by [`Partition::of`], which always yields at least one.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// True if the expression decomposed into more than one component.
+    pub fn is_sharded(&self) -> bool {
+        self.components.len() > 1
+    }
+
+    /// The component expressions.
+    pub fn exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.components.iter().map(|c| &c.expr)
+    }
+}
+
+/// Flattens the maximal top-level chain of splittable composition points.
+///
+/// * `Sync(l, r)` is always a composition point (⊗ is associative and
+///   commutative, so regrouping its operands is sound whether or not their
+///   alphabets overlap — overlapping operands are re-merged by the caller).
+/// * `Par(l, r)` is a composition point only when the operand alphabets are
+///   disjoint — then ‖ coincides with ⊗ and joins the chain; otherwise the
+///   shuffle constraint is real and the node is an indivisible operand.
+///
+/// Everything else (quantifiers, sequences, iterations, conjunctions …)
+/// constrains the relative order of its sub-alphabets and must stay whole.
+fn flatten(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr.kind() {
+        ExprKind::Sync(l, r) => {
+            flatten(l, out);
+            flatten(r, out);
+        }
+        ExprKind::Par(l, r) if l.alphabet().is_disjoint(&r.alphabet()) => {
+            flatten(l, out);
+            flatten(r, out);
+        }
+        _ => out.push(expr.clone()),
+    }
+}
+
+/// Convenience wrapper: the component expressions of [`Partition::of`].
+pub fn sync_components(expr: &Expr) -> Vec<Expr> {
+    Partition::of(expr).exprs().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn components(src: &str) -> Vec<String> {
+        sync_components(&parse(src).unwrap()).iter().map(|e| e.to_string()).collect()
+    }
+
+    #[test]
+    fn atomic_expressions_are_one_component() {
+        assert_eq!(components("a - b").len(), 1);
+        assert_eq!(components("(a + b)*").len(), 1);
+    }
+
+    #[test]
+    fn disjoint_sync_operands_split() {
+        let c = components("(a - b)* @ (c - d)*");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn nested_sync_chains_flatten_completely() {
+        let c = components("((a - b)* @ (c - d)*) @ (e - f)*");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_sync_operands_merge() {
+        // b occurs on both sides: one component.
+        let c = components("(a - b)* @ (b - c)*");
+        assert_eq!(c.len(), 1);
+        // Chain of three where the middle overlaps both ends: still one.
+        let c = components("(a - b)* @ (b - c)* @ (c - d)*");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_produces_mixed_groups() {
+        // a-b and b-c overlap; x-y is independent.
+        let p = Partition::of(&parse("(a - b)* @ (x - y)* @ (b - c)*").unwrap());
+        assert_eq!(p.len(), 2);
+        assert!(p.is_sharded());
+        // The overlapping pair was re-joined with ⊗.
+        let merged = p
+            .components()
+            .iter()
+            .find(|c| c.alphabet.contains_abstract(&crate::action::Action::nullary("a")))
+            .unwrap();
+        assert!(merged.alphabet.contains_abstract(&crate::action::Action::nullary("c")));
+        assert!(!merged.alphabet.contains_abstract(&crate::action::Action::nullary("x")));
+    }
+
+    #[test]
+    fn disjoint_parallel_composition_splits() {
+        assert_eq!(components("(a - b)* | (c - d)*").len(), 2);
+        // Overlapping parallel composition is a real shuffle constraint.
+        assert_eq!(components("(a - b)* | (b - c)*").len(), 1);
+    }
+
+    #[test]
+    fn mixed_sync_and_parallel_chains_split() {
+        assert_eq!(components("((a - b)* | (c - d)*) @ (e - f)*").len(), 3);
+    }
+
+    #[test]
+    fn parameterized_alphabets_use_conservative_overlap() {
+        // call(p, x) may instantiate to call(1, sono): conservative merge.
+        let c = components("(some p { call(p, sono) })* @ (call(1, sono) - done)*");
+        assert_eq!(c.len(), 1);
+        // Distinct action names never overlap.
+        let c = components("(some p { call(p) })* @ (some p { perform(p) })*");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quantifiers_and_conjunctions_stay_whole() {
+        assert_eq!(components("sync p { (e(p) - f(p))* }").len(), 1);
+        assert_eq!(components("(a - b) & (c - d)").len(), 1);
+    }
+
+    #[test]
+    fn component_alphabets_are_pairwise_disjoint() {
+        let p = Partition::of(&parse("(a - b)* @ (c - d)* @ (e - f)* @ (g - h)*").unwrap());
+        assert_eq!(p.len(), 4);
+        for (i, ci) in p.components().iter().enumerate() {
+            for cj in p.components().iter().skip(i + 1) {
+                assert!(ci.alphabet.is_disjoint(&cj.alphabet));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_expression_is_a_trivial_component() {
+        let p = Partition::of(&Expr::empty());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_sharded());
+        assert!(!p.is_empty());
+    }
+}

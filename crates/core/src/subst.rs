@@ -32,9 +32,7 @@ impl Expr {
                 Expr::par(y.substitute(param, value), z.substitute(param, value))
             }
             ExprKind::ParIter(y) => Expr::par_iter(y.substitute(param, value)),
-            ExprKind::Or(y, z) => {
-                Expr::or(y.substitute(param, value), z.substitute(param, value))
-            }
+            ExprKind::Or(y, z) => Expr::or(y.substitute(param, value), z.substitute(param, value)),
             ExprKind::And(y, z) => {
                 Expr::and(y.substitute(param, value), z.substitute(param, value))
             }
@@ -94,10 +92,7 @@ mod tests {
     }
 
     fn atom_params(name: &str, params: &[&str]) -> Expr {
-        Expr::atom(Action::new(
-            name,
-            params.iter().map(|q| Term::Param(Param::new(q))),
-        ))
+        Expr::atom(Action::new(name, params.iter().map(|q| Term::Param(Param::new(q)))))
     }
 
     #[test]
@@ -150,10 +145,7 @@ mod tests {
     fn substitute_all_applies_in_order() {
         let e = atom_params("call", &["p", "x"]);
         let s = e.substitute_all(&[(p("p"), Value::int(1)), (p("x"), Value::sym("endo"))]);
-        assert_eq!(
-            s,
-            Expr::atom(Action::concrete("call", [Value::int(1), Value::sym("endo")]))
-        );
+        assert_eq!(s, Expr::atom(Action::concrete("call", [Value::int(1), Value::sym("endo")])));
     }
 
     #[test]

@@ -173,9 +173,8 @@ mod tests {
     #[test]
     fn mutex_template_matches_fig5() {
         let reg = TemplateRegistry::with_standard_operators();
-        let expanded = reg
-            .expand(Symbol::new("mutex"), &[act0("x"), act0("y"), act0("z")])
-            .unwrap();
+        let expanded =
+            reg.expand(Symbol::new("mutex"), &[act0("x"), act0("y"), act0("z")]).unwrap();
         // (x + y + z)* — a sequential iteration of a nested disjunction.
         assert!(matches!(expanded.kind(), ExprKind::SeqIter(_)));
         assert_eq!(expanded.atoms().len(), 3);
@@ -201,10 +200,7 @@ mod tests {
         let mut reg = TemplateRegistry::new();
         let def = TemplateDef::new("t", [Symbol::new("x")], Expr::hole("x"));
         reg.register(def.clone()).unwrap();
-        assert!(matches!(
-            reg.register(def),
-            Err(CoreError::DuplicateTemplate { .. })
-        ));
+        assert!(matches!(reg.register(def), Err(CoreError::DuplicateTemplate { .. })));
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! adjacent `X_start`/`X_end` pairs are folded back into activities).
 
 use crate::model::{GraphNode, InteractionGraph};
-use ix_core::{
-    builder, Action, CoreError, CoreResult, Expr, ExprKind, TemplateRegistry,
-};
+use ix_core::{builder, Action, CoreError, CoreResult, Expr, ExprKind, TemplateRegistry};
 
 /// Converts a graph node to the interaction expression it denotes.
 pub fn to_expr(node: &GraphNode, registry: &TemplateRegistry) -> CoreResult<Expr> {
@@ -70,16 +68,10 @@ pub fn from_expr(expr: &Expr) -> GraphNode {
         ExprKind::Or(..) => GraphNode::EitherOr(flatten_assoc(expr, &is_or)),
         ExprKind::And(..) => GraphNode::Conjunction(flatten_assoc(expr, &is_and)),
         ExprKind::Sync(..) => GraphNode::Coupling(flatten_assoc(expr, &is_sync)),
-        ExprKind::SomeQ(p, y) => {
-            GraphNode::SomeValue { param: *p, body: Box::new(from_expr(y)) }
-        }
+        ExprKind::SomeQ(p, y) => GraphNode::SomeValue { param: *p, body: Box::new(from_expr(y)) },
         ExprKind::ParQ(p, y) => GraphNode::AllValues { param: *p, body: Box::new(from_expr(y)) },
-        ExprKind::SyncQ(p, y) => {
-            GraphNode::SyncValues { param: *p, body: Box::new(from_expr(y)) }
-        }
-        ExprKind::AllQ(p, y) => {
-            GraphNode::EveryValue { param: *p, body: Box::new(from_expr(y)) }
-        }
+        ExprKind::SyncQ(p, y) => GraphNode::SyncValues { param: *p, body: Box::new(from_expr(y)) },
+        ExprKind::AllQ(p, y) => GraphNode::EveryValue { param: *p, body: Box::new(from_expr(y)) },
         ExprKind::Mult(n, y) => GraphNode::Multiplier { count: *n, body: Box::new(from_expr(y)) },
     }
 }
@@ -268,14 +260,13 @@ mod tests {
             let e = parse(src).unwrap();
             let g = from_expr(&e);
             let e2 = to_expr(&g, &reg).unwrap();
-            assert_eq!(
+            assert!(
                 ix_semantics::equivalent(
                     &e,
                     &e2,
                     &ix_semantics::Universe::new([ix_core::Value::int(1)]).with_fresh(1),
                     3
                 ),
-                true,
                 "round trip changed the language of {src}"
             );
         }

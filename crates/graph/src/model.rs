@@ -251,10 +251,8 @@ mod tests {
 
     #[test]
     fn template_call_detection() {
-        let g = GraphNode::TemplateCall {
-            name: Symbol::new("mutex"),
-            args: vec![GraphNode::Empty],
-        };
+        let g =
+            GraphNode::TemplateCall { name: Symbol::new("mutex"), args: vec![GraphNode::Empty] };
         assert!(g.contains_template_calls());
         assert!(!sample().root.contains_template_calls());
     }
@@ -264,10 +262,6 @@ mod tests {
         let g = sample();
         let g2 = g.clone();
         assert_eq!(g, g2);
-        assert_ne!(
-            g.root,
-            GraphNode::Empty,
-            "structural equality distinguishes different graphs"
-        );
+        assert_ne!(g.root, GraphNode::Empty, "structural equality distinguishes different graphs");
     }
 }

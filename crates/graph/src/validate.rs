@@ -120,8 +120,7 @@ pub fn validate_expr(
     if frontier.iter().any(is_final) {
         completable = true;
     }
-    let never_permitted =
-        alphabet.into_iter().filter(|a| !ever_permitted.contains(a)).collect();
+    let never_permitted = alphabet.into_iter().filter(|a| !ever_permitted.contains(a)).collect();
     Ok(ValidationReport {
         expr: expr.clone(),
         completable,

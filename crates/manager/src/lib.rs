@@ -32,7 +32,7 @@ pub mod queue;
 pub mod subscription;
 
 pub use error::{ManagerError, ManagerResult};
-pub use manager::{InteractionManager, ManagerStats, ProtocolVariant, Reservation};
+pub use manager::{BatchResult, InteractionManager, ManagerStats, ProtocolVariant, Reservation};
 pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::DurableQueue;

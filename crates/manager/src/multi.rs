@@ -68,11 +68,7 @@ impl ManagerFederation {
     /// Names of the managers responsible for an action (those whose alphabet
     /// covers it).
     pub fn responsible(&self, action: &Action) -> Vec<&str> {
-        self.members
-            .iter()
-            .filter(|m| m.alphabet.covers(action))
-            .map(|m| m.name.as_str())
-            .collect()
+        self.members.iter().filter(|m| m.alphabet.covers(action)).map(|m| m.name.as_str()).collect()
     }
 
     /// True if every responsible manager currently permits the action.
@@ -162,11 +158,8 @@ mod tests {
         let mut fed = ManagerFederation::new();
         // One manager per independently developed constraint — the
         // deployment-level analogue of the Fig. 7 coupling.
-        fed.add(
-            "patients",
-            &parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap(),
-        )
-        .unwrap();
+        fed.add("patients", &parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap())
+            .unwrap();
         fed.add(
             "capacity",
             &parse("all x { mult 2 { (some p { call(p, x) - perform(p, x) })* } }").unwrap(),

@@ -217,10 +217,10 @@ impl ClientHandle {
     }
 }
 
-fn serve(mut manager: InteractionManager, rx: Receiver<Envelope>) -> InteractionManager {
+fn serve(manager: InteractionManager, rx: Receiver<Envelope>) -> InteractionManager {
     let mut notification_channels: HashMap<ClientId, Sender<Notification>> = HashMap::new();
     let deliver = |manager_notes: Vec<Notification>,
-                       channels: &HashMap<ClientId, Sender<Notification>>| {
+                   channels: &HashMap<ClientId, Sender<Notification>>| {
         for note in manager_notes {
             if let Some(ch) = channels.get(&note.client) {
                 let _ = ch.send(note);
@@ -340,7 +340,8 @@ mod tests {
                 client.execute(&call(client_id as i64, "sono")).unwrap()
             }));
         }
-        let wins: usize = handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
+        let wins: usize =
+            handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
         assert_eq!(wins, 1, "exactly one client gets the slot");
         server.shutdown().unwrap();
     }

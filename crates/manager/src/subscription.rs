@@ -88,7 +88,11 @@ impl SubscriptionRegistry {
             let was = before.get(action).copied().unwrap_or(!now);
             if was != now {
                 for client in clients {
-                    out.push(Notification { client: *client, action: action.clone(), permitted: now });
+                    out.push(Notification {
+                        client: *client,
+                        action: action.clone(),
+                        permitted: now,
+                    });
                 }
             }
         }
@@ -150,8 +154,8 @@ mod tests {
         reg.subscribe(1, a("y"));
         let snap = reg.statuses(|act| act.name().to_string() == "x");
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap[&a("x")], true);
-        assert_eq!(snap[&a("y")], false);
+        assert!(snap[&a("x")]);
+        assert!(!snap[&a("y")]);
         assert_eq!(reg.actions().count(), 2);
     }
 }

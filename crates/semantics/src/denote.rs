@@ -56,11 +56,13 @@ impl std::error::Error for SemanticsError {}
 ///
 /// `bound` is the maximum word length considered; `universe` grounds the
 /// quantifiers.
-pub fn denote(expr: &Expr, universe: &Universe, bound: usize) -> Result<Denotation, SemanticsError> {
+pub fn denote(
+    expr: &Expr,
+    universe: &Universe,
+    bound: usize,
+) -> Result<Denotation, SemanticsError> {
     match expr.kind() {
-        ExprKind::Hole(name) => {
-            Err(SemanticsError::TemplateHole { name: name.to_string() })
-        }
+        ExprKind::Hole(name) => Err(SemanticsError::TemplateHole { name: name.to_string() }),
         ExprKind::Empty => Ok(Denotation { phi: Lang::epsilon(bound), psi: Lang::epsilon(bound) }),
         ExprKind::Atom(a) => Ok(denote_atom(a, bound)),
         ExprKind::Option(y) => {
@@ -97,10 +99,7 @@ pub fn denote(expr: &Expr, universe: &Universe, bound: usize) -> Result<Denotati
         ExprKind::And(y, z) => {
             let dy = denote(y, universe, bound)?;
             let dz = denote(z, universe, bound)?;
-            Ok(Denotation {
-                phi: dy.phi.intersection(&dz.phi),
-                psi: dy.psi.intersection(&dz.psi),
-            })
+            Ok(Denotation { phi: dy.phi.intersection(&dz.phi), psi: dy.psi.intersection(&dz.psi) })
         }
         ExprKind::Sync(y, z) => {
             let dy = denote(y, universe, bound)?;
@@ -114,10 +113,7 @@ pub fn denote(expr: &Expr, universe: &Universe, bound: usize) -> Result<Denotati
         }
         ExprKind::Mult(n, y) => {
             let dy = denote(y, universe, bound)?;
-            Ok(Denotation {
-                phi: dy.phi.shuffle_power(*n),
-                psi: dy.psi.shuffle_power(*n),
-            })
+            Ok(Denotation { phi: dy.phi.shuffle_power(*n), psi: dy.psi.shuffle_power(*n) })
         }
         ExprKind::SomeQ(p, y) => {
             let mut phi = Lang::empty(bound);
@@ -216,10 +212,7 @@ fn relax(
         .filter(|c| !operand_alpha.covers(c))
         .collect();
     let complement_star = Lang::all_words_over(&complement, bound);
-    Denotation {
-        phi: d.phi.shuffle(&complement_star),
-        psi: d.psi.shuffle(&complement_star),
-    }
+    Denotation { phi: d.phi.shuffle(&complement_star), psi: d.psi.shuffle(&complement_star) }
 }
 
 fn denote_atom(a: &Action, bound: usize) -> Denotation {
@@ -365,14 +358,10 @@ mod tests {
         let p = Param::new("p");
         let e = Expr::some_q(p, Expr::seq(actp("a", &["p"]), actp("b", &["p"])));
         let d = denote(&e, &u(), 2).unwrap();
-        let a1b1 = vec![
-            Action::concrete("a", [Value::int(1)]),
-            Action::concrete("b", [Value::int(1)]),
-        ];
-        let a1b2 = vec![
-            Action::concrete("a", [Value::int(1)]),
-            Action::concrete("b", [Value::int(2)]),
-        ];
+        let a1b1 =
+            vec![Action::concrete("a", [Value::int(1)]), Action::concrete("b", [Value::int(1)])];
+        let a1b2 =
+            vec![Action::concrete("a", [Value::int(1)]), Action::concrete("b", [Value::int(2)])];
         assert!(d.phi.contains(&a1b1));
         assert!(!d.phi.contains(&a1b2), "a single value must be used consistently");
     }
@@ -405,7 +394,7 @@ mod tests {
         let d = denote(&e, &u(), 2).unwrap();
         assert!(d.phi.contains_epsilon());
         // a(1) is not accepted by the instantiation with value 2.
-        assert!(!d.phi.contains(&vec![Action::concrete("a", [Value::int(1)])]));
+        assert!(!d.phi.contains(&[Action::concrete("a", [Value::int(1)])]));
     }
 
     #[test]
@@ -423,10 +412,8 @@ mod tests {
             Action::concrete("b", [Value::int(1)]),
             Action::concrete("b", [Value::int(2)]),
         ];
-        let bad = vec![
-            Action::concrete("b", [Value::int(1)]),
-            Action::concrete("a", [Value::int(1)]),
-        ];
+        let bad =
+            vec![Action::concrete("b", [Value::int(1)]), Action::concrete("a", [Value::int(1)])];
         assert!(d.phi.contains(&ok));
         assert!(!d.psi.contains(&bad));
     }
@@ -459,9 +446,21 @@ mod tests {
     #[test]
     fn every_psi_contains_epsilon() {
         let sources = [
-            "a", "a - b", "a*", "a#", "a | b", "a + b", "a & b", "a @ b",
-            "some p { a(p) }", "all p { a(p)? }", "each p { a(p)? }", "sync p { a(p) }",
-            "mult 3 { a }", "empty", "a?",
+            "a",
+            "a - b",
+            "a*",
+            "a#",
+            "a | b",
+            "a + b",
+            "a & b",
+            "a @ b",
+            "some p { a(p) }",
+            "all p { a(p)? }",
+            "each p { a(p)? }",
+            "sync p { a(p) }",
+            "mult 3 { a }",
+            "empty",
+            "a?",
         ];
         for src in sources {
             let e = parse(src).unwrap();

@@ -97,10 +97,7 @@ impl Universe {
 
     /// All concrete instantiations of every action of an alphabet.
     pub fn ground_alphabet(&self, alphabet: &ix_core::Alphabet) -> Vec<Action> {
-        let mut out: Vec<Action> = alphabet
-            .actions()
-            .flat_map(|a| self.ground_action(a))
-            .collect();
+        let mut out: Vec<Action> = alphabet.actions().flat_map(|a| self.ground_action(a)).collect();
         out.sort();
         out.dedup();
         out

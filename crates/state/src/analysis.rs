@@ -85,7 +85,8 @@ pub fn classify(expr: &Expr) -> Classification {
             reasons.push("some quantifier body is not completely quantified".to_string());
         }
         if !uniformly_quantified {
-            reasons.push("some quantifier uses its parameter at inconsistent positions".to_string());
+            reasons
+                .push("some quantifier uses its parameter at inconsistent positions".to_string());
         }
         Benignity::PotentiallyMalignant
     };
@@ -302,14 +303,8 @@ mod tests {
     fn quantifier_depth_counts_nesting() {
         assert_eq!(quantifier_depth(&parse("a").unwrap()), 0);
         assert_eq!(quantifier_depth(&parse("some p { a(p) }").unwrap()), 1);
-        assert_eq!(
-            quantifier_depth(&parse("all p { some x { a(p, x) } }").unwrap()),
-            2
-        );
-        assert_eq!(
-            quantifier_depth(&parse("some p { a(p) } - some q { b(q) }").unwrap()),
-            1
-        );
+        assert_eq!(quantifier_depth(&parse("all p { some x { a(p, x) } }").unwrap()), 2);
+        assert_eq!(quantifier_depth(&parse("some p { a(p) } - some q { b(q) }").unwrap()), 1);
     }
 
     #[test]

@@ -291,8 +291,7 @@ mod tests {
     fn non_concrete_actions_are_rejected() {
         let e = parse("a").unwrap();
         let mut eng = Engine::new(&e).unwrap();
-        let abstract_action =
-            Action::new("a", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        let abstract_action = Action::new("a", [ix_core::Term::Param(ix_core::Param::new("p"))]);
         assert!(!eng.is_permitted(&abstract_action));
         assert!(!eng.try_execute(&abstract_action));
     }

@@ -108,9 +108,7 @@ pub fn initial_state(expr: &Expr) -> State {
         ExprKind::Hole(_) => State::Null,
         ExprKind::Empty => State::Epsilon,
         ExprKind::Atom(a) => State::AtomFresh { action: a.clone() },
-        ExprKind::Option(y) => {
-            State::Option { at_start: true, body: Box::new(initial_state(y)) }
-        }
+        ExprKind::Option(y) => State::Option { at_start: true, body: Box::new(initial_state(y)) },
         ExprKind::Seq(y, z) => {
             let left = initial_state(y);
             let mut rights = Vec::new();
@@ -119,23 +117,17 @@ pub fn initial_state(expr: &Expr) -> State {
             }
             State::Seq { right_expr: z.clone(), left: Box::new(left), rights }
         }
-        ExprKind::SeqIter(y) => State::SeqIter {
-            body_expr: y.clone(),
-            boundary: true,
-            runs: vec![initial_state(y)],
-        },
-        ExprKind::Par(y, z) => {
-            State::Par { alts: vec![(initial_state(y), initial_state(z))] }
+        ExprKind::SeqIter(y) => {
+            State::SeqIter { body_expr: y.clone(), boundary: true, runs: vec![initial_state(y)] }
         }
+        ExprKind::Par(y, z) => State::Par { alts: vec![(initial_state(y), initial_state(z))] },
         ExprKind::ParIter(y) => State::ParIter { body_expr: y.clone(), alts: vec![Vec::new()] },
-        ExprKind::Or(y, z) => State::Or {
-            left: Box::new(initial_state(y)),
-            right: Box::new(initial_state(z)),
-        },
-        ExprKind::And(y, z) => State::And {
-            left: Box::new(initial_state(y)),
-            right: Box::new(initial_state(z)),
-        },
+        ExprKind::Or(y, z) => {
+            State::Or { left: Box::new(initial_state(y)), right: Box::new(initial_state(z)) }
+        }
+        ExprKind::And(y, z) => {
+            State::And { left: Box::new(initial_state(y)), right: Box::new(initial_state(z)) }
+        }
         ExprKind::Sync(y, z) => State::Sync {
             left_alpha: ScopedAlphabet::of(y),
             right_alpha: ScopedAlphabet::of(z),

@@ -41,6 +41,7 @@ pub mod error;
 pub mod init;
 pub mod optimize;
 pub mod predicates;
+pub mod sharded;
 pub mod state;
 pub mod trans;
 
@@ -50,5 +51,6 @@ pub use error::{StateError, StateResult};
 pub use init::{init, initial_state, validate};
 pub use optimize::optimize;
 pub use predicates::{is_final, is_valid};
+pub use sharded::{sharded_word_problem, ShardRouter, ShardedEngine};
 pub use state::{QuantState, ScopedAlphabet, State, StateMetrics};
 pub use trans::{step, trans, trans_with, TransitionOptions};

@@ -24,14 +24,10 @@ pub fn optimize(state: &State) -> State {
         return State::Null;
     }
     match state {
-        State::Null
-        | State::Epsilon
-        | State::AtomFresh { .. }
-        | State::AtomDone => state.clone(),
-        State::Option { at_start, body } => State::Option {
-            at_start: *at_start,
-            body: Box::new(optimize(body)),
-        },
+        State::Null | State::Epsilon | State::AtomFresh { .. } | State::AtomDone => state.clone(),
+        State::Option { at_start, body } => {
+            State::Option { at_start: *at_start, body: Box::new(optimize(body)) }
+        }
         State::Seq { right_expr, left, rights } => {
             let mut new_rights: Vec<State> =
                 rights.iter().filter(|r| is_valid(r)).map(optimize).collect();
@@ -64,14 +60,12 @@ pub fn optimize(state: &State) -> State {
             let new_alts = prune_thread_alts(alts);
             State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
         }
-        State::Or { left, right } => State::Or {
-            left: Box::new(optimize(left)),
-            right: Box::new(optimize(right)),
-        },
-        State::And { left, right } => State::And {
-            left: Box::new(optimize(left)),
-            right: Box::new(optimize(right)),
-        },
+        State::Or { left, right } => {
+            State::Or { left: Box::new(optimize(left)), right: Box::new(optimize(right)) }
+        }
+        State::And { left, right } => {
+            State::And { left: Box::new(optimize(left)), right: Box::new(optimize(right)) }
+        }
         State::Sync { left_alpha, right_alpha, left, right } => State::Sync {
             left_alpha: left_alpha.clone(),
             right_alpha: right_alpha.clone(),
@@ -85,9 +79,7 @@ pub fn optimize(state: &State) -> State {
             let mut new_alts: Vec<_> = alts
                 .iter()
                 .filter(|branches| branches.values().all(is_valid))
-                .map(|branches| {
-                    branches.iter().map(|(v, s)| (*v, optimize(s))).collect()
-                })
+                .map(|branches| branches.iter().map(|(v, s)| (*v, optimize(s))).collect())
                 .collect();
             new_alts.sort();
             new_alts.dedup();
@@ -176,8 +168,14 @@ mod tests {
     #[test]
     fn optimization_preserves_predicates_on_initial_states() {
         for src in [
-            "a - b", "(a + b)*", "a | b", "a#", "mult 3 { a? }", "some p { a(p) }",
-            "all p { a(p)? }", "sync x { (a(x) - b(x))* }",
+            "a - b",
+            "(a + b)*",
+            "a | b",
+            "a#",
+            "mult 3 { a? }",
+            "some p { a(p) }",
+            "all p { a(p)? }",
+            "sync x { (a(x) - b(x))* }",
         ] {
             let e = parse(src).unwrap();
             let s = init(&e).unwrap();

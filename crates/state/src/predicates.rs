@@ -22,9 +22,7 @@ pub fn is_valid(state: &State) -> bool {
         State::Seq { left, rights, .. } => is_valid(left) || rights.iter().any(is_valid),
         State::SeqIter { runs, .. } => runs.iter().any(is_valid),
         State::Par { alts } => alts.iter().any(|(l, r)| is_valid(l) && is_valid(r)),
-        State::ParIter { alts, .. } => {
-            alts.iter().any(|threads| threads.iter().all(is_valid))
-        }
+        State::ParIter { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_valid)),
         State::Or { left, right } => is_valid(left) || is_valid(right),
         State::And { left, right } => is_valid(left) && is_valid(right),
         State::Sync { left, right, .. } => is_valid(left) && is_valid(right),
@@ -32,9 +30,7 @@ pub fn is_valid(state: &State) -> bool {
         State::AllQ(q) | State::SyncQ(q) => {
             is_valid(&q.template) && q.branches.values().all(is_valid)
         }
-        State::ParQ { alts, .. } => {
-            alts.iter().any(|branches| branches.values().all(is_valid))
-        }
+        State::ParQ { alts, .. } => alts.iter().any(|branches| branches.values().all(is_valid)),
         State::Mult { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_valid)),
     }
 }
@@ -50,9 +46,7 @@ pub fn is_final(state: &State) -> bool {
         State::Seq { rights, .. } => rights.iter().any(is_final),
         State::SeqIter { boundary, .. } => *boundary,
         State::Par { alts } => alts.iter().any(|(l, r)| is_final(l) && is_final(r)),
-        State::ParIter { alts, .. } => {
-            alts.iter().any(|threads| threads.iter().all(is_final))
-        }
+        State::ParIter { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_final)),
         State::Or { left, right } => is_final(left) || is_final(right),
         State::And { left, right } => is_final(left) && is_final(right),
         State::Sync { left, right, .. } => is_final(left) && is_final(right),
@@ -64,15 +58,12 @@ pub fn is_final(state: &State) -> bool {
             // The quantifier ranges over the infinite domain Ω, so there are
             // always unstarted branches; they can only contribute ε, which
             // requires ε ∈ Φ(body).
-            *body_accepts_epsilon
-                && alts.iter().any(|branches| branches.values().all(is_final))
+            *body_accepts_epsilon && alts.iter().any(|branches| branches.values().all(is_final))
         }
-        State::Mult { body_accepts_epsilon, capacity, alts, .. } => {
-            alts.iter().any(|threads| {
-                threads.iter().all(is_final)
-                    && (threads.len() as u32 == *capacity || *body_accepts_epsilon)
-            })
-        }
+        State::Mult { body_accepts_epsilon, capacity, alts, .. } => alts.iter().any(|threads| {
+            threads.iter().all(is_final)
+                && (threads.len() as u32 == *capacity || *body_accepts_epsilon)
+        }),
     }
 }
 

@@ -1,0 +1,378 @@
+//! The sharded execution kernel: independent sub-engines over the
+//! alphabet-disjoint sync-components of an expression.
+//!
+//! `ix_core::Partition` decomposes an expression built with ⊗ (and with ‖
+//! over disjoint alphabets) into maximal components whose alphabets share no
+//! concrete action.  Because the transition function routes every action
+//! only to the operands whose alphabet covers it (see the `Sync` case of
+//! [`crate::trans::step`]), the components never observe each other's
+//! actions: the monolithic state is exactly the product of the component
+//! states, validity/finality are the conjunctions of the per-component
+//! predicates, and an action's acceptance depends only on its *owning*
+//! component.
+//!
+//! [`ShardedEngine`] exploits this: it runs one [`Engine`] per component and
+//! dispatches each action to its shard through a precomputed
+//! [`ShardRouter`].  Per-action work then touches a state that is a fraction
+//! of the monolithic one, and — more importantly for the interaction manager
+//! — different shards can transition concurrently because they share no
+//! state at all.  Expressions that do not decompose fall back to a single
+//! shard holding the whole expression, so the sharded engine is a drop-in
+//! replacement for [`Engine`].
+
+use crate::engine::{Engine, WordStatus};
+use crate::error::StateResult;
+use crate::state::StateMetrics;
+use crate::trans::TransitionOptions;
+use ix_core::{Action, Alphabet, Expr, Partition, Symbol};
+use std::collections::BTreeMap;
+
+/// Precomputed `Action → shard` dispatch table.
+///
+/// Candidate shards are indexed by the action's name and arity; the final
+/// membership test uses alphabet coverage (which handles parameterized
+/// abstract actions).  Because shard alphabets are pairwise disjoint, at
+/// most one shard covers any concrete action.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    by_signature: BTreeMap<(Symbol, usize), Vec<usize>>,
+    alphabets: Vec<Alphabet>,
+}
+
+impl ShardRouter {
+    /// Builds a router over the given (pairwise disjoint) shard alphabets.
+    pub fn new(alphabets: Vec<Alphabet>) -> ShardRouter {
+        let mut by_signature: BTreeMap<(Symbol, usize), Vec<usize>> = BTreeMap::new();
+        for (shard, alphabet) in alphabets.iter().enumerate() {
+            for abstract_action in alphabet.actions() {
+                let key = (abstract_action.name(), abstract_action.arity());
+                let shards = by_signature.entry(key).or_default();
+                if !shards.contains(&shard) {
+                    shards.push(shard);
+                }
+            }
+        }
+        ShardRouter { by_signature, alphabets }
+    }
+
+    /// Number of shards the router dispatches over.
+    pub fn shard_count(&self) -> usize {
+        self.alphabets.len()
+    }
+
+    /// The shard owning the action, or `None` if no shard's alphabet covers
+    /// it (such actions are outside the expression's language).
+    pub fn route(&self, action: &Action) -> Option<usize> {
+        let candidates = self.by_signature.get(&(action.name(), action.arity()))?;
+        candidates.iter().copied().find(|&s| self.alphabets[s].covers(action))
+    }
+
+    /// The alphabet of a shard.
+    pub fn alphabet(&self, shard: usize) -> &Alphabet {
+        &self.alphabets[shard]
+    }
+}
+
+/// An incremental evaluator running the sync-components of one expression as
+/// independent shards — the drop-in, parallelizable counterpart of
+/// [`Engine`].
+#[derive(Clone, Debug)]
+pub struct ShardedEngine {
+    expr: Expr,
+    shards: Vec<Engine>,
+    router: ShardRouter,
+    unrouted_rejections: u64,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine with the default transition options.
+    pub fn new(expr: &Expr) -> StateResult<ShardedEngine> {
+        ShardedEngine::with_options(expr, TransitionOptions::default())
+    }
+
+    /// Creates a sharded engine with explicit transition options.
+    pub fn with_options(expr: &Expr, options: TransitionOptions) -> StateResult<ShardedEngine> {
+        let partition = Partition::of(expr);
+        let mut shards = Vec::with_capacity(partition.len());
+        let mut alphabets = Vec::with_capacity(partition.len());
+        for component in partition.components() {
+            shards.push(Engine::with_options(&component.expr, options)?);
+            alphabets.push(component.alphabet.clone());
+        }
+        Ok(ShardedEngine {
+            expr: expr.clone(),
+            shards,
+            router: ShardRouter::new(alphabets),
+            unrouted_rejections: 0,
+        })
+    }
+
+    /// The (original, un-partitioned) expression this engine enforces.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Number of independent shards (1 for expressions that do not
+    /// decompose).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard sub-engines.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// The dispatch table.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard owning an action, if any.
+    pub fn route(&self, action: &Action) -> Option<usize> {
+        self.router.route(action)
+    }
+
+    /// Aggregated metrics across all shards (sizes and alternative counts
+    /// add up; the compound state is null iff some shard's state is null).
+    pub fn metrics(&self) -> StateMetrics {
+        let mut total = StateMetrics::default();
+        for shard in &self.shards {
+            total.accumulate(shard.metrics());
+        }
+        total
+    }
+
+    /// Metrics of one shard.
+    pub fn shard_metrics(&self, shard: usize) -> StateMetrics {
+        self.shards[shard].metrics()
+    }
+
+    /// True if the committed action sequence is a partial word: every
+    /// component must hold a valid state (ψ distributes over ⊗).
+    pub fn is_valid(&self) -> bool {
+        self.shards.iter().all(Engine::is_valid)
+    }
+
+    /// True if the committed action sequence is a complete word: every
+    /// component must hold a final state (ϕ distributes over ⊗).
+    pub fn is_final(&self) -> bool {
+        self.shards.iter().all(Engine::is_final)
+    }
+
+    /// The word status of the committed action sequence.
+    pub fn status(&self) -> WordStatus {
+        if self.is_final() {
+            WordStatus::Complete
+        } else if self.is_valid() {
+            WordStatus::Partial
+        } else {
+            WordStatus::Illegal
+        }
+    }
+
+    /// Total accepted (committed) actions across all shards.
+    pub fn accepted(&self) -> u64 {
+        self.shards.iter().map(Engine::accepted).sum()
+    }
+
+    /// Total rejected attempts (including actions no shard owns).
+    pub fn rejected(&self) -> u64 {
+        self.unrouted_rejections + self.shards.iter().map(Engine::rejected).sum::<u64>()
+    }
+
+    /// Tentatively checks whether the action would currently be accepted,
+    /// without changing any state.  Only the owning shard is consulted.
+    pub fn is_permitted(&self, action: &Action) -> bool {
+        if !action.is_concrete() {
+            return false;
+        }
+        match self.router.route(action) {
+            Some(shard) => self.shards[shard].is_permitted(action),
+            None => false,
+        }
+    }
+
+    /// Filters the permitted actions out of a candidate list.
+    pub fn permitted<'a>(&self, candidates: &'a [Action]) -> Vec<&'a Action> {
+        candidates.iter().filter(|a| self.is_permitted(a)).collect()
+    }
+
+    /// The accept/reject step of the action problem, performed on the owning
+    /// shard only.
+    pub fn try_execute(&mut self, action: &Action) -> bool {
+        if !action.is_concrete() {
+            self.unrouted_rejections += 1;
+            return false;
+        }
+        match self.router.route(action) {
+            Some(shard) => self.shards[shard].try_execute(action),
+            None => {
+                self.unrouted_rejections += 1;
+                false
+            }
+        }
+    }
+
+    /// Feeds a whole word, stopping at the first rejected action.  Returns
+    /// the number of accepted actions.
+    pub fn feed(&mut self, word: &[Action]) -> usize {
+        let mut n = 0;
+        for action in word {
+            if self.try_execute(action) {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Resets every shard to its initial state.
+    pub fn reset(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+        self.unrouted_rejections = 0;
+    }
+}
+
+/// Solves the word problem through the sharded kernel: the word is projected
+/// onto each component's alphabet, every projection is classified by its own
+/// shard, and the verdicts combine (all complete ⇒ complete, all at least
+/// partial ⇒ partial, otherwise illegal).  Equivalent to
+/// [`crate::engine::word_problem`]; exercised against it by the workspace
+/// property tests.
+pub fn sharded_word_problem(expr: &Expr, word: &[Action]) -> StateResult<WordStatus> {
+    let mut engine = ShardedEngine::new(expr)?;
+    for action in word {
+        if engine.route(action).is_none() {
+            // No component constrains the action: it is outside α(x) and the
+            // word cannot be a partial word.
+            return Ok(WordStatus::Illegal);
+        }
+        if !engine.try_execute(action) {
+            // The owning shard rejected it, so the prefix consumed so far is
+            // not a partial word; Ψ is prefix-closed, hence no continuation
+            // can rescue the word (word_problem reaches the same verdict by
+            // feeding on and ending in an invalid state).
+            return Ok(WordStatus::Illegal);
+        }
+    }
+    Ok(engine.status())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::word_problem;
+    use ix_core::parse;
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    #[test]
+    fn disjoint_coupling_yields_one_shard_per_operand() {
+        let e = parse("(a - b)* @ (c - d)* @ (e - f)*").unwrap();
+        let engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.shard_count(), 3);
+        assert_eq!(engine.route(&a("a")), engine.route(&a("b")));
+        assert_ne!(engine.route(&a("a")), engine.route(&a("c")));
+        assert_eq!(engine.route(&a("z")), None);
+    }
+
+    #[test]
+    fn monolithic_fallback_for_undecomposable_expressions() {
+        let e = parse("(a - b)* & (a* - b*)").unwrap();
+        let engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.shard_count(), 1);
+        let mut engine = engine;
+        assert!(engine.try_execute(&a("a")));
+        assert!(!engine.try_execute(&a("c")));
+    }
+
+    #[test]
+    fn sharded_execution_matches_monolithic_acceptance() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut sharded = ShardedEngine::new(&e).unwrap();
+        let mut mono = Engine::new(&e).unwrap();
+        for action in [a("a"), a("c"), a("b"), a("b"), a("d"), a("x")] {
+            assert_eq!(
+                sharded.try_execute(&action),
+                mono.try_execute(&action),
+                "disagreement on {action}"
+            );
+        }
+        assert_eq!(sharded.is_final(), mono.is_final());
+        assert_eq!(sharded.is_valid(), mono.is_valid());
+        assert_eq!(sharded.accepted(), mono.accepted());
+        assert_eq!(sharded.rejected(), mono.rejected());
+    }
+
+    #[test]
+    fn sharded_word_problem_agrees_with_monolithic() {
+        let e = parse("(a - b)* @ (c - d)* | (e - f)*").unwrap();
+        let words: Vec<Vec<Action>> = vec![
+            vec![],
+            vec![a("a")],
+            vec![a("a"), a("c"), a("b"), a("d")],
+            vec![a("c"), a("a"), a("e"), a("b"), a("d"), a("f")],
+            vec![a("b")],
+            vec![a("a"), a("z")],
+        ];
+        for w in &words {
+            assert_eq!(
+                sharded_word_problem(&e, w).unwrap(),
+                word_problem(&e, w).unwrap(),
+                "disagreement on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantified_components_shard_when_action_names_differ() {
+        let e =
+            parse("(some p { call(p) - perform(p) })* @ (some q { ship(q) - bill(q) })*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.shard_count(), 2);
+        let call = Action::concrete("call", [ix_core::Value::int(1)]);
+        let ship = Action::concrete("ship", [ix_core::Value::int(7)]);
+        assert!(engine.try_execute(&call));
+        assert!(engine.try_execute(&ship));
+        assert_ne!(engine.route(&call), engine.route(&ship));
+    }
+
+    #[test]
+    fn per_shard_metrics_aggregate() {
+        let e = parse("(a - b)# @ (c - d)#").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        engine.try_execute(&a("a"));
+        engine.try_execute(&a("a"));
+        let total = engine.metrics();
+        let by_shard: usize = (0..engine.shard_count()).map(|s| engine.shard_metrics(s).size).sum();
+        assert_eq!(total.size, by_shard);
+        assert!(!total.is_null);
+    }
+
+    #[test]
+    fn reset_and_feed_work_across_shards() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.feed(&[a("a"), a("c"), a("z"), a("b")]), 2);
+        engine.reset();
+        assert_eq!(engine.accepted(), 0);
+        assert_eq!(engine.rejected(), 0);
+        assert!(engine.is_final(), "both iterations accept ε after reset");
+    }
+
+    #[test]
+    fn non_concrete_actions_are_rejected() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        let abstract_action = Action::new("a", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        assert!(!engine.is_permitted(&abstract_action));
+        assert!(!engine.try_execute(&abstract_action));
+        assert_eq!(engine.rejected(), 1);
+    }
+}

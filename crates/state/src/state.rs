@@ -56,10 +56,8 @@ impl ScopedAlphabet {
     /// quantifier's own parameter is also fresh).
     pub fn covers_blocking(&self, concrete: &Action, extra_blocked: &[Param]) -> bool {
         self.alphabet.actions().any(|a| {
-            let mentions_blocked = a
-                .params()
-                .iter()
-                .any(|p| self.blocked.contains(p) || extra_blocked.contains(p));
+            let mentions_blocked =
+                a.params().iter().any(|p| self.blocked.contains(p) || extra_blocked.contains(p));
             if mentions_blocked {
                 // An atom mentioning a fresh parameter can only match actions
                 // containing that (unobserved) value — i.e. never.
@@ -262,9 +260,7 @@ impl State {
                 1 + left.size() + rights.iter().map(State::size).sum::<usize>()
             }
             State::SeqIter { runs, .. } => 1 + runs.iter().map(State::size).sum::<usize>(),
-            State::Par { alts } => {
-                1 + alts.iter().map(|(l, r)| l.size() + r.size()).sum::<usize>()
-            }
+            State::Par { alts } => 1 + alts.iter().map(|(l, r)| l.size() + r.size()).sum::<usize>(),
             State::ParIter { alts, .. } | State::Mult { alts, .. } => {
                 1 + alts
                     .iter()
@@ -319,9 +315,7 @@ impl State {
             State::Or { left, right } | State::And { left, right } => {
                 left.alternative_count() + right.alternative_count()
             }
-            State::Sync { left, right, .. } => {
-                left.alternative_count() + right.alternative_count()
-            }
+            State::Sync { left, right, .. } => left.alternative_count() + right.alternative_count(),
             State::SomeQ(q) | State::AllQ(q) | State::SyncQ(q) => {
                 q.template.alternative_count()
                     + q.branches.values().map(State::alternative_count).sum::<usize>()
@@ -351,10 +345,9 @@ impl State {
             State::AtomFresh { action } => {
                 State::AtomFresh { action: action.substitute(param, value) }
             }
-            State::Option { at_start, body } => State::Option {
-                at_start: *at_start,
-                body: Box::new(body.substitute(param, value)),
-            },
+            State::Option { at_start, body } => {
+                State::Option { at_start: *at_start, body: Box::new(body.substitute(param, value)) }
+            }
             State::Seq { right_expr, left, rights } => State::Seq {
                 right_expr: right_expr.substitute(param, value),
                 left: Box::new(left.substitute(param, value)),
@@ -440,17 +433,13 @@ impl QuantState {
             body_expr: self.body_expr.substitute(param, value),
             scope: self.scope.substitute(param, value),
             template: Box::new(self.template.substitute(param, value)),
-            branches: self
-                .branches
-                .iter()
-                .map(|(v, s)| (*v, s.substitute(param, value)))
-                .collect(),
+            branches: self.branches.iter().map(|(v, s)| (*v, s.substitute(param, value))).collect(),
         }
     }
 }
 
 /// Summary metrics of a state, used by the complexity experiments of Sec. 6.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StateMetrics {
     /// Total node count of the state object.
     pub size: usize,
@@ -468,6 +457,15 @@ impl StateMetrics {
             alternatives: state.alternative_count(),
             is_null: state.is_null(),
         }
+    }
+
+    /// Folds another state's metrics into this one (sizes and alternative
+    /// counts add up; a compound state is null iff some part is null).  Used
+    /// to aggregate per-shard metrics.
+    pub fn accumulate(&mut self, other: StateMetrics) {
+        self.size += other.size;
+        self.alternatives += other.alternatives;
+        self.is_null |= other.is_null;
     }
 }
 
@@ -584,9 +582,8 @@ mod tests {
     #[test]
     fn states_order_and_hash() {
         use std::collections::BTreeSet;
-        let set: BTreeSet<State> = [State::Null, State::Epsilon, State::AtomDone, State::Null]
-            .into_iter()
-            .collect();
+        let set: BTreeSet<State> =
+            [State::Null, State::Epsilon, State::AtomDone, State::Null].into_iter().collect();
         assert_eq!(set.len(), 3);
     }
 }

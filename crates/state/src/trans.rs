@@ -100,14 +100,12 @@ pub fn step(state: &State, action: &Action) -> State {
             let new_alts = step_thread_alts(alts, body_expr, action, None);
             State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
         }
-        State::Or { left, right } => State::Or {
-            left: Box::new(step(left, action)),
-            right: Box::new(step(right, action)),
-        },
-        State::And { left, right } => State::And {
-            left: Box::new(step(left, action)),
-            right: Box::new(step(right, action)),
-        },
+        State::Or { left, right } => {
+            State::Or { left: Box::new(step(left, action)), right: Box::new(step(right, action)) }
+        }
+        State::And { left, right } => {
+            State::And { left: Box::new(step(left, action)), right: Box::new(step(right, action)) }
+        }
         State::Sync { left_alpha, right_alpha, left, right } => {
             let in_left = left_alpha.covers(action);
             let in_right = right_alpha.covers(action);
@@ -234,16 +232,17 @@ fn step_sync_quant(q: &QuantState, action: &Action) -> State {
     for v in new_values(q, action) {
         branches.insert(v, q.template.substitute(q.param, v));
     }
-    let branches = branches
-        .into_iter()
-        .map(|(v, s)| {
-            if q.scope.covers_with(action, q.param, v) {
-                (v, step(&s, action))
-            } else {
-                (v, s)
-            }
-        })
-        .collect();
+    let branches =
+        branches
+            .into_iter()
+            .map(|(v, s)| {
+                if q.scope.covers_with(action, q.param, v) {
+                    (v, step(&s, action))
+                } else {
+                    (v, s)
+                }
+            })
+            .collect();
     let template = if q.scope.covers_blocking(action, &[]) {
         Box::new(step(&q.template, action))
     } else {
@@ -381,9 +380,9 @@ mod tests {
         let b2 = Action::concrete("b", [Value::int(2)]);
         assert!(is_final(&run_actions(e, &[a1.clone(), a2.clone(), b2, b1.clone()])));
         assert!(run_actions(e, &[a1.clone(), a1.clone()]).is_null());
-        assert!(run_actions(e, &[b1.clone()]).is_null());
+        assert!(run_actions(e, std::slice::from_ref(&b1)).is_null());
         // An action without any value cannot belong to any branch.
-        assert!(run_actions(e, &[a(&"c".to_string())]).is_null());
+        assert!(run_actions(e, &[a("c")]).is_null());
         let _ = b1;
     }
 
@@ -405,7 +404,7 @@ mod tests {
         let b1 = Action::concrete("b", [Value::int(1)]);
         let b2 = Action::concrete("b", [Value::int(2)]);
         assert!(is_final(&run_actions(e, &[a1.clone(), a2.clone(), b1.clone(), b2.clone()])));
-        assert!(run_actions(e, &[b1.clone()]).is_null(), "b(1) before a(1)");
+        assert!(run_actions(e, std::slice::from_ref(&b1)).is_null(), "b(1) before a(1)");
         assert!(is_final(&run_actions(e, &[a2.clone(), b2.clone()])));
         // Unknown action names are outside the quantifier's language.
         assert!(run_actions(e, &[Action::concrete("z", [Value::int(1)])]).is_null());

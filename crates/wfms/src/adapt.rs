@@ -24,7 +24,6 @@ use crate::engine::{EngineError, WorkflowEngine, WorklistItem};
 use crate::model::{ActivityId, CaseData, WorkflowDefinition};
 use ix_core::{Action, Expr};
 use ix_manager::{ClientId, InteractionManager, ManagerResult, ProtocolVariant};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The WfMS side of the coordination protocol.
@@ -41,10 +40,13 @@ pub trait CoordinationPort {
 /// A port that talks to an in-process interaction manager using the combined
 /// coordination protocol.  Several ports (one per worklist handler or
 /// engine) can share the same manager, which is the deployment Fig. 10/11
-/// depicts: one central scheduler, many clients.
+/// depicts: one central scheduler, many clients.  The manager is sharded and
+/// all of its entry points take `&self`, so ports share it through a plain
+/// `Arc` — concurrent clients touching different sync-components proceed
+/// without contending on any common lock.
 #[derive(Clone, Debug)]
 pub struct ManagerPort {
-    manager: Arc<Mutex<InteractionManager>>,
+    manager: Arc<InteractionManager>,
     client: ClientId,
     messages: u64,
 }
@@ -54,45 +56,43 @@ impl ManagerPort {
     /// expression.
     pub fn new(expr: &Expr, client: ClientId) -> ManagerResult<ManagerPort> {
         let manager = InteractionManager::with_protocol(expr, ProtocolVariant::Combined)?;
-        Ok(ManagerPort::shared(Arc::new(Mutex::new(manager)), client))
+        Ok(ManagerPort::shared(Arc::new(manager), client))
     }
 
     /// Creates a port that talks to an existing (shared) manager.
-    pub fn shared(manager: Arc<Mutex<InteractionManager>>, client: ClientId) -> ManagerPort {
+    pub fn shared(manager: Arc<InteractionManager>, client: ClientId) -> ManagerPort {
         ManagerPort { manager, client, messages: 0 }
     }
 
     /// The shared manager handle (pass it to further ports so that every
     /// client talks to the same central scheduler).
-    pub fn handle(&self) -> Arc<Mutex<InteractionManager>> {
+    pub fn handle(&self) -> Arc<InteractionManager> {
         self.manager.clone()
     }
 
-    /// Locked access to the underlying manager (statistics, log).
-    pub fn manager(&self) -> parking_lot::MutexGuard<'_, InteractionManager> {
-        self.manager.lock()
+    /// The underlying manager (statistics, log).
+    pub fn manager(&self) -> &InteractionManager {
+        &self.manager
     }
 }
 
 impl CoordinationPort for ManagerPort {
     fn is_permitted(&mut self, action: &Action) -> bool {
-        let manager = self.manager.lock();
-        if !manager.controls(action) {
+        if !self.manager.controls(action) {
             // Activities the interaction graph does not mention are
             // unconstrained; no conversation with the manager is needed.
             return true;
         }
         self.messages += 2; // ask + reply
-        manager.is_permitted(action)
+        self.manager.is_permitted(action)
     }
 
     fn execute(&mut self, action: &Action) -> bool {
-        let mut manager = self.manager.lock();
-        if !manager.controls(action) {
+        if !self.manager.controls(action) {
             return true;
         }
         self.messages += 2; // combined request + reply
-        matches!(manager.try_execute(self.client, action), Ok(Some(_)))
+        matches!(self.manager.try_execute(self.client, action), Ok(Some(_)))
     }
 
     fn messages(&self) -> u64 {
@@ -177,9 +177,8 @@ impl<P: CoordinationPort> AdaptedWorklistHandler<P> {
         instance: u64,
         activity: ActivityId,
     ) -> Result<(), EngineError> {
-        let action = engine
-            .end_action(instance, activity)
-            .ok_or(EngineError::UnknownInstance(instance))?;
+        let action =
+            engine.end_action(instance, activity).ok_or(EngineError::UnknownInstance(instance))?;
         engine.complete_activity(instance, activity)?;
         // The termination is reported unconditionally; the interaction
         // expressions of the paper always permit the end of a started
@@ -342,10 +341,7 @@ mod tests {
         assert!(!items[0].enabled, "the other call is temporarily not executable");
 
         // Trying to start it anyway is vetoed by the manager.
-        assert!(matches!(
-            handler.start(&mut engine, endo, 0),
-            Err(EngineError::Denied { .. })
-        ));
+        assert!(matches!(handler.start(&mut engine, endo, 0), Err(EngineError::Denied { .. })));
         assert!(handler.messages() > 0);
     }
 
@@ -373,10 +369,7 @@ mod tests {
         engine.start_activity(sono, 0).unwrap();
         // Every path goes through the adapted engine, so the veto holds for
         // all worklist handlers.
-        assert!(matches!(
-            engine.start_activity(endo, 0),
-            Err(EngineError::Denied { .. })
-        ));
+        assert!(matches!(engine.start_activity(endo, 0), Err(EngineError::Denied { .. })));
         // The worklist item of the blocked call is marked not executable.
         let items = engine.worklist("assistant");
         let blocked = items.iter().find(|i| i.instance == endo).unwrap();

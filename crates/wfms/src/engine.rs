@@ -246,10 +246,7 @@ impl WorkflowEngine {
 /// and x of Figs. 3 and 6).
 pub fn activity_action(inst: &WorkflowInstance, activity: ActivityId, suffix: &str) -> Action {
     let name = format!("{}_{}", inst.definition.activity_name(activity), suffix);
-    Action::concrete(
-        &name,
-        [Value::Int(inst.case.patient), Value::sym(&inst.case.examination)],
-    )
+    Action::concrete(&name, [Value::Int(inst.case.patient), Value::sym(&inst.case.examination)])
 }
 
 #[cfg(test)]
@@ -303,10 +300,7 @@ mod tests {
             engine.start_activity(id, 2),
             Err(EngineError::InvalidTransition { operation: "start", .. })
         ));
-        assert!(matches!(
-            engine.start_activity(999, 0),
-            Err(EngineError::UnknownInstance(999))
-        ));
+        assert!(matches!(engine.start_activity(999, 0), Err(EngineError::UnknownInstance(999))));
     }
 
     #[test]

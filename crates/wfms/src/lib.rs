@@ -17,7 +17,9 @@ pub mod engine;
 pub mod medical;
 pub mod model;
 
-pub use adapt::{AdaptedEngine, AdaptedWorklistHandler, CoordinationPort, ManagerPort, NoCoordination};
+pub use adapt::{
+    AdaptedEngine, AdaptedWorklistHandler, CoordinationPort, ManagerPort, NoCoordination,
+};
 pub use engine::{activity_action, EngineError, WorkflowEngine, WorklistItem};
 pub use medical::{
     endoscopy, ensemble_constraint, ultrasonography, EnsembleSimulation, SimulationConfig,

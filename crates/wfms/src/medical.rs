@@ -144,10 +144,8 @@ impl EnsembleSimulation {
                 &ultrasonography(),
                 CaseData { patient, examination: "sono".into() },
             );
-            self.engine.start_instance(
-                &endoscopy(),
-                CaseData { patient, examination: "endo".into() },
-            );
+            self.engine
+                .start_instance(&endoscopy(), CaseData { patient, examination: "endo".into() });
             self.report.instances += 2;
         }
     }
@@ -220,12 +218,9 @@ mod tests {
 
     #[test]
     fn ensemble_with_one_patient_completes_without_denials_only_if_serialized() {
-        let report = EnsembleSimulation::new(SimulationConfig {
-            patients: 1,
-            seed: 3,
-            max_steps: 5_000,
-        })
-        .run();
+        let report =
+            EnsembleSimulation::new(SimulationConfig { patients: 1, seed: 3, max_steps: 5_000 })
+                .run();
         assert_eq!(report.instances, 2);
         assert_eq!(report.completed, 2, "both examinations finish: {report:?}");
         assert!(report.starts >= 16, "every activity of both workflows started");
@@ -234,12 +229,9 @@ mod tests {
 
     #[test]
     fn ensemble_with_several_patients_completes_and_exercises_denials() {
-        let report = EnsembleSimulation::new(SimulationConfig {
-            patients: 4,
-            seed: 11,
-            max_steps: 20_000,
-        })
-        .run();
+        let report =
+            EnsembleSimulation::new(SimulationConfig { patients: 4, seed: 11, max_steps: 20_000 })
+                .run();
         assert_eq!(report.instances, 8);
         assert_eq!(report.completed, 8, "all workflows finish: {report:?}");
         assert!(

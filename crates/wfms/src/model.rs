@@ -224,10 +224,9 @@ impl WorkflowInstance {
     /// True if every activity of the block is completed or skipped.
     pub fn completed_of(&self, flow: &Flow) -> bool {
         match flow {
-            Flow::Activity(id) => matches!(
-                self.state(*id),
-                ActivityState::Completed | ActivityState::Skipped
-            ),
+            Flow::Activity(id) => {
+                matches!(self.state(*id), ActivityState::Completed | ActivityState::Skipped)
+            }
             Flow::Sequence(blocks) | Flow::Parallel(blocks) => {
                 blocks.iter().all(|b| self.completed_of(b))
             }

@@ -26,14 +26,34 @@ fn main() {
         assert!(engine.try_execute(&act("call_patient_start", p, "sono")));
         assert!(engine.try_execute(&act("call_patient_end", p, "sono")));
     }
-    show(&engine, "call patient 4 to sono (capacity exhausted)", &act("call_patient_start", 4, "sono"));
-    show(&engine, "call patient 4 to endo (other department)", &act("call_patient_start", 4, "endo"));
-    show(&engine, "call patient 1 to endo (already in sono)", &act("call_patient_start", 1, "endo"));
-    show(&engine, "prepare patient 5 (unconstrained branch)", &act("prepare_patient_start", 5, "endo"));
+    show(
+        &engine,
+        "call patient 4 to sono (capacity exhausted)",
+        &act("call_patient_start", 4, "sono"),
+    );
+    show(
+        &engine,
+        "call patient 4 to endo (other department)",
+        &act("call_patient_start", 4, "endo"),
+    );
+    show(
+        &engine,
+        "call patient 1 to endo (already in sono)",
+        &act("call_patient_start", 1, "endo"),
+    );
+    show(
+        &engine,
+        "prepare patient 5 (unconstrained branch)",
+        &act("prepare_patient_start", 5, "endo"),
+    );
 
     println!("\npatient 2 finishes the ultrasonography:");
     assert!(engine.try_execute(&act("perform_examination_start", 2, "sono")));
     assert!(engine.try_execute(&act("perform_examination_end", 2, "sono")));
     show(&engine, "call patient 4 to sono (slot freed)", &act("call_patient_start", 4, "sono"));
-    show(&engine, "call patient 2 to endo (examination finished)", &act("call_patient_start", 2, "endo"));
+    show(
+        &engine,
+        "call patient 2 to endo (examination finished)",
+        &act("call_patient_start", 2, "endo"),
+    );
 }

@@ -31,31 +31,45 @@ fn main() {
     assert!(ultrasound_worklist.execute(&call(1, "sono")).unwrap());
     std::thread::sleep(std::time::Duration::from_millis(20));
     for note in endoscopy_worklist.poll_notifications() {
-        println!("  notification for client {}: {} is now {}", note.client, note.action,
-                 if note.permitted { "permissible" } else { "NOT permissible" });
+        println!(
+            "  notification for client {}: {} is now {}",
+            note.client,
+            note.action,
+            if note.permitted { "permissible" } else { "NOT permissible" }
+        );
     }
 
     println!("ultrasonography department executes perform(1, sono)");
     assert!(ultrasound_worklist.execute(&perform(1, "sono")).unwrap());
     std::thread::sleep(std::time::Duration::from_millis(20));
     for note in endoscopy_worklist.poll_notifications() {
-        println!("  notification for client {}: {} is now {}", note.client, note.action,
-                 if note.permitted { "permissible" } else { "NOT permissible" });
+        println!(
+            "  notification for client {}: {} is now {}",
+            note.client,
+            note.action,
+            if note.permitted { "permissible" } else { "NOT permissible" }
+        );
     }
     let manager = server.shutdown().unwrap();
-    println!("manager processed {} confirmations, sent {} notifications\n",
-             manager.stats().confirmations, manager.stats().notifications);
+    println!(
+        "manager processed {} confirmations, sent {} notifications\n",
+        manager.stats().confirmations,
+        manager.stats().notifications
+    );
 
     // --- client crash and lease recovery ----------------------------------
     let capacity_one = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
-    let server = ManagerServer::spawn(&capacity_one, ProtocolVariant::Leased { lease: 10 }).unwrap();
+    let server =
+        ManagerServer::spawn(&capacity_one, ProtocolVariant::Leased { lease: 10 }).unwrap();
     let crashing = server.client(7);
     let healthy = server.client(8);
     let _grant = crashing.ask(&call(1, "sono")).unwrap().expect("granted");
     println!("client 7 is granted call(1, sono) and then crashes before confirming");
     println!("client 8 asks for call(2, sono): {:?}", healthy.ask(&call(2, "sono")).unwrap());
     healthy.tick(20).unwrap();
-    println!("after the lease expires, client 8 asks again: {:?}",
-             healthy.ask(&call(2, "sono")).unwrap().map(|_| "granted"));
+    println!(
+        "after the lease expires, client 8 asks again: {:?}",
+        healthy.ask(&call(2, "sono")).unwrap().map(|_| "granted")
+    );
     server.shutdown().unwrap();
 }

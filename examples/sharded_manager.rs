@@ -1,0 +1,81 @@
+//! Demonstrates the alphabet-partitioned kernel: an interaction expression
+//! coupling four independent service groups decomposes into four shards,
+//! concurrent clients on different shards never contend, and batches commit
+//! per shard under a single lock acquisition.
+//!
+//! Run with `cargo run --release --example sharded_manager`.
+
+use ix_core::{parse, Action, Partition, Value};
+use ix_manager::{InteractionManager, ProtocolVariant};
+use std::sync::Arc;
+
+fn dept_action(kind: &str, dept: &str, patient: i64) -> Action {
+    Action::concrete(&format!("{kind}_{dept}"), [Value::int(patient)])
+}
+
+fn main() {
+    // Four departments, each with its own call/perform protocol.  The ⊗
+    // coupling of constraints over disjoint alphabets is semantically the
+    // same as running them independently — which is exactly what the
+    // sharded manager does.
+    let constraint = parse(
+        "(some p { call_sono(p) - perform_sono(p) })* \
+         @ (some p { call_endo(p) - perform_endo(p) })* \
+         @ (some p { call_xray(p) - perform_xray(p) })* \
+         @ (some p { call_lab(p) - perform_lab(p) })*",
+    )
+    .unwrap();
+
+    let partition = Partition::of(&constraint);
+    println!("the constraint decomposes into {} sync-components:", partition.len());
+    for (i, component) in partition.components().iter().enumerate() {
+        println!("    shard {i}: alphabet {}", component.alphabet);
+    }
+
+    let manager = Arc::new(
+        InteractionManager::with_protocol(&constraint, ProtocolVariant::Combined).unwrap(),
+    );
+    println!("\nmanager runs {} shards", manager.shard_count());
+
+    // One client thread per department; every ask/confirm cycle stays on its
+    // own shard, so the threads never wait on each other.
+    let mut handles = Vec::new();
+    for dept in ["sono", "endo", "xray", "lab"] {
+        let manager = Arc::clone(&manager);
+        handles.push(std::thread::spawn(move || {
+            for patient in 1..=50 {
+                for kind in ["call", "perform"] {
+                    let granted = manager
+                        .try_execute(1, &dept_action(kind, dept, patient))
+                        .expect("concrete action");
+                    assert!(granted.is_some(), "independent shards never veto each other");
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = manager.stats();
+    println!(
+        "4 concurrent clients committed {} actions ({} asks, {} denials)",
+        stats.confirmations, stats.asks, stats.denials
+    );
+
+    // A mixed batch is grouped by shard and committed group-wise.
+    let batch = vec![
+        dept_action("call", "sono", 99),
+        dept_action("call", "endo", 99),
+        dept_action("perform", "sono", 99),
+        dept_action("call", "lab", 99),
+    ];
+    let result = manager.try_execute_batch(2, &batch).unwrap();
+    let shards_touched: std::collections::BTreeSet<_> =
+        batch.iter().filter_map(|a| manager.shard_of(a)).collect();
+    println!(
+        "batch of {} actions: {} committed in {} lock acquisitions (one per shard touched)",
+        batch.len(),
+        result.accepted.iter().filter(|a| **a).count(),
+        shards_touched.len()
+    );
+}

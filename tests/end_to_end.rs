@@ -22,7 +22,7 @@ fn introduction_scenario_mutual_exclusion_of_examinations() {
     // activities is executed, the other temporarily disappears from the
     // worklists; after `perform examination` completes it reappears.
     let expr = figures::fig3_expr();
-    let mut manager = InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+    let manager = InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
     let sono_call = start("call_patient", 1, "sono");
     let endo_call = start("call_patient", 1, "endo");
     // Both calls offered.
@@ -32,13 +32,17 @@ fn introduction_scenario_mutual_exclusion_of_examinations() {
     assert!(manager.subscribe(10, &endo_call));
     // The ultrasonography call is executed.
     let notes = manager.try_execute(1, &sono_call).unwrap().unwrap();
-    assert!(notes.iter().any(|n| n.action == endo_call && !n.permitted),
-        "the endoscopy worklist is told to disable its call item");
+    assert!(
+        notes.iter().any(|n| n.action == endo_call && !n.permitted),
+        "the endoscopy worklist is told to disable its call item"
+    );
     manager.try_execute(1, &end("call_patient", 1, "sono")).unwrap().unwrap();
     manager.try_execute(1, &start("perform_examination", 1, "sono")).unwrap().unwrap();
     let notes = manager.try_execute(1, &end("perform_examination", 1, "sono")).unwrap().unwrap();
-    assert!(notes.iter().any(|n| n.action == endo_call && n.permitted),
-        "after the examination the endoscopy call reappears");
+    assert!(
+        notes.iter().any(|n| n.action == endo_call && n.permitted),
+        "after the examination the endoscopy call reappears"
+    );
 }
 
 #[test]
@@ -65,7 +69,7 @@ fn graphs_expressions_and_engine_agree_on_fig7() {
 fn federation_matches_single_manager_with_coupled_expression() {
     // Enforcing Fig. 7 with a single manager must accept/deny exactly the
     // same schedule as a federation with one manager per subconstraint.
-    let mut single =
+    let single =
         InteractionManager::with_protocol(&figures::fig7_expr(), ProtocolVariant::Combined)
             .unwrap();
     let mut federation = ManagerFederation::new();
@@ -94,14 +98,8 @@ fn federation_matches_single_manager_with_coupled_expression() {
 
 #[test]
 fn complexity_classification_matches_sec6_expectations() {
-    assert_eq!(
-        classify(&parse("(a - b)* & (c + d)").unwrap()).benignity,
-        Benignity::Harmless
-    );
-    assert!(matches!(
-        classify(&figures::fig6_expr()).benignity,
-        Benignity::Benign { .. }
-    ));
+    assert_eq!(classify(&parse("(a - b)* & (c + d)").unwrap()).benignity, Benignity::Harmless);
+    assert!(matches!(classify(&figures::fig6_expr()).benignity, Benignity::Benign { .. }));
     assert_eq!(
         classify(&ix_state::analysis::malignant_family()).benignity,
         Benignity::PotentiallyMalignant
@@ -121,13 +119,8 @@ fn ensemble_simulation_is_deterministic_for_a_seed() {
 fn baseline_formalisms_compile_into_the_same_engine() {
     // The path-expression mutual exclusion and the equivalent interaction
     // expression accept the same schedules.
-    let path = ix_baselines::path_expr::mutual_exclusion_path(&["sono", "endo"])
-        .to_expr()
-        .unwrap();
-    let native = parse(
-        "((sono_start - sono_end) + (endo_start - endo_end))*",
-    )
-    .unwrap();
+    let path = ix_baselines::path_expr::mutual_exclusion_path(&["sono", "endo"]).to_expr().unwrap();
+    let native = parse("((sono_start - sono_end) + (endo_start - endo_end))*").unwrap();
     let words: Vec<Vec<Action>> = vec![
         vec![Action::nullary("sono_start"), Action::nullary("sono_end")],
         vec![Action::nullary("sono_start"), Action::nullary("endo_start")],
@@ -151,7 +144,7 @@ fn baseline_formalisms_compile_into_the_same_engine() {
 #[test]
 fn manager_recovery_preserves_decisions_mid_ensemble() {
     let expr = figures::fig7_expr();
-    let mut manager = InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+    let manager = InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
     let prefix = [
         start("call_patient", 1, "sono"),
         end("call_patient", 1, "sono"),

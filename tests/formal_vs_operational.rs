@@ -121,8 +121,7 @@ fn curated_expressions() -> Vec<Expr> {
 
 #[test]
 fn exhaustive_agreement_on_nullary_words() {
-    let pool: Vec<Action> =
-        action_pool().into_iter().filter(|a| a.arity() == 0).collect();
+    let pool: Vec<Action> = action_pool().into_iter().filter(|a| a.arity() == 0).collect();
     let words = words_up_to(&pool, 4);
     for expr in curated_expressions() {
         // Quantified expressions are driven by the parameterized pool below;
@@ -135,8 +134,7 @@ fn exhaustive_agreement_on_nullary_words() {
 
 #[test]
 fn exhaustive_agreement_on_parameterized_words() {
-    let pool: Vec<Action> =
-        action_pool().into_iter().filter(|a| a.arity() == 1).collect();
+    let pool: Vec<Action> = action_pool().into_iter().filter(|a| a.arity() == 1).collect();
     let words = words_up_to(&pool, 3);
     for expr in curated_expressions() {
         for w in &words {

@@ -10,6 +10,7 @@
 
 use ix_core::{parse, simplify, Expr, Value};
 use ix_semantics::{equivalent, Universe};
+use ix_state::{sharded_word_problem, word_problem, Engine, ShardedEngine};
 use proptest::prelude::*;
 
 fn universe() -> Universe {
@@ -39,6 +40,89 @@ fn small_expr() -> impl Strategy<Value = Expr> {
             (1u32..3, inner.clone()).prop_map(|(n, e)| Expr::mult(n, e)),
         ]
     })
+}
+
+/// Strategy for expressions biased towards shardable shapes: chains of ⊗
+/// and ‖ over sub-expressions drawn from (mostly) disjoint leaf pools, so
+/// the partition analysis regularly finds 2–4 components — plus arbitrary
+/// [`small_expr`] shapes for the monolithic fallback path.
+fn shardable_expr() -> impl Strategy<Value = Expr> {
+    // Three disjoint leaf pools and one overlap-inducing pool.
+    let pool = |sources: &'static [&'static str]| {
+        let leaves: Vec<Expr> = sources.iter().map(|s| parse(s).unwrap()).collect();
+        prop_oneof![
+            Just(leaves[0].clone()),
+            Just(leaves[1].clone()),
+            Just(Expr::seq(leaves[0].clone(), leaves[1].clone())),
+            Just(Expr::seq_iter(Expr::seq(leaves[0].clone(), leaves[1].clone()))),
+            Just(Expr::par_iter(leaves[0].clone())),
+            Just(Expr::or(leaves[0].clone(), leaves[1].clone())),
+        ]
+    };
+    let comp_a = pool(&["a", "b"]);
+    let comp_b = pool(&["c", "d"]);
+    let comp_c = pool(&["e(1)", "e(2)"]);
+    let joiner = prop_oneof![Just(true), Just(false)];
+    (comp_a, comp_b, comp_c, joiner.clone(), joiner).prop_map(
+        |(x, y, z, sync_first, sync_second)| {
+            let join =
+                |s: bool, l: Expr, r: Expr| if s { Expr::sync(l, r) } else { Expr::par(l, r) };
+            join(sync_second, join(sync_first, x, y), z)
+        },
+    )
+}
+
+fn word_strategy() -> impl Strategy<Value = Vec<ix_core::Action>> {
+    let action = prop_oneof![
+        Just(ix_core::Action::nullary("a")),
+        Just(ix_core::Action::nullary("b")),
+        Just(ix_core::Action::nullary("c")),
+        Just(ix_core::Action::nullary("d")),
+        Just(ix_core::Action::concrete("e", [Value::int(1)])),
+        Just(ix_core::Action::concrete("e", [Value::int(2)])),
+    ];
+    proptest::collection::vec(action, 0..8)
+}
+
+/// Drives the same word through the monolithic [`Engine`] and the
+/// [`ShardedEngine`] and asserts identical observable behaviour at every
+/// step — the correctness contract of the alphabet-partitioned kernel.
+fn assert_shard_monolith_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut mono = Engine::new(x).unwrap();
+    let mut sharded = ShardedEngine::new(x).unwrap();
+    for action in word {
+        prop_assert_eq!(
+            sharded.is_permitted(action),
+            mono.is_permitted(action),
+            "is_permitted disagrees on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(
+            sharded.try_execute(action),
+            mono.try_execute(action),
+            "try_execute disagrees on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(sharded.is_valid(), mono.is_valid());
+        prop_assert_eq!(sharded.is_final(), mono.is_final());
+    }
+    prop_assert_eq!(sharded.accepted(), mono.accepted());
+    prop_assert_eq!(sharded.rejected(), mono.rejected());
+    // The word problem agrees as well (including illegal words, which the
+    // engines above never commit).
+    prop_assert_eq!(
+        sharded_word_problem(x, word).unwrap(),
+        word_problem(x, word).unwrap(),
+        "word status disagrees on `{}` and {}",
+        x,
+        ix_core::display_word(word)
+    );
+    Ok(())
 }
 
 const BOUND: usize = 3;
@@ -95,6 +179,22 @@ proptest! {
     }
 
     #[test]
+    fn sharded_engine_matches_monolithic_on_shardable_expressions(
+        x in shardable_expr(),
+        word in word_strategy(),
+    ) {
+        assert_shard_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn sharded_engine_matches_monolithic_on_arbitrary_expressions(
+        x in small_expr(),
+        word in word_strategy(),
+    ) {
+        assert_shard_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
     fn word_problem_agrees_after_simplification(x in small_expr()) {
         // The operational engine gives the same verdicts for the original and
         // the simplified expression on a few short probe words.
@@ -124,10 +224,7 @@ fn documented_laws_from_the_paper_hold() {
         ("a & a", "a"),
         ("a | b", "b | a"),
     ] {
-        assert!(
-            equivalent(&parse(lhs).unwrap(), &parse(rhs).unwrap(), &u, 4),
-            "{lhs} = {rhs}"
-        );
+        assert!(equivalent(&parse(lhs).unwrap(), &parse(rhs).unwrap(), &u, 4), "{lhs} = {rhs}");
     }
     // Strict conjunction and coupling differ in general.
     assert!(!equivalent(&parse("a & b").unwrap(), &parse("a @ b").unwrap(), &u, 3));

@@ -1,0 +1,196 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-definition surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`) with a simple
+//! mean-of-N timer instead of criterion's statistical machinery.  Results
+//! are printed as `group/function/param ... <mean> ns/iter`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring until the sample
+    /// budget or the measurement time is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 && started.elapsed() < self.measurement_time {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = started.elapsed();
+        self.last_nanos = if iters == 0 { 0.0 } else { total.as_nanos() as f64 / iters as f64 };
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility; warm-up is a
+    /// fixed small number of iterations here).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Bounds the wall-clock time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_nanos: 0.0,
+        };
+        f(&mut bencher, input);
+        println!(
+            "{}/{}/{} ... {:.0} ns/iter",
+            self.name, id.function, id.parameter, bencher.last_nanos
+        );
+        self
+    }
+
+    /// Runs an unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_nanos: 0.0,
+        };
+        f(&mut bencher);
+        println!("{}/{} ... {:.0} ns/iter", self.name, name.into(), bencher.last_nanos);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_record_timings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    #[test]
+    fn bench_function_works_standalone() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
