@@ -3,13 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards]
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards] \
+//!           [--check]
 //! ```
 //!
 //! Every section prints the artifact this repository reproduces for the
 //! corresponding figure/table of the paper (see DESIGN.md §4 and
 //! EXPERIMENTS.md).  The output is deterministic except for wall-clock
 //! timings.
+//!
+//! With `--check`, the `shards` section additionally validates the emitted
+//! `BENCH_shards.json` (structure plus the invariant that the sharded
+//! manager is at least as fast as the monolithic baseline at 0% overlap)
+//! and exits non-zero on failure — the CI bench smoke step.
 
 use ix_bench::*;
 use ix_core::{display_word, Action, Value};
@@ -19,7 +25,9 @@ use ix_state::{classify, init, trans, word_problem, Engine};
 use ix_wfms::{EnsembleSimulation, SimulationConfig};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let arg = args.iter().find(|a| *a != "--check").cloned().unwrap_or_else(|| "all".to_string());
     let all = arg == "all";
     if all || arg == "fig1" {
         fig1();
@@ -62,6 +70,9 @@ fn main() {
     }
     if all || arg == "shards" {
         shards();
+        if check {
+            check_shards_report("BENCH_shards.json");
+        }
     }
 }
 
@@ -386,16 +397,134 @@ fn shards() {
              \"sharded_nanos\": {sharded_nanos}, \"speedup\": {speedup:.3}}}"
         ));
     }
+    // The overlap-ratio experiment: "mostly disjoint" ensembles where a
+    // fraction of the submitted actions is a globally shared audit barrier
+    // executed as a cross-shard two-phase commit.
+    let mut overlap_rows = Vec::new();
+    println!(
+        "\n{:>10} {:>8} {:>9} {:>16} {:>16} {:>9}   (overlap-ratio workload)",
+        "components", "threads", "overlap", "monolithic/s", "sharded/s", "speedup"
+    );
+    for components in [4usize, 8] {
+        for pct in [0u32, 5, 25] {
+            let threads = components;
+            let (mono, sharded) =
+                overlap_monolithic_vs_sharded(components, threads, cases_per_thread, pct);
+            let speedup = sharded.throughput() / mono.throughput().max(f64::MIN_POSITIVE);
+            println!(
+                "{:>10} {:>8} {:>8}% {:>16.0} {:>16.0} {:>8.2}x",
+                components,
+                threads,
+                pct,
+                mono.throughput(),
+                sharded.throughput(),
+                speedup
+            );
+            overlap_rows.push(format!(
+                "    {{\"components\": {components}, \"threads\": {threads}, \
+                 \"overlap_percent\": {pct}, \
+                 \"monolithic_throughput\": {:.1}, \"sharded_throughput\": {:.1}, \
+                 \"speedup\": {:.3}}}",
+                mono.throughput(),
+                sharded.throughput(),
+                speedup
+            ));
+        }
+    }
     let json = format!(
         "{{\n  \"experiment\": \"alphabet-partitioned sharding\",\n  \
           \"workload\": \"contended call/perform pairs, one client per component, \
           {cases_per_thread} cases per client\",\n  \
-          \"manager_contended\": [\n{}\n  ],\n  \"engine_single_thread\": [\n{}\n  ]\n}}\n",
+          \"manager_contended\": [\n{}\n  ],\n  \"engine_single_thread\": [\n{}\n  ],\n  \
+          \"overlap\": [\n{}\n  ]\n}}\n",
         manager_rows.join(",\n"),
-        engine_rows.join(",\n")
+        engine_rows.join(",\n"),
+        overlap_rows.join(",\n")
     );
     std::fs::write("BENCH_shards.json", &json).expect("write BENCH_shards.json");
     println!("\nwrote BENCH_shards.json");
+}
+
+/// The CI bench smoke check: re-reads the emitted report, validates its
+/// structure, and fails (exit 1) when the sharded manager regressed below
+/// the monolithic baseline on the 0%-overlap workload — the regime sharding
+/// exists for.
+fn check_shards_report(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    // Structural validation: balanced braces/brackets and the required keys.
+    let mut depth: i64 = 0;
+    for c in text.chars() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    die(&format!("{path} is malformed: unbalanced braces"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        die(&format!("{path} is malformed: unbalanced braces"));
+    }
+    for key in
+        ["\"experiment\"", "\"manager_contended\"", "\"engine_single_thread\"", "\"overlap\""]
+    {
+        if !text.contains(key) {
+            die(&format!("{path} is malformed: missing {key}"));
+        }
+    }
+    // Every 0%-overlap row of a sharded configuration must show the sharded
+    // manager at or above the monolithic baseline.
+    let mut checked = 0usize;
+    for row in text.split('{').filter(|r| r.contains("\"overlap_percent\": 0")) {
+        let components = json_number(row, "components")
+            .unwrap_or_else(|| die(&format!("{path}: overlap row without components")));
+        if components < 2.0 {
+            continue;
+        }
+        let mono = json_number(row, "monolithic_throughput")
+            .unwrap_or_else(|| die(&format!("{path}: overlap row without monolithic_throughput")));
+        let sharded = json_number(row, "sharded_throughput")
+            .unwrap_or_else(|| die(&format!("{path}: overlap row without sharded_throughput")));
+        if !(mono.is_finite() && sharded.is_finite() && mono > 0.0 && sharded > 0.0) {
+            die(&format!("{path}: non-finite or zero throughput in overlap row: {}", row.trim()));
+        }
+        // 10% noise margin: shared CI runners jitter, and the regression
+        // this guards against (a collapsed partition serializing everything)
+        // shows up as a ~4-10x loss, not a few percent.
+        if sharded < 0.9 * mono {
+            die(&format!(
+                "sharded throughput regressed below the monolithic baseline at 0% overlap \
+                 ({components} components): {sharded:.0}/s < 0.9 * {mono:.0}/s"
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!("{path}: no 0%-overlap rows with ≥2 components to check"));
+    }
+    println!("check passed: {checked} 0%-overlap configurations, sharded ≥ monolithic in all");
+}
+
+/// Extracts the number following `"key":` in a JSON object fragment.
+fn json_number(fragment: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\":");
+    let at = fragment.find(&quoted)? + quoted.len();
+    let rest = fragment[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("reproduce shards --check: {message}");
+    std::process::exit(1);
 }
 
 fn sec6() {

@@ -156,6 +156,107 @@ pub fn contended_monolithic_vs_sharded(
     )
 }
 
+/// The overlap-ratio workload: `components` department groups that are
+/// "mostly disjoint" — every client hammers its own component with
+/// call/perform pairs, and a configurable fraction of the submitted actions
+/// is the globally shared `audit` barrier (a cross-shard action owned by
+/// every component, executed via two-phase commit).  `overlap_percent = 0`
+/// uses the perfectly disjoint constraint and reproduces the original
+/// contended workload.
+///
+/// Audit attempts are interleaved deterministically: every client
+/// accumulates `overlap_percent` per local action and submits one audit
+/// attempt per 100 accumulated points, so audits are `overlap_percent`% of
+/// its submissions.  An audit commits only when every component is between
+/// cases, so most attempts are denials — which is exactly the point: they
+/// measure what the cross-shard coordination costs the local hot path.
+pub fn overlap_constraint(components: usize, overlap_percent: u32) -> Expr {
+    assert!(components >= 1);
+    if overlap_percent == 0 {
+        // The perfectly disjoint variant over the same action names, so the
+        // same client schedules drive every ratio.
+        let group = |k: usize| format!("(some p {{ call_dept{k}(p) - perform_dept{k}(p) }})*");
+        let src = (0..components).map(group).collect::<Vec<_>>().join(" @ ");
+        parse(&src).expect("generated disjoint-component constraint")
+    } else {
+        ix_wfms::coupled_ensemble_constraint(components)
+    }
+}
+
+/// Runs the overlap-ratio workload against `manager`.  Every submitted local
+/// action is expected to commit (the per-component schedules are
+/// conflict-free); audit attempts may be denied.  The report counts
+/// committed actions.
+pub fn run_overlap(
+    manager: Arc<InteractionManager>,
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    overlap_percent: u32,
+) -> ContentionReport {
+    let shards = manager.shard_count();
+    let audit = ix_wfms::coupled_audit();
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let manager = Arc::clone(&manager);
+        let audit = audit.clone();
+        handles.push(std::thread::spawn(move || {
+            let k = t % components;
+            let offset = (t * cases_per_thread) as i64;
+            let mut committed = 0u64;
+            let mut acc = 0u32;
+            let submit = |action: &Action, committed: &mut u64| {
+                if manager.try_execute(t as u64, action).expect("concrete").is_some() {
+                    *committed += 1;
+                }
+            };
+            for p in 0..cases_per_thread as i64 {
+                for action in
+                    [ix_wfms::coupled_call(k, offset + p), ix_wfms::coupled_perform(k, offset + p)]
+                {
+                    submit(&action, &mut committed);
+                    acc += overlap_percent;
+                    if acc >= 100 {
+                        acc -= 100;
+                        submit(&audit, &mut committed);
+                    }
+                }
+            }
+            committed
+        }));
+    }
+    let committed = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+    ContentionReport { threads, shards, committed, elapsed: started.elapsed() }
+}
+
+/// Convenience pair: the overlap-ratio workload against a monolithic and a
+/// sharded manager.  At `overlap_percent = 0` this is the embarrassingly
+/// partitionable regime; at higher ratios the sharded manager pays for the
+/// cross-shard audits with two-phase commits while the monolithic manager
+/// serializes everything through its single lock either way.
+pub fn overlap_monolithic_vs_sharded(
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    overlap_percent: u32,
+) -> (ContentionReport, ContentionReport) {
+    // The same coupled constraint for both managers whenever the workload
+    // submits audits, so the comparison is apples to apples.
+    let expr = overlap_constraint(components, overlap_percent);
+    let monolithic = Arc::new(
+        InteractionManager::monolithic(&expr, ProtocolVariant::Combined).expect("valid constraint"),
+    );
+    let sharded = Arc::new(
+        InteractionManager::with_protocol(&expr, ProtocolVariant::Combined)
+            .expect("valid constraint"),
+    );
+    (
+        run_overlap(monolithic, components, threads, cases_per_thread, overlap_percent),
+        run_overlap(sharded, components, threads, cases_per_thread, overlap_percent),
+    )
+}
+
 /// Single-threaded engine-level comparison: total nanoseconds to drive the
 /// interleaved schedule of all components through a monolithic [`Engine`]
 /// versus a [`ShardedEngine`].  Isolates the state-size effect of sharding
@@ -238,5 +339,28 @@ mod tests {
     fn engine_level_comparison_runs_both_kernels() {
         let (mono, sharded) = engine_monolithic_vs_sharded_nanos(4, 4);
         assert!(mono > 0 && sharded > 0);
+    }
+
+    #[test]
+    fn overlap_constraints_shard_per_component_at_every_ratio() {
+        for pct in [0u32, 5, 25] {
+            let expr = overlap_constraint(4, pct);
+            let manager =
+                InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+            assert_eq!(manager.shard_count(), 4, "ratio {pct}%");
+            assert_eq!(manager.is_cross_shard(&ix_wfms::coupled_audit()), pct > 0, "ratio {pct}%");
+        }
+    }
+
+    #[test]
+    fn overlap_workload_commits_every_local_action() {
+        for pct in [0u32, 25] {
+            let (mono, sharded) = overlap_monolithic_vs_sharded(2, 2, 6, pct);
+            assert_eq!(mono.shards, 1);
+            assert_eq!(sharded.shards, 2);
+            // Local actions always commit; audits may add a few more.
+            assert!(mono.committed >= 2 * 6 * 2, "ratio {pct}%: {}", mono.committed);
+            assert!(sharded.committed >= 2 * 6 * 2, "ratio {pct}%: {}", sharded.committed);
+        }
     }
 }

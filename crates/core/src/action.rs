@@ -149,6 +149,25 @@ impl Action {
         true
     }
 
+    /// True if the two (possibly abstract) actions could be instantiated to
+    /// the same concrete action: equal names and arities, and every argument
+    /// position is either compatible (equal values) or instantiable (at
+    /// least one side is a parameter).  This is the conservative overlap
+    /// test the partition analysis and the ownership map use — a false
+    /// positive merely widens an owner set, never loses an owner.
+    pub fn may_overlap(&self, other: &Action) -> bool {
+        if self.name != other.name || self.args.len() != other.args.len() {
+            return false;
+        }
+        self.args.iter().zip(other.args.iter()).all(|(ta, tb)| {
+            match (ta.as_value(), tb.as_value()) {
+                (Some(va), Some(vb)) => va == vb,
+                // A parameter position can be instantiated to anything.
+                _ => true,
+            }
+        })
+    }
+
     /// The conventional start action of a workflow activity (footnote 6).
     pub fn start(activity: &str, args: impl IntoIterator<Item = Value>) -> Action {
         Action::concrete(format!("{activity}_start").as_str(), args)

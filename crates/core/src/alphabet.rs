@@ -78,31 +78,24 @@ impl Alphabet {
 
     /// True if the two alphabets share no footprint: no concrete action can
     /// be covered by both.  Conservative approximation via pairwise
-    /// unifiability of abstract actions (equal names and arities with
-    /// compatible concrete positions).
+    /// unifiability of abstract actions ([`Action::may_overlap`]).
     pub fn is_disjoint(&self, other: &Alphabet) -> bool {
         for a in &self.actions {
             for b in &other.actions {
-                if abstract_actions_may_overlap(a, b) {
+                if a.may_overlap(b) {
                     return false;
                 }
             }
         }
         true
     }
-}
 
-/// True if two abstract actions could be instantiated to the same concrete
-/// action.
-fn abstract_actions_may_overlap(a: &Action, b: &Action) -> bool {
-    if a.name() != b.name() || a.arity() != b.arity() {
-        return false;
+    /// True if some member of the alphabet could be instantiated to the same
+    /// concrete action as `action` ([`Action::may_overlap`]).  The ownership
+    /// map uses this to decide which components co-own an abstract action.
+    pub fn overlaps_action(&self, action: &Action) -> bool {
+        self.actions.iter().any(|a| a.may_overlap(action))
     }
-    a.args().iter().zip(b.args().iter()).all(|(ta, tb)| match (ta.as_value(), tb.as_value()) {
-        (Some(va), Some(vb)) => va == vb,
-        // A parameter position can be instantiated to anything.
-        _ => true,
-    })
 }
 
 impl fmt::Display for Alphabet {

@@ -1,55 +1,146 @@
 //! Alphabet-connectivity analysis: the partition of an expression into
-//! maximal *sync-components*.
+//! fine-grained *sync-components* plus the action-ownership map.
 //!
 //! The synchronization operator y ⊗ z lets each operand constrain only the
-//! actions of its own alphabet (Sec. 5, Fig. 7).  When the operand alphabets
-//! are *disjoint*, the operands never observe each other's actions at all:
-//! the combined expression behaves exactly like the operands running
-//! independently side by side.  The same holds for a parallel composition
-//! y ‖ z with disjoint alphabets, because with no shared action every
-//! interleaving constraint degenerates to "each operand sees its own
-//! projection" — the coupling and the shuffle coincide.
+//! actions of its own alphabet (Sec. 5, Fig. 7).  An action covered by both
+//! operand alphabets must be accepted by *both* operands and advances both of
+//! their states atomically; an action covered by one operand concerns only
+//! that operand; an action covered by neither is outside the language.  The
+//! same holds for a parallel composition y ‖ z with disjoint alphabets,
+//! because with no shared action every interleaving constraint degenerates to
+//! "each operand sees its own projection" — the coupling and the shuffle
+//! coincide.
 //!
-//! This module computes the maximal decomposition: the top-level chain of
+//! This module computes the maximal flattening: the top-level chain of
 //! splittable composition points (every ⊗, and every ‖ whose operand
-//! alphabets are disjoint) is flattened into operands, operands whose
-//! alphabets may overlap are merged with a union–find, and each resulting
-//! group is re-joined with ⊗ (sound because ⊗ is associative and commutative
-//! and the flattened chain is semantically a single large ⊗).  The result is
-//! the list of independent components an execution engine can run as
-//! parallel shards — see `ix_state::ShardedEngine` and the sharded
-//! interaction manager of `ix-manager`.
+//! alphabets are disjoint) is broken into its operands, and **every operand
+//! becomes its own component** — even when operand alphabets overlap.
+//! Overlap is recorded in the [`OwnershipMap`] instead of being merged away:
+//! each abstract action maps to the set of components whose alphabets may
+//! cover a common concrete instantiation (conservative matching for
+//! parameterized actions, see [`Action::may_overlap`]).  An execution engine
+//! runs the components as parallel shards and executes a multi-owner action
+//! as an atomic step across all of its owners — see
+//! `ix_state::ShardedEngine` and the two-phase commit of the sharded
+//! interaction manager in `ix-manager`.
+//!
+//! The previous behaviour — union-finding overlapping operands into one
+//! coarse component so that component alphabets are pairwise disjoint — is
+//! still available as [`Partition::coalesced`] for consumers that cannot
+//! tolerate shared actions.
 
+use crate::action::Action;
 use crate::alphabet::Alphabet;
 use crate::expr::{Expr, ExprKind};
+use std::collections::BTreeMap;
 
-/// The decomposition of an expression into independent sync-components.
+/// The decomposition of an expression into sync-components together with the
+/// ownership map of its actions.
 #[derive(Clone, Debug)]
 pub struct Partition {
     components: Vec<Component>,
+    ownership: OwnershipMap,
 }
 
-/// One maximal sync-component: a sub-expression together with its alphabet.
+/// One sync-component: a sub-expression together with its alphabet.
 #[derive(Clone, Debug)]
 pub struct Component {
-    /// The component expression (a ⊗-join of the operands in this group).
+    /// The component expression (one operand of the flattened ⊗-chain, or a
+    /// ⊗-join of several operands for [`Partition::coalesced`]).
     pub expr: Expr,
-    /// The component's alphabet — disjoint from every other component's.
+    /// The component's alphabet.  Components of [`Partition::of`] may share
+    /// actions (the [`OwnershipMap`] records which); components of
+    /// [`Partition::coalesced`] have pairwise disjoint alphabets.
     pub alphabet: Alphabet,
 }
 
+/// The map from abstract actions to the components owning them.
+///
+/// An action is *owned* by every component whose alphabet may cover one of
+/// its concrete instantiations.  Actions with a single owner can be executed
+/// on that component alone; actions with several owners require an atomic
+/// step across all of them (the multi-owner routing of the sharded kernel).
+/// The map is conservative for parameterized actions: `call(p, x)` and
+/// `call(1, sono)` count as overlapping because some instantiation
+/// coincides.
+#[derive(Clone, Debug, Default)]
+pub struct OwnershipMap {
+    /// abstract action -> sorted component indices owning it.
+    owners: BTreeMap<Action, Vec<usize>>,
+}
+
+impl OwnershipMap {
+    /// Builds the ownership map for the given component alphabets.
+    pub fn of(alphabets: &[Alphabet]) -> OwnershipMap {
+        let mut owners: BTreeMap<Action, Vec<usize>> = BTreeMap::new();
+        for alphabet in alphabets {
+            for action in alphabet.actions() {
+                owners.entry(action.clone()).or_insert_with(|| {
+                    (0..alphabets.len()).filter(|&j| alphabets[j].overlaps_action(action)).collect()
+                });
+            }
+        }
+        OwnershipMap { owners }
+    }
+
+    /// The owning components of an abstract action from some component
+    /// alphabet (empty for actions outside every alphabet).
+    pub fn owners_of_abstract(&self, action: &Action) -> &[usize] {
+        self.owners.get(action).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The abstract actions owned by more than one component, with their
+    /// owner sets — the "interaction channels" between shards.
+    pub fn shared(&self) -> impl Iterator<Item = (&Action, &[usize])> {
+        self.owners.iter().filter(|(_, o)| o.len() > 1).map(|(a, o)| (a, o.as_slice()))
+    }
+
+    /// Number of abstract actions owned by more than one component.
+    pub fn shared_count(&self) -> usize {
+        self.shared().count()
+    }
+
+    /// True if every action has exactly one owner (the perfectly disjoint
+    /// regime in which no cross-shard coordination is ever needed).
+    pub fn is_exclusive(&self) -> bool {
+        self.owners.values().all(|o| o.len() == 1)
+    }
+
+    /// All (abstract action, owner set) entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&Action, &[usize])> {
+        self.owners.iter().map(|(a, o)| (a, o.as_slice()))
+    }
+}
+
 impl Partition {
-    /// Computes the maximal alphabet-disjoint partition of `expr`.
+    /// Computes the fine-grained partition of `expr`: every operand of the
+    /// maximal splittable top-level chain becomes a component, and
+    /// overlapping alphabets are recorded in the ownership map instead of
+    /// forcing a merge.
     ///
     /// The result always has at least one component; an expression that does
     /// not decompose yields the trivial partition `[expr]`.
     pub fn of(expr: &Expr) -> Partition {
         let mut operands = Vec::new();
         flatten(expr, &mut operands);
+        let components: Vec<Component> =
+            operands.into_iter().map(|e| Component { alphabet: e.alphabet(), expr: e }).collect();
+        let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
+        Partition { components, ownership: OwnershipMap::of(&alphabets) }
+    }
+
+    /// Computes the coarse partition with pairwise disjoint component
+    /// alphabets: operands whose alphabets may cover a common concrete
+    /// action are merged with a union–find and re-joined with ⊗ (sound
+    /// because ⊗ is associative and commutative and the flattened chain is
+    /// semantically a single large ⊗).  Every action then has exactly one
+    /// owner, at the price of one shared action collapsing otherwise
+    /// independent operands into a single component.
+    pub fn coalesced(expr: &Expr) -> Partition {
+        let mut operands = Vec::new();
+        flatten(expr, &mut operands);
         let alphabets: Vec<Alphabet> = operands.iter().map(|e| e.alphabet()).collect();
 
-        // Union–find over the operands: operands whose alphabets may cover a
-        // common concrete action must stay in the same component.
         let mut parent: Vec<usize> = (0..operands.len()).collect();
         fn find(parent: &mut Vec<usize>, i: usize) -> usize {
             if parent[i] != i {
@@ -80,7 +171,7 @@ impl Partition {
             }
         }
 
-        let components = groups
+        let components: Vec<Component> = groups
             .into_iter()
             .map(|(_, members)| {
                 let expr = members
@@ -93,13 +184,27 @@ impl Partition {
                 Component { expr, alphabet }
             })
             .collect();
-        Partition { components }
+        let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
+        Partition { components, ownership: OwnershipMap::of(&alphabets) }
     }
 
-    /// The components, in the order their first operand appears in the
-    /// original expression.
+    /// The components, in the order their operand appears in the original
+    /// expression.
     pub fn components(&self) -> &[Component] {
         &self.components
+    }
+
+    /// The ownership map: which components own which abstract actions.
+    pub fn ownership(&self) -> &OwnershipMap {
+        &self.ownership
+    }
+
+    /// The components owning a concrete action (sorted ascending; empty for
+    /// actions outside every component alphabet).
+    pub fn owners_of(&self, concrete: &Action) -> Vec<usize> {
+        (0..self.components.len())
+            .filter(|&i| self.components[i].alphabet.covers(concrete))
+            .collect()
     }
 
     /// Number of components.
@@ -128,7 +233,8 @@ impl Partition {
 ///
 /// * `Sync(l, r)` is always a composition point (⊗ is associative and
 ///   commutative, so regrouping its operands is sound whether or not their
-///   alphabets overlap — overlapping operands are re-merged by the caller).
+///   alphabets overlap — shared actions become multi-owner entries of the
+///   ownership map).
 /// * `Par(l, r)` is a composition point only when the operand alphabets are
 ///   disjoint — then ‖ coincides with ⊗ and joins the chain; otherwise the
 ///   shuffle constraint is real and the node is an indivisible operand.
@@ -182,29 +288,66 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_sync_operands_merge() {
-        // b occurs on both sides: one component.
-        let c = components("(a - b)* @ (b - c)*");
-        assert_eq!(c.len(), 1);
-        // Chain of three where the middle overlaps both ends: still one.
-        let c = components("(a - b)* @ (b - c)* @ (c - d)*");
-        assert_eq!(c.len(), 1);
+    fn overlapping_sync_operands_stay_separate_with_shared_owners() {
+        // b occurs on both sides: two components, b owned by both.
+        let p = Partition::of(&parse("(a - b)* @ (b - c)*").unwrap());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.owners_of(&Action::nullary("b")), vec![0, 1]);
+        assert_eq!(p.owners_of(&Action::nullary("a")), vec![0]);
+        assert_eq!(p.owners_of(&Action::nullary("c")), vec![1]);
+        assert_eq!(p.ownership().shared_count(), 1);
+        assert!(!p.ownership().is_exclusive());
+        // Chain of three where the middle overlaps both ends: three
+        // components, each boundary action with two owners.
+        let p = Partition::of(&parse("(a - b)* @ (b - c)* @ (c - d)*").unwrap());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.owners_of(&Action::nullary("b")), vec![0, 1]);
+        assert_eq!(p.owners_of(&Action::nullary("c")), vec![1, 2]);
+        assert_eq!(p.ownership().shared_count(), 2);
     }
 
     #[test]
-    fn partial_overlap_produces_mixed_groups() {
+    fn coalesced_partition_merges_overlapping_operands() {
+        // The pre-multi-owner behaviour: overlap forces a merge.
+        let p = Partition::coalesced(&parse("(a - b)* @ (b - c)*").unwrap());
+        assert_eq!(p.len(), 1);
+        assert!(p.ownership().is_exclusive());
         // a-b and b-c overlap; x-y is independent.
-        let p = Partition::of(&parse("(a - b)* @ (x - y)* @ (b - c)*").unwrap());
+        let p = Partition::coalesced(&parse("(a - b)* @ (x - y)* @ (b - c)*").unwrap());
         assert_eq!(p.len(), 2);
         assert!(p.is_sharded());
-        // The overlapping pair was re-joined with ⊗.
         let merged = p
             .components()
             .iter()
-            .find(|c| c.alphabet.contains_abstract(&crate::action::Action::nullary("a")))
+            .find(|c| c.alphabet.contains_abstract(&Action::nullary("a")))
             .unwrap();
-        assert!(merged.alphabet.contains_abstract(&crate::action::Action::nullary("c")));
-        assert!(!merged.alphabet.contains_abstract(&crate::action::Action::nullary("x")));
+        assert!(merged.alphabet.contains_abstract(&Action::nullary("c")));
+        assert!(!merged.alphabet.contains_abstract(&Action::nullary("x")));
+        // Coalesced components have pairwise disjoint alphabets.
+        for (i, ci) in p.components().iter().enumerate() {
+            for cj in p.components().iter().skip(i + 1) {
+                assert!(ci.alphabet.is_disjoint(&cj.alphabet));
+            }
+        }
+    }
+
+    #[test]
+    fn one_coupled_action_no_longer_collapses_the_ensemble() {
+        // Four otherwise-independent groups share a global `audit` action.
+        // The coalesced partition collapses to one component; the
+        // fine-grained partition keeps all four and reports `audit` as the
+        // single interaction channel.
+        let src = "((a1 - b1)* - audit)* @ ((a2 - b2)* - audit)* \
+                   @ ((a3 - b3)* - audit)* @ ((a4 - b4)* - audit)*";
+        let expr = parse(src).unwrap();
+        assert_eq!(Partition::coalesced(&expr).len(), 1);
+        let p = Partition::of(&expr);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.owners_of(&Action::nullary("audit")), vec![0, 1, 2, 3]);
+        assert_eq!(p.owners_of(&Action::nullary("a3")), vec![2]);
+        let shared: Vec<_> = p.ownership().shared().collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].0, &Action::nullary("audit"));
     }
 
     #[test]
@@ -221,12 +364,25 @@ mod tests {
 
     #[test]
     fn parameterized_alphabets_use_conservative_overlap() {
-        // call(p, x) may instantiate to call(1, sono): conservative merge.
-        let c = components("(some p { call(p, sono) })* @ (call(1, sono) - done)*");
-        assert_eq!(c.len(), 1);
+        // call(p, x) may instantiate to call(1, sono): conservative
+        // multi-owner entry instead of a merge.
+        let p =
+            Partition::of(&parse("(some p { call(p, sono) })* @ (call(1, sono) - done)*").unwrap());
+        assert_eq!(p.len(), 2);
+        let concrete = Action::concrete(
+            "call",
+            [crate::value::Value::int(1), crate::value::Value::sym("sono")],
+        );
+        assert_eq!(p.owners_of(&concrete), vec![0, 1]);
+        let other = Action::concrete(
+            "call",
+            [crate::value::Value::int(2), crate::value::Value::sym("sono")],
+        );
+        assert_eq!(p.owners_of(&other), vec![0], "call(2, sono) only matches call(p, sono)");
         // Distinct action names never overlap.
-        let c = components("(some p { call(p) })* @ (some p { perform(p) })*");
-        assert_eq!(c.len(), 2);
+        let p = Partition::of(&parse("(some p { call(p) })* @ (some p { perform(p) })*").unwrap());
+        assert_eq!(p.len(), 2);
+        assert!(p.ownership().is_exclusive());
     }
 
     #[test]
@@ -236,9 +392,10 @@ mod tests {
     }
 
     #[test]
-    fn component_alphabets_are_pairwise_disjoint() {
+    fn disjoint_component_alphabets_are_pairwise_disjoint() {
         let p = Partition::of(&parse("(a - b)* @ (c - d)* @ (e - f)* @ (g - h)*").unwrap());
         assert_eq!(p.len(), 4);
+        assert!(p.ownership().is_exclusive());
         for (i, ci) in p.components().iter().enumerate() {
             for cj in p.components().iter().skip(i + 1) {
                 assert!(ci.alphabet.is_disjoint(&cj.alphabet));
@@ -247,10 +404,20 @@ mod tests {
     }
 
     #[test]
+    fn ownership_map_entries_cover_every_abstract_action() {
+        let p = Partition::of(&parse("(a - b)* @ (b - c)*").unwrap());
+        let entries: Vec<_> = p.ownership().entries().collect();
+        assert_eq!(entries.len(), 3, "a, b, c");
+        assert_eq!(p.ownership().owners_of_abstract(&Action::nullary("b")), &[0, 1]);
+        assert!(p.ownership().owners_of_abstract(&Action::nullary("z")).is_empty());
+    }
+
+    #[test]
     fn empty_expression_is_a_trivial_component() {
         let p = Partition::of(&Expr::empty());
         assert_eq!(p.len(), 1);
         assert!(!p.is_sharded());
         assert!(!p.is_empty());
+        assert!(p.ownership().is_exclusive());
     }
 }

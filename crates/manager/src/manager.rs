@@ -1,4 +1,5 @@
-//! The interaction manager — the central scheduler of Sec. 7, sharded.
+//! The interaction manager — the central scheduler of Sec. 7, sharded with
+//! cross-shard two-phase commit.
 //!
 //! The manager owns the interaction expression (usually obtained from an
 //! interaction graph) and its operational state, and arbitrates the execution
@@ -20,17 +21,36 @@
 //! The subscription protocol keeps clients informed about permissibility
 //! changes of the actions they subscribed to.
 //!
-//! ## Sharding
+//! ## Sharding and cross-shard actions
 //!
 //! The paper's design funnels every action through one critical region per
 //! expression.  This implementation instead partitions the expression into
-//! its alphabet-disjoint sync-components (`ix_core::Partition`) and keeps
-//! one *shard* — engine, reservation table, subscription registry — per
-//! component, each behind its own lock.  An action is routed to its owning
-//! shard by a precomputed dispatch table (`ix_state::ShardRouter`), so
-//! ask/confirm cycles touching different components never contend, and
-//! [`InteractionManager::try_execute_batch`] commits a whole group of
-//! same-shard actions under a single lock acquisition.  All entry points
+//! its fine-grained sync-components (`ix_core::Partition`) and keeps one
+//! *shard* — engine, reservation table, subscription registry — per
+//! component, each behind its own lock.  Component alphabets may overlap, so
+//! an action is owned by a *set* of shards (`ix_state::ShardRouter`):
+//!
+//! * a **single-owner** action locks and commits on one shard — ask/confirm
+//!   cycles touching different components never contend;
+//! * a **multi-owner** action (a coupled `audit`/`checkpoint` step shared by
+//!   several otherwise-independent workflows) runs as a **two-phase
+//!   commit**: the owning shards are locked in ascending shard-id order
+//!   (deadlock-free: every multi-shard acquisition follows the same total
+//!   order), every owner votes via a tentative [`Engine::prepare`] step, and
+//!   the prepared successors are installed only if all owners voted yes —
+//!   otherwise everything is dropped and no shard changes state.  Each
+//!   committed action is stamped with one global log sequence number while
+//!   all owner locks are held, so the merged log is a linearization;
+//! * an action owned by **no** shard is outside the expression's alphabet
+//!   and is denied with exactly the status and statistics the monolithic
+//!   manager reports (no divergent "unrouted" path).
+//!
+//! Reservations of multi-owner actions are replicated into every owning
+//! shard's table (each shard's conflict probe accounts for them) and are
+//! created, confirmed, aborted, and expired under all owner locks, so the
+//! owners never disagree about an outstanding grant.
+//! [`InteractionManager::try_execute_batch`] groups a batch by owner set and
+//! commits every group under a single lock acquisition.  All entry points
 //! take `&self`: clients share the manager through an `Arc` without an
 //! external mutex.  Expressions that do not decompose run as a single
 //! shard, which reproduces the paper's central scheduler exactly.
@@ -39,9 +59,9 @@ use crate::error::{ManagerError, ManagerResult};
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
 use ix_core::{Action, Alphabet, Expr, Partition};
 use ix_state::{Engine, ShardRouter, StateMetrics};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// The coordination-protocol variant used by a manager (Sec. 7 mentions
 /// "several alternative coordination protocols, possessing different
@@ -90,6 +110,8 @@ pub struct ManagerStats {
     pub confirmations: u64,
     /// Number of reservations rolled back because their lease expired.
     pub expired_reservations: u64,
+    /// Number of reservations explicitly aborted by their client.
+    pub aborted_reservations: u64,
     /// Number of notifications sent to subscribers.
     pub notifications: u64,
 }
@@ -112,9 +134,11 @@ struct Shard {
     reservations: BTreeMap<u64, Reservation>,
     subscriptions: SubscriptionRegistry,
     /// This shard's confirmed actions, stamped with the manager-wide commit
-    /// sequence number.  Keeping the log per shard keeps the commit hot path
-    /// free of any cross-shard lock; [`InteractionManager::log`] merges the
-    /// segments by sequence number on read.
+    /// sequence number.  A multi-owner action is logged once, in its
+    /// *primary* (lowest-id) owner's segment.  Keeping the log per shard
+    /// keeps the commit hot path free of any cross-shard lock;
+    /// [`InteractionManager::log`] merges the segments by sequence number on
+    /// read.
     log: Vec<(u64, Action)>,
 }
 
@@ -122,9 +146,11 @@ impl Shard {
     /// Permissibility check that also accounts for outstanding reservations:
     /// a granted-but-unconfirmed action must stay executable, so a new grant
     /// is only given if the component permits the new action *after* all
-    /// reserved actions as well.  Reservations of other shards cannot
-    /// conflict — their alphabets are disjoint — which is why this probe
-    /// never needs to leave the shard.
+    /// reserved actions as well.  Reservations of a multi-owner action are
+    /// replicated into every owning shard's table, so each owner's probe
+    /// replays them on its own engine; reservations of shards that do not
+    /// own the probed action cannot conflict with it — their component never
+    /// observes it — which is why this probe never needs to leave the shard.
     fn permitted_considering_reservations(&self, action: &Action) -> bool {
         if self.reservations.is_empty() {
             return self.engine.is_permitted(action);
@@ -143,6 +169,39 @@ impl Shard {
     }
 }
 
+/// A subscription to a cross-shard (multi-owner) action, kept at the manager
+/// level: its permissibility is the conjunction of the owners' votes, so no
+/// single shard can report it alone.  The entry caches one status bit per
+/// owner; a commit touching a subset of the owners refreshes exactly those
+/// bits (the other owners' engines did not move) and notifies when the
+/// conjunction flips.
+#[derive(Clone, Debug)]
+struct CrossEntry {
+    /// Owning shards, ascending.
+    owners: Vec<usize>,
+    /// Last observed per-owner permissibility, aligned with `owners`.
+    bits: Vec<bool>,
+    /// Subscribed clients (sorted, deduplicated).
+    clients: Vec<ClientId>,
+    /// Cached conjunction of `bits` — the last status reported to clients.
+    permitted: bool,
+}
+
+/// Registry of cross-shard subscriptions, indexed by owning shard so a
+/// commit probes only the entries co-owned by a shard it touched.
+#[derive(Clone, Debug, Default)]
+struct CrossSubscriptions {
+    entries: BTreeMap<Action, CrossEntry>,
+    /// shard -> cross-subscribed actions the shard co-owns.
+    by_shard: BTreeMap<usize, BTreeSet<Action>>,
+}
+
+impl CrossSubscriptions {
+    fn len(&self) -> usize {
+        self.entries.values().map(|e| e.clients.len()).sum()
+    }
+}
+
 /// Lock-free running counters behind [`ManagerStats`].
 #[derive(Debug, Default)]
 struct SharedStats {
@@ -151,6 +210,7 @@ struct SharedStats {
     denials: AtomicU64,
     confirmations: AtomicU64,
     expired_reservations: AtomicU64,
+    aborted_reservations: AtomicU64,
     notifications: AtomicU64,
 }
 
@@ -162,10 +222,15 @@ impl SharedStats {
             denials: self.denials.load(Ordering::Relaxed),
             confirmations: self.confirmations.load(Ordering::Relaxed),
             expired_reservations: self.expired_reservations.load(Ordering::Relaxed),
+            aborted_reservations: self.aborted_reservations.load(Ordering::Relaxed),
             notifications: self.notifications.load(Ordering::Relaxed),
         }
     }
 }
+
+/// The owning shards of one action, locked in ascending shard-id order —
+/// the unit the two-phase commit operates on.
+type OwnerGuards<'a> = Vec<(usize, MutexGuard<'a, Shard>)>;
 
 /// The interaction manager.  All entry points take `&self`; share it through
 /// an `Arc` to serve concurrent clients.
@@ -176,9 +241,11 @@ pub struct InteractionManager {
     variant: ProtocolVariant,
     router: ShardRouter,
     shards: Vec<Mutex<Shard>>,
-    /// Which shard holds which outstanding reservation (advisory index; the
-    /// shard's own table is authoritative, see `confirm`).
-    reservation_index: Mutex<HashMap<u64, usize>>,
+    /// Which shards hold which outstanding reservation (advisory index; the
+    /// shards' own tables are authoritative, see `confirm`).
+    reservation_index: Mutex<HashMap<u64, Vec<usize>>>,
+    /// Subscriptions to cross-shard (multi-owner) actions.
+    cross_subscriptions: Mutex<CrossSubscriptions>,
     /// Subscriptions to actions no shard owns: such actions are never
     /// permitted and never change status, but the registrations are kept so
     /// that subscribe/unsubscribe stay symmetric.
@@ -198,8 +265,9 @@ impl InteractionManager {
     }
 
     /// Creates a manager with an explicit protocol variant.  The expression
-    /// is partitioned into its sync-components; each component becomes an
-    /// independently locked shard.
+    /// is partitioned into its fine-grained sync-components; each component
+    /// becomes an independently locked shard, and actions shared between
+    /// components are executed with a cross-shard two-phase commit.
     pub fn with_protocol(
         expr: &Expr,
         variant: ProtocolVariant,
@@ -247,6 +315,7 @@ impl InteractionManager {
             router: ShardRouter::new(alphabets),
             shards,
             reservation_index: Mutex::new(HashMap::new()),
+            cross_subscriptions: Mutex::new(CrossSubscriptions::default()),
             orphan_subscriptions: Mutex::new(SubscriptionRegistry::new()),
             log_seq: AtomicU64::new(0),
             next_reservation: AtomicU64::new(1),
@@ -271,9 +340,21 @@ impl InteractionManager {
         self.shards.len()
     }
 
-    /// The shard an action is routed to, if any.
+    /// The primary (lowest-id) shard an action is routed to, if any.
     pub fn shard_of(&self, action: &Action) -> Option<usize> {
         self.router.route(action)
+    }
+
+    /// All shards owning an action, ascending.  Empty for actions outside
+    /// every shard alphabet; more than one entry marks a cross-shard action.
+    pub fn owners_of(&self, action: &Action) -> Vec<usize> {
+        self.router.owners(action)
+    }
+
+    /// True if the action is owned by more than one shard (executed via
+    /// two-phase commit).
+    pub fn is_cross_shard(&self, action: &Action) -> bool {
+        self.router.is_shared(action)
     }
 
     /// Statistics so far.
@@ -291,7 +372,9 @@ impl InteractionManager {
     }
 
     /// The log of confirmed actions (the manager's recovery source), in
-    /// commit order: the per-shard segments merged by sequence number.
+    /// commit order: the per-shard segments merged by sequence number.  Every
+    /// committed action appears exactly once — a cross-shard action is
+    /// logged only in its primary owner's segment.
     pub fn log(&self) -> Vec<Action> {
         let mut entries: Vec<(u64, Action)> = Vec::new();
         for shard in &self.shards {
@@ -306,25 +389,43 @@ impl InteractionManager {
         self.clock.load(Ordering::Relaxed)
     }
 
+    /// Locks the owning shards in ascending shard-id order — the canonical
+    /// total order every multi-shard acquisition follows, which is what
+    /// makes the two-phase commit deadlock-free.
+    fn lock_owners(&self, owners: &[usize]) -> OwnerGuards<'_> {
+        owners.iter().map(|&i| (i, lock(&self.shards[i]))).collect()
+    }
+
     /// Advances logical time, expiring leased reservations that ran out.
+    /// A multi-owner reservation is removed from *all* of its owners under
+    /// their locks, so the owners never disagree about an outstanding grant.
     /// Returns the rolled-back reservations.
     pub fn advance_time(&self, delta: u64) -> Vec<Reservation> {
         let now = self.clock.fetch_add(delta, Ordering::Relaxed) + delta;
+        let candidates: Vec<(u64, Vec<usize>)> = lock(&self.reservation_index)
+            .iter()
+            .map(|(id, owners)| (*id, owners.clone()))
+            .collect();
         let mut out = Vec::new();
-        for shard in &self.shards {
-            let mut guard = lock(shard);
-            let expired: Vec<u64> = guard
-                .reservations
-                .iter()
-                .filter(|(_, r)| r.expires_at <= now)
-                .map(|(id, _)| *id)
-                .collect();
-            for id in expired {
-                if let Some(r) = guard.reservations.remove(&id) {
-                    self.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
-                    lock(&self.reservation_index).remove(&id);
-                    out.push(r);
+        for (id, owners) in candidates {
+            let mut guards = self.lock_owners(&owners);
+            let expired = guards
+                .first()
+                .and_then(|(_, s)| s.reservations.get(&id))
+                .is_some_and(|r| r.expires_at <= now);
+            if !expired {
+                continue;
+            }
+            let mut reservation = None;
+            for (_, shard) in guards.iter_mut() {
+                if let Some(r) = shard.reservations.remove(&id) {
+                    reservation = Some(r);
                 }
+            }
+            lock(&self.reservation_index).remove(&id);
+            if let Some(r) = reservation {
+                self.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
+                out.push(r);
             }
         }
         out
@@ -333,10 +434,13 @@ impl InteractionManager {
     /// Step 1/2 of the coordination protocol: a client asks for permission to
     /// execute an action; the manager replies with a reservation id on grant.
     ///
-    /// An action is granted iff the current interaction state permits it and
-    /// no conflicting reservation is outstanding (a reservation conflicts if
-    /// executing both reserved actions in either order is not permitted).
-    /// Only the owning shard is locked.
+    /// An action is granted iff every owning shard permits it in its current
+    /// state and no conflicting reservation is outstanding (a reservation
+    /// conflicts if executing both reserved actions in either order is not
+    /// permitted).  Only the owning shards are locked — in ascending id
+    /// order — and the reservation is replicated into each of their tables.
+    /// Actions outside every shard alphabet are denied, exactly as the
+    /// monolithic scheduler denies them.
     ///
     /// Under the `Combined` variant the grant commits immediately and the
     /// reply carries no reservation to confirm; subscription notifications
@@ -347,12 +451,13 @@ impl InteractionManager {
         if !action.is_concrete() {
             return Err(ManagerError::NonConcreteAction { action: action.to_string() });
         }
-        let Some(shard_id) = self.router.route(action) else {
+        let owners = self.router.owners(action);
+        if owners.is_empty() {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
-        };
-        let mut shard = lock(&self.shards[shard_id]);
-        if !shard.permitted_considering_reservations(action) {
+        }
+        let mut guards = self.lock_owners(&owners);
+        if !guards.iter().all(|(_, s)| s.permitted_considering_reservations(action)) {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
@@ -361,7 +466,7 @@ impl InteractionManager {
             // pass while the immediate commit is impossible (the action
             // only becomes executable after outstanding reservations
             // confirm); that is a denial, not a protocol error.
-            return match self.commit(&mut shard, action) {
+            return match self.commit_on(&mut guards, action) {
                 Ok(_) => {
                     self.stats.grants.fetch_add(1, Ordering::Relaxed);
                     Ok(Some(0))
@@ -380,31 +485,60 @@ impl InteractionManager {
             ProtocolVariant::Combined => unreachable!("handled above"),
         };
         let id = self.next_reservation.fetch_add(1, Ordering::Relaxed);
-        shard.reservations.insert(
-            id,
-            Reservation { id, action: action.clone(), client, granted_at: now, expires_at },
-        );
-        lock(&self.reservation_index).insert(id, shard_id);
+        let reservation =
+            Reservation { id, action: action.clone(), client, granted_at: now, expires_at };
+        for (_, shard) in guards.iter_mut() {
+            shard.reservations.insert(id, reservation.clone());
+        }
+        lock(&self.reservation_index).insert(id, owners);
         Ok(Some(id))
     }
 
     /// Step 4/5 of the coordination protocol: the client confirms the
     /// execution of a previously granted action; the manager performs the
-    /// state transition and notifies subscribers of status changes.
+    /// state transition — atomically across all owning shards — and notifies
+    /// subscribers of status changes.
     pub fn confirm(&self, reservation_id: u64) -> ManagerResult<Vec<Notification>> {
-        // The index narrows the search to one shard; the shard's own table
-        // decides existence (the reservation may have expired concurrently).
-        let shard_id = lock(&self.reservation_index)
+        // The index narrows the search to the owning shards; the shards' own
+        // tables decide existence (the reservation may have expired or been
+        // aborted concurrently).
+        let owners = lock(&self.reservation_index)
             .get(&reservation_id)
-            .copied()
+            .cloned()
             .ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
-        let mut shard = lock(&self.shards[shard_id]);
-        let reservation = shard
-            .reservations
-            .remove(&reservation_id)
-            .ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
+        let mut guards = self.lock_owners(&owners);
+        let mut action = None;
+        for (_, shard) in guards.iter_mut() {
+            if let Some(r) = shard.reservations.remove(&reservation_id) {
+                action = Some(r.action);
+            }
+        }
         lock(&self.reservation_index).remove(&reservation_id);
-        self.commit(&mut shard, &reservation.action)
+        let action = action.ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
+        self.commit_on(&mut guards, &action)
+    }
+
+    /// Explicitly aborts a granted reservation without executing it: the
+    /// reservation is removed from every owning shard under their locks, so
+    /// the slot it held is released consistently.  Returns the aborted
+    /// reservation.
+    pub fn abort(&self, reservation_id: u64) -> ManagerResult<Reservation> {
+        let owners = lock(&self.reservation_index)
+            .get(&reservation_id)
+            .cloned()
+            .ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
+        let mut guards = self.lock_owners(&owners);
+        let mut reservation = None;
+        for (_, shard) in guards.iter_mut() {
+            if let Some(r) = shard.reservations.remove(&reservation_id) {
+                reservation = Some(r);
+            }
+        }
+        lock(&self.reservation_index).remove(&reservation_id);
+        let reservation =
+            reservation.ok_or(ManagerError::UnknownReservation { id: reservation_id })?;
+        self.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
+        Ok(reservation)
     }
 
     /// The combined ask-and-execute round trip (also used internally by the
@@ -420,19 +554,20 @@ impl InteractionManager {
             return Err(ManagerError::NonConcreteAction { action: action.to_string() });
         }
         let _ = client;
-        let Some(shard_id) = self.router.route(action) else {
+        let owners = self.router.owners(action);
+        if owners.is_empty() {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
-        };
-        let mut shard = lock(&self.shards[shard_id]);
-        if !shard.permitted_considering_reservations(action) {
+        }
+        let mut guards = self.lock_owners(&owners);
+        if !guards.iter().all(|(_, s)| s.permitted_considering_reservations(action)) {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         // As in try_execute_batch: a probe that only passes by virtue of
         // outstanding reservations is a denial for immediate execution, not
         // a protocol error.
-        match self.commit(&mut shard, action) {
+        match self.commit_on(&mut guards, action) {
             Ok(notes) => {
                 self.stats.grants.fetch_add(1, Ordering::Relaxed);
                 Ok(Some(notes))
@@ -444,11 +579,16 @@ impl InteractionManager {
         }
     }
 
-    /// Combined execution of a whole batch: the actions are grouped by
-    /// owning shard and every group is decided and committed under a single
-    /// lock acquisition of its shard — the amortization that makes
-    /// high-throughput clients cheap.  Outcomes are reported per action, in
-    /// input order; actions no shard owns are denied.
+    /// Combined execution of a whole batch, in submission order — the
+    /// outcomes are exactly those of submitting the actions one by one
+    /// through [`InteractionManager::try_execute`].  Consecutive actions
+    /// with the same owner set are decided and committed under a single
+    /// lock acquisition of their owners — the amortization that makes
+    /// high-throughput clients cheap (a per-shard client's whole batch is
+    /// one acquisition).  When the owner set changes, the previous owners
+    /// are released *before* the next are acquired, so concurrent batches
+    /// cannot deadlock even when their owner sets overlap.  Actions no
+    /// shard owns are denied.
     pub fn try_execute_batch(
         &self,
         client: ClientId,
@@ -458,42 +598,49 @@ impl InteractionManager {
         self.stats.asks.fetch_add(actions.len() as u64, Ordering::Relaxed);
         let mut result =
             BatchResult { accepted: vec![false; actions.len()], notifications: Vec::new() };
-        // Group action indices by shard, preserving input order per group.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, action) in actions.iter().enumerate() {
+        // Validate and route everything up front: a non-concrete action
+        // fails the whole batch before anything commits.
+        let mut owner_sets = Vec::with_capacity(actions.len());
+        for action in actions {
             if !action.is_concrete() {
                 return Err(ManagerError::NonConcreteAction { action: action.to_string() });
             }
-            match self.router.route(action) {
-                Some(shard_id) => groups.entry(shard_id).or_default().push(i),
-                None => {
-                    self.stats.denials.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            owner_sets.push(self.router.owners(action));
         }
-        for (shard_id, indices) in groups {
-            let mut shard = lock(&self.shards[shard_id]);
-            for i in indices {
-                let action = &actions[i];
-                if !shard.permitted_considering_reservations(action) {
-                    self.stats.denials.fetch_add(1, Ordering::Relaxed);
-                    continue;
+        let mut held: Vec<usize> = Vec::new();
+        let mut guards: OwnerGuards<'_> = Vec::new();
+        for (i, action) in actions.iter().enumerate() {
+            let owners = &owner_sets[i];
+            if owners.is_empty() {
+                self.stats.denials.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if *owners != held || guards.is_empty() {
+                // Release the previous run's locks before acquiring the next
+                // set (never hold locks across an acquisition of a possibly
+                // lower shard id), then lock ascending as everywhere else.
+                guards.clear();
+                guards.extend(owners.iter().map(|&s| (s, lock(&self.shards[s]))));
+                held.clone_from(owners);
+            }
+            if !guards.iter().all(|(_, s)| s.permitted_considering_reservations(action)) {
+                self.stats.denials.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // The reservation-aware probe can pass while the immediate
+            // commit is impossible (the action only becomes executable
+            // after outstanding reservations confirm).  That is a
+            // denial of *this* action, not a failure of the batch:
+            // earlier commits stay committed and later actions still
+            // run.
+            match self.commit_on(&mut guards, action) {
+                Ok(notes) => {
+                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    result.notifications.extend(notes);
+                    result.accepted[i] = true;
                 }
-                // The reservation-aware probe can pass while the immediate
-                // commit is impossible (the action only becomes executable
-                // after outstanding reservations confirm).  That is a
-                // denial of *this* action, not a failure of the batch:
-                // earlier commits stay committed and later actions still
-                // run.
-                match self.commit(&mut shard, action) {
-                    Ok(notes) => {
-                        self.stats.grants.fetch_add(1, Ordering::Relaxed);
-                        result.notifications.extend(notes);
-                        result.accepted[i] = true;
-                    }
-                    Err(_) => {
-                        self.stats.denials.fetch_add(1, Ordering::Relaxed);
-                    }
+                Err(_) => {
+                    self.stats.denials.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -501,12 +648,15 @@ impl InteractionManager {
     }
 
     /// True if the action is currently permitted (ignoring outstanding
-    /// reservations) — the "status" the subscription protocol reports.
+    /// reservations) — the "status" the subscription protocol reports: the
+    /// conjunction of the owning shards' votes, evaluated under their locks.
     pub fn is_permitted(&self, action: &Action) -> bool {
-        match self.router.route(action) {
-            Some(shard_id) => lock(&self.shards[shard_id]).engine.is_permitted(action),
-            None => false,
+        let owners = self.router.owners(action);
+        if owners.is_empty() {
+            return false;
         }
+        let guards = self.lock_owners(&owners);
+        guards.iter().all(|(_, s)| s.engine.is_permitted(action))
     }
 
     /// True if the manager's interaction expression mentions the action at
@@ -526,52 +676,178 @@ impl InteractionManager {
     /// Registers a subscription: the client will receive a notification
     /// whenever the permissibility of the action changes (Fig. 10, right).
     /// The reply contains the current status so the client can initialize its
-    /// worklist.  The subscription lives in the shard owning the action.
+    /// worklist.  A single-owner subscription lives in the shard owning the
+    /// action; a cross-shard subscription lives in the manager-level
+    /// registry, which caches one status bit per owner.
     pub fn subscribe(&self, client: ClientId, action: &Action) -> bool {
-        match self.router.route(action) {
-            Some(shard_id) => {
-                let mut shard = lock(&self.shards[shard_id]);
-                shard.subscriptions.subscribe(client, action.clone());
-                shard.engine.is_permitted(action)
-            }
-            None => {
-                lock(&self.orphan_subscriptions).subscribe(client, action.clone());
+        let owners = self.router.owners(action);
+        match owners.as_slice() {
+            [] => {
+                lock(&self.orphan_subscriptions).subscribe(
+                    client,
+                    action.clone(),
+                    action.clone(),
+                    false,
+                );
                 false
+            }
+            [shard_id] => {
+                let key = self.abstract_key(*shard_id, action);
+                let mut shard = lock(&self.shards[*shard_id]);
+                let permitted = shard.engine.is_permitted(action);
+                shard.subscriptions.subscribe(client, action.clone(), key, permitted)
+            }
+            _ => {
+                // Compute the per-owner bits under all owner locks so the
+                // initial cache is a consistent snapshot, then register the
+                // entry (lock order: shards ascending, then the cross
+                // registry — the same order the commit path uses).
+                let guards = self.lock_owners(&owners);
+                let bits: Vec<bool> =
+                    guards.iter().map(|(_, s)| s.engine.is_permitted(action)).collect();
+                let permitted = bits.iter().all(|b| *b);
+                let mut cross = lock(&self.cross_subscriptions);
+                for &owner in &owners {
+                    cross.by_shard.entry(owner).or_default().insert(action.clone());
+                }
+                let entry = cross.entries.entry(action.clone()).or_insert(CrossEntry {
+                    owners: owners.clone(),
+                    bits,
+                    clients: Vec::new(),
+                    permitted,
+                });
+                if !entry.clients.contains(&client) {
+                    entry.clients.push(client);
+                    entry.clients.sort_unstable();
+                }
+                entry.permitted
             }
         }
     }
 
     /// Removes a subscription.
     pub fn unsubscribe(&self, client: ClientId, action: &Action) {
-        match self.router.route(action) {
-            Some(shard_id) => {
-                lock(&self.shards[shard_id]).subscriptions.unsubscribe(client, action)
+        let owners = self.router.owners(action);
+        match owners.as_slice() {
+            [] => lock(&self.orphan_subscriptions).unsubscribe(client, action),
+            [shard_id] => lock(&self.shards[*shard_id]).subscriptions.unsubscribe(client, action),
+            _ => {
+                let mut cross = lock(&self.cross_subscriptions);
+                let remove = match cross.entries.get_mut(action) {
+                    Some(entry) => {
+                        entry.clients.retain(|c| *c != client);
+                        entry.clients.is_empty()
+                    }
+                    None => false,
+                };
+                if remove {
+                    cross.entries.remove(action);
+                    for actions in cross.by_shard.values_mut() {
+                        actions.remove(action);
+                    }
+                    cross.by_shard.retain(|_, actions| !actions.is_empty());
+                }
             }
-            None => lock(&self.orphan_subscriptions).unsubscribe(client, action),
         }
     }
 
     /// Number of active subscriptions (for tests and statistics).
     pub fn subscription_count(&self) -> usize {
         let owned: usize = self.shards.iter().map(|s| lock(s).subscriptions.len()).sum();
-        owned + lock(&self.orphan_subscriptions).len()
+        owned + lock(&self.cross_subscriptions).len() + lock(&self.orphan_subscriptions).len()
     }
 
-    /// Performs the state transition for an action on its (already locked)
-    /// shard and computes the notifications for the shard's subscribers
-    /// whose action changed status.  Subscribers of other shards cannot be
-    /// affected: the transition only touches this shard's alphabet.
-    fn commit(&self, shard: &mut Shard, action: &Action) -> ManagerResult<Vec<Notification>> {
-        let before = shard.subscriptions.statuses(|a| shard.engine.is_permitted(a));
-        if !shard.engine.try_execute(action) {
-            return Err(ManagerError::RejectedConfirmation { action: action.to_string() });
+    /// The abstract alphabet entry of a shard covering the action — the
+    /// index key of the shard's subscription registry.
+    fn abstract_key(&self, shard_id: usize, action: &Action) -> Action {
+        self.router
+            .alphabet(shard_id)
+            .actions()
+            .find(|a| a.matches_concrete(action))
+            .cloned()
+            .unwrap_or_else(|| action.clone())
+    }
+
+    /// The two-phase state transition for an action on its (already locked)
+    /// owners:
+    ///
+    /// 1. **prepare** — every owner engine computes its tentative successor;
+    ///    if any owner votes no, nothing is installed and the commit aborts
+    ///    with no state change anywhere;
+    /// 2. **commit** — one global sequence number is drawn while all owner
+    ///    locks are held (any conflicting action shares an owner and is
+    ///    serialized by that owner's lock, so the merged log is a
+    ///    linearization), the successors are installed, the primary owner
+    ///    logs the action, and the owners' subscription registries plus the
+    ///    cross-shard entries they co-own are refreshed.
+    fn commit_on(
+        &self,
+        guards: &mut [(usize, MutexGuard<'_, Shard>)],
+        action: &Action,
+    ) -> ManagerResult<Vec<Notification>> {
+        let mut prepared = Vec::with_capacity(guards.len());
+        for (_, shard) in guards.iter() {
+            match shard.engine.prepare(action) {
+                Some(next) => prepared.push(next),
+                None => {
+                    return Err(ManagerError::RejectedConfirmation { action: action.to_string() })
+                }
+            }
         }
         let seq = self.log_seq.fetch_add(1, Ordering::Relaxed);
-        shard.log.push((seq, action.clone()));
+        let mut notifications = Vec::new();
+        for ((_, guard), next) in guards.iter_mut().zip(prepared) {
+            let shard: &mut Shard = guard;
+            shard.engine.commit_prepared(next);
+            let engine = &shard.engine;
+            notifications.extend(shard.subscriptions.refresh(|a| engine.is_permitted(a)));
+        }
+        guards[0].1.log.push((seq, action.clone()));
         self.stats.confirmations.fetch_add(1, Ordering::Relaxed);
-        let notifications = shard.subscriptions.diff(&before, |a| shard.engine.is_permitted(a));
+        notifications.extend(self.refresh_cross_subscriptions(guards));
         self.stats.notifications.fetch_add(notifications.len() as u64, Ordering::Relaxed);
         Ok(notifications)
+    }
+
+    /// Refreshes the cross-shard subscription entries co-owned by any of the
+    /// committed shards: only their bits can have changed (the other owners'
+    /// engines did not move), and only entries indexed under a committed
+    /// shard are probed at all.
+    fn refresh_cross_subscriptions(
+        &self,
+        guards: &[(usize, MutexGuard<'_, Shard>)],
+    ) -> Vec<Notification> {
+        let mut cross = lock(&self.cross_subscriptions);
+        if cross.entries.is_empty() {
+            return Vec::new();
+        }
+        let mut affected: BTreeSet<Action> = BTreeSet::new();
+        for (shard_id, _) in guards {
+            if let Some(actions) = cross.by_shard.get(shard_id) {
+                affected.extend(actions.iter().cloned());
+            }
+        }
+        let mut out = Vec::new();
+        for action in affected {
+            let Some(entry) = cross.entries.get_mut(&action) else { continue };
+            for (pos, owner) in entry.owners.iter().enumerate() {
+                if let Some((_, shard)) = guards.iter().find(|(s, _)| s == owner) {
+                    entry.bits[pos] = shard.engine.is_permitted(&action);
+                }
+            }
+            let now = entry.bits.iter().all(|b| *b);
+            if now != entry.permitted {
+                entry.permitted = now;
+                for client in &entry.clients {
+                    out.push(Notification {
+                        client: *client,
+                        action: action.clone(),
+                        permitted: now,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Rebuilds a manager from an expression and a log of confirmed actions
@@ -583,13 +859,13 @@ impl InteractionManager {
     ) -> ManagerResult<InteractionManager> {
         let manager = InteractionManager::with_protocol(expr, variant)?;
         for action in log {
-            let shard_id = manager
-                .router
-                .route(action)
-                .ok_or_else(|| ManagerError::CorruptLog { action: action.to_string() })?;
-            let mut shard = lock(&manager.shards[shard_id]);
+            let owners = manager.router.owners(action);
+            if owners.is_empty() {
+                return Err(ManagerError::CorruptLog { action: action.to_string() });
+            }
+            let mut guards = manager.lock_owners(&owners);
             manager
-                .commit(&mut shard, action)
+                .commit_on(&mut guards, action)
                 .map_err(|_| ManagerError::CorruptLog { action: action.to_string() })?;
         }
         // The statistics of the pre-crash instance are not recovered; only
@@ -601,17 +877,18 @@ impl InteractionManager {
 
 impl Clone for InteractionManager {
     /// Deep copy: the clone gets its own engines, reservations and log (used
-    /// by the federation; a clone does not alias the original).  Each
-    /// shard's engine and log segment are copied under that shard's lock, so
-    /// every shard of the clone is internally consistent; when other threads
-    /// commit during the clone, shards may be captured at slightly different
-    /// points in time (which is harmless — their states are independent).
+    /// by the federation; a clone does not alias the original).  *All* shard
+    /// locks are held — in the canonical ascending order — for the duration
+    /// of the copy, so the clone is a consistent snapshot: a cross-shard
+    /// commit or reservation racing the clone is either fully visible in
+    /// every owner's copied table or in none of them (a torn copy could
+    /// otherwise leave a multi-owner reservation confirmable on a subset of
+    /// its owners, breaking the all-or-nothing commit).
     fn clone(&self) -> InteractionManager {
-        let shards: Vec<Mutex<Shard>> = self
-            .shards
+        let guards: Vec<MutexGuard<'_, Shard>> = self.shards.iter().map(lock).collect();
+        let shards: Vec<Mutex<Shard>> = guards
             .iter()
-            .map(|s| {
-                let guard = lock(s);
+            .map(|guard| {
                 Mutex::new(Shard {
                     engine: guard.engine.clone(),
                     reservations: guard.reservations.clone(),
@@ -623,14 +900,20 @@ impl Clone for InteractionManager {
         // Rebuild the reservation index from the copied tables instead of
         // copying the original's index: a confirm racing with the clone
         // could otherwise leave the clone holding a reservation its index
-        // does not know, which would be unconfirmable forever.
-        let reservation_index: HashMap<u64, usize> = shards
-            .iter()
-            .enumerate()
-            .flat_map(|(shard_id, s)| {
-                lock(s).reservations.keys().map(|id| (*id, shard_id)).collect::<Vec<_>>()
-            })
-            .collect();
+        // does not know, which would be unconfirmable forever.  A
+        // multi-owner reservation contributes one owner entry per shard
+        // table it appears in.
+        let mut reservation_index: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (shard_id, guard) in guards.iter().enumerate() {
+            for id in guard.reservations.keys() {
+                reservation_index.entry(*id).or_default().push(shard_id);
+            }
+        }
+        // Cross-shard subscription bits are snapshotted while the shard
+        // locks are still held (shards before the cross registry, as on the
+        // commit path), so the cached bits match the copied engines.
+        let cross_subscriptions = lock(&self.cross_subscriptions).clone();
+        drop(guards);
         InteractionManager {
             expr: self.expr.clone(),
             alphabet: self.alphabet.clone(),
@@ -638,6 +921,7 @@ impl Clone for InteractionManager {
             router: self.router.clone(),
             shards,
             reservation_index: Mutex::new(reservation_index),
+            cross_subscriptions: Mutex::new(cross_subscriptions),
             orphan_subscriptions: Mutex::new(lock(&self.orphan_subscriptions).clone()),
             log_seq: AtomicU64::new(self.log_seq.load(Ordering::Relaxed)),
             next_reservation: AtomicU64::new(self.next_reservation.load(Ordering::Relaxed)),
@@ -649,6 +933,9 @@ impl Clone for InteractionManager {
                 confirmations: AtomicU64::new(self.stats.confirmations.load(Ordering::Relaxed)),
                 expired_reservations: AtomicU64::new(
                     self.stats.expired_reservations.load(Ordering::Relaxed),
+                ),
+                aborted_reservations: AtomicU64::new(
+                    self.stats.aborted_reservations.load(Ordering::Relaxed),
                 ),
                 notifications: AtomicU64::new(self.stats.notifications.load(Ordering::Relaxed)),
             },
@@ -691,8 +978,24 @@ mod tests {
         .unwrap()
     }
 
+    /// Four components sharing one coupled `audit` barrier: every round of
+    /// cases in every department ends with a global audit.
+    fn coupled_constraint() -> Expr {
+        parse(
+            "((some p { call_a(p) - perform_a(p) })* - audit)* \
+             @ ((some p { call_b(p) - perform_b(p) })* - audit)* \
+             @ ((some p { call_c(p) - perform_c(p) })* - audit)* \
+             @ ((some p { call_d(p) - perform_d(p) })* - audit)*",
+        )
+        .unwrap()
+    }
+
     fn dept_action(kind: &str, dept: char, p: i64) -> Action {
         Action::concrete(&format!("{kind}_{dept}"), [Value::int(p)])
+    }
+
+    fn audit() -> Action {
+        Action::nullary("audit")
     }
 
     #[test]
@@ -804,6 +1107,7 @@ mod tests {
     fn errors_for_unknown_reservations_and_abstract_actions() {
         let m = InteractionManager::new(&patient_constraint()).unwrap();
         assert!(matches!(m.confirm(99), Err(ManagerError::UnknownReservation { id: 99 })));
+        assert!(matches!(m.abort(99), Err(ManagerError::UnknownReservation { id: 99 })));
         let abstract_action = Action::new("call", [ix_core::Term::Param(ix_core::Param::new("p"))]);
         assert!(matches!(m.ask(1, &abstract_action), Err(ManagerError::NonConcreteAction { .. })));
     }
@@ -824,6 +1128,140 @@ mod tests {
         // The monolithic fallback.
         let mono = InteractionManager::new(&patient_constraint()).unwrap();
         assert_eq!(mono.shard_count(), 1);
+    }
+
+    #[test]
+    fn coupled_constraints_shard_with_a_cross_shard_action() {
+        let m = InteractionManager::new(&coupled_constraint()).unwrap();
+        assert_eq!(m.shard_count(), 4, "one coupled action no longer collapses the ensemble");
+        assert_eq!(m.owners_of(&audit()), vec![0, 1, 2, 3]);
+        assert!(m.is_cross_shard(&audit()));
+        assert!(!m.is_cross_shard(&dept_action("call", 'a', 1)));
+        assert_eq!(m.shard_of(&audit()), Some(0), "primary owner");
+    }
+
+    #[test]
+    fn cross_shard_commit_is_atomic_across_owners() {
+        let m = InteractionManager::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+            .unwrap();
+        // All departments idle: the audit commits on all four shards.
+        assert!(m.try_execute(1, &audit()).unwrap().is_some());
+        assert_eq!(m.log().len(), 1, "one log entry for the cross-shard action");
+        // Department b starts a case: the next audit must wait for it.
+        assert!(m.try_execute(1, &dept_action("call", 'b', 7)).unwrap().is_some());
+        assert!(m.try_execute(1, &audit()).unwrap().is_none(), "one owner votes no");
+        assert!(m.try_execute(1, &dept_action("perform", 'b', 7)).unwrap().is_some());
+        assert!(m.try_execute(1, &audit()).unwrap().is_some());
+        assert_eq!(m.stats().confirmations, 4);
+        // The aborted audit changed no state: replaying the log on a fresh
+        // monolithic manager accepts every entry.
+        let replay =
+            InteractionManager::monolithic(&coupled_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        for action in m.log() {
+            assert!(replay.try_execute(9, &action).unwrap().is_some(), "log is a legal word");
+        }
+    }
+
+    #[test]
+    fn cross_shard_reservations_are_replicated_and_confirmed_atomically() {
+        let m = InteractionManager::new(&coupled_constraint()).unwrap();
+        // A pending local reservation vetoes the audit grant on its owner:
+        // the multi-owner probe consults every owning shard's table.
+        let rc = m.ask(1, &dept_action("call", 'c', 1)).unwrap().expect("granted");
+        assert_eq!(m.ask(2, &audit()).unwrap(), None, "department c holds an unconfirmed call");
+        m.confirm(rc).unwrap();
+        assert_eq!(m.ask(2, &audit()).unwrap(), None, "department c is now mid-case");
+        let rp = m.ask(1, &dept_action("perform", 'c', 1)).unwrap().expect("granted");
+        m.confirm(rp).unwrap();
+        // Every department is at a round boundary again: the audit is
+        // granted, replicated into all four owner tables, and the confirm
+        // commits atomically across them — exactly one log entry.
+        let ra = m.ask(2, &audit()).unwrap().expect("granted");
+        let notes = m.confirm(ra).unwrap();
+        assert!(notes.is_empty());
+        assert_eq!(m.log().len(), 3);
+        assert_eq!(m.log()[2], audit());
+    }
+
+    /// Four components whose shared `audit` action is terminal: once the
+    /// audit runs, the whole ensemble is closed.  A pending audit
+    /// reservation therefore blocks every later local call — the shape that
+    /// makes abort/expiry release observable.
+    fn terminal_coupled_constraint() -> Expr {
+        parse(
+            "((some p { call_a(p) - perform_a(p) })* - audit) \
+             @ ((some p { call_b(p) - perform_b(p) })* - audit) \
+             @ ((some p { call_c(p) - perform_c(p) })* - audit) \
+             @ ((some p { call_d(p) - perform_d(p) })* - audit)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aborting_a_cross_shard_reservation_releases_every_owner() {
+        let m = InteractionManager::new(&terminal_coupled_constraint()).unwrap();
+        let r = m.ask(1, &audit()).unwrap().expect("granted");
+        assert_eq!(m.ask(2, &dept_action("call", 'a', 1)).unwrap(), None, "blocked by the grant");
+        assert_eq!(m.ask(2, &dept_action("call", 'd', 1)).unwrap(), None, "in every owner");
+        let aborted = m.abort(r).unwrap();
+        assert_eq!(aborted.action, audit());
+        assert_eq!(m.stats().aborted_reservations, 1);
+        assert!(m.ask(2, &dept_action("call", 'a', 1)).unwrap().is_some(), "slot released");
+        assert!(matches!(m.confirm(r), Err(ManagerError::UnknownReservation { .. })));
+        assert_eq!(m.log().len(), 0, "aborted reservations never commit");
+    }
+
+    #[test]
+    fn expired_cross_shard_leases_release_every_owner() {
+        let m = InteractionManager::with_protocol(
+            &terminal_coupled_constraint(),
+            ProtocolVariant::Leased { lease: 3 },
+        )
+        .unwrap();
+        let r = m.ask(1, &audit()).unwrap().expect("granted");
+        assert_eq!(m.ask(2, &dept_action("call", 'd', 1)).unwrap(), None);
+        let expired = m.advance_time(4);
+        assert_eq!(expired.len(), 1, "the cross-shard reservation expires once, not per owner");
+        assert_eq!(expired[0].id, r);
+        assert_eq!(m.stats().expired_reservations, 1);
+        assert!(m.ask(2, &dept_action("call", 'd', 1)).unwrap().is_some());
+        assert!(matches!(m.confirm(r), Err(ManagerError::UnknownReservation { .. })));
+    }
+
+    #[test]
+    fn cross_shard_subscriptions_report_the_conjunction() {
+        let m = InteractionManager::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+            .unwrap();
+        assert!(m.subscribe(9, &audit()), "all departments idle: audit permitted");
+        assert_eq!(m.subscription_count(), 1);
+        // A single-owner commit in department a flips the conjunction off…
+        let notes = m.try_execute(1, &dept_action("call", 'a', 1)).unwrap().unwrap();
+        assert!(notes.iter().any(|n| n.client == 9 && n.action == audit() && !n.permitted));
+        assert!(!m.is_permitted(&audit()));
+        // …and completing the case flips it back on.
+        let notes = m.try_execute(1, &dept_action("perform", 'a', 1)).unwrap().unwrap();
+        assert!(notes.iter().any(|n| n.client == 9 && n.action == audit() && n.permitted));
+        m.unsubscribe(9, &audit());
+        assert_eq!(m.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unknown_actions_are_denied_like_the_monolithic_manager() {
+        let unknown = Action::nullary("no_such_action");
+        let sharded = InteractionManager::new(&coupled_constraint()).unwrap();
+        let mono =
+            InteractionManager::monolithic(&coupled_constraint(), ProtocolVariant::Simple).unwrap();
+        for m in [&sharded, &mono] {
+            assert_eq!(m.ask(1, &unknown).unwrap(), None);
+            assert_eq!(m.try_execute(1, &unknown).unwrap(), None);
+            let batch = m.try_execute_batch(1, std::slice::from_ref(&unknown)).unwrap();
+            assert_eq!(batch.accepted, vec![false]);
+            assert!(!m.is_permitted(&unknown));
+            assert!(!m.controls(&unknown));
+            assert!(m.owners_of(&unknown).is_empty());
+        }
+        assert_eq!(sharded.stats(), mono.stats(), "identical statistics on the denial paths");
     }
 
     #[test]
@@ -896,6 +1334,28 @@ mod tests {
     }
 
     #[test]
+    fn batches_commit_cross_shard_groups_atomically() {
+        let m = InteractionManager::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+            .unwrap();
+        // Department b is mid-case before the batch arrives.
+        assert!(m.try_execute(1, &dept_action("call", 'b', 7)).unwrap().is_some());
+        let batch = vec![
+            dept_action("call", 'a', 1),
+            dept_action("perform", 'a', 1),
+            audit(), // department b is mid-case: 2PC aborts on all owners
+        ];
+        let result = m.try_execute_batch(3, &batch).unwrap();
+        assert!(result.accepted[0] && result.accepted[1]);
+        assert!(!result.accepted[2], "the audit is vetoed by department b");
+        assert_eq!(m.log().len(), 3);
+        // After b finishes its case, the same cross-shard group commits.
+        assert!(m.try_execute(1, &dept_action("perform", 'b', 7)).unwrap().is_some());
+        let result = m.try_execute_batch(3, &[audit()]).unwrap();
+        assert!(result.accepted[0]);
+        assert_eq!(m.log().len(), 5);
+    }
+
+    #[test]
     fn batch_denies_actions_only_executable_after_pending_reservations() {
         // The reservation-aware probe says yes to perform(1) (it replays the
         // reserved call(1) first), but the immediate commit is impossible
@@ -946,6 +1406,16 @@ mod tests {
     }
 
     #[test]
+    fn cloned_managers_inherit_cross_shard_reservations() {
+        let m = InteractionManager::new(&coupled_constraint()).unwrap();
+        let r = m.ask(1, &audit()).unwrap().expect("granted");
+        let copy = m.clone();
+        copy.confirm(r).unwrap();
+        assert_eq!(copy.log(), vec![audit()]);
+        assert_eq!(m.log().len(), 0, "the original is untouched");
+    }
+
+    #[test]
     fn batch_notifications_reach_subscribers() {
         let m = InteractionManager::new(&sharded_constraint()).unwrap();
         assert!(!m.subscribe(5, &dept_action("perform", 'b', 3)));
@@ -990,5 +1460,25 @@ mod tests {
         assert!(!m.is_permitted(&unknown));
         m.unsubscribe(3, &unknown);
         assert_eq!(m.subscription_count(), 0);
+    }
+
+    #[test]
+    fn recovery_replays_cross_shard_logs() {
+        let m = InteractionManager::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+            .unwrap();
+        for action in [
+            dept_action("call", 'a', 1),
+            dept_action("perform", 'a', 1),
+            audit(),
+            dept_action("call", 'b', 2),
+        ] {
+            assert!(m.try_execute(1, &action).unwrap().is_some());
+        }
+        let log = m.log();
+        let recovered =
+            InteractionManager::recover(&coupled_constraint(), ProtocolVariant::Combined, &log)
+                .unwrap();
+        assert_eq!(recovered.log(), log);
+        assert!(!recovered.is_permitted(&audit()), "department b is mid-case after replay");
     }
 }

@@ -5,6 +5,24 @@
 //! permissible to non-permissible or vice versa, the manager sends an
 //! informational message.  Clients use these messages to keep users'
 //! worklists up to date and to wait passively instead of busy-polling.
+//!
+//! The registry is indexed by the *abstract* action each subscribed concrete
+//! action can match (the shard-alphabet entry that covers it), and every
+//! entry caches its last reported status.  The index narrows lookups —
+//! subscribe, unsubscribe, and status resolve through the matching abstract
+//! group instead of scanning every entry — and the cached status halves the
+//! per-commit cost: one permissibility probe per entry instead of the
+//! before/after double probe of a snapshot diff.
+//!
+//! The *per-commit* narrowing is at shard granularity, not per abstract
+//! action, and deliberately so: a commit may flip the permissibility of any
+//! entry of the shard it touched, including entries whose abstract action
+//! is unrelated to the committed one (committing `call(1, sono)` flips
+//! `perform(1, sono)` and `call(1, endo)` under the Fig. 3 constraint), so
+//! probing fewer entries of a touched shard would be unsound.  The sound
+//! lever is the fine-grained partition: registries live per shard, and
+//! [`SubscriptionRegistry::refresh`] runs only on the shards a commit
+//! actually touched — the finer the partition, the fewer entries per probe.
 
 use ix_core::Action;
 use std::collections::BTreeMap;
@@ -23,11 +41,22 @@ pub struct Notification {
     pub permitted: bool,
 }
 
-/// The registry of active subscriptions.
+/// One subscribed concrete action: its subscribers and the status it last
+/// reported.
+#[derive(Clone, Debug)]
+struct SubEntry {
+    /// Subscribed clients (sorted, deduplicated).
+    clients: Vec<ClientId>,
+    /// The last status reported for this action — the baseline the next
+    /// [`SubscriptionRegistry::refresh`] diffs against.
+    permitted: bool,
+}
+
+/// The registry of active subscriptions, indexed by abstract action.
 #[derive(Clone, Debug, Default)]
 pub struct SubscriptionRegistry {
-    /// action -> subscribed clients (sorted, deduplicated).
-    by_action: BTreeMap<Action, Vec<ClientId>>,
+    /// abstract action (alphabet entry) -> concrete action -> entry.
+    by_abstract: BTreeMap<Action, BTreeMap<Action, SubEntry>>,
 }
 
 impl SubscriptionRegistry {
@@ -36,63 +65,104 @@ impl SubscriptionRegistry {
         SubscriptionRegistry::default()
     }
 
-    /// Adds a subscription (idempotent).
-    pub fn subscribe(&mut self, client: ClientId, action: Action) {
-        let clients = self.by_action.entry(action).or_default();
-        if !clients.contains(&client) {
-            clients.push(client);
-            clients.sort_unstable();
+    /// Adds a subscription (idempotent) under the abstract action `key` (the
+    /// alphabet entry covering `action`; callers outside any alphabet pass
+    /// the action itself).  `permitted` initializes the cached status for a
+    /// new entry; an existing entry keeps its cache.  Returns the entry's
+    /// current cached status.
+    pub fn subscribe(
+        &mut self,
+        client: ClientId,
+        action: Action,
+        key: Action,
+        permitted: bool,
+    ) -> bool {
+        let entry = self
+            .by_abstract
+            .entry(key)
+            .or_default()
+            .entry(action)
+            .or_insert(SubEntry { clients: Vec::new(), permitted });
+        if !entry.clients.contains(&client) {
+            entry.clients.push(client);
+            entry.clients.sort_unstable();
         }
+        entry.permitted
     }
 
-    /// Removes a subscription.
+    /// Removes a subscription.  Resolved through the abstract index: only
+    /// groups whose key shares the action's name and arity are probed (a
+    /// concrete action is registered under exactly one such key).
     pub fn unsubscribe(&mut self, client: ClientId, action: &Action) {
-        if let Some(clients) = self.by_action.get_mut(action) {
-            clients.retain(|c| *c != client);
-            if clients.is_empty() {
-                self.by_action.remove(action);
+        let mut emptied = None;
+        for (key, entries) in self.by_abstract.iter_mut() {
+            if key.name() != action.name() || key.arity() != action.arity() {
+                continue;
             }
+            if let Some(entry) = entries.get_mut(action) {
+                entry.clients.retain(|c| *c != client);
+                if entry.clients.is_empty() {
+                    entries.remove(action);
+                    if entries.is_empty() {
+                        emptied = Some(key.clone());
+                    }
+                }
+                break;
+            }
+        }
+        if let Some(key) = emptied {
+            self.by_abstract.remove(&key);
         }
     }
 
     /// Number of (action, client) subscription pairs.
     pub fn len(&self) -> usize {
-        self.by_action.values().map(Vec::len).sum()
+        self.by_abstract.values().flat_map(|e| e.values()).map(|e| e.clients.len()).sum()
     }
 
     /// True if nobody is subscribed to anything.
     pub fn is_empty(&self) -> bool {
-        self.by_action.is_empty()
+        self.by_abstract.is_empty()
     }
 
-    /// The subscribed actions.
+    /// The subscribed (concrete) actions.
     pub fn actions(&self) -> impl Iterator<Item = &Action> {
-        self.by_action.keys()
+        self.by_abstract.values().flat_map(|e| e.keys())
     }
 
-    /// Snapshot of the current status of every subscribed action.
-    pub fn statuses(&self, permitted: impl Fn(&Action) -> bool) -> BTreeMap<Action, bool> {
-        self.by_action.keys().map(|a| (a.clone(), permitted(a))).collect()
+    /// Number of abstract-action groups in the index.
+    pub fn group_count(&self) -> usize {
+        self.by_abstract.len()
     }
 
-    /// Notifications for every subscribed action whose status differs from
-    /// the `before` snapshot.
-    pub fn diff(
-        &self,
-        before: &BTreeMap<Action, bool>,
-        permitted: impl Fn(&Action) -> bool,
-    ) -> Vec<Notification> {
+    /// The cached status of a subscribed action, if it is subscribed.
+    /// Resolved through the abstract index (name/arity narrowed).
+    pub fn status(&self, action: &Action) -> Option<bool> {
+        self.by_abstract
+            .iter()
+            .filter(|(key, _)| key.name() == action.name() && key.arity() == action.arity())
+            .find_map(|(_, e)| e.get(action).map(|entry| entry.permitted))
+    }
+
+    /// Re-evaluates every entry against `permitted` and returns
+    /// notifications for the entries whose status flipped relative to the
+    /// cached baseline, updating the cache.  One probe per entry — the
+    /// caller invokes this once per commit on exactly the registries of the
+    /// shards the commit touched.
+    pub fn refresh(&mut self, permitted: impl Fn(&Action) -> bool) -> Vec<Notification> {
         let mut out = Vec::new();
-        for (action, clients) in &self.by_action {
-            let now = permitted(action);
-            let was = before.get(action).copied().unwrap_or(!now);
-            if was != now {
-                for client in clients {
-                    out.push(Notification {
-                        client: *client,
-                        action: action.clone(),
-                        permitted: now,
-                    });
+        for entries in self.by_abstract.values_mut() {
+            for (action, entry) in entries.iter_mut() {
+                let now = permitted(action);
+                if now != entry.permitted {
+                    entry.permitted = now;
+                    for client in &entry.clients {
+                        out.push(Notification {
+                            client: *client,
+                            action: action.clone(),
+                            permitted: now,
+                        });
+                    }
                 }
             }
         }
@@ -108,12 +178,16 @@ mod tests {
         Action::nullary(name)
     }
 
+    fn sub(reg: &mut SubscriptionRegistry, client: ClientId, name: &str, permitted: bool) -> bool {
+        reg.subscribe(client, a(name), a(name), permitted)
+    }
+
     #[test]
     fn subscribe_and_unsubscribe_are_idempotent() {
         let mut reg = SubscriptionRegistry::new();
-        reg.subscribe(1, a("x"));
-        reg.subscribe(1, a("x"));
-        reg.subscribe(2, a("x"));
+        sub(&mut reg, 1, "x", true);
+        sub(&mut reg, 1, "x", true);
+        sub(&mut reg, 2, "x", true);
         assert_eq!(reg.len(), 2);
         reg.unsubscribe(1, &a("x"));
         reg.unsubscribe(1, &a("x"));
@@ -123,39 +197,55 @@ mod tests {
     }
 
     #[test]
-    fn diff_reports_only_changes() {
+    fn refresh_reports_only_changes_against_the_cache() {
         let mut reg = SubscriptionRegistry::new();
-        reg.subscribe(1, a("x"));
-        reg.subscribe(2, a("y"));
-        let before = reg.statuses(|_| true);
+        sub(&mut reg, 1, "x", true);
+        sub(&mut reg, 2, "y", true);
         // x flips to false, y stays true.
-        let notes = reg.diff(&before, |act| act.name().to_string() != "x");
+        let notes = reg.refresh(|act| act.name().to_string() != "x");
         assert_eq!(notes.len(), 1);
         assert_eq!(notes[0].client, 1);
         assert!(!notes[0].permitted);
+        // A second refresh with the same probe is silent: the cache moved.
+        assert!(reg.refresh(|act| act.name().to_string() != "x").is_empty());
+        // Flipping back notifies again.
+        let notes = reg.refresh(|_| true);
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].permitted);
     }
 
     #[test]
     fn multiple_subscribers_all_get_notified() {
         let mut reg = SubscriptionRegistry::new();
-        reg.subscribe(1, a("x"));
-        reg.subscribe(2, a("x"));
-        reg.subscribe(3, a("x"));
-        let before = reg.statuses(|_| false);
-        let notes = reg.diff(&before, |_| true);
+        sub(&mut reg, 1, "x", false);
+        sub(&mut reg, 2, "x", false);
+        sub(&mut reg, 3, "x", false);
+        let notes = reg.refresh(|_| true);
         assert_eq!(notes.len(), 3);
         assert!(notes.iter().all(|n| n.permitted));
     }
 
     #[test]
-    fn statuses_snapshot_covers_all_subscribed_actions() {
+    fn entries_group_under_their_abstract_action() {
         let mut reg = SubscriptionRegistry::new();
-        reg.subscribe(1, a("x"));
-        reg.subscribe(1, a("y"));
-        let snap = reg.statuses(|act| act.name().to_string() == "x");
-        assert_eq!(snap.len(), 2);
-        assert!(snap[&a("x")]);
-        assert!(!snap[&a("y")]);
+        let key = Action::new("call", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        let call1 = Action::concrete("call", [ix_core::Value::int(1)]);
+        let call2 = Action::concrete("call", [ix_core::Value::int(2)]);
+        reg.subscribe(7, call1.clone(), key.clone(), true);
+        reg.subscribe(7, call2.clone(), key.clone(), false);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.group_count(), 1, "both concrete calls share one abstract group");
+        assert_eq!(reg.status(&call1), Some(true));
+        assert_eq!(reg.status(&call2), Some(false));
         assert_eq!(reg.actions().count(), 2);
+    }
+
+    #[test]
+    fn existing_entries_keep_their_cached_status() {
+        let mut reg = SubscriptionRegistry::new();
+        assert!(sub(&mut reg, 1, "x", true));
+        // A second subscriber sees the cached status, not its own guess.
+        assert!(sub(&mut reg, 2, "x", false));
+        assert_eq!(reg.status(&a("x")), Some(true));
     }
 }

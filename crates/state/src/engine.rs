@@ -140,22 +140,49 @@ impl Engine {
         candidates.iter().filter(|a| self.is_permitted(a)).collect()
     }
 
-    /// Performs the accept/reject step of the action problem: the action is
-    /// committed iff its tentative successor state is valid.  Returns true
-    /// if the action was accepted.
-    pub fn try_execute(&mut self, action: &Action) -> bool {
+    /// The tentative half of a two-phase action step: computes the successor
+    /// state without installing it, returning `Some` iff the action is
+    /// currently permitted.  The caller either installs the successor with
+    /// [`Engine::commit_prepared`] or aborts by dropping it — the engine's
+    /// state is untouched either way.  This is the per-shard *prepare* vote
+    /// of the cross-shard two-phase commit: a multi-owner action is prepared
+    /// on every owning engine and committed only if all of them voted yes.
+    pub fn prepare(&self, action: &Action) -> Option<State> {
         if !action.is_concrete() {
-            self.rejected += 1;
-            return false;
+            return None;
         }
         let next = trans_with(&self.state, action, self.options);
         if is_valid(&next) {
-            self.state = next;
-            self.accepted += 1;
-            true
+            Some(next)
         } else {
-            self.rejected += 1;
-            false
+            None
+        }
+    }
+
+    /// The commit half of a two-phase action step: installs a successor
+    /// state produced by [`Engine::prepare`] and counts the accepted action.
+    /// Must only be called with a state prepared from the engine's *current*
+    /// state (the caller serializes prepare and commit, e.g. under the
+    /// shard's lock).
+    pub fn commit_prepared(&mut self, next: State) {
+        self.state = next;
+        self.accepted += 1;
+    }
+
+    /// Performs the accept/reject step of the action problem: the action is
+    /// committed iff its tentative successor state is valid.  Returns true
+    /// if the action was accepted.  Equivalent to [`Engine::prepare`]
+    /// followed by [`Engine::commit_prepared`] (or a recorded rejection).
+    pub fn try_execute(&mut self, action: &Action) -> bool {
+        match self.prepare(action) {
+            Some(next) => {
+                self.commit_prepared(next);
+                true
+            }
+            None => {
+                self.rejected += 1;
+                false
+            }
         }
     }
 

@@ -1,38 +1,47 @@
-//! The sharded execution kernel: independent sub-engines over the
-//! alphabet-disjoint sync-components of an expression.
+//! The sharded execution kernel: per-component sub-engines with multi-owner
+//! action routing.
 //!
 //! `ix_core::Partition` decomposes an expression built with ⊗ (and with ‖
-//! over disjoint alphabets) into maximal components whose alphabets share no
-//! concrete action.  Because the transition function routes every action
-//! only to the operands whose alphabet covers it (see the `Sync` case of
-//! [`crate::trans::step`]), the components never observe each other's
-//! actions: the monolithic state is exactly the product of the component
-//! states, validity/finality are the conjunctions of the per-component
-//! predicates, and an action's acceptance depends only on its *owning*
-//! component.
+//! over disjoint alphabets) into fine-grained components — one per operand of
+//! the flattened chain — whose alphabets *may overlap*.  The transition
+//! function routes every action to exactly the operands whose alphabet
+//! covers it (see the `Sync` case of [`crate::trans::step`]), and the
+//! validity/finality predicates distribute as conjunctions over the
+//! operands.  Hence the monolithic state is exactly the product of the
+//! component states, and an action's acceptance depends on the conjunction
+//! of the *owning* components' votes:
 //!
-//! [`ShardedEngine`] exploits this: it runs one [`Engine`] per component and
-//! dispatches each action to its shard through a precomputed
-//! [`ShardRouter`].  Per-action work then touches a state that is a fraction
-//! of the monolithic one, and — more importantly for the interaction manager
-//! — different shards can transition concurrently because they share no
-//! state at all.  Expressions that do not decompose fall back to a single
-//! shard holding the whole expression, so the sharded engine is a drop-in
-//! replacement for [`Engine`].
+//! * a **single-owner** action is decided and committed on one component;
+//! * a **multi-owner** action (e.g. a global `audit` step coupled across
+//!   otherwise-independent workflows) is executed as an atomic two-phase
+//!   step: every owner [`Engine::prepare`]s the tentative successor, and the
+//!   successors are installed only if every owner voted yes — otherwise all
+//!   of them are dropped (abort) and no state changes;
+//! * an action owned by **no** component is outside α(x) and is rejected,
+//!   exactly as the monolithic engine rejects it.
+//!
+//! [`ShardedEngine`] runs one [`Engine`] per component and dispatches
+//! through a precomputed [`ShardRouter`].  Per-action work touches only the
+//! owning components' states, and — more importantly for the interaction
+//! manager — shards that share no action can transition concurrently.
+//! Expressions that do not decompose fall back to a single shard holding the
+//! whole expression, so the sharded engine is a drop-in replacement for
+//! [`Engine`].
 
 use crate::engine::{Engine, WordStatus};
 use crate::error::StateResult;
-use crate::state::StateMetrics;
+use crate::state::{State, StateMetrics};
 use crate::trans::TransitionOptions;
 use ix_core::{Action, Alphabet, Expr, Partition, Symbol};
 use std::collections::BTreeMap;
 
-/// Precomputed `Action → shard` dispatch table.
+/// Precomputed `Action → owning shards` dispatch table.
 ///
 /// Candidate shards are indexed by the action's name and arity; the final
 /// membership test uses alphabet coverage (which handles parameterized
-/// abstract actions).  Because shard alphabets are pairwise disjoint, at
-/// most one shard covers any concrete action.
+/// abstract actions).  Shard alphabets may overlap, so an action can have
+/// zero, one, or several owners; owner lists are sorted ascending — the
+/// canonical locking order of the cross-shard two-phase commit.
 #[derive(Clone, Debug)]
 pub struct ShardRouter {
     by_signature: BTreeMap<(Symbol, usize), Vec<usize>>,
@@ -40,7 +49,8 @@ pub struct ShardRouter {
 }
 
 impl ShardRouter {
-    /// Builds a router over the given (pairwise disjoint) shard alphabets.
+    /// Builds a router over the given (possibly overlapping) shard
+    /// alphabets.
     pub fn new(alphabets: Vec<Alphabet>) -> ShardRouter {
         let mut by_signature: BTreeMap<(Symbol, usize), Vec<usize>> = BTreeMap::new();
         for (shard, alphabet) in alphabets.iter().enumerate() {
@@ -60,11 +70,38 @@ impl ShardRouter {
         self.alphabets.len()
     }
 
-    /// The shard owning the action, or `None` if no shard's alphabet covers
-    /// it (such actions are outside the expression's language).
+    /// The shards owning the action, in ascending order, without
+    /// materializing them — the allocation-free fast path for probes that
+    /// only need to walk or count the owners.  Empty iff no shard's alphabet
+    /// covers the action (such actions are outside the expression's
+    /// language).
+    pub fn owners_iter<'a>(&'a self, action: &'a Action) -> impl Iterator<Item = usize> + 'a {
+        // Candidate lists are built in ascending shard order.
+        self.by_signature
+            .get(&(action.name(), action.arity()))
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&s| self.alphabets[s].covers(action))
+    }
+
+    /// The shards owning the action, collected sorted ascending — the
+    /// canonical locking order of the cross-shard two-phase commit.
+    pub fn owners(&self, action: &Action) -> Vec<usize> {
+        self.owners_iter(action).collect()
+    }
+
+    /// The primary (lowest-id) owning shard of the action, or `None` if no
+    /// shard covers it.  The primary owner holds the action's log entries in
+    /// the sharded manager.
     pub fn route(&self, action: &Action) -> Option<usize> {
-        let candidates = self.by_signature.get(&(action.name(), action.arity()))?;
-        candidates.iter().copied().find(|&s| self.alphabets[s].covers(action))
+        self.owners_iter(action).next()
+    }
+
+    /// True if more than one shard owns the action (a cross-shard action
+    /// requiring two-phase commit).
+    pub fn is_shared(&self, action: &Action) -> bool {
+        self.owners_iter(action).nth(1).is_some()
     }
 
     /// The alphabet of a shard.
@@ -75,13 +112,18 @@ impl ShardRouter {
 
 /// An incremental evaluator running the sync-components of one expression as
 /// independent shards — the drop-in, parallelizable counterpart of
-/// [`Engine`].
+/// [`Engine`].  Cross-shard actions are executed atomically across all of
+/// their owners via the prepare/commit/abort protocol of [`Engine`].
 #[derive(Clone, Debug)]
 pub struct ShardedEngine {
     expr: Expr,
     shards: Vec<Engine>,
     router: ShardRouter,
-    unrouted_rejections: u64,
+    /// Whole-engine counters: one accepted/rejected tick per *action*, no
+    /// matter how many shards it touched — the same accounting as the
+    /// monolithic [`Engine`].
+    accepted: u64,
+    rejected: u64,
 }
 
 impl ShardedEngine {
@@ -103,7 +145,8 @@ impl ShardedEngine {
             expr: expr.clone(),
             shards,
             router: ShardRouter::new(alphabets),
-            unrouted_rejections: 0,
+            accepted: 0,
+            rejected: 0,
         })
     }
 
@@ -128,9 +171,14 @@ impl ShardedEngine {
         &self.router
     }
 
-    /// The shard owning an action, if any.
+    /// The primary owning shard of an action, if any.
     pub fn route(&self, action: &Action) -> Option<usize> {
         self.router.route(action)
+    }
+
+    /// All shards owning an action, sorted ascending.
+    pub fn owners(&self, action: &Action) -> Vec<usize> {
+        self.router.owners(action)
     }
 
     /// Aggregated metrics across all shards (sizes and alternative counts
@@ -171,26 +219,32 @@ impl ShardedEngine {
         }
     }
 
-    /// Total accepted (committed) actions across all shards.
+    /// Total accepted (committed) actions — one per action, matching the
+    /// monolithic engine even when an action touched several shards.
     pub fn accepted(&self) -> u64 {
-        self.shards.iter().map(Engine::accepted).sum()
+        self.accepted
     }
 
     /// Total rejected attempts (including actions no shard owns).
     pub fn rejected(&self) -> u64 {
-        self.unrouted_rejections + self.shards.iter().map(Engine::rejected).sum::<u64>()
+        self.rejected
     }
 
     /// Tentatively checks whether the action would currently be accepted,
-    /// without changing any state.  Only the owning shard is consulted.
+    /// without changing any state: the conjunction of the owning shards'
+    /// votes (false when no shard owns it).
     pub fn is_permitted(&self, action: &Action) -> bool {
         if !action.is_concrete() {
             return false;
         }
-        match self.router.route(action) {
-            Some(shard) => self.shards[shard].is_permitted(action),
-            None => false,
+        let mut owned = false;
+        for s in self.router.owners_iter(action) {
+            owned = true;
+            if !self.shards[s].is_permitted(action) {
+                return false;
+            }
         }
+        owned
     }
 
     /// Filters the permitted actions out of a candidate list.
@@ -198,20 +252,36 @@ impl ShardedEngine {
         candidates.iter().filter(|a| self.is_permitted(a)).collect()
     }
 
-    /// The accept/reject step of the action problem, performed on the owning
-    /// shard only.
+    /// The accept/reject step of the action problem: a two-phase step across
+    /// the owning shards.  Every owner prepares the tentative successor; the
+    /// successors are installed only if every owner voted yes, otherwise all
+    /// of them are dropped and no shard changes state.
     pub fn try_execute(&mut self, action: &Action) -> bool {
         if !action.is_concrete() {
-            self.unrouted_rejections += 1;
+            self.rejected += 1;
             return false;
         }
-        match self.router.route(action) {
-            Some(shard) => self.shards[shard].try_execute(action),
-            None => {
-                self.unrouted_rejections += 1;
-                false
+        let mut prepared: Vec<(usize, State)> = Vec::new();
+        for s in self.router.owners_iter(action) {
+            match self.shards[s].prepare(action) {
+                Some(next) => prepared.push((s, next)),
+                None => {
+                    // Abort: drop the successors prepared so far.
+                    self.rejected += 1;
+                    return false;
+                }
             }
         }
+        if prepared.is_empty() {
+            // No shard owns the action: outside α(x).
+            self.rejected += 1;
+            return false;
+        }
+        for (s, next) in prepared {
+            self.shards[s].commit_prepared(next);
+        }
+        self.accepted += 1;
+        true
     }
 
     /// Feeds a whole word, stopping at the first rejected action.  Returns
@@ -233,29 +303,25 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             shard.reset();
         }
-        self.unrouted_rejections = 0;
+        self.accepted = 0;
+        self.rejected = 0;
     }
 }
 
-/// Solves the word problem through the sharded kernel: the word is projected
-/// onto each component's alphabet, every projection is classified by its own
-/// shard, and the verdicts combine (all complete ⇒ complete, all at least
-/// partial ⇒ partial, otherwise illegal).  Equivalent to
-/// [`crate::engine::word_problem`]; exercised against it by the workspace
-/// property tests.
+/// Solves the word problem through the sharded kernel: every action is
+/// executed as an atomic step across its owning shards, and the verdicts
+/// combine (all complete ⇒ complete, all at least partial ⇒ partial,
+/// otherwise illegal).  Equivalent to [`crate::engine::word_problem`];
+/// exercised against it by the workspace property tests.
 pub fn sharded_word_problem(expr: &Expr, word: &[Action]) -> StateResult<WordStatus> {
     let mut engine = ShardedEngine::new(expr)?;
     for action in word {
-        if engine.route(action).is_none() {
-            // No component constrains the action: it is outside α(x) and the
-            // word cannot be a partial word.
-            return Ok(WordStatus::Illegal);
-        }
+        // An action no component owns is outside α(x), and a rejected action
+        // means the prefix consumed so far is not a partial word; Ψ is
+        // prefix-closed, hence no continuation can rescue the word
+        // (word_problem reaches the same verdict by feeding on and ending in
+        // an invalid state).  try_execute covers both cases.
         if !engine.try_execute(action) {
-            // The owning shard rejected it, so the prefix consumed so far is
-            // not a partial word; Ψ is prefix-closed, hence no continuation
-            // can rescue the word (word_problem reaches the same verdict by
-            // feeding on and ending in an invalid state).
             return Ok(WordStatus::Illegal);
         }
     }
@@ -280,6 +346,53 @@ mod tests {
         assert_eq!(engine.route(&a("a")), engine.route(&a("b")));
         assert_ne!(engine.route(&a("a")), engine.route(&a("c")));
         assert_eq!(engine.route(&a("z")), None);
+        assert!(engine.owners(&a("z")).is_empty());
+    }
+
+    #[test]
+    fn overlapping_coupling_shards_with_multi_owner_actions() {
+        // Four groups coupled through one global `audit` barrier: the old
+        // partition collapsed this to one shard; now it stays at four.
+        let e = parse(
+            "((a1 - b1)* - audit)* @ ((a2 - b2)* - audit)* \
+             @ ((a3 - b3)* - audit)* @ ((a4 - b4)* - audit)*",
+        )
+        .unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.shard_count(), 4);
+        assert_eq!(engine.owners(&a("audit")), vec![0, 1, 2, 3]);
+        assert!(engine.router().is_shared(&a("audit")));
+        assert!(!engine.router().is_shared(&a("a1")));
+        // All four groups are at a round boundary: audit commits everywhere.
+        assert!(engine.try_execute(&a("audit")));
+        // Start a case in group 2: the next audit must wait for b2.
+        assert!(engine.try_execute(&a("a2")));
+        assert!(!engine.is_permitted(&a("audit")));
+        assert!(!engine.try_execute(&a("audit")), "one owner votes no: atomic abort");
+        assert!(engine.try_execute(&a("b2")));
+        assert!(engine.try_execute(&a("audit")));
+        assert_eq!(engine.accepted(), 4);
+        assert_eq!(engine.rejected(), 1);
+    }
+
+    #[test]
+    fn aborted_multi_owner_step_changes_no_shard_state() {
+        let e = parse("((x - y)* - chk)* @ ((u - v)* - chk)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        assert!(engine.try_execute(&a("x")));
+        // chk is blocked by shard 0 (mid-case) but permitted by shard 1; the
+        // abort must leave shard 1 untouched.
+        let before: Vec<_> = (0..2).map(|s| engine.shard_metrics(s).size).collect();
+        assert!(!engine.try_execute(&a("chk")));
+        let after: Vec<_> = (0..2).map(|s| engine.shard_metrics(s).size).collect();
+        assert_eq!(before, after);
+        // Equivalence with the monolithic engine on the same schedule.
+        let mut mono = Engine::new(&e).unwrap();
+        for action in [a("x"), a("chk")] {
+            mono.try_execute(&action);
+        }
+        assert_eq!(engine.is_valid(), mono.is_valid());
+        assert_eq!(engine.is_final(), mono.is_final());
     }
 
     #[test]
@@ -311,6 +424,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_counters_match_monolithic_on_overlapping_expressions() {
+        let e = parse("(a - b)* @ (b - c)*").unwrap();
+        let mut sharded = ShardedEngine::new(&e).unwrap();
+        let mut mono = Engine::new(&e).unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        for action in [a("a"), a("b"), a("b"), a("c"), a("z")] {
+            assert_eq!(
+                sharded.try_execute(&action),
+                mono.try_execute(&action),
+                "disagreement on {action}"
+            );
+        }
+        // One tick per action even though `b` committed on two shards.
+        assert_eq!(sharded.accepted(), mono.accepted());
+        assert_eq!(sharded.rejected(), mono.rejected());
+    }
+
+    #[test]
     fn sharded_word_problem_agrees_with_monolithic() {
         let e = parse("(a - b)* @ (c - d)* | (e - f)*").unwrap();
         let words: Vec<Vec<Action>> = vec![
@@ -320,6 +451,26 @@ mod tests {
             vec![a("c"), a("a"), a("e"), a("b"), a("d"), a("f")],
             vec![a("b")],
             vec![a("a"), a("z")],
+        ];
+        for w in &words {
+            assert_eq!(
+                sharded_word_problem(&e, w).unwrap(),
+                word_problem(&e, w).unwrap(),
+                "disagreement on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_word_problem_agrees_on_cross_shard_actions() {
+        let e = parse("((a - b)* - audit)* @ ((c - d)* - audit)*").unwrap();
+        let words: Vec<Vec<Action>> = vec![
+            vec![a("audit")],
+            vec![a("a"), a("audit")],
+            vec![a("a"), a("b"), a("audit")],
+            vec![a("a"), a("b"), a("c"), a("d"), a("audit"), a("a")],
+            vec![a("audit"), a("audit")],
+            vec![a("z")],
         ];
         for w in &words {
             assert_eq!(
@@ -374,5 +525,15 @@ mod tests {
         assert!(!engine.is_permitted(&abstract_action));
         assert!(!engine.try_execute(&abstract_action));
         assert_eq!(engine.rejected(), 1);
+    }
+
+    #[test]
+    fn unknown_actions_are_counted_like_the_monolithic_engine() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut sharded = ShardedEngine::new(&e).unwrap();
+        let mut mono = Engine::new(&e).unwrap();
+        assert_eq!(sharded.try_execute(&a("zzz")), mono.try_execute(&a("zzz")));
+        assert_eq!(sharded.rejected(), mono.rejected());
+        assert_eq!(sharded.is_permitted(&a("zzz")), mono.is_permitted(&a("zzz")));
     }
 }

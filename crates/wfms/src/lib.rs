@@ -22,8 +22,8 @@ pub use adapt::{
 };
 pub use engine::{activity_action, EngineError, WorkflowEngine, WorklistItem};
 pub use medical::{
-    endoscopy, ensemble_constraint, ultrasonography, EnsembleSimulation, SimulationConfig,
-    SimulationReport,
+    coupled_audit, coupled_call, coupled_ensemble_constraint, coupled_perform, endoscopy,
+    ensemble_constraint, ultrasonography, EnsembleSimulation, SimulationConfig, SimulationReport,
 };
 pub use model::{
     ActivityDef, ActivityId, ActivityState, CaseData, Flow, WorkflowDefinition, WorkflowInstance,

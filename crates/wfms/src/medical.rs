@@ -78,6 +78,40 @@ pub fn ensemble_constraint() -> Expr {
     ix_graph::figures::fig7_expr()
 }
 
+/// A "mostly disjoint" ensemble of `departments` independent examination
+/// constraints coupled through one global `audit` action: every department
+/// enforces "each case is called before it is performed" over its own action
+/// names, and a hospital-wide audit may only run when *every* department is
+/// at a round boundary (no case mid-flight anywhere).
+///
+/// This is the workload shape the cross-shard refactor targets: the
+/// fine-grained partition keeps one shard per department — `audit` is a
+/// multi-owner action executed by two-phase commit across all of them —
+/// whereas the coarse (coalesced) partition would collapse the whole
+/// ensemble into a single critical region because of that one shared action.
+pub fn coupled_ensemble_constraint(departments: usize) -> Expr {
+    assert!(departments >= 1);
+    let group =
+        |k: usize| format!("((some p {{ call_dept{k}(p) - perform_dept{k}(p) }})* - audit)*");
+    let src = (0..departments).map(group).collect::<Vec<_>>().join(" @ ");
+    ix_core::parse(&src).expect("generated coupled-ensemble constraint")
+}
+
+/// The call action of case `p` in department `k` of the coupled ensemble.
+pub fn coupled_call(k: usize, p: i64) -> ix_core::Action {
+    ix_core::Action::concrete(&format!("call_dept{k}"), [ix_core::Value::int(p)])
+}
+
+/// The perform action of case `p` in department `k` of the coupled ensemble.
+pub fn coupled_perform(k: usize, p: i64) -> ix_core::Action {
+    ix_core::Action::concrete(&format!("perform_dept{k}"), [ix_core::Value::int(p)])
+}
+
+/// The global audit action coupled across every department of the ensemble.
+pub fn coupled_audit() -> ix_core::Action {
+    ix_core::Action::nullary("audit")
+}
+
 /// Configuration of the ensemble simulation.
 #[derive(Clone, Copy, Debug)]
 pub struct SimulationConfig {
@@ -225,6 +259,27 @@ mod tests {
         assert_eq!(report.completed, 2, "both examinations finish: {report:?}");
         assert!(report.starts >= 16, "every activity of both workflows started");
         assert!(report.manager_messages > 0);
+    }
+
+    #[test]
+    fn coupled_ensemble_shards_per_department_with_a_shared_audit() {
+        use ix_manager::{InteractionManager, ProtocolVariant};
+        let expr = coupled_ensemble_constraint(4);
+        let m = InteractionManager::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+        assert_eq!(m.shard_count(), 4, "one shared audit must not collapse the ensemble");
+        assert_eq!(m.owners_of(&coupled_audit()), vec![0, 1, 2, 3]);
+        // A round of cases in every department, then the hospital-wide audit.
+        for k in 0..4 {
+            assert!(m.try_execute(k as u64, &coupled_call(k, 1)).unwrap().is_some());
+            assert!(m.try_execute(k as u64, &coupled_perform(k, 1)).unwrap().is_some());
+        }
+        assert!(m.try_execute(9, &coupled_audit()).unwrap().is_some());
+        // Mid-case anywhere vetoes the next audit.
+        assert!(m.try_execute(0, &coupled_call(0, 2)).unwrap().is_some());
+        assert!(m.try_execute(9, &coupled_audit()).unwrap().is_none());
+        assert!(m.try_execute(0, &coupled_perform(0, 2)).unwrap().is_some());
+        assert!(m.try_execute(9, &coupled_audit()).unwrap().is_some());
+        assert!(m.is_final());
     }
 
     #[test]

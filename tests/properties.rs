@@ -9,6 +9,7 @@
 //! words) the paper uses.
 
 use ix_core::{parse, simplify, Expr, Value};
+use ix_manager::{InteractionManager, ProtocolVariant};
 use ix_semantics::{equivalent, Universe};
 use ix_state::{sharded_word_problem, word_problem, Engine, ShardedEngine};
 use proptest::prelude::*;
@@ -72,6 +73,38 @@ fn shardable_expr() -> impl Strategy<Value = Expr> {
     )
 }
 
+/// Strategy for expressions with *deliberately overlapping* alphabets: ⊗/‖
+/// chains whose operands draw from mostly disjoint pools but may each couple
+/// to the shared action `s`, so the fine-grained partition regularly
+/// produces multi-owner (cross-shard) actions.
+fn overlapping_expr() -> impl Strategy<Value = Expr> {
+    let shared = || parse("s").unwrap();
+    let pool = move |sources: &'static [&'static str]| {
+        let leaves: Vec<Expr> = sources.iter().map(|s| parse(s).unwrap()).collect();
+        let pair = Expr::seq(leaves[0].clone(), leaves[1].clone());
+        prop_oneof![
+            // Purely local operands…
+            Just(Expr::seq_iter(pair.clone())),
+            Just(Expr::or(leaves[0].clone(), leaves[1].clone())),
+            // …and operands coupled to the shared action.
+            Just(Expr::seq_iter(Expr::seq(Expr::seq_iter(pair.clone()), shared()))),
+            Just(Expr::seq_iter(Expr::or(leaves[0].clone(), shared()))),
+            Just(Expr::seq(pair, Expr::option(shared()))),
+        ]
+    };
+    let comp_a = pool(&["a", "b"]);
+    let comp_b = pool(&["c", "d"]);
+    let comp_c = pool(&["e(1)", "e(2)"]);
+    let joiner = prop_oneof![Just(true), Just(false)];
+    (comp_a, comp_b, comp_c, joiner.clone(), joiner).prop_map(
+        |(x, y, z, sync_first, sync_second)| {
+            let join =
+                |s: bool, l: Expr, r: Expr| if s { Expr::sync(l, r) } else { Expr::par(l, r) };
+            join(sync_second, join(sync_first, x, y), z)
+        },
+    )
+}
+
 fn word_strategy() -> impl Strategy<Value = Vec<ix_core::Action>> {
     let action = prop_oneof![
         Just(ix_core::Action::nullary("a")),
@@ -80,6 +113,7 @@ fn word_strategy() -> impl Strategy<Value = Vec<ix_core::Action>> {
         Just(ix_core::Action::nullary("d")),
         Just(ix_core::Action::concrete("e", [Value::int(1)])),
         Just(ix_core::Action::concrete("e", [Value::int(2)])),
+        Just(ix_core::Action::nullary("s")),
     ];
     proptest::collection::vec(action, 0..8)
 }
@@ -122,6 +156,47 @@ fn assert_shard_monolith_equivalence(
         x,
         ix_core::display_word(word)
     );
+    Ok(())
+}
+
+/// Drives the same word through the cross-shard [`InteractionManager`] and
+/// its monolithic (single-shard) counterpart and asserts identical
+/// accept/reject behaviour, word status, and log-order linearizability: the
+/// merged per-shard log must equal the accepted subsequence in submission
+/// order and replay verbatim on the monolithic manager.
+fn assert_manager_monolith_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let sharded = InteractionManager::with_protocol(x, ProtocolVariant::Combined).unwrap();
+    let mono = InteractionManager::monolithic(x, ProtocolVariant::Combined).unwrap();
+    let mut accepted = Vec::new();
+    for action in word {
+        prop_assert_eq!(
+            sharded.is_permitted(action),
+            mono.is_permitted(action),
+            "is_permitted disagrees on `{}` for {}",
+            x,
+            action
+        );
+        let s = sharded.try_execute(1, action).unwrap().is_some();
+        let m = mono.try_execute(1, action).unwrap().is_some();
+        prop_assert_eq!(s, m, "try_execute disagrees on `{}` for {}", x, action);
+        if s {
+            accepted.push(action.clone());
+        }
+        prop_assert_eq!(sharded.is_final(), mono.is_final());
+    }
+    prop_assert_eq!(sharded.log(), accepted, "log must linearize the accepted submissions");
+    prop_assert_eq!(sharded.log(), mono.log());
+    let (ss, ms) = (sharded.stats(), mono.stats());
+    prop_assert_eq!(ss.confirmations, ms.confirmations);
+    prop_assert_eq!(ss.denials, ms.denials);
+    // The log replays on a fresh monolithic manager: it is a legal word.
+    let replay = InteractionManager::monolithic(x, ProtocolVariant::Combined).unwrap();
+    for action in sharded.log() {
+        prop_assert!(replay.try_execute(9, &action).unwrap().is_some(), "log replay rejected");
+    }
     Ok(())
 }
 
@@ -192,6 +267,55 @@ proptest! {
         word in word_strategy(),
     ) {
         assert_shard_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn sharded_engine_matches_monolithic_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_shard_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn cross_shard_manager_matches_monolithic_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_manager_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn cross_shard_manager_matches_monolithic_on_shardable_expressions(
+        x in shardable_expr(),
+        word in word_strategy(),
+    ) {
+        assert_manager_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn batch_execution_matches_sequential_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        // try_execute_batch runs in submission order, so a mixed batch —
+        // including cross-shard actions interleaved with local ones — must
+        // produce exactly the outcomes of one-by-one submission.
+        let batched = InteractionManager::with_protocol(&x, ProtocolVariant::Combined).unwrap();
+        let sequential = InteractionManager::with_protocol(&x, ProtocolVariant::Combined).unwrap();
+        let result = batched.try_execute_batch(1, &word).unwrap();
+        for (i, action) in word.iter().enumerate() {
+            let expected = sequential.try_execute(1, action).unwrap().is_some();
+            prop_assert_eq!(
+                result.accepted[i],
+                expected,
+                "batch outcome diverges from sequential on `{}` at {} ({})",
+                x,
+                i,
+                action
+            );
+        }
+        prop_assert_eq!(batched.log(), sequential.log());
     }
 
     #[test]
