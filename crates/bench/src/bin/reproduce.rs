@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards] \
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async] \
 //!           [--check]
 //! ```
 //!
@@ -15,7 +15,10 @@
 //! With `--check`, the `shards` section additionally validates the emitted
 //! `BENCH_shards.json` (structure plus the invariant that the sharded
 //! manager is at least as fast as the monolithic baseline at 0% overlap)
-//! and exits non-zero on failure — the CI bench smoke step.
+//! and the `async` section validates `BENCH_async.json` (structure plus the
+//! invariant that the pipelined session runtime keeps up with the blocking
+//! sharded manager at 4 and 8 shards); both exit non-zero on failure — the
+//! CI bench smoke steps.
 
 use ix_bench::*;
 use ix_core::{display_word, Action, Value};
@@ -72,6 +75,12 @@ fn main() {
         shards();
         if check {
             check_shards_report("BENCH_shards.json");
+        }
+    }
+    if all || arg == "async" {
+        async_runtime();
+        if check {
+            check_async_report("BENCH_async.json");
         }
     }
 }
@@ -445,16 +454,88 @@ fn shards() {
     println!("\nwrote BENCH_shards.json");
 }
 
-/// The CI bench smoke check: re-reads the emitted report, validates its
-/// structure, and fails (exit 1) when the sharded manager regressed below
-/// the monolithic baseline on the 0%-overlap workload — the regime sharding
-/// exists for.
-fn check_shards_report(path: &str) {
+/// The session-runtime experiment: the pipelined ticket surface vs the
+/// blocking sharded manager, one client per component driving a
+/// conflict-free schedule — both surfaces decide identical work.
+/// Emits the machine-readable `BENCH_async.json`.
+fn async_runtime() {
+    heading("Async runtime — pipelined sessions vs the blocking sharded manager");
+    let cases_per_thread = 400;
+    let window = 64;
+    let mut rows = Vec::new();
+    println!(
+        "{:>7} {:>8} {:>8} {:>13} {:>13} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "shards",
+        "threads",
+        "overlap",
+        "blocking/s",
+        "runtime/s",
+        "speedup",
+        "blk p50µs",
+        "blk p99µs",
+        "rt p50µs",
+        "rt p99µs"
+    );
+    for components in [1usize, 4, 8] {
+        for pct in [0u32, 25] {
+            let (blocking, runtime) =
+                pipelined_vs_blocking(components, cases_per_thread, pct, window);
+            let speedup = runtime.throughput() / blocking.throughput().max(f64::MIN_POSITIVE);
+            println!(
+                "{:>7} {:>8} {:>7}% {:>13.0} {:>13.0} {:>7.2}x {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                components,
+                blocking.contention.threads,
+                pct,
+                blocking.throughput(),
+                runtime.throughput(),
+                speedup,
+                blocking.p50_micros(),
+                blocking.p99_micros(),
+                runtime.p50_micros(),
+                runtime.p99_micros(),
+            );
+            rows.push(format!(
+                "    {{\"components\": {components}, \"threads\": {}, \
+                 \"overlap_percent\": {pct}, \"window\": {window}, \
+                 \"blocking_throughput\": {:.1}, \"runtime_throughput\": {:.1}, \
+                 \"speedup\": {:.3}, \
+                 \"blocking_p50_us\": {:.1}, \"blocking_p99_us\": {:.1}, \
+                 \"runtime_p50_us\": {:.1}, \"runtime_p99_us\": {:.1}}}",
+                blocking.contention.threads,
+                blocking.throughput(),
+                runtime.throughput(),
+                speedup,
+                blocking.p50_micros(),
+                blocking.p99_micros(),
+                runtime.p50_micros(),
+                runtime.p99_micros(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"session runtime vs blocking sharded manager\",\n  \
+          \"workload\": \"pipelined call/perform pairs, one client per component, \
+          {cases_per_thread} cases per client, submission window {window}; runtime latency \
+          includes queueing delay\",\n  \
+          \"async\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_async.json", &json).expect("write BENCH_async.json");
+    println!("\nwrote BENCH_async.json");
+}
+
+/// The async CI bench smoke: validates `BENCH_async.json` and fails when
+/// the pipelined runtime falls behind the blocking sharded manager on the
+/// contended (0%-overlap) workload at 4 or 8 shards — the regime the
+/// session runtime exists for.
+/// Reads a report file and validates its gross structure: balanced
+/// braces/brackets and the presence of the required keys.  Shared by both
+/// bench smoke checks.
+fn read_validated_report(path: &str, required_keys: &[&str]) -> String {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => die(&format!("cannot read {path}: {e}")),
     };
-    // Structural validation: balanced braces/brackets and the required keys.
     let mut depth: i64 = 0;
     for c in text.chars() {
         match c {
@@ -471,13 +552,56 @@ fn check_shards_report(path: &str) {
     if depth != 0 {
         die(&format!("{path} is malformed: unbalanced braces"));
     }
-    for key in
-        ["\"experiment\"", "\"manager_contended\"", "\"engine_single_thread\"", "\"overlap\""]
-    {
+    for key in required_keys {
         if !text.contains(key) {
             die(&format!("{path} is malformed: missing {key}"));
         }
     }
+    text
+}
+
+fn check_async_report(path: &str) {
+    let text = read_validated_report(path, &["\"experiment\"", "\"async\"", "\"runtime_p99_us\""]);
+    let mut checked = 0usize;
+    for row in text.split('{').filter(|r| r.contains("\"overlap_percent\": 0")) {
+        let components = json_number(row, "components")
+            .unwrap_or_else(|| die(&format!("{path}: async row without components")));
+        if components < 4.0 {
+            continue;
+        }
+        let blocking = json_number(row, "blocking_throughput")
+            .unwrap_or_else(|| die(&format!("{path}: async row without blocking_throughput")));
+        let runtime = json_number(row, "runtime_throughput")
+            .unwrap_or_else(|| die(&format!("{path}: async row without runtime_throughput")));
+        if !(blocking.is_finite() && runtime.is_finite() && blocking > 0.0 && runtime > 0.0) {
+            die(&format!("{path}: non-finite or zero throughput in async row: {}", row.trim()));
+        }
+        // 10% noise margin, as for the shards check: the regression this
+        // guards against (the runtime serializing or losing pipelining)
+        // shows up as a multiple, not a few percent.
+        if runtime < 0.9 * blocking {
+            die(&format!(
+                "pipelined runtime throughput fell behind the blocking sharded manager at \
+                 0% overlap ({components} components): {runtime:.0}/s < 0.9 * {blocking:.0}/s"
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!("{path}: no 0%-overlap rows with >=4 components to check"));
+    }
+    println!("check passed: {checked} contended configurations, runtime >= 0.9x blocking in all");
+}
+
+/// The CI bench smoke check: re-reads the emitted report, validates its
+/// structure, and fails (exit 1) when the sharded manager regressed below
+/// the monolithic baseline on the 0%-overlap workload — the regime sharding
+/// exists for.
+fn check_shards_report(path: &str) {
+    let text = read_validated_report(
+        path,
+        &["\"experiment\"", "\"manager_contended\"", "\"engine_single_thread\"", "\"overlap\""],
+    );
     // Every 0%-overlap row of a sharded configuration must show the sharded
     // manager at or above the monolithic baseline.
     let mut checked = 0usize;
@@ -523,7 +647,7 @@ fn json_number(fragment: &str, key: &str) -> Option<f64> {
 }
 
 fn die(message: &str) -> ! {
-    eprintln!("reproduce shards --check: {message}");
+    eprintln!("reproduce --check: {message}");
     std::process::exit(1);
 }
 

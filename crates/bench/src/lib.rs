@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod contended;
+pub mod pipelined;
 pub mod workloads;
 
 pub use contended::*;
+pub use pipelined::*;
 pub use workloads::*;
 
 use ix_core::{Action, Expr};

@@ -1,0 +1,287 @@
+//! The pipelined session-runtime workload: runtime-with-tickets vs the
+//! blocking sharded manager.
+//!
+//! The blocking surface forces every client into a synchronous round trip —
+//! submit, wait, submit, wait — so a client's throughput is bounded by
+//! 1/latency even when its shard is idle between its requests.  A session of
+//! the [`ManagerRuntime`] instead returns a completion ticket per
+//! submission, so a client keeps a *window* of requests in flight and the
+//! shard worker is never starved by its clients' round trips.
+//!
+//! The workload reuses the overlap-ratio constraint of
+//! [`crate::contended`]: `components` department groups, each client
+//! hammering its own group with call/perform pairs, and (at nonzero overlap
+//! ratios) a globally shared `audit` barrier executed as a cross-shard
+//! commit — on the runtime, as ordered enqueues onto every owner's queue.
+//! One client per component drives a conflict-free local schedule, so both
+//! surfaces decide and commit exactly the same work; the comparison
+//! isolates the cost of the surface itself (lock round trips vs queue +
+//! ticket round trips).
+//!
+//! Latency is measured per submission: for the blocking manager the duration
+//! of the call, for the runtime the time from submission to the harvest of
+//! the completion ticket (which includes queueing delay — the honest price
+//! of pipelining, reported as p50/p99).
+
+use crate::contended::{overlap_constraint, ContentionReport};
+use ix_core::Action;
+use ix_manager::{
+    Completion, InteractionManager, ManagerRuntime, ProtocolVariant, RuntimeOptions, Session,
+    Ticket,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one pipelined run: the contended report plus per-submission
+/// latencies.
+#[derive(Clone, Debug)]
+pub struct LatencyReport {
+    /// Throughput-side numbers (threads, shards, committed, elapsed).
+    pub contention: ContentionReport,
+    /// Per-submission latencies in nanoseconds, unsorted.
+    pub latencies_nanos: Vec<u64>,
+}
+
+impl LatencyReport {
+    /// Committed actions per second.
+    pub fn throughput(&self) -> f64 {
+        self.contention.throughput()
+    }
+
+    /// The `q`-quantile latency in microseconds (q in [0, 1]).
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        if self.latencies_nanos.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_nanos.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank] as f64 / 1000.0
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_micros(&self) -> f64 {
+        self.quantile_micros(0.50)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_micros(&self) -> f64 {
+        self.quantile_micros(0.99)
+    }
+}
+
+/// The per-client schedule of the overlap workload: call/perform pairs on
+/// the client's own component, with one `audit` submission interleaved per
+/// 100 accumulated overlap points (identical to [`crate::contended::run_overlap`]).
+fn client_schedule(
+    component: usize,
+    offset: i64,
+    cases: usize,
+    overlap_percent: u32,
+) -> Vec<Action> {
+    let audit = ix_wfms::coupled_audit();
+    let mut schedule = Vec::with_capacity(cases * 2);
+    let mut acc = 0u32;
+    for p in 0..cases as i64 {
+        for action in [
+            ix_wfms::coupled_call(component, offset + p),
+            ix_wfms::coupled_perform(component, offset + p),
+        ] {
+            schedule.push(action);
+            acc += overlap_percent;
+            if acc >= 100 {
+                acc -= 100;
+                schedule.push(audit.clone());
+            }
+        }
+    }
+    schedule
+}
+
+/// Drives the schedule through the blocking manager, one synchronous
+/// `try_execute` per action, timing each call.
+pub fn run_blocking_latency(
+    manager: Arc<InteractionManager>,
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    overlap_percent: u32,
+) -> LatencyReport {
+    let shards = manager.shard_count();
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let manager = Arc::clone(&manager);
+        handles.push(std::thread::spawn(move || {
+            let schedule = client_schedule(
+                t % components,
+                (t * cases_per_thread) as i64,
+                cases_per_thread,
+                overlap_percent,
+            );
+            let mut committed = 0u64;
+            let mut latencies = Vec::with_capacity(schedule.len());
+            for action in &schedule {
+                let t0 = Instant::now();
+                if manager.try_execute(t as u64, action).expect("concrete").is_some() {
+                    committed += 1;
+                }
+                latencies.push(t0.elapsed().as_nanos() as u64);
+            }
+            (committed, latencies)
+        }));
+    }
+    collect(handles, threads, shards, started)
+}
+
+/// Drives the schedule through runtime sessions with `window` submissions in
+/// flight per client: submit until the window is full, then harvest the
+/// oldest ticket before submitting the next.
+pub fn run_pipelined_latency(
+    runtime: Arc<ManagerRuntime>,
+    components: usize,
+    threads: usize,
+    cases_per_thread: usize,
+    overlap_percent: u32,
+    window: usize,
+) -> LatencyReport {
+    let shards = runtime.shard_count();
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let session: Session = runtime.session(t as u64);
+        handles.push(std::thread::spawn(move || {
+            let schedule = client_schedule(
+                t % components,
+                (t * cases_per_thread) as i64,
+                cases_per_thread,
+                overlap_percent,
+            );
+            let mut committed = 0u64;
+            let mut latencies = Vec::with_capacity(schedule.len());
+            let mut in_flight: VecDeque<(Instant, Ticket<Completion>)> =
+                VecDeque::with_capacity(window);
+            let harvest = |(submitted, ticket): (Instant, Ticket<Completion>),
+                           committed: &mut u64,
+                           latencies: &mut Vec<u64>| {
+                if matches!(ticket.wait(), Completion::Executed { .. }) {
+                    *committed += 1;
+                }
+                latencies.push(submitted.elapsed().as_nanos() as u64);
+            };
+            for action in &schedule {
+                if in_flight.len() >= window {
+                    let oldest = in_flight.pop_front().expect("window is non-empty");
+                    harvest(oldest, &mut committed, &mut latencies);
+                }
+                in_flight.push_back((Instant::now(), session.execute(action)));
+            }
+            for pending in in_flight {
+                harvest(pending, &mut committed, &mut latencies);
+            }
+            (committed, latencies)
+        }));
+    }
+    collect(handles, threads, shards, started)
+}
+
+type ClientHandleResult = std::thread::JoinHandle<(u64, Vec<u64>)>;
+
+fn collect(
+    handles: Vec<ClientHandleResult>,
+    threads: usize,
+    shards: usize,
+    started: Instant,
+) -> LatencyReport {
+    let mut committed = 0u64;
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let (c, mut l) = handle.join().expect("client thread");
+        committed += c;
+        latencies.append(&mut l);
+    }
+    LatencyReport {
+        contention: ContentionReport { threads, shards, committed, elapsed: started.elapsed() },
+        latencies_nanos: latencies,
+    }
+}
+
+/// Convenience pair: the same pipelined workload against the blocking
+/// sharded manager and the session runtime, both enforcing the same
+/// constraint, one client per component (`threads = components`): the
+/// schedules are conflict-free, so both surfaces commit identical work and
+/// the numbers compare the surfaces, not the luck of interleavings.
+pub fn pipelined_vs_blocking(
+    components: usize,
+    cases_per_thread: usize,
+    overlap_percent: u32,
+    window: usize,
+) -> (LatencyReport, LatencyReport) {
+    let threads = components;
+    let expr = overlap_constraint(components, overlap_percent);
+    let blocking = Arc::new(
+        InteractionManager::with_protocol(&expr, ProtocolVariant::Combined)
+            .expect("valid constraint"),
+    );
+    let runtime = Arc::new(
+        ManagerRuntime::with_options(
+            &expr,
+            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() },
+        )
+        .expect("valid constraint"),
+    );
+    let blocking_report =
+        run_blocking_latency(blocking, components, threads, cases_per_thread, overlap_percent);
+    let runtime_report = run_pipelined_latency(
+        runtime,
+        components,
+        threads,
+        cases_per_thread,
+        overlap_percent,
+        window,
+    );
+    (blocking_report, runtime_report)
+}
+
+/// A tiny smoke helper for tests: total wall time of one pipelined run.
+pub fn pipelined_smoke(components: usize, cases: usize) -> Duration {
+    let (_, runtime) = pipelined_vs_blocking(components, cases, 0, 16);
+    runtime.contention.elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_surfaces_commit_every_local_action() {
+        for pct in [0u32, 25] {
+            let (blocking, runtime) = pipelined_vs_blocking(2, 6, pct, 8);
+            // 2 clients x 6 cases x 2 actions, conflict-free by
+            // construction; audits may add a few commits.
+            assert!(blocking.contention.committed >= 2 * 6 * 2, "blocking at {pct}%");
+            assert!(runtime.contention.committed >= 2 * 6 * 2, "runtime at {pct}%");
+            assert_eq!(
+                blocking.latencies_nanos.len(),
+                runtime.latencies_nanos.len(),
+                "same number of submissions on both surfaces"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_quantiles_are_ordered() {
+        let (blocking, runtime) = pipelined_vs_blocking(2, 8, 0, 8);
+        for report in [&blocking, &runtime] {
+            assert!(report.p50_micros() <= report.p99_micros());
+            assert!(report.p99_micros() > 0.0);
+            assert!(report.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn smoke_runs_quickly() {
+        assert!(pipelined_smoke(2, 4) < Duration::from_secs(30));
+    }
+}

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// Errors raised by the interaction manager and its protocol machinery.
-#[derive(Debug)]
+/// Cloneable so runtime completion tickets can hand the same error to every
+/// waiter.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ManagerError {
     /// The interaction expression was rejected by the state model.
     State(ix_state::StateError),

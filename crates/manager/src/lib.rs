@@ -29,11 +29,17 @@ pub mod manager;
 pub mod multi;
 pub mod protocol;
 pub mod queue;
+pub mod runtime;
 pub mod subscription;
+pub mod ticket;
+pub mod timer;
 
 pub use error::{ManagerError, ManagerResult};
 pub use manager::{BatchResult, InteractionManager, ManagerStats, ProtocolVariant, Reservation};
 pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::DurableQueue;
+pub use runtime::{ClockMode, Completion, ManagerRuntime, RuntimeOptions, RuntimeReport, Session};
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
+pub use ticket::{Ticket, TicketIssuer};
+pub use timer::{TimerId, TimerWheel};

@@ -152,20 +152,10 @@ impl Shard {
     /// own the probed action cannot conflict with it — their component never
     /// observes it — which is why this probe never needs to leave the shard.
     fn permitted_considering_reservations(&self, action: &Action) -> bool {
-        if self.reservations.is_empty() {
-            return self.engine.is_permitted(action);
-        }
         // Simulate the reserved actions first (in grant order), then the
-        // requested one.
-        let mut probe = self.engine.clone();
-        for r in self.reservations.values() {
-            if !probe.try_execute(&r.action) {
-                // The reservation itself is no longer executable (should not
-                // happen unless a lease expired); ignore it for the probe.
-                continue;
-            }
-        }
-        probe.is_permitted(action)
+        // requested one — without cloning the engine (hot path: this probe
+        // runs once per owner per ask/execute).
+        self.engine.permitted_after(self.reservations.values().map(|r| &r.action), action)
     }
 }
 
@@ -176,46 +166,46 @@ impl Shard {
 /// bits (the other owners' engines did not move) and notifies when the
 /// conjunction flips.
 #[derive(Clone, Debug)]
-struct CrossEntry {
+pub(crate) struct CrossEntry {
     /// Owning shards, ascending.
-    owners: Vec<usize>,
+    pub(crate) owners: Vec<usize>,
     /// Last observed per-owner permissibility, aligned with `owners`.
-    bits: Vec<bool>,
+    pub(crate) bits: Vec<bool>,
     /// Subscribed clients (sorted, deduplicated).
-    clients: Vec<ClientId>,
+    pub(crate) clients: Vec<ClientId>,
     /// Cached conjunction of `bits` — the last status reported to clients.
-    permitted: bool,
+    pub(crate) permitted: bool,
 }
 
 /// Registry of cross-shard subscriptions, indexed by owning shard so a
 /// commit probes only the entries co-owned by a shard it touched.
 #[derive(Clone, Debug, Default)]
-struct CrossSubscriptions {
-    entries: BTreeMap<Action, CrossEntry>,
+pub(crate) struct CrossSubscriptions {
+    pub(crate) entries: BTreeMap<Action, CrossEntry>,
     /// shard -> cross-subscribed actions the shard co-owns.
-    by_shard: BTreeMap<usize, BTreeSet<Action>>,
+    pub(crate) by_shard: BTreeMap<usize, BTreeSet<Action>>,
 }
 
 impl CrossSubscriptions {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.entries.values().map(|e| e.clients.len()).sum()
     }
 }
 
 /// Lock-free running counters behind [`ManagerStats`].
 #[derive(Debug, Default)]
-struct SharedStats {
-    asks: AtomicU64,
-    grants: AtomicU64,
-    denials: AtomicU64,
-    confirmations: AtomicU64,
-    expired_reservations: AtomicU64,
-    aborted_reservations: AtomicU64,
-    notifications: AtomicU64,
+pub(crate) struct SharedStats {
+    pub(crate) asks: AtomicU64,
+    pub(crate) grants: AtomicU64,
+    pub(crate) denials: AtomicU64,
+    pub(crate) confirmations: AtomicU64,
+    pub(crate) expired_reservations: AtomicU64,
+    pub(crate) aborted_reservations: AtomicU64,
+    pub(crate) notifications: AtomicU64,
 }
 
 impl SharedStats {
-    fn snapshot(&self) -> ManagerStats {
+    pub(crate) fn snapshot(&self) -> ManagerStats {
         ManagerStats {
             asks: self.asks.load(Ordering::Relaxed),
             grants: self.grants.load(Ordering::Relaxed),
@@ -872,6 +862,25 @@ impl InteractionManager {
         // the interaction state and the log are.
         manager.stats.confirmations.store(log.len() as u64, Ordering::Relaxed);
         Ok(manager)
+    }
+
+    /// Overwrites the statistics counters (used by the protocol adapter to
+    /// hand back the runtime's statistics on a manager rebuilt from the
+    /// runtime's log).
+    pub(crate) fn restore_stats(&self, stats: ManagerStats) {
+        self.stats.asks.store(stats.asks, Ordering::Relaxed);
+        self.stats.grants.store(stats.grants, Ordering::Relaxed);
+        self.stats.denials.store(stats.denials, Ordering::Relaxed);
+        self.stats.confirmations.store(stats.confirmations, Ordering::Relaxed);
+        self.stats.expired_reservations.store(stats.expired_reservations, Ordering::Relaxed);
+        self.stats.aborted_reservations.store(stats.aborted_reservations, Ordering::Relaxed);
+        self.stats.notifications.store(stats.notifications, Ordering::Relaxed);
+    }
+
+    /// Sets the logical clock (protocol-adapter counterpart of
+    /// [`InteractionManager::restore_stats`]).
+    pub(crate) fn restore_clock(&self, now: u64) {
+        self.clock.store(now, Ordering::Relaxed);
     }
 }
 

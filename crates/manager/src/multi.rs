@@ -13,9 +13,16 @@ use crate::error::{ManagerError, ManagerResult};
 use crate::manager::{InteractionManager, ProtocolVariant};
 use crate::subscription::{ClientId, Notification};
 use ix_core::{Action, Alphabet, Expr};
+use std::sync::Arc;
 
 /// A federation of interaction managers, each responsible for one
 /// interaction expression.
+///
+/// Members are held through shared handles (`Arc<InteractionManager>`), and
+/// every query/execution entry point takes `&self` — a federation is usable
+/// from multiple threads exactly like a single manager: wrap it in an `Arc`
+/// and clone the handle.  Cloning a federation shares its members (the
+/// member managers are the live schedulers, not snapshots).
 #[derive(Clone, Debug)]
 pub struct ManagerFederation {
     members: Vec<FederationMember>,
@@ -25,7 +32,7 @@ pub struct ManagerFederation {
 struct FederationMember {
     name: String,
     alphabet: Alphabet,
-    manager: InteractionManager,
+    manager: Arc<InteractionManager>,
 }
 
 impl ManagerFederation {
@@ -46,13 +53,18 @@ impl ManagerFederation {
         expr: &Expr,
         variant: ProtocolVariant,
     ) -> ManagerResult<()> {
-        let manager = InteractionManager::with_protocol(expr, variant)?;
+        let manager = Arc::new(InteractionManager::with_protocol(expr, variant)?);
         self.members.push(FederationMember {
             name: name.to_string(),
             alphabet: expr.alphabet(),
             manager,
         });
         Ok(())
+    }
+
+    /// The shared handle of a member manager, by name.
+    pub fn member(&self, name: &str) -> Option<Arc<InteractionManager>> {
+        self.members.iter().find(|m| m.name == name).map(|m| Arc::clone(&m.manager))
     }
 
     /// Number of member managers.
@@ -85,7 +97,7 @@ impl ManagerFederation {
     /// Returns `None` if some manager denied, otherwise the notifications of
     /// all managers.
     pub fn try_execute(
-        &mut self,
+        &self,
         client: ClientId,
         action: &Action,
     ) -> ManagerResult<Option<Vec<Notification>>> {
@@ -96,13 +108,17 @@ impl ManagerFederation {
             return Ok(None);
         }
         let mut notifications = Vec::new();
-        for member in &mut self.members {
+        for member in &self.members {
             if member.alphabet.covers(action) {
                 match member.manager.try_execute(client, action)? {
                     Some(mut n) => notifications.append(&mut n),
                     None => {
-                        // Cannot happen: permission was checked above and
-                        // single-threaded execution means no interleaving.
+                        // A concurrent client changed some member's state
+                        // between the permission check and this commit; the
+                        // already-committed members keep their transitions
+                        // (the federation's members are independent
+                        // constraints, not a distributed transaction), and
+                        // the caller observes a rejection.
                         return Err(ManagerError::RejectedConfirmation {
                             action: action.to_string(),
                         });
@@ -115,9 +131,9 @@ impl ManagerFederation {
 
     /// Subscribes a client to an action at every responsible manager and
     /// returns whether the action is currently permitted overall.
-    pub fn subscribe(&mut self, client: ClientId, action: &Action) -> bool {
+    pub fn subscribe(&self, client: ClientId, action: &Action) -> bool {
         let mut permitted = true;
-        for member in &mut self.members {
+        for member in &self.members {
             if member.alphabet.covers(action) {
                 permitted &= member.manager.subscribe(client, action);
             }
@@ -180,7 +196,7 @@ mod tests {
 
     #[test]
     fn execution_requires_agreement_of_all_responsible_managers() {
-        let mut fed = federation();
+        let fed = federation();
         // Fill the capacity of department sono with two different patients.
         assert!(fed.try_execute(1, &call(1, "sono")).unwrap().is_some());
         assert!(fed.try_execute(1, &call(2, "sono")).unwrap().is_some());
@@ -198,12 +214,54 @@ mod tests {
 
     #[test]
     fn federation_subscriptions_aggregate_status() {
-        let mut fed = federation();
+        let fed = federation();
         assert!(fed.subscribe(9, &call(1, "sono")));
         let notes = fed.try_execute(1, &call(1, "sono")).unwrap().unwrap();
         // Both managers notify the subscriber that the action is no longer
         // permitted (it is mid-examination / occupies a slot).
         assert!(notes.iter().any(|n| n.client == 9 && !n.permitted));
+    }
+
+    #[test]
+    fn shared_federation_serves_concurrent_clients() {
+        // The &self surface: one federation behind an Arc, many threads.
+        let fed = Arc::new(federation());
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let fed = Arc::clone(&fed);
+            handles.push(std::thread::spawn(move || {
+                // Each thread drives its own patient through one
+                // examination; the capacity-2 constraint throttles but the
+                // patient constraint never blocks distinct patients.
+                let dept = if t % 2 == 0 { "sono" } else { "endo" };
+                let mut committed = 0u64;
+                for _ in 0..50 {
+                    if fed.try_execute(t as u64, &call(t, dept)).unwrap_or(None).is_some() {
+                        committed += 1;
+                        assert!(fed
+                            .try_execute(t as u64, &perform(t, dept))
+                            .unwrap_or(None)
+                            .is_some());
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                committed
+            }));
+        }
+        let committed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(committed, 4, "every client eventually got its call through");
+        assert_eq!(fed.total_confirmations(), 16, "4 clients x call+perform x 2 managers");
+    }
+
+    #[test]
+    fn member_handles_are_shared() {
+        let fed = federation();
+        let patients = fed.member("patients").expect("member exists");
+        assert!(fed.member("nonexistent").is_none());
+        assert!(fed.try_execute(1, &call(1, "sono")).unwrap().is_some());
+        // The handle observes the federation's commits: same live manager.
+        assert_eq!(patients.stats().confirmations, 1);
     }
 
     #[test]

@@ -1,21 +1,31 @@
-//! Message-based coordination protocol between clients and a manager server.
+//! Message-based coordination protocol between clients and a manager server
+//! — now a thin compatibility adapter over the session runtime.
 //!
-//! [`ManagerServer`] runs an [`InteractionManager`] on its own thread and
-//! serves requests arriving on a channel; [`ClientHandle`] is the
-//! client-side endpoint used by adapted worklist handlers or workflow
-//! engines (Fig. 11).  The message vocabulary follows Fig. 10: ask, confirm,
-//! combined execute, subscribe and unsubscribe; subscribers receive
-//! asynchronous status-change messages on their own notification channel.
+//! **Deprecation note.**  [`ManagerServer`] and [`ClientHandle`] predate the
+//! session-oriented [`ManagerRuntime`]: the original implementation ran one
+//! server thread funneling *every* request through a single channel, which
+//! serialized exactly the work the sharded kernel parallelizes.  The types
+//! are kept with their original signatures so existing clients keep
+//! compiling, but they are now a veneer: a `ManagerServer` owns a
+//! [`ManagerRuntime`] (one worker and one ordered task queue per shard), a
+//! `ClientHandle` wraps a [`Session`], and each blocking call is a submit +
+//! ticket wait.  New code should use [`ManagerRuntime`]/[`Session`] directly
+//! and keep several tickets in flight instead of blocking per call.
+//!
+//! The message vocabulary of Fig. 10 ([`Request`]/[`Reply`]) is retained as
+//! the wire-format documentation of the protocol; the adapter no longer
+//! routes through it.
 
 use crate::error::{ManagerError, ManagerResult};
 use crate::manager::{InteractionManager, ProtocolVariant};
+use crate::runtime::{Completion, ManagerRuntime, Session};
 use crate::subscription::{ClientId, Notification};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::Sender;
 use ix_core::{Action, Expr};
-use std::collections::HashMap;
-use std::thread::JoinHandle;
 
 /// A request from a client to the manager (steps 1 and 4 of Fig. 10).
+/// Retained as protocol documentation; the adapter submits runtime tasks
+/// directly.
 #[derive(Clone, Debug)]
 pub enum Request {
     /// Attach the channel on which a client wants to receive asynchronous
@@ -96,93 +106,80 @@ pub enum Reply {
     },
 }
 
-struct Envelope {
-    request: Request,
-    reply_to: Option<Sender<Reply>>,
-}
-
-/// The server side: owns the manager and the notification channels.
+/// The server side: a compatibility shell around [`ManagerRuntime`].
 pub struct ManagerServer {
-    requests: Sender<Envelope>,
-    handle: Option<JoinHandle<InteractionManager>>,
+    runtime: ManagerRuntime,
+    expr: Expr,
+    variant: ProtocolVariant,
 }
 
 impl ManagerServer {
-    /// Spawns a manager server for the given expression and protocol.
+    /// Spawns a manager server (one runtime worker per shard) for the given
+    /// expression and protocol.
     pub fn spawn(expr: &Expr, variant: ProtocolVariant) -> ManagerResult<ManagerServer> {
-        let manager = InteractionManager::with_protocol(expr, variant)?;
-        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
-        let handle = std::thread::spawn(move || serve(manager, rx));
-        Ok(ManagerServer { requests: tx, handle: Some(handle) })
+        let runtime = ManagerRuntime::with_protocol(expr, variant)?;
+        Ok(ManagerServer { runtime, expr: expr.clone(), variant })
     }
 
     /// Creates a client endpoint with its own notification channel.
     pub fn client(&self, id: ClientId) -> ClientHandle {
-        let (note_tx, note_rx) = unbounded();
-        let _ = self.requests.send(Envelope {
-            request: Request::RegisterChannel { client: id, sender: note_tx },
-            reply_to: None,
-        });
-        ClientHandle { id, requests: self.requests.clone(), notifications: note_rx }
+        ClientHandle { session: self.runtime.session(id) }
     }
 
-    /// Stops the server and returns the final manager (with its state, log
-    /// and statistics).
-    pub fn shutdown(mut self) -> ManagerResult<InteractionManager> {
-        let _ = self.requests.send(Envelope { request: Request::Shutdown, reply_to: None });
-        match self.handle.take() {
-            Some(h) => h.join().map_err(|_| ManagerError::Disconnected),
-            None => Err(ManagerError::Disconnected),
-        }
+    /// The runtime behind the compatibility surface (for code migrating to
+    /// sessions and tickets).
+    pub fn runtime(&self) -> &ManagerRuntime {
+        &self.runtime
+    }
+
+    /// Stops the server and returns the final manager state: an
+    /// [`InteractionManager`] rebuilt from the runtime's merged log, with
+    /// the runtime's statistics and clock restored.  Reservations still
+    /// pending at shutdown are not carried over (the blocking server
+    /// dropped them identically — they lived in the dying thread).
+    pub fn shutdown(self) -> ManagerResult<InteractionManager> {
+        let report = self.runtime.shutdown()?;
+        let manager = InteractionManager::recover(&self.expr, self.variant, &report.log)?;
+        manager.restore_stats(report.stats);
+        manager.restore_clock(report.clock);
+        Ok(manager)
     }
 }
 
-/// The client-side endpoint of the coordination protocol.
+/// The client-side endpoint of the coordination protocol: a blocking facade
+/// over a runtime [`Session`].
 pub struct ClientHandle {
-    id: ClientId,
-    requests: Sender<Envelope>,
-    notifications: Receiver<Notification>,
+    session: Session,
 }
 
 impl ClientHandle {
     /// This client's identifier.
     pub fn id(&self) -> ClientId {
-        self.id
+        self.session.client()
     }
 
-    fn call(&self, request: Request) -> ManagerResult<Reply> {
-        let (tx, rx) = unbounded();
-        self.requests
-            .send(Envelope { request, reply_to: Some(tx) })
-            .map_err(|_| ManagerError::Disconnected)?;
-        rx.recv().map_err(|_| ManagerError::Disconnected)
+    /// The underlying session (submit without blocking, keep tickets in
+    /// flight).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// Step 1/2: ask for permission.  Returns the reservation id on grant.
     pub fn ask(&self, action: &Action) -> ManagerResult<Option<u64>> {
-        match self.call(Request::Ask { client: self.id, action: action.clone() })? {
-            Reply::Granted { reservation } => Ok(Some(reservation)),
-            Reply::Denied => Ok(None),
-            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
-            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
-        }
+        self.session.ask_blocking(action)
     }
 
     /// Step 4: confirm the execution of a granted action.
     pub fn confirm(&self, reservation: u64) -> ManagerResult<()> {
-        match self.call(Request::Confirm { reservation })? {
-            Reply::Confirmed => Ok(()),
-            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
-            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
-        }
+        self.session.confirm_blocking(reservation).map(|_| ())
     }
 
     /// Combined ask-and-execute round trip.  Returns false on denial.
     pub fn execute(&self, action: &Action) -> ManagerResult<bool> {
-        match self.call(Request::Execute { client: self.id, action: action.clone() })? {
-            Reply::Executed => Ok(true),
-            Reply::Denied => Ok(false),
-            Reply::Error { message } => Err(ManagerError::RejectedConfirmation { action: message }),
+        match self.session.execute(action).wait() {
+            Completion::Executed { .. } => Ok(true),
+            Completion::Denied => Ok(false),
+            Completion::Failed { error } => Err(error),
             other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
         }
     }
@@ -190,90 +187,30 @@ impl ClientHandle {
     /// Subscribes to status changes of an action; returns its current
     /// status.  Notifications arrive via [`ClientHandle::poll_notifications`].
     pub fn subscribe(&self, action: &Action) -> ManagerResult<bool> {
-        match self.call(Request::Subscribe { client: self.id, action: action.clone() })? {
-            Reply::Subscribed { permitted } => Ok(permitted),
-            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
-        }
+        self.session.subscribe_blocking(action)
     }
 
     /// Cancels a subscription.
     pub fn unsubscribe(&self, action: &Action) -> ManagerResult<()> {
-        match self.call(Request::Unsubscribe { client: self.id, action: action.clone() })? {
-            Reply::Unsubscribed => Ok(()),
+        match self.session.unsubscribe(action).wait() {
+            Completion::Unsubscribed => Ok(()),
+            Completion::Failed { error } => Err(error),
             other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
         }
     }
 
     /// Drains the notifications received so far.
     pub fn poll_notifications(&self) -> Vec<Notification> {
-        self.notifications.try_iter().collect()
+        self.session.poll_notifications()
     }
 
-    /// Advances the manager's logical clock.
+    /// Advances the manager's logical clock (now synchronous: the due lease
+    /// expirations have run when this returns, which makes tick-based tests
+    /// deterministic).
     pub fn tick(&self, delta: u64) -> ManagerResult<()> {
-        self.requests
-            .send(Envelope { request: Request::Tick { delta }, reply_to: None })
-            .map_err(|_| ManagerError::Disconnected)
+        self.session.advance_time(delta);
+        Ok(())
     }
-}
-
-fn serve(manager: InteractionManager, rx: Receiver<Envelope>) -> InteractionManager {
-    let mut notification_channels: HashMap<ClientId, Sender<Notification>> = HashMap::new();
-    let deliver = |manager_notes: Vec<Notification>,
-                   channels: &HashMap<ClientId, Sender<Notification>>| {
-        for note in manager_notes {
-            if let Some(ch) = channels.get(&note.client) {
-                let _ = ch.send(note);
-            }
-        }
-    };
-    while let Ok(envelope) = rx.recv() {
-        let reply = match envelope.request {
-            Request::Shutdown => break,
-            Request::Tick { delta } => {
-                manager.advance_time(delta);
-                None
-            }
-            Request::Ask { client, action } => Some(match manager.ask(client, &action) {
-                Ok(Some(reservation)) => Reply::Granted { reservation },
-                Ok(None) => Reply::Denied,
-                Err(e) => Reply::Error { message: e.to_string() },
-            }),
-            Request::Confirm { reservation } => Some(match manager.confirm(reservation) {
-                Ok(notes) => {
-                    deliver(notes, &notification_channels);
-                    Reply::Confirmed
-                }
-                Err(e) => Reply::Error { message: e.to_string() },
-            }),
-            Request::Execute { client, action } => {
-                Some(match manager.try_execute(client, &action) {
-                    Ok(Some(notes)) => {
-                        deliver(notes, &notification_channels);
-                        Reply::Executed
-                    }
-                    Ok(None) => Reply::Denied,
-                    Err(e) => Reply::Error { message: e.to_string() },
-                })
-            }
-            Request::RegisterChannel { client, sender } => {
-                notification_channels.insert(client, sender);
-                None
-            }
-            Request::Subscribe { client, action } => {
-                let permitted = manager.subscribe(client, &action);
-                Some(Reply::Subscribed { permitted })
-            }
-            Request::Unsubscribe { client, action } => {
-                manager.unsubscribe(client, &action);
-                Some(Reply::Unsubscribed)
-            }
-        };
-        if let (Some(reply), Some(reply_to)) = (reply, envelope.reply_to.as_ref()) {
-            let _ = reply_to.send(reply);
-        }
-    }
-    manager
 }
 
 #[cfg(test)]
@@ -330,7 +267,7 @@ mod tests {
 
     #[test]
     fn concurrent_clients_race_for_a_single_slot() {
-        // Capacity one: of two concurrent clients exactly one wins.
+        // Capacity one: of four concurrent clients exactly one wins.
         let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
         let server = ManagerServer::spawn(&expr, ProtocolVariant::Combined).unwrap();
         let mut handles = Vec::new();
@@ -340,8 +277,7 @@ mod tests {
                 client.execute(&call(client_id as i64, "sono")).unwrap()
             }));
         }
-        let wins: usize =
-            handles.into_iter().filter(|_| true).map(|h| h.join().unwrap() as usize).sum();
+        let wins: usize = handles.into_iter().map(|h| h.join().unwrap() as usize).sum();
         assert_eq!(wins, 1, "exactly one client gets the slot");
         server.shutdown().unwrap();
     }
@@ -354,10 +290,26 @@ mod tests {
         let healthy = server.client(2);
         let _reservation = crashing.ask(&call(1, "sono")).unwrap().unwrap();
         assert_eq!(healthy.ask(&call(2, "sono")).unwrap(), None, "slot reserved");
-        // The crashing client never confirms; advancing time frees the slot.
+        // The crashing client never confirms; advancing time frees the slot
+        // (synchronously now — the tick returns after expiry ran).
         healthy.tick(5).unwrap();
         assert!(healthy.ask(&call(2, "sono")).unwrap().is_some());
         server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_preserves_log_stats_and_clock() {
+        let server = ManagerServer::spawn(&constraint(), ProtocolVariant::Combined).unwrap();
+        let client = server.client(1);
+        assert!(client.execute(&call(1, "sono")).unwrap());
+        assert!(!client.execute(&call(1, "endo")).unwrap());
+        client.tick(7).unwrap();
+        let manager = server.shutdown().unwrap();
+        assert_eq!(manager.log(), vec![call(1, "sono")]);
+        assert_eq!(manager.stats().confirmations, 1);
+        assert_eq!(manager.stats().denials, 1);
+        assert_eq!(manager.now(), 7);
+        assert!(!manager.is_permitted(&call(1, "endo")), "state was rebuilt from the log");
     }
 
     fn wait_for_notes(client: &ClientHandle, at_least: usize) -> Vec<Notification> {

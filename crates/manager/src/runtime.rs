@@ -1,0 +1,1948 @@
+//! The session-oriented async runtime — per-shard task queues, completion
+//! tickets, and a timer wheel.
+//!
+//! Sec. 7 of the paper frames the interaction manager as a *message-based
+//! coordination service*: clients talk to it asynchronously over (persistent)
+//! queues instead of calling it under a lock.  [`ManagerRuntime`] realizes
+//! that shape on top of the sharded kernel:
+//!
+//! * **one worker thread per shard**, exclusively owning the shard's engine,
+//!   reservation table, subscription registry, and log segment — the
+//!   per-shard mutexes of [`InteractionManager`] are gone; a worker mutates
+//!   its shard state with no interior locking at all;
+//! * **an ordered task queue per shard**: submissions become tasks; a shard
+//!   executes its tasks strictly in queue order;
+//! * **completion tickets**: every submission returns a [`Ticket`]
+//!   immediately — `wait()` for the synchronous round trip, `poll()` to
+//!   pipeline, `then()` for callbacks — so clients keep dozens of requests
+//!   in flight without blocking;
+//! * **cross-shard actions as ordered enqueues**: a multi-owner submission
+//!   enqueues one task onto *every* owner's queue, in ascending shard-id
+//!   order, under a single enqueue lock.  The enqueue order *is* the 2PC
+//!   lock order of the blocking manager: any two cross-shard tasks appear in
+//!   the same relative order in every queue they share, so the rendezvous in
+//!   which the owners vote and commit can never cycle — deadlock-freedom
+//!   carries over from the blocking design by construction;
+//! * **a hierarchical timer wheel** ([`crate::timer::TimerWheel`]) owns
+//!   lease expiry: every leased grant schedules one timer, and advancing the
+//!   clock fires exactly the due leases instead of scanning the reservation
+//!   index.  The default *virtual clock* is advanced explicitly
+//!   ([`ManagerRuntime::advance_time`]), which keeps deterministic tests
+//!   deterministic; [`ClockMode::Wall`] drives the same wheel from a ticker
+//!   thread;
+//! * **optional durable submissions** ([`RuntimeOptions::durable`]): every
+//!   session submission is journaled in a [`DurableQueue`] before dispatch
+//!   and removed only when the client acknowledges the completion, so a
+//!   simulated crash redelivers unacknowledged submissions — at-least-once,
+//!   exactly the persistent-queue contract the paper cites.
+//!
+//! The execution semantics are those of the blocking [`InteractionManager`]:
+//! per-action outcomes, the merged log, and the statistics counters agree
+//! with the blocking manager on any sequentially submitted workload (see the
+//! equivalence property tests).
+
+use crate::error::{ManagerError, ManagerResult};
+use crate::manager::{CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats};
+use crate::queue::DurableQueue;
+use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
+use crate::ticket::{completed, ticket, Ticket, TicketIssuer};
+use crate::timer::TimerWheel;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ix_core::{Action, Alphabet, Expr, Partition};
+use ix_state::{Engine, ShardRouter, State};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the runtime's logical clock advances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// The clock only moves when [`ManagerRuntime::advance_time`] is called —
+    /// fully deterministic, the mode every test uses.
+    Virtual,
+    /// A ticker thread advances the clock by one logical unit per `tick` of
+    /// wall time, so leases expire without anybody calling `advance_time`.
+    Wall {
+        /// Wall-clock duration of one logical time unit.
+        tick: Duration,
+    },
+}
+
+/// Construction options of a [`ManagerRuntime`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// The coordination-protocol variant (as for [`InteractionManager`]).
+    pub variant: ProtocolVariant,
+    /// Journal submissions in a [`DurableQueue`] and redeliver
+    /// unacknowledged ones after a simulated crash.
+    pub durable: bool,
+    /// Clock mode for lease expiry.
+    pub clock: ClockMode,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions {
+            variant: ProtocolVariant::Simple,
+            durable: false,
+            clock: ClockMode::Virtual,
+        }
+    }
+}
+
+/// The result a completion ticket resolves to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Completion {
+    /// An ask was granted; confirm or abort with the reservation id (0 under
+    /// the `Combined` variant, which commits immediately).
+    Granted {
+        /// Reservation to confirm later.
+        reservation: u64,
+    },
+    /// An ask or execute was denied.
+    Denied,
+    /// A combined execute committed.
+    Executed {
+        /// Status-change notifications produced by the commit.
+        notifications: Vec<Notification>,
+    },
+    /// A confirm committed.
+    Confirmed {
+        /// Status-change notifications produced by the commit.
+        notifications: Vec<Notification>,
+    },
+    /// An abort released the reservation.
+    Aborted {
+        /// The released reservation.
+        reservation: Reservation,
+    },
+    /// A subscription was registered; carries the current status.
+    Subscribed {
+        /// Whether the action is currently permitted.
+        permitted: bool,
+    },
+    /// A subscription was removed.
+    Unsubscribed,
+    /// A status query resolved.
+    Status {
+        /// Whether the action is currently permitted.
+        permitted: bool,
+    },
+    /// A lease-expiry task ran; `None` if the reservation was already gone.
+    Expired {
+        /// The rolled-back reservation, if one expired.
+        reservation: Option<Reservation>,
+    },
+    /// The submission failed.
+    Failed {
+        /// The failure.
+        error: ManagerError,
+    },
+}
+
+/// Journal record of a durable submission.
+#[derive(Clone, Debug)]
+struct SubmissionRecord {
+    client: ClientId,
+    op: DurableOp,
+}
+
+#[derive(Clone, Debug)]
+enum DurableOp {
+    Ask { action: Action },
+    Execute { action: Action },
+    Confirm { id: u64 },
+    Abort { id: u64 },
+}
+
+/// A timer-wheel payload: which reservation to expire, on which owners.
+#[derive(Clone, Debug)]
+struct ExpiryEvent {
+    id: u64,
+    owners: Vec<usize>,
+}
+
+/// Everything a worker, a session, and the runtime handle share.  Note that
+/// the task-queue *senders* are deliberately **not** in here: workers hold
+/// only receivers, so dropping the runtime and its sessions disconnects the
+/// queues and the workers exit.
+struct RuntimeShared {
+    expr: Expr,
+    alphabet: Alphabet,
+    variant: ProtocolVariant,
+    router: ShardRouter,
+    /// Serializes enqueues that touch more than one queue.  Holding this
+    /// lock across the ascending-order sends is what makes the relative
+    /// order of any two multi-owner tasks identical in every queue they
+    /// share — the queue-order analogue of the blocking manager's
+    /// ascending-shard-id lock order.
+    cross_enqueue: Mutex<()>,
+    reservation_index: Mutex<HashMap<u64, Vec<usize>>>,
+    cross_subscriptions: Mutex<CrossSubscriptions>,
+    orphan_subscriptions: Mutex<SubscriptionRegistry>,
+    notification_channels: Mutex<HashMap<ClientId, Sender<Notification>>>,
+    /// Number of registered cross-shard subscription entries — commits skip
+    /// the registry lock entirely while this is zero (the common case).
+    cross_entry_count: AtomicU64,
+    timers: Mutex<TimerWheel<ExpiryEvent>>,
+    durable: Option<Mutex<DurableQueue<SubmissionRecord>>>,
+    clock: AtomicU64,
+    log_seq: AtomicU64,
+    next_reservation: AtomicU64,
+    stats: SharedStats,
+}
+
+type Queues = Arc<Vec<Sender<Task>>>;
+
+/// One shard's state, exclusively owned by its worker thread — no lock.
+struct ShardState {
+    id: usize,
+    engine: Engine,
+    reservations: BTreeMap<u64, Reservation>,
+    subscriptions: SubscriptionRegistry,
+    log: Vec<(u64, Action)>,
+}
+
+impl ShardState {
+    fn permitted_considering_reservations(&self, action: &Action) -> bool {
+        self.engine.permitted_after(self.reservations.values().map(|r| &r.action), action)
+    }
+}
+
+/// Read-only facts a snapshot task reports about one shard.
+#[derive(Clone, Debug, Default)]
+struct ShardSnapshot {
+    log: Vec<(u64, Action)>,
+    subscriptions: usize,
+    is_final: bool,
+}
+
+enum Task {
+    Single(SingleTask),
+    Cross(Arc<CrossTask>),
+    Snapshot(TicketIssuer<ShardSnapshot>),
+    Stop,
+}
+
+struct SingleTask {
+    client: ClientId,
+    op: Op,
+    ticket: TicketIssuer<Completion>,
+}
+
+enum Op {
+    Execute { action: Action },
+    Ask { action: Action },
+    Confirm { id: u64 },
+    Abort { id: u64 },
+    Expire { id: u64, now: u64 },
+    Subscribe { action: Action },
+    Unsubscribe { action: Action },
+    Query { action: Action },
+}
+
+/// A multi-owner task: enqueued onto every owner's queue (in ascending
+/// order, under the enqueue lock); the owners rendezvous on `sync` to vote,
+/// decide, and apply — the queue-based incarnation of the two-phase commit.
+struct CrossTask {
+    owners: Vec<usize>,
+    op: CrossOp,
+    sync: Mutex<CrossSync>,
+    barrier: Condvar,
+}
+
+enum CrossOp {
+    // The client is not part of a combined execute's semantics (exactly as
+    // in the blocking manager, which ignores it on this path).
+    Execute { action: Action },
+    Ask { client: ClientId, action: Action },
+    Confirm { id: u64 },
+    Abort { id: u64 },
+    Expire { id: u64, now: u64 },
+    Subscribe { client: ClientId, action: Action },
+    Query { action: Action },
+}
+
+struct CrossSync {
+    ticket: Option<TicketIssuer<Completion>>,
+    /// Owners that have voted so far.
+    votes: usize,
+    /// Conjunction of the votes.
+    ok: bool,
+    /// True if any owner held the referenced reservation (confirm/abort).
+    any_reservation: bool,
+    /// The removed reservation (identical copies on every owner).
+    removed: Option<Reservation>,
+    /// Per-owner status bits (query/subscribe), aligned with `owners`.
+    bits: Vec<bool>,
+    /// The verdict, set exactly once by the last voter.
+    decision: Option<Decision>,
+    /// The reservation created by a granted ask.
+    granted: Option<Reservation>,
+    /// Owners that have applied the decision so far.
+    applied: usize,
+    /// Per-owner local subscription notifications, aligned with `owners`
+    /// (kept per owner so the merged order matches the blocking manager).
+    notes: Vec<Vec<Notification>>,
+    /// Refreshed cross-subscription bits deposited by the owners:
+    /// (action, owner shard id, permitted).
+    cross_bits: Vec<(Action, usize, bool)>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Decision {
+    /// All owners voted yes: install the prepared successors under sequence
+    /// number `seq`.
+    Commit { seq: u64 },
+    /// All owners voted yes on an ask: replicate the reservation.
+    Reserve,
+    /// Some owner voted no.
+    Deny,
+    /// The referenced reservation is unknown everywhere.
+    Unknown,
+    /// A confirmed action was not executable (reservations consumed).
+    Rejected,
+    /// A reservation was released (abort/expiry), or there was nothing to
+    /// release.
+    Released,
+    /// A read-only rendezvous (query/subscribe) resolved.
+    Done,
+}
+
+/// The session-oriented runtime.  Create it once, hand [`Session`]s to
+/// clients, and drop or [`ManagerRuntime::shutdown`] it when done.
+pub struct ManagerRuntime {
+    shared: Arc<RuntimeShared>,
+    queues: Queues,
+    workers: Mutex<Vec<JoinHandle<ShardState>>>,
+    ticker: Mutex<Option<JoinHandle<()>>>,
+    ticker_stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ManagerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagerRuntime")
+            .field("shards", &self.queues.len())
+            .field("variant", &self.shared.variant)
+            .finish()
+    }
+}
+
+/// What [`ManagerRuntime::shutdown`] hands back after the workers drained
+/// their queues: the merged log, the final statistics, and the clock.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Confirmed actions in commit order (merged across the shard segments).
+    pub log: Vec<Action>,
+    /// Final statistics.
+    pub stats: ManagerStats,
+    /// Final logical time.
+    pub clock: u64,
+    /// Number of shards the runtime ran.
+    pub shards: usize,
+}
+
+impl ManagerRuntime {
+    /// Creates a runtime enforcing the expression with the simple protocol,
+    /// a virtual clock, and no durability.
+    pub fn new(expr: &Expr) -> ManagerResult<ManagerRuntime> {
+        ManagerRuntime::with_options(expr, RuntimeOptions::default())
+    }
+
+    /// Creates a runtime with an explicit protocol variant.
+    pub fn with_protocol(expr: &Expr, variant: ProtocolVariant) -> ManagerResult<ManagerRuntime> {
+        ManagerRuntime::with_options(expr, RuntimeOptions { variant, ..RuntimeOptions::default() })
+    }
+
+    /// Creates a runtime with explicit options.  The expression is
+    /// partitioned into its fine-grained sync-components; each component
+    /// gets one worker thread and one ordered task queue.
+    pub fn with_options(expr: &Expr, options: RuntimeOptions) -> ManagerResult<ManagerRuntime> {
+        let components: Vec<(Expr, Alphabet)> = Partition::of(expr)
+            .components()
+            .iter()
+            .map(|c| (c.expr.clone(), c.alphabet.clone()))
+            .collect();
+        let mut alphabets = Vec::with_capacity(components.len());
+        let mut engines = Vec::with_capacity(components.len());
+        for (component, alphabet) in components {
+            engines.push(Engine::new(&component).map_err(ManagerError::State)?);
+            alphabets.push(alphabet);
+        }
+        let shared = Arc::new(RuntimeShared {
+            expr: expr.clone(),
+            alphabet: expr.alphabet(),
+            variant: options.variant,
+            router: ShardRouter::new(alphabets),
+            cross_enqueue: Mutex::new(()),
+            reservation_index: Mutex::new(HashMap::new()),
+            cross_subscriptions: Mutex::new(CrossSubscriptions::default()),
+            orphan_subscriptions: Mutex::new(SubscriptionRegistry::new()),
+            notification_channels: Mutex::new(HashMap::new()),
+            cross_entry_count: AtomicU64::new(0),
+            timers: Mutex::new(TimerWheel::new(0)),
+            durable: options.durable.then(|| Mutex::new(DurableQueue::new())),
+            clock: AtomicU64::new(0),
+            log_seq: AtomicU64::new(0),
+            next_reservation: AtomicU64::new(1),
+            stats: SharedStats::default(),
+        });
+        let mut senders = Vec::with_capacity(engines.len());
+        let mut workers = Vec::with_capacity(engines.len());
+        for (id, engine) in engines.into_iter().enumerate() {
+            let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            let state = ShardState {
+                id,
+                engine,
+                reservations: BTreeMap::new(),
+                subscriptions: SubscriptionRegistry::new(),
+                log: Vec::new(),
+            };
+            workers.push(std::thread::spawn(move || worker(shared, rx, state)));
+        }
+        let queues: Queues = Arc::new(senders);
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let ticker = match options.clock {
+            ClockMode::Virtual => None,
+            ClockMode::Wall { tick } => {
+                let shared = Arc::clone(&shared);
+                let queues = Arc::clone(&queues);
+                let stop = Arc::clone(&ticker_stop);
+                Some(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        advance_clock(&shared, &queues, 1);
+                    }
+                }))
+            }
+        };
+        Ok(ManagerRuntime {
+            shared,
+            queues,
+            workers: Mutex::new(workers),
+            ticker: Mutex::new(ticker),
+            ticker_stop,
+        })
+    }
+
+    /// Opens a session for a client: its submissions return completion
+    /// tickets, and subscription notifications arrive on the session's own
+    /// channel.
+    pub fn session(&self, client: ClientId) -> Session {
+        let (tx, rx) = unbounded();
+        lock(&self.shared.notification_channels).insert(client, tx);
+        Session {
+            client,
+            shared: Arc::clone(&self.shared),
+            queues: Arc::clone(&self.queues),
+            notifications: rx,
+        }
+    }
+
+    /// The protocol variant in use.
+    pub fn protocol(&self) -> ProtocolVariant {
+        self.shared.variant
+    }
+
+    /// The expression the runtime enforces.
+    pub fn expr(&self) -> &Expr {
+        &self.shared.expr
+    }
+
+    /// Number of shard workers (1 when the expression does not decompose).
+    pub fn shard_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The primary (lowest-id) shard an action is routed to, if any.
+    pub fn shard_of(&self, action: &Action) -> Option<usize> {
+        self.shared.router.route(action)
+    }
+
+    /// All shards owning an action, ascending (the enqueue order of a
+    /// cross-shard task).
+    pub fn owners_of(&self, action: &Action) -> Vec<usize> {
+        self.shared.router.owners(action)
+    }
+
+    /// True if the action is owned by more than one shard.
+    pub fn is_cross_shard(&self, action: &Action) -> bool {
+        self.shared.router.is_shared(action)
+    }
+
+    /// True if the runtime's interaction expression mentions the action.
+    pub fn controls(&self, action: &Action) -> bool {
+        self.shared.alphabet.covers(action)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.shared.clock.load(Ordering::Relaxed)
+    }
+
+    /// The merged log of confirmed actions in commit order.  Each shard
+    /// reports its segment through its own queue, so the snapshot reflects
+    /// every commit that completed before this call.
+    pub fn log(&self) -> Vec<Action> {
+        let mut entries: Vec<(u64, Action)> = Vec::new();
+        for snapshot in self.snapshots() {
+            entries.extend(snapshot.log);
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, action)| action).collect()
+    }
+
+    /// True if the interaction state is final on every shard.
+    pub fn is_final(&self) -> bool {
+        self.snapshots().iter().all(|s| s.is_final)
+    }
+
+    /// Number of active subscriptions across shard registries, cross-shard
+    /// entries, and orphan registrations.
+    pub fn subscription_count(&self) -> usize {
+        let owned: usize = self.snapshots().iter().map(|s| s.subscriptions).sum();
+        owned
+            + lock(&self.shared.cross_subscriptions).len()
+            + lock(&self.shared.orphan_subscriptions).len()
+    }
+
+    fn snapshots(&self) -> Vec<ShardSnapshot> {
+        let tickets: Vec<Ticket<ShardSnapshot>> = self
+            .queues
+            .iter()
+            .map(|q| {
+                let (issuer, t) = ticket();
+                if let Err(crossbeam::channel::SendError(Task::Snapshot(issuer))) =
+                    q.send(Task::Snapshot(issuer))
+                {
+                    issuer.complete(ShardSnapshot::default());
+                }
+                t
+            })
+            .collect();
+        tickets.iter().map(|t| t.wait()).collect()
+    }
+
+    /// Advances logical time by `delta`, firing the due lease timers and
+    /// returning the reservations that expired (in deadline order).  Expiry
+    /// runs as ordinary tasks on the owning shards' queues, so it is
+    /// serialized with the submissions it races — a confirm enqueued before
+    /// the expiry wins on every owner, one enqueued after loses on every
+    /// owner.
+    pub fn advance_time(&self, delta: u64) -> Vec<Reservation> {
+        advance_clock(&self.shared, &self.queues, delta)
+    }
+
+    /// Acknowledges the oldest processed durable submission (the client has
+    /// durably recorded its completion).  Returns false when durability is
+    /// off or nothing is unacknowledged.
+    pub fn acknowledge_submission(&self) -> bool {
+        match &self.shared.durable {
+            Some(d) => lock(d).acknowledge(),
+            None => false,
+        }
+    }
+
+    /// Number of journaled submissions not yet acknowledged.
+    pub fn unacknowledged_submissions(&self) -> usize {
+        match &self.shared.durable {
+            Some(d) => lock(d).len(),
+            None => 0,
+        }
+    }
+
+    /// Simulates a crash of the submission path: the volatile delivery
+    /// cursor of the durable journal is lost, and every unacknowledged
+    /// submission is delivered *again* (at-least-once).  Returns the
+    /// completion tickets of the redelivered submissions.
+    pub fn crash_redeliver(&self) -> Vec<Ticket<Completion>> {
+        let Some(durable) = &self.shared.durable else {
+            return Vec::new();
+        };
+        let records = {
+            let mut journal = lock(durable);
+            journal.crash_recover();
+            let mut out = Vec::new();
+            while let Some(record) = journal.dequeue() {
+                out.push(record);
+            }
+            out
+        };
+        records
+            .into_iter()
+            .map(|record| match record.op {
+                DurableOp::Ask { ref action } => {
+                    submit_ask(&self.shared, &self.queues, record.client, action)
+                }
+                DurableOp::Execute { ref action } => {
+                    submit_execute(&self.shared, &self.queues, record.client, action)
+                }
+                DurableOp::Confirm { id } => submit_confirm(&self.shared, &self.queues, id),
+                DurableOp::Abort { id } => submit_abort(&self.shared, &self.queues, id),
+            })
+            .collect()
+    }
+
+    /// Stops the ticker (if any), lets every worker drain its queue, joins
+    /// them, and returns the merged log plus final statistics.  Submissions
+    /// racing the shutdown complete with [`ManagerError::Disconnected`] —
+    /// either failed inline (queue already closed) or failed during the
+    /// worker's final drain.  A submission that lands in the narrow window
+    /// after a worker's drain but before its queue closes is abandoned, and
+    /// a `wait()` on its ticket panics; callers should quiesce their
+    /// sessions before shutting down (`wait_timeout`/`poll` never panic).
+    pub fn shutdown(self) -> ManagerResult<RuntimeReport> {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = lock(&self.ticker).take() {
+            let _ = handle.join();
+        }
+        {
+            // The enqueue lock makes the Stop markers atomic w.r.t.
+            // cross-shard enqueues: a cross task is ordered either before
+            // the Stop on *all* of its owners (processed normally) or after
+            // it on all of them (failed during the drain) — never half/half,
+            // which would strand owners at the rendezvous.
+            let _guard = lock(&self.shared.cross_enqueue);
+            for q in self.queues.iter() {
+                let _ = q.send(Task::Stop);
+            }
+        }
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        let mut entries: Vec<(u64, Action)> = Vec::new();
+        let mut shards = 0usize;
+        for handle in workers {
+            let state = handle.join().map_err(|_| ManagerError::Disconnected)?;
+            entries.extend(state.log);
+            shards += 1;
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        Ok(RuntimeReport {
+            log: entries.into_iter().map(|(_, action)| action).collect(),
+            stats: self.shared.stats.snapshot(),
+            clock: self.shared.clock.load(Ordering::Relaxed),
+            shards,
+        })
+    }
+}
+
+impl Drop for ManagerRuntime {
+    /// Dropping without [`ManagerRuntime::shutdown`] must not leak threads:
+    /// stopping the ticker releases its clones of the queue senders, so
+    /// once the sessions are gone too the channels disconnect and every
+    /// worker exits.  (The ticker itself exits within one `tick`.)
+    fn drop(&mut self) {
+        self.ticker_stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A client's handle onto the runtime.  Every method submits a task and
+/// returns a completion ticket immediately; the `*_blocking` conveniences
+/// wait and translate to the blocking manager's result types.
+pub struct Session {
+    client: ClientId,
+    shared: Arc<RuntimeShared>,
+    queues: Queues,
+    notifications: Receiver<Notification>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("client", &self.client).finish()
+    }
+}
+
+impl Clone for Session {
+    /// Clones share the client id *and* the notification stream (a
+    /// notification is delivered to whichever clone polls first); open a
+    /// fresh session for an independent stream.
+    fn clone(&self) -> Session {
+        Session {
+            client: self.client,
+            shared: Arc::clone(&self.shared),
+            queues: Arc::clone(&self.queues),
+            notifications: self.notifications.clone(),
+        }
+    }
+}
+
+impl Session {
+    /// This session's client identifier.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Step 1/2 of the coordination protocol: ask for permission.  Resolves
+    /// to [`Completion::Granted`] or [`Completion::Denied`].
+    pub fn ask(&self, action: &Action) -> Ticket<Completion> {
+        self.journal(DurableOp::Ask { action: action.clone() });
+        submit_ask(&self.shared, &self.queues, self.client, action)
+    }
+
+    /// The combined ask-and-execute round trip.  Resolves to
+    /// [`Completion::Executed`] or [`Completion::Denied`].
+    pub fn execute(&self, action: &Action) -> Ticket<Completion> {
+        self.journal(DurableOp::Execute { action: action.clone() });
+        submit_execute(&self.shared, &self.queues, self.client, action)
+    }
+
+    /// Step 4/5: confirm a granted reservation.  Resolves to
+    /// [`Completion::Confirmed`] or [`Completion::Failed`].
+    pub fn confirm(&self, reservation: u64) -> Ticket<Completion> {
+        self.journal(DurableOp::Confirm { id: reservation });
+        submit_confirm(&self.shared, &self.queues, reservation)
+    }
+
+    /// Explicitly releases a granted reservation without executing it.
+    pub fn abort(&self, reservation: u64) -> Ticket<Completion> {
+        self.journal(DurableOp::Abort { id: reservation });
+        submit_abort(&self.shared, &self.queues, reservation)
+    }
+
+    /// Subscribes to permissibility changes of an action; the completion
+    /// carries the current status, later changes arrive via
+    /// [`Session::poll_notifications`].
+    pub fn subscribe(&self, action: &Action) -> Ticket<Completion> {
+        let shared = &self.shared;
+        let owners = shared.router.owners(action);
+        match owners.as_slice() {
+            [] => {
+                lock(&shared.orphan_subscriptions).subscribe(
+                    self.client,
+                    action.clone(),
+                    action.clone(),
+                    false,
+                );
+                completed(Completion::Subscribed { permitted: false })
+            }
+            [shard] => dispatch_single(
+                &self.queues,
+                *shard,
+                self.client,
+                Op::Subscribe { action: action.clone() },
+            ),
+            _ => dispatch_cross(
+                shared,
+                &self.queues,
+                owners,
+                CrossOp::Subscribe { client: self.client, action: action.clone() },
+            ),
+        }
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&self, action: &Action) -> Ticket<Completion> {
+        let shared = &self.shared;
+        let owners = shared.router.owners(action);
+        match owners.as_slice() {
+            [] => {
+                lock(&shared.orphan_subscriptions).unsubscribe(self.client, action);
+                completed(Completion::Unsubscribed)
+            }
+            [shard] => dispatch_single(
+                &self.queues,
+                *shard,
+                self.client,
+                Op::Unsubscribe { action: action.clone() },
+            ),
+            _ => {
+                // Cross-shard subscriptions live in the runtime-level
+                // registry only; no shard state is involved.
+                let mut cross = lock(&shared.cross_subscriptions);
+                let remove = match cross.entries.get_mut(action) {
+                    Some(entry) => {
+                        entry.clients.retain(|c| *c != self.client);
+                        entry.clients.is_empty()
+                    }
+                    None => false,
+                };
+                if remove {
+                    cross.entries.remove(action);
+                    shared.cross_entry_count.fetch_sub(1, Ordering::Relaxed);
+                    for actions in cross.by_shard.values_mut() {
+                        actions.remove(action);
+                    }
+                    cross.by_shard.retain(|_, actions| !actions.is_empty());
+                }
+                completed(Completion::Unsubscribed)
+            }
+        }
+    }
+
+    /// Queries whether the action is currently permitted (ignoring
+    /// outstanding reservations), evaluated on the owning shards.
+    pub fn is_permitted(&self, action: &Action) -> Ticket<Completion> {
+        let owners = self.shared.router.owners(action);
+        match owners.as_slice() {
+            [] => completed(Completion::Status { permitted: false }),
+            [shard] => dispatch_single(
+                &self.queues,
+                *shard,
+                self.client,
+                Op::Query { action: action.clone() },
+            ),
+            _ => dispatch_cross(
+                &self.shared,
+                &self.queues,
+                owners,
+                CrossOp::Query { action: action.clone() },
+            ),
+        }
+    }
+
+    /// Drains the subscription notifications received so far.
+    pub fn poll_notifications(&self) -> Vec<Notification> {
+        self.notifications.try_iter().collect()
+    }
+
+    /// Advances the runtime's logical clock (see
+    /// [`ManagerRuntime::advance_time`]); any session may drive the virtual
+    /// clock, exactly as any client could send a tick to the old server.
+    pub fn advance_time(&self, delta: u64) -> Vec<Reservation> {
+        advance_clock(&self.shared, &self.queues, delta)
+    }
+
+    /// Blocking [`Session::ask`] with the blocking manager's result type.
+    pub fn ask_blocking(&self, action: &Action) -> ManagerResult<Option<u64>> {
+        match self.ask(action).wait() {
+            Completion::Granted { reservation } => Ok(Some(reservation)),
+            Completion::Denied => Ok(None),
+            Completion::Failed { error } => Err(error),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Blocking [`Session::execute`] with the blocking manager's result
+    /// type.
+    pub fn execute_blocking(&self, action: &Action) -> ManagerResult<Option<Vec<Notification>>> {
+        match self.execute(action).wait() {
+            Completion::Executed { notifications } => Ok(Some(notifications)),
+            Completion::Denied => Ok(None),
+            Completion::Failed { error } => Err(error),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Blocking [`Session::confirm`].
+    pub fn confirm_blocking(&self, reservation: u64) -> ManagerResult<Vec<Notification>> {
+        match self.confirm(reservation).wait() {
+            Completion::Confirmed { notifications } => Ok(notifications),
+            Completion::Failed { error } => Err(error),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Blocking [`Session::abort`].
+    pub fn abort_blocking(&self, reservation: u64) -> ManagerResult<Reservation> {
+        match self.abort(reservation).wait() {
+            Completion::Aborted { reservation } => Ok(reservation),
+            Completion::Failed { error } => Err(error),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Blocking [`Session::subscribe`].
+    pub fn subscribe_blocking(&self, action: &Action) -> ManagerResult<bool> {
+        match self.subscribe(action).wait() {
+            Completion::Subscribed { permitted } => Ok(permitted),
+            Completion::Failed { error } => Err(error),
+            other => Err(ManagerError::RejectedConfirmation { action: format!("{other:?}") }),
+        }
+    }
+
+    /// Blocking [`Session::is_permitted`].
+    pub fn is_permitted_blocking(&self, action: &Action) -> bool {
+        matches!(self.is_permitted(action).wait(), Completion::Status { permitted: true })
+    }
+
+    fn journal(&self, op: DurableOp) {
+        if let Some(durable) = &self.shared.durable {
+            let mut journal = lock(durable);
+            journal.enqueue(SubmissionRecord { client: self.client, op });
+            // The runtime delivers the submission immediately; the journal
+            // entry stays until the client acknowledges the completion.
+            let _ = journal.dequeue();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Submission paths (shared by sessions and durable redelivery).
+// ---------------------------------------------------------------------------
+
+fn submit_ask(
+    shared: &Arc<RuntimeShared>,
+    queues: &Queues,
+    client: ClientId,
+    action: &Action,
+) -> Ticket<Completion> {
+    shared.stats.asks.fetch_add(1, Ordering::Relaxed);
+    if !action.is_concrete() {
+        return completed(Completion::Failed {
+            error: ManagerError::NonConcreteAction { action: action.to_string() },
+        });
+    }
+    let owners = shared.router.owners(action);
+    match owners.as_slice() {
+        [] => {
+            shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+            completed(Completion::Denied)
+        }
+        [shard] => dispatch_single(queues, *shard, client, Op::Ask { action: action.clone() }),
+        _ => {
+            dispatch_cross(shared, queues, owners, CrossOp::Ask { client, action: action.clone() })
+        }
+    }
+}
+
+fn submit_execute(
+    shared: &Arc<RuntimeShared>,
+    queues: &Queues,
+    client: ClientId,
+    action: &Action,
+) -> Ticket<Completion> {
+    shared.stats.asks.fetch_add(1, Ordering::Relaxed);
+    if !action.is_concrete() {
+        return completed(Completion::Failed {
+            error: ManagerError::NonConcreteAction { action: action.to_string() },
+        });
+    }
+    let owners = shared.router.owners(action);
+    match owners.as_slice() {
+        [] => {
+            shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+            completed(Completion::Denied)
+        }
+        [shard] => dispatch_single(queues, *shard, client, Op::Execute { action: action.clone() }),
+        _ => dispatch_cross(shared, queues, owners, CrossOp::Execute { action: action.clone() }),
+    }
+}
+
+fn submit_confirm(shared: &Arc<RuntimeShared>, queues: &Queues, id: u64) -> Ticket<Completion> {
+    let owners = match lock(&shared.reservation_index).get(&id) {
+        Some(owners) => owners.clone(),
+        None => {
+            return completed(Completion::Failed { error: ManagerError::UnknownReservation { id } })
+        }
+    };
+    match owners.as_slice() {
+        [shard] => dispatch_single(queues, *shard, 0, Op::Confirm { id }),
+        _ => dispatch_cross(shared, queues, owners, CrossOp::Confirm { id }),
+    }
+}
+
+fn submit_abort(shared: &Arc<RuntimeShared>, queues: &Queues, id: u64) -> Ticket<Completion> {
+    let owners = match lock(&shared.reservation_index).get(&id) {
+        Some(owners) => owners.clone(),
+        None => {
+            return completed(Completion::Failed { error: ManagerError::UnknownReservation { id } })
+        }
+    };
+    match owners.as_slice() {
+        [shard] => dispatch_single(queues, *shard, 0, Op::Abort { id }),
+        _ => dispatch_cross(shared, queues, owners, CrossOp::Abort { id }),
+    }
+}
+
+/// Enqueues a task on one shard's queue.
+fn dispatch_single(queues: &Queues, shard: usize, client: ClientId, op: Op) -> Ticket<Completion> {
+    let (issuer, t) = ticket();
+    let task = Task::Single(SingleTask { client, op, ticket: issuer });
+    if let Err(crossbeam::channel::SendError(Task::Single(task))) = queues[shard].send(task) {
+        task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
+    }
+    t
+}
+
+/// Enqueues a cross-shard task onto every owner's queue in ascending order,
+/// under the enqueue lock — the ordered-enqueue incarnation of the 2PC lock
+/// order.
+fn dispatch_cross(
+    shared: &RuntimeShared,
+    queues: &Queues,
+    owners: Vec<usize>,
+    op: CrossOp,
+) -> Ticket<Completion> {
+    let (issuer, t) = ticket();
+    let n = owners.len();
+    let task = Arc::new(CrossTask {
+        owners,
+        op,
+        sync: Mutex::new(CrossSync {
+            ticket: Some(issuer),
+            votes: 0,
+            ok: true,
+            any_reservation: false,
+            removed: None,
+            bits: vec![false; n],
+            decision: None,
+            granted: None,
+            applied: 0,
+            notes: vec![Vec::new(); n],
+            cross_bits: Vec::new(),
+        }),
+        barrier: Condvar::new(),
+    });
+    let mut failed = false;
+    {
+        let _guard = lock(&shared.cross_enqueue);
+        for &owner in &task.owners {
+            if queues[owner].send(Task::Cross(Arc::clone(&task))).is_err() {
+                failed = true;
+                break;
+            }
+        }
+    }
+    if failed {
+        // Queues only disconnect when the runtime is gone; nobody will ever
+        // rendezvous, so fail the ticket here.
+        if let Some(issuer) = lock(&task.sync).ticket.take() {
+            issuer.complete(Completion::Failed { error: ManagerError::Disconnected });
+        }
+    }
+    t
+}
+
+/// Advances the clock and runs the due lease expirations as shard tasks.
+fn advance_clock(shared: &Arc<RuntimeShared>, queues: &Queues, delta: u64) -> Vec<Reservation> {
+    let now = shared.clock.fetch_add(delta, Ordering::Relaxed) + delta;
+    let events = lock(&shared.timers).advance(now);
+    let tickets: Vec<Ticket<Completion>> = events
+        .into_iter()
+        .map(|event| match event.owners.as_slice() {
+            [shard] => dispatch_single(queues, *shard, 0, Op::Expire { id: event.id, now }),
+            _ => {
+                dispatch_cross(shared, queues, event.owners, CrossOp::Expire { id: event.id, now })
+            }
+        })
+        .collect();
+    tickets
+        .into_iter()
+        .filter_map(|t| match t.wait() {
+            Completion::Expired { reservation } => reservation,
+            _ => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The worker: one per shard, exclusive owner of the shard state.
+// ---------------------------------------------------------------------------
+
+/// How many empty polls a worker performs before parking in `recv`.  A hot
+/// queue never parks (no futex round trip per task); an idle one costs a few
+/// hundred spins before sleeping.
+const WORKER_SPIN: u32 = 256;
+
+fn next_task(rx: &Receiver<Task>) -> Result<Task, crossbeam::channel::RecvError> {
+    for i in 0..WORKER_SPIN {
+        match rx.try_recv() {
+            Ok(task) => return Ok(task),
+            Err(TryRecvError::Disconnected) => return Err(crossbeam::channel::RecvError),
+            Err(TryRecvError::Empty) => {
+                if i % 32 == 31 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    rx.recv()
+}
+
+fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) -> ShardState {
+    loop {
+        match next_task(&rx) {
+            Ok(Task::Single(task)) => process_single(&shared, &mut st, task),
+            Ok(Task::Cross(task)) => process_cross(&shared, &mut st, &task),
+            Ok(Task::Snapshot(issuer)) => issuer.complete(ShardSnapshot {
+                log: st.log.clone(),
+                subscriptions: st.subscriptions.len(),
+                is_final: st.engine.is_final(),
+            }),
+            Ok(Task::Stop) => {
+                // Fail everything still queued behind the Stop marker; the
+                // enqueue lock guarantees a cross task behind one owner's
+                // Stop is behind every owner's Stop, so nobody waits for a
+                // vote that never comes.
+                for task in rx.try_iter() {
+                    fail_task(task);
+                }
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    st
+}
+
+fn fail_task(task: Task) {
+    let disconnected = || Completion::Failed { error: ManagerError::Disconnected };
+    match task {
+        Task::Single(task) => task.ticket.complete(disconnected()),
+        Task::Cross(task) => {
+            if let Some(issuer) = lock(&task.sync).ticket.take() {
+                issuer.complete(disconnected());
+            }
+        }
+        Task::Snapshot(issuer) => issuer.complete(ShardSnapshot::default()),
+        Task::Stop => {}
+    }
+}
+
+fn process_single(shared: &RuntimeShared, st: &mut ShardState, task: SingleTask) {
+    let SingleTask { client, op, ticket } = task;
+    match op {
+        Op::Execute { action } => match single_commit(shared, st, &action, true) {
+            Some(notes) => ticket.complete(Completion::Executed { notifications: notes }),
+            None => ticket.complete(Completion::Denied),
+        },
+        Op::Ask { action } => {
+            if matches!(shared.variant, ProtocolVariant::Combined) {
+                // The combined protocol commits immediately; the reply
+                // carries no reservation to confirm.
+                match single_commit(shared, st, &action, true) {
+                    Some(_) => ticket.complete(Completion::Granted { reservation: 0 }),
+                    None => ticket.complete(Completion::Denied),
+                }
+            } else if !st.permitted_considering_reservations(&action) {
+                shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                ticket.complete(Completion::Denied);
+            } else {
+                shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+                let reservation = shared.new_reservation(client, &action);
+                st.reservations.insert(reservation.id, reservation.clone());
+                lock(&shared.reservation_index).insert(reservation.id, vec![st.id]);
+                if reservation.expires_at != u64::MAX {
+                    lock(&shared.timers).schedule(
+                        reservation.expires_at,
+                        ExpiryEvent { id: reservation.id, owners: vec![st.id] },
+                    );
+                }
+                ticket.complete(Completion::Granted { reservation: reservation.id });
+            }
+        }
+        Op::Confirm { id } => {
+            lock(&shared.reservation_index).remove(&id);
+            match st.reservations.remove(&id) {
+                None => ticket.complete(Completion::Failed {
+                    error: ManagerError::UnknownReservation { id },
+                }),
+                Some(reservation) => match st.engine.prepare(&reservation.action) {
+                    None => ticket.complete(Completion::Failed {
+                        error: ManagerError::RejectedConfirmation {
+                            action: reservation.action.to_string(),
+                        },
+                    }),
+                    Some(next) => {
+                        let notes = install_commit(shared, st, &reservation.action, next, false);
+                        ticket.complete(Completion::Confirmed { notifications: notes });
+                    }
+                },
+            }
+        }
+        Op::Abort { id } => {
+            lock(&shared.reservation_index).remove(&id);
+            match st.reservations.remove(&id) {
+                None => ticket.complete(Completion::Failed {
+                    error: ManagerError::UnknownReservation { id },
+                }),
+                Some(reservation) => {
+                    shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
+                    ticket.complete(Completion::Aborted { reservation });
+                }
+            }
+        }
+        Op::Expire { id, now } => {
+            if st.reservations.get(&id).is_some_and(|r| r.expires_at <= now) {
+                let reservation = st.reservations.remove(&id);
+                lock(&shared.reservation_index).remove(&id);
+                shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
+                ticket.complete(Completion::Expired { reservation });
+            } else {
+                ticket.complete(Completion::Expired { reservation: None });
+            }
+        }
+        Op::Subscribe { action } => {
+            let key = abstract_key(shared, st.id, &action);
+            let permitted = st.engine.is_permitted(&action);
+            let status = st.subscriptions.subscribe(client, action, key, permitted);
+            ticket.complete(Completion::Subscribed { permitted: status });
+        }
+        Op::Unsubscribe { action } => {
+            st.subscriptions.unsubscribe(client, &action);
+            ticket.complete(Completion::Unsubscribed);
+        }
+        Op::Query { action } => {
+            ticket.complete(Completion::Status { permitted: st.engine.is_permitted(&action) });
+        }
+    }
+}
+
+/// Probe + prepare + commit of a single-owner action; `None` is a denial.
+fn single_commit(
+    shared: &RuntimeShared,
+    st: &mut ShardState,
+    action: &Action,
+    count_grant: bool,
+) -> Option<Vec<Notification>> {
+    // With no outstanding reservations the reservation-aware probe computes
+    // exactly the transition `prepare` computes, so it is skipped — the
+    // single-owner worker walks the state once per action, not twice.
+    if !st.reservations.is_empty() && !st.permitted_considering_reservations(action) {
+        shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let Some(next) = st.engine.prepare(action) else {
+        // The reservation-aware probe can pass while the immediate commit is
+        // impossible; that is a denial, exactly as in the blocking manager.
+        shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        return None;
+    };
+    if count_grant {
+        shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(install_commit(shared, st, action, next, count_grant))
+}
+
+/// Installs an already prepared successor on a single-owner shard and does
+/// all commit bookkeeping (sequence number, log, subscriptions, stats,
+/// delivery).
+fn install_commit(
+    shared: &RuntimeShared,
+    st: &mut ShardState,
+    action: &Action,
+    next: State,
+    _granted: bool,
+) -> Vec<Notification> {
+    let seq = shared.log_seq.fetch_add(1, Ordering::Relaxed);
+    st.engine.commit_prepared(next);
+    let engine = &st.engine;
+    let mut notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
+    st.log.push((seq, action.clone()));
+    notes.extend(refresh_cross_for_shard(shared, st.id, &st.engine));
+    shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
+    shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
+    deliver(shared, &notes);
+    notes
+}
+
+fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) {
+    let pos = task
+        .owners
+        .iter()
+        .position(|&o| o == st.id)
+        .expect("cross task routed to a non-owner shard");
+    let n = task.owners.len();
+
+    // ---- Phase 1: the local vote. ----
+    let mut prepared: Option<State> = None;
+    let mut vote = true;
+    let mut removed_here: Option<Reservation> = None;
+    let mut bit = false;
+    match &task.op {
+        CrossOp::Execute { action } => {
+            // As in `single_commit`: the reservation-aware probe is only
+            // needed when reservations are outstanding; the prepare itself
+            // is the vote.
+            vote = st.reservations.is_empty() || st.permitted_considering_reservations(action);
+            if vote {
+                prepared = st.engine.prepare(action);
+                vote = prepared.is_some();
+            }
+        }
+        CrossOp::Ask { action, .. } => {
+            if matches!(shared.variant, ProtocolVariant::Combined) {
+                vote = st.reservations.is_empty() || st.permitted_considering_reservations(action);
+                if vote {
+                    prepared = st.engine.prepare(action);
+                    vote = prepared.is_some();
+                }
+            } else {
+                vote = st.permitted_considering_reservations(action);
+            }
+        }
+        CrossOp::Confirm { id } => {
+            removed_here = st.reservations.remove(id);
+            vote = match &removed_here {
+                Some(reservation) => {
+                    prepared = st.engine.prepare(&reservation.action);
+                    prepared.is_some()
+                }
+                None => false,
+            };
+        }
+        CrossOp::Abort { id } => {
+            removed_here = st.reservations.remove(id);
+        }
+        CrossOp::Expire { id, now } => {
+            if st.reservations.get(id).is_some_and(|r| r.expires_at <= *now) {
+                removed_here = st.reservations.remove(id);
+            }
+        }
+        CrossOp::Subscribe { action, .. } | CrossOp::Query { action } => {
+            bit = st.engine.is_permitted(action);
+        }
+    }
+
+    // ---- Rendezvous: deposit the vote; the last voter decides.  While any
+    // owner is parked here its engine cannot move — the rendezvous is the
+    // queue-based equivalent of holding all owner locks. ----
+    let decision = {
+        let mut sync = lock(&task.sync);
+        sync.votes += 1;
+        sync.ok &= vote;
+        if let Some(reservation) = &removed_here {
+            sync.any_reservation = true;
+            if sync.removed.is_none() {
+                sync.removed = Some(reservation.clone());
+            }
+        }
+        sync.bits[pos] = bit;
+        if sync.votes == n {
+            let decision = decide(shared, task, &mut sync);
+            sync.decision = Some(decision);
+            task.barrier.notify_all();
+            decision
+        } else {
+            while sync.decision.is_none() {
+                sync = task.barrier.wait(sync).unwrap_or_else(|e| e.into_inner());
+            }
+            sync.decision.expect("checked above")
+        }
+    };
+
+    // ---- Phase 2: apply.  Only commit/reserve decisions have local work;
+    // the decider already finished everything else. ----
+    match decision {
+        Decision::Commit { seq } => {
+            let next = prepared.expect("commit decided only when every owner prepared");
+            st.engine.commit_prepared(next);
+            let engine = &st.engine;
+            let local_notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
+            let bits = cross_bits_for_shard(shared, st);
+            if pos == 0 {
+                let action = match &task.op {
+                    CrossOp::Execute { action, .. } | CrossOp::Ask { action, .. } => action.clone(),
+                    CrossOp::Confirm { .. } => removed_here
+                        .as_ref()
+                        .expect("confirm committed, so the primary held the reservation")
+                        .action
+                        .clone(),
+                    _ => unreachable!("only execute/ask/confirm commit"),
+                };
+                st.log.push((seq, action));
+            }
+            let mut sync = lock(&task.sync);
+            sync.notes[pos] = local_notes;
+            sync.cross_bits.extend(bits);
+            sync.applied += 1;
+            if sync.applied == n {
+                finish_commit(shared, task, &mut sync);
+            }
+        }
+        Decision::Reserve => {
+            let reservation =
+                lock(&task.sync).granted.clone().expect("reserve decided with a reservation");
+            st.reservations.insert(reservation.id, reservation);
+            let mut sync = lock(&task.sync);
+            sync.applied += 1;
+            if sync.applied == n {
+                finish_reserve(shared, task, &mut sync);
+            }
+        }
+        Decision::Deny
+        | Decision::Unknown
+        | Decision::Rejected
+        | Decision::Released
+        | Decision::Done => {}
+    }
+}
+
+/// The last voter's verdict.  Non-commit outcomes are finished right here —
+/// the other owners only need to observe the decision and move on.
+fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Decision {
+    let complete = |sync: &mut CrossSync, completion: Completion| {
+        if let Some(issuer) = sync.ticket.take() {
+            issuer.complete(completion);
+        }
+    };
+    match &task.op {
+        CrossOp::Execute { .. } => {
+            if sync.ok {
+                Decision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) }
+            } else {
+                shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                complete(sync, Completion::Denied);
+                Decision::Deny
+            }
+        }
+        CrossOp::Ask { client, action } => {
+            if !sync.ok {
+                shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                complete(sync, Completion::Denied);
+                Decision::Deny
+            } else if matches!(shared.variant, ProtocolVariant::Combined) {
+                Decision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) }
+            } else {
+                shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+                sync.granted = Some(shared.new_reservation(*client, action));
+                Decision::Reserve
+            }
+        }
+        CrossOp::Confirm { id } => {
+            lock(&shared.reservation_index).remove(id);
+            if !sync.any_reservation {
+                complete(
+                    sync,
+                    Completion::Failed { error: ManagerError::UnknownReservation { id: *id } },
+                );
+                Decision::Unknown
+            } else if !sync.ok {
+                let action =
+                    sync.removed.as_ref().map(|r| r.action.to_string()).unwrap_or_default();
+                complete(
+                    sync,
+                    Completion::Failed { error: ManagerError::RejectedConfirmation { action } },
+                );
+                Decision::Rejected
+            } else {
+                Decision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) }
+            }
+        }
+        CrossOp::Abort { id } => {
+            lock(&shared.reservation_index).remove(id);
+            match sync.removed.clone() {
+                Some(reservation) => {
+                    shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
+                    complete(sync, Completion::Aborted { reservation });
+                }
+                None => complete(
+                    sync,
+                    Completion::Failed { error: ManagerError::UnknownReservation { id: *id } },
+                ),
+            }
+            Decision::Released
+        }
+        CrossOp::Expire { id, .. } => {
+            let reservation = sync.removed.clone();
+            if reservation.is_some() {
+                lock(&shared.reservation_index).remove(id);
+                shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
+            }
+            complete(sync, Completion::Expired { reservation });
+            Decision::Released
+        }
+        CrossOp::Subscribe { client, action } => {
+            // Every other owner is parked at the rendezvous, so the bits are
+            // a consistent snapshot — the same guarantee the blocking
+            // manager gets from holding all owner locks while registering.
+            let permitted = sync.bits.iter().all(|b| *b);
+            let mut cross = lock(&shared.cross_subscriptions);
+            for &owner in &task.owners {
+                cross.by_shard.entry(owner).or_default().insert(action.clone());
+            }
+            let entry = cross.entries.entry(action.clone()).or_insert_with(|| {
+                shared.cross_entry_count.fetch_add(1, Ordering::Relaxed);
+                crate::manager::CrossEntry {
+                    owners: task.owners.clone(),
+                    bits: sync.bits.clone(),
+                    clients: Vec::new(),
+                    permitted,
+                }
+            });
+            if !entry.clients.contains(client) {
+                entry.clients.push(*client);
+                entry.clients.sort_unstable();
+            }
+            let status = entry.permitted;
+            drop(cross);
+            complete(sync, Completion::Subscribed { permitted: status });
+            Decision::Done
+        }
+        CrossOp::Query { .. } => {
+            let permitted = sync.bits.iter().all(|b| *b);
+            complete(sync, Completion::Status { permitted });
+            Decision::Done
+        }
+    }
+}
+
+/// Central bookkeeping after every owner applied a commit: merge the
+/// cross-subscription bits, count the stats, deliver the notifications, and
+/// fulfil the ticket.
+fn finish_commit(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) {
+    let mut notes: Vec<Notification> = sync.notes.iter_mut().flat_map(std::mem::take).collect();
+    notes.extend(merge_cross_bits(shared, &sync.cross_bits));
+    shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
+    if matches!(task.op, CrossOp::Execute { .. } | CrossOp::Ask { .. }) {
+        shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
+    deliver(shared, &notes);
+    if let Some(issuer) = sync.ticket.take() {
+        let completion = match &task.op {
+            CrossOp::Execute { .. } => Completion::Executed { notifications: notes },
+            CrossOp::Ask { .. } => Completion::Granted { reservation: 0 },
+            CrossOp::Confirm { .. } => Completion::Confirmed { notifications: notes },
+            _ => unreachable!("only execute/ask/confirm commit"),
+        };
+        issuer.complete(completion);
+    }
+}
+
+/// Central bookkeeping after every owner replicated a granted reservation.
+fn finish_reserve(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) {
+    let reservation = sync.granted.clone().expect("reserve decided with a reservation");
+    lock(&shared.reservation_index).insert(reservation.id, task.owners.clone());
+    if reservation.expires_at != u64::MAX {
+        lock(&shared.timers).schedule(
+            reservation.expires_at,
+            ExpiryEvent { id: reservation.id, owners: task.owners.clone() },
+        );
+    }
+    if let Some(issuer) = sync.ticket.take() {
+        issuer.complete(Completion::Granted { reservation: reservation.id });
+    }
+}
+
+/// The refreshed (action, shard, permitted) bits for every cross-subscribed
+/// action this shard co-owns — computed on the worker's own engine.
+fn cross_bits_for_shard(shared: &RuntimeShared, st: &ShardState) -> Vec<(Action, usize, bool)> {
+    if shared.cross_entry_count.load(Ordering::Relaxed) == 0 {
+        return Vec::new();
+    }
+    let co_owned: Vec<Action> = {
+        let cross = lock(&shared.cross_subscriptions);
+        match cross.by_shard.get(&st.id) {
+            Some(actions) => actions.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    };
+    co_owned
+        .into_iter()
+        .map(|action| {
+            let permitted = st.engine.is_permitted(&action);
+            (action, st.id, permitted)
+        })
+        .collect()
+}
+
+/// Writes deposited per-owner bits into the cross-subscription registry and
+/// returns notifications for entries whose conjunction flipped.
+fn merge_cross_bits(
+    shared: &RuntimeShared,
+    deposits: &[(Action, usize, bool)],
+) -> Vec<Notification> {
+    if deposits.is_empty() {
+        return Vec::new();
+    }
+    let mut cross = lock(&shared.cross_subscriptions);
+    for (action, owner, bit) in deposits {
+        if let Some(entry) = cross.entries.get_mut(action) {
+            if let Some(pos) = entry.owners.iter().position(|o| o == owner) {
+                entry.bits[pos] = *bit;
+            }
+        }
+    }
+    let mut touched: Vec<Action> = deposits.iter().map(|(a, _, _)| a.clone()).collect();
+    touched.sort();
+    touched.dedup();
+    let mut out = Vec::new();
+    for action in touched {
+        let Some(entry) = cross.entries.get_mut(&action) else { continue };
+        let now = entry.bits.iter().all(|b| *b);
+        if now != entry.permitted {
+            entry.permitted = now;
+            for client in &entry.clients {
+                out.push(Notification { client: *client, action: action.clone(), permitted: now });
+            }
+        }
+    }
+    out
+}
+
+/// Single-owner version of the cross-subscription refresh: a commit on this
+/// shard may flip entries it co-owns.
+fn refresh_cross_for_shard(
+    shared: &RuntimeShared,
+    shard_id: usize,
+    engine: &Engine,
+) -> Vec<Notification> {
+    if shared.cross_entry_count.load(Ordering::Relaxed) == 0 {
+        return Vec::new();
+    }
+    let mut cross = lock(&shared.cross_subscriptions);
+    if cross.entries.is_empty() {
+        return Vec::new();
+    }
+    let Some(actions) = cross.by_shard.get(&shard_id).cloned() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for action in actions {
+        let Some(entry) = cross.entries.get_mut(&action) else { continue };
+        if let Some(pos) = entry.owners.iter().position(|&o| o == shard_id) {
+            entry.bits[pos] = engine.is_permitted(&action);
+        }
+        let now = entry.bits.iter().all(|b| *b);
+        if now != entry.permitted {
+            entry.permitted = now;
+            for client in &entry.clients {
+                out.push(Notification { client: *client, action: action.clone(), permitted: now });
+            }
+        }
+    }
+    out
+}
+
+/// Sends notifications to the registered per-client channels.
+fn deliver(shared: &RuntimeShared, notes: &[Notification]) {
+    if notes.is_empty() {
+        return;
+    }
+    let channels = lock(&shared.notification_channels);
+    for note in notes {
+        if let Some(channel) = channels.get(&note.client) {
+            let _ = channel.send(note.clone());
+        }
+    }
+}
+
+impl RuntimeShared {
+    fn new_reservation(&self, client: ClientId, action: &Action) -> Reservation {
+        let now = self.clock.load(Ordering::Relaxed);
+        let expires_at = match self.variant {
+            ProtocolVariant::Simple => u64::MAX,
+            ProtocolVariant::Leased { lease } => now + lease,
+            ProtocolVariant::Combined => unreachable!("combined grants commit immediately"),
+        };
+        Reservation {
+            id: self.next_reservation.fetch_add(1, Ordering::Relaxed),
+            action: action.clone(),
+            client,
+            granted_at: now,
+            expires_at,
+        }
+    }
+}
+
+/// The abstract alphabet entry of a shard covering the action — the index
+/// key of the shard's subscription registry.
+fn abstract_key(shared: &RuntimeShared, shard_id: usize, action: &Action) -> Action {
+    shared
+        .router
+        .alphabet(shard_id)
+        .actions()
+        .find(|a| a.matches_concrete(action))
+        .cloned()
+        .unwrap_or_else(|| action.clone())
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ix_core::{parse, Value};
+
+    fn call(p: i64, x: &str) -> Action {
+        Action::concrete("call", [Value::int(p), Value::sym(x)])
+    }
+
+    fn perform(p: i64, x: &str) -> Action {
+        Action::concrete("perform", [Value::int(p), Value::sym(x)])
+    }
+
+    fn patient_constraint() -> Expr {
+        parse("all p { (some x { call(p, x) - perform(p, x) })* }").unwrap()
+    }
+
+    fn coupled_constraint() -> Expr {
+        parse(
+            "((some p { call_a(p) - perform_a(p) })* - audit)* \
+             @ ((some p { call_b(p) - perform_b(p) })* - audit)* \
+             @ ((some p { call_c(p) - perform_c(p) })* - audit)* \
+             @ ((some p { call_d(p) - perform_d(p) })* - audit)*",
+        )
+        .unwrap()
+    }
+
+    fn dept_action(kind: &str, dept: char, p: i64) -> Action {
+        Action::concrete(&format!("{kind}_{dept}"), [Value::int(p)])
+    }
+
+    fn audit() -> Action {
+        Action::nullary("audit")
+    }
+
+    #[test]
+    fn ask_confirm_cycle_over_tickets() {
+        let runtime = ManagerRuntime::new(&patient_constraint()).unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&call(1, "sono")).unwrap().expect("granted");
+        session.confirm_blocking(r).unwrap();
+        assert_eq!(session.ask_blocking(&call(1, "endo")).unwrap(), None, "mid-examination");
+        let r = session.ask_blocking(&perform(1, "sono")).unwrap().unwrap();
+        session.confirm_blocking(r).unwrap();
+        let report = runtime.shutdown().unwrap();
+        assert_eq!(report.log, vec![call(1, "sono"), perform(1, "sono")]);
+        assert_eq!(report.stats.grants, 2);
+        assert_eq!(report.stats.denials, 1);
+        assert_eq!(report.stats.confirmations, 2);
+    }
+
+    #[test]
+    fn tickets_pipeline_without_blocking() {
+        let runtime =
+            ManagerRuntime::with_protocol(&patient_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        let session = runtime.session(1);
+        // Submit a full schedule before waiting on anything.
+        let tickets: Vec<Ticket<Completion>> = (1..=50)
+            .flat_map(|p| [session.execute(&call(p, "sono")), session.execute(&perform(p, "sono"))])
+            .collect();
+        for t in &tickets {
+            assert!(matches!(t.wait(), Completion::Executed { .. }));
+        }
+        assert_eq!(runtime.stats().confirmations, 100);
+        assert_eq!(runtime.log().len(), 100);
+    }
+
+    #[test]
+    fn then_callbacks_fire_on_completion() {
+        let runtime =
+            ManagerRuntime::with_protocol(&patient_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        let session = runtime.session(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let t = session.execute(&call(1, "sono"));
+        t.then(move |c| {
+            if matches!(c, Completion::Executed { .. }) {
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        t.wait();
+        // The callback runs on the worker thread right after fulfilment;
+        // give it a moment.
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn leases_expire_through_the_timer_wheel() {
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let runtime =
+            ManagerRuntime::with_protocol(&expr, ProtocolVariant::Leased { lease: 5 }).unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&call(1, "sono")).unwrap().unwrap();
+        assert_eq!(session.ask_blocking(&call(2, "sono")).unwrap(), None, "slot reserved");
+        assert!(runtime.advance_time(4).is_empty(), "lease not yet due");
+        let expired = runtime.advance_time(2);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, r);
+        assert_eq!(runtime.stats().expired_reservations, 1);
+        assert!(session.ask_blocking(&call(2, "sono")).unwrap().is_some(), "slot released");
+        assert!(matches!(
+            session.confirm_blocking(r),
+            Err(ManagerError::UnknownReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_shard_execute_commits_atomically() {
+        let runtime =
+            ManagerRuntime::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        assert_eq!(runtime.shard_count(), 4);
+        assert!(runtime.is_cross_shard(&audit()));
+        let session = runtime.session(1);
+        assert!(session.execute_blocking(&audit()).unwrap().is_some());
+        assert!(session.execute_blocking(&dept_action("call", 'b', 7)).unwrap().is_some());
+        assert!(session.execute_blocking(&audit()).unwrap().is_none(), "dept b mid-case");
+        assert!(session.execute_blocking(&dept_action("perform", 'b', 7)).unwrap().is_some());
+        assert!(session.execute_blocking(&audit()).unwrap().is_some());
+        let log = runtime.log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0], audit());
+        assert_eq!(log[3], audit());
+        assert_eq!(runtime.stats().confirmations, 4);
+    }
+
+    /// Coupled components whose shared `audit` is terminal: once the audit
+    /// runs the ensemble closes, so a pending audit reservation vetoes every
+    /// later local call — the shape that makes release observable.
+    fn terminal_coupled_constraint() -> Expr {
+        parse(
+            "((some p { call_a(p) - perform_a(p) })* - audit) \
+             @ ((some p { call_b(p) - perform_b(p) })* - audit) \
+             @ ((some p { call_c(p) - perform_c(p) })* - audit) \
+             @ ((some p { call_d(p) - perform_d(p) })* - audit)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cross_shard_reservations_replicate_and_release() {
+        let runtime = ManagerRuntime::new(&terminal_coupled_constraint()).unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&audit()).unwrap().expect("granted");
+        // The audit reservation vetoes local grants on every owner.
+        assert_eq!(session.ask_blocking(&dept_action("call", 'a', 1)).unwrap(), None);
+        assert_eq!(session.ask_blocking(&dept_action("call", 'd', 1)).unwrap(), None);
+        let aborted = session.abort_blocking(r).unwrap();
+        assert_eq!(aborted.action, audit());
+        assert_eq!(runtime.stats().aborted_reservations, 1);
+        assert!(session.ask_blocking(&dept_action("call", 'a', 1)).unwrap().is_some());
+        assert!(matches!(
+            session.confirm_blocking(r),
+            Err(ManagerError::UnknownReservation { .. })
+        ));
+        assert_eq!(runtime.log().len(), 0);
+    }
+
+    #[test]
+    fn subscriptions_notify_via_session_channels() {
+        let runtime =
+            ManagerRuntime::with_protocol(&patient_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        let worklist = runtime.session(20);
+        let actor = runtime.session(10);
+        assert!(worklist.subscribe_blocking(&call(1, "endo")).unwrap());
+        assert!(actor.execute_blocking(&call(1, "sono")).unwrap().is_some());
+        let notes = worklist.poll_notifications();
+        assert_eq!(notes.len(), 1);
+        assert!(!notes[0].permitted);
+        assert_eq!(notes[0].action, call(1, "endo"));
+        assert_eq!(runtime.subscription_count(), 1);
+        worklist.unsubscribe(&call(1, "endo")).wait();
+        assert_eq!(runtime.subscription_count(), 0);
+    }
+
+    #[test]
+    fn cross_shard_subscriptions_report_the_conjunction() {
+        let runtime =
+            ManagerRuntime::with_protocol(&coupled_constraint(), ProtocolVariant::Combined)
+                .unwrap();
+        let watcher = runtime.session(9);
+        let actor = runtime.session(1);
+        assert!(watcher.subscribe_blocking(&audit()).unwrap(), "all departments idle");
+        assert!(actor.execute_blocking(&dept_action("call", 'c', 1)).unwrap().is_some());
+        let notes = watcher.poll_notifications();
+        assert!(notes.iter().any(|n| n.action == audit() && !n.permitted));
+        assert!(actor.execute_blocking(&dept_action("perform", 'c', 1)).unwrap().is_some());
+        let notes = watcher.poll_notifications();
+        assert!(notes.iter().any(|n| n.action == audit() && n.permitted));
+    }
+
+    #[test]
+    fn unknown_actions_and_non_concrete_actions_fail_like_the_blocking_manager() {
+        let runtime = ManagerRuntime::new(&patient_constraint()).unwrap();
+        let session = runtime.session(1);
+        let unknown = Action::nullary("unknown");
+        assert_eq!(session.ask_blocking(&unknown).unwrap(), None);
+        assert_eq!(session.execute_blocking(&unknown).unwrap(), None);
+        assert!(!session.is_permitted_blocking(&unknown));
+        assert!(!runtime.controls(&unknown));
+        let abstract_action = Action::new("call", [ix_core::Term::Param(ix_core::Param::new("p"))]);
+        assert!(matches!(
+            session.ask_blocking(&abstract_action),
+            Err(ManagerError::NonConcreteAction { .. })
+        ));
+        assert!(matches!(
+            session.confirm_blocking(99),
+            Err(ManagerError::UnknownReservation { id: 99 })
+        ));
+        assert_eq!(runtime.stats().denials, 2);
+    }
+
+    #[test]
+    fn durable_submissions_are_redelivered_after_a_crash() {
+        let runtime = ManagerRuntime::with_options(
+            &patient_constraint(),
+            RuntimeOptions {
+                variant: ProtocolVariant::Combined,
+                durable: true,
+                clock: ClockMode::Virtual,
+            },
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        // First submission: completed AND acknowledged.
+        assert!(session.execute_blocking(&call(1, "sono")).unwrap().is_some());
+        assert!(runtime.acknowledge_submission());
+        // Second submission: completed but the client "crashes" before
+        // acknowledging the completion.
+        assert!(session.execute_blocking(&perform(1, "sono")).unwrap().is_some());
+        assert_eq!(runtime.unacknowledged_submissions(), 1);
+        // Redelivery executes it again — at-least-once: this time the
+        // perform is denied (already committed), and the log is unchanged.
+        let redelivered = runtime.crash_redeliver();
+        assert_eq!(redelivered.len(), 1);
+        assert_eq!(redelivered[0].wait(), Completion::Denied);
+        assert_eq!(runtime.log(), vec![call(1, "sono"), perform(1, "sono")]);
+        assert_eq!(runtime.stats().asks, 3, "the redelivery is a real submission");
+        // The redelivered completion is acknowledged now; the journal
+        // drains.
+        assert!(runtime.acknowledge_submission());
+        assert_eq!(runtime.unacknowledged_submissions(), 0);
+        assert!(runtime.crash_redeliver().is_empty());
+    }
+
+    #[test]
+    fn wall_clock_mode_expires_leases_without_explicit_ticks() {
+        let expr = parse("mult 1 { (some p { call(p, sono) - perform(p, sono) })* }").unwrap();
+        let runtime = ManagerRuntime::with_options(
+            &expr,
+            RuntimeOptions {
+                variant: ProtocolVariant::Leased { lease: 2 },
+                durable: false,
+                clock: ClockMode::Wall { tick: Duration::from_millis(2) },
+            },
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        let _r = session.ask_blocking(&call(1, "sono")).unwrap().unwrap();
+        // The ticker advances the clock; within a generous window the lease
+        // must expire and release the slot.
+        let mut freed = false;
+        for _ in 0..500 {
+            if session.ask_blocking(&call(2, "sono")).unwrap().is_some() {
+                freed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(freed, "wall-clock ticker never expired the lease");
+        assert_eq!(runtime.stats().expired_reservations, 1);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_fails_straggling_submissions_instead_of_hanging() {
+        let runtime = ManagerRuntime::new(&patient_constraint()).unwrap();
+        let session = runtime.session(1);
+        runtime.shutdown().unwrap();
+        match session.execute(&call(1, "sono")).wait() {
+            Completion::Failed { error: ManagerError::Disconnected } => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+}

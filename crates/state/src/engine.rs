@@ -140,6 +140,42 @@ impl Engine {
         candidates.iter().filter(|a| self.is_permitted(a)).collect()
     }
 
+    /// Reservation-aware permissibility probe: simulates the `reserved`
+    /// actions first (in order, skipping any that are no longer executable)
+    /// and then checks whether `action` is permitted in the resulting state.
+    /// This is the probe a scheduler runs before granting a new reservation:
+    /// a granted-but-unconfirmed action must stay executable, so the new
+    /// grant is only given if the expression permits it *after* every
+    /// outstanding reservation as well.
+    ///
+    /// The engine itself is untouched — only a speculative state walk is
+    /// performed, without cloning the engine or charging its accept/reject
+    /// counters.  Single-owner shard workers call this on their exclusively
+    /// owned engine with no interior locking at all.
+    pub fn permitted_after<'a, I>(&self, reserved: I, action: &Action) -> bool
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        // Lazily cloned: the common case of an empty reservation table costs
+        // exactly one transition, like `is_permitted`.
+        let mut speculative: Option<State> = None;
+        for r in reserved {
+            if !r.is_concrete() {
+                continue;
+            }
+            let base = speculative.as_ref().unwrap_or(&self.state);
+            let next = trans_with(base, r, self.options);
+            if is_valid(&next) {
+                speculative = Some(next);
+            }
+        }
+        if !action.is_concrete() {
+            return false;
+        }
+        let base = speculative.as_ref().unwrap_or(&self.state);
+        is_valid(&trans_with(base, action, self.options))
+    }
+
     /// The tentative half of a two-phase action step: computes the successor
     /// state without installing it, returning `Some` iff the action is
     /// currently permitted.  The caller either installs the successor with
@@ -256,6 +292,26 @@ mod tests {
         // Still at the initial state.
         assert!(eng.is_permitted(&a("a")));
         assert_eq!(eng.accepted(), 0);
+    }
+
+    #[test]
+    fn reservation_aware_probe_replays_reserved_actions() {
+        // Capacity one: with a reservation for `call(1)` outstanding, a
+        // second call must probe as impermissible even though the engine's
+        // committed state still allows it.
+        let e = parse("mult 1 { (some p { call(p) - perform(p) })* }").unwrap();
+        let eng = Engine::new(&e).unwrap();
+        let call = |p: i64| Action::concrete("call", [Value::int(p)]);
+        assert!(eng.is_permitted(&call(2)));
+        let reserved = [call(1)];
+        assert!(!eng.permitted_after(reserved.iter(), &call(2)), "slot is reserved");
+        assert!(eng.permitted_after([].iter(), &call(2)), "no reservations, plain probe");
+        // A reservation that is itself no longer executable is skipped, and
+        // the engine is untouched either way.
+        let stale = [a("nonsense")];
+        assert!(eng.permitted_after(stale.iter(), &call(2)));
+        assert_eq!(eng.accepted(), 0);
+        assert_eq!(eng.rejected(), 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use crate::engine::{EngineError, WorkflowEngine, WorklistItem};
 use crate::model::{ActivityId, CaseData, WorkflowDefinition};
 use ix_core::{Action, Expr};
-use ix_manager::{ClientId, InteractionManager, ManagerResult, ProtocolVariant};
+use ix_manager::{
+    ClientId, Completion, ManagerResult, ManagerRuntime, ProtocolVariant, RuntimeOptions, Session,
+};
 use std::sync::Arc;
 
 /// The WfMS side of the coordination protocol.
@@ -37,62 +39,73 @@ pub trait CoordinationPort {
     fn messages(&self) -> u64;
 }
 
-/// A port that talks to an in-process interaction manager using the combined
-/// coordination protocol.  Several ports (one per worklist handler or
-/// engine) can share the same manager, which is the deployment Fig. 10/11
-/// depicts: one central scheduler, many clients.  The manager is sharded and
-/// all of its entry points take `&self`, so ports share it through a plain
-/// `Arc` — concurrent clients touching different sync-components proceed
-/// without contending on any common lock.
+/// A port that talks to the interaction manager *runtime* through a
+/// [`Session`], using the combined coordination protocol.  Several ports
+/// (one per worklist handler or engine) can share the same runtime, which is
+/// the deployment Fig. 10/11 depicts: one central coordination service, many
+/// clients.  The runtime runs one worker per shard behind ordered task
+/// queues, so concurrent ports touching different sync-components proceed on
+/// different workers without contending on any common lock; each blocking
+/// port call is a submission plus a ticket wait (callers that want to
+/// pipeline can drive the [`Session`] directly via [`ManagerPort::session`]).
 #[derive(Clone, Debug)]
 pub struct ManagerPort {
-    manager: Arc<InteractionManager>,
-    client: ClientId,
+    runtime: Arc<ManagerRuntime>,
+    session: Session,
     messages: u64,
 }
 
 impl ManagerPort {
-    /// Creates a port with its own manager enforcing the given interaction
-    /// expression.
+    /// Creates a port with its own manager runtime enforcing the given
+    /// interaction expression.
     pub fn new(expr: &Expr, client: ClientId) -> ManagerResult<ManagerPort> {
-        let manager = InteractionManager::with_protocol(expr, ProtocolVariant::Combined)?;
-        Ok(ManagerPort::shared(Arc::new(manager), client))
+        let runtime = ManagerRuntime::with_options(
+            expr,
+            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() },
+        )?;
+        Ok(ManagerPort::shared(Arc::new(runtime), client))
     }
 
-    /// Creates a port that talks to an existing (shared) manager.
-    pub fn shared(manager: Arc<InteractionManager>, client: ClientId) -> ManagerPort {
-        ManagerPort { manager, client, messages: 0 }
+    /// Creates a port that talks to an existing (shared) manager runtime.
+    pub fn shared(runtime: Arc<ManagerRuntime>, client: ClientId) -> ManagerPort {
+        let session = runtime.session(client);
+        ManagerPort { runtime, session, messages: 0 }
     }
 
-    /// The shared manager handle (pass it to further ports so that every
-    /// client talks to the same central scheduler).
-    pub fn handle(&self) -> Arc<InteractionManager> {
-        self.manager.clone()
+    /// The shared runtime handle (pass it to further ports so that every
+    /// client talks to the same central coordination service).
+    pub fn handle(&self) -> Arc<ManagerRuntime> {
+        self.runtime.clone()
     }
 
-    /// The underlying manager (statistics, log).
-    pub fn manager(&self) -> &InteractionManager {
-        &self.manager
+    /// The underlying runtime (statistics, log).
+    pub fn runtime(&self) -> &ManagerRuntime {
+        &self.runtime
+    }
+
+    /// The port's session (submit without blocking, keep tickets in flight).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 }
 
 impl CoordinationPort for ManagerPort {
     fn is_permitted(&mut self, action: &Action) -> bool {
-        if !self.manager.controls(action) {
+        if !self.runtime.controls(action) {
             // Activities the interaction graph does not mention are
             // unconstrained; no conversation with the manager is needed.
             return true;
         }
         self.messages += 2; // ask + reply
-        self.manager.is_permitted(action)
+        self.session.is_permitted_blocking(action)
     }
 
     fn execute(&mut self, action: &Action) -> bool {
-        if !self.manager.controls(action) {
+        if !self.runtime.controls(action) {
             return true;
         }
         self.messages += 2; // combined request + reply
-        matches!(self.manager.try_execute(self.client, action), Ok(Some(_)))
+        matches!(self.session.execute(action).wait(), Completion::Executed { .. })
     }
 
     fn messages(&self) -> u64 {

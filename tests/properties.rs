@@ -9,7 +9,7 @@
 //! words) the paper uses.
 
 use ix_core::{parse, simplify, Expr, Value};
-use ix_manager::{InteractionManager, ProtocolVariant};
+use ix_manager::{InteractionManager, ManagerRuntime, ProtocolVariant};
 use ix_semantics::{equivalent, Universe};
 use ix_state::{sharded_word_problem, word_problem, Engine, ShardedEngine};
 use proptest::prelude::*;
@@ -200,6 +200,68 @@ fn assert_manager_monolith_equivalence(
     Ok(())
 }
 
+/// Drives the same word sequentially through a [`ManagerRuntime`] session
+/// and the blocking [`InteractionManager`] (both sharded, combined protocol)
+/// and asserts identical per-action outcomes, an identical merged log, and
+/// identical statistics — the correctness contract of the session runtime:
+/// same semantics as the blocking surface, delivered through tickets.
+fn assert_runtime_blocking_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let blocking = InteractionManager::with_protocol(x, ProtocolVariant::Combined).unwrap();
+    let runtime = ManagerRuntime::with_protocol(x, ProtocolVariant::Combined).unwrap();
+    let session = runtime.session(1);
+    for action in word {
+        prop_assert_eq!(
+            session.is_permitted_blocking(action),
+            blocking.is_permitted(action),
+            "is_permitted disagrees on `{}` for {}",
+            x,
+            action
+        );
+        let r = session.execute_blocking(action).unwrap().is_some();
+        let b = blocking.try_execute(1, action).unwrap().is_some();
+        prop_assert_eq!(r, b, "execute disagrees on `{}` for {}", x, action);
+    }
+    prop_assert_eq!(runtime.log(), blocking.log(), "merged logs diverge on `{}`", x);
+    prop_assert_eq!(runtime.is_final(), blocking.is_final());
+    let (rs, bs) = (runtime.stats(), blocking.stats());
+    prop_assert_eq!(rs.asks, bs.asks);
+    prop_assert_eq!(rs.grants, bs.grants);
+    prop_assert_eq!(rs.denials, bs.denials);
+    prop_assert_eq!(rs.confirmations, bs.confirmations);
+    Ok(())
+}
+
+/// The same contract for the ask/confirm protocol under the simple variant:
+/// identical grant decisions, identical reservation ids, identical logs.
+fn assert_runtime_blocking_ask_confirm_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let blocking = InteractionManager::with_protocol(x, ProtocolVariant::Simple).unwrap();
+    let runtime = ManagerRuntime::with_protocol(x, ProtocolVariant::Simple).unwrap();
+    let session = runtime.session(1);
+    for action in word {
+        let r = session.ask_blocking(action).unwrap();
+        let b = blocking.ask(1, action).unwrap();
+        prop_assert_eq!(r, b, "ask disagrees on `{}` for {}", x, action);
+        if let Some(id) = r {
+            // Confirm immediately, so every later decision sees the same
+            // committed state on both surfaces.
+            session.confirm_blocking(id).unwrap();
+            blocking.confirm(id).unwrap();
+        }
+    }
+    prop_assert_eq!(runtime.log(), blocking.log(), "merged logs diverge on `{}`", x);
+    let (rs, bs) = (runtime.stats(), blocking.stats());
+    prop_assert_eq!(rs.grants, bs.grants);
+    prop_assert_eq!(rs.denials, bs.denials);
+    prop_assert_eq!(rs.confirmations, bs.confirmations);
+    Ok(())
+}
+
 const BOUND: usize = 3;
 
 proptest! {
@@ -291,6 +353,30 @@ proptest! {
         word in word_strategy(),
     ) {
         assert_manager_monolith_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn runtime_matches_blocking_manager_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_runtime_blocking_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn runtime_matches_blocking_manager_on_shardable_expressions(
+        x in shardable_expr(),
+        word in word_strategy(),
+    ) {
+        assert_runtime_blocking_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn runtime_ask_confirm_matches_blocking_manager(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_runtime_blocking_ask_confirm_equivalence(&x, &word)?;
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is disconnected and empty.
+        Disconnected,
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             Sender(self.0.clone())
@@ -60,6 +69,14 @@ pub mod channel {
         /// Blocks until a message arrives or the channel disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.lock().unwrap_or_else(|e| e.into_inner()).recv().map_err(|_| RecvError)
+        }
+
+        /// Receives a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// Drains the messages currently in the channel without blocking.
