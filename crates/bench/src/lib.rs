@@ -11,10 +11,12 @@
 
 pub mod contended;
 pub mod pipelined;
+pub mod stepbench;
 pub mod workloads;
 
 pub use contended::*;
 pub use pipelined::*;
+pub use stepbench::*;
 pub use workloads::*;
 
 use ix_core::{Action, Expr};

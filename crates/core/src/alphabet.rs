@@ -14,6 +14,7 @@
 
 use crate::action::Action;
 use crate::expr::{Expr, ExprKind};
+use crate::Symbol;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -69,11 +70,21 @@ impl Alphabet {
         self.actions.contains(a)
     }
 
+    /// The members whose action name is `name` — the symbol-indexed
+    /// candidate set for routing a concrete action.  Actions order by name
+    /// first, so the candidates are one contiguous range of the backing
+    /// set: the lookup costs a tree descent plus the matching actions, not
+    /// a scan of the whole alphabet.
+    pub fn candidates(&self, name: Symbol) -> impl Iterator<Item = &Action> {
+        self.actions.range(Action::nullary(name)..).take_while(move |a| a.name() == name)
+    }
+
     /// True if the concrete action matches some abstract action of the
     /// alphabet.  This is the membership test the synchronization operator
-    /// uses to decide whether an operand "knows" an action.
+    /// uses to decide whether an operand "knows" an action; dispatch is on
+    /// the action name via [`Alphabet::candidates`].
     pub fn covers(&self, concrete: &Action) -> bool {
-        self.actions.iter().any(|a| a.matches_concrete(concrete))
+        self.candidates(concrete.name()).any(|a| a.matches_concrete(concrete))
     }
 
     /// True if the two alphabets share no footprint: no concrete action can
@@ -93,8 +104,9 @@ impl Alphabet {
     /// True if some member of the alphabet could be instantiated to the same
     /// concrete action as `action` ([`Action::may_overlap`]).  The ownership
     /// map uses this to decide which components co-own an abstract action.
+    /// Overlap requires equal names, so the symbol index applies here too.
     pub fn overlaps_action(&self, action: &Action) -> bool {
-        self.actions.iter().any(|a| a.may_overlap(action))
+        self.candidates(action.name()).any(|a| a.may_overlap(action))
     }
 }
 
@@ -208,6 +220,24 @@ mod tests {
         assert_eq!(u.len(), 2);
         let s = u.to_string();
         assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn candidates_are_exactly_the_same_name_members() {
+        let alpha = Alphabet::from_actions([
+            Action::nullary("a"),
+            act_p("call", "p"),
+            Action::concrete("call", [Value::int(1), Value::int(2)]),
+            Action::nullary("z"),
+        ]);
+        let call = crate::Symbol::new("call");
+        let candidates: Vec<&Action> = alpha.candidates(call).collect();
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates.iter().all(|a| a.name() == call));
+        assert_eq!(alpha.candidates(crate::Symbol::new("missing")).count(), 0);
+        // covers routes through the same index.
+        assert!(alpha.covers(&Action::concrete("call", [Value::int(9)])));
+        assert!(!alpha.covers(&Action::concrete("missing", [Value::int(9)])));
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub fn validate_expr(
 ) -> Result<ValidationReport, ix_state::StateError> {
     let initial = init(expr)?;
     let alphabet = exploration_alphabet(expr, budget.sample_values);
+    // States embed interior-mutable coverage memos that are excluded from
+    // their Eq/Ord/Hash, so they are sound set keys.
+    #[allow(clippy::mutable_key_type)]
     let mut seen: BTreeSet<State> = BTreeSet::new();
     let mut frontier: Vec<State> = vec![initial.clone()];
     seen.insert(initial);

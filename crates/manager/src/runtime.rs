@@ -45,11 +45,11 @@ use crate::error::{ManagerError, ManagerResult};
 use crate::manager::{CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats};
 use crate::queue::DurableQueue;
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
-use crate::ticket::{completed, ticket, Ticket, TicketIssuer};
+use crate::ticket::{completed, ticket, DeferredWake, Ticket, TicketIssuer};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use ix_core::{Action, Alphabet, Expr, Partition};
-use ix_state::{Engine, ShardRouter, State};
+use ix_state::{Engine, Route, ShardRouter, StateRef};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -196,13 +196,27 @@ struct RuntimeShared {
 
 type Queues = Arc<Vec<Sender<Task>>>;
 
+/// Sort key of a per-shard log entry.  Cross-shard commits act as epoch
+/// boundaries: their key is `(own seq, 0, 0)`, and a single-owner commit is
+/// keyed by `(seq of the last cross-shard commit applied on its shard, 1,
+/// unique sub-sequence)`.  Sorting the merged segments by this key yields a
+/// legal linearization even though shard workers run (and speculate) at
+/// different speeds: per-shard commit order is preserved exactly, and
+/// single-owner commits of *different* shards within the same epoch have
+/// disjoint alphabets (they belong to different sync-components), so any
+/// relative order replays.
+type LogKey = (u64, u8, u64);
+
 /// One shard's state, exclusively owned by its worker thread — no lock.
 struct ShardState {
     id: usize,
     engine: Engine,
     reservations: BTreeMap<u64, Reservation>,
     subscriptions: SubscriptionRegistry,
-    log: Vec<(u64, Action)>,
+    log: Vec<(LogKey, Action)>,
+    /// Sequence number of the last cross-shard commit applied on this shard
+    /// — the epoch component of single-owner log keys.
+    epoch: u64,
 }
 
 impl ShardState {
@@ -214,7 +228,7 @@ impl ShardState {
 /// Read-only facts a snapshot task reports about one shard.
 #[derive(Clone, Debug, Default)]
 struct ShardSnapshot {
-    log: Vec<(u64, Action)>,
+    log: Vec<(LogKey, Action)>,
     subscriptions: usize,
     is_final: bool,
 }
@@ -222,6 +236,7 @@ struct ShardSnapshot {
 enum Task {
     Single(SingleTask),
     Cross(Arc<CrossTask>),
+    Exec(Arc<ExecTask>),
     Snapshot(TicketIssuer<ShardSnapshot>),
     Stop,
 }
@@ -254,15 +269,81 @@ struct CrossTask {
 }
 
 enum CrossOp {
-    // The client is not part of a combined execute's semantics (exactly as
-    // in the blocking manager, which ignores it on this path).
-    Execute { action: Action },
     Ask { client: ClientId, action: Action },
     Confirm { id: u64 },
     Abort { id: u64 },
     Expire { id: u64, now: u64 },
     Subscribe { client: ClientId, action: Action },
     Query { action: Action },
+}
+
+/// A multi-owner combined execute — the hot cross-shard task, carried by its
+/// own rendezvous object so that *consecutive runs* of them coalesce.
+///
+/// A worker that dequeues one drains the whole already-queued run of
+/// same-owner-set executes (plus the single-owner executes interleaved
+/// between them) and walks it in one speculative pass.  The protocol admits
+/// only **unconditional** votes: a vote is deposited only when the voter
+/// knows the outcome of every predecessor of the same owner set, which
+/// holds along the speculative chain as long as the voter's own earlier
+/// votes were *no* (a single no forces a global denial, so the assumed
+/// outcome is a fact) or already-decided.  Consequences:
+///
+/// * an unconditional **no** decides the task as denied on the spot — the
+///   conjunction is already false, no rendezvous happens at all, and a
+///   mid-case shard insta-denies an entire run of barrier attempts in one
+///   pass;
+/// * an unconditional **yes** is deposited and the task commits when all
+///   owners have deposited one (the last depositor decides and assigns the
+///   log sequence number);
+/// * a voter whose chain contains an undecided yes-assumption stays silent
+///   and votes later, when the assumption has resolved — if it resolved
+///   against the assumption, the tail of the speculation is recomputed
+///   (cheaply, through the engine's transition memo) before voting.
+///
+/// Decisions therefore still happen strictly in queue order per owner set,
+/// each from votes computed against the true predecessor state, so
+/// per-action outcomes, the merged log and the statistics are identical to
+/// an unbatched rendezvous; what changes is that owners park only on
+/// commit-pending tasks instead of once per action.
+struct ExecTask {
+    owners: Vec<usize>,
+    // The client is not part of a combined execute's semantics (exactly as
+    // in the blocking manager, which ignores it on this path).
+    action: Action,
+    sync: Mutex<ExecSync>,
+    barrier: Condvar,
+}
+
+struct ExecSync {
+    /// Owners that have deposited an (always unconditional, always yes)
+    /// vote, aligned with `owners`.  No-votes are never deposited — they
+    /// decide the task as denied immediately.
+    voted: Vec<bool>,
+    /// Number of deposited yes votes; the task commits at `owners.len()`.
+    yes_votes: usize,
+    /// The verdict, set exactly once.
+    decision: Option<ExecDecision>,
+    /// Owners that have applied a commit decision so far.
+    applied: usize,
+    /// Local subscription notifications, tagged with the owner position so
+    /// the merged order matches the blocking manager.
+    notes: Vec<(usize, Vec<Notification>)>,
+    /// Refreshed cross-subscription bits deposited by the owners.
+    cross_bits: Vec<(Action, usize, bool)>,
+    ticket: Option<TicketIssuer<Completion>>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecDecision {
+    /// All owners voted yes: install the prepared successors under sequence
+    /// number `seq`.
+    Commit {
+        /// The global log sequence number of the commit.
+        seq: u64,
+    },
+    /// Some owner voted an unconditional no.
+    Deny,
 }
 
 struct CrossSync {
@@ -401,6 +482,7 @@ impl ManagerRuntime {
                 reservations: BTreeMap::new(),
                 subscriptions: SubscriptionRegistry::new(),
                 log: Vec::new(),
+                epoch: 0,
             };
             workers.push(std::thread::spawn(move || worker(shared, rx, state)));
         }
@@ -493,11 +575,11 @@ impl ManagerRuntime {
     /// reports its segment through its own queue, so the snapshot reflects
     /// every commit that completed before this call.
     pub fn log(&self) -> Vec<Action> {
-        let mut entries: Vec<(u64, Action)> = Vec::new();
+        let mut entries: Vec<(LogKey, Action)> = Vec::new();
         for snapshot in self.snapshots() {
             entries.extend(snapshot.log);
         }
-        entries.sort_by_key(|(seq, _)| *seq);
+        entries.sort_by_key(|(key, _)| *key);
         entries.into_iter().map(|(_, action)| action).collect()
     }
 
@@ -617,14 +699,14 @@ impl ManagerRuntime {
             }
         }
         let workers = std::mem::take(&mut *lock(&self.workers));
-        let mut entries: Vec<(u64, Action)> = Vec::new();
+        let mut entries: Vec<(LogKey, Action)> = Vec::new();
         let mut shards = 0usize;
         for handle in workers {
             let state = handle.join().map_err(|_| ManagerError::Disconnected)?;
             entries.extend(state.log);
             shards += 1;
         }
-        entries.sort_by_key(|(seq, _)| *seq);
+        entries.sort_by_key(|(key, _)| *key);
         Ok(RuntimeReport {
             log: entries.into_iter().map(|(_, action)| action).collect(),
             stats: self.shared.stats.snapshot(),
@@ -712,9 +794,8 @@ impl Session {
     /// [`Session::poll_notifications`].
     pub fn subscribe(&self, action: &Action) -> Ticket<Completion> {
         let shared = &self.shared;
-        let owners = shared.router.owners(action);
-        match owners.as_slice() {
-            [] => {
+        match shared.router.classify(action) {
+            Route::None => {
                 lock(&shared.orphan_subscriptions).subscribe(
                     self.client,
                     action.clone(),
@@ -723,13 +804,13 @@ impl Session {
                 );
                 completed(Completion::Subscribed { permitted: false })
             }
-            [shard] => dispatch_single(
+            Route::Single(shard) => dispatch_single(
                 &self.queues,
-                *shard,
+                shard,
                 self.client,
                 Op::Subscribe { action: action.clone() },
             ),
-            _ => dispatch_cross(
+            Route::Multi(owners) => dispatch_cross(
                 shared,
                 &self.queues,
                 owners,
@@ -741,19 +822,18 @@ impl Session {
     /// Removes a subscription.
     pub fn unsubscribe(&self, action: &Action) -> Ticket<Completion> {
         let shared = &self.shared;
-        let owners = shared.router.owners(action);
-        match owners.as_slice() {
-            [] => {
+        match shared.router.classify(action) {
+            Route::None => {
                 lock(&shared.orphan_subscriptions).unsubscribe(self.client, action);
                 completed(Completion::Unsubscribed)
             }
-            [shard] => dispatch_single(
+            Route::Single(shard) => dispatch_single(
                 &self.queues,
-                *shard,
+                shard,
                 self.client,
                 Op::Unsubscribe { action: action.clone() },
             ),
-            _ => {
+            Route::Multi(_) => {
                 // Cross-shard subscriptions live in the runtime-level
                 // registry only; no shard state is involved.
                 let mut cross = lock(&shared.cross_subscriptions);
@@ -780,16 +860,15 @@ impl Session {
     /// Queries whether the action is currently permitted (ignoring
     /// outstanding reservations), evaluated on the owning shards.
     pub fn is_permitted(&self, action: &Action) -> Ticket<Completion> {
-        let owners = self.shared.router.owners(action);
-        match owners.as_slice() {
-            [] => completed(Completion::Status { permitted: false }),
-            [shard] => dispatch_single(
+        match self.shared.router.classify(action) {
+            Route::None => completed(Completion::Status { permitted: false }),
+            Route::Single(shard) => dispatch_single(
                 &self.queues,
-                *shard,
+                shard,
                 self.client,
                 Op::Query { action: action.clone() },
             ),
-            _ => dispatch_cross(
+            Route::Multi(owners) => dispatch_cross(
                 &self.shared,
                 &self.queues,
                 owners,
@@ -890,14 +969,15 @@ fn submit_ask(
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
     }
-    let owners = shared.router.owners(action);
-    match owners.as_slice() {
-        [] => {
+    match shared.router.classify(action) {
+        Route::None => {
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
             completed(Completion::Denied)
         }
-        [shard] => dispatch_single(queues, *shard, client, Op::Ask { action: action.clone() }),
-        _ => {
+        Route::Single(shard) => {
+            dispatch_single(queues, shard, client, Op::Ask { action: action.clone() })
+        }
+        Route::Multi(owners) => {
             dispatch_cross(shared, queues, owners, CrossOp::Ask { client, action: action.clone() })
         }
     }
@@ -915,14 +995,15 @@ fn submit_execute(
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
     }
-    let owners = shared.router.owners(action);
-    match owners.as_slice() {
-        [] => {
+    match shared.router.classify(action) {
+        Route::None => {
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
             completed(Completion::Denied)
         }
-        [shard] => dispatch_single(queues, *shard, client, Op::Execute { action: action.clone() }),
-        _ => dispatch_cross(shared, queues, owners, CrossOp::Execute { action: action.clone() }),
+        Route::Single(shard) => {
+            dispatch_single(queues, shard, client, Op::Execute { action: action.clone() })
+        }
+        Route::Multi(owners) => dispatch_exec(shared, queues, owners, action),
     }
 }
 
@@ -958,6 +1039,52 @@ fn dispatch_single(queues: &Queues, shard: usize, client: ClientId, op: Op) -> T
     let task = Task::Single(SingleTask { client, op, ticket: issuer });
     if let Err(crossbeam::channel::SendError(Task::Single(task))) = queues[shard].send(task) {
         task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
+    }
+    t
+}
+
+/// Enqueues a multi-owner combined execute onto every owner's queue in
+/// ascending order.  The task (rendezvous state, ticket, action) is built
+/// entirely outside the enqueue lock; the critical section is exactly the
+/// send loop that fixes the task's relative order.
+fn dispatch_exec(
+    shared: &RuntimeShared,
+    queues: &Queues,
+    owners: Vec<usize>,
+    action: &Action,
+) -> Ticket<Completion> {
+    let (issuer, t) = ticket();
+    let n = owners.len();
+    let task = Arc::new(ExecTask {
+        owners,
+        action: action.clone(),
+        sync: Mutex::new(ExecSync {
+            voted: vec![false; n],
+            yes_votes: 0,
+            decision: None,
+            applied: 0,
+            notes: Vec::new(),
+            cross_bits: Vec::new(),
+            ticket: Some(issuer),
+        }),
+        barrier: Condvar::new(),
+    });
+    let mut failed = false;
+    {
+        let _guard = lock(&shared.cross_enqueue);
+        for &owner in &task.owners {
+            if queues[owner].send(Task::Exec(Arc::clone(&task))).is_err() {
+                failed = true;
+                break;
+            }
+        }
+    }
+    if failed {
+        // Queues only disconnect when the runtime is gone; nobody will ever
+        // rendezvous, so fail the ticket here.
+        if let Some(issuer) = lock(&task.sync).ticket.take() {
+            issuer.complete(Completion::Failed { error: ManagerError::Disconnected });
+        }
     }
     t
 }
@@ -1037,13 +1164,55 @@ fn advance_clock(shared: &Arc<RuntimeShared>, queues: &Queues, delta: u64) -> Ve
 // The worker: one per shard, exclusive owner of the shard state.
 // ---------------------------------------------------------------------------
 
+/// True on hosts with a single hardware thread (cached).  Two worker
+/// policies flip there: spinning is pure loss (the producer cannot run
+/// while the consumer burns the core), and ticket wakeups are deferred and
+/// flushed in batches so a client/worker pair context-switches per drained
+/// queue instead of per completion.
+fn single_core() -> bool {
+    static CORES: AtomicU64 = AtomicU64::new(0);
+    let cached = CORES.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached == 1;
+    }
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    CORES.store(parallelism as u64, Ordering::Relaxed);
+    parallelism == 1
+}
+
 /// How many empty polls a worker performs before parking in `recv`.  A hot
 /// queue never parks (no futex round trip per task); an idle one costs a few
 /// hundred spins before sleeping.
-const WORKER_SPIN: u32 = 256;
+fn worker_spin() -> u32 {
+    if single_core() {
+        0
+    } else {
+        256
+    }
+}
+
+/// Fulfils a completion ticket from a shard worker.  On single-core hosts
+/// the waiter wakeup is deferred into `wakes` (flushed before every park and
+/// on worker exit); elsewhere the completion wakes immediately.
+fn fulfil(ticket: TicketIssuer<Completion>, value: Completion, wakes: &mut Vec<DeferredWake>) {
+    if single_core() {
+        if let Some(wake) = ticket.complete_deferred(value) {
+            wakes.push(wake);
+        }
+    } else {
+        ticket.complete(value);
+    }
+}
+
+/// Delivers every deferred wakeup collected so far.
+fn flush_wakes(wakes: &mut Vec<DeferredWake>) {
+    for wake in wakes.drain(..) {
+        wake.wake();
+    }
+}
 
 fn next_task(rx: &Receiver<Task>) -> Result<Task, crossbeam::channel::RecvError> {
-    for i in 0..WORKER_SPIN {
+    for i in 0..worker_spin() {
         match rx.try_recv() {
             Ok(task) => return Ok(task),
             Err(TryRecvError::Disconnected) => return Err(crossbeam::channel::RecvError),
@@ -1060,10 +1229,58 @@ fn next_task(rx: &Receiver<Task>) -> Result<Task, crossbeam::channel::RecvError>
 }
 
 fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) -> ShardState {
+    // A one-slot pushback buffer: collecting a run of consecutive
+    // multi-owner executes pops one task too many, which is processed next.
+    let mut pushback: Option<Task> = None;
+    // Deferred ticket wakeups (single-core hosts only) — flushed before
+    // every park and on exit, so waiters are never stranded.
+    let mut wakes: Vec<DeferredWake> = Vec::new();
     loop {
-        match next_task(&rx) {
-            Ok(Task::Single(task)) => process_single(&shared, &mut st, task),
-            Ok(Task::Cross(task)) => process_cross(&shared, &mut st, &task),
+        let task = match pushback.take() {
+            Some(task) => Ok(task),
+            None => match rx.try_recv() {
+                Ok(task) => Ok(task),
+                Err(TryRecvError::Disconnected) => Err(crossbeam::channel::RecvError),
+                Err(TryRecvError::Empty) => {
+                    // About to go idle: deliver the banked wakeups first —
+                    // the woken clients are exactly who refills the queue.
+                    flush_wakes(&mut wakes);
+                    next_task(&rx)
+                }
+            },
+        };
+        match task {
+            Ok(Task::Single(task)) => process_single(&shared, &mut st, task, &mut wakes),
+            Ok(Task::Cross(task)) => {
+                flush_wakes(&mut wakes);
+                process_cross(&shared, &mut st, &task)
+            }
+            Ok(Task::Exec(task)) => {
+                // Coalesce the already-queued consecutive run of same-owner-
+                // set executes — plus the single-owner executes interleaved
+                // between them — into one speculative batch: the rendezvous
+                // votes once per batch instead of once per action.
+                let mut batch = Batch::new(task);
+                loop {
+                    match rx.try_recv() {
+                        Ok(Task::Exec(next)) if next.owners == batch.owners => {
+                            batch.push_exec(next)
+                        }
+                        Ok(Task::Single(single)) if matches!(single.op, Op::Execute { .. }) => {
+                            batch.push_local(single)
+                        }
+                        Ok(other) => {
+                            pushback = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                    if batch.actions.len() >= MAX_BATCH {
+                        break;
+                    }
+                }
+                process_batch(&shared, &mut st, batch, &mut wakes);
+            }
             Ok(Task::Snapshot(issuer)) => issuer.complete(ShardSnapshot {
                 log: st.log.clone(),
                 subscriptions: st.subscriptions.len(),
@@ -1081,7 +1298,11 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
             }
             Err(_) => break,
         }
+        if wakes.len() >= 256 {
+            flush_wakes(&mut wakes);
+        }
     }
+    flush_wakes(&mut wakes);
     st
 }
 
@@ -1094,29 +1315,391 @@ fn fail_task(task: Task) {
                 issuer.complete(disconnected());
             }
         }
+        Task::Exec(task) => {
+            if let Some(issuer) = lock(&task.sync).ticket.take() {
+                issuer.complete(disconnected());
+            }
+        }
         Task::Snapshot(issuer) => issuer.complete(ShardSnapshot::default()),
         Task::Stop => {}
     }
 }
 
-fn process_single(shared: &RuntimeShared, st: &mut ShardState, task: SingleTask) {
+// ---------------------------------------------------------------------------
+// The coalesced multi-owner execute rendezvous.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the items one speculative batch may absorb — bounds the
+/// cost of recomputing a speculation tail after a denial.
+const MAX_BATCH: usize = 128;
+
+/// One owner's local vote on an execute: the reservation-aware probe (only
+/// when reservations are outstanding, as on the single-owner path) followed
+/// by the tentative prepare, both from the speculative `base` state of the
+/// run's chain.  `Some` is a yes vote carrying the prepared successor.
+fn exec_vote(st: &ShardState, base: Option<&StateRef>, action: &Action) -> Option<StateRef> {
+    let permitted = st.reservations.is_empty()
+        || st.engine.permitted_after_from(
+            base,
+            st.reservations.values().map(|r| &r.action),
+            action,
+        );
+    if !permitted {
+        return None;
+    }
+    st.engine.prepare_from(base, action)
+}
+
+/// Deposits this owner's *unconditional* vote and decides the task when the
+/// vote settles it: a no decides `Deny` immediately (the conjunction is
+/// false), the last yes decides `Commit`.  Must only be called when the
+/// outcome of every same-owner-set predecessor is known to the caller and
+/// reflected in the vote's base state.
+fn deposit_unconditional_vote(
+    shared: &RuntimeShared,
+    task: &ExecTask,
+    sync: &mut ExecSync,
+    pos: usize,
+    yes: bool,
+) {
+    if sync.decision.is_some() || sync.voted[pos] {
+        return;
+    }
+    if yes {
+        sync.voted[pos] = true;
+        sync.yes_votes += 1;
+        if sync.yes_votes == task.owners.len() {
+            sync.decision =
+                Some(ExecDecision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) });
+            task.barrier.notify_all();
+        }
+    } else {
+        shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        if let Some(issuer) = sync.ticket.take() {
+            issuer.complete(Completion::Denied);
+        }
+        sync.decision = Some(ExecDecision::Deny);
+        task.barrier.notify_all();
+    }
+}
+
+/// Applies a commit decision on this owner and, as the last applier, merges
+/// the notifications, counts the stats and fulfils the ticket — the same
+/// bookkeeping as the blocking manager's per-commit path.
+fn apply_exec_commit(
+    shared: &RuntimeShared,
+    st: &mut ShardState,
+    task: &ExecTask,
+    pos: usize,
+    seq: u64,
+    next: StateRef,
+) {
+    st.engine.commit_prepared(next);
+    st.epoch = seq;
+    let engine = &st.engine;
+    let local_notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
+    let bits = cross_bits_for_shard(shared, st);
+    if pos == 0 {
+        st.log.push(((seq, 0, 0), task.action.clone()));
+    }
+    let mut sync = lock(&task.sync);
+    if !local_notes.is_empty() {
+        sync.notes.push((pos, local_notes));
+    }
+    sync.cross_bits.extend(bits);
+    sync.applied += 1;
+    if sync.applied == task.owners.len() {
+        sync.notes.sort_by_key(|(owner_pos, _)| *owner_pos);
+        let mut notes: Vec<Notification> = sync.notes.drain(..).flat_map(|(_, n)| n).collect();
+        notes.extend(merge_cross_bits(shared, &sync.cross_bits));
+        shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
+        shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+        shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
+        deliver(shared, &notes);
+        if let Some(issuer) = sync.ticket.take() {
+            issuer.complete(Completion::Executed { notifications: notes });
+        }
+    }
+}
+
+/// One speculative batch: a consecutive queue run of multi-owner executes of
+/// a single owner set plus the single-owner executes interleaved between
+/// them, in queue order.
+struct Batch {
+    owners: Vec<usize>,
+    actions: Vec<Action>,
+    kinds: Vec<BatchKind>,
+}
+
+enum BatchKind {
+    /// A multi-owner execute (rendezvous task).
+    Exec(Arc<ExecTask>),
+    /// A single-owner execute; the issuer is taken when the item resolves.
+    Local(Option<TicketIssuer<Completion>>),
+}
+
+impl Batch {
+    fn new(first: Arc<ExecTask>) -> Batch {
+        Batch {
+            owners: first.owners.clone(),
+            actions: vec![first.action.clone()],
+            kinds: vec![BatchKind::Exec(first)],
+        }
+    }
+
+    fn push_exec(&mut self, task: Arc<ExecTask>) {
+        self.actions.push(task.action.clone());
+        self.kinds.push(BatchKind::Exec(task));
+    }
+
+    fn push_local(&mut self, task: SingleTask) {
+        let Op::Execute { action } = task.op else {
+            unreachable!("only execute tasks join a batch");
+        };
+        self.actions.push(action);
+        self.kinds.push(BatchKind::Local(Some(task.ticket)));
+    }
+}
+
+/// Speculative outcome of one batch item on this shard.
+enum Spec {
+    /// A multi-owner execute's local vote: `prepared` carries the tentative
+    /// successor of a yes vote; `assumed` is true iff the chain advanced
+    /// through this task on an *assumption* (our yes vote deposited or held
+    /// back while the task was undecided) rather than a known outcome —
+    /// only those assumptions can fail and force a tail recompute.
+    Vote { prepared: Option<StateRef>, assumed: bool },
+    /// A single-owner execute accepted on the chain, with its successor.
+    Accept(StateRef),
+    /// A single-owner execute denied on the chain.
+    Deny,
+    /// Already resolved and applied.
+    Done,
+}
+
+/// The speculative pass over `batch[from..]` on this shard.
+///
+/// Walks the items in queue order maintaining a chain of tentative
+/// successors.  As long as the chain is *unconditional* — every multi-owner
+/// execute so far was already decided, insta-denied by this shard's own no
+/// vote, or committed by this shard's completing yes vote — votes are
+/// deposited (and tasks decided) on the spot.  The first yes vote that
+/// leaves a task undecided makes the rest of the chain conditional: specs
+/// are still computed (assuming this shard's own votes win), but nothing is
+/// deposited; the resolution pass deposits them once the assumptions have
+/// resolved, recomputing if one failed.
+fn compute_specs(
+    shared: &RuntimeShared,
+    st: &ShardState,
+    batch: &Batch,
+    from: usize,
+    pos: usize,
+    specs: &mut Vec<Spec>,
+) {
+    specs.truncate(from);
+    let mut chain: Option<StateRef> = None;
+    let mut unconditional = true;
+    for (action, kind) in batch.actions[from..].iter().zip(&batch.kinds[from..]) {
+        let next = exec_vote(st, chain.as_ref(), action);
+        match kind {
+            BatchKind::Local(_) => {
+                // A single-owner execute: decided by this shard alone, but
+                // only *applied* at resolution, in queue order.
+                match next {
+                    Some(nx) => {
+                        chain = Some(nx.clone());
+                        specs.push(Spec::Accept(nx));
+                    }
+                    None => specs.push(Spec::Deny),
+                }
+            }
+            BatchKind::Exec(task) => {
+                let mut assumed = false;
+                {
+                    let mut sync = lock(&task.sync);
+                    match sync.decision {
+                        Some(ExecDecision::Deny) => {
+                            // Outcome already known: the chain skips it.
+                        }
+                        Some(ExecDecision::Commit { .. }) => {
+                            // A commit requires this shard's vote, which is
+                            // deposited at most once per task — so a commit
+                            // observed here carries our earlier yes, and
+                            // the chain advances on the known outcome.
+                            if let Some(nx) = &next {
+                                chain = Some(nx.clone());
+                            }
+                        }
+                        None => {
+                            if unconditional {
+                                deposit_unconditional_vote(
+                                    shared,
+                                    task,
+                                    &mut sync,
+                                    pos,
+                                    next.is_some(),
+                                );
+                            }
+                            match (&sync.decision, &next) {
+                                (Some(ExecDecision::Commit { .. }), Some(nx)) => {
+                                    // Our yes completed the commit: outcome
+                                    // known, chain advances.
+                                    chain = Some(nx.clone());
+                                }
+                                (Some(ExecDecision::Deny), _) | (_, None) => {
+                                    // Insta-denied by our no, or a (possibly
+                                    // conditional) no vote: the chain skips
+                                    // it either way.  (A commit can never
+                                    // coexist with our no vote — it requires
+                                    // this shard's yes.)
+                                }
+                                (None, Some(nx)) => {
+                                    // A yes on an undecided task — deposited
+                                    // if unconditional, held back otherwise.
+                                    // The chain *assumes* the commit from
+                                    // here on.
+                                    chain = Some(nx.clone());
+                                    assumed = true;
+                                    unconditional = false;
+                                }
+                            }
+                        }
+                    }
+                }
+                specs.push(Spec::Vote { prepared: next, assumed });
+            }
+        }
+    }
+}
+
+/// Processes one speculative batch.  The speculative pass votes for (and
+/// often outright decides) the whole run without parking; the resolution
+/// pass then walks the batch strictly in queue order, applying every item
+/// against its true predecessor state — when a commit assumption turns out
+/// wrong, the tail of the speculation is recomputed (through the transition
+/// memo) before the next vote is deposited.
+///
+/// Per-action outcomes, the merged log and the statistics are identical to
+/// unbatched queue processing; what changes is that owners park only on
+/// commit-pending rendezvous instead of once per cross-shard action.
+fn process_batch(
+    shared: &RuntimeShared,
+    st: &mut ShardState,
+    mut batch: Batch,
+    wakes: &mut Vec<DeferredWake>,
+) {
+    let pos = batch
+        .owners
+        .iter()
+        .position(|&o| o == st.id)
+        .expect("exec task routed to a non-owner shard");
+
+    // ---- Speculative pass: one chain over the whole batch. ----
+    let mut specs = Vec::with_capacity(batch.actions.len());
+    compute_specs(shared, st, &batch, 0, pos, &mut specs);
+
+    // ---- Resolution pass: strictly in queue order. ----
+    // True while the outcomes observed so far match the assumptions the
+    // current `specs` tail was computed under.
+    let mut valid = true;
+    for i in 0..batch.kinds.len() {
+        if !valid {
+            // A commit assumption failed at an earlier item: rebuild the
+            // tail from the true committed state.  The chain is
+            // unconditional again up to its first undecided yes.
+            compute_specs(shared, st, &batch, i, pos, &mut specs);
+            valid = true;
+        }
+        match std::mem::replace(&mut specs[i], Spec::Done) {
+            Spec::Accept(next) => {
+                let BatchKind::Local(ticket) = &mut batch.kinds[i] else {
+                    unreachable!("local spec on a cross item");
+                };
+                let ticket = ticket.take().expect("local resolved once");
+                shared.stats.grants.fetch_add(1, Ordering::Relaxed);
+                let notes = install_commit(shared, st, &batch.actions[i], next, true);
+                fulfil(ticket, Completion::Executed { notifications: notes }, wakes);
+            }
+            Spec::Deny => {
+                let BatchKind::Local(ticket) = &mut batch.kinds[i] else {
+                    unreachable!("local spec on a cross item");
+                };
+                let ticket = ticket.take().expect("local resolved once");
+                shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                fulfil(ticket, Completion::Denied, wakes);
+            }
+            Spec::Vote { prepared, assumed } => {
+                let BatchKind::Exec(task) = &batch.kinds[i] else {
+                    unreachable!("vote spec on a local item");
+                };
+                let task = Arc::clone(task);
+                let decision = {
+                    let mut sync = lock(&task.sync);
+                    // Reaching this item in order means every predecessor's
+                    // outcome is known and reflected in `specs`: the vote is
+                    // unconditional now if it was not deposited before.
+                    deposit_unconditional_vote(shared, &task, &mut sync, pos, prepared.is_some());
+                    let mut flushed = false;
+                    loop {
+                        if let Some(decision) = sync.decision {
+                            break decision;
+                        }
+                        if !flushed {
+                            // About to park at the rendezvous: deliver the
+                            // banked wakeups first so no client sleeps
+                            // through the wait.
+                            flushed = true;
+                            drop(sync);
+                            flush_wakes(wakes);
+                            sync = lock(&task.sync);
+                            continue;
+                        }
+                        sync = task.barrier.wait(sync).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                match decision {
+                    ExecDecision::Commit { seq } => {
+                        let next = prepared
+                            .expect("commit requires this shard's yes vote and its prepare");
+                        apply_exec_commit(shared, st, &task, pos, seq, next);
+                    }
+                    ExecDecision::Deny => {
+                        if assumed {
+                            // The chain assumed this commit; the tail must
+                            // be recomputed against the true state.
+                            valid = false;
+                        }
+                    }
+                }
+            }
+            Spec::Done => unreachable!("batch items resolve exactly once"),
+        }
+    }
+}
+
+fn process_single(
+    shared: &RuntimeShared,
+    st: &mut ShardState,
+    task: SingleTask,
+    wakes: &mut Vec<DeferredWake>,
+) {
     let SingleTask { client, op, ticket } = task;
-    match op {
+    let completion = match op {
         Op::Execute { action } => match single_commit(shared, st, &action, true) {
-            Some(notes) => ticket.complete(Completion::Executed { notifications: notes }),
-            None => ticket.complete(Completion::Denied),
+            Some(notes) => Completion::Executed { notifications: notes },
+            None => Completion::Denied,
         },
         Op::Ask { action } => {
             if matches!(shared.variant, ProtocolVariant::Combined) {
                 // The combined protocol commits immediately; the reply
                 // carries no reservation to confirm.
                 match single_commit(shared, st, &action, true) {
-                    Some(_) => ticket.complete(Completion::Granted { reservation: 0 }),
-                    None => ticket.complete(Completion::Denied),
+                    Some(_) => Completion::Granted { reservation: 0 },
+                    None => Completion::Denied,
                 }
             } else if !st.permitted_considering_reservations(&action) {
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
-                ticket.complete(Completion::Denied);
+                Completion::Denied
             } else {
                 shared.stats.grants.fetch_add(1, Ordering::Relaxed);
                 let reservation = shared.new_reservation(client, &action);
@@ -1128,24 +1711,22 @@ fn process_single(shared: &RuntimeShared, st: &mut ShardState, task: SingleTask)
                         ExpiryEvent { id: reservation.id, owners: vec![st.id] },
                     );
                 }
-                ticket.complete(Completion::Granted { reservation: reservation.id });
+                Completion::Granted { reservation: reservation.id }
             }
         }
         Op::Confirm { id } => {
             lock(&shared.reservation_index).remove(&id);
             match st.reservations.remove(&id) {
-                None => ticket.complete(Completion::Failed {
-                    error: ManagerError::UnknownReservation { id },
-                }),
+                None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
                 Some(reservation) => match st.engine.prepare(&reservation.action) {
-                    None => ticket.complete(Completion::Failed {
+                    None => Completion::Failed {
                         error: ManagerError::RejectedConfirmation {
                             action: reservation.action.to_string(),
                         },
-                    }),
+                    },
                     Some(next) => {
                         let notes = install_commit(shared, st, &reservation.action, next, false);
-                        ticket.complete(Completion::Confirmed { notifications: notes });
+                        Completion::Confirmed { notifications: notes }
                     }
                 },
             }
@@ -1153,12 +1734,10 @@ fn process_single(shared: &RuntimeShared, st: &mut ShardState, task: SingleTask)
         Op::Abort { id } => {
             lock(&shared.reservation_index).remove(&id);
             match st.reservations.remove(&id) {
-                None => ticket.complete(Completion::Failed {
-                    error: ManagerError::UnknownReservation { id },
-                }),
+                None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
                 Some(reservation) => {
                     shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
-                    ticket.complete(Completion::Aborted { reservation });
+                    Completion::Aborted { reservation }
                 }
             }
         }
@@ -1167,25 +1746,24 @@ fn process_single(shared: &RuntimeShared, st: &mut ShardState, task: SingleTask)
                 let reservation = st.reservations.remove(&id);
                 lock(&shared.reservation_index).remove(&id);
                 shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
-                ticket.complete(Completion::Expired { reservation });
+                Completion::Expired { reservation }
             } else {
-                ticket.complete(Completion::Expired { reservation: None });
+                Completion::Expired { reservation: None }
             }
         }
         Op::Subscribe { action } => {
             let key = abstract_key(shared, st.id, &action);
             let permitted = st.engine.is_permitted(&action);
             let status = st.subscriptions.subscribe(client, action, key, permitted);
-            ticket.complete(Completion::Subscribed { permitted: status });
+            Completion::Subscribed { permitted: status }
         }
         Op::Unsubscribe { action } => {
             st.subscriptions.unsubscribe(client, &action);
-            ticket.complete(Completion::Unsubscribed);
+            Completion::Unsubscribed
         }
-        Op::Query { action } => {
-            ticket.complete(Completion::Status { permitted: st.engine.is_permitted(&action) });
-        }
-    }
+        Op::Query { action } => Completion::Status { permitted: st.engine.is_permitted(&action) },
+    };
+    fulfil(ticket, completion, wakes);
 }
 
 /// Probe + prepare + commit of a single-owner action; `None` is a denial.
@@ -1221,14 +1799,14 @@ fn install_commit(
     shared: &RuntimeShared,
     st: &mut ShardState,
     action: &Action,
-    next: State,
+    next: StateRef,
     _granted: bool,
 ) -> Vec<Notification> {
-    let seq = shared.log_seq.fetch_add(1, Ordering::Relaxed);
+    let sub = shared.log_seq.fetch_add(1, Ordering::Relaxed);
     st.engine.commit_prepared(next);
     let engine = &st.engine;
     let mut notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
-    st.log.push((seq, action.clone()));
+    st.log.push(((st.epoch, 1, sub), action.clone()));
     notes.extend(refresh_cross_for_shard(shared, st.id, &st.engine));
     shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
     shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
@@ -1245,21 +1823,11 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
     let n = task.owners.len();
 
     // ---- Phase 1: the local vote. ----
-    let mut prepared: Option<State> = None;
+    let mut prepared: Option<StateRef> = None;
     let mut vote = true;
     let mut removed_here: Option<Reservation> = None;
     let mut bit = false;
     match &task.op {
-        CrossOp::Execute { action } => {
-            // As in `single_commit`: the reservation-aware probe is only
-            // needed when reservations are outstanding; the prepare itself
-            // is the vote.
-            vote = st.reservations.is_empty() || st.permitted_considering_reservations(action);
-            if vote {
-                prepared = st.engine.prepare(action);
-                vote = prepared.is_some();
-            }
-        }
         CrossOp::Ask { action, .. } => {
             if matches!(shared.variant, ProtocolVariant::Combined) {
                 vote = st.reservations.is_empty() || st.permitted_considering_reservations(action);
@@ -1327,20 +1895,21 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
         Decision::Commit { seq } => {
             let next = prepared.expect("commit decided only when every owner prepared");
             st.engine.commit_prepared(next);
+            st.epoch = seq;
             let engine = &st.engine;
             let local_notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
             let bits = cross_bits_for_shard(shared, st);
             if pos == 0 {
                 let action = match &task.op {
-                    CrossOp::Execute { action, .. } | CrossOp::Ask { action, .. } => action.clone(),
+                    CrossOp::Ask { action, .. } => action.clone(),
                     CrossOp::Confirm { .. } => removed_here
                         .as_ref()
                         .expect("confirm committed, so the primary held the reservation")
                         .action
                         .clone(),
-                    _ => unreachable!("only execute/ask/confirm commit"),
+                    _ => unreachable!("only ask/confirm commit"),
                 };
-                st.log.push((seq, action));
+                st.log.push(((seq, 0, 0), action));
             }
             let mut sync = lock(&task.sync);
             sync.notes[pos] = local_notes;
@@ -1377,15 +1946,6 @@ fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Dec
         }
     };
     match &task.op {
-        CrossOp::Execute { .. } => {
-            if sync.ok {
-                Decision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) }
-            } else {
-                shared.stats.denials.fetch_add(1, Ordering::Relaxed);
-                complete(sync, Completion::Denied);
-                Decision::Deny
-            }
-        }
         CrossOp::Ask { client, action } => {
             if !sync.ok {
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
@@ -1484,17 +2044,16 @@ fn finish_commit(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync)
     let mut notes: Vec<Notification> = sync.notes.iter_mut().flat_map(std::mem::take).collect();
     notes.extend(merge_cross_bits(shared, &sync.cross_bits));
     shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
-    if matches!(task.op, CrossOp::Execute { .. } | CrossOp::Ask { .. }) {
+    if matches!(task.op, CrossOp::Ask { .. }) {
         shared.stats.grants.fetch_add(1, Ordering::Relaxed);
     }
     shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
     deliver(shared, &notes);
     if let Some(issuer) = sync.ticket.take() {
         let completion = match &task.op {
-            CrossOp::Execute { .. } => Completion::Executed { notifications: notes },
             CrossOp::Ask { .. } => Completion::Granted { reservation: 0 },
             CrossOp::Confirm { .. } => Completion::Confirmed { notifications: notes },
-            _ => unreachable!("only execute/ask/confirm commit"),
+            _ => unreachable!("only ask/confirm commit"),
         };
         issuer.complete(completion);
     }

@@ -174,6 +174,68 @@ impl<T: Clone> TicketIssuer<T> {
             cb(value.clone());
         }
     }
+
+    /// Fulfils the ticket like [`TicketIssuer::complete`] but *defers* the
+    /// waiter wakeup: the returned handle (present only when somebody is
+    /// actually parked) must be [`DeferredWake::wake`]d later.  Pollers see
+    /// the value immediately; parked waiters sleep until the wake.  Shard
+    /// workers on single-hardware-thread hosts use this to flush a whole
+    /// batch of wakeups at once instead of context-switching per completion.
+    pub fn complete_deferred(self, value: T) -> Option<DeferredWake>
+    where
+        T: Send + 'static,
+    {
+        let (callbacks, waiting) = {
+            let mut slot = lock(&self.inner.slot);
+            slot.value = Some(value.clone());
+            (std::mem::take(&mut slot.callbacks), slot.waiters > 0)
+        };
+        for cb in callbacks {
+            cb(value.clone());
+        }
+        // Waiters only park while the value is absent, so no new waiter can
+        // appear after fulfilment: `waiting` is final.
+        if waiting {
+            let inner: Arc<dyn Notify + Send + Sync> = Arc::clone(&self.inner) as _;
+            Some(DeferredWake(inner))
+        } else {
+            None
+        }
+    }
+}
+
+/// The pending wakeup of a fulfilled ticket with parked waiters (see
+/// [`TicketIssuer::complete_deferred`]).  Dropping it without waking would
+/// strand the waiters; the runtime flushes its deferred wakes before every
+/// park and on exit.
+pub struct DeferredWake(Arc<dyn Notify + Send + Sync>);
+
+impl DeferredWake {
+    /// Delivers the deferred wakeup.
+    pub fn wake(self) {
+        self.0.notify();
+    }
+}
+
+impl std::fmt::Debug for DeferredWake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeferredWake(..)")
+    }
+}
+
+trait Notify {
+    fn notify(&self);
+}
+
+impl<T> Notify for Inner<T> {
+    fn notify(&self) {
+        // Re-acquire the slot lock so the notification cannot race a waiter
+        // between its value check and its park.
+        let slot = lock(&self.slot);
+        if slot.waiters > 0 {
+            self.ready.notify_all();
+        }
+    }
 }
 
 impl<T> Drop for TicketIssuer<T> {
@@ -245,6 +307,25 @@ mod tests {
         assert_eq!(t.wait_timeout(Duration::from_millis(5)), None);
         issuer.complete(1u8);
         assert_eq!(t.wait_timeout(Duration::from_millis(5)), Some(1));
+    }
+
+    #[test]
+    fn deferred_completion_wakes_on_flush() {
+        let (issuer, t) = ticket::<u32>();
+        let waiter = {
+            let t = t.clone();
+            std::thread::spawn(move || t.wait())
+        };
+        // Let the waiter park, then fulfil without waking.
+        std::thread::sleep(Duration::from_millis(10));
+        let wake = issuer.complete_deferred(9).expect("a waiter is parked");
+        assert_eq!(t.poll(), Some(9), "pollers see the value before the wake");
+        wake.wake();
+        assert_eq!(waiter.join().unwrap(), 9);
+        // Without waiters there is nothing to defer.
+        let (issuer, t) = ticket::<u32>();
+        assert!(issuer.complete_deferred(1).is_none());
+        assert_eq!(t.wait(), 1);
     }
 
     #[test]

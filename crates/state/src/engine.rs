@@ -12,13 +12,29 @@
 //! The [`Engine`] is the component the interaction manager of `ix-manager`
 //! wraps; it also records the per-transition state metrics used by the
 //! complexity experiments.
+//!
+//! # The transition memo
+//!
+//! Every coordination protocol runs the *same* transition more than once:
+//! an `ask` probes τ(s, a) and the matching `confirm` recomputes it; a
+//! `permitted_after` probe replays the reservation table and the next probe
+//! replays it again; a subscription refresh re-probes each watched action
+//! until the state moves.  Since states are immutable behind [`Shared`]
+//! handles, `(state identity, action)` is an exact memo key: the engine
+//! keeps a small bounded map from that key to the successor, and the
+//! entry's key handle keeps the state alive, so the pointer can never be
+//! reused while the entry exists.  The memo is invisible semantically — τ̂
+//! is pure — and `set_memo_capacity(0)` disables it (the equivalence
+//! property tests drive memo-on and memo-off engines in lockstep).
 
 use crate::error::StateResult;
 use crate::init::init;
 use crate::predicates::{is_final, is_valid};
-use crate::state::{State, StateMetrics};
+use crate::state::{Shared, State, StateMetrics};
 use crate::trans::{trans_with, TransitionOptions};
 use ix_core::{Action, Expr};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 
 /// Classification of a word, mirroring the integer result of the paper's
 /// `word()` function (0 = illegal, 1 = partial, 2 = complete).
@@ -63,14 +79,68 @@ pub fn word_problem(expr: &Expr, word: &[Action]) -> StateResult<WordStatus> {
     })
 }
 
+/// Default number of `(state, action)` entries the transition memo retains.
+pub const DEFAULT_MEMO_CAPACITY: usize = 256;
+
+type MemoKey = (usize, Action);
+
+/// The bounded transition memo: FIFO eviction, exact pointer-identity keys.
+#[derive(Clone, Debug, Default)]
+struct TransMemo {
+    map: HashMap<MemoKey, (Shared<State>, Shared<State>)>,
+    order: VecDeque<MemoKey>,
+    capacity: usize,
+}
+
+impl TransMemo {
+    fn with_capacity(capacity: usize) -> TransMemo {
+        TransMemo { map: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    fn lookup(&self, base: &Shared<State>, action: &Action) -> Option<Shared<State>> {
+        let key = (Shared::as_ptr(base) as usize, action.clone());
+        match self.map.get(&key) {
+            // The stored key handle keeps its allocation alive, so equal
+            // addresses imply the same state; the ptr_eq check is cheap
+            // insurance, not a correctness requirement.
+            Some((stored, next)) if Shared::ptr_eq(stored, base) => Some(next.clone()),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, base: &Shared<State>, action: &Action, next: Shared<State>) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        let key = (Shared::as_ptr(base) as usize, action.clone());
+        if self.map.insert(key.clone(), (base.clone(), next)).is_none() {
+            self.order.push_back(key);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 /// An incremental evaluator of one interaction expression: the component
 /// that answers "is this action currently permitted?" and tracks the state
 /// across committed executions.
 #[derive(Clone, Debug)]
 pub struct Engine {
     expr: Expr,
-    state: State,
+    state: Shared<State>,
     options: TransitionOptions,
+    memo: RefCell<TransMemo>,
     accepted: u64,
     rejected: u64,
 }
@@ -83,7 +153,14 @@ impl Engine {
 
     /// Creates an engine with explicit transition options.
     pub fn with_options(expr: &Expr, options: TransitionOptions) -> StateResult<Engine> {
-        Ok(Engine { expr: expr.clone(), state: init(expr)?, options, accepted: 0, rejected: 0 })
+        Ok(Engine {
+            expr: expr.clone(),
+            state: Shared::new(init(expr)?),
+            options,
+            memo: RefCell::new(TransMemo::with_capacity(DEFAULT_MEMO_CAPACITY)),
+            accepted: 0,
+            rejected: 0,
+        })
     }
 
     /// The expression this engine enforces.
@@ -96,6 +173,55 @@ impl Engine {
         &self.state
     }
 
+    /// The current state as a shared handle (cheap to clone, stable
+    /// identity for memo keys).
+    pub fn state_handle(&self) -> &Shared<State> {
+        &self.state
+    }
+
+    /// The transition memo's capacity (0 = disabled).
+    pub fn memo_capacity(&self) -> usize {
+        self.memo.borrow().capacity
+    }
+
+    /// Resizes (and clears) the transition memo; 0 disables memoization —
+    /// used by the memo-on/memo-off equivalence property tests.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        let mut memo = self.memo.borrow_mut();
+        memo.clear();
+        memo.capacity = capacity;
+    }
+
+    /// The memoized transition τ̂ from an explicit base state.  Exact: the
+    /// memo key is the base state's allocation identity plus the concrete
+    /// action, and entries pin their key state alive.
+    fn transition(&self, base: &Shared<State>, action: &Action) -> Shared<State> {
+        {
+            let memo = self.memo.borrow();
+            if let Some(hit) = memo.lookup(base, action) {
+                return hit;
+            }
+        }
+        let next = match trans_with(base, action, self.options) {
+            State::Null => crate::state::null_state(),
+            other => Shared::new(other),
+        };
+        self.memo.borrow_mut().insert(base, action, next.clone());
+        next
+    }
+
+    /// Whether a successor state counts as valid.  On the optimized path
+    /// the fused τ̂ maintains "invalid ⇔ null", so ψ is a constant-time
+    /// check; the unoptimized ablation path falls back to the full
+    /// predicate.
+    fn successor_valid(&self, next: &State) -> bool {
+        if self.options.optimize {
+            !next.is_null()
+        } else {
+            is_valid(next)
+        }
+    }
+
     /// Metrics of the current state (size, alternatives).
     pub fn metrics(&self) -> StateMetrics {
         StateMetrics::of(&self.state)
@@ -105,7 +231,7 @@ impl Engine {
     /// (Always true unless the engine was constructed from an unsatisfiable
     /// state or fed through [`Engine::force_execute`].)
     pub fn is_valid(&self) -> bool {
-        is_valid(&self.state)
+        self.successor_valid(&self.state)
     }
 
     /// True if the action sequence committed so far is a complete word.
@@ -130,8 +256,8 @@ impl Engine {
         if !action.is_concrete() {
             return false;
         }
-        let next = trans_with(&self.state, action, self.options);
-        is_valid(&next)
+        let next = self.transition(&self.state, action);
+        self.successor_valid(&next)
     }
 
     /// Filters the permitted actions out of a candidate list (used to keep
@@ -149,23 +275,36 @@ impl Engine {
     /// outstanding reservation as well.
     ///
     /// The engine itself is untouched — only a speculative state walk is
-    /// performed, without cloning the engine or charging its accept/reject
-    /// counters.  Single-owner shard workers call this on their exclusively
-    /// owned engine with no interior locking at all.
+    /// performed, and every transition of the walk goes through the memo, so
+    /// repeated probes of a stable reservation table replay from cache.
     pub fn permitted_after<'a, I>(&self, reserved: I, action: &Action) -> bool
     where
         I: IntoIterator<Item = &'a Action>,
     {
-        // Lazily cloned: the common case of an empty reservation table costs
-        // exactly one transition, like `is_permitted`.
-        let mut speculative: Option<State> = None;
+        self.permitted_after_from(None, reserved, action)
+    }
+
+    /// [`Engine::permitted_after`] from an explicit speculative base state
+    /// (`None` = the committed state).  Used by schedulers that chain
+    /// several tentative actions — e.g. the coalesced cross-shard voting of
+    /// the session runtime.
+    pub fn permitted_after_from<'a, I>(
+        &self,
+        base: Option<&Shared<State>>,
+        reserved: I,
+        action: &Action,
+    ) -> bool
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let mut speculative: Option<Shared<State>> = base.cloned();
         for r in reserved {
             if !r.is_concrete() {
                 continue;
             }
             let base = speculative.as_ref().unwrap_or(&self.state);
-            let next = trans_with(base, r, self.options);
-            if is_valid(&next) {
+            let next = self.transition(base, r);
+            if self.successor_valid(&next) {
                 speculative = Some(next);
             }
         }
@@ -173,7 +312,8 @@ impl Engine {
             return false;
         }
         let base = speculative.as_ref().unwrap_or(&self.state);
-        is_valid(&trans_with(base, action, self.options))
+        let next = self.transition(base, action);
+        self.successor_valid(&next)
     }
 
     /// The tentative half of a two-phase action step: computes the successor
@@ -183,12 +323,26 @@ impl Engine {
     /// state is untouched either way.  This is the per-shard *prepare* vote
     /// of the cross-shard two-phase commit: a multi-owner action is prepared
     /// on every owning engine and committed only if all of them voted yes.
-    pub fn prepare(&self, action: &Action) -> Option<State> {
+    ///
+    /// An `ask` probe and its later `confirm` compute the same transition;
+    /// the memo makes the second one a lookup.
+    pub fn prepare(&self, action: &Action) -> Option<Shared<State>> {
+        self.prepare_from(None, action)
+    }
+
+    /// [`Engine::prepare`] from an explicit speculative base state (`None` =
+    /// the committed state); the chained form used when several actions are
+    /// prepared as one atomic run.
+    pub fn prepare_from(
+        &self,
+        base: Option<&Shared<State>>,
+        action: &Action,
+    ) -> Option<Shared<State>> {
         if !action.is_concrete() {
             return None;
         }
-        let next = trans_with(&self.state, action, self.options);
-        if is_valid(&next) {
+        let next = self.transition(base.unwrap_or(&self.state), action);
+        if self.successor_valid(&next) {
             Some(next)
         } else {
             None
@@ -200,7 +354,7 @@ impl Engine {
     /// Must only be called with a state prepared from the engine's *current*
     /// state (the caller serializes prepare and commit, e.g. under the
     /// shard's lock).
-    pub fn commit_prepared(&mut self, next: State) {
+    pub fn commit_prepared(&mut self, next: Shared<State>) {
         self.state = next;
         self.accepted += 1;
     }
@@ -226,7 +380,7 @@ impl Engine {
     /// Used by failure-injection tests to model clients that bypass the
     /// coordination protocol.
     pub fn force_execute(&mut self, action: &Action) {
-        self.state = trans_with(&self.state, action, self.options);
+        self.state = self.transition(&self.state, action);
         self.accepted += 1;
     }
 
@@ -246,7 +400,8 @@ impl Engine {
 
     /// Resets the engine to the initial state of its expression.
     pub fn reset(&mut self) {
-        self.state = init(&self.expr).expect("expression validated at construction");
+        self.state = Shared::new(init(&self.expr).expect("expression validated at construction"));
+        self.memo.borrow_mut().clear();
         self.accepted = 0;
         self.rejected = 0;
     }
@@ -312,6 +467,52 @@ mod tests {
         assert!(eng.permitted_after(stale.iter(), &call(2)));
         assert_eq!(eng.accepted(), 0);
         assert_eq!(eng.rejected(), 0);
+    }
+
+    #[test]
+    fn memo_hits_reuse_the_same_successor_allocation() {
+        let e = parse("(a - b)*").unwrap();
+        let eng = Engine::new(&e).unwrap();
+        let first = eng.prepare(&a("a")).expect("permitted");
+        let second = eng.prepare(&a("a")).expect("permitted");
+        assert!(
+            crate::state::Shared::ptr_eq(&first, &second),
+            "the second prepare must be a memo hit"
+        );
+    }
+
+    #[test]
+    fn memo_off_engine_behaves_identically() {
+        let e = parse("mult 2 { (some p { call(p) - perform(p) })* }").unwrap();
+        let mut on = Engine::new(&e).unwrap();
+        let mut off = Engine::new(&e).unwrap();
+        off.set_memo_capacity(0);
+        assert_eq!(off.memo_capacity(), 0);
+        let call = |p: i64| Action::concrete("call", [Value::int(p)]);
+        let perform = |p: i64| Action::concrete("perform", [Value::int(p)]);
+        for action in
+            [call(1), call(2), call(3), perform(1), call(3), perform(2), perform(3), call(9)]
+        {
+            assert_eq!(on.is_permitted(&action), off.is_permitted(&action));
+            assert_eq!(on.try_execute(&action), off.try_execute(&action), "on {action}");
+        }
+        assert_eq!(on.state(), off.state());
+        assert_eq!(on.accepted(), off.accepted());
+        assert_eq!(on.rejected(), off.rejected());
+    }
+
+    #[test]
+    fn memo_capacity_is_bounded() {
+        let e = parse("(a + b + c)*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(2);
+        for _ in 0..8 {
+            for n in ["a", "b", "c", "zzz"] {
+                let _ = eng.is_permitted(&a(n));
+            }
+            assert!(eng.memo.borrow().map.len() <= 2, "memo exceeded its bound");
+            assert!(eng.try_execute(&a("a")));
+        }
     }
 
     #[test]

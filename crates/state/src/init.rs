@@ -3,12 +3,19 @@
 //! [`init`] validates the expression (closed, no template holes, parallel
 //! quantifier bodies completely quantified, multipliers positive) and builds
 //! its initial state.  [`initial_state`] is the unchecked recursive
-//! constructor; the transition function reuses it to spawn fresh sub-runs
-//! (new iterations, new parallel instances, new quantifier branches).
+//! constructor.
+//!
+//! σ is computed **once**: every spawning point of the expression — the
+//! right operand of a sequence, iteration and multiplier bodies, quantifier
+//! templates — stores its precomputed initial state (and, for ⊗ and the
+//! quantifiers, its precomputed scoped alphabet) inside the state itself.
+//! The transition function spawns fresh sub-runs by sharing these templates
+//! instead of re-deriving them from expressions, so alphabets and initial
+//! states are never recomputed on the τ hot path.
 
 use crate::error::{StateError, StateResult};
 use crate::predicates::is_final;
-use crate::state::{QuantState, ScopedAlphabet, State};
+use crate::state::{QuantState, ScopedAlphabet, Shared, State};
 use ix_core::{Expr, ExprKind, Param};
 use std::collections::BTreeMap;
 
@@ -108,51 +115,59 @@ pub fn initial_state(expr: &Expr) -> State {
         ExprKind::Hole(_) => State::Null,
         ExprKind::Empty => State::Epsilon,
         ExprKind::Atom(a) => State::AtomFresh { action: a.clone() },
-        ExprKind::Option(y) => State::Option { at_start: true, body: Box::new(initial_state(y)) },
+        ExprKind::Option(y) => {
+            State::Option { at_start: true, body: Shared::new(initial_state(y)) }
+        }
         ExprKind::Seq(y, z) => {
             let left = initial_state(y);
+            let right_init = Shared::new(initial_state(z));
             let mut rights = Vec::new();
             if is_final(&left) {
-                rights.push(initial_state(z));
+                rights.push(right_init.clone());
             }
-            State::Seq { right_expr: z.clone(), left: Box::new(left), rights }
+            State::Seq { left: Shared::new(left), rights, right_init }
         }
         ExprKind::SeqIter(y) => {
-            State::SeqIter { body_expr: y.clone(), boundary: true, runs: vec![initial_state(y)] }
+            let body_init = Shared::new(initial_state(y));
+            State::SeqIter { boundary: true, runs: vec![body_init.clone()], body_init }
         }
-        ExprKind::Par(y, z) => State::Par { alts: vec![(initial_state(y), initial_state(z))] },
-        ExprKind::ParIter(y) => State::ParIter { body_expr: y.clone(), alts: vec![Vec::new()] },
+        ExprKind::Par(y, z) => State::Par {
+            alts: vec![(Shared::new(initial_state(y)), Shared::new(initial_state(z)))],
+        },
+        ExprKind::ParIter(y) => {
+            State::ParIter { alts: vec![Vec::new()], body_init: Shared::new(initial_state(y)) }
+        }
         ExprKind::Or(y, z) => {
-            State::Or { left: Box::new(initial_state(y)), right: Box::new(initial_state(z)) }
+            State::Or { left: Shared::new(initial_state(y)), right: Shared::new(initial_state(z)) }
         }
         ExprKind::And(y, z) => {
-            State::And { left: Box::new(initial_state(y)), right: Box::new(initial_state(z)) }
+            State::And { left: Shared::new(initial_state(y)), right: Shared::new(initial_state(z)) }
         }
         ExprKind::Sync(y, z) => State::Sync {
-            left_alpha: ScopedAlphabet::of(y),
-            right_alpha: ScopedAlphabet::of(z),
-            left: Box::new(initial_state(y)),
-            right: Box::new(initial_state(z)),
+            left: Shared::new(initial_state(y)),
+            right: Shared::new(initial_state(z)),
+            left_alpha: Shared::new(ScopedAlphabet::of(y)),
+            right_alpha: Shared::new(ScopedAlphabet::of(z)),
         },
         ExprKind::SomeQ(p, y) => State::SomeQ(quant_state(*p, y)),
         ExprKind::AllQ(p, y) => State::AllQ(quant_state(*p, y)),
         ExprKind::SyncQ(p, y) => State::SyncQ(quant_state(*p, y)),
         ExprKind::ParQ(p, y) => {
-            let body_initial = initial_state(y);
+            let body_init = initial_state(y);
             State::ParQ {
                 param: *p,
-                body_expr: y.clone(),
-                body_accepts_epsilon: is_final(&body_initial),
+                body_accepts_epsilon: is_final(&body_init),
                 alts: vec![BTreeMap::new()],
+                body_init: Shared::new(body_init),
             }
         }
         ExprKind::Mult(n, y) => {
-            let body_initial = initial_state(y);
+            let body_init = initial_state(y);
             State::Mult {
-                body_expr: y.clone(),
                 capacity: *n,
-                body_accepts_epsilon: is_final(&body_initial),
+                body_accepts_epsilon: is_final(&body_init),
                 alts: vec![Vec::new()],
+                body_init: Shared::new(body_init),
             }
         }
     }
@@ -161,10 +176,9 @@ pub fn initial_state(expr: &Expr) -> State {
 fn quant_state(param: Param, body: &Expr) -> QuantState {
     QuantState {
         param,
-        body_expr: body.clone(),
-        scope: ScopedAlphabet::of(body),
-        template: Box::new(initial_state(body)),
+        template: Shared::new(initial_state(body)),
         branches: BTreeMap::new(),
+        scope: Shared::new(ScopedAlphabet::of(body)),
     }
 }
 
@@ -244,13 +258,44 @@ mod tests {
     fn seq_initial_state_spawns_right_run_when_left_accepts_epsilon() {
         let e = parse("a? - b").unwrap();
         match init(&e).unwrap() {
-            State::Seq { rights, .. } => assert_eq!(rights.len(), 1),
+            State::Seq { rights, right_init, .. } => {
+                assert_eq!(rights.len(), 1);
+                assert!(
+                    crate::state::Shared::ptr_eq(&rights[0], &right_init),
+                    "the spawned run shares the precomputed σ template"
+                );
+            }
             other => panic!("unexpected {other:?}"),
         }
         let e = parse("a - b").unwrap();
         match init(&e).unwrap() {
             State::Seq { rights, .. } => assert!(rights.is_empty()),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_state_commutes_with_substitution() {
+        // σ(x[p := v]) = σ(x)[p := v] — the property that lets the parallel
+        // quantifier instantiate new branches from the precomputed template
+        // state instead of re-deriving σ from the substituted expression.
+        let p = ix_core::Param::new("p");
+        let v = ix_core::Value::int(7);
+        for src in [
+            "a(p) - b(p)",
+            "(a(p) | c)*",
+            "(a(p) - b(p))# @ (b(p) - c)*",
+            "some q { a(p, q) - b(q) }",
+            "mult 2 { a(p)? }",
+        ] {
+            let body = parse(&format!("some p {{ {src} }}")).unwrap();
+            let inner = match body.kind() {
+                ExprKind::SomeQ(_, b) => b.clone(),
+                _ => unreachable!(),
+            };
+            let via_expr = initial_state(&inner.substitute(p, v));
+            let via_state = initial_state(&inner).substitute(p, v);
+            assert_eq!(via_expr, via_state, "σ∘subst ≠ subst∘σ for {src}");
         }
     }
 }

@@ -46,11 +46,15 @@ pub mod state;
 pub mod trans;
 
 pub use analysis::{classify, Benignity, Classification};
-pub use engine::{word_problem, Engine, WordStatus};
+pub use engine::{word_problem, Engine, WordStatus, DEFAULT_MEMO_CAPACITY};
 pub use error::{StateError, StateResult};
 pub use init::{init, initial_state, validate};
 pub use optimize::optimize;
 pub use predicates::{is_final, is_valid};
-pub use sharded::{sharded_word_problem, ShardRouter, ShardedEngine};
-pub use state::{QuantState, ScopedAlphabet, State, StateMetrics};
-pub use trans::{step, trans, trans_with, TransitionOptions};
+pub use sharded::{sharded_word_problem, Route, ShardRouter, ShardedEngine};
+pub use state::{fresh_nodes, null_state, QuantState, ScopedAlphabet, Shared, State, StateMetrics};
+pub use trans::{step, trans, trans_reference, trans_with, TransitionOptions};
+
+/// A shared handle on a state — the value [`Engine::prepare`] returns and
+/// [`Engine::commit_prepared`] installs.
+pub type StateRef = Shared<State>;

@@ -9,13 +9,16 @@
 //! prefix-closed, so once a sub-state is invalid no continuation can revive
 //! it and dropping it preserves both ψ and ϕ.
 //!
-//! The optimization can be switched off (see
-//! [`crate::trans::TransitionOptions`]) to reproduce the worst-case state
-//! growth the complexity analysis of Sec. 6 warns about; the ablation
-//! benchmark `optimization_ablation` measures the difference.
+//! The production transition function [`crate::trans::trans`] *fuses* ρ into
+//! the copy-on-write rebuild — it never calls this standalone pass.  This
+//! module remains as the reference ρ: composed with the pure τ it forms
+//! [`crate::trans::trans_reference`], the implementation the property suites
+//! compare the fused function against, and the ablation experiments switch
+//! it off (see [`crate::trans::TransitionOptions`]) to reproduce the
+//! worst-case state growth of Sec. 6.
 
 use crate::predicates::is_valid;
-use crate::state::{QuantState, State};
+use crate::state::{QuantState, Shared, State};
 
 /// The optimization function ρ: prunes invalid alternatives, deduplicates,
 /// and collapses invalid states to [`State::Null`].
@@ -23,90 +26,81 @@ pub fn optimize(state: &State) -> State {
     if !is_valid(state) {
         return State::Null;
     }
+    let opt = |s: &Shared<State>| Shared::new(optimize(s));
     match state {
         State::Null | State::Epsilon | State::AtomFresh { .. } | State::AtomDone => state.clone(),
-        State::Option { at_start, body } => {
-            State::Option { at_start: *at_start, body: Box::new(optimize(body)) }
-        }
-        State::Seq { right_expr, left, rights } => {
-            let mut new_rights: Vec<State> =
-                rights.iter().filter(|r| is_valid(r)).map(optimize).collect();
+        State::Option { at_start, body } => State::Option { at_start: *at_start, body: opt(body) },
+        State::Seq { left, rights, right_init } => {
+            let mut new_rights: Vec<Shared<State>> =
+                rights.iter().filter(|r| is_valid(r)).map(opt).collect();
             new_rights.sort();
             new_rights.dedup();
-            State::Seq {
-                right_expr: right_expr.clone(),
-                left: Box::new(optimize(left)),
-                rights: new_rights,
-            }
+            State::Seq { left: opt(left), rights: new_rights, right_init: right_init.clone() }
         }
-        State::SeqIter { body_expr, boundary, runs } => {
-            let mut new_runs: Vec<State> =
-                runs.iter().filter(|r| is_valid(r)).map(optimize).collect();
+        State::SeqIter { boundary, runs, body_init } => {
+            let mut new_runs: Vec<Shared<State>> =
+                runs.iter().filter(|r| is_valid(r)).map(opt).collect();
             new_runs.sort();
             new_runs.dedup();
-            State::SeqIter { body_expr: body_expr.clone(), boundary: *boundary, runs: new_runs }
+            State::SeqIter { boundary: *boundary, runs: new_runs, body_init: body_init.clone() }
         }
         State::Par { alts } => {
-            let mut new_alts: Vec<(State, State)> = alts
+            let mut new_alts: Vec<(Shared<State>, Shared<State>)> = alts
                 .iter()
                 .filter(|(l, r)| is_valid(l) && is_valid(r))
-                .map(|(l, r)| (optimize(l), optimize(r)))
+                .map(|(l, r)| (opt(l), opt(r)))
                 .collect();
             new_alts.sort();
             new_alts.dedup();
             State::Par { alts: new_alts }
         }
-        State::ParIter { body_expr, alts } => {
-            let new_alts = prune_thread_alts(alts);
-            State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
+        State::ParIter { alts, body_init } => {
+            State::ParIter { alts: prune_thread_alts(alts), body_init: body_init.clone() }
         }
-        State::Or { left, right } => {
-            State::Or { left: Box::new(optimize(left)), right: Box::new(optimize(right)) }
-        }
-        State::And { left, right } => {
-            State::And { left: Box::new(optimize(left)), right: Box::new(optimize(right)) }
-        }
-        State::Sync { left_alpha, right_alpha, left, right } => State::Sync {
+        State::Or { left, right } => State::Or { left: opt(left), right: opt(right) },
+        State::And { left, right } => State::And { left: opt(left), right: opt(right) },
+        State::Sync { left, right, left_alpha, right_alpha } => State::Sync {
+            left: opt(left),
+            right: opt(right),
             left_alpha: left_alpha.clone(),
             right_alpha: right_alpha.clone(),
-            left: Box::new(optimize(left)),
-            right: Box::new(optimize(right)),
         },
         State::SomeQ(q) => State::SomeQ(optimize_quant(q)),
         State::AllQ(q) => State::AllQ(optimize_quant(q)),
         State::SyncQ(q) => State::SyncQ(optimize_quant(q)),
-        State::ParQ { param, body_expr, body_accepts_epsilon, alts } => {
+        State::ParQ { param, body_accepts_epsilon, alts, body_init } => {
             let mut new_alts: Vec<_> = alts
                 .iter()
-                .filter(|branches| branches.values().all(is_valid))
-                .map(|branches| branches.iter().map(|(v, s)| (*v, optimize(s))).collect())
+                .filter(|branches| branches.values().all(|s| is_valid(s)))
+                .map(|branches| branches.iter().map(|(v, s)| (*v, opt(s))).collect())
                 .collect();
             new_alts.sort();
             new_alts.dedup();
             State::ParQ {
                 param: *param,
-                body_expr: body_expr.clone(),
                 body_accepts_epsilon: *body_accepts_epsilon,
                 alts: new_alts,
+                body_init: body_init.clone(),
             }
         }
-        State::Mult { body_expr, capacity, body_accepts_epsilon, alts } => State::Mult {
-            body_expr: body_expr.clone(),
+        State::Mult { capacity, body_accepts_epsilon, alts, body_init } => State::Mult {
             capacity: *capacity,
             body_accepts_epsilon: *body_accepts_epsilon,
             alts: prune_thread_alts(alts),
+            body_init: body_init.clone(),
         },
     }
 }
 
 /// Prunes alternatives that contain an invalid thread, optimizes the
 /// survivors and deduplicates.
-fn prune_thread_alts(alts: &[Vec<State>]) -> Vec<Vec<State>> {
-    let mut out: Vec<Vec<State>> = alts
+fn prune_thread_alts(alts: &[Vec<Shared<State>>]) -> Vec<Vec<Shared<State>>> {
+    let mut out: Vec<Vec<Shared<State>>> = alts
         .iter()
-        .filter(|threads| threads.iter().all(is_valid))
+        .filter(|threads| threads.iter().all(|t| is_valid(t)))
         .map(|threads| {
-            let mut t: Vec<State> = threads.iter().map(optimize).collect();
+            let mut t: Vec<Shared<State>> =
+                threads.iter().map(|s| Shared::new(optimize(s))).collect();
             t.sort();
             t
         })
@@ -126,10 +120,9 @@ fn prune_thread_alts(alts: &[Vec<State>]) -> Vec<Vec<State>> {
 fn optimize_quant(q: &QuantState) -> QuantState {
     QuantState {
         param: q.param,
-        body_expr: q.body_expr.clone(),
+        template: Shared::new(optimize(&q.template)),
+        branches: q.branches.iter().map(|(v, s)| (*v, Shared::new(optimize(s)))).collect(),
         scope: q.scope.clone(),
-        template: Box::new(optimize(&q.template)),
-        branches: q.branches.iter().map(|(v, s)| (*v, optimize(s))).collect(),
     }
 }
 
@@ -140,9 +133,13 @@ mod tests {
     use crate::predicates::{is_final, is_valid};
     use ix_core::parse;
 
+    fn sh(s: State) -> Shared<State> {
+        Shared::new(s)
+    }
+
     #[test]
     fn invalid_states_collapse_to_null() {
-        let s = State::Par { alts: vec![(State::Null, State::AtomDone)] };
+        let s = State::Par { alts: vec![(sh(State::Null), sh(State::AtomDone))] };
         assert_eq!(optimize(&s), State::Null);
         assert_eq!(optimize(&State::Null), State::Null);
     }
@@ -151,9 +148,9 @@ mod tests {
     fn pruning_removes_dead_alternatives_but_keeps_live_ones() {
         let s = State::Par {
             alts: vec![
-                (State::AtomDone, State::Null),
-                (State::AtomDone, State::Epsilon),
-                (State::AtomDone, State::Epsilon),
+                (sh(State::AtomDone), sh(State::Null)),
+                (sh(State::AtomDone), sh(State::Epsilon)),
+                (sh(State::AtomDone), sh(State::Epsilon)),
             ],
         };
         let o = optimize(&s);
@@ -182,18 +179,19 @@ mod tests {
             let o = optimize(&s);
             assert_eq!(is_valid(&s), is_valid(&o), "ψ preserved for {src}");
             assert_eq!(is_final(&s), is_final(&o), "ϕ preserved for {src}");
+            assert_eq!(s, o, "ρ(σ(x)) = σ(x): initial states are already optimal ({src})");
         }
     }
 
     #[test]
     fn sequences_drop_null_right_runs() {
         let s = State::Seq {
-            right_expr: ix_core::builder::act0("b"),
-            left: Box::new(State::AtomDone),
-            rights: vec![State::Null, State::AtomDone],
+            left: sh(State::AtomDone),
+            rights: vec![sh(State::Null), sh(State::AtomDone)],
+            right_init: sh(crate::init::initial_state(&ix_core::builder::act0("b"))),
         };
         match optimize(&s) {
-            State::Seq { rights, .. } => assert_eq!(rights, vec![State::AtomDone]),
+            State::Seq { rights, .. } => assert_eq!(rights, vec![sh(State::AtomDone)]),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -201,9 +199,9 @@ mod tests {
     #[test]
     fn optimization_reduces_size_but_never_changes_meaning() {
         let s = State::SeqIter {
-            body_expr: ix_core::builder::act0("a"),
             boundary: false,
-            runs: vec![State::Null, State::Null, State::AtomDone],
+            runs: vec![sh(State::Null), sh(State::Null), sh(State::AtomDone)],
+            body_init: sh(crate::init::initial_state(&ix_core::builder::act0("a"))),
         };
         let o = optimize(&s);
         assert!(o.size() < s.size());

@@ -14,24 +14,34 @@
 use crate::state::{QuantState, State};
 
 /// The validity predicate ψ: true iff the processed word is a partial word.
+///
+/// The optimized transition function maintains the invariant "invalid ⇔
+/// [`State::Null`]" (ρ is fused into every rebuild), so engines on the
+/// optimized path answer ψ with a constant-time null check; this full
+/// recursive predicate is the ground truth for unoptimized states and the
+/// reference implementation.
 pub fn is_valid(state: &State) -> bool {
     match state {
         State::Null => false,
         State::Epsilon | State::AtomFresh { .. } | State::AtomDone => true,
         State::Option { body, .. } => is_valid(body),
-        State::Seq { left, rights, .. } => is_valid(left) || rights.iter().any(is_valid),
-        State::SeqIter { runs, .. } => runs.iter().any(is_valid),
+        State::Seq { left, rights, .. } => is_valid(left) || rights.iter().any(|r| is_valid(r)),
+        State::SeqIter { runs, .. } => runs.iter().any(|r| is_valid(r)),
         State::Par { alts } => alts.iter().any(|(l, r)| is_valid(l) && is_valid(r)),
-        State::ParIter { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_valid)),
+        State::ParIter { alts, .. } => {
+            alts.iter().any(|threads| threads.iter().all(|t| is_valid(t)))
+        }
         State::Or { left, right } => is_valid(left) || is_valid(right),
         State::And { left, right } => is_valid(left) && is_valid(right),
         State::Sync { left, right, .. } => is_valid(left) && is_valid(right),
-        State::SomeQ(q) => is_valid(&q.template) || q.branches.values().any(is_valid),
+        State::SomeQ(q) => is_valid(&q.template) || q.branches.values().any(|s| is_valid(s)),
         State::AllQ(q) | State::SyncQ(q) => {
-            is_valid(&q.template) && q.branches.values().all(is_valid)
+            is_valid(&q.template) && q.branches.values().all(|s| is_valid(s))
         }
-        State::ParQ { alts, .. } => alts.iter().any(|branches| branches.values().all(is_valid)),
-        State::Mult { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_valid)),
+        State::ParQ { alts, .. } => {
+            alts.iter().any(|branches| branches.values().all(|s| is_valid(s)))
+        }
+        State::Mult { alts, .. } => alts.iter().any(|threads| threads.iter().all(|t| is_valid(t))),
     }
 }
 
@@ -43,25 +53,28 @@ pub fn is_final(state: &State) -> bool {
         State::AtomFresh { .. } => false,
         State::AtomDone => true,
         State::Option { at_start, body } => *at_start || is_final(body),
-        State::Seq { rights, .. } => rights.iter().any(is_final),
+        State::Seq { rights, .. } => rights.iter().any(|r| is_final(r)),
         State::SeqIter { boundary, .. } => *boundary,
         State::Par { alts } => alts.iter().any(|(l, r)| is_final(l) && is_final(r)),
-        State::ParIter { alts, .. } => alts.iter().any(|threads| threads.iter().all(is_final)),
+        State::ParIter { alts, .. } => {
+            alts.iter().any(|threads| threads.iter().all(|t| is_final(t)))
+        }
         State::Or { left, right } => is_final(left) || is_final(right),
         State::And { left, right } => is_final(left) && is_final(right),
         State::Sync { left, right, .. } => is_final(left) && is_final(right),
-        State::SomeQ(q) => is_final(&q.template) || q.branches.values().any(is_final),
+        State::SomeQ(q) => is_final(&q.template) || q.branches.values().any(|s| is_final(s)),
         State::AllQ(q) | State::SyncQ(q) => {
-            is_final(&q.template) && q.branches.values().all(is_final)
+            is_final(&q.template) && q.branches.values().all(|s| is_final(s))
         }
         State::ParQ { body_accepts_epsilon, alts, .. } => {
             // The quantifier ranges over the infinite domain Ω, so there are
             // always unstarted branches; they can only contribute ε, which
             // requires ε ∈ Φ(body).
-            *body_accepts_epsilon && alts.iter().any(|branches| branches.values().all(is_final))
+            *body_accepts_epsilon
+                && alts.iter().any(|branches| branches.values().all(|s| is_final(s)))
         }
         State::Mult { body_accepts_epsilon, capacity, alts, .. } => alts.iter().any(|threads| {
-            threads.iter().all(is_final)
+            threads.iter().all(|t| is_final(t))
                 && (threads.len() as u32 == *capacity || *body_accepts_epsilon)
         }),
     }
@@ -70,7 +83,7 @@ pub fn is_final(state: &State) -> bool {
 /// Validity of a quantifier alternative viewed in isolation (used by the
 /// optimization function).
 pub fn quant_branches_valid(q: &QuantState) -> bool {
-    is_valid(&q.template) && q.branches.values().all(is_valid)
+    is_valid(&q.template) && q.branches.values().all(|s| is_valid(s))
 }
 
 #[cfg(test)]
@@ -96,11 +109,16 @@ mod tests {
 
     #[test]
     fn par_alternatives_require_both_components() {
+        use crate::state::Shared;
+        let sh = Shared::new;
         let s = State::Par {
-            alts: vec![(State::AtomDone, State::Null), (State::Null, State::AtomDone)],
+            alts: vec![
+                (sh(State::AtomDone), sh(State::Null)),
+                (sh(State::Null), sh(State::AtomDone)),
+            ],
         };
         assert!(!is_valid(&s), "no alternative has two valid components");
-        let s = State::Par { alts: vec![(State::AtomDone, State::Epsilon)] };
+        let s = State::Par { alts: vec![(sh(State::AtomDone), sh(State::Epsilon))] };
         assert!(is_valid(&s) && is_final(&s));
     }
 

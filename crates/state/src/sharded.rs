@@ -30,7 +30,7 @@
 
 use crate::engine::{Engine, WordStatus};
 use crate::error::StateResult;
-use crate::state::{State, StateMetrics};
+use crate::state::{Shared, State, StateMetrics};
 use crate::trans::TransitionOptions;
 use ix_core::{Action, Alphabet, Expr, Partition, Symbol};
 use std::collections::BTreeMap;
@@ -46,6 +46,17 @@ use std::collections::BTreeMap;
 pub struct ShardRouter {
     by_signature: BTreeMap<(Symbol, usize), Vec<usize>>,
     alphabets: Vec<Alphabet>,
+}
+
+/// Ownership classification of an action (see [`ShardRouter::classify`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// No shard's alphabet covers the action — it is outside α(x).
+    None,
+    /// Exactly one owning shard: the local fast path.
+    Single(usize),
+    /// Several owners, ascending (the 2PC lock / enqueue order).
+    Multi(Vec<usize>),
 }
 
 impl ShardRouter {
@@ -89,6 +100,22 @@ impl ShardRouter {
     /// canonical locking order of the cross-shard two-phase commit.
     pub fn owners(&self, action: &Action) -> Vec<usize> {
         self.owners_iter(action).collect()
+    }
+
+    /// Classifies the action's ownership without allocating on the
+    /// single-owner fast path: submission front ends branch on the result
+    /// and only cross-shard actions materialize their owner list.
+    pub fn classify(&self, action: &Action) -> Route {
+        let mut iter = self.owners_iter(action);
+        let Some(first) = iter.next() else {
+            return Route::None;
+        };
+        let Some(second) = iter.next() else {
+            return Route::Single(first);
+        };
+        let mut owners = vec![first, second];
+        owners.extend(iter);
+        Route::Multi(owners)
     }
 
     /// The primary (lowest-id) owning shard of the action, or `None` if no
@@ -261,7 +288,7 @@ impl ShardedEngine {
             self.rejected += 1;
             return false;
         }
-        let mut prepared: Vec<(usize, State)> = Vec::new();
+        let mut prepared: Vec<(usize, Shared<State>)> = Vec::new();
         for s in self.router.owners_iter(action) {
             match self.shards[s].prepare(action) {
                 Some(next) => prepared.push((s, next)),

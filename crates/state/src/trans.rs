@@ -1,18 +1,31 @@
 //! The state transition function τ and its optimized variant τ̂ = ρ ∘ τ
 //! (Secs. 4–5).
 //!
-//! `step` is the pure transition function: it advances every possible walker
-//! position by the given concrete action, spawning new sub-runs where the
-//! expression allows them (next iterations, new parallel instances, new
-//! quantifier branches).  [`trans`] composes it with the optimization
-//! function ρ, exactly as the implementation section of the paper suggests;
-//! [`trans_with`] exposes the unoptimized variant for the ablation
-//! experiments of Sec. 6.
+//! Two implementations live here:
+//!
+//! * [`trans`] — the **fused copy-on-write** τ̂: one pass that advances every
+//!   walker position, prunes invalid alternatives, deduplicates, and
+//!   collapses invalid states to [`State::Null`] *while rebuilding*.  Only
+//!   the spine from the root to the touched operands is allocated; every
+//!   untouched subtree (the idle side of a ⊗, unstepped quantifier branches,
+//!   the n−1 unchanged threads of each parallel alternative) is shared by
+//!   reference.  The fusion removes ρ's separate rebuild pass and its
+//!   repeated ψ walks (the old pipeline recomputed `is_valid` at every node,
+//!   an O(n²) habit on deep states); the fused output satisfies the
+//!   invariant **invalid ⇔ `Null`**, which in turn makes ψ a constant-time
+//!   null check on the optimized path.
+//! * [`step`] + [`crate::optimize::optimize`] — the textbook two-pass
+//!   pipeline (pure τ, then ρ).  [`trans_reference`] composes them; it is
+//!   the reference implementation the property suites compare the fused
+//!   function against, and [`trans_with`] with `optimize: false` exposes the
+//!   raw τ for the state-growth ablation of Sec. 6.
+//!
+//! Both produce identical state *values*: `trans(s, a) == trans_reference(s, a)`
+//! for every reachable state (exercised by the workspace property tests).
 
-use crate::init::initial_state;
 use crate::optimize::optimize;
 use crate::predicates::is_final;
-use crate::state::{QuantState, State};
+use crate::state::{null_state, QuantState, Shared, State};
 use ix_core::{Action, Value};
 
 /// Options controlling the transition function.
@@ -30,23 +43,47 @@ impl Default for TransitionOptions {
     }
 }
 
-/// The optimized state transition function τ̂(s, a) = ρ(τ(s, a)).
+/// The optimized state transition function τ̂(s, a) = ρ(τ(s, a)), computed in
+/// one fused copy-on-write pass.
 pub fn trans(state: &State, action: &Action) -> State {
-    trans_with(state, action, TransitionOptions::default())
+    fused(state, action)
 }
 
 /// State transition with explicit options.
 pub fn trans_with(state: &State, action: &Action, opts: TransitionOptions) -> State {
-    let next = step(state, action);
     if opts.optimize {
-        optimize(&next)
+        fused(state, action)
     } else {
-        next
+        step(state, action)
     }
 }
 
-/// The pure transition function τ(s, a).
-pub fn step(state: &State, action: &Action) -> State {
+/// The reference implementation of τ̂: the pure transition followed by a
+/// separate ρ pass.  Kept for the equivalence property suites and the
+/// old-vs-new benchmark; the engine uses the fused [`trans`].
+pub fn trans_reference(state: &State, action: &Action) -> State {
+    optimize(&step(state, action))
+}
+
+// ---------------------------------------------------------------------------
+// The fused copy-on-write τ̂.
+// ---------------------------------------------------------------------------
+
+/// Steps a shared child, wrapping the fused result.  `Null` results share
+/// the process-wide null singleton.
+fn fstep(child: &Shared<State>, action: &Action) -> Shared<State> {
+    match fused(child, action) {
+        State::Null => null_state(),
+        other => Shared::new(other),
+    }
+}
+
+/// The fused ρ∘τ on a state value.  Invariants (inductively maintained, and
+/// trivially true of initial states): the input's live alternatives contain
+/// no `Null` components except where ρ deliberately keeps them (`Or`/`And`
+/// children, `Seq` left operands, disjunction-quantifier branches); the
+/// output is `Null` iff it is invalid.
+fn fused(state: &State, action: &Action) -> State {
     match state {
         State::Null => State::Null,
         // ε accepts no action at all.
@@ -60,53 +97,104 @@ pub fn step(state: &State, action: &Action) -> State {
         }
         State::AtomDone => State::Null,
         State::Option { body, .. } => {
-            State::Option { at_start: false, body: Box::new(step(body, action)) }
+            let body = fstep(body, action);
+            if body.is_null() {
+                State::Null
+            } else {
+                State::Option { at_start: false, body }
+            }
         }
-        State::Seq { right_expr, left, rights } => {
-            let new_left = step(left, action);
-            let mut new_rights: Vec<State> = rights.iter().map(|r| step(r, action)).collect();
+        State::Seq { left, rights, right_init } => {
+            let new_left = fstep(left, action);
+            let mut new_rights: Vec<Shared<State>> =
+                rights.iter().map(|r| fstep(r, action)).filter(|r| !r.is_null()).collect();
             if is_final(&new_left) {
-                new_rights.push(initial_state(right_expr));
+                // Spawn a fresh right-hand run: the precomputed σ(z) is
+                // shared, not rebuilt.
+                new_rights.push(right_init.clone());
             }
             new_rights.sort();
             new_rights.dedup();
-            State::Seq {
-                right_expr: right_expr.clone(),
-                left: Box::new(new_left),
-                rights: new_rights,
+            if new_left.is_null() && new_rights.is_empty() {
+                State::Null
+            } else {
+                State::Seq { left: new_left, rights: new_rights, right_init: right_init.clone() }
             }
         }
-        State::SeqIter { body_expr, runs, .. } => {
-            let mut new_runs: Vec<State> = runs.iter().map(|r| step(r, action)).collect();
-            let boundary = new_runs.iter().any(is_final);
+        State::SeqIter { runs, body_init, .. } => {
+            let mut boundary = false;
+            let mut new_runs: Vec<Shared<State>> = Vec::with_capacity(runs.len() + 1);
+            for run in runs {
+                let next = fstep(run, action);
+                if next.is_null() {
+                    continue;
+                }
+                boundary |= is_final(&next);
+                new_runs.push(next);
+            }
             if boundary {
-                new_runs.push(initial_state(body_expr));
+                new_runs.push(body_init.clone());
             }
             new_runs.sort();
             new_runs.dedup();
-            State::SeqIter { body_expr: body_expr.clone(), boundary, runs: new_runs }
+            if new_runs.is_empty() {
+                State::Null
+            } else {
+                State::SeqIter { boundary, runs: new_runs, body_init: body_init.clone() }
+            }
         }
         State::Par { alts } => {
             // The paper's construction: every alternative [l, r] is replaced
-            // by the two alternatives [τ(l), r] and [l, τ(r)].
-            let mut new_alts = Vec::with_capacity(alts.len() * 2);
+            // by the two alternatives [τ(l), r] and [l, τ(r)]; invalid
+            // variants are pruned on the spot and the untouched component is
+            // shared.
+            let mut new_alts: Vec<(Shared<State>, Shared<State>)> =
+                Vec::with_capacity(alts.len() * 2);
             for (l, r) in alts {
-                new_alts.push((step(l, action), r.clone()));
-                new_alts.push((l.clone(), step(r, action)));
+                let stepped_l = fstep(l, action);
+                if !stepped_l.is_null() && !r.is_null() {
+                    new_alts.push((stepped_l, r.clone()));
+                }
+                let stepped_r = fstep(r, action);
+                if !l.is_null() && !stepped_r.is_null() {
+                    new_alts.push((l.clone(), stepped_r));
+                }
             }
-            State::Par { alts: new_alts }
+            new_alts.sort();
+            new_alts.dedup();
+            if new_alts.is_empty() {
+                State::Null
+            } else {
+                State::Par { alts: new_alts }
+            }
         }
-        State::ParIter { body_expr, alts } => {
-            let new_alts = step_thread_alts(alts, body_expr, action, None);
-            State::ParIter { body_expr: body_expr.clone(), alts: new_alts }
+        State::ParIter { alts, body_init } => {
+            match fused_thread_alts(alts, body_init, action, None) {
+                None => State::Null,
+                Some(new_alts) => State::ParIter { alts: new_alts, body_init: body_init.clone() },
+            }
         }
         State::Or { left, right } => {
-            State::Or { left: Box::new(step(left, action)), right: Box::new(step(right, action)) }
+            let left = fstep(left, action);
+            let right = fstep(right, action);
+            if left.is_null() && right.is_null() {
+                State::Null
+            } else {
+                State::Or { left, right }
+            }
         }
         State::And { left, right } => {
-            State::And { left: Box::new(step(left, action)), right: Box::new(step(right, action)) }
+            let left = fstep(left, action);
+            if left.is_null() {
+                return State::Null;
+            }
+            let right = fstep(right, action);
+            if right.is_null() {
+                return State::Null;
+            }
+            State::And { left, right }
         }
-        State::Sync { left_alpha, right_alpha, left, right } => {
+        State::Sync { left, right, left_alpha, right_alpha } => {
             let in_left = left_alpha.covers(action);
             let in_right = right_alpha.covers(action);
             if !in_left && !in_right {
@@ -114,21 +202,313 @@ pub fn step(state: &State, action: &Action) -> State {
                 // language at all.
                 return State::Null;
             }
+            // The operand the action bypasses is shared untouched — the
+            // copy-on-write payoff for coupled ensembles.
+            let new_left = if in_left { fstep(left, action) } else { left.clone() };
+            if new_left.is_null() {
+                return State::Null;
+            }
+            let new_right = if in_right { fstep(right, action) } else { right.clone() };
+            if new_right.is_null() {
+                return State::Null;
+            }
             State::Sync {
+                left: new_left,
+                right: new_right,
                 left_alpha: left_alpha.clone(),
                 right_alpha: right_alpha.clone(),
-                left: Box::new(if in_left { step(left, action) } else { (**left).clone() }),
-                right: Box::new(if in_right { step(right, action) } else { (**right).clone() }),
+            }
+        }
+        State::SomeQ(q) => {
+            let (template, branches) = fused_broadcast_quant(q, action);
+            // ρ keeps dead branches of a disjunction quantifier (as Null):
+            // removing them could let a later re-instantiation from the
+            // still-valid template resurrect a branch that is already dead.
+            if template.is_null() && branches.values().all(|b| b.is_null()) {
+                State::Null
+            } else {
+                State::SomeQ(QuantState {
+                    param: q.param,
+                    template,
+                    branches,
+                    scope: q.scope.clone(),
+                })
+            }
+        }
+        State::AllQ(q) => {
+            let (template, branches) = fused_broadcast_quant(q, action);
+            if template.is_null() || branches.values().any(|b| b.is_null()) {
+                State::Null
+            } else {
+                State::AllQ(QuantState {
+                    param: q.param,
+                    template,
+                    branches,
+                    scope: q.scope.clone(),
+                })
+            }
+        }
+        State::SyncQ(q) => fused_sync_quant(q, action),
+        State::ParQ { param, body_accepts_epsilon, alts, body_init } => {
+            let values = action.values();
+            if values.is_empty() {
+                // With a completely quantified body no branch can consume an
+                // action that mentions no value at all.
+                return State::Null;
+            }
+            // A new branch's state depends only on the value, not on the
+            // alternative: the precomputed σ(y) template with the value
+            // substituted (σ commutes with substitution), stepped by the
+            // action — computed once per value, shared across alternatives.
+            let fresh_branches: Vec<(Value, Shared<State>)> = values
+                .iter()
+                .map(|v| {
+                    let fresh = body_init.substitute(*param, *v);
+                    let stepped = match fused(&fresh, action) {
+                        State::Null => null_state(),
+                        other => Shared::new(other),
+                    };
+                    (*v, stepped)
+                })
+                .collect();
+            let mut new_alts = Vec::new();
+            for branches in alts {
+                if branches.values().any(|b| b.is_null()) {
+                    continue;
+                }
+                for (v, fresh) in &fresh_branches {
+                    let branch_state = match branches.get(v) {
+                        Some(existing) => fstep(existing, action),
+                        None => fresh.clone(),
+                    };
+                    if branch_state.is_null() {
+                        continue;
+                    }
+                    let mut next = branches.clone();
+                    next.insert(*v, branch_state);
+                    new_alts.push(next);
+                }
+            }
+            new_alts.sort();
+            new_alts.dedup();
+            if new_alts.is_empty() {
+                State::Null
+            } else {
+                State::ParQ {
+                    param: *param,
+                    body_accepts_epsilon: *body_accepts_epsilon,
+                    alts: new_alts,
+                    body_init: body_init.clone(),
+                }
+            }
+        }
+        State::Mult { capacity, body_accepts_epsilon, alts, body_init } => {
+            match fused_thread_alts(alts, body_init, action, Some(*capacity)) {
+                None => State::Null,
+                Some(new_alts) => State::Mult {
+                    capacity: *capacity,
+                    body_accepts_epsilon: *body_accepts_epsilon,
+                    alts: new_alts,
+                    body_init: body_init.clone(),
+                },
+            }
+        }
+    }
+}
+
+/// Fused transition of the alternatives of a parallel iteration or
+/// multiplier: every alternative forks into "an existing instance consumes
+/// the action" (one variant per instance, sharing the other instances) and,
+/// capacity permitting, "a new instance is started with this action".
+/// Variants with an invalid component are pruned before they are ever
+/// sorted; `None` means no alternative survived (the state is invalid).
+fn fused_thread_alts(
+    alts: &[Vec<Shared<State>>],
+    body_init: &Shared<State>,
+    action: &Action,
+    capacity: Option<u32>,
+) -> Option<Vec<Vec<Shared<State>>>> {
+    let mut new_alts = Vec::new();
+    // The freshly started instance is the same for every alternative —
+    // compute it once per transition, not once per alternative.
+    let started = fstep(body_init, action);
+    let started = (!started.is_null()).then_some(started);
+    for threads in alts {
+        if threads.iter().any(|t| t.is_null()) {
+            continue;
+        }
+        for (i, thread) in threads.iter().enumerate() {
+            let stepped = fstep(thread, action);
+            if stepped.is_null() {
+                continue;
+            }
+            let mut next = threads.clone();
+            next[i] = stepped;
+            next.sort();
+            new_alts.push(next);
+        }
+        let may_start = match capacity {
+            Some(cap) => (threads.len() as u32) < cap,
+            None => true,
+        };
+        if may_start {
+            if let Some(started) = &started {
+                let mut next = threads.clone();
+                next.push(started.clone());
+                next.sort();
+                new_alts.push(next);
+            }
+        }
+    }
+    new_alts.sort();
+    new_alts.dedup();
+    if new_alts.is_empty() {
+        None
+    } else {
+        Some(new_alts)
+    }
+}
+
+/// Fused transition of the disjunction and conjunction quantifiers: every
+/// branch — instantiated or represented by the template — processes every
+/// action.  Branches for values that occur in the action for the first time
+/// are instantiated from the template *before* the transition (the
+/// template's state is exactly the state such a branch would have reached,
+/// because the branch's value has not occurred so far).
+fn fused_broadcast_quant(
+    q: &QuantState,
+    action: &Action,
+) -> (Shared<State>, std::collections::BTreeMap<Value, Shared<State>>) {
+    let mut branches = q.branches.clone();
+    for v in new_values(q, action) {
+        branches.insert(v, Shared::new(q.template.substitute(q.param, v)));
+    }
+    let branches = branches.iter().map(|(v, s)| (*v, fstep(s, action))).collect();
+    (fstep(&q.template, action), branches)
+}
+
+/// Fused transition of the synchronization quantifier: like the broadcast
+/// quantifiers, but every branch only sees the actions covered by its own
+/// (instantiated) alphabet; all other actions pass it by *shared*, not
+/// copied.  Actions covered by no instantiation at all are outside the
+/// quantifier's language.
+fn fused_sync_quant(q: &QuantState, action: &Action) -> State {
+    let in_template = q.scope.covers(action);
+    let covered_somewhere =
+        in_template || action.values().iter().any(|v| q.scope.covers_with(action, q.param, *v));
+    if !covered_somewhere {
+        return State::Null;
+    }
+    let mut branches = q.branches.clone();
+    for v in new_values(q, action) {
+        branches.insert(v, Shared::new(q.template.substitute(q.param, v)));
+    }
+    let mut new_branches = std::collections::BTreeMap::new();
+    for (v, s) in &branches {
+        let next =
+            if q.scope.covers_with(action, q.param, *v) { fstep(s, action) } else { s.clone() };
+        if next.is_null() {
+            // The synchronization quantifier is conjunctive: one dead branch
+            // kills the whole state.
+            return State::Null;
+        }
+        new_branches.insert(*v, next);
+    }
+    let template = if in_template { fstep(&q.template, action) } else { q.template.clone() };
+    if template.is_null() {
+        return State::Null;
+    }
+    State::SyncQ(QuantState {
+        param: q.param,
+        template,
+        branches: new_branches,
+        scope: q.scope.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The pure transition function τ (reference / ablation path).
+// ---------------------------------------------------------------------------
+
+/// The pure transition function τ(s, a), without ρ.  Untouched subtrees are
+/// still shared by reference (sharing does not change state *values*), but
+/// nothing is pruned: alternatives accumulate exactly as the worst-case
+/// analysis of Sec. 6 describes.
+pub fn step(state: &State, action: &Action) -> State {
+    let sh = |s: State| Shared::new(s);
+    match state {
+        State::Null => State::Null,
+        State::Epsilon => State::Null,
+        State::AtomFresh { action: expected } => {
+            if expected == action {
+                State::AtomDone
+            } else {
+                State::Null
+            }
+        }
+        State::AtomDone => State::Null,
+        State::Option { body, .. } => {
+            State::Option { at_start: false, body: sh(step(body, action)) }
+        }
+        State::Seq { left, rights, right_init } => {
+            let new_left = step(left, action);
+            let mut new_rights: Vec<Shared<State>> =
+                rights.iter().map(|r| sh(step(r, action))).collect();
+            if is_final(&new_left) {
+                new_rights.push(right_init.clone());
+            }
+            new_rights.sort();
+            new_rights.dedup();
+            State::Seq { left: sh(new_left), rights: new_rights, right_init: right_init.clone() }
+        }
+        State::SeqIter { runs, body_init, .. } => {
+            let mut new_runs: Vec<Shared<State>> =
+                runs.iter().map(|r| sh(step(r, action))).collect();
+            let boundary = new_runs.iter().any(|r| is_final(r));
+            if boundary {
+                new_runs.push(body_init.clone());
+            }
+            new_runs.sort();
+            new_runs.dedup();
+            State::SeqIter { boundary, runs: new_runs, body_init: body_init.clone() }
+        }
+        State::Par { alts } => {
+            let mut new_alts = Vec::with_capacity(alts.len() * 2);
+            for (l, r) in alts {
+                new_alts.push((sh(step(l, action)), r.clone()));
+                new_alts.push((l.clone(), sh(step(r, action))));
+            }
+            State::Par { alts: new_alts }
+        }
+        State::ParIter { alts, body_init } => State::ParIter {
+            alts: step_thread_alts(alts, body_init, action, None),
+            body_init: body_init.clone(),
+        },
+        State::Or { left, right } => {
+            State::Or { left: sh(step(left, action)), right: sh(step(right, action)) }
+        }
+        State::And { left, right } => {
+            State::And { left: sh(step(left, action)), right: sh(step(right, action)) }
+        }
+        State::Sync { left, right, left_alpha, right_alpha } => {
+            let in_left = left_alpha.covers(action);
+            let in_right = right_alpha.covers(action);
+            if !in_left && !in_right {
+                return State::Null;
+            }
+            State::Sync {
+                left: if in_left { sh(step(left, action)) } else { left.clone() },
+                right: if in_right { sh(step(right, action)) } else { right.clone() },
+                left_alpha: left_alpha.clone(),
+                right_alpha: right_alpha.clone(),
             }
         }
         State::SomeQ(q) => State::SomeQ(step_broadcast_quant(q, action)),
         State::AllQ(q) => State::AllQ(step_broadcast_quant(q, action)),
         State::SyncQ(q) => step_sync_quant(q, action),
-        State::ParQ { param, body_expr, body_accepts_epsilon, alts } => {
+        State::ParQ { param, body_accepts_epsilon, alts, body_init } => {
             let values = action.values();
             if values.is_empty() {
-                // With a completely quantified body no branch can consume an
-                // action that mentions no value at all.
                 return State::Null;
             }
             let mut new_alts = Vec::new();
@@ -138,48 +518,43 @@ pub fn step(state: &State, action: &Action) -> State {
                     let branch_state = match branches.get(v) {
                         Some(existing) => step(existing, action),
                         None => {
-                            let fresh = initial_state(&body_expr.substitute(*param, *v));
+                            let fresh = body_init.substitute(*param, *v);
                             step(&fresh, action)
                         }
                     };
-                    next.insert(*v, branch_state);
+                    next.insert(*v, sh(branch_state));
                     new_alts.push(next);
                 }
             }
             State::ParQ {
                 param: *param,
-                body_expr: body_expr.clone(),
                 body_accepts_epsilon: *body_accepts_epsilon,
                 alts: new_alts,
+                body_init: body_init.clone(),
             }
         }
-        State::Mult { body_expr, capacity, body_accepts_epsilon, alts } => {
-            let new_alts = step_thread_alts(alts, body_expr, action, Some(*capacity));
-            State::Mult {
-                body_expr: body_expr.clone(),
-                capacity: *capacity,
-                body_accepts_epsilon: *body_accepts_epsilon,
-                alts: new_alts,
-            }
-        }
+        State::Mult { capacity, body_accepts_epsilon, alts, body_init } => State::Mult {
+            capacity: *capacity,
+            body_accepts_epsilon: *body_accepts_epsilon,
+            alts: step_thread_alts(alts, body_init, action, Some(*capacity)),
+            body_init: body_init.clone(),
+        },
     }
 }
 
-/// Transition of the alternatives of a parallel iteration or multiplier:
-/// every alternative forks into "an existing instance consumes the action"
-/// (one variant per instance) and, capacity permitting, "a new instance is
-/// started with this action".
+/// Pure-τ transition of thread alternatives (parallel iteration and
+/// multiplier), without pruning.
 fn step_thread_alts(
-    alts: &[Vec<State>],
-    body_expr: &ix_core::Expr,
+    alts: &[Vec<Shared<State>>],
+    body_init: &Shared<State>,
     action: &Action,
     capacity: Option<u32>,
-) -> Vec<Vec<State>> {
+) -> Vec<Vec<Shared<State>>> {
     let mut new_alts = Vec::new();
     for threads in alts {
         for i in 0..threads.len() {
             let mut next = threads.clone();
-            next[i] = step(&threads[i], action);
+            next[i] = Shared::new(step(&threads[i], action));
             next.sort();
             new_alts.push(next);
         }
@@ -189,7 +564,7 @@ fn step_thread_alts(
         };
         if may_start {
             let mut next = threads.clone();
-            next.push(step(&initial_state(body_expr), action));
+            next.push(Shared::new(step(body_init, action)));
             next.sort();
             new_alts.push(next);
         }
@@ -197,31 +572,22 @@ fn step_thread_alts(
     new_alts
 }
 
-/// Transition of the disjunction and conjunction quantifiers: every branch —
-/// instantiated or represented by the template — processes every action.
-/// Branches for values that occur in the action for the first time are
-/// instantiated from the template *before* the transition (the template's
-/// state is exactly the state such a branch would have reached, because the
-/// branch's value has not occurred so far).
+/// Pure-τ transition of the broadcast quantifiers.
 fn step_broadcast_quant(q: &QuantState, action: &Action) -> QuantState {
     let mut branches = q.branches.clone();
     for v in new_values(q, action) {
-        branches.insert(v, q.template.substitute(q.param, v));
+        branches.insert(v, Shared::new(q.template.substitute(q.param, v)));
     }
-    let branches = branches.into_iter().map(|(v, s)| (v, step(&s, action))).collect();
+    let branches = branches.iter().map(|(v, s)| (*v, Shared::new(step(s, action)))).collect();
     QuantState {
         param: q.param,
-        body_expr: q.body_expr.clone(),
-        scope: q.scope.clone(),
-        template: Box::new(step(&q.template, action)),
+        template: Shared::new(step(&q.template, action)),
         branches,
+        scope: q.scope.clone(),
     }
 }
 
-/// Transition of the synchronization quantifier: like the broadcast
-/// quantifiers, but every branch only sees the actions covered by its own
-/// (instantiated) alphabet; all other actions pass it by untouched.  Actions
-/// covered by no instantiation at all are outside the quantifier's language.
+/// Pure-τ transition of the synchronization quantifier.
 fn step_sync_quant(q: &QuantState, action: &Action) -> State {
     let covered_somewhere = q.scope.covers_blocking(action, &[])
         || action.values().iter().any(|v| q.scope.covers_with(action, q.param, *v));
@@ -230,31 +596,24 @@ fn step_sync_quant(q: &QuantState, action: &Action) -> State {
     }
     let mut branches = q.branches.clone();
     for v in new_values(q, action) {
-        branches.insert(v, q.template.substitute(q.param, v));
+        branches.insert(v, Shared::new(q.template.substitute(q.param, v)));
     }
-    let branches =
-        branches
-            .into_iter()
-            .map(|(v, s)| {
-                if q.scope.covers_with(action, q.param, v) {
-                    (v, step(&s, action))
-                } else {
-                    (v, s)
-                }
-            })
-            .collect();
+    let branches = branches
+        .iter()
+        .map(|(v, s)| {
+            if q.scope.covers_with(action, q.param, *v) {
+                (*v, Shared::new(step(s, action)))
+            } else {
+                (*v, s.clone())
+            }
+        })
+        .collect();
     let template = if q.scope.covers_blocking(action, &[]) {
-        Box::new(step(&q.template, action))
+        Shared::new(step(&q.template, action))
     } else {
         q.template.clone()
     };
-    State::SyncQ(QuantState {
-        param: q.param,
-        body_expr: q.body_expr.clone(),
-        scope: q.scope.clone(),
-        template,
-        branches,
-    })
+    State::SyncQ(QuantState { param: q.param, template, branches, scope: q.scope.clone() })
 }
 
 /// Values occurring in the action that have no instantiated branch yet.
@@ -426,6 +785,56 @@ mod tests {
     }
 
     #[test]
+    fn fused_transition_matches_the_two_pass_reference() {
+        let words: &[&[&str]] = &[
+            &["a"],
+            &["a", "b"],
+            &["a", "b", "a"],
+            &["b"],
+            &["a", "a"],
+            &["a", "b", "a", "b", "a"],
+        ];
+        for src in [
+            "(a - b)* | (a + b)",
+            "(a | b) - a",
+            "a# & (a - a)",
+            "(a - b)* @ (b - a)*",
+            "mult 2 { a - b }",
+            "(a? - b)#",
+        ] {
+            let e = parse(src).unwrap();
+            for word in words {
+                let mut cow = init(&e).unwrap();
+                let mut reference = init(&e).unwrap();
+                for n in *word {
+                    cow = trans(&cow, &a(n));
+                    reference = trans_reference(&reference, &a(n));
+                    assert_eq!(cow, reference, "fused τ̂ diverged on {src} after {n} of {word:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_transition_keeps_the_invalid_means_null_invariant() {
+        for (src, word) in [
+            ("a - b", &["b"][..]),
+            ("(a - b)*", &["a", "a"][..]),
+            ("a @ b", &["z"][..]),
+            ("each p { a(p)? }", &[][..]),
+        ] {
+            let e = parse(src).unwrap();
+            let mut s = init(&e).unwrap();
+            let mut actions: Vec<Action> = word.iter().map(|n| a(n)).collect();
+            actions.push(a("zzz"));
+            for act in &actions {
+                s = trans(&s, act);
+                assert_eq!(is_valid(&s), !s.is_null(), "invariant broken on {src} at {act}");
+            }
+        }
+    }
+
+    #[test]
     fn optimization_keeps_transition_results_equivalent() {
         let words: &[&[&str]] = &[&["a"], &["a", "b"], &["a", "b", "a"], &["b"]];
         for src in ["(a - b)* | (a + b)", "(a | b) - a", "a# & (a - a)"] {
@@ -442,6 +851,26 @@ mod tests {
                 assert!(opt.size() <= raw.size());
             }
         }
+    }
+
+    #[test]
+    fn transitions_share_untouched_subtrees() {
+        // A coupling whose right operand never sees `a`: the whole right
+        // subtree must be shared by pointer across the transition.
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let s0 = init(&e).unwrap();
+        let s1 = trans(&s0, &a("a"));
+        match (&s0, &s1) {
+            (State::Sync { right: r0, .. }, State::Sync { right: r1, .. }) => {
+                assert!(crate::state::Shared::ptr_eq(r0, r1), "untouched ⊗ operand not shared");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The rebuild allocates only the spine.
+        assert!(
+            crate::state::fresh_nodes(&s0, &s1) < s1.size(),
+            "no structural sharing in the rebuilt state"
+        );
     }
 
     #[test]

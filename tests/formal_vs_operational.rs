@@ -257,6 +257,27 @@ proptest! {
     }
 
     #[test]
+    fn fused_cow_transition_matches_reference_on_quantified_expressions(
+        expr in quantified_strategy(),
+        word in word_strategy(),
+    ) {
+        // The fused copy-on-write τ̂ must produce the same state *values* as
+        // the two-pass ρ∘τ reference on every quantifier class (branch
+        // instantiation, template substitution, per-branch routing).
+        use ix_state::{init, is_valid, trans, trans_reference};
+        let mut cow = init(&expr).unwrap();
+        let mut reference = init(&expr).unwrap();
+        for action in &word {
+            cow = trans(&cow, action);
+            reference = trans_reference(&reference, action);
+            prop_assert_eq!(&cow, &reference,
+                "fused τ̂ diverged on `{}` at {}", expr, action);
+            prop_assert_eq!(is_valid(&cow), !cow.is_null(),
+                "invalid ⇔ Null invariant broken on `{}`", expr);
+        }
+    }
+
+    #[test]
     fn optimization_never_changes_the_verdict(expr in expr_strategy(), word in word_strategy()) {
         use ix_state::{init, is_final, is_valid, trans_with, TransitionOptions};
         let mut optimized = init(&expr).unwrap();

@@ -262,10 +262,120 @@ fn assert_runtime_blocking_ask_confirm_equivalence(
     Ok(())
 }
 
+/// Drives the same word through the fused copy-on-write τ̂ and the two-pass
+/// reference (pure τ followed by a separate ρ), asserting *state value*
+/// equality after every transition plus ψ/ϕ agreement — the correctness
+/// contract of the fused rebuild.
+fn assert_cow_reference_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use ix_state::{init, is_final, is_valid, trans, trans_reference};
+    let Ok(mut cow) = init(x) else {
+        return Ok(());
+    };
+    let mut reference = init(x).unwrap();
+    for action in word {
+        cow = trans(&cow, action);
+        reference = trans_reference(&reference, action);
+        prop_assert_eq!(
+            &cow,
+            &reference,
+            "fused τ̂ state diverged from ρ∘τ on `{}` at {}",
+            x,
+            action
+        );
+        prop_assert_eq!(is_valid(&cow), is_valid(&reference), "ψ diverged on `{}`", x);
+        prop_assert_eq!(is_final(&cow), is_final(&reference), "ϕ diverged on `{}`", x);
+        prop_assert_eq!(
+            is_valid(&cow),
+            !cow.is_null(),
+            "optimized states must satisfy invalid ⇔ Null on `{}`",
+            x
+        );
+    }
+    Ok(())
+}
+
+/// Drives the same word through a memoizing engine and a memo-disabled
+/// engine, asserting identical outcomes, states and counters — the
+/// correctness contract of the transition memo.
+fn assert_memo_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut memo_on = Engine::new(x).unwrap();
+    let mut memo_off = Engine::new(x).unwrap();
+    memo_off.set_memo_capacity(0);
+    for action in word {
+        prop_assert_eq!(
+            memo_on.is_permitted(action),
+            memo_off.is_permitted(action),
+            "is_permitted diverges with the memo on `{}` for {}",
+            x,
+            action
+        );
+        // Interleave reservation-aware probes so the memoized speculative
+        // chains are exercised as well.
+        let reserved = [word.first().cloned().unwrap_or_else(|| action.clone())];
+        prop_assert_eq!(
+            memo_on.permitted_after(reserved.iter(), action),
+            memo_off.permitted_after(reserved.iter(), action),
+            "permitted_after diverges with the memo on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(
+            memo_on.try_execute(action),
+            memo_off.try_execute(action),
+            "try_execute diverges with the memo on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(memo_on.state(), memo_off.state(), "states diverge on `{}`", x);
+    }
+    prop_assert_eq!(memo_on.accepted(), memo_off.accepted());
+    prop_assert_eq!(memo_on.rejected(), memo_off.rejected());
+    prop_assert_eq!(memo_on.is_final(), memo_off.is_final());
+    Ok(())
+}
+
 const BOUND: usize = 3;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fused_cow_transition_matches_the_two_pass_reference(
+        x in small_expr(),
+        word in word_strategy(),
+    ) {
+        assert_cow_reference_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn fused_cow_transition_matches_reference_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_cow_reference_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn memoized_engine_matches_memoless_engine(
+        x in small_expr(),
+        word in word_strategy(),
+    ) {
+        assert_memo_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn memoized_engine_matches_memoless_engine_on_shardable_expressions(
+        x in shardable_expr(),
+        word in word_strategy(),
+    ) {
+        assert_memo_equivalence(&x, &word)?;
+    }
 
     #[test]
     fn commutativity_of_symmetric_operators(x in small_expr(), y in small_expr()) {
