@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async] \
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async|step|repart] \
 //!           [--check]
 //! ```
 //!
@@ -87,6 +87,12 @@ fn main() {
         step_bench();
         if check {
             check_step_report("BENCH_step.json");
+        }
+    }
+    if all || arg == "repart" {
+        repart();
+        if check {
+            check_repart_report("BENCH_repart.json");
         }
     }
 }
@@ -592,6 +598,119 @@ fn step_bench() {
     );
     std::fs::write("BENCH_step.json", &json).expect("write BENCH_step.json");
     println!("\nwrote BENCH_step.json");
+}
+
+/// The dynamic-repartitioning experiment: latency of growing a running
+/// ensemble (disjoint append vs coupling migration) and throughput of
+/// unaffected shards during the migration window.  Emits
+/// `BENCH_repart.json`.
+fn repart() {
+    heading("Dynamic repartitioning — live partition recompute without stopping the world");
+    println!(
+        "{:>7} {:>9} {:>14} {:>14} {:>9} {:>11} {:>13} {:>9}",
+        "shards", "history", "append µs", "migrate µs", "replayed", "moved", "during/s-win", "dip"
+    );
+    let mut rows = Vec::new();
+    for components in [4usize, 8] {
+        for history in [512usize, 4096] {
+            let r = repart_experiment(components, history);
+            println!(
+                "{:>7} {:>9} {:>14.1} {:>14.1} {:>9} {:>5}/{:<5} {:>13} {:>8.2}x",
+                r.components,
+                r.history,
+                r.disjoint_append.as_secs_f64() * 1e6,
+                r.coupling_migrate.as_secs_f64() * 1e6,
+                r.replayed,
+                r.disjoint_migrated,
+                r.coupling_migrated,
+                r.committed_during_migration,
+                r.dip_ratio(),
+            );
+            rows.push(format!(
+                "    {{\"components\": {}, \"history\": {}, \
+                 \"disjoint_append_us\": {:.1}, \"coupling_migrate_us\": {:.1}, \
+                 \"disjoint_migrated_states\": {}, \"coupling_migrated_states\": {}, \
+                 \"replayed_actions\": {}, \"committed_during_migration\": {}, \
+                 \"committed_before_window\": {}, \"dip_ratio\": {:.3}}}",
+                r.components,
+                r.history,
+                r.disjoint_append.as_secs_f64() * 1e6,
+                r.coupling_migrate.as_secs_f64() * 1e6,
+                r.disjoint_migrated,
+                r.coupling_migrated,
+                r.replayed,
+                r.committed_during_migration,
+                r.committed_before,
+                r.dip_ratio(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"dynamic repartitioning\",\n  \
+          \"workload\": \"contended call/perform clients on unaffected components while a \
+          disjoint constraint appends and a coupling constraint (sharing component 0's call \
+          action) migrates; migration latency vs pre-committed history, commits during the \
+          migration window vs an equal pre-migration window\",\n  \
+          \"repart\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_repart.json", &json).expect("write BENCH_repart.json");
+    println!("\nwrote BENCH_repart.json");
+}
+
+/// The repartitioning CI bench smoke: validates `BENCH_repart.json` and
+/// fails on the invariants — a disjoint append must migrate zero shard
+/// states, a coupling update must migrate at least one and replay the
+/// covered history (both deterministic), and clients on unaffected shards
+/// must have kept committing during a migration window (a liveness
+/// witness; the experiment retries extra migrations until it is observed,
+/// so scheduler starvation of one short window cannot fail the gate).
+fn check_repart_report(path: &str) {
+    let text =
+        read_validated_report(path, &["\"experiment\"", "\"repart\"", "\"coupling_migrate_us\""]);
+    let mut checked = 0usize;
+    for row in text.split('{') {
+        let Some(components) = json_number(row, "components") else { continue };
+        let disjoint = json_number(row, "disjoint_migrated_states")
+            .unwrap_or_else(|| die(&format!("{path}: row without disjoint_migrated_states")));
+        let coupled = json_number(row, "coupling_migrated_states")
+            .unwrap_or_else(|| die(&format!("{path}: row without coupling_migrated_states")));
+        let replayed = json_number(row, "replayed_actions")
+            .unwrap_or_else(|| die(&format!("{path}: row without replayed_actions")));
+        let during = json_number(row, "committed_during_migration")
+            .unwrap_or_else(|| die(&format!("{path}: row without committed_during_migration")));
+        let history = json_number(row, "history")
+            .unwrap_or_else(|| die(&format!("{path}: row without history")));
+        if disjoint != 0.0 {
+            die(&format!(
+                "disjoint append migrated {disjoint} shard states at {components} components \
+                 — it must be a pure append"
+            ));
+        }
+        if coupled < 1.0 {
+            die(&format!("coupling update migrated no shard state at {components} components"));
+        }
+        if replayed != history / 2.0 {
+            die(&format!(
+                "coupling update replayed {replayed} of the expected {} covered entries",
+                history / 2.0
+            ));
+        }
+        if during <= 0.0 {
+            die(&format!(
+                "no commits on unaffected shards during the migration window at \
+                 {components} components — the migration stopped the world"
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!("{path}: no repart rows to check"));
+    }
+    println!(
+        "check passed: {checked} configurations — disjoint adds migrate zero states, \
+         coupling migrations replay their history, unaffected traffic never stops"
+    );
 }
 
 /// The step CI bench smoke: validates `BENCH_step.json` and fails when the

@@ -11,11 +11,13 @@
 
 pub mod contended;
 pub mod pipelined;
+pub mod repart;
 pub mod stepbench;
 pub mod workloads;
 
 pub use contended::*;
 pub use pipelined::*;
+pub use repart::*;
 pub use stepbench::*;
 pub use workloads::*;
 

@@ -36,10 +36,78 @@ use std::collections::BTreeMap;
 
 /// The decomposition of an expression into sync-components together with the
 /// ownership map of its actions.
+///
+/// A partition is *versioned*: it can be updated incrementally as a workflow
+/// ensemble grows at runtime.  [`Partition::extend`] appends the operands of
+/// new constraints as fresh components and [`Partition::recouple`] does the
+/// same for constraints that deliberately share actions with existing
+/// components; both diff the new [`OwnershipMap`] against the existing one
+/// and emit a [`PartitionDelta`] naming exactly the shards to create, the
+/// owner sets to widen, and (for coalesced partitions) the components to
+/// merge — the input of the sharded engine's and the manager runtime's live
+/// migration machinery.
 #[derive(Clone, Debug)]
 pub struct Partition {
     components: Vec<Component>,
     ownership: OwnershipMap,
+    /// Monotone version counter: 0 at construction, +1 per incremental
+    /// update.  Routers built from a partition carry this epoch so stale
+    /// routing decisions are detectable.
+    epoch: u64,
+}
+
+/// The diff between a partition and its incremental update — what an
+/// execution engine must do to follow the update without rebuilding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionDelta {
+    /// Indices (in the *new* partition) of the components the update
+    /// created — the shards an engine must spawn.
+    pub added: Vec<usize>,
+    /// Abstract actions whose owner set involves existing components and
+    /// changed, with their full new owner set (sorted ascending).  Empty for
+    /// a disjoint addition — the zero-migration pure-append case in which no
+    /// existing shard is affected and no state moves.
+    pub widened: Vec<(Action, Vec<usize>)>,
+    /// Groups of *old* component indices collapsed into one new component
+    /// (ascending sources, paired with the new component's index).  Only
+    /// coalesced partitions merge; fine-grained updates record overlap in
+    /// `widened` instead.
+    pub merges: Vec<MergeGroup>,
+}
+
+/// One merge of a coalesced update: the old components folded into a new
+/// one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeGroup {
+    /// Old component indices merged together, ascending.
+    pub sources: Vec<usize>,
+    /// Index of the merged component in the new partition.
+    pub target: usize,
+}
+
+impl PartitionDelta {
+    /// True if the update touches no existing component: only fresh shards
+    /// are created, no owner set widens, nothing merges.  Engines apply such
+    /// deltas as a pure shard-append with zero migration.
+    pub fn is_pure_append(&self) -> bool {
+        self.widened.is_empty() && self.merges.is_empty()
+    }
+
+    /// The existing components affected by the update (owners below
+    /// `old_len` appearing in a widened owner set or a merge group), sorted
+    /// ascending — the shards a live migration must quiesce.
+    pub fn affected_existing(&self, old_len: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .widened
+            .iter()
+            .flat_map(|(_, owners)| owners.iter().copied())
+            .filter(|&o| o < old_len)
+            .chain(self.merges.iter().flat_map(|m| m.sources.iter().copied()))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 /// One sync-component: a sub-expression together with its alphabet.
@@ -126,7 +194,7 @@ impl Partition {
         let components: Vec<Component> =
             operands.into_iter().map(|e| Component { alphabet: e.alphabet(), expr: e }).collect();
         let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
-        Partition { components, ownership: OwnershipMap::of(&alphabets) }
+        Partition { components, ownership: OwnershipMap::of(&alphabets), epoch: 0 }
     }
 
     /// Computes the coarse partition with pairwise disjoint component
@@ -185,7 +253,163 @@ impl Partition {
             })
             .collect();
         let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
-        Partition { components, ownership: OwnershipMap::of(&alphabets) }
+        Partition { components, ownership: OwnershipMap::of(&alphabets), epoch: 0 }
+    }
+
+    /// The partition's version: 0 at construction, incremented by every
+    /// incremental update ([`Partition::extend`], [`Partition::recouple`],
+    /// [`Partition::extend_coalesced`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Extends the partition with the operands of additional constraints:
+    /// each `new_operands` entry is flattened along its own splittable
+    /// top-level chain and every resulting operand becomes a **new**
+    /// component — existing components and their states are never touched,
+    /// because ⊗ is associative and commutative and the extended ensemble is
+    /// semantically `old ⊗ new₁ ⊗ … ⊗ newₙ`.
+    ///
+    /// Overlap between new and existing alphabets is recorded in the
+    /// rebuilt [`OwnershipMap`]; the returned [`PartitionDelta`] diffs the
+    /// new map against the old one.  A disjoint addition yields a
+    /// pure-append delta (no widened owner sets); a coupling constraint
+    /// widens exactly the owner sets of the actions it shares.
+    pub fn extend(&self, new_operands: &[Expr]) -> (Partition, PartitionDelta) {
+        let mut components = self.components.clone();
+        let old_len = components.len();
+        for operand in new_operands {
+            let mut flat = Vec::new();
+            flatten(operand, &mut flat);
+            components
+                .extend(flat.into_iter().map(|e| Component { alphabet: e.alphabet(), expr: e }));
+        }
+        let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
+        let ownership = OwnershipMap::of(&alphabets);
+        let widened = ownership
+            .entries()
+            .filter(|(action, owners)| {
+                owners.iter().any(|&o| o < old_len)
+                    && *owners != self.ownership.owners_of_abstract(action)
+            })
+            .map(|(action, owners)| (action.clone(), owners.to_vec()))
+            .collect();
+        let delta = PartitionDelta {
+            added: (old_len..components.len()).collect(),
+            widened,
+            merges: Vec::new(),
+        };
+        (Partition { components, ownership, epoch: self.epoch + 1 }, delta)
+    }
+
+    /// Extends the partition with one *coupling* constraint — a new operand
+    /// whose alphabet deliberately intersects existing components (a shared
+    /// audit step, a new inter-workflow ordering rule).  Identical to
+    /// [`Partition::extend`] except that the returned delta is guaranteed to
+    /// widen at least one owner set; passing a fully disjoint constraint is
+    /// almost certainly a mistake (use `extend`), so the widened list being
+    /// empty is reported as `None`.
+    pub fn recouple(&self, coupling: &Expr) -> Option<(Partition, PartitionDelta)> {
+        let (partition, delta) = self.extend(std::slice::from_ref(coupling));
+        if delta.widened.is_empty() {
+            return None;
+        }
+        Some((partition, delta))
+    }
+
+    /// Extends a **coalesced** partition (pairwise disjoint component
+    /// alphabets, see [`Partition::coalesced`]) while preserving
+    /// disjointness: new operands overlapping existing components force a
+    /// union–find merge, re-joining the group members with ⊗.  The delta's
+    /// [`PartitionDelta::merges`] names every group of old components that
+    /// collapsed — the coarse-partition analogue of an owner-set widening,
+    /// and the case in which a migration genuinely has to move and combine
+    /// shard states.
+    pub fn extend_coalesced(&self, new_operands: &[Expr]) -> (Partition, PartitionDelta) {
+        let old_len = self.components.len();
+        let mut operands: Vec<Expr> = self.components.iter().map(|c| c.expr.clone()).collect();
+        let mut alphabets: Vec<Alphabet> =
+            self.components.iter().map(|c| c.alphabet.clone()).collect();
+        for operand in new_operands {
+            let mut flat = Vec::new();
+            flatten(operand, &mut flat);
+            for e in flat {
+                alphabets.push(e.alphabet());
+                operands.push(e);
+            }
+        }
+
+        let mut parent: Vec<usize> = (0..operands.len()).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..operands.len() {
+            for j in i + 1..operands.len() {
+                if !alphabets[i].is_disjoint(&alphabets[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[rj] = ri;
+                    }
+                }
+            }
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..operands.len() {
+            let root = find(&mut parent, i);
+            match groups.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((root, vec![i])),
+            }
+        }
+
+        let mut added = Vec::new();
+        let mut merges = Vec::new();
+        let components: Vec<Component> = groups
+            .iter()
+            .enumerate()
+            .map(|(target, (_, members))| {
+                let old_members: Vec<usize> =
+                    members.iter().copied().filter(|&i| i < old_len).collect();
+                if old_members.is_empty() {
+                    added.push(target);
+                } else if old_members.len() > 1 || members.len() > old_members.len() {
+                    merges.push(MergeGroup { sources: old_members, target });
+                }
+                let expr = members
+                    .iter()
+                    .map(|&i| operands[i].clone())
+                    .reduce(Expr::sync)
+                    .expect("every group has at least one operand");
+                let alphabet =
+                    members.iter().fold(Alphabet::new(), |acc, &i| acc.union(&alphabets[i]));
+                Component { expr, alphabet }
+            })
+            .collect();
+        let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
+        let delta = PartitionDelta { added, widened: Vec::new(), merges };
+        (
+            Partition {
+                components,
+                ownership: OwnershipMap::of(&alphabets),
+                epoch: self.epoch + 1,
+            },
+            delta,
+        )
+    }
+
+    /// Re-joins the component expressions with ⊗ — the monolithic
+    /// expression the partition currently represents (semantically equal to
+    /// the original expression extended by every update applied so far).
+    pub fn joined_expr(&self) -> Expr {
+        self.components
+            .iter()
+            .map(|c| c.expr.clone())
+            .reduce(Expr::sync)
+            .unwrap_or_else(Expr::empty)
     }
 
     /// The components, in the order their operand appears in the original
@@ -410,6 +634,101 @@ mod tests {
         assert_eq!(entries.len(), 3, "a, b, c");
         assert_eq!(p.ownership().owners_of_abstract(&Action::nullary("b")), &[0, 1]);
         assert!(p.ownership().owners_of_abstract(&Action::nullary("z")).is_empty());
+    }
+
+    #[test]
+    fn disjoint_extend_is_a_pure_append() {
+        let p = Partition::of(&parse("(a - b)* @ (c - d)*").unwrap());
+        assert_eq!(p.epoch(), 0);
+        let (q, delta) = p.extend(&[parse("(e - f)*").unwrap()]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.epoch(), 1);
+        assert_eq!(delta.added, vec![2]);
+        assert!(delta.is_pure_append(), "disjoint additions widen nothing");
+        assert!(delta.affected_existing(p.len()).is_empty());
+        assert_eq!(q.owners_of(&Action::nullary("e")), vec![2]);
+        // The extended partition equals the from-scratch partition of the
+        // joined expression.
+        let scratch = Partition::of(&q.joined_expr());
+        assert_eq!(scratch.len(), q.len());
+        for (a, owners) in q.ownership().entries() {
+            assert_eq!(scratch.ownership().owners_of_abstract(a), owners);
+        }
+    }
+
+    #[test]
+    fn extend_flattens_multi_operand_constraints() {
+        let p = Partition::of(&parse("(a - b)*").unwrap());
+        let (q, delta) = p.extend(&[parse("(c - d)* @ (e - f)*").unwrap()]);
+        assert_eq!(q.len(), 3, "the new constraint's own chain is flattened");
+        assert_eq!(delta.added, vec![1, 2]);
+        assert!(delta.is_pure_append());
+        assert_eq!(q.epoch(), 1);
+    }
+
+    #[test]
+    fn coupling_extend_widens_exactly_the_shared_owner_sets() {
+        let p = Partition::of(&parse("(a - b)* @ (c - d)*").unwrap());
+        // The coupling shares `a` with component 0 and nothing else.
+        let (q, delta) = p.extend(&[parse("(a* - audit)*").unwrap()]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(delta.added, vec![2]);
+        assert!(!delta.is_pure_append());
+        assert_eq!(delta.affected_existing(p.len()), vec![0]);
+        let widened: Vec<_> = delta.widened.iter().map(|(a, o)| (a.clone(), o.clone())).collect();
+        assert_eq!(widened, vec![(Action::nullary("a"), vec![0, 2])]);
+        assert_eq!(q.owners_of(&Action::nullary("a")), vec![0, 2]);
+        assert_eq!(q.owners_of(&Action::nullary("audit")), vec![2]);
+        assert_eq!(q.owners_of(&Action::nullary("c")), vec![1], "unrelated owners untouched");
+    }
+
+    #[test]
+    fn recouple_requires_overlap() {
+        let p = Partition::of(&parse("(a - b)* @ (c - d)*").unwrap());
+        assert!(p.recouple(&parse("(x - y)*").unwrap()).is_none(), "disjoint: use extend");
+        let (q, delta) = p.recouple(&parse("((a - b)* - audit)*").unwrap()).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(delta.widened.len(), 2, "a and b both widen");
+        assert_eq!(delta.affected_existing(p.len()), vec![0]);
+    }
+
+    #[test]
+    fn extend_with_parameterized_overlap_is_conservative() {
+        let p = Partition::of(&parse("(call(1, sono) - done)*").unwrap());
+        let (q, delta) = p.extend(&[parse("(some p { call(p, sono) })*").unwrap()]);
+        assert_eq!(q.len(), 2);
+        assert!(!delta.is_pure_append(), "call(p, sono) may instantiate to call(1, sono)");
+        assert_eq!(delta.affected_existing(p.len()), vec![0]);
+        let concrete = Action::concrete(
+            "call",
+            [crate::value::Value::int(1), crate::value::Value::sym("sono")],
+        );
+        assert_eq!(q.owners_of(&concrete), vec![0, 1]);
+    }
+
+    #[test]
+    fn coalesced_extend_reports_merges() {
+        let p = Partition::coalesced(&parse("(a - b)* @ (c - d)* @ (e - f)*").unwrap());
+        assert_eq!(p.len(), 3);
+        // A bridge over a and c collapses components 0 and 1 into one.
+        let (q, delta) = p.extend_coalesced(&[parse("(a - c)*").unwrap()]);
+        assert_eq!(q.len(), 2);
+        assert!(delta.added.is_empty());
+        assert_eq!(delta.merges.len(), 1);
+        assert_eq!(delta.merges[0].sources, vec![0, 1]);
+        assert_eq!(delta.affected_existing(p.len()), vec![0, 1]);
+        assert!(q.ownership().is_exclusive(), "coalesced partitions stay exclusive");
+        for (i, ci) in q.components().iter().enumerate() {
+            for cj in q.components().iter().skip(i + 1) {
+                assert!(ci.alphabet.is_disjoint(&cj.alphabet));
+            }
+        }
+        // A disjoint addition stays a pure append even when coalesced.
+        let (r, delta) = q.extend_coalesced(&[parse("(x - y)*").unwrap()]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(delta.added.len(), 1);
+        assert!(delta.is_pure_append());
+        assert_eq!(r.epoch(), 2);
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub enum ManagerError {
     },
     /// The protocol channel to a manager server was closed.
     Disconnected,
+    /// A live extension was rejected because the new constraint does not
+    /// accept the projection of the already-committed log onto its alphabet
+    /// — accepting it would break the invariant that the merged log replays
+    /// on the grown expression.  The runtime is left exactly as it was.
+    IncompatibleExtension {
+        /// Display form of the first historical action the new constraint
+        /// rejected.
+        action: String,
+    },
+    /// `couple` was called with a constraint sharing no action with the
+    /// running ensemble.  A disjoint constraint is a pure shard-append and
+    /// should go through `add_constraint`.
+    DisjointCoupling,
 }
 
 impl fmt::Display for ManagerError {
@@ -52,6 +65,12 @@ impl fmt::Display for ManagerError {
                 write!(f, "action `{action}` is not concrete")
             }
             ManagerError::Disconnected => write!(f, "interaction manager is not reachable"),
+            ManagerError::IncompatibleExtension { action } => {
+                write!(f, "new constraint rejects the committed history at action `{action}`")
+            }
+            ManagerError::DisjointCoupling => {
+                write!(f, "coupling constraint shares no action with the ensemble")
+            }
         }
     }
 }

@@ -39,7 +39,10 @@ pub use manager::{BatchResult, InteractionManager, ManagerStats, ProtocolVariant
 pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::DurableQueue;
-pub use runtime::{ClockMode, Completion, ManagerRuntime, RuntimeOptions, RuntimeReport, Session};
+pub use runtime::{
+    ClockMode, Completion, ManagerRuntime, RepartitionReport, RepartitionStats, RuntimeOptions,
+    RuntimeReport, Session,
+};
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
 pub use ticket::{Ticket, TicketIssuer};
 pub use timer::{TimerId, TimerWheel};

@@ -34,7 +34,23 @@
 //!   session submission is journaled in a [`DurableQueue`] before dispatch
 //!   and removed only when the client acknowledges the completion, so a
 //!   simulated crash redelivers unacknowledged submissions — at-least-once,
-//!   exactly the persistent-queue contract the paper cites.
+//!   exactly the persistent-queue contract the paper cites;
+//! * **dynamic repartitioning** ([`ManagerRuntime::add_constraint`],
+//!   [`ManagerRuntime::couple`]): workflow ensembles grow at runtime, so the
+//!   partition is a *versioned* artifact rather than a construct-time one.
+//!   The shard topology (router + queues) lives behind an epoch-versioned
+//!   swappable snapshot; every task is stamped with the epoch it was routed
+//!   under, and a worker that dequeues a stale-stamped task re-checks the
+//!   route and *retries* it through the current topology instead of
+//!   misdelivering it.  A disjoint constraint is applied as a pure
+//!   shard-append (no existing shard is touched, zero migration); a coupling
+//!   constraint quiesces **only** the affected shards — each drains to a
+//!   pause barrier and hands its whole state (engine, reservation table,
+//!   subscription registry, log segment) to the coordinator, which replays
+//!   the covered history into the new components, widens reservation owner
+//!   sets, promotes widened subscriptions to cross-shard entries, installs
+//!   the next topology epoch, and resumes the paused workers — while every
+//!   unaffected shard keeps serving.
 //!
 //! The execution semantics are those of the blocking [`InteractionManager`]:
 //! per-action outcomes, the merged log, and the statistics counters agree
@@ -47,12 +63,12 @@ use crate::queue::DurableQueue;
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
 use crate::ticket::{completed, ticket, DeferredWake, Ticket, TicketIssuer};
 use crate::timer::TimerWheel;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, SendError, Sender, TryRecvError};
 use ix_core::{Action, Alphabet, Expr, Partition};
 use ix_state::{Engine, Route, ShardRouter, StateRef};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -164,20 +180,112 @@ struct ExpiryEvent {
     owners: Vec<usize>,
 }
 
-/// Everything a worker, a session, and the runtime handle share.  Note that
-/// the task-queue *senders* are deliberately **not** in here: workers hold
-/// only receivers, so dropping the runtime and its sessions disconnects the
-/// queues and the workers exit.
-struct RuntimeShared {
+/// One immutable snapshot of the runtime's shard topology: the
+/// epoch-versioned router and the task-queue senders (index = shard id),
+/// plus the joined expression and alphabet the runtime currently enforces.
+///
+/// Submissions clone the current snapshot, classify against its router, and
+/// stamp their tasks with its epoch.  A repartition installs a *new*
+/// snapshot (existing queues keep their senders — shard ids are stable, new
+/// shards append), so a worker that dequeues a task stamped with an older
+/// epoch knows the routing decision may be stale and re-checks it against
+/// the current topology instead of misdelivering the task.
+struct Topology {
+    router: ShardRouter,
+    queues: Vec<Sender<Task>>,
     expr: Expr,
     alphabet: Alphabet,
+}
+
+impl Topology {
+    fn epoch(&self) -> u64 {
+        self.router.epoch()
+    }
+}
+
+/// The swappable topology slot.  Held strongly by the runtime handle, its
+/// sessions, and the wall-clock ticker; workers reach it through the
+/// [`Weak`] in [`RuntimeShared`], so dropping every strong handle still
+/// drops the queue senders, disconnects the channels, and lets the workers
+/// exit — exactly the pre-repartitioning shutdown semantics.
+type TopologySlot = RwLock<Arc<Topology>>;
+
+/// Reads the current topology snapshot.
+fn read_topology(slot: &TopologySlot) -> Arc<Topology> {
+    Arc::clone(&slot.read().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// A topology snapshot whose queue table covers every shard in `owners`.
+///
+/// A migration widens reservation-index owner sets shortly *before* it
+/// installs the grown topology, so a reader that just loaded a widened
+/// owner set may still hold the previous epoch's snapshot — indexing its
+/// queue table with the new shard id would be out of bounds.  The install
+/// is already underway at that point, so re-reading until the table covers
+/// the owners closes the window.
+fn covering_topology(slot: &TopologySlot, owners: &[usize]) -> Arc<Topology> {
+    let needed = owners.iter().copied().max().map_or(0, |m| m + 1);
+    let mut topo = read_topology(slot);
+    while topo.queues.len() < needed {
+        std::thread::yield_now();
+        topo = read_topology(slot);
+    }
+    topo
+}
+
+/// Live counters of the repartitioning machinery (see
+/// [`RepartitionStats`]).
+#[derive(Debug, Default)]
+struct RepartCounters {
+    repartitions: AtomicU64,
+    migrated_shard_states: AtomicU64,
+    replayed_actions: AtomicU64,
+    migrated_reservations: AtomicU64,
+    migrated_subscriptions: AtomicU64,
+    rerouted_tasks: AtomicU64,
+}
+
+/// Counters of the dynamic-repartitioning machinery.  The headline
+/// invariant: a *disjoint* constraint addition leaves
+/// `migrated_shard_states` untouched — it is a pure shard-append.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepartitionStats {
+    /// Number of topology epochs installed after construction.
+    pub repartitions: u64,
+    /// Number of shard states quiesced and handed through a migration
+    /// (0 for disjoint additions).
+    pub migrated_shard_states: u64,
+    /// Log entries replayed into newly created components.
+    pub replayed_actions: u64,
+    /// Reservations whose owner set was widened onto a new shard.
+    pub migrated_reservations: u64,
+    /// Shard-local subscriptions promoted to cross-shard entries.
+    pub migrated_subscriptions: u64,
+    /// Tasks whose routing was found stale after an epoch change and that
+    /// were retried through the current topology.
+    pub rerouted_tasks: u64,
+}
+
+/// Everything a worker, a session, and the runtime handle share.  Note that
+/// the task-queue *senders* are deliberately **not** strongly held in here:
+/// workers hold only receivers plus a weak topology handle, so dropping the
+/// runtime and its sessions disconnects the queues and the workers exit.
+struct RuntimeShared {
     variant: ProtocolVariant,
-    router: ShardRouter,
+    /// Weak handle onto the swappable topology (see [`TopologySlot`]).
+    topology: Weak<TopologySlot>,
+    /// Mirror of the installed topology's epoch: one relaxed load decides
+    /// whether a dequeued task was routed against the current partition
+    /// (the common case) or needs the stale-route re-check.
+    epoch: AtomicU64,
     /// Serializes enqueues that touch more than one queue.  Holding this
     /// lock across the ascending-order sends is what makes the relative
     /// order of any two multi-owner tasks identical in every queue they
     /// share — the queue-order analogue of the blocking manager's
-    /// ascending-shard-id lock order.
+    /// ascending-shard-id lock order.  Migration pause barriers are sent
+    /// under the same lock, so a multi-owner task is ordered entirely
+    /// before or entirely after a quiescence point on every queue they
+    /// share — never half/half.
     cross_enqueue: Mutex<()>,
     reservation_index: Mutex<HashMap<u64, Vec<usize>>>,
     cross_subscriptions: Mutex<CrossSubscriptions>,
@@ -192,9 +300,8 @@ struct RuntimeShared {
     log_seq: AtomicU64,
     next_reservation: AtomicU64,
     stats: SharedStats,
+    repart: RepartCounters,
 }
-
-type Queues = Arc<Vec<Sender<Task>>>;
 
 /// Sort key of a per-shard log entry.  Cross-shard commits act as epoch
 /// boundaries: their key is `(own seq, 0, 0)`, and a single-owner commit is
@@ -235,18 +342,35 @@ struct ShardSnapshot {
 
 enum Task {
     Single(SingleTask),
+    /// A session-side submission window: consecutive same-shard executes
+    /// batched into one channel send (see [`Session::submit_batch`]).
+    Batch(Vec<SingleTask>),
     Cross(Arc<CrossTask>),
     Exec(Arc<ExecTask>),
+    /// A quiescence barrier of a live migration: the worker hands its whole
+    /// shard state to the coordinator and blocks until it is returned.
+    Pause(PauseTask),
     Snapshot(TicketIssuer<ShardSnapshot>),
     Stop,
 }
 
+/// The rendezvous of one paused shard: the worker sends its [`ShardState`]
+/// through `state_tx` and parks on `resume_rx` until the migration
+/// coordinator hands the (possibly migrated) state back.
+struct PauseTask {
+    state_tx: Sender<ShardState>,
+    resume_rx: Receiver<ShardState>,
+}
+
 struct SingleTask {
+    /// The topology epoch the submission was routed under.
+    epoch: u64,
     client: ClientId,
     op: Op,
     ticket: TicketIssuer<Completion>,
 }
 
+#[derive(Debug)]
 enum Op {
     Execute { action: Action },
     Ask { action: Action },
@@ -262,12 +386,15 @@ enum Op {
 /// order, under the enqueue lock); the owners rendezvous on `sync` to vote,
 /// decide, and apply — the queue-based incarnation of the two-phase commit.
 struct CrossTask {
+    /// The topology epoch the submission was routed under.
+    epoch: u64,
     owners: Vec<usize>,
     op: CrossOp,
     sync: Mutex<CrossSync>,
     barrier: Condvar,
 }
 
+#[derive(Clone)]
 enum CrossOp {
     Ask { client: ClientId, action: Action },
     Confirm { id: u64 },
@@ -307,6 +434,8 @@ enum CrossOp {
 /// an unbatched rendezvous; what changes is that owners park only on
 /// commit-pending tasks instead of once per action.
 struct ExecTask {
+    /// The topology epoch the submission was routed under.
+    epoch: u64,
     owners: Vec<usize>,
     // The client is not part of a combined execute's semantics (exactly as
     // in the blocking manager, which ignores it on this path).
@@ -316,6 +445,11 @@ struct ExecTask {
 }
 
 struct ExecSync {
+    /// Stale-route verdict, recorded by the first owner that examines an
+    /// epoch-stale task; the other owners follow it so the rendezvous can
+    /// never be half-retried.  `Some(true)` means the owner set widened and
+    /// the task was re-dispatched through the current topology.
+    stale: Option<bool>,
     /// Owners that have deposited an (always unconditional, always yes)
     /// vote, aligned with `owners`.  No-votes are never deposited — they
     /// decide the task as denied immediately.
@@ -347,6 +481,8 @@ enum ExecDecision {
 }
 
 struct CrossSync {
+    /// Stale-route verdict (see [`ExecSync::stale`]).
+    stale: Option<bool>,
     ticket: Option<TicketIssuer<Completion>>,
     /// Owners that have voted so far.
     votes: usize,
@@ -393,10 +529,15 @@ enum Decision {
 }
 
 /// The session-oriented runtime.  Create it once, hand [`Session`]s to
-/// clients, and drop or [`ManagerRuntime::shutdown`] it when done.
+/// clients, grow it live with [`ManagerRuntime::add_constraint`] /
+/// [`ManagerRuntime::couple`], and drop or [`ManagerRuntime::shutdown`] it
+/// when done.
 pub struct ManagerRuntime {
     shared: Arc<RuntimeShared>,
-    queues: Queues,
+    topology: Arc<TopologySlot>,
+    /// The live (epoch-versioned) partition; the mutex also serializes
+    /// repartitions — at most one migration is in flight at a time.
+    partition: Mutex<Partition>,
     workers: Mutex<Vec<JoinHandle<ShardState>>>,
     ticker: Mutex<Option<JoinHandle<()>>>,
     ticker_stop: Arc<AtomicBool>,
@@ -404,11 +545,36 @@ pub struct ManagerRuntime {
 
 impl std::fmt::Debug for ManagerRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topo = read_topology(&self.topology);
         f.debug_struct("ManagerRuntime")
-            .field("shards", &self.queues.len())
+            .field("shards", &topo.queues.len())
+            .field("epoch", &topo.epoch())
             .field("variant", &self.shared.variant)
             .finish()
     }
+}
+
+/// What one [`ManagerRuntime::add_constraint`] / [`ManagerRuntime::couple`]
+/// call did: the shards it created, the shards it had to quiesce, and the
+/// migration volume.  A disjoint addition reports `migrated_shards` empty
+/// and zero replay — the O(1) pure-append path.
+#[derive(Clone, Debug)]
+pub struct RepartitionReport {
+    /// The topology epoch installed by this update.
+    pub epoch: u64,
+    /// Ids of the shards created for the new constraint's components.
+    pub added_shards: Vec<usize>,
+    /// Ids of the existing shards that were paused and migrated (empty for
+    /// a disjoint addition; unaffected shards kept serving either way).
+    pub migrated_shards: Vec<usize>,
+    /// Number of abstract actions whose owner set widened.
+    pub widened_actions: usize,
+    /// Log entries replayed into the new components (covered history).
+    pub replayed_actions: usize,
+    /// Reservations replicated onto new owners.
+    pub migrated_reservations: usize,
+    /// Shard-local subscriptions promoted to cross-shard entries.
+    pub migrated_subscriptions: usize,
 }
 
 /// What [`ManagerRuntime::shutdown`] hands back after the workers drained
@@ -441,22 +607,30 @@ impl ManagerRuntime {
     /// partitioned into its fine-grained sync-components; each component
     /// gets one worker thread and one ordered task queue.
     pub fn with_options(expr: &Expr, options: RuntimeOptions) -> ManagerResult<ManagerRuntime> {
-        let components: Vec<(Expr, Alphabet)> = Partition::of(expr)
-            .components()
-            .iter()
-            .map(|c| (c.expr.clone(), c.alphabet.clone()))
-            .collect();
-        let mut alphabets = Vec::with_capacity(components.len());
-        let mut engines = Vec::with_capacity(components.len());
-        for (component, alphabet) in components {
-            engines.push(Engine::new(&component).map_err(ManagerError::State)?);
-            alphabets.push(alphabet);
+        let partition = Partition::of(expr);
+        let mut alphabets = Vec::with_capacity(partition.len());
+        let mut engines = Vec::with_capacity(partition.len());
+        for component in partition.components() {
+            engines.push(Engine::new(&component.expr).map_err(ManagerError::State)?);
+            alphabets.push(component.alphabet.clone());
         }
-        let shared = Arc::new(RuntimeShared {
+        let mut senders = Vec::with_capacity(engines.len());
+        let mut receivers = Vec::with_capacity(engines.len());
+        for _ in 0..engines.len() {
+            let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let topology = Arc::new(RwLock::new(Arc::new(Topology {
+            router: ShardRouter::new(alphabets),
+            queues: senders,
             expr: expr.clone(),
             alphabet: expr.alphabet(),
+        })));
+        let shared = Arc::new(RuntimeShared {
             variant: options.variant,
-            router: ShardRouter::new(alphabets),
+            topology: Arc::downgrade(&topology),
+            epoch: AtomicU64::new(0),
             cross_enqueue: Mutex::new(()),
             reservation_index: Mutex::new(HashMap::new()),
             cross_subscriptions: Mutex::new(CrossSubscriptions::default()),
@@ -469,12 +643,10 @@ impl ManagerRuntime {
             log_seq: AtomicU64::new(0),
             next_reservation: AtomicU64::new(1),
             stats: SharedStats::default(),
+            repart: RepartCounters::default(),
         });
-        let mut senders = Vec::with_capacity(engines.len());
         let mut workers = Vec::with_capacity(engines.len());
-        for (id, engine) in engines.into_iter().enumerate() {
-            let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
-            senders.push(tx);
+        for (id, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
             let shared = Arc::clone(&shared);
             let state = ShardState {
                 id,
@@ -486,25 +658,25 @@ impl ManagerRuntime {
             };
             workers.push(std::thread::spawn(move || worker(shared, rx, state)));
         }
-        let queues: Queues = Arc::new(senders);
         let ticker_stop = Arc::new(AtomicBool::new(false));
         let ticker = match options.clock {
             ClockMode::Virtual => None,
             ClockMode::Wall { tick } => {
                 let shared = Arc::clone(&shared);
-                let queues = Arc::clone(&queues);
+                let topology = Arc::clone(&topology);
                 let stop = Arc::clone(&ticker_stop);
                 Some(std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         std::thread::sleep(tick);
-                        advance_clock(&shared, &queues, 1);
+                        advance_clock(&shared, &topology, 1);
                     }
                 }))
             }
         };
         Ok(ManagerRuntime {
             shared,
-            queues,
+            topology,
+            partition: Mutex::new(partition),
             workers: Mutex::new(workers),
             ticker: Mutex::new(ticker),
             ticker_stop,
@@ -520,7 +692,7 @@ impl ManagerRuntime {
         Session {
             client,
             shared: Arc::clone(&self.shared),
-            queues: Arc::clone(&self.queues),
+            topology: Arc::clone(&self.topology),
             notifications: rx,
         }
     }
@@ -530,40 +702,62 @@ impl ManagerRuntime {
         self.shared.variant
     }
 
-    /// The expression the runtime enforces.
-    pub fn expr(&self) -> &Expr {
-        &self.shared.expr
+    /// The expression the runtime currently enforces, including every
+    /// constraint added live.
+    pub fn expr(&self) -> Expr {
+        read_topology(&self.topology).expr.clone()
+    }
+
+    /// The current partition epoch (0 at construction, +1 per live
+    /// extension).
+    pub fn epoch(&self) -> u64 {
+        read_topology(&self.topology).epoch()
     }
 
     /// Number of shard workers (1 when the expression does not decompose).
     pub fn shard_count(&self) -> usize {
-        self.queues.len()
+        read_topology(&self.topology).queues.len()
     }
 
     /// The primary (lowest-id) shard an action is routed to, if any.
     pub fn shard_of(&self, action: &Action) -> Option<usize> {
-        self.shared.router.route(action)
+        read_topology(&self.topology).router.route(action)
     }
 
     /// All shards owning an action, ascending (the enqueue order of a
     /// cross-shard task).
     pub fn owners_of(&self, action: &Action) -> Vec<usize> {
-        self.shared.router.owners(action)
+        read_topology(&self.topology).router.owners(action)
     }
 
     /// True if the action is owned by more than one shard.
     pub fn is_cross_shard(&self, action: &Action) -> bool {
-        self.shared.router.is_shared(action)
+        read_topology(&self.topology).router.is_shared(action)
     }
 
     /// True if the runtime's interaction expression mentions the action.
     pub fn controls(&self, action: &Action) -> bool {
-        self.shared.alphabet.covers(action)
+        read_topology(&self.topology).alphabet.covers(action)
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> ManagerStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Counters of the repartitioning machinery.  Test suites use
+    /// `migrated_shard_states` to assert that disjoint additions migrate
+    /// nothing.
+    pub fn repartition_stats(&self) -> RepartitionStats {
+        let repart = &self.shared.repart;
+        RepartitionStats {
+            repartitions: repart.repartitions.load(Ordering::Relaxed),
+            migrated_shard_states: repart.migrated_shard_states.load(Ordering::Relaxed),
+            replayed_actions: repart.replayed_actions.load(Ordering::Relaxed),
+            migrated_reservations: repart.migrated_reservations.load(Ordering::Relaxed),
+            migrated_subscriptions: repart.migrated_subscriptions.load(Ordering::Relaxed),
+            rerouted_tasks: repart.rerouted_tasks.load(Ordering::Relaxed),
+        }
     }
 
     /// Current logical time.
@@ -598,14 +792,13 @@ impl ManagerRuntime {
     }
 
     fn snapshots(&self) -> Vec<ShardSnapshot> {
-        let tickets: Vec<Ticket<ShardSnapshot>> = self
+        let topo = read_topology(&self.topology);
+        let tickets: Vec<Ticket<ShardSnapshot>> = topo
             .queues
             .iter()
             .map(|q| {
                 let (issuer, t) = ticket();
-                if let Err(crossbeam::channel::SendError(Task::Snapshot(issuer))) =
-                    q.send(Task::Snapshot(issuer))
-                {
+                if let Err(SendError(Task::Snapshot(issuer))) = q.send(Task::Snapshot(issuer)) {
                     issuer.complete(ShardSnapshot::default());
                 }
                 t
@@ -621,7 +814,349 @@ impl ManagerRuntime {
     /// the expiry wins on every owner, one enqueued after loses on every
     /// owner.
     pub fn advance_time(&self, delta: u64) -> Vec<Reservation> {
-        advance_clock(&self.shared, &self.queues, delta)
+        advance_clock(&self.shared, &self.topology, delta)
+    }
+
+    /// Grows the running ensemble with an additional constraint — without
+    /// stopping the world.
+    ///
+    /// The constraint's flattened operands become new shards (semantically
+    /// the runtime now enforces `old ⊗ constraint`).  If the constraint's
+    /// alphabet is disjoint from every existing shard's, the update is a
+    /// **pure shard-append**: new workers spawn, the topology epoch bumps,
+    /// and no existing shard is paused, probed, or migrated — O(new
+    /// constraint), independent of the running system's size.  If the
+    /// constraint *couples* (shares actions with existing shards), exactly
+    /// the affected shards are quiesced: each drains its queue to a pause
+    /// barrier and hands its state to this coordinator, which replays the
+    /// covered history into the new components, widens the shared actions'
+    /// reservation owner sets, promotes their shard-local subscriptions to
+    /// cross-shard entries, installs the next topology epoch, and resumes
+    /// the paused workers.  Unaffected shards keep serving throughout, and
+    /// submissions racing the update are retried through the new topology
+    /// rather than misdelivered.
+    ///
+    /// Fails with [`ManagerError::IncompatibleExtension`] — leaving the
+    /// runtime exactly as it was — if the new constraint rejects the
+    /// projection of the committed log onto its alphabet, because accepting
+    /// it would break replayability of the log on the grown expression.
+    pub fn add_constraint(&self, constraint: &Expr) -> ManagerResult<RepartitionReport> {
+        self.repartition(constraint, false)
+    }
+
+    /// [`ManagerRuntime::add_constraint`] for constraints that deliberately
+    /// share actions with the running ensemble (a new audit barrier, an
+    /// inter-workflow ordering rule).  Fails with
+    /// [`ManagerError::DisjointCoupling`] when the constraint shares
+    /// nothing — a disjoint addition should go through `add_constraint`.
+    pub fn couple(&self, coupling: &Expr) -> ManagerResult<RepartitionReport> {
+        self.repartition(coupling, true)
+    }
+
+    fn repartition(
+        &self,
+        constraint: &Expr,
+        require_overlap: bool,
+    ) -> ManagerResult<RepartitionReport> {
+        let shared = &self.shared;
+        // Serializes migrations and guards the live partition.
+        let mut partition = lock(&self.partition);
+        let old_len = partition.len();
+        let (new_partition, delta) = partition.extend(std::slice::from_ref(constraint));
+        if require_overlap && delta.widened.is_empty() {
+            // The overlap test runs on the delta *under the partition
+            // lock*, so a `couple` serialized behind a concurrent
+            // `add_constraint` judges the ensemble it will actually
+            // extend — no topology-snapshot TOCTOU.
+            return Err(ManagerError::DisjointCoupling);
+        }
+        let affected = delta.affected_existing(old_len);
+
+        // Build the new components' engines first: a malformed constraint
+        // must fail before anything is paused.
+        let mut new_engines: Vec<(usize, Engine, Alphabet)> = Vec::with_capacity(delta.added.len());
+        for &idx in &delta.added {
+            let component = &new_partition.components()[idx];
+            let engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
+            new_engines.push((idx, engine, component.alphabet.clone()));
+        }
+        let new_alphabets: Vec<Alphabet> = new_engines.iter().map(|(_, _, a)| a.clone()).collect();
+
+        let topo = read_topology(&self.topology);
+        let new_router = topo.router.extended(&new_alphabets);
+        let mut replayed = 0usize;
+        let mut migrated_reservations = 0usize;
+        let mut migrated_subscriptions = 0usize;
+        let mut new_reservations: Vec<BTreeMap<u64, Reservation>> =
+            (0..new_engines.len()).map(|_| BTreeMap::new()).collect();
+        let mut new_epochs: Vec<u64> = vec![0; new_engines.len()];
+        let mut flips: Vec<Notification> = Vec::new();
+        let mut paused: Vec<(usize, ShardState, Sender<ShardState>)> = Vec::new();
+
+        if !affected.is_empty() {
+            // ---- Quiesce exactly the affected shards.  The pause barriers
+            // are sent under the enqueue lock, so any multi-owner task is
+            // ordered entirely before or entirely after the quiescence
+            // point on every queue it shares with a barrier — the owners of
+            // a widened action can therefore never straddle the migration.
+            let mut waits = Vec::new();
+            let mut barrier_failed = false;
+            {
+                let _guard = lock(&shared.cross_enqueue);
+                for &s in &affected {
+                    let (state_tx, state_rx) = unbounded();
+                    let (resume_tx, resume_rx) = unbounded();
+                    if topo.queues[s].send(Task::Pause(PauseTask { state_tx, resume_rx })).is_err()
+                    {
+                        // Worker gone (runtime tearing down concurrently).
+                        // The migration must not proceed with a partially
+                        // quiesced set; abort after resuming whoever did
+                        // pause.
+                        barrier_failed = true;
+                        break;
+                    }
+                    waits.push((s, state_rx, resume_tx));
+                }
+            }
+            for (s, state_rx, resume_tx) in waits {
+                match state_rx.recv() {
+                    Ok(state) => paused.push((s, state, resume_tx)),
+                    Err(_) => barrier_failed = true,
+                }
+            }
+            if barrier_failed {
+                resume_paused(paused);
+                return Err(ManagerError::Disconnected);
+            }
+
+            // ---- Replay the covered history into the new components.  The
+            // merged affected segments sorted by log key are a legal
+            // linearization of everything the new components can cover (a
+            // shared action's primary owner is itself affected, so its
+            // entries are all here).
+            let mut entries: Vec<&(LogKey, Action)> =
+                paused.iter().flat_map(|(_, st, _)| st.log.iter()).collect();
+            entries.sort_by_key(|(key, _)| *key);
+            for (i, (_, engine, alphabet)) in new_engines.iter_mut().enumerate() {
+                for (key, action) in entries.iter().filter(|(_, a)| alphabet.covers(a)) {
+                    if !engine.try_execute(action) {
+                        let action = action.to_string();
+                        resume_paused(paused);
+                        return Err(ManagerError::IncompatibleExtension { action });
+                    }
+                    replayed += 1;
+                    // Future single-owner commits of this new shard must
+                    // sort after every covered entry it replayed: track the
+                    // largest epoch/sequence component seen.
+                    new_epochs[i] = new_epochs[i].max(key.0);
+                }
+            }
+
+            // ---- Nothing can fail from here on: migrate reservations and
+            // subscriptions.  A reservation whose action a new component
+            // covers is replicated into that shard's table (identical
+            // copies on every owner, as for cross-shard asks) and its index
+            // entry widens, so confirm/abort/expiry reach the new owner.
+            {
+                let mut index = lock(&shared.reservation_index);
+                for (_, st, _) in &paused {
+                    for reservation in st.reservations.values() {
+                        for (i, (idx, _, alphabet)) in new_engines.iter().enumerate() {
+                            if alphabet.covers(&reservation.action)
+                                && !new_reservations[i].contains_key(&reservation.id)
+                            {
+                                new_reservations[i].insert(reservation.id, reservation.clone());
+                                if let Some(owners) = index.get_mut(&reservation.id) {
+                                    if !owners.contains(idx) {
+                                        owners.push(*idx);
+                                        owners.sort_unstable();
+                                    }
+                                }
+                                migrated_reservations += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- Promote shard-local subscriptions of widened actions to
+            // cross-shard entries: their permissibility is a conjunction
+            // now.  Every owner of a widened action is quiesced right here,
+            // so the per-owner bits are a consistent snapshot — the same
+            // guarantee a cross-shard subscribe gets from its rendezvous.
+            for (sid, st, _) in &mut paused {
+                let router = &new_router;
+                let old_router = &topo.router;
+                let moved = st
+                    .subscriptions
+                    .extract(|action| router.owners(action) != old_router.owners(action));
+                for (action, clients, cached) in moved {
+                    // A shard-local subscription exists only for actions the
+                    // shard owned alone, so the widened owner set is this
+                    // shard plus new shards.
+                    let owners = new_router.owners(&action);
+                    let bits: Vec<bool> = owners
+                        .iter()
+                        .map(|&o| {
+                            if o == *sid {
+                                st.engine.is_permitted(&action)
+                            } else {
+                                debug_assert!(o >= old_len, "widened single-owner action");
+                                new_engines[o - old_len].1.is_permitted(&action)
+                            }
+                        })
+                        .collect();
+                    migrated_subscriptions += clients.len();
+                    flips.extend(promote_subscription(
+                        shared, &action, owners, bits, clients, cached,
+                    ));
+                }
+            }
+
+            // ---- Widen existing cross-shard entries whose action gained
+            // owners: append the new owners' bits and re-evaluate the
+            // conjunction.
+            {
+                let mut cross = lock(&shared.cross_subscriptions);
+                let widened: Vec<Action> = cross
+                    .entries
+                    .keys()
+                    .filter(|a| new_router.owners(a) != topo.router.owners(a))
+                    .cloned()
+                    .collect();
+                for action in widened {
+                    let owners = new_router.owners(&action);
+                    let entry = cross.entries.get_mut(&action).expect("key just listed");
+                    let bits: Vec<bool> = owners
+                        .iter()
+                        .map(|&o| match entry.owners.iter().position(|&x| x == o) {
+                            // Existing owners' engines did not move during
+                            // the migration; their cached bits stand.
+                            Some(pos) => entry.bits[pos],
+                            None => {
+                                debug_assert!(o >= old_len, "owner sets only widen");
+                                new_engines[o - old_len].1.is_permitted(&action)
+                            }
+                        })
+                        .collect();
+                    entry.owners = owners.clone();
+                    entry.bits = bits;
+                    let now = entry.bits.iter().all(|b| *b);
+                    if now != entry.permitted {
+                        entry.permitted = now;
+                        for client in &entry.clients {
+                            flips.push(Notification {
+                                client: *client,
+                                action: action.clone(),
+                                permitted: now,
+                            });
+                        }
+                    }
+                    for o in owners {
+                        cross.by_shard.entry(o).or_default().insert(action.clone());
+                    }
+                }
+            }
+        }
+
+        // ---- Re-home orphan subscriptions the new constraint makes live.
+        // A subscription to an action no shard owned parks in the orphan
+        // registry (cached not-permitted); if the grown partition covers
+        // the action, it becomes a real shard-local or cross-shard
+        // subscription now — its owners can only be new shards, because
+        // existing alphabets did not change.  A status flip notifies.
+        let mut new_subscriptions: Vec<SubscriptionRegistry> =
+            (0..new_engines.len()).map(|_| SubscriptionRegistry::new()).collect();
+        let rehomed = lock(&shared.orphan_subscriptions)
+            .extract(|action| !new_router.owners(action).is_empty());
+        for (action, clients, cached) in rehomed {
+            let owners = new_router.owners(&action);
+            debug_assert!(owners.iter().all(|&o| o >= old_len), "orphans were unowned");
+            if let [owner] = owners.as_slice() {
+                let i = owner - old_len;
+                let key = new_router
+                    .alphabet(*owner)
+                    .actions()
+                    .find(|a| a.matches_concrete(&action))
+                    .cloned()
+                    .unwrap_or_else(|| action.clone());
+                for &client in &clients {
+                    new_subscriptions[i].subscribe(client, action.clone(), key.clone(), cached);
+                }
+            } else {
+                let bits: Vec<bool> = owners
+                    .iter()
+                    .map(|&o| new_engines[o - old_len].1.is_permitted(&action))
+                    .collect();
+                flips.extend(promote_subscription(shared, &action, owners, bits, clients, cached));
+            }
+        }
+        for (i, registry) in new_subscriptions.iter_mut().enumerate() {
+            let engine = &new_engines[i].1;
+            flips.extend(registry.refresh(|a| engine.is_permitted(a)));
+        }
+
+        // ---- Assemble and spawn the new shards.
+        let mut new_senders = Vec::with_capacity(new_engines.len());
+        {
+            let mut workers = lock(&self.workers);
+            for (i, (idx, engine, _)) in new_engines.into_iter().enumerate() {
+                let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+                new_senders.push(tx);
+                let state = ShardState {
+                    id: idx,
+                    engine,
+                    reservations: std::mem::take(&mut new_reservations[i]),
+                    subscriptions: std::mem::take(&mut new_subscriptions[i]),
+                    log: Vec::new(),
+                    epoch: new_epochs[i],
+                };
+                let shared = Arc::clone(shared);
+                workers.push(std::thread::spawn(move || worker(shared, rx, state)));
+            }
+        }
+
+        // ---- Install the next epoch.  The store of the epoch mirror
+        // happens before any paused worker resumes, and every task routed
+        // to a widened action targets a still-paused shard, so no worker
+        // can act on a stale route between the swap and the resume.
+        let mut queues = topo.queues.clone();
+        queues.extend(new_senders);
+        let epoch = new_router.epoch();
+        let new_topology = Arc::new(Topology {
+            router: new_router,
+            queues,
+            expr: Expr::sync(topo.expr.clone(), constraint.clone()),
+            alphabet: topo.alphabet.union(&constraint.alphabet()),
+        });
+        {
+            let mut slot = self.topology.write().unwrap_or_else(|e| e.into_inner());
+            *slot = new_topology;
+            shared.epoch.store(epoch, Ordering::Release);
+        }
+
+        // ---- Resume the quiesced workers and commit the bookkeeping.
+        let migrated_shards: Vec<usize> = paused.iter().map(|(s, _, _)| *s).collect();
+        resume_paused(paused);
+        let repart = &shared.repart;
+        repart.repartitions.fetch_add(1, Ordering::Relaxed);
+        repart.migrated_shard_states.fetch_add(migrated_shards.len() as u64, Ordering::Relaxed);
+        repart.replayed_actions.fetch_add(replayed as u64, Ordering::Relaxed);
+        repart.migrated_reservations.fetch_add(migrated_reservations as u64, Ordering::Relaxed);
+        repart.migrated_subscriptions.fetch_add(migrated_subscriptions as u64, Ordering::Relaxed);
+        shared.stats.notifications.fetch_add(flips.len() as u64, Ordering::Relaxed);
+        deliver(shared, &flips);
+        let report = RepartitionReport {
+            epoch,
+            added_shards: delta.added.clone(),
+            migrated_shards,
+            widened_actions: delta.widened.len(),
+            replayed_actions: replayed,
+            migrated_reservations,
+            migrated_subscriptions,
+        };
+        *partition = new_partition;
+        Ok(report)
     }
 
     /// Acknowledges the oldest processed durable submission (the client has
@@ -659,17 +1194,18 @@ impl ManagerRuntime {
             }
             out
         };
+        let topo = read_topology(&self.topology);
         records
             .into_iter()
             .map(|record| match record.op {
                 DurableOp::Ask { ref action } => {
-                    submit_ask(&self.shared, &self.queues, record.client, action)
+                    submit_ask(&self.shared, &topo, record.client, action)
                 }
                 DurableOp::Execute { ref action } => {
-                    submit_execute(&self.shared, &self.queues, record.client, action)
+                    submit_execute(&self.shared, &topo, record.client, action)
                 }
-                DurableOp::Confirm { id } => submit_confirm(&self.shared, &self.queues, id),
-                DurableOp::Abort { id } => submit_abort(&self.shared, &self.queues, id),
+                DurableOp::Confirm { id } => submit_confirm(&self.shared, &self.topology, id),
+                DurableOp::Abort { id } => submit_abort(&self.shared, &self.topology, id),
             })
             .collect()
     }
@@ -693,8 +1229,9 @@ impl ManagerRuntime {
             // the Stop on *all* of its owners (processed normally) or after
             // it on all of them (failed during the drain) — never half/half,
             // which would strand owners at the rendezvous.
+            let topo = read_topology(&self.topology);
             let _guard = lock(&self.shared.cross_enqueue);
-            for q in self.queues.iter() {
+            for q in topo.queues.iter() {
                 let _ = q.send(Task::Stop);
             }
         }
@@ -732,7 +1269,7 @@ impl Drop for ManagerRuntime {
 pub struct Session {
     client: ClientId,
     shared: Arc<RuntimeShared>,
-    queues: Queues,
+    topology: Arc<TopologySlot>,
     notifications: Receiver<Notification>,
 }
 
@@ -750,7 +1287,7 @@ impl Clone for Session {
         Session {
             client: self.client,
             shared: Arc::clone(&self.shared),
-            queues: Arc::clone(&self.queues),
+            topology: Arc::clone(&self.topology),
             notifications: self.notifications.clone(),
         }
     }
@@ -762,31 +1299,106 @@ impl Session {
         self.client
     }
 
+    fn snapshot(&self) -> Arc<Topology> {
+        read_topology(&self.topology)
+    }
+
     /// Step 1/2 of the coordination protocol: ask for permission.  Resolves
     /// to [`Completion::Granted`] or [`Completion::Denied`].
     pub fn ask(&self, action: &Action) -> Ticket<Completion> {
         self.journal(DurableOp::Ask { action: action.clone() });
-        submit_ask(&self.shared, &self.queues, self.client, action)
+        submit_ask(&self.shared, &self.snapshot(), self.client, action)
     }
 
     /// The combined ask-and-execute round trip.  Resolves to
     /// [`Completion::Executed`] or [`Completion::Denied`].
     pub fn execute(&self, action: &Action) -> Ticket<Completion> {
         self.journal(DurableOp::Execute { action: action.clone() });
-        submit_execute(&self.shared, &self.queues, self.client, action)
+        submit_execute(&self.shared, &self.snapshot(), self.client, action)
+    }
+
+    /// Submits a whole *window* of combined executes with one topology
+    /// snapshot, one enqueue-lock acquisition, and one channel send per
+    /// consecutive same-shard run — the session-side batching that closes
+    /// most of the per-action queue overhead of the runtime on low-core
+    /// hosts.  The returned tickets align with `actions`; per-action
+    /// outcomes, the merged log, and the statistics are identical to
+    /// submitting the window action by action ([`Session::execute`]), since
+    /// per-queue enqueue order is preserved.
+    ///
+    /// Actions outside every shard alphabet (and non-concrete actions)
+    /// resolve inline, before any lock is taken.
+    pub fn submit_batch(&self, actions: &[Action]) -> Vec<Ticket<Completion>> {
+        let shared = &self.shared;
+        let topo = self.snapshot();
+        let mut out = Vec::with_capacity(actions.len());
+        // Plan phase: classify lock-free; inline the denials.
+        let mut pending: Vec<(Action, Route, TicketIssuer<Completion>)> = Vec::new();
+        for action in actions {
+            shared.stats.asks.fetch_add(1, Ordering::Relaxed);
+            self.journal(DurableOp::Execute { action: action.clone() });
+            if !action.is_concrete() {
+                out.push(completed(Completion::Failed {
+                    error: ManagerError::NonConcreteAction { action: action.to_string() },
+                }));
+                continue;
+            }
+            match topo.router.classify(action) {
+                Route::None => {
+                    shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    out.push(completed(Completion::Denied));
+                }
+                route => {
+                    let (issuer, t) = ticket();
+                    pending.push((action.clone(), route, issuer));
+                    out.push(t);
+                }
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        // Dispatch phase: one enqueue-lock acquisition for the window;
+        // consecutive same-shard singles coalesce into one Task::Batch.
+        let mut run: Vec<SingleTask> = Vec::new();
+        let mut run_shard = usize::MAX;
+        let _guard = lock(&shared.cross_enqueue);
+        for (action, route, issuer) in pending {
+            match route {
+                Route::None => unreachable!("denied in the plan phase"),
+                Route::Single(shard) => {
+                    if shard != run_shard {
+                        flush_run(&topo, run_shard, &mut run);
+                        run_shard = shard;
+                    }
+                    run.push(SingleTask {
+                        epoch: topo.epoch(),
+                        client: self.client,
+                        op: Op::Execute { action },
+                        ticket: issuer,
+                    });
+                }
+                Route::Multi(owners) => {
+                    flush_run(&topo, run_shard, &mut run);
+                    enqueue_exec(&topo, owners, action, issuer);
+                }
+            }
+        }
+        flush_run(&topo, run_shard, &mut run);
+        out
     }
 
     /// Step 4/5: confirm a granted reservation.  Resolves to
     /// [`Completion::Confirmed`] or [`Completion::Failed`].
     pub fn confirm(&self, reservation: u64) -> Ticket<Completion> {
         self.journal(DurableOp::Confirm { id: reservation });
-        submit_confirm(&self.shared, &self.queues, reservation)
+        submit_confirm(&self.shared, &self.topology, reservation)
     }
 
     /// Explicitly releases a granted reservation without executing it.
     pub fn abort(&self, reservation: u64) -> Ticket<Completion> {
         self.journal(DurableOp::Abort { id: reservation });
-        submit_abort(&self.shared, &self.queues, reservation)
+        submit_abort(&self.shared, &self.topology, reservation)
     }
 
     /// Subscribes to permissibility changes of an action; the completion
@@ -794,7 +1406,8 @@ impl Session {
     /// [`Session::poll_notifications`].
     pub fn subscribe(&self, action: &Action) -> Ticket<Completion> {
         let shared = &self.shared;
-        match shared.router.classify(action) {
+        let topo = self.snapshot();
+        match topo.router.classify(action) {
             Route::None => {
                 lock(&shared.orphan_subscriptions).subscribe(
                     self.client,
@@ -804,15 +1417,12 @@ impl Session {
                 );
                 completed(Completion::Subscribed { permitted: false })
             }
-            Route::Single(shard) => dispatch_single(
-                &self.queues,
-                shard,
-                self.client,
-                Op::Subscribe { action: action.clone() },
-            ),
+            Route::Single(shard) => {
+                dispatch_single(&topo, shard, self.client, Op::Subscribe { action: action.clone() })
+            }
             Route::Multi(owners) => dispatch_cross(
                 shared,
-                &self.queues,
+                &topo,
                 owners,
                 CrossOp::Subscribe { client: self.client, action: action.clone() },
             ),
@@ -822,36 +1432,20 @@ impl Session {
     /// Removes a subscription.
     pub fn unsubscribe(&self, action: &Action) -> Ticket<Completion> {
         let shared = &self.shared;
-        match shared.router.classify(action) {
+        let topo = self.snapshot();
+        match topo.router.classify(action) {
             Route::None => {
                 lock(&shared.orphan_subscriptions).unsubscribe(self.client, action);
                 completed(Completion::Unsubscribed)
             }
             Route::Single(shard) => dispatch_single(
-                &self.queues,
+                &topo,
                 shard,
                 self.client,
                 Op::Unsubscribe { action: action.clone() },
             ),
             Route::Multi(_) => {
-                // Cross-shard subscriptions live in the runtime-level
-                // registry only; no shard state is involved.
-                let mut cross = lock(&shared.cross_subscriptions);
-                let remove = match cross.entries.get_mut(action) {
-                    Some(entry) => {
-                        entry.clients.retain(|c| *c != self.client);
-                        entry.clients.is_empty()
-                    }
-                    None => false,
-                };
-                if remove {
-                    cross.entries.remove(action);
-                    shared.cross_entry_count.fetch_sub(1, Ordering::Relaxed);
-                    for actions in cross.by_shard.values_mut() {
-                        actions.remove(action);
-                    }
-                    cross.by_shard.retain(|_, actions| !actions.is_empty());
-                }
+                cross_unsubscribe(shared, self.client, action);
                 completed(Completion::Unsubscribed)
             }
         }
@@ -860,17 +1454,15 @@ impl Session {
     /// Queries whether the action is currently permitted (ignoring
     /// outstanding reservations), evaluated on the owning shards.
     pub fn is_permitted(&self, action: &Action) -> Ticket<Completion> {
-        match self.shared.router.classify(action) {
+        let topo = self.snapshot();
+        match topo.router.classify(action) {
             Route::None => completed(Completion::Status { permitted: false }),
-            Route::Single(shard) => dispatch_single(
-                &self.queues,
-                shard,
-                self.client,
-                Op::Query { action: action.clone() },
-            ),
+            Route::Single(shard) => {
+                dispatch_single(&topo, shard, self.client, Op::Query { action: action.clone() })
+            }
             Route::Multi(owners) => dispatch_cross(
                 &self.shared,
-                &self.queues,
+                &topo,
                 owners,
                 CrossOp::Query { action: action.clone() },
             ),
@@ -886,7 +1478,7 @@ impl Session {
     /// [`ManagerRuntime::advance_time`]); any session may drive the virtual
     /// clock, exactly as any client could send a tick to the old server.
     pub fn advance_time(&self, delta: u64) -> Vec<Reservation> {
-        advance_clock(&self.shared, &self.queues, delta)
+        advance_clock(&self.shared, &self.topology, delta)
     }
 
     /// Blocking [`Session::ask`] with the blocking manager's result type.
@@ -959,7 +1551,7 @@ impl Session {
 
 fn submit_ask(
     shared: &Arc<RuntimeShared>,
-    queues: &Queues,
+    topo: &Arc<Topology>,
     client: ClientId,
     action: &Action,
 ) -> Ticket<Completion> {
@@ -969,23 +1561,25 @@ fn submit_ask(
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
     }
-    match shared.router.classify(action) {
+    match topo.router.classify(action) {
         Route::None => {
+            // Unknown to every shard: denied inline, before any queue or
+            // lock is touched (the signature-level miss in the router).
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
             completed(Completion::Denied)
         }
         Route::Single(shard) => {
-            dispatch_single(queues, shard, client, Op::Ask { action: action.clone() })
+            dispatch_single(topo, shard, client, Op::Ask { action: action.clone() })
         }
         Route::Multi(owners) => {
-            dispatch_cross(shared, queues, owners, CrossOp::Ask { client, action: action.clone() })
+            dispatch_cross(shared, topo, owners, CrossOp::Ask { client, action: action.clone() })
         }
     }
 }
 
 fn submit_execute(
     shared: &Arc<RuntimeShared>,
-    queues: &Queues,
+    topo: &Arc<Topology>,
     client: ClientId,
     action: &Action,
 ) -> Ticket<Completion> {
@@ -995,70 +1589,129 @@ fn submit_execute(
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
     }
-    match shared.router.classify(action) {
+    match topo.router.classify(action) {
         Route::None => {
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
             completed(Completion::Denied)
         }
         Route::Single(shard) => {
-            dispatch_single(queues, shard, client, Op::Execute { action: action.clone() })
+            dispatch_single(topo, shard, client, Op::Execute { action: action.clone() })
         }
-        Route::Multi(owners) => dispatch_exec(shared, queues, owners, action),
+        Route::Multi(owners) => {
+            let (issuer, t) = ticket();
+            let _guard = lock(&shared.cross_enqueue);
+            enqueue_exec(topo, owners, action.clone(), issuer);
+            t
+        }
     }
 }
 
-fn submit_confirm(shared: &Arc<RuntimeShared>, queues: &Queues, id: u64) -> Ticket<Completion> {
+fn submit_confirm(shared: &Arc<RuntimeShared>, slot: &TopologySlot, id: u64) -> Ticket<Completion> {
     let owners = match lock(&shared.reservation_index).get(&id) {
         Some(owners) => owners.clone(),
         None => {
             return completed(Completion::Failed { error: ManagerError::UnknownReservation { id } })
         }
     };
+    let topo = covering_topology(slot, &owners);
     match owners.as_slice() {
-        [shard] => dispatch_single(queues, *shard, 0, Op::Confirm { id }),
-        _ => dispatch_cross(shared, queues, owners, CrossOp::Confirm { id }),
+        [shard] => dispatch_single(&topo, *shard, 0, Op::Confirm { id }),
+        _ => dispatch_cross(shared, &topo, owners, CrossOp::Confirm { id }),
     }
 }
 
-fn submit_abort(shared: &Arc<RuntimeShared>, queues: &Queues, id: u64) -> Ticket<Completion> {
+fn submit_abort(shared: &Arc<RuntimeShared>, slot: &TopologySlot, id: u64) -> Ticket<Completion> {
     let owners = match lock(&shared.reservation_index).get(&id) {
         Some(owners) => owners.clone(),
         None => {
             return completed(Completion::Failed { error: ManagerError::UnknownReservation { id } })
         }
     };
+    let topo = covering_topology(slot, &owners);
     match owners.as_slice() {
-        [shard] => dispatch_single(queues, *shard, 0, Op::Abort { id }),
-        _ => dispatch_cross(shared, queues, owners, CrossOp::Abort { id }),
+        [shard] => dispatch_single(&topo, *shard, 0, Op::Abort { id }),
+        _ => dispatch_cross(shared, &topo, owners, CrossOp::Abort { id }),
     }
 }
 
-/// Enqueues a task on one shard's queue.
-fn dispatch_single(queues: &Queues, shard: usize, client: ClientId, op: Op) -> Ticket<Completion> {
-    let (issuer, t) = ticket();
-    let task = Task::Single(SingleTask { client, op, ticket: issuer });
-    if let Err(crossbeam::channel::SendError(Task::Single(task))) = queues[shard].send(task) {
+/// Removes a cross-shard subscription from the runtime-level registry (no
+/// shard state is involved).
+fn cross_unsubscribe(shared: &RuntimeShared, client: ClientId, action: &Action) {
+    let mut cross = lock(&shared.cross_subscriptions);
+    let remove = match cross.entries.get_mut(action) {
+        Some(entry) => {
+            entry.clients.retain(|c| *c != client);
+            entry.clients.is_empty()
+        }
+        None => false,
+    };
+    if remove {
+        cross.entries.remove(action);
+        shared.cross_entry_count.fetch_sub(1, Ordering::Relaxed);
+        for actions in cross.by_shard.values_mut() {
+            actions.remove(action);
+        }
+        cross.by_shard.retain(|_, actions| !actions.is_empty());
+    }
+}
+
+/// Enqueues an already-issued task on one shard's queue.
+fn enqueue_single(
+    topo: &Topology,
+    shard: usize,
+    client: ClientId,
+    op: Op,
+    issuer: TicketIssuer<Completion>,
+) {
+    let task = Task::Single(SingleTask { epoch: topo.epoch(), client, op, ticket: issuer });
+    if let Err(SendError(Task::Single(task))) = topo.queues[shard].send(task) {
         task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
     }
+}
+
+/// Enqueues a task on one shard's queue and returns its ticket.
+fn dispatch_single(topo: &Topology, shard: usize, client: ClientId, op: Op) -> Ticket<Completion> {
+    let (issuer, t) = ticket();
+    enqueue_single(topo, shard, client, op, issuer);
     t
 }
 
+/// Sends a batched run of same-shard single tasks as one channel message
+/// (one [`Task::Single`] when the run has a single element).  The caller
+/// holds the enqueue lock; `run` is left empty.
+fn flush_run(topo: &Topology, shard: usize, run: &mut Vec<SingleTask>) {
+    if run.is_empty() {
+        return;
+    }
+    let task = if run.len() == 1 {
+        Task::Single(run.pop().expect("len checked"))
+    } else {
+        Task::Batch(std::mem::take(run))
+    };
+    if let Err(SendError(task)) = topo.queues[shard].send(task) {
+        fail_task(task);
+    }
+    run.clear();
+}
+
 /// Enqueues a multi-owner combined execute onto every owner's queue in
-/// ascending order.  The task (rendezvous state, ticket, action) is built
-/// entirely outside the enqueue lock; the critical section is exactly the
-/// send loop that fixes the task's relative order.
-fn dispatch_exec(
-    shared: &RuntimeShared,
-    queues: &Queues,
+/// ascending order.  The caller must hold the cross-enqueue lock; the task
+/// (rendezvous state, ticket, action) is built entirely outside of it in
+/// the dispatch wrappers — the critical section is exactly the send loop
+/// that fixes the task's relative order.
+fn enqueue_exec(
+    topo: &Topology,
     owners: Vec<usize>,
-    action: &Action,
-) -> Ticket<Completion> {
-    let (issuer, t) = ticket();
+    action: Action,
+    issuer: TicketIssuer<Completion>,
+) {
     let n = owners.len();
     let task = Arc::new(ExecTask {
+        epoch: topo.epoch(),
         owners,
-        action: action.clone(),
+        action,
         sync: Mutex::new(ExecSync {
+            stale: None,
             voted: vec![false; n],
             yes_votes: 0,
             decision: None,
@@ -1070,13 +1723,10 @@ fn dispatch_exec(
         barrier: Condvar::new(),
     });
     let mut failed = false;
-    {
-        let _guard = lock(&shared.cross_enqueue);
-        for &owner in &task.owners {
-            if queues[owner].send(Task::Exec(Arc::clone(&task))).is_err() {
-                failed = true;
-                break;
-            }
+    for &owner in &task.owners {
+        if topo.queues[owner].send(Task::Exec(Arc::clone(&task))).is_err() {
+            failed = true;
+            break;
         }
     }
     if failed {
@@ -1086,24 +1736,24 @@ fn dispatch_exec(
             issuer.complete(Completion::Failed { error: ManagerError::Disconnected });
         }
     }
-    t
 }
 
-/// Enqueues a cross-shard task onto every owner's queue in ascending order,
-/// under the enqueue lock — the ordered-enqueue incarnation of the 2PC lock
-/// order.
-fn dispatch_cross(
-    shared: &RuntimeShared,
-    queues: &Queues,
+/// Enqueues an already-issued cross-shard task onto every owner's queue in
+/// ascending order.  The caller must hold the cross-enqueue lock — the
+/// ordered-enqueue incarnation of the 2PC lock order.
+fn enqueue_cross(
+    topo: &Topology,
     owners: Vec<usize>,
     op: CrossOp,
-) -> Ticket<Completion> {
-    let (issuer, t) = ticket();
+    issuer: TicketIssuer<Completion>,
+) {
     let n = owners.len();
     let task = Arc::new(CrossTask {
+        epoch: topo.epoch(),
         owners,
         op,
         sync: Mutex::new(CrossSync {
+            stale: None,
             ticket: Some(issuer),
             votes: 0,
             ok: true,
@@ -1119,35 +1769,104 @@ fn dispatch_cross(
         barrier: Condvar::new(),
     });
     let mut failed = false;
-    {
-        let _guard = lock(&shared.cross_enqueue);
-        for &owner in &task.owners {
-            if queues[owner].send(Task::Cross(Arc::clone(&task))).is_err() {
-                failed = true;
-                break;
-            }
+    for &owner in &task.owners {
+        if topo.queues[owner].send(Task::Cross(Arc::clone(&task))).is_err() {
+            failed = true;
+            break;
         }
     }
     if failed {
-        // Queues only disconnect when the runtime is gone; nobody will ever
-        // rendezvous, so fail the ticket here.
         if let Some(issuer) = lock(&task.sync).ticket.take() {
             issuer.complete(Completion::Failed { error: ManagerError::Disconnected });
         }
     }
+}
+
+/// Enqueues a cross-shard task under the enqueue lock and returns its
+/// ticket.
+fn dispatch_cross(
+    shared: &RuntimeShared,
+    topo: &Topology,
+    owners: Vec<usize>,
+    op: CrossOp,
+) -> Ticket<Completion> {
+    let (issuer, t) = ticket();
+    let _guard = lock(&shared.cross_enqueue);
+    enqueue_cross(topo, owners, op, issuer);
     t
 }
 
+/// Hands every quiesced shard state back to its worker (used on both the
+/// success and the abort path of a migration — a paused worker is always
+/// resumed).
+fn resume_paused(paused: Vec<(usize, ShardState, Sender<ShardState>)>) {
+    for (_, state, resume_tx) in paused {
+        let _ = resume_tx.send(state);
+    }
+}
+
+/// Installs a promoted (previously shard-local) subscription as a
+/// cross-shard entry and returns the flip notifications if the conjunction
+/// disagrees with the shard-local cached status.
+fn promote_subscription(
+    shared: &RuntimeShared,
+    action: &Action,
+    owners: Vec<usize>,
+    bits: Vec<bool>,
+    clients: Vec<ClientId>,
+    cached: bool,
+) -> Vec<Notification> {
+    let permitted = bits.iter().all(|b| *b);
+    let mut cross = lock(&shared.cross_subscriptions);
+    for &owner in &owners {
+        cross.by_shard.entry(owner).or_default().insert(action.clone());
+    }
+    let entry = cross.entries.entry(action.clone()).or_insert_with(|| {
+        shared.cross_entry_count.fetch_add(1, Ordering::Relaxed);
+        crate::manager::CrossEntry {
+            owners: owners.clone(),
+            bits: bits.clone(),
+            clients: Vec::new(),
+            permitted: cached,
+        }
+    });
+    entry.owners = owners;
+    entry.bits = bits;
+    for client in clients {
+        if !entry.clients.contains(&client) {
+            entry.clients.push(client);
+        }
+    }
+    entry.clients.sort_unstable();
+    let mut out = Vec::new();
+    if permitted != entry.permitted {
+        entry.permitted = permitted;
+        for client in &entry.clients {
+            out.push(Notification { client: *client, action: action.clone(), permitted });
+        }
+    }
+    out
+}
+
 /// Advances the clock and runs the due lease expirations as shard tasks.
-fn advance_clock(shared: &Arc<RuntimeShared>, queues: &Queues, delta: u64) -> Vec<Reservation> {
+///
+/// The timer payload's owner list is the one recorded at grant time; a
+/// migration may since have widened the reservation onto new shards.  The
+/// authoritative owner set therefore comes from the reservation index at
+/// fire time — this is how a scheduled lease *re-arms* across a
+/// repartition without rewriting wheel entries.
+fn advance_clock(shared: &Arc<RuntimeShared>, slot: &TopologySlot, delta: u64) -> Vec<Reservation> {
     let now = shared.clock.fetch_add(delta, Ordering::Relaxed) + delta;
     let events = lock(&shared.timers).advance(now);
     let tickets: Vec<Ticket<Completion>> = events
         .into_iter()
-        .map(|event| match event.owners.as_slice() {
-            [shard] => dispatch_single(queues, *shard, 0, Op::Expire { id: event.id, now }),
-            _ => {
-                dispatch_cross(shared, queues, event.owners, CrossOp::Expire { id: event.id, now })
+        .map(|event| {
+            let owners =
+                lock(&shared.reservation_index).get(&event.id).cloned().unwrap_or(event.owners);
+            let topo = covering_topology(slot, &owners);
+            match owners.as_slice() {
+                [shard] => dispatch_single(&topo, *shard, 0, Op::Expire { id: event.id, now }),
+                _ => dispatch_cross(shared, &topo, owners, CrossOp::Expire { id: event.id, now }),
             }
         })
         .collect();
@@ -1235,6 +1954,12 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
     // Deferred ticket wakeups (single-core hosts only) — flushed before
     // every park and on exit, so waiters are never stranded.
     let mut wakes: Vec<DeferredWake> = Vec::new();
+    // The divert watermark: once a stale task of epoch < E is re-routed to
+    // the queue tail, every other task stamped below E must follow it there
+    // even if its own route is unchanged — processing it inline would
+    // invert the order of submissions that were already queued when the
+    // migration hit.
+    let mut divert_below: u64 = 0;
     loop {
         let task = match pushback.take() {
             Some(task) => Ok(task),
@@ -1250,12 +1975,26 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
             },
         };
         match task {
-            Ok(Task::Single(task)) => process_single(&shared, &mut st, task, &mut wakes),
+            Ok(Task::Single(task)) => {
+                if let Some(task) =
+                    ensure_single_route(&shared, &st, task, &mut wakes, &mut divert_below)
+                {
+                    process_single(&shared, &mut st, task, &mut wakes)
+                }
+            }
+            Ok(Task::Batch(tasks)) => {
+                process_batch_window(&shared, &mut st, tasks, &mut wakes, &mut divert_below)
+            }
             Ok(Task::Cross(task)) => {
-                flush_wakes(&mut wakes);
-                process_cross(&shared, &mut st, &task)
+                if cross_is_live(&shared, &task, &mut divert_below) {
+                    flush_wakes(&mut wakes);
+                    process_cross(&shared, &mut st, &task)
+                }
             }
             Ok(Task::Exec(task)) => {
+                if !exec_is_live(&shared, &task, &mut divert_below) {
+                    continue;
+                }
                 // Coalesce the already-queued consecutive run of same-owner-
                 // set executes — plus the single-owner executes interleaved
                 // between them — into one speculative batch: the rendezvous
@@ -1264,10 +2003,20 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 loop {
                     match rx.try_recv() {
                         Ok(Task::Exec(next)) if next.owners == batch.owners => {
-                            batch.push_exec(next)
+                            if exec_is_live(&shared, &next, &mut divert_below) {
+                                batch.push_exec(next)
+                            }
                         }
                         Ok(Task::Single(single)) if matches!(single.op, Op::Execute { .. }) => {
-                            batch.push_local(single)
+                            if let Some(single) = ensure_single_route(
+                                &shared,
+                                &st,
+                                single,
+                                &mut wakes,
+                                &mut divert_below,
+                            ) {
+                                batch.push_local(single)
+                            }
                         }
                         Ok(other) => {
                             pushback = Some(other);
@@ -1280,6 +2029,23 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                     }
                 }
                 process_batch(&shared, &mut st, batch, &mut wakes);
+            }
+            Ok(Task::Pause(pause)) => {
+                // Quiescence point of a live migration: deliver the banked
+                // wakeups, hand the entire shard state (engine, tables, log
+                // segment) to the coordinator, and block until it is
+                // returned.  The rest of the runtime keeps serving.
+                flush_wakes(&mut wakes);
+                match pause.state_tx.send(st) {
+                    Ok(()) => {
+                        st = pause
+                            .resume_rx
+                            .recv()
+                            .expect("migration coordinator always returns the shard state")
+                    }
+                    // Coordinator already gone: keep the state and carry on.
+                    Err(SendError(state)) => st = state,
+                }
             }
             Ok(Task::Snapshot(issuer)) => issuer.complete(ShardSnapshot {
                 log: st.log.clone(),
@@ -1310,6 +2076,11 @@ fn fail_task(task: Task) {
     let disconnected = || Completion::Failed { error: ManagerError::Disconnected };
     match task {
         Task::Single(task) => task.ticket.complete(disconnected()),
+        Task::Batch(tasks) => {
+            for task in tasks {
+                task.ticket.complete(disconnected());
+            }
+        }
         Task::Cross(task) => {
             if let Some(issuer) = lock(&task.sync).ticket.take() {
                 issuer.complete(disconnected());
@@ -1320,9 +2091,313 @@ fn fail_task(task: Task) {
                 issuer.complete(disconnected());
             }
         }
+        // Dropping the pause disconnects its state channel; the coordinator
+        // observes the failed recv and aborts the migration.
+        Task::Pause(_) => {}
         Task::Snapshot(issuer) => issuer.complete(ShardSnapshot::default()),
         Task::Stop => {}
     }
+}
+
+// ---------------------------------------------------------------------------
+// Stale-route detection: tasks stamped with an older topology epoch are
+// re-checked and retried through the current topology instead of being
+// misdelivered.
+// ---------------------------------------------------------------------------
+
+/// Checks an epoch-stale single task's route against the current topology.
+/// Returns the task when this shard is still its correct single owner (the
+/// overwhelmingly common case — most epoch bumps do not touch this shard's
+/// actions) *and* the task is not ordered behind an already-diverted one;
+/// otherwise re-dispatches it with its original ticket, raises the divert
+/// watermark, and returns `None`.
+fn ensure_single_route(
+    shared: &Arc<RuntimeShared>,
+    st: &ShardState,
+    task: SingleTask,
+    wakes: &mut Vec<DeferredWake>,
+    divert_below: &mut u64,
+) -> Option<SingleTask> {
+    if task.epoch == shared.epoch.load(Ordering::Acquire) {
+        return Some(task);
+    }
+    let Some(slot) = shared.topology.upgrade() else {
+        fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, wakes);
+        return None;
+    };
+    let topo = read_topology(&slot);
+    let behind_divert = task.epoch < *divert_below;
+    match &task.op {
+        Op::Execute { action }
+        | Op::Ask { action }
+        | Op::Subscribe { action }
+        | Op::Unsubscribe { action }
+        | Op::Query { action } => match topo.router.classify(action) {
+            Route::Single(shard) if shard == st.id && !behind_divert => Some(task),
+            route => {
+                shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
+                *divert_below = topo.epoch();
+                let SingleTask { client, op, ticket, .. } = task;
+                let _guard = lock(&shared.cross_enqueue);
+                redispatch_single(shared, &topo, client, op, route, ticket, wakes);
+                None
+            }
+        },
+        Op::Confirm { id } | Op::Abort { id } | Op::Expire { id, .. } => {
+            let owners = lock(&shared.reservation_index).get(id).cloned();
+            match owners {
+                // Reservation gone (or never indexed): resolve locally —
+                // the shard table is authoritative and reports Unknown.
+                // (Reservation ops are never part of a pipelined execute
+                // window, so the divert watermark does not apply.)
+                None => Some(task),
+                Some(owners) if owners.as_slice() == [st.id] => Some(task),
+                Some(owners) => {
+                    shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
+                    *divert_below = topo.epoch();
+                    let SingleTask { op, ticket, .. } = task;
+                    let op = match op {
+                        Op::Confirm { id } => CrossOp::Confirm { id },
+                        Op::Abort { id } => CrossOp::Abort { id },
+                        Op::Expire { id, now } => CrossOp::Expire { id, now },
+                        _ => unreachable!("reservation ops only"),
+                    };
+                    let _guard = lock(&shared.cross_enqueue);
+                    enqueue_cross(&topo, owners, op, ticket);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Re-dispatches a single task whose owner set widened.  Owner sets never
+/// shrink, so the new route is multi-owner (the `Route::None` and foreign
+/// single-owner arms are defensive).  The caller must hold the
+/// cross-enqueue lock.
+fn redispatch_single(
+    shared: &Arc<RuntimeShared>,
+    topo: &Arc<Topology>,
+    client: ClientId,
+    op: Op,
+    route: Route,
+    issuer: TicketIssuer<Completion>,
+    wakes: &mut Vec<DeferredWake>,
+) {
+    match (op, route) {
+        (op, Route::Single(shard)) => enqueue_single(topo, shard, client, op, issuer),
+        (Op::Execute { action }, Route::Multi(owners)) => {
+            enqueue_exec(topo, owners, action, issuer);
+        }
+        (Op::Ask { action }, Route::Multi(owners)) => {
+            enqueue_cross(topo, owners, CrossOp::Ask { client, action }, issuer)
+        }
+        (Op::Subscribe { action }, Route::Multi(owners)) => {
+            enqueue_cross(topo, owners, CrossOp::Subscribe { client, action }, issuer)
+        }
+        (Op::Unsubscribe { action }, Route::Multi(_)) => {
+            // The migration promoted the registration to the cross-shard
+            // registry; remove it there.
+            cross_unsubscribe(shared, client, &action);
+            fulfil(issuer, Completion::Unsubscribed, wakes);
+        }
+        (Op::Query { action }, Route::Multi(owners)) => {
+            enqueue_cross(topo, owners, CrossOp::Query { action }, issuer)
+        }
+        (op, Route::None) => {
+            // Owner sets never shrink; complete with the outcome an
+            // unknown action gets on the submission path.
+            let completion = match op {
+                Op::Subscribe { action } => {
+                    lock(&shared.orphan_subscriptions).subscribe(
+                        client,
+                        action.clone(),
+                        action,
+                        false,
+                    );
+                    Completion::Subscribed { permitted: false }
+                }
+                Op::Unsubscribe { action } => {
+                    lock(&shared.orphan_subscriptions).unsubscribe(client, &action);
+                    Completion::Unsubscribed
+                }
+                Op::Query { .. } => Completion::Status { permitted: false },
+                _ => {
+                    shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    Completion::Denied
+                }
+            };
+            fulfil(issuer, completion, wakes);
+        }
+        (op, route) => unreachable!("unhandled stale reroute {op:?} -> {route:?}"),
+    }
+}
+
+/// Processes one submission window ([`Task::Batch`]).  On the fast path
+/// (epochs match) every item runs inline.  The moment one item's route is
+/// found stale, the item *and every remaining item of the window* are
+/// re-enqueued through the current topology in order — processing a
+/// later same-window item inline while an earlier one sits re-queued
+/// would invert the window's program order.
+fn process_batch_window(
+    shared: &Arc<RuntimeShared>,
+    st: &mut ShardState,
+    tasks: Vec<SingleTask>,
+    wakes: &mut Vec<DeferredWake>,
+    divert_below: &mut u64,
+) {
+    let mut iter = tasks.into_iter();
+    while let Some(task) = iter.next() {
+        if task.epoch == shared.epoch.load(Ordering::Acquire) {
+            process_single(shared, st, task, wakes);
+            continue;
+        }
+        // Stale stamp: check this item's route; if it moved (or it is
+        // ordered behind an already-diverted task), divert it and the
+        // whole remainder of the window in order.
+        let Some(slot) = shared.topology.upgrade() else {
+            fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, wakes);
+            for task in iter {
+                fulfil(
+                    task.ticket,
+                    Completion::Failed { error: ManagerError::Disconnected },
+                    wakes,
+                );
+            }
+            return;
+        };
+        let topo = read_topology(&slot);
+        let Op::Execute { action } = &task.op else {
+            unreachable!("submission windows carry executes only");
+        };
+        if task.epoch >= *divert_below
+            && matches!(topo.router.classify(action), Route::Single(shard) if shard == st.id)
+        {
+            process_single(shared, st, task, wakes);
+            continue;
+        }
+        *divert_below = topo.epoch();
+        let _guard = lock(&shared.cross_enqueue);
+        for task in std::iter::once(task).chain(iter) {
+            shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
+            let SingleTask { client, op, ticket, .. } = task;
+            let Op::Execute { action } = op else {
+                unreachable!("submission windows carry executes only");
+            };
+            match topo.router.classify(&action) {
+                Route::Single(shard) => {
+                    enqueue_single(&topo, shard, client, Op::Execute { action }, ticket)
+                }
+                Route::Multi(owners) => enqueue_exec(&topo, owners, action, ticket),
+                Route::None => {
+                    shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    fulfil(ticket, Completion::Denied, wakes);
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// Decides whether an epoch-stale cross task is still correctly routed.
+/// The verdict is recorded in the task's rendezvous state by the **first**
+/// owner that examines it, and every other owner follows that record — a
+/// rendezvous is either processed by all of its owners or re-dispatched by
+/// exactly one and skipped by the rest, never half/half.  (The pause
+/// barriers guarantee that a task whose owner set actually widened is seen
+/// by *all* of its owners only after the migration, so a recorded verdict
+/// can never contradict an already-deposited vote.)
+fn cross_is_live(
+    shared: &Arc<RuntimeShared>,
+    task: &Arc<CrossTask>,
+    divert_below: &mut u64,
+) -> bool {
+    if task.epoch == shared.epoch.load(Ordering::Acquire) {
+        return true;
+    }
+    let mut sync = lock(&task.sync);
+    if let Some(stale) = sync.stale {
+        if stale {
+            // A skipped (re-dispatched) task raises this follower's divert
+            // watermark too: stale-stamped tasks behind it on our queue
+            // must not run ahead of the re-dispatched copy.
+            *divert_below = (*divert_below).max(shared.epoch.load(Ordering::Acquire));
+        }
+        return !stale;
+    }
+    if sync.votes > 0 || sync.decision.is_some() {
+        // Somebody already voted under the old epoch, so the owner set
+        // cannot have changed (its owners could not straddle a migration).
+        sync.stale = Some(false);
+        return true;
+    }
+    let current = shared.topology.upgrade().map(|slot| read_topology(&slot));
+    let owners = current.as_ref().and_then(|topo| match &task.op {
+        CrossOp::Ask { action, .. }
+        | CrossOp::Subscribe { action, .. }
+        | CrossOp::Query { action } => Some(topo.router.owners(action)),
+        CrossOp::Confirm { id } | CrossOp::Abort { id } | CrossOp::Expire { id, .. } => {
+            lock(&shared.reservation_index).get(id).cloned()
+        }
+    });
+    let (stale, owners) = match owners {
+        Some(owners) if owners != task.owners => (true, owners),
+        _ => (false, Vec::new()),
+    };
+    sync.stale = Some(stale);
+    if !stale {
+        return true;
+    }
+    // This owner re-dispatches with the original ticket; the rest skip.
+    // The rendezvous lock is held across the re-enqueue so a follower that
+    // observes the stale verdict is guaranteed the re-dispatched copy is
+    // already at the queue tails — tasks it diverts afterwards land behind
+    // it, preserving the backlog order.
+    shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
+    let issuer = sync.ticket.take();
+    if let (Some(topo), Some(issuer)) = (current, issuer) {
+        *divert_below = topo.epoch();
+        let _guard = lock(&shared.cross_enqueue);
+        enqueue_cross(&topo, owners, task.op.clone(), issuer);
+    }
+    false
+}
+
+/// The [`cross_is_live`] analogue for coalesced multi-owner executes.
+fn exec_is_live(shared: &Arc<RuntimeShared>, task: &Arc<ExecTask>, divert_below: &mut u64) -> bool {
+    if task.epoch == shared.epoch.load(Ordering::Acquire) {
+        return true;
+    }
+    let mut sync = lock(&task.sync);
+    if let Some(stale) = sync.stale {
+        if stale {
+            *divert_below = (*divert_below).max(shared.epoch.load(Ordering::Acquire));
+        }
+        return !stale;
+    }
+    if sync.voted.iter().any(|v| *v) || sync.decision.is_some() {
+        sync.stale = Some(false);
+        return true;
+    }
+    let current = shared.topology.upgrade().map(|slot| read_topology(&slot));
+    let owners = current.as_ref().map(|topo| topo.router.owners(&task.action));
+    let (stale, owners) = match owners {
+        Some(owners) if owners != task.owners => (true, owners),
+        _ => (false, Vec::new()),
+    };
+    sync.stale = Some(stale);
+    if !stale {
+        return true;
+    }
+    // Held-lock re-dispatch, as in `cross_is_live`.
+    shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
+    let issuer = sync.ticket.take();
+    if let (Some(topo), Some(issuer)) = (current, issuer) {
+        *divert_below = topo.epoch();
+        let _guard = lock(&shared.cross_enqueue);
+        enqueue_exec(&topo, owners, task.action.clone(), issuer);
+    }
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -1683,7 +2758,7 @@ fn process_single(
     task: SingleTask,
     wakes: &mut Vec<DeferredWake>,
 ) {
-    let SingleTask { client, op, ticket } = task;
+    let SingleTask { client, op, ticket, .. } = task;
     let completion = match op {
         Op::Execute { action } => match single_commit(shared, st, &action, true) {
             Some(notes) => Completion::Executed { notifications: notes },
@@ -2196,14 +3271,22 @@ impl RuntimeShared {
 }
 
 /// The abstract alphabet entry of a shard covering the action — the index
-/// key of the shard's subscription registry.
+/// key of the shard's subscription registry.  Resolved through the current
+/// topology (subscriptions are rare enough that the weak upgrade does not
+/// matter); the action itself is the fallback key when the runtime is
+/// already tearing down.
 fn abstract_key(shared: &RuntimeShared, shard_id: usize, action: &Action) -> Action {
     shared
-        .router
-        .alphabet(shard_id)
-        .actions()
-        .find(|a| a.matches_concrete(action))
-        .cloned()
+        .topology
+        .upgrade()
+        .and_then(|slot| {
+            read_topology(&slot)
+                .router
+                .alphabet(shard_id)
+                .actions()
+                .find(|a| a.matches_concrete(action))
+                .cloned()
+        })
         .unwrap_or_else(|| action.clone())
 }
 
@@ -2214,6 +3297,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::InteractionManager;
     use ix_core::{parse, Value};
 
     fn call(p: i64, x: &str) -> Action {
@@ -2492,6 +3576,326 @@ mod tests {
         assert!(freed, "wall-clock ticker never expired the lease");
         assert_eq!(runtime.stats().expired_reservations, 1);
         runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn disjoint_add_constraint_is_a_pure_shard_append() {
+        let runtime = ManagerRuntime::with_protocol(
+            &parse("(a - b)* @ (c - d)*").unwrap(),
+            ProtocolVariant::Combined,
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        assert!(session.execute_blocking(&Action::nullary("a")).unwrap().is_some());
+        assert_eq!(runtime.shard_count(), 2);
+        assert_eq!(runtime.epoch(), 0);
+
+        let report = runtime.add_constraint(&parse("(e - f)*").unwrap()).unwrap();
+        assert_eq!(report.added_shards, vec![2]);
+        assert!(report.migrated_shards.is_empty(), "disjoint add pauses nothing");
+        assert_eq!(report.replayed_actions, 0);
+        assert_eq!(report.widened_actions, 0);
+        assert_eq!(runtime.shard_count(), 3);
+        assert_eq!(runtime.epoch(), 1);
+        let stats = runtime.repartition_stats();
+        assert_eq!(stats.repartitions, 1);
+        assert_eq!(stats.migrated_shard_states, 0, "zero migration for a disjoint add");
+
+        // The new shard serves immediately; old shards kept their state.
+        assert!(session.execute_blocking(&Action::nullary("e")).unwrap().is_some());
+        assert!(session.execute_blocking(&Action::nullary("b")).unwrap().is_some());
+        assert!(session.execute_blocking(&Action::nullary("a")).unwrap().is_some());
+        assert!(runtime.controls(&Action::nullary("e")));
+        let report = runtime.shutdown().unwrap();
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.log.len(), 4);
+    }
+
+    #[test]
+    fn coupling_migration_replays_history_and_widens_routes() {
+        let runtime = ManagerRuntime::with_protocol(
+            &parse("(a - b)* @ (c - d)*").unwrap(),
+            ProtocolVariant::Combined,
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        for name in ["a", "b", "a", "b", "c"] {
+            assert!(session.execute_blocking(&Action::nullary(name)).unwrap().is_some());
+        }
+        // Couple an audit constraint onto `a`: rounds of a's, then audit.
+        let report = runtime.couple(&parse("(a* - audit)*").unwrap()).unwrap();
+        assert_eq!(report.added_shards, vec![2]);
+        assert_eq!(report.migrated_shards, vec![0], "only a's owner is quiesced");
+        assert_eq!(report.replayed_actions, 2, "the two committed a's");
+        assert!(report.widened_actions >= 1);
+        assert_eq!(runtime.owners_of(&Action::nullary("a")), vec![0, 2]);
+        assert!(runtime.is_cross_shard(&Action::nullary("a")));
+        assert_eq!(runtime.repartition_stats().migrated_shard_states, 1);
+
+        // Semantics now match a monolithic manager built on the joined
+        // expression and fed the same history.
+        let joined = parse("((a - b)* @ (c - d)*) @ (a* - audit)*").unwrap();
+        let mono = InteractionManager::monolithic(&joined, ProtocolVariant::Combined).unwrap();
+        for action in runtime.log() {
+            assert!(mono.try_execute(9, &action).unwrap().is_some(), "log must replay");
+        }
+        for name in ["audit", "a", "b", "audit", "d", "zzz"] {
+            let action = Action::nullary(name);
+            let r = session.execute_blocking(&action).unwrap().is_some();
+            let m = mono.try_execute(9, &action).unwrap().is_some();
+            assert_eq!(r, m, "disagreement on {name} after the migration");
+        }
+        assert_eq!(runtime.is_final(), mono.is_final());
+    }
+
+    #[test]
+    fn incompatible_extension_is_rejected_and_the_runtime_keeps_serving() {
+        let runtime =
+            ManagerRuntime::with_protocol(&parse("(a - b)*").unwrap(), ProtocolVariant::Combined)
+                .unwrap();
+        let session = runtime.session(1);
+        assert!(session.execute_blocking(&Action::nullary("a")).unwrap().is_some());
+        // `b - a` demands the history's projection start with b.
+        let err = runtime.couple(&parse("(b - a)#").unwrap());
+        assert!(matches!(err, Err(ManagerError::IncompatibleExtension { .. })));
+        assert_eq!(runtime.shard_count(), 1);
+        assert_eq!(runtime.epoch(), 0);
+        assert_eq!(runtime.repartition_stats().repartitions, 0);
+        // The paused shard was resumed untouched.
+        assert!(session.execute_blocking(&Action::nullary("b")).unwrap().is_some());
+    }
+
+    #[test]
+    fn couple_rejects_disjoint_constraints() {
+        let runtime = ManagerRuntime::new(&parse("(a - b)*").unwrap()).unwrap();
+        assert!(matches!(
+            runtime.couple(&parse("(x - y)*").unwrap()),
+            Err(ManagerError::DisjointCoupling)
+        ));
+        // add_constraint takes it happily.
+        assert!(runtime.add_constraint(&parse("(x - y)*").unwrap()).is_ok());
+        assert_eq!(runtime.shard_count(), 2);
+    }
+
+    #[test]
+    fn reservations_migrate_onto_new_owners() {
+        // Simple protocol: take a reservation on `a`, couple a constraint
+        // sharing `a`, then confirm — the commit must advance the new shard
+        // too, and release must work across the widened owner set.
+        let runtime = ManagerRuntime::new(&parse("(a - b)*").unwrap()).unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&Action::nullary("a")).unwrap().expect("granted");
+        let report = runtime.couple(&parse("(a - audit)*").unwrap()).unwrap();
+        assert_eq!(report.migrated_reservations, 1);
+        // Confirm commits on both owners: afterwards the coupled constraint
+        // has seen one `a`, so audit is permitted and a second `a` is not.
+        session.confirm_blocking(r).unwrap();
+        assert!(session.is_permitted_blocking(&Action::nullary("audit")));
+        assert!(!session.is_permitted_blocking(&Action::nullary("a")));
+        let log = runtime.log();
+        assert_eq!(log, vec![Action::nullary("a")]);
+        // The whole log replays on a monolithic manager of the joined
+        // expression.
+        let joined = parse("(a - b)* @ (a - audit)*").unwrap();
+        let mono = InteractionManager::monolithic(&joined, ProtocolVariant::Simple).unwrap();
+        for action in log {
+            let id = mono.ask(9, &action).unwrap().expect("log must replay");
+            mono.confirm(id).unwrap();
+        }
+        assert!(mono.is_permitted(&Action::nullary("audit")));
+    }
+
+    #[test]
+    fn aborting_a_migrated_reservation_releases_every_owner() {
+        let runtime = ManagerRuntime::new(&parse("(a - b)*").unwrap()).unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&Action::nullary("a")).unwrap().expect("granted");
+        runtime.couple(&parse("(a - audit)*").unwrap()).unwrap();
+        let released = session.abort_blocking(r).unwrap();
+        assert_eq!(released.action, Action::nullary("a"));
+        // Nothing committed; a fresh ask is granted again (both owners
+        // dropped the replica).
+        assert!(session.ask_blocking(&Action::nullary("a")).unwrap().is_some());
+        assert_eq!(runtime.log().len(), 0);
+    }
+
+    #[test]
+    fn leases_rearm_across_a_migration_and_expire_on_every_owner() {
+        // A lease granted before a coupling migration carries a stale
+        // owner list in its timer payload; expiry must consult the widened
+        // reservation index and roll the replica back on the new owner too.
+        let runtime = ManagerRuntime::with_protocol(
+            &parse("(a - b)*").unwrap(),
+            ProtocolVariant::Leased { lease: 5 },
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        let r = session.ask_blocking(&Action::nullary("a")).unwrap().expect("granted");
+        let report = runtime.couple(&parse("(a - audit)*").unwrap()).unwrap();
+        assert_eq!(report.migrated_reservations, 1);
+        // While reserved, a second ask is vetoed on both owners.
+        assert_eq!(session.ask_blocking(&Action::nullary("a")).unwrap(), None);
+        let expired = runtime.advance_time(6);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, r);
+        assert_eq!(runtime.stats().expired_reservations, 1);
+        // Both owners released the replica: a fresh ask succeeds and its
+        // confirm advances the coupled constraint too.
+        let r2 = session.ask_blocking(&Action::nullary("a")).unwrap().expect("slot released");
+        session.confirm_blocking(r2).unwrap();
+        assert!(session.is_permitted_blocking(&Action::nullary("audit")));
+        assert!(matches!(
+            session.confirm_blocking(r),
+            Err(ManagerError::UnknownReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn widened_subscriptions_become_cross_shard_conjunctions() {
+        let runtime =
+            ManagerRuntime::with_protocol(&parse("(a - b)*").unwrap(), ProtocolVariant::Combined)
+                .unwrap();
+        let watcher = runtime.session(7);
+        let actor = runtime.session(1);
+        assert!(watcher.subscribe_blocking(&Action::nullary("a")).unwrap());
+        // Couple a terminal constraint: after one audit the ensemble closes.
+        // Right after the migration `a` is still permitted on both owners.
+        let report = runtime.couple(&parse("(a* - audit)*").unwrap()).unwrap();
+        assert_eq!(report.migrated_subscriptions, 1);
+        assert_eq!(runtime.subscription_count(), 1, "promoted, not duplicated");
+        assert!(watcher.poll_notifications().is_empty(), "conjunction unchanged");
+        // A commit on the *new* shard's side flips the conjunction when the
+        // old shard blocks: execute a (both owners move), then b closes the
+        // a-b round; a is permitted again...
+        assert!(actor.execute_blocking(&Action::nullary("a")).unwrap().is_some());
+        let notes = watcher.poll_notifications();
+        assert!(notes.iter().any(|n| n.action == Action::nullary("a") && !n.permitted));
+        assert!(actor.execute_blocking(&Action::nullary("b")).unwrap().is_some());
+        let notes = watcher.poll_notifications();
+        assert!(notes.iter().any(|n| n.action == Action::nullary("a") && n.permitted));
+        // Unsubscribing after the promotion removes the cross entry.
+        watcher.unsubscribe(&Action::nullary("a")).wait();
+        assert_eq!(runtime.subscription_count(), 0);
+    }
+
+    #[test]
+    fn orphan_subscriptions_go_live_when_a_constraint_covers_them() {
+        let runtime =
+            ManagerRuntime::with_protocol(&parse("(a - b)*").unwrap(), ProtocolVariant::Combined)
+                .unwrap();
+        let watcher = runtime.session(7);
+        let actor = runtime.session(1);
+        // `e` is unknown: the subscription parks in the orphan registry.
+        assert!(!watcher.subscribe_blocking(&Action::nullary("e")).unwrap());
+        assert_eq!(runtime.subscription_count(), 1);
+        // A live extension makes `e` real; the cached not-permitted status
+        // flips to permitted and notifies.
+        runtime.add_constraint(&parse("(e - f)*").unwrap()).unwrap();
+        let notes = watcher.poll_notifications();
+        assert!(
+            notes.iter().any(|n| n.action == Action::nullary("e") && n.permitted),
+            "re-homed orphan must report going live, got {notes:?}"
+        );
+        assert_eq!(runtime.subscription_count(), 1, "moved, not duplicated");
+        // The subscription is live on the new shard: committing `e` flips
+        // it back to not-permitted.
+        assert!(actor.execute_blocking(&Action::nullary("e")).unwrap().is_some());
+        let notes = watcher.poll_notifications();
+        assert!(notes.iter().any(|n| n.action == Action::nullary("e") && !n.permitted));
+        watcher.unsubscribe(&Action::nullary("e")).wait();
+        assert_eq!(runtime.subscription_count(), 0);
+    }
+
+    #[test]
+    fn submit_batch_matches_per_action_submission() {
+        let expr = coupled_constraint();
+        let actions: Vec<Action> = (0..40)
+            .flat_map(|i| {
+                let dept = ['a', 'b', 'c', 'd'][i % 4];
+                vec![
+                    dept_action("call", dept, i as i64),
+                    dept_action("perform", dept, i as i64),
+                    audit(),
+                ]
+            })
+            .collect();
+        // Reference: one execute per action.
+        let reference = ManagerRuntime::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+        let session = reference.session(1);
+        let expected: Vec<bool> =
+            actions.iter().map(|a| session.execute_blocking(a).unwrap().is_some()).collect();
+        let expected_log = reference.log();
+
+        // Batched: one window per 16 actions.
+        let batched = ManagerRuntime::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+        let session = batched.session(1);
+        let mut got = Vec::new();
+        for window in actions.chunks(16) {
+            for t in session.submit_batch(window) {
+                got.push(matches!(t.wait(), Completion::Executed { .. }));
+            }
+        }
+        assert_eq!(got, expected, "batched outcomes must match per-action submission");
+        assert_eq!(batched.log(), expected_log);
+        let (b, r) = (batched.stats(), reference.stats());
+        assert_eq!(b.asks, r.asks);
+        assert_eq!(b.grants, r.grants);
+        assert_eq!(b.denials, r.denials);
+        assert_eq!(b.confirmations, r.confirmations);
+    }
+
+    #[test]
+    fn submit_batch_denies_unknown_actions_inline() {
+        let runtime =
+            ManagerRuntime::with_protocol(&parse("(a - b)*").unwrap(), ProtocolVariant::Combined)
+                .unwrap();
+        let session = runtime.session(1);
+        let tickets = session.submit_batch(&[
+            Action::nullary("zzz"),
+            Action::nullary("a"),
+            Action::nullary("unknown"),
+        ]);
+        // Unknown actions resolve before any queue is touched: the tickets
+        // are complete the moment submit_batch returns.
+        assert_eq!(tickets[0].poll(), Some(Completion::Denied));
+        assert_eq!(tickets[2].poll(), Some(Completion::Denied));
+        assert!(matches!(tickets[1].wait(), Completion::Executed { .. }));
+        assert_eq!(runtime.stats().denials, 2);
+    }
+
+    #[test]
+    fn in_flight_tickets_survive_a_migration() {
+        // Submissions pipelined before a coupling migration complete
+        // correctly after it: the affected shard drains them behind the
+        // pause barrier or ahead of it, never loses them.
+        let runtime = ManagerRuntime::with_protocol(
+            &parse("(some p { call(p) - perform(p) })*").unwrap(),
+            ProtocolVariant::Combined,
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        let calls: Vec<Ticket<Completion>> = (0..64)
+            .flat_map(|p| {
+                [
+                    session.execute(&Action::concrete("call", [Value::int(p)])),
+                    session.execute(&Action::concrete("perform", [Value::int(p)])),
+                ]
+            })
+            .collect();
+        // Couple while those are in flight (call(p) widens onto the new
+        // shard).
+        let coupling = parse("((some p { call(p) })* - audit)*").unwrap();
+        runtime.couple(&coupling).unwrap();
+        for t in &calls {
+            assert!(matches!(t.wait(), Completion::Executed { .. }));
+        }
+        // Everything the runtime committed replays monolithically.
+        let joined = Expr::sync(parse("(some p { call(p) - perform(p) })*").unwrap(), coupling);
+        let mono = InteractionManager::monolithic(&joined, ProtocolVariant::Combined).unwrap();
+        for action in runtime.log() {
+            assert!(mono.try_execute(9, &action).unwrap().is_some(), "log must replay");
+        }
+        assert_eq!(runtime.log().len(), 128);
     }
 
     #[test]

@@ -144,6 +144,26 @@ impl SubscriptionRegistry {
             .find_map(|(_, e)| e.get(action).map(|entry| entry.permitted))
     }
 
+    /// Removes and returns every entry whose concrete action satisfies the
+    /// predicate: `(action, clients, cached status)`.  Used by the live
+    /// migration to promote subscriptions of actions whose owner set
+    /// widened into cross-shard entries.
+    pub fn extract(
+        &mut self,
+        predicate: impl Fn(&Action) -> bool,
+    ) -> Vec<(Action, Vec<ClientId>, bool)> {
+        let mut out = Vec::new();
+        for entries in self.by_abstract.values_mut() {
+            let matched: Vec<Action> = entries.keys().filter(|a| predicate(a)).cloned().collect();
+            for action in matched {
+                let entry = entries.remove(&action).expect("key just listed");
+                out.push((action, entry.clients, entry.permitted));
+            }
+        }
+        self.by_abstract.retain(|_, entries| !entries.is_empty());
+        out
+    }
+
     /// Re-evaluates every entry against `permitted` and returns
     /// notifications for the entries whose status flipped relative to the
     /// cached baseline, updating the cache.  One probe per entry — the

@@ -235,6 +235,49 @@ mod tests {
     }
 
     #[test]
+    fn overflow_map_holds_many_deadlines_beyond_the_horizon() {
+        // Leases landing beyond the 4×64-slot horizon park in the ordered
+        // overflow map; they must neither fire early nor lose their
+        // deadline order, including entries sharing one deadline.
+        let mut wheel = TimerWheel::new(0);
+        wheel.schedule(HORIZON + 10, "b1");
+        wheel.schedule(HORIZON + 10, "b2");
+        wheel.schedule(HORIZON * 3, "far");
+        wheel.schedule(HORIZON + 1, "a");
+        assert_eq!(wheel.pending(), 4);
+        assert!(wheel.advance(HORIZON).is_empty(), "nothing due inside the horizon");
+        assert_eq!(wheel.pending(), 4, "refiled, not dropped");
+        assert_eq!(wheel.advance(HORIZON + 10), vec!["a", "b1", "b2"]);
+        assert_eq!(wheel.advance(HORIZON * 4), vec!["far"]);
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_from_the_overflow_map_keeps_same_deadline_siblings() {
+        let mut wheel = TimerWheel::new(0);
+        let a = wheel.schedule(HORIZON + 7, "a");
+        let b = wheel.schedule(HORIZON + 7, "b");
+        assert_eq!(wheel.cancel(a), Some("a"));
+        assert_eq!(wheel.pending(), 1);
+        // The sibling with the same overflow deadline still fires.
+        assert_eq!(wheel.advance(HORIZON + 7), vec!["b"]);
+        assert_eq!(wheel.cancel(b), None, "already fired");
+    }
+
+    #[test]
+    fn overflow_entries_remain_cancellable_after_refiling_into_the_wheel() {
+        let mut wheel = TimerWheel::new(0);
+        let id = wheel.schedule(HORIZON + 100, "lease");
+        // Advance far enough that the entry left the overflow map and was
+        // refiled into a wheel level.
+        assert!(wheel.advance(200).is_empty());
+        assert_eq!(wheel.pending(), 1);
+        assert_eq!(wheel.cancel(id), Some("lease"));
+        assert!(wheel.advance(HORIZON * 2).is_empty());
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
     fn past_deadlines_fire_on_the_next_advance() {
         let mut wheel = TimerWheel::new(50);
         wheel.schedule(10, "overdue");

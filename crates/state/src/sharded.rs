@@ -29,10 +29,10 @@
 //! [`Engine`].
 
 use crate::engine::{Engine, WordStatus};
-use crate::error::StateResult;
+use crate::error::{StateError, StateResult};
 use crate::state::{Shared, State, StateMetrics};
 use crate::trans::TransitionOptions;
-use ix_core::{Action, Alphabet, Expr, Partition, Symbol};
+use ix_core::{Action, Alphabet, Expr, Partition, PartitionDelta, Symbol};
 use std::collections::BTreeMap;
 
 /// Precomputed `Action → owning shards` dispatch table.
@@ -42,10 +42,18 @@ use std::collections::BTreeMap;
 /// abstract actions).  Shard alphabets may overlap, so an action can have
 /// zero, one, or several owners; owner lists are sorted ascending — the
 /// canonical locking order of the cross-shard two-phase commit.
+///
+/// Routers are *epoch-versioned*: [`ShardRouter::extended`] derives the
+/// router of a grown partition (appended shards, widened owner sets) with
+/// the epoch bumped, so a routing decision taken against an old router is
+/// distinguishable from one taken against the current one — the hook the
+/// manager runtime uses to retry stale routes instead of misdelivering
+/// them.
 #[derive(Clone, Debug)]
 pub struct ShardRouter {
     by_signature: BTreeMap<(Symbol, usize), Vec<usize>>,
     alphabets: Vec<Alphabet>,
+    epoch: u64,
 }
 
 /// Ownership classification of an action (see [`ShardRouter::classify`]).
@@ -61,8 +69,13 @@ pub enum Route {
 
 impl ShardRouter {
     /// Builds a router over the given (possibly overlapping) shard
-    /// alphabets.
+    /// alphabets, at epoch 0.
     pub fn new(alphabets: Vec<Alphabet>) -> ShardRouter {
+        ShardRouter::with_epoch(alphabets, 0)
+    }
+
+    /// Builds a router at an explicit partition epoch.
+    pub fn with_epoch(alphabets: Vec<Alphabet>, epoch: u64) -> ShardRouter {
         let mut by_signature: BTreeMap<(Symbol, usize), Vec<usize>> = BTreeMap::new();
         for (shard, alphabet) in alphabets.iter().enumerate() {
             for abstract_action in alphabet.actions() {
@@ -73,12 +86,46 @@ impl ShardRouter {
                 }
             }
         }
-        ShardRouter { by_signature, alphabets }
+        ShardRouter { by_signature, alphabets, epoch }
+    }
+
+    /// The partition epoch this router was built for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Derives the router of the grown partition: the new shards' alphabets
+    /// are appended (their ids continue the existing numbering) and the
+    /// epoch is bumped.  Cost is one clone of the existing signature index
+    /// plus insertion work proportional to the *new* alphabets — no
+    /// existing alphabet is re-probed, and appended shard ids are larger
+    /// than every existing id, so the per-signature candidate lists stay
+    /// ascending by construction.
+    pub fn extended(&self, new_alphabets: &[Alphabet]) -> ShardRouter {
+        let mut by_signature = self.by_signature.clone();
+        let mut alphabets = self.alphabets.clone();
+        for alphabet in new_alphabets {
+            let shard = alphabets.len();
+            for abstract_action in alphabet.actions() {
+                let key = (abstract_action.name(), abstract_action.arity());
+                let shards = by_signature.entry(key).or_default();
+                if !shards.contains(&shard) {
+                    shards.push(shard);
+                }
+            }
+            alphabets.push(alphabet.clone());
+        }
+        ShardRouter { by_signature, alphabets, epoch: self.epoch + 1 }
     }
 
     /// Number of shards the router dispatches over.
     pub fn shard_count(&self) -> usize {
         self.alphabets.len()
+    }
+
+    /// The shard alphabets, indexed by shard id.
+    pub fn alphabets(&self) -> &[Alphabet] {
+        &self.alphabets
     }
 
     /// The shards owning the action, in ascending order, without
@@ -105,7 +152,14 @@ impl ShardRouter {
     /// Classifies the action's ownership without allocating on the
     /// single-owner fast path: submission front ends branch on the result
     /// and only cross-shard actions materialize their owner list.
+    ///
+    /// An action unknown to every shard resolves to [`Route::None`] from the
+    /// signature index alone — no alphabet probe, no allocation — so callers
+    /// can deny it without touching any queue or lock.
     pub fn classify(&self, action: &Action) -> Route {
+        if !self.by_signature.contains_key(&(action.name(), action.arity())) {
+            return Route::None;
+        }
         let mut iter = self.owners_iter(action);
         let Some(first) = iter.next() else {
             return Route::None;
@@ -144,6 +198,8 @@ impl ShardRouter {
 #[derive(Clone, Debug)]
 pub struct ShardedEngine {
     expr: Expr,
+    partition: Partition,
+    options: TransitionOptions,
     shards: Vec<Engine>,
     router: ShardRouter,
     /// Whole-engine counters: one accepted/rejected tick per *action*, no
@@ -170,6 +226,8 @@ impl ShardedEngine {
         }
         Ok(ShardedEngine {
             expr: expr.clone(),
+            partition,
+            options,
             shards,
             router: ShardRouter::new(alphabets),
             accepted: 0,
@@ -177,9 +235,61 @@ impl ShardedEngine {
         })
     }
 
-    /// The (original, un-partitioned) expression this engine enforces.
+    /// The (original, un-partitioned) expression this engine enforces,
+    /// including every live extension applied so far.
     pub fn expr(&self) -> &Expr {
         &self.expr
+    }
+
+    /// The engine's current partition (epoch-versioned).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Grows the engine live with an additional constraint whose alphabet is
+    /// assumed fresh — equivalent to [`ShardedEngine::extend_with_history`]
+    /// with an empty history.  Returns the applied [`PartitionDelta`].
+    pub fn extend(&mut self, operand: &Expr) -> StateResult<PartitionDelta> {
+        self.extend_with_history(operand, &[])
+    }
+
+    /// Grows the engine live: the operand's flattened components become new
+    /// shards, the router is re-derived at the next epoch, and each new
+    /// shard replays the projection of `history` (the committed action
+    /// sequence so far) onto its alphabet so the grown engine is equivalent
+    /// to a fresh engine built on `old ⊗ operand` and fed the same history.
+    ///
+    /// Existing shard states are **never** touched: a disjoint addition is a
+    /// pure shard-append (the delta widens nothing and the replayed
+    /// projection is empty), and a coupling addition only widens owner sets
+    /// in the router.  Fails with [`StateError::IncompatibleHistory`] —
+    /// leaving the engine unchanged — when the new constraint rejects the
+    /// historical projection, because accepting it would break replayability
+    /// of the committed word on the grown expression.
+    pub fn extend_with_history(
+        &mut self,
+        operand: &Expr,
+        history: &[Action],
+    ) -> StateResult<PartitionDelta> {
+        let (partition, delta) = self.partition.extend(std::slice::from_ref(operand));
+        let mut new_shards = Vec::with_capacity(delta.added.len());
+        let mut new_alphabets = Vec::with_capacity(delta.added.len());
+        for &idx in &delta.added {
+            let component = &partition.components()[idx];
+            let mut engine = Engine::with_options(&component.expr, self.options)?;
+            for action in history.iter().filter(|a| component.alphabet.covers(a)) {
+                if !engine.try_execute(action) {
+                    return Err(StateError::IncompatibleHistory { action: action.to_string() });
+                }
+            }
+            new_alphabets.push(component.alphabet.clone());
+            new_shards.push(engine);
+        }
+        self.router = self.router.extended(&new_alphabets);
+        self.shards.append(&mut new_shards);
+        self.expr = Expr::sync(self.expr.clone(), operand.clone());
+        self.partition = partition;
+        Ok(delta)
     }
 
     /// Number of independent shards (1 for expressions that do not
@@ -542,6 +652,103 @@ mod tests {
         assert_eq!(engine.accepted(), 0);
         assert_eq!(engine.rejected(), 0);
         assert!(engine.is_final(), "both iterations accept ε after reset");
+    }
+
+    #[test]
+    fn router_extension_bumps_the_epoch_and_appends_shards() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let engine = ShardedEngine::new(&e).unwrap();
+        let router = engine.router().clone();
+        assert_eq!(router.epoch(), 0);
+        let extended = router.extended(&[parse("(a* - audit)*").unwrap().alphabet()]);
+        assert_eq!(extended.epoch(), 1);
+        assert_eq!(extended.shard_count(), 3);
+        assert_eq!(extended.owners(&a("a")), vec![0, 2], "owner set widened, ascending");
+        assert_eq!(extended.owners(&a("audit")), vec![2]);
+        assert_eq!(extended.owners(&a("c")), vec![1], "unrelated routes untouched");
+        // The old router still answers with its own epoch's view.
+        assert_eq!(router.owners(&a("a")), vec![0]);
+        assert_eq!(router.epoch(), 0);
+    }
+
+    #[test]
+    fn classify_denies_unknown_signatures_without_probing() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let engine = ShardedEngine::new(&e).unwrap();
+        assert_eq!(engine.router().classify(&a("zzz")), Route::None);
+        // Known name, wrong arity: also a signature-level miss.
+        let wrong_arity = Action::concrete("a", [ix_core::Value::int(1)]);
+        assert_eq!(engine.router().classify(&wrong_arity), Route::None);
+        assert!(engine.owners(&a("zzz")).is_empty());
+        assert!(!engine.router().is_shared(&a("zzz")));
+    }
+
+    #[test]
+    fn disjoint_extension_is_a_pure_append() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        assert!(engine.try_execute(&a("a")));
+        let delta = engine.extend(&parse("(e - f)*").unwrap()).unwrap();
+        assert!(delta.is_pure_append());
+        assert_eq!(engine.shard_count(), 3);
+        assert_eq!(engine.router().epoch(), 1);
+        assert!(engine.try_execute(&a("e")));
+        assert!(engine.try_execute(&a("b")));
+        // Equivalent to a fresh engine on the joined expression fed the same
+        // history.
+        let joined = parse("((a - b)* @ (c - d)*) @ (e - f)*").unwrap();
+        let mut fresh = ShardedEngine::new(&joined).unwrap();
+        for action in [a("a"), a("e"), a("b")] {
+            assert!(fresh.try_execute(&action));
+        }
+        assert_eq!(engine.is_final(), fresh.is_final());
+        assert_eq!(engine.is_valid(), fresh.is_valid());
+    }
+
+    #[test]
+    fn coupling_extension_replays_history_and_widens_routes() {
+        let e = parse("(a - b)* @ (c - d)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        let mut history = Vec::new();
+        for action in [a("a"), a("b"), a("a"), a("b"), a("c")] {
+            assert!(engine.try_execute(&action));
+            history.push(action);
+        }
+        // Couple a new audit constraint onto `a`: rounds of a's, then audit.
+        let coupling = parse("(a* - audit)*").unwrap();
+        let delta = engine.extend_with_history(&coupling, &history).unwrap();
+        assert!(!delta.is_pure_append());
+        assert_eq!(engine.shard_count(), 3);
+        assert_eq!(engine.owners(&a("a")), vec![0, 2]);
+        // The new shard replayed the two a's; audit is now a cross-shard
+        // action whose acceptance matches the fresh joined engine.
+        let joined = Expr::sync(e, coupling);
+        let mut fresh = ShardedEngine::new(&joined).unwrap();
+        for action in &history {
+            assert!(fresh.try_execute(action));
+        }
+        for action in [a("audit"), a("a"), a("audit"), a("b"), a("d")] {
+            assert_eq!(
+                engine.try_execute(&action),
+                fresh.try_execute(&action),
+                "disagreement on {action}"
+            );
+        }
+        assert_eq!(engine.is_final(), fresh.is_final());
+    }
+
+    #[test]
+    fn incompatible_history_rejects_the_extension_and_leaves_the_engine_unchanged() {
+        let e = parse("(a - b)*").unwrap();
+        let mut engine = ShardedEngine::new(&e).unwrap();
+        let history = vec![a("a")];
+        assert_eq!(engine.feed(&history), 1);
+        // `b - a` demands the projection start with b: incompatible.
+        let err = engine.extend_with_history(&parse("(b - a)#").unwrap(), &history);
+        assert!(matches!(err, Err(crate::StateError::IncompatibleHistory { .. })));
+        assert_eq!(engine.shard_count(), 1);
+        assert_eq!(engine.router().epoch(), 0);
+        assert!(engine.try_execute(&a("b")), "engine still serves after the rejected extension");
     }
 
     #[test]

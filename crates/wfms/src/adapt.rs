@@ -24,7 +24,8 @@ use crate::engine::{EngineError, WorkflowEngine, WorklistItem};
 use crate::model::{ActivityId, CaseData, WorkflowDefinition};
 use ix_core::{Action, Expr};
 use ix_manager::{
-    ClientId, Completion, ManagerResult, ManagerRuntime, ProtocolVariant, RuntimeOptions, Session,
+    ClientId, Completion, ManagerResult, ManagerRuntime, ProtocolVariant, RepartitionReport,
+    RuntimeOptions, Session,
 };
 use std::sync::Arc;
 
@@ -86,6 +87,23 @@ impl ManagerPort {
     /// The port's session (submit without blocking, keep tickets in flight).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// Grows the running ensemble live: adds an interaction constraint to
+    /// the shared manager runtime **without stopping it** — new workflows
+    /// joining an ensemble (new examination types, new departments) bring
+    /// their integrity constraints along at deployment time, not at
+    /// restart.  Disjoint constraints are pure shard-appends; coupling
+    /// constraints migrate exactly the affected shards while every other
+    /// client keeps working (see [`ManagerRuntime::add_constraint`]).
+    pub fn add_constraint(&self, constraint: &Expr) -> ManagerResult<RepartitionReport> {
+        self.runtime.add_constraint(constraint)
+    }
+
+    /// [`ManagerPort::add_constraint`] for constraints that deliberately
+    /// couple with the running ensemble (see [`ManagerRuntime::couple`]).
+    pub fn couple(&self, coupling: &Expr) -> ManagerResult<RepartitionReport> {
+        self.runtime.couple(coupling)
     }
 }
 
@@ -396,6 +414,47 @@ mod tests {
         engine.start_activity(endo, 1).unwrap();
         engine.complete_activity(endo, 1).unwrap();
         assert!(engine.all_finished());
+    }
+
+    #[test]
+    fn ensembles_grow_live_through_the_port() {
+        // Start with only the patient constraint; the adapted engine is in
+        // the middle of a case when the department adds a capacity rule for
+        // a *new* examination type (disjoint: pure append) and then couples
+        // a one-exam-at-a-time rule onto the running actions.
+        let port = ManagerPort::new(&patient_constraint(), 3).unwrap();
+        let handle = port.handle();
+        let mut engine = AdaptedEngine::new(port);
+        let sono = engine.start_instance(&examination_workflow(), case(1, "sono"));
+        engine.start_activity(sono, 0).unwrap();
+
+        // Disjoint addition: constraints over a fresh `mrt` examination.
+        let mrt =
+            parse("mult 1 { some p { some x { mrt_start(p, x) - mrt_end(p, x) } } }").unwrap();
+        let report = handle.add_constraint(&mrt).unwrap();
+        assert!(report.migrated_shards.is_empty(), "disjoint rule appends");
+        assert!(handle.controls(&Action::concrete(
+            "mrt_start",
+            [ix_core::Value::int(1), ix_core::Value::sym("x")],
+        )));
+
+        // Coupling addition: at most one call_patient_start per round of a
+        // global review step — shares the running start action.  The
+        // committed history (one start) must replay into it.
+        let coupling =
+            parse("((some p { some x { call_patient_start(p, x) } })* - review)*").unwrap();
+        let report = handle.couple(&coupling).unwrap();
+        assert!(!report.migrated_shards.is_empty(), "coupling quiesces the owner");
+        assert_eq!(report.replayed_actions, 1, "the committed start replays");
+
+        // The engine keeps driving the same case to completion afterwards.
+        engine.complete_activity(sono, 0).unwrap();
+        engine.start_activity(sono, 1).unwrap();
+        engine.complete_activity(sono, 1).unwrap();
+        assert!(engine.all_finished());
+        // And the new coupled action is live.
+        let mut port = ManagerPort::shared(handle, 9);
+        assert!(port.execute(&Action::nullary("review")));
     }
 
     #[test]

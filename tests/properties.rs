@@ -9,7 +9,7 @@
 //! words) the paper uses.
 
 use ix_core::{parse, simplify, Expr, Value};
-use ix_manager::{InteractionManager, ManagerRuntime, ProtocolVariant};
+use ix_manager::{InteractionManager, ManagerError, ManagerRuntime, ProtocolVariant};
 use ix_semantics::{equivalent, Universe};
 use ix_state::{sharded_word_problem, word_problem, Engine, ShardedEngine};
 use proptest::prelude::*;
@@ -103,6 +103,149 @@ fn overlapping_expr() -> impl Strategy<Value = Expr> {
             join(sync_second, join(sync_first, x, y), z)
         },
     )
+}
+
+/// One step of a dynamic-repartitioning script: submit an action, extend
+/// the runtime with a fresh group, or add a coupling constraint.
+#[derive(Clone, Debug)]
+enum GrowOp {
+    /// Execute the pool action with this index.
+    Act(usize),
+    /// Add the (disjoint, unless a coupling already claimed its actions)
+    /// group `k`.
+    Extend(usize),
+    /// Add coupling constraint `j` (may be rejected as incompatible with
+    /// the committed history, which must leave the runtime unchanged).
+    Couple(usize),
+}
+
+/// x/y actions of groups 0..5 plus the shared coupling actions s0/s1.
+fn grow_pool_action(i: usize) -> ix_core::Action {
+    match i {
+        0..=11 => {
+            let k = i / 2;
+            if i.is_multiple_of(2) {
+                ix_core::Action::nullary(&format!("x{k}"))
+            } else {
+                ix_core::Action::nullary(&format!("y{k}"))
+            }
+        }
+        12 => ix_core::Action::nullary("s0"),
+        _ => ix_core::Action::nullary("s1"),
+    }
+}
+
+fn grow_group(k: usize) -> Expr {
+    parse(&format!("(x{k} - y{k})*")).unwrap()
+}
+
+fn grow_coupling(j: usize) -> Expr {
+    match j {
+        0 => parse("(x0* - s0)*").unwrap(),
+        1 => parse("(x1* - s1)*").unwrap(),
+        // Often incompatible: demands y0 strictly before x0.
+        2 => parse("(y0 - x0)#").unwrap(),
+        _ => parse("(x2* - s0)*").unwrap(),
+    }
+}
+
+fn grow_script() -> impl Strategy<Value = Vec<GrowOp>> {
+    let op = prop_oneof![
+        (0..14usize).prop_map(GrowOp::Act),
+        (0..14usize).prop_map(GrowOp::Act),
+        (0..14usize).prop_map(GrowOp::Act),
+        (2..6usize).prop_map(GrowOp::Extend),
+        (0..4usize).prop_map(GrowOp::Couple),
+    ];
+    proptest::collection::vec(op, 0..24)
+}
+
+/// Runs a random workload interleaved with random `add_constraint` calls on
+/// a live [`ManagerRuntime`] and asserts the acceptance contract of dynamic
+/// repartitioning: the merged log and the final states are equivalent to a
+/// monolithic manager built on the *final* expression (the log replays
+/// verbatim, finality and the permitted sets agree), and every disjoint
+/// addition is a pure shard-append that migrates zero shard states.
+fn assert_grown_runtime_matches_monolithic(
+    script: &[GrowOp],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let base = parse("(x0 - y0)* @ (x1 - y1)*").unwrap();
+    let runtime = ManagerRuntime::with_protocol(&base, ProtocolVariant::Combined).unwrap();
+    let session = runtime.session(1);
+    let mut final_expr = base;
+    let mut added: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for op in script {
+        match op {
+            GrowOp::Act(i) => {
+                session.execute_blocking(&grow_pool_action(*i)).unwrap();
+            }
+            GrowOp::Extend(k) => {
+                if added.contains(k) {
+                    continue;
+                }
+                let group = grow_group(*k);
+                // Fresh alphabet unless a coupling constraint already
+                // claimed one of the group's actions.
+                let disjoint = !runtime.controls(&grow_pool_action(2 * k))
+                    && !runtime.controls(&grow_pool_action(2 * k + 1));
+                let before = runtime.repartition_stats().migrated_shard_states;
+                let report = runtime.add_constraint(&group).unwrap();
+                added.insert(*k);
+                final_expr = Expr::sync(final_expr, group);
+                if disjoint {
+                    prop_assert!(
+                        report.migrated_shards.is_empty(),
+                        "disjoint add of group {} paused shards {:?}",
+                        k,
+                        report.migrated_shards
+                    );
+                    prop_assert_eq!(
+                        runtime.repartition_stats().migrated_shard_states,
+                        before,
+                        "disjoint add of group {} migrated shard state",
+                        k
+                    );
+                }
+            }
+            GrowOp::Couple(j) => {
+                let coupling = grow_coupling(*j);
+                match runtime.add_constraint(&coupling) {
+                    Ok(_) => final_expr = Expr::sync(final_expr, coupling),
+                    Err(ManagerError::IncompatibleExtension { .. }) => {
+                        // Rejected: the runtime must be left fully intact —
+                        // checked implicitly by the final equivalence.
+                    }
+                    Err(e) => prop_assert!(false, "unexpected extension error: {e}"),
+                }
+            }
+        }
+    }
+    // The merged log replays verbatim on a monolithic manager built on the
+    // final expression …
+    let log = runtime.log();
+    let mono = InteractionManager::monolithic(&final_expr, ProtocolVariant::Combined).unwrap();
+    for action in &log {
+        prop_assert!(
+            mono.try_execute(9, action).unwrap().is_some(),
+            "merged log does not replay on `{}` at {}",
+            final_expr,
+            action
+        );
+    }
+    // … and the final states agree: finality plus the permitted set over
+    // the whole action pool.
+    prop_assert_eq!(runtime.is_final(), mono.is_final(), "finality diverges on `{}`", final_expr);
+    for i in 0..14 {
+        let action = grow_pool_action(i);
+        prop_assert_eq!(
+            session.is_permitted_blocking(&action),
+            mono.is_permitted(&action),
+            "permitted set diverges on `{}` for {}",
+            final_expr,
+            action
+        );
+    }
+    Ok(())
 }
 
 fn word_strategy() -> impl Strategy<Value = Vec<ix_core::Action>> {
@@ -512,6 +655,13 @@ proptest! {
             );
         }
         prop_assert_eq!(batched.log(), sequential.log());
+    }
+
+    #[test]
+    fn repartitioned_runtime_matches_monolithic_on_the_final_expression(
+        script in grow_script(),
+    ) {
+        assert_grown_runtime_matches_monolithic(&script)?;
     }
 
     #[test]
