@@ -8,7 +8,19 @@
 //! parameters and quantifiers, and most of them restrict how their operators
 //! may be nested.  [`render_matrix`] reproduces that comparison as a text
 //! table; the `reproduce fig2` command of `ix-bench` prints it.
+//!
+//! The comparison has a second, quantitative axis: which of the concrete
+//! [`crate::scenarios`] stay within a *finite-state* formalism at all.
+//! [`scenario_tables`] answers it with the engine's own shared
+//! [`CompiledTable`] representation — the same dense `state × symbol`
+//! format the execution tier runs on — instead of a baseline-local
+//! automaton sketch: scenarios with finite reachable τ̂-graphs compile,
+//! quantified or unbounded ones report their structural bailout.
 
+use ix_core::Action;
+use ix_state::{
+    compile, CompileBailout, CompileBudget, CompiledTable, WordStatus, DEFAULT_TIER_BUDGET,
+};
 use std::fmt;
 
 /// The formalisms compared in Fig. 2.
@@ -171,6 +183,49 @@ pub fn render_matrix() -> String {
     out
 }
 
+/// A comparison scenario bridged onto the engine's shared [`CompiledTable`]
+/// format: either the dense table of its finite reachable τ̂-graph, or the
+/// structural reason no finite-state formalism can host it.
+#[derive(Clone, Debug)]
+pub struct ScenarioTable {
+    /// The scenario's name (see [`crate::scenarios`]).
+    pub scenario: &'static str,
+    /// The compiled table, or why the scenario is not table-resident.
+    pub table: Result<CompiledTable, CompileBailout>,
+}
+
+impl ScenarioTable {
+    /// Whether the scenario fits a finite `state × symbol` table.
+    pub fn is_resident(&self) -> bool {
+        self.table.is_ok()
+    }
+
+    /// Classifies a word through the dense table — `None` for scenarios
+    /// that are not table-resident.  Agrees with the engine's
+    /// [`ix_state::word_problem`] on every word by construction (the table
+    /// is the interned reachable graph of the same fused τ̂).
+    pub fn classify(&self, word: &[Action]) -> Option<WordStatus> {
+        let table = self.table.as_ref().ok()?;
+        Some(match table.run(word) {
+            None => WordStatus::Illegal,
+            Some(id) if table.is_final_state(id) => WordStatus::Complete,
+            Some(_) => WordStatus::Partial,
+        })
+    }
+}
+
+/// Compiles every comparison scenario onto the shared table representation
+/// under the engine's default tier budget.
+pub fn scenario_tables() -> Vec<ScenarioTable> {
+    crate::scenarios::all_scenarios()
+        .iter()
+        .map(|s| ScenarioTable {
+            scenario: s.name,
+            table: compile(&s.interaction_expr, CompileBudget::with_states(DEFAULT_TIER_BUDGET)),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +254,60 @@ mod tests {
         assert!(!supports(Formalism::Flow, Feature::Conjunction));
         assert!(!supports(Formalism::Regular, Feature::ParallelComposition));
         assert!(supports(Formalism::CoCoA, Feature::Parameters));
+    }
+
+    #[test]
+    fn finite_scenarios_compile_to_shared_tables_and_unbounded_ones_bail() {
+        let tables = scenario_tables();
+        let by_name = |name: &str| {
+            tables.iter().find(|t| t.scenario == name).unwrap_or_else(|| panic!("missing {name}"))
+        };
+        for name in ["mutual-exclusion", "sequential-protocol", "either-order"] {
+            assert!(by_name(name).is_resident(), "{name} has a finite reachable graph");
+        }
+        assert!(matches!(by_name("readers-writers").table, Err(CompileBailout::Unbounded),));
+        for name in ["dynamic-patients", "dynamic-ensembles"] {
+            assert!(
+                matches!(by_name(name).table, Err(CompileBailout::Quantifier)),
+                "{name} needs quantifiers — no finite-state formalism hosts it"
+            );
+        }
+    }
+
+    #[test]
+    fn table_classification_agrees_with_the_engine_on_every_short_word() {
+        use ix_state::word_problem;
+        for st in scenario_tables().into_iter().filter(|t| t.is_resident()) {
+            let scenario =
+                crate::scenarios::all_scenarios().into_iter().find(|s| s.name == st.scenario);
+            let expr = scenario.expect("table has a scenario").interaction_expr;
+            let table = st.table.as_ref().expect("resident");
+            // Exhaustive over the table's own alphabet up to length 3.
+            let symbols = table.symbols().to_vec();
+            let mut words: Vec<Vec<Action>> = vec![Vec::new()];
+            for len in 0..3 {
+                let layer: Vec<Vec<Action>> = words
+                    .iter()
+                    .filter(|w| w.len() == len)
+                    .flat_map(|w| {
+                        symbols.iter().map(move |s| {
+                            let mut next = w.clone();
+                            next.push(s.clone());
+                            next
+                        })
+                    })
+                    .collect();
+                words.extend(layer);
+            }
+            for word in &words {
+                assert_eq!(
+                    st.classify(word),
+                    Some(word_problem(&expr, word).expect("closed expression")),
+                    "table and engine disagree on {} over {word:?}",
+                    st.scenario
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compilebench;
 pub mod contended;
 pub mod pipelined;
 pub mod repart;
 pub mod stepbench;
 pub mod workloads;
 
+pub use compilebench::*;
 pub use contended::*;
 pub use pipelined::*;
 pub use repart::*;

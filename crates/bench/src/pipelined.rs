@@ -5,8 +5,9 @@
 //! submit, wait, submit, wait — so a client's throughput is bounded by
 //! 1/latency even when its shard is idle between its requests.  A session of
 //! the [`ManagerRuntime`] instead returns a completion ticket per
-//! submission, so a client keeps a *window* of requests in flight and the
-//! shard worker is never starved by its clients' round trips.
+//! submission, so a client keeps a *window* of requests in flight — submitted
+//! as one [`Session::submit_batch`] call per window — and the shard worker is
+//! never starved by its clients' round trips.
 //!
 //! The workload reuses the overlap-ratio constraint of
 //! [`crate::contended`]: `components` department groups, each client
@@ -136,8 +137,13 @@ pub fn run_blocking_latency(
 }
 
 /// Drives the schedule through runtime sessions with `window` submissions in
-/// flight per client: submit until the window is full, then harvest the
-/// oldest ticket before submitting the next.
+/// flight per client: each window is submitted as one
+/// [`Session::submit_batch`] call (one topology snapshot, one enqueue-lock
+/// acquisition per same-shard run), then the window's tickets are harvested
+/// in order while the shard workers drain it.  One latency sample is kept
+/// per submission: time from the batched submit to the harvest of that
+/// submission's ticket — queueing delay included, the honest price of
+/// pipelining.
 pub fn run_pipelined_latency(
     runtime: Arc<ManagerRuntime>,
     components: usize,
@@ -160,25 +166,15 @@ pub fn run_pipelined_latency(
             );
             let mut committed = 0u64;
             let mut latencies = Vec::with_capacity(schedule.len());
-            let mut in_flight: VecDeque<(Instant, Ticket<Completion>)> =
-                VecDeque::with_capacity(window);
-            let harvest = |(submitted, ticket): (Instant, Ticket<Completion>),
-                           committed: &mut u64,
-                           latencies: &mut Vec<u64>| {
-                if matches!(ticket.wait(), Completion::Executed { .. }) {
-                    *committed += 1;
+            for chunk in schedule.chunks(window.max(1)) {
+                let submitted = Instant::now();
+                let tickets: VecDeque<Ticket<Completion>> = session.submit_batch(chunk).into();
+                for ticket in tickets {
+                    if matches!(ticket.wait(), Completion::Executed { .. }) {
+                        committed += 1;
+                    }
+                    latencies.push(submitted.elapsed().as_nanos() as u64);
                 }
-                latencies.push(submitted.elapsed().as_nanos() as u64);
-            };
-            for action in &schedule {
-                if in_flight.len() >= window {
-                    let oldest = in_flight.pop_front().expect("window is non-empty");
-                    harvest(oldest, &mut committed, &mut latencies);
-                }
-                in_flight.push_back((Instant::now(), session.execute(action)));
-            }
-            for pending in in_flight {
-                harvest(pending, &mut committed, &mut latencies);
             }
             (committed, latencies)
         }));

@@ -40,6 +40,9 @@ pub struct StepRow {
     pub reference_ns: f64,
     /// ns per step, fused copy-on-write τ̂.
     pub cow_ns: f64,
+    /// ns per step through an [`ix_state::Engine`] with the compiled table
+    /// tier (and the transition memo) enabled.
+    pub tier_ns: f64,
     /// Mean state nodes allocated per fused step (rebuilt spine).
     pub fresh_per_step: f64,
     /// Mean logical state size (what legacy reallocates every step).
@@ -55,6 +58,11 @@ impl StepRow {
     /// Fused-τ̂ speedup over the shared-children two-pass reference.
     pub fn speedup_vs_reference(&self) -> f64 {
         self.reference_ns / self.cow_ns.max(f64::MIN_POSITIVE)
+    }
+
+    /// Tiered-engine speedup over the raw fused τ̂ (memo + table effects).
+    pub fn speedup_tier_vs_cow(&self) -> f64 {
+        self.cow_ns / self.tier_ns.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -205,6 +213,22 @@ fn legacy_trans(state: &State, action: &Action) -> State {
     optimize(&deep_copy(&step(state, action)))
 }
 
+fn time_tier_ns(expr: &Expr, word: &[Action]) -> f64 {
+    let mut engine = ix_state::Engine::new(expr).expect("benchmark expression is closed");
+    engine.set_tier_auto(false);
+    engine.compile_tier();
+    // Warm pass (attach map, memo, allocator), then the timed pass.
+    for action in word {
+        assert!(engine.try_execute(action), "benchmark word must stay permissible");
+    }
+    engine.reset();
+    let t0 = Instant::now();
+    for action in word {
+        engine.try_execute(action);
+    }
+    t0.elapsed().as_nanos() as f64 / word.len() as f64
+}
+
 fn time_ns(expr: &Expr, word: &[Action], f: impl Fn(&State, &Action) -> State) -> f64 {
     let mut state = init(expr).expect("benchmark expression is closed");
     let t0 = Instant::now();
@@ -229,6 +253,7 @@ pub fn measure_step(
     let legacy_ns = time_ns(expr, word, legacy_trans);
     let reference_ns = time_ns(expr, word, trans_reference);
     let cow_ns = time_ns(expr, word, trans);
+    let tier_ns = time_tier_ns(expr, word);
     // Untimed pass: allocation proxy and logical size.
     let mut state = init(expr).expect("benchmark expression is closed");
     let mut fresh_total = 0usize;
@@ -247,6 +272,7 @@ pub fn measure_step(
         legacy_ns,
         reference_ns,
         cow_ns,
+        tier_ns,
         fresh_per_step: fresh_total as f64 / word.len() as f64,
         state_size: size_total as f64 / word.len() as f64,
     }
@@ -314,6 +340,7 @@ mod tests {
         let word = leaf_word(4, 32);
         let row = measure_step("deep", 2, 4, &expr, &word);
         assert!(row.cow_ns > 0.0 && row.legacy_ns > 0.0 && row.reference_ns > 0.0);
+        assert!(row.tier_ns > 0.0);
         assert!(row.fresh_per_step >= 1.0, "every step rebuilds at least the root");
         assert!(
             row.fresh_per_step <= row.state_size,

@@ -65,7 +65,7 @@ use crate::ticket::{completed, ticket, DeferredWake, Ticket, TicketIssuer};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender, TryRecvError};
 use ix_core::{Action, Alphabet, Expr, Partition};
-use ix_state::{Engine, Route, ShardRouter, StateRef};
+use ix_state::{Engine, Route, ShardRouter, StateRef, TierStats, DEFAULT_TIER_BUDGET};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
@@ -96,6 +96,11 @@ pub struct RuntimeOptions {
     pub durable: bool,
     /// Clock mode for lease expiry.
     pub clock: ClockMode,
+    /// Per-table state budget of the shard engines' execution tier (0
+    /// disables tiering).  Shard workers compile hot engines in their idle
+    /// slots — never on the submission path — and migrations invalidate the
+    /// tables of every affected shard.
+    pub tier_budget: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -104,6 +109,7 @@ impl Default for RuntimeOptions {
             variant: ProtocolVariant::Simple,
             durable: false,
             clock: ClockMode::Virtual,
+            tier_budget: DEFAULT_TIER_BUDGET,
         }
     }
 }
@@ -295,6 +301,9 @@ struct RuntimeShared {
     /// the registry lock entirely while this is zero (the common case).
     cross_entry_count: AtomicU64,
     timers: Mutex<TimerWheel<ExpiryEvent>>,
+    /// Tier budget handed to every shard engine — including the ones a
+    /// repartition spawns after construction.
+    tier_budget: usize,
     durable: Option<Mutex<DurableQueue<SubmissionRecord>>>,
     clock: AtomicU64,
     log_seq: AtomicU64,
@@ -338,6 +347,7 @@ struct ShardSnapshot {
     log: Vec<(LogKey, Action)>,
     subscriptions: usize,
     is_final: bool,
+    tier: TierStats,
 }
 
 enum Task {
@@ -351,6 +361,9 @@ enum Task {
     /// shard state to the coordinator and blocks until it is returned.
     Pause(PauseTask),
     Snapshot(TicketIssuer<ShardSnapshot>),
+    /// Forces a tier compilation pass on the shard engine (workers also
+    /// compile hot engines on their own before parking).
+    Compile(TicketIssuer<TierStats>),
     Stop,
 }
 
@@ -611,7 +624,11 @@ impl ManagerRuntime {
         let mut alphabets = Vec::with_capacity(partition.len());
         let mut engines = Vec::with_capacity(partition.len());
         for component in partition.components() {
-            engines.push(Engine::new(&component.expr).map_err(ManagerError::State)?);
+            let mut engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
+            // Workers compile in their idle slots, never mid-transition.
+            engine.set_tier_budget(options.tier_budget);
+            engine.set_tier_auto(false);
+            engines.push(engine);
             alphabets.push(component.alphabet.clone());
         }
         let mut senders = Vec::with_capacity(engines.len());
@@ -638,6 +655,7 @@ impl ManagerRuntime {
             notification_channels: Mutex::new(HashMap::new()),
             cross_entry_count: AtomicU64::new(0),
             timers: Mutex::new(TimerWheel::new(0)),
+            tier_budget: options.tier_budget,
             durable: options.durable.then(|| Mutex::new(DurableQueue::new())),
             clock: AtomicU64::new(0),
             log_seq: AtomicU64::new(0),
@@ -807,6 +825,45 @@ impl ManagerRuntime {
         tickets.iter().map(|t| t.wait()).collect()
     }
 
+    /// Compiles every shard engine's execution tier now (ordinary tasks on
+    /// the shard queues, serialized with in-flight submissions) and returns
+    /// the per-shard tier stats.  Workers also compile hot engines on their
+    /// own in idle slots; this forces the matter — benches and tests use it
+    /// to reach the table tier deterministically.
+    pub fn compile_tiers(&self) -> Vec<TierStats> {
+        let topo = read_topology(&self.topology);
+        let tickets: Vec<Ticket<TierStats>> = topo
+            .queues
+            .iter()
+            .map(|q| {
+                let (issuer, t) = ticket();
+                if let Err(SendError(Task::Compile(issuer))) = q.send(Task::Compile(issuer)) {
+                    issuer.complete(TierStats::default());
+                }
+                t
+            })
+            .collect();
+        tickets.iter().map(|t| t.wait()).collect()
+    }
+
+    /// Aggregated execution-tier stats across the shard engines.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut total = TierStats::default();
+        for s in self.snapshots() {
+            let t = s.tier;
+            total.tables += t.tables;
+            total.states += t.states;
+            total.hits += t.hits;
+            total.fallbacks += t.fallbacks;
+            total.compiles += t.compiles;
+            total.bailouts += t.bailouts;
+            total.invalidations += t.invalidations;
+            total.compile_nanos += t.compile_nanos;
+            total.epoch = total.epoch.max(t.epoch);
+        }
+        total
+    }
+
     /// Advances logical time by `delta`, firing the due lease timers and
     /// returning the reservations that expired (in deadline order).  Expiry
     /// runs as ordinary tasks on the owning shards' queues, so it is
@@ -877,7 +934,9 @@ impl ManagerRuntime {
         let mut new_engines: Vec<(usize, Engine, Alphabet)> = Vec::with_capacity(delta.added.len());
         for &idx in &delta.added {
             let component = &new_partition.components()[idx];
-            let engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
+            let mut engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
+            engine.set_tier_budget(shared.tier_budget);
+            engine.set_tier_auto(false);
             new_engines.push((idx, engine, component.alphabet.clone()));
         }
         let new_alphabets: Vec<Alphabet> = new_engines.iter().map(|(_, _, a)| a.clone()).collect();
@@ -1135,8 +1194,14 @@ impl ManagerRuntime {
             shared.epoch.store(epoch, Ordering::Release);
         }
 
-        // ---- Resume the quiesced workers and commit the bookkeeping.
+        // ---- Resume the quiesced workers and commit the bookkeeping.  A
+        // tile compiled against the pre-migration ensemble must never serve
+        // a post-migration step: drop every affected engine's tables (and
+        // bump its tier epoch) before the worker resumes.
         let migrated_shards: Vec<usize> = paused.iter().map(|(s, _, _)| *s).collect();
+        for (_, state, _) in paused.iter_mut() {
+            state.engine.invalidate_tier();
+        }
         resume_paused(paused);
         let repart = &shared.repart;
         repart.repartitions.fetch_add(1, Ordering::Relaxed);
@@ -1970,6 +2035,11 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                     // About to go idle: deliver the banked wakeups first —
                     // the woken clients are exactly who refills the queue.
                     flush_wakes(&mut wakes);
+                    // Idle slot: compile a hot engine's execution tier off
+                    // the submission path before parking.
+                    if st.engine.tier_wants_compile() {
+                        st.engine.compile_tier();
+                    }
                     next_task(&rx)
                 }
             },
@@ -2051,7 +2121,9 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 log: st.log.clone(),
                 subscriptions: st.subscriptions.len(),
                 is_final: st.engine.is_final(),
+                tier: st.engine.tier_stats(),
             }),
+            Ok(Task::Compile(issuer)) => issuer.complete(st.engine.compile_tier()),
             Ok(Task::Stop) => {
                 // Fail everything still queued behind the Stop marker; the
                 // enqueue lock guarantees a cross task behind one owner's
@@ -2095,6 +2167,7 @@ fn fail_task(task: Task) {
         // observes the failed recv and aborts the migration.
         Task::Pause(_) => {}
         Task::Snapshot(issuer) => issuer.complete(ShardSnapshot::default()),
+        Task::Compile(issuer) => issuer.complete(TierStats::default()),
         Task::Stop => {}
     }
 }
@@ -3524,6 +3597,7 @@ mod tests {
                 variant: ProtocolVariant::Combined,
                 durable: true,
                 clock: ClockMode::Virtual,
+                ..RuntimeOptions::default()
             },
         )
         .unwrap();
@@ -3558,6 +3632,7 @@ mod tests {
                 variant: ProtocolVariant::Leased { lease: 2 },
                 durable: false,
                 clock: ClockMode::Wall { tick: Duration::from_millis(2) },
+                ..RuntimeOptions::default()
             },
         )
         .unwrap();

@@ -1,0 +1,621 @@
+//! Tiered execution: compiling stable subexpressions to flat DFA tables.
+//!
+//! The copy-on-write τ̂ still rebuilds a tree spine on every step, but most
+//! real constraints (mutexes, capacity counters, sequencing templates —
+//! everything `ix_baselines` models as regex/matrix scenarios) have small,
+//! enumerable state spaces.  This module is the compile half of the tier:
+//! a **bounded explorer** that walks a subexpression's reachable τ̂-graph
+//! under a configurable state-count/edge budget and emits a
+//! [`CompiledTable`] — interned state handles, a dense
+//! `state × symbol → state` transition array over the subexpression's
+//! (finite) symbol candidates, per-state ϕ/permitted bitsets, and a
+//! fingerprint of the source sub-state.  Exploration bails out cleanly on
+//! quantifiers, unbounded operands (`#`), abstract alphabets, or budget
+//! exhaustion ([`CompileBailout`]); [`compile_all`] then descends into the
+//! operands so the *maximal* table-resident subtrees are compiled and the
+//! surrounding spine keeps running on the CoW walk.
+//!
+//! # Why a table answer is exact
+//!
+//! A compiled subexpression is **closed over a concrete alphabet**: every
+//! atom is a concrete action, so for any concrete action outside that atom
+//! set the fused τ̂ is `Null` in *every* reachable state (atoms compare by
+//! equality, ⊗-coverage is decided by the same concrete alphabets, and all
+//! combinators propagate `Null`).  The table may therefore answer `Null`
+//! for unknown concrete symbols without consulting the tree.  Abstract
+//! (parameterized) actions are *not* decided by the table — the engine
+//! rejects them before the transition, and the tier falls back to the tree
+//! walk for them defensively.
+//!
+//! Interned states are canonical `Shared` handles whose *values* are
+//! exactly what the fused τ̂ would have computed, so a table-resident
+//! subtree stepped via array lookup composes transparently with the CoW
+//! spine around it: sorting, deduplication, and state-value equality are
+//! unaffected.  ψ needs no bitset: on the optimized path every interned
+//! (non-`Null`) state is valid by the "invalid ⇔ `Null`" invariant; the
+//! per-state bitsets cover ϕ and the permitted symbol set.
+
+use crate::init::init;
+use crate::predicates::is_final;
+use crate::state::{Shared, State};
+use crate::trans::trans;
+use ix_core::{Action, Expr, ExprKind};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Default state-count budget of an engine's tier (0 disables tiering).
+pub const DEFAULT_TIER_BUDGET: usize = 512;
+
+/// The dead-state sentinel in a table's transition array: the successor is
+/// `Null` (the action is not permitted in that state).
+pub const DEAD: u32 = u32::MAX;
+
+/// Why the explorer abandoned a subexpression instead of emitting a table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileBailout {
+    /// The budget is zero — tiering is switched off.
+    Disabled,
+    /// The subexpression mentions parameters, holes, or abstract atoms, so
+    /// its symbol candidates are not a finite concrete set.
+    AbstractAlphabet,
+    /// The subexpression contains a quantifier (branches materialize per
+    /// value at run time — the state space is not enumerable up front).
+    Quantifier,
+    /// The subexpression contains a parallel iteration (`#`), whose
+    /// instance count is unbounded.
+    Unbounded,
+    /// Exploration exceeded the state-count or edge budget.
+    BudgetExceeded,
+    /// The subexpression has no initial state (σ rejected it).
+    Invalid,
+}
+
+impl CompileBailout {
+    /// Short human-readable label (used in stats and bench rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            CompileBailout::Disabled => "disabled",
+            CompileBailout::AbstractAlphabet => "abstract-alphabet",
+            CompileBailout::Quantifier => "quantifier",
+            CompileBailout::Unbounded => "unbounded",
+            CompileBailout::BudgetExceeded => "budget-exceeded",
+            CompileBailout::Invalid => "invalid",
+        }
+    }
+}
+
+/// The exploration budget: a hard cap on interned states and on explored
+/// edges (state × symbol probes), so compilation cost is bounded even when
+/// the reachable graph is exponentially large.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileBudget {
+    /// Maximum number of interned (live) states per table.
+    pub max_states: usize,
+    /// Maximum number of explored transitions per table.
+    pub max_edges: usize,
+}
+
+impl CompileBudget {
+    /// A budget of `max_states` states with the default edge allowance
+    /// (64 explored edges per allowed state).
+    pub fn with_states(max_states: usize) -> CompileBudget {
+        CompileBudget { max_states, max_edges: max_states.saturating_mul(64) }
+    }
+}
+
+/// A flat DFA tile: the reachable τ̂-graph of one finite subexpression,
+/// compiled to a dense transition array.
+///
+/// States are canonical [`Shared`] handles (value-identical to what the
+/// fused τ̂ computes), symbols are the subexpression's concrete atoms in
+/// sorted order, and the transition array stores `state × symbol → state`
+/// ids with [`DEAD`] marking `Null` successors.
+#[derive(Clone, Debug)]
+pub struct CompiledTable {
+    /// Sorted, deduplicated concrete atoms — the symbol axis.
+    pub(crate) symbols: Vec<Action>,
+    /// Symbol → column index.
+    pub(crate) symbol_index: HashMap<Action, u16>,
+    /// Interned canonical state handles; index = state id, id 0 = σ.
+    pub(crate) states: Vec<Shared<State>>,
+    /// Value → state id (used when re-attaching a live engine state).
+    // The interior-mutable coverage cache of `ScopedAlphabet` is excluded
+    // from `Eq`/`Ord`/`Hash`, so state values are well-behaved map keys.
+    #[allow(clippy::mutable_key_type)]
+    pub(crate) index: HashMap<Shared<State>, u32>,
+    /// Dense `states.len() × symbols.len()` successor array.
+    pub(crate) transitions: Vec<u32>,
+    /// ϕ bitset over state ids.
+    finals: Vec<u64>,
+    /// Per-state permitted-symbol bitsets, `words_per_state` words each.
+    permitted: Vec<u64>,
+    words_per_state: usize,
+    /// Hash of the source sub-state σ and the symbol axis.
+    fingerprint: u64,
+    /// Tier epoch the table was compiled under (stale tiles are dropped on
+    /// invalidation; the stamp lets the tier assert freshness structurally).
+    pub(crate) epoch: u64,
+    /// Wall-clock nanoseconds the exploration took.
+    compile_nanos: u64,
+}
+
+impl CompiledTable {
+    /// The initial state's id (always 0).
+    pub fn start(&self) -> u32 {
+        0
+    }
+
+    /// Number of interned live states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of symbols (concrete atoms) on the transition axis.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The symbol axis, sorted.
+    pub fn symbols(&self) -> &[Action] {
+        &self.symbols
+    }
+
+    /// The canonical state value behind a state id.
+    pub fn state(&self, id: u32) -> &State {
+        &self.states[id as usize]
+    }
+
+    /// One table step: the successor id, or [`DEAD`] if the action is not
+    /// permitted (including concrete actions outside the symbol axis —
+    /// exact by the closed-alphabet argument in the module docs).  Callers
+    /// must not pass abstract actions; the tier falls back to the tree walk
+    /// for those before consulting the table.
+    pub fn step(&self, state: u32, action: &Action) -> u32 {
+        match self.symbol_index.get(action) {
+            Some(&sym) => self.transitions[state as usize * self.symbols.len() + sym as usize],
+            None => DEAD,
+        }
+    }
+
+    /// ϕ of a state id.
+    pub fn is_final_state(&self, id: u32) -> bool {
+        self.finals[id as usize / 64] & (1 << (id as usize % 64)) != 0
+    }
+
+    /// Whether `action` is permitted in state `id` (the per-state permitted
+    /// bitset — equivalent to `step(id, action) != DEAD`).
+    pub fn is_permitted(&self, id: u32, action: &Action) -> bool {
+        match self.symbol_index.get(action) {
+            Some(&sym) => {
+                let w = id as usize * self.words_per_state + sym as usize / 64;
+                self.permitted[w] & (1 << (sym as usize % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Fingerprint of the source sub-state σ and the symbol axis — a cheap
+    /// identity check when tables are shared across engines.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Tier epoch the table was compiled under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Wall-clock nanoseconds the bounded exploration took.
+    pub fn compile_nanos(&self) -> u64 {
+        self.compile_nanos
+    }
+
+    /// Runs a word from σ through the table alone.  Returns `None` as soon
+    /// as the walk dies, otherwise the final state id.  (The baseline
+    /// scenario bridge and the tests use this; the engine tier steps
+    /// incrementally instead.)
+    pub fn run(&self, word: &[Action]) -> Option<u32> {
+        let mut id = self.start();
+        for action in word {
+            id = self.step(id, action);
+            if id == DEAD {
+                return None;
+            }
+        }
+        Some(id)
+    }
+}
+
+/// Structural reasons a subexpression can never be table-resident,
+/// detected without any exploration.
+fn structural_bailout(expr: &Expr) -> Option<CompileBailout> {
+    let mut verdict = None;
+    expr.visit(&mut |e: &Expr| {
+        let found = match e.kind() {
+            ExprKind::SomeQ(..) | ExprKind::AllQ(..) | ExprKind::SyncQ(..) | ExprKind::ParQ(..) => {
+                Some(CompileBailout::Quantifier)
+            }
+            ExprKind::ParIter(_) => Some(CompileBailout::Unbounded),
+            ExprKind::Hole(_) => Some(CompileBailout::AbstractAlphabet),
+            ExprKind::Atom(a) if !a.is_concrete() => Some(CompileBailout::AbstractAlphabet),
+            _ => None,
+        };
+        if verdict.is_none() {
+            verdict = found;
+        }
+    });
+    verdict
+}
+
+/// Compiles one subexpression to a flat table, or reports why it cannot be.
+///
+/// The exploration is a breadth-first walk of the reachable τ̂-graph from
+/// σ(`expr`) using the production fused transition, interning successor
+/// states by *value* so the emitted ids are canonical.
+pub fn compile(expr: &Expr, budget: CompileBudget) -> Result<CompiledTable, CompileBailout> {
+    let mut edges = budget.max_edges;
+    compile_charged(expr, budget, &mut edges)
+}
+
+/// [`compile`] drawing explored edges from a shared pool, so a recursive
+/// descent over a large expression has bounded total cost.
+fn compile_charged(
+    expr: &Expr,
+    budget: CompileBudget,
+    edge_pool: &mut usize,
+) -> Result<CompiledTable, CompileBailout> {
+    if budget.max_states == 0 {
+        return Err(CompileBailout::Disabled);
+    }
+    if let Some(bail) = structural_bailout(expr) {
+        return Err(bail);
+    }
+    let t0 = Instant::now();
+    let mut symbols = expr.atoms();
+    symbols.sort();
+    symbols.dedup();
+    if symbols.is_empty() || symbols.len() > u16::MAX as usize {
+        // ε-only expressions gain nothing from a table; absurd alphabets
+        // exceed the dense-column encoding.
+        return Err(CompileBailout::BudgetExceeded);
+    }
+    let start = match init(expr) {
+        Ok(s) if !s.is_null() => Shared::new(s),
+        _ => return Err(CompileBailout::Invalid),
+    };
+
+    let mut states: Vec<Shared<State>> = vec![start.clone()];
+    #[allow(clippy::mutable_key_type)] // see `CompiledTable::index`
+    let mut index: HashMap<Shared<State>, u32> = HashMap::new();
+    index.insert(start, 0);
+    let mut transitions: Vec<u32> = Vec::new();
+    let mut frontier = 0usize;
+    while frontier < states.len() {
+        let state = states[frontier].clone();
+        frontier += 1;
+        for symbol in &symbols {
+            if *edge_pool == 0 {
+                return Err(CompileBailout::BudgetExceeded);
+            }
+            *edge_pool -= 1;
+            let next = trans(&state, symbol);
+            let id = if next.is_null() {
+                DEAD
+            } else {
+                let handle = Shared::new(next);
+                match index.get(&handle) {
+                    Some(&id) => id,
+                    None => {
+                        if states.len() >= budget.max_states {
+                            return Err(CompileBailout::BudgetExceeded);
+                        }
+                        let id = states.len() as u32;
+                        index.insert(handle.clone(), id);
+                        states.push(handle);
+                        id
+                    }
+                }
+            };
+            transitions.push(id);
+        }
+    }
+
+    let nsyms = symbols.len();
+    let words_per_state = nsyms.div_ceil(64);
+    let mut finals = vec![0u64; states.len().div_ceil(64)];
+    let mut permitted = vec![0u64; states.len() * words_per_state];
+    for (id, state) in states.iter().enumerate() {
+        if is_final(state) {
+            finals[id / 64] |= 1 << (id % 64);
+        }
+        for sym in 0..nsyms {
+            if transitions[id * nsyms + sym] != DEAD {
+                permitted[id * words_per_state + sym / 64] |= 1 << (sym % 64);
+            }
+        }
+    }
+    let mut hasher = DefaultHasher::new();
+    states[0].hash(&mut hasher);
+    symbols.hash(&mut hasher);
+    let symbol_index =
+        symbols.iter().enumerate().map(|(i, a)| (a.clone(), i as u16)).collect::<HashMap<_, _>>();
+    Ok(CompiledTable {
+        symbols,
+        symbol_index,
+        states,
+        index,
+        transitions,
+        finals,
+        permitted,
+        words_per_state,
+        fingerprint: hasher.finish(),
+        epoch: 0,
+        compile_nanos: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+/// The result of a recursive compilation pass over a whole expression.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOutcome {
+    /// Tables for the maximal table-resident subtrees, outermost first.
+    pub tables: Vec<CompiledTable>,
+    /// Number of subtrees that bailed out (per bailed node, before
+    /// descending into its operands).
+    pub bailouts: u64,
+}
+
+/// Compiles the *maximal* table-resident subtrees of an expression: tries
+/// the root; on a bailout, descends into the operands and tries again.
+/// Explored edges are charged to one shared pool (4× the per-table edge
+/// budget) so the pass stays cheap even on huge expressions.
+pub fn compile_all(expr: &Expr, budget: CompileBudget) -> CompileOutcome {
+    let mut outcome = CompileOutcome::default();
+    if budget.max_states == 0 {
+        return outcome;
+    }
+    let mut edge_pool = budget.max_edges.saturating_mul(4);
+    descend(expr, budget, &mut edge_pool, &mut outcome);
+    outcome
+}
+
+fn descend(expr: &Expr, budget: CompileBudget, edge_pool: &mut usize, out: &mut CompileOutcome) {
+    if *edge_pool == 0 {
+        out.bailouts += 1;
+        return;
+    }
+    if expr.size() < 3 {
+        // An atom or ε: the tree walk is already O(1); a tile would only
+        // pollute the attach map.
+        return;
+    }
+    match compile_charged(expr, budget, edge_pool) {
+        Ok(table) => out.tables.push(table),
+        Err(CompileBailout::Disabled) => {}
+        Err(_) => {
+            out.bailouts += 1;
+            for child in expr.children() {
+                descend(child, budget, edge_pool, out);
+            }
+        }
+    }
+}
+
+/// Counter surface of an engine's tier, mirroring the memo stats: table
+/// inventory, hit/fallback counts, compile effort, and the invalidation
+/// epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Number of installed tables.
+    pub tables: usize,
+    /// Total interned states across installed tables.
+    pub states: usize,
+    /// Transitions answered by a table (root or sub-state).
+    pub hits: u64,
+    /// Transitions computed by the tree walk while tables were installed.
+    pub fallbacks: u64,
+    /// Tables compiled over the engine's lifetime.
+    pub compiles: u64,
+    /// Subtrees that bailed out during compilation passes.
+    pub bailouts: u64,
+    /// Times the tier was invalidated (topology migrations, budget changes).
+    pub invalidations: u64,
+    /// Wall-clock nanoseconds spent compiling.
+    pub compile_nanos: u64,
+    /// Current tier epoch (bumped on every invalidation; installed tables
+    /// are stamped with the epoch they were compiled under).
+    pub epoch: u64,
+}
+
+/// Visits every `Shared<State>` node of a state tree, including the
+/// precomputed σ templates (`right_init`/`body_init`) and quantifier
+/// templates, so spawn sites re-attach to tables too.
+pub(crate) fn visit_shared(state: &Shared<State>, f: &mut impl FnMut(&Shared<State>)) {
+    f(state);
+    let mut go = |s: &Shared<State>| visit_shared(s, f);
+    match &**state {
+        State::Null | State::Epsilon | State::AtomDone | State::AtomFresh { .. } => {}
+        State::Option { body, .. } => go(body),
+        State::Seq { left, rights, right_init } => {
+            go(left);
+            rights.iter().for_each(&mut go);
+            go(right_init);
+        }
+        State::SeqIter { runs, body_init, .. } => {
+            runs.iter().for_each(&mut go);
+            go(body_init);
+        }
+        State::Par { alts } => alts.iter().for_each(|(l, r)| {
+            go(l);
+            go(r);
+        }),
+        State::ParIter { alts, body_init } => {
+            alts.iter().flatten().for_each(&mut go);
+            go(body_init);
+        }
+        State::Or { left, right } | State::And { left, right } => {
+            go(left);
+            go(right);
+        }
+        State::Sync { left, right, .. } => {
+            go(left);
+            go(right);
+        }
+        State::SomeQ(q) | State::AllQ(q) | State::SyncQ(q) => {
+            go(&q.template);
+            q.branches.values().for_each(&mut go);
+        }
+        State::ParQ { alts, body_init, .. } => {
+            alts.iter().flat_map(|b| b.values()).for_each(&mut go);
+            go(body_init);
+        }
+        State::Mult { alts, body_init, .. } => {
+            alts.iter().flatten().for_each(&mut go);
+            go(body_init);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::word_problem;
+    use crate::engine::WordStatus;
+    use ix_core::parse;
+
+    fn budget(n: usize) -> CompileBudget {
+        CompileBudget::with_states(n)
+    }
+
+    fn a(name: &str) -> Action {
+        Action::nullary(name)
+    }
+
+    #[test]
+    fn mutex_compiles_to_a_three_state_table() {
+        let e = parse("((r0 - r1) + (w0 - w1))*").unwrap();
+        let t = compile(&e, budget(64)).unwrap();
+        // Value interning is not semantic minimization: the post-release
+        // "idle" states are structurally distinct from σ (the iteration has
+        // been unrolled once), so the 3-state mutex automaton surfaces as 5
+        // interned states — σ, reading, writing, and one restarted idle per
+        // branch.  The rows of the restarted idles duplicate σ's.
+        assert_eq!(t.state_count(), 5);
+        assert_eq!(t.symbol_count(), 4);
+        assert!(t.is_final_state(t.start()));
+        let reading = t.step(t.start(), &a("r0"));
+        assert_ne!(reading, DEAD);
+        assert!(!t.is_final_state(reading));
+        assert_eq!(t.step(reading, &a("w0")), DEAD, "mutex holds");
+        let idle = t.step(reading, &a("r1"));
+        assert_ne!(idle, DEAD);
+        assert!(t.is_final_state(idle), "release returns to an idle state");
+        assert_eq!(t.step(idle, &a("r0")), reading, "the cycle closes");
+        assert!(t.is_permitted(t.start(), &a("r0")));
+        assert!(!t.is_permitted(reading, &a("w0")));
+        assert!(!t.is_permitted(reading, &a("zzz")), "unknown symbols are dead");
+    }
+
+    #[test]
+    fn table_walk_agrees_with_the_word_problem() {
+        for src in [
+            "((r0 - r1) + (w0 - w1))*",
+            "a - b - c",
+            "mult 2 { (a - b)* }",
+            "(a | b) - c",
+            "(a - b)* @ (b - c)*",
+        ] {
+            let e = parse(src).unwrap();
+            let t = compile(&e, budget(256)).unwrap();
+            let alphabet: Vec<Action> = t.symbols().to_vec();
+            // Every word over the alphabet up to length 4.
+            let mut words: Vec<Vec<Action>> = vec![vec![]];
+            for _ in 0..4 {
+                let mut grown = Vec::new();
+                for w in &words {
+                    for sym in &alphabet {
+                        let mut next = w.clone();
+                        next.push(sym.clone());
+                        grown.push(next);
+                    }
+                }
+                words.extend(grown);
+            }
+            for word in &words {
+                let expected = word_problem(&e, word).unwrap();
+                let got = match t.run(word) {
+                    None => WordStatus::Illegal,
+                    Some(id) if t.is_final_state(id) => WordStatus::Complete,
+                    Some(_) => WordStatus::Partial,
+                };
+                assert_eq!(got, expected, "table diverges on {src} for {word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bailouts_are_reported_structurally() {
+        let quant = parse("all p { (call(p) - perform(p))* }").unwrap();
+        assert_eq!(compile(&quant, budget(64)).unwrap_err(), CompileBailout::Quantifier);
+        let unbounded = parse("(a - b)#").unwrap();
+        assert_eq!(compile(&unbounded, budget(64)).unwrap_err(), CompileBailout::Unbounded);
+        let e = parse("(a - b)*").unwrap();
+        assert_eq!(compile(&e, budget(0)).unwrap_err(), CompileBailout::Disabled);
+    }
+
+    #[test]
+    fn budget_exhaustion_bails_cleanly() {
+        // 2^8 product states exceed a budget of 16.
+        let mut e = parse("(a0 - b0)*").unwrap();
+        for k in 1..8 {
+            e = Expr::par(e, parse(&format!("(a{k} - b{k})*")).unwrap());
+        }
+        assert_eq!(compile(&e, budget(16)).unwrap_err(), CompileBailout::BudgetExceeded);
+        // A budget of one state cannot even intern a successor.
+        assert_eq!(
+            compile(&parse("a - b").unwrap(), budget(1)).unwrap_err(),
+            CompileBailout::BudgetExceeded
+        );
+    }
+
+    #[test]
+    fn compile_all_extracts_maximal_resident_subtrees() {
+        // A quantified spine over two finite operands: the root bails, the
+        // operands compile.
+        let e = parse("((a - b)* @ (c - d)*) @ all p { e(p)# }").unwrap();
+        let outcome = compile_all(&e, budget(64));
+        assert!(outcome.bailouts >= 1, "the quantified spine must bail");
+        assert_eq!(outcome.tables.len(), 1, "the ⊗ of the two finite loops is one tile");
+        assert_eq!(outcome.tables[0].state_count(), 9);
+        // Fully finite root: exactly one table, no bailouts.
+        let fin = parse("(a - b)* @ (c - d)*").unwrap();
+        let outcome = compile_all(&fin, budget(64));
+        assert_eq!((outcome.tables.len(), outcome.bailouts), (1, 0));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_sources() {
+        let t1 = compile(&parse("(a - b)*").unwrap(), budget(64)).unwrap();
+        let t2 = compile(&parse("(a - c)*").unwrap(), budget(64)).unwrap();
+        let t1_again = compile(&parse("(a - b)*").unwrap(), budget(64)).unwrap();
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+        assert_eq!(t1.fingerprint(), t1_again.fingerprint());
+    }
+
+    #[test]
+    fn sequential_protocol_tables_are_rings() {
+        let e = parse("(s0 - s1 - s2 - s3)*").unwrap();
+        let t = compile(&e, budget(64)).unwrap();
+        // 4 protocol positions plus the restarted idle (see the mutex test).
+        assert_eq!(t.state_count(), 5);
+        let mut id = t.start();
+        for step in ["s0", "s1", "s2", "s3"] {
+            assert!(!t.is_permitted(id, &a("s9")));
+            id = t.step(id, &a(step));
+            assert_ne!(id, DEAD, "protocol step {step} permitted");
+        }
+        assert!(t.is_final_state(id), "the full round is complete");
+        assert_eq!(t.step(id, &a("s0")), t.step(t.start(), &a("s0")), "the ring closes");
+    }
+}

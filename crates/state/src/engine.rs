@@ -27,14 +27,17 @@
 //! is pure — and `set_memo_capacity(0)` disables it (the equivalence
 //! property tests drive memo-on and memo-off engines in lockstep).
 
+use crate::compile::{compile_all, visit_shared, CompileBudget, CompileOutcome, CompiledTable};
+use crate::compile::{TierStats, DEAD, DEFAULT_TIER_BUDGET};
 use crate::error::StateResult;
 use crate::init::init;
 use crate::predicates::{is_final, is_valid};
-use crate::state::{Shared, State, StateMetrics};
-use crate::trans::{trans_with, TransitionOptions};
+use crate::state::{null_state, Shared, State, StateMetrics};
+use crate::trans::{fused, trans_with, TierLookup, TransitionOptions};
 use ix_core::{Action, Expr};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Classification of a word, mirroring the integer result of the paper's
 /// `word()` function (0 = illegal, 1 = partial, 2 = complete).
@@ -132,6 +135,245 @@ impl TransMemo {
     }
 }
 
+/// Number of tree-computed transitions after which an auto-compiling
+/// engine attempts tier compilation (the hotness threshold).
+const TIER_HOT_THRESHOLD: u64 = 64;
+
+/// Bound on cached attach *misses* (fresh spine allocations observed during
+/// walks) before the miss cache is swept; pinned table-state entries are
+/// never evicted.
+const TIER_MISS_CACHE: usize = 4096;
+
+/// One entry of the tier's pointer-keyed attach map.
+#[derive(Clone, Debug)]
+enum AttachEntry {
+    /// The allocation is a known table state.  `pin` keeps it alive, so the
+    /// pointer key can never be reused while the entry exists (the same
+    /// argument the transition memo makes).
+    Hit {
+        /// Handle pinning the keyed allocation.
+        pin: Shared<State>,
+        /// Index into the tier's table list.
+        table: u32,
+        /// State id inside that table.
+        state: u32,
+    },
+    /// The allocation was seen during a walk and is not worth value-probing
+    /// again.  Misses are *not* pinned: a stale miss (pointer reuse) only
+    /// degrades to a tree walk, never to a wrong answer.
+    Miss,
+}
+
+/// The engine's execution tier: compiled DFA tiles for the table-resident
+/// subtrees of the expression, plus the pointer-keyed attach map that links
+/// live state allocations to table state ids.
+///
+/// All fields are interior-mutable so the tier can be consulted (and can
+/// bookkeep) through the `&self` methods of the fused walk; the engine
+/// still owns the tier exclusively.
+#[derive(Clone, Debug)]
+struct Tier {
+    /// State-count budget per table (0 = tiering disabled).
+    budget: Cell<usize>,
+    /// Compile automatically once the engine runs hot (standalone engines;
+    /// the session runtime compiles in worker idle slots instead).
+    auto_compile: Cell<bool>,
+    /// A compilation pass ran since the last invalidation (successful or
+    /// not) — prevents recompiling a bailing expression on every step.
+    attempted: Cell<bool>,
+    /// Invalidation epoch; installed tables are stamped with the epoch they
+    /// were compiled under, so a stale tile is structurally impossible to
+    /// consult (it is dropped *and* its stamp no longer matches).
+    epoch: Cell<u64>,
+    tables: RefCell<Vec<Arc<CompiledTable>>>,
+    attach: RefCell<HashMap<usize, AttachEntry>>,
+    /// Number of pinned (table-state) attach entries.
+    pinned: Cell<usize>,
+    hits: Cell<u64>,
+    fallbacks: Cell<u64>,
+    /// Tree-computed transitions while no tables are installed — the
+    /// hotness counter feeding auto-compilation.
+    computed: Cell<u64>,
+    compiles: Cell<u64>,
+    bailouts: Cell<u64>,
+    invalidations: Cell<u64>,
+    compile_nanos: Cell<u64>,
+}
+
+impl Tier {
+    fn new(budget: usize) -> Tier {
+        Tier {
+            budget: Cell::new(budget),
+            auto_compile: Cell::new(true),
+            attempted: Cell::new(false),
+            epoch: Cell::new(0),
+            tables: RefCell::new(Vec::new()),
+            attach: RefCell::new(HashMap::new()),
+            pinned: Cell::new(0),
+            hits: Cell::new(0),
+            fallbacks: Cell::new(0),
+            computed: Cell::new(0),
+            compiles: Cell::new(0),
+            bailouts: Cell::new(0),
+            invalidations: Cell::new(0),
+            compile_nanos: Cell::new(0),
+        }
+    }
+
+    fn has_tables(&self) -> bool {
+        !self.tables.borrow().is_empty()
+    }
+
+    /// Installs a compilation outcome: epoch-stamps the tables, pins every
+    /// table state in the attach map, and value-probes the live state so
+    /// already-reached positions attach immediately.
+    fn install(&self, outcome: CompileOutcome, state: &Shared<State>) {
+        let mut nanos = 0;
+        {
+            let mut tables = self.tables.borrow_mut();
+            tables.clear();
+            for mut table in outcome.tables {
+                table.epoch = self.epoch.get();
+                nanos += table.compile_nanos();
+                tables.push(Arc::new(table));
+            }
+            self.compiles.set(self.compiles.get() + tables.len() as u64);
+        }
+        self.bailouts.set(self.bailouts.get() + outcome.bailouts);
+        self.compile_nanos.set(self.compile_nanos.get() + nanos);
+        self.rebuild_attach(state);
+    }
+
+    /// Rebuilds the attach map from scratch: pins all table states, then
+    /// value-probes the live state tree (including its σ spawn templates).
+    /// Compile/reset-time only — the per-transition path never value-probes.
+    fn rebuild_attach(&self, state: &Shared<State>) {
+        let tables = self.tables.borrow();
+        let mut attach = self.attach.borrow_mut();
+        attach.clear();
+        let mut pinned = 0usize;
+        for (ti, table) in tables.iter().enumerate() {
+            for (id, handle) in table.states.iter().enumerate() {
+                attach.insert(
+                    Shared::as_ptr(handle) as usize,
+                    AttachEntry::Hit { pin: handle.clone(), table: ti as u32, state: id as u32 },
+                );
+                pinned += 1;
+            }
+        }
+        if !tables.is_empty() {
+            visit_shared(state, &mut |node| {
+                let key = Shared::as_ptr(node) as usize;
+                if attach.contains_key(&key) {
+                    return;
+                }
+                for (ti, table) in tables.iter().enumerate() {
+                    if let Some(&id) = table.index.get(node) {
+                        attach.insert(
+                            key,
+                            AttachEntry::Hit { pin: node.clone(), table: ti as u32, state: id },
+                        );
+                        pinned += 1;
+                        return;
+                    }
+                }
+            });
+        }
+        self.pinned.set(pinned);
+    }
+
+    /// Value-probes one live state tree against the installed tables and
+    /// attaches every node that is a table state.  Compile/reset-time only
+    /// — the per-transition path never value-probes.
+    fn attach_probe(&self, state: &Shared<State>) {
+        let tables = self.tables.borrow();
+        if tables.is_empty() {
+            return;
+        }
+        let mut attach = self.attach.borrow_mut();
+        let mut pinned = self.pinned.get();
+        visit_shared(state, &mut |node| {
+            let key = Shared::as_ptr(node) as usize;
+            if matches!(attach.get(&key), Some(AttachEntry::Hit { .. })) {
+                return;
+            }
+            for (ti, table) in tables.iter().enumerate() {
+                if let Some(&id) = table.index.get(node) {
+                    attach.insert(
+                        key,
+                        AttachEntry::Hit { pin: node.clone(), table: ti as u32, state: id },
+                    );
+                    pinned += 1;
+                    return;
+                }
+            }
+        });
+        self.pinned.set(pinned);
+    }
+
+    /// Drops every table and attach entry and bumps the epoch: after this,
+    /// no stale tile can serve a step (the tables are gone, and any clone
+    /// held elsewhere carries a stale epoch stamp).
+    fn invalidate(&self) {
+        self.tables.borrow_mut().clear();
+        self.attach.borrow_mut().clear();
+        self.pinned.set(0);
+        self.attempted.set(false);
+        self.computed.set(0);
+        self.epoch.set(self.epoch.get() + 1);
+        self.invalidations.set(self.invalidations.get() + 1);
+    }
+
+    fn stats(&self) -> TierStats {
+        let tables = self.tables.borrow();
+        TierStats {
+            tables: tables.len(),
+            states: tables.iter().map(|t| t.state_count()).sum(),
+            hits: self.hits.get(),
+            fallbacks: self.fallbacks.get(),
+            compiles: self.compiles.get(),
+            bailouts: self.bailouts.get(),
+            invalidations: self.invalidations.get(),
+            compile_nanos: self.compile_nanos.get(),
+            epoch: self.epoch.get(),
+        }
+    }
+}
+
+impl TierLookup for Tier {
+    fn tier_step(&self, child: &Shared<State>, action: &Action) -> Option<Shared<State>> {
+        if !action.is_concrete() {
+            // Tables only decide concrete symbols; abstract actions fall
+            // back to the tree walk (which rejects them combinator by
+            // combinator).
+            return None;
+        }
+        let key = Shared::as_ptr(child) as usize;
+        let mut attach = self.attach.borrow_mut();
+        match attach.get(&key) {
+            Some(AttachEntry::Hit { pin, table, state }) if Shared::ptr_eq(pin, child) => {
+                let tables = self.tables.borrow();
+                let tile = &tables[*table as usize];
+                debug_assert_eq!(tile.epoch, self.epoch.get(), "stale tile consulted");
+                let next = tile.step(*state, action);
+                self.hits.set(self.hits.get() + 1);
+                Some(if next == DEAD { null_state() } else { tile.states[next as usize].clone() })
+            }
+            Some(_) => None,
+            None => {
+                // Unknown allocation: cache the miss *without* value-probing
+                // (hashing a large state on the hot path would tax exactly
+                // the expressions that gain nothing from the tier).
+                if attach.len() >= self.pinned.get() + TIER_MISS_CACHE {
+                    attach.retain(|_, e| matches!(e, AttachEntry::Hit { .. }));
+                }
+                attach.insert(key, AttachEntry::Miss);
+                None
+            }
+        }
+    }
+}
+
 /// An incremental evaluator of one interaction expression: the component
 /// that answers "is this action currently permitted?" and tracks the state
 /// across committed executions.
@@ -141,6 +383,7 @@ pub struct Engine {
     state: Shared<State>,
     options: TransitionOptions,
     memo: RefCell<TransMemo>,
+    tier: Tier,
     accepted: u64,
     rejected: u64,
 }
@@ -158,6 +401,7 @@ impl Engine {
             state: Shared::new(init(expr)?),
             options,
             memo: RefCell::new(TransMemo::with_capacity(DEFAULT_MEMO_CAPACITY)),
+            tier: Tier::new(DEFAULT_TIER_BUDGET),
             accepted: 0,
             rejected: 0,
         })
@@ -192,22 +436,70 @@ impl Engine {
         memo.capacity = capacity;
     }
 
-    /// The memoized transition τ̂ from an explicit base state.  Exact: the
-    /// memo key is the base state's allocation identity plus the concrete
-    /// action, and entries pin their key state alive.
+    /// The tiered, memoized transition τ̂ from an explicit base state.
+    /// Order: compiled tier (exact by construction), then the memo (exact:
+    /// the key is the base state's allocation identity plus the concrete
+    /// action, and entries pin their key state alive), then the tree walk —
+    /// which itself consults the tier at every shared child, so
+    /// table-resident subtrees under a CoW spine still answer in O(1).
     fn transition(&self, base: &Shared<State>, action: &Action) -> Shared<State> {
+        let tier_on = self.options.optimize && self.tier.has_tables();
+        if tier_on {
+            if let Some(next) = self.tier.tier_step(base, action) {
+                return next;
+            }
+        }
         {
             let memo = self.memo.borrow();
             if let Some(hit) = memo.lookup(base, action) {
                 return hit;
             }
         }
-        let next = match trans_with(base, action, self.options) {
-            State::Null => crate::state::null_state(),
-            other => Shared::new(other),
+        let next = if tier_on {
+            match fused(base, action, &self.tier) {
+                State::Null => null_state(),
+                other => Shared::new(other),
+            }
+        } else {
+            match trans_with(base, action, self.options) {
+                State::Null => null_state(),
+                other => Shared::new(other),
+            }
         };
+        if tier_on {
+            self.tier.fallbacks.set(self.tier.fallbacks.get() + 1);
+        } else if self.options.optimize && self.tier.budget.get() > 0 {
+            let computed = self.tier.computed.get() + 1;
+            self.tier.computed.set(computed);
+            if computed >= TIER_HOT_THRESHOLD
+                && self.tier.auto_compile.get()
+                && !self.tier.attempted.get()
+            {
+                self.tier_compile_now();
+                // `next` was computed before the tables existed; attach it so
+                // the step that triggered compilation lands on the tier.
+                self.tier.attach_probe(&next);
+            }
+        }
         self.memo.borrow_mut().insert(base, action, next.clone());
         next
+    }
+
+    /// Runs a compilation pass now (idempotent until the next invalidation):
+    /// compiles the maximal table-resident subtrees under the budget,
+    /// installs and attaches the tiles, and clears the memo so the tier
+    /// takes over from stale pointer-keyed entries.
+    fn tier_compile_now(&self) {
+        self.tier.attempted.set(true);
+        let budget = self.tier.budget.get();
+        if budget == 0 || !self.options.optimize {
+            return;
+        }
+        let outcome = compile_all(&self.expr, CompileBudget::with_states(budget));
+        self.tier.install(outcome, &self.state);
+        if self.tier.has_tables() {
+            self.memo.borrow_mut().clear();
+        }
     }
 
     /// Whether a successor state counts as valid.  On the optimized path
@@ -402,8 +694,67 @@ impl Engine {
     pub fn reset(&mut self) {
         self.state = Shared::new(init(&self.expr).expect("expression validated at construction"));
         self.memo.borrow_mut().clear();
+        if self.tier.has_tables() {
+            // Installed tables stay valid (the expression is unchanged);
+            // re-attach them to the fresh σ allocations.
+            self.tier.rebuild_attach(&self.state);
+        }
         self.accepted = 0;
         self.rejected = 0;
+    }
+
+    // -- the execution tier ------------------------------------------------
+
+    /// The tier's per-table state-count budget (0 = tiering disabled).
+    pub fn tier_budget(&self) -> usize {
+        self.tier.budget.get()
+    }
+
+    /// Sets the tier budget, dropping any installed tables; 0 disables
+    /// tiering entirely — the lockstep equivalence property tests drive a
+    /// tiered and a `tier_budget = 0` engine against each other.
+    pub fn set_tier_budget(&mut self, budget: usize) {
+        if self.tier.has_tables() || self.tier.attempted.get() {
+            self.tier.invalidate();
+        }
+        self.tier.budget.set(budget);
+    }
+
+    /// Whether the engine compiles its tier automatically once hot (the
+    /// default).  The session runtime switches this off and compiles in the
+    /// shard worker's idle slots instead, off the submission hot path.
+    pub fn set_tier_auto(&mut self, auto_compile: bool) {
+        self.tier.auto_compile.set(auto_compile);
+    }
+
+    /// True once the engine has run enough tree-computed transitions to be
+    /// worth compiling and no compilation pass has happened yet — the
+    /// hotness signal a background compiler polls.
+    pub fn tier_wants_compile(&self) -> bool {
+        self.options.optimize
+            && self.tier.budget.get() > 0
+            && !self.tier.attempted.get()
+            && self.tier.computed.get() >= TIER_HOT_THRESHOLD
+    }
+
+    /// Compiles the tier now (regardless of hotness) and returns the
+    /// resulting stats.  Idempotent until the next invalidation.
+    pub fn compile_tier(&mut self) -> TierStats {
+        self.tier_compile_now();
+        self.tier.stats()
+    }
+
+    /// Drops all compiled tables and bumps the tier epoch.  Topology
+    /// migrations (`add_constraint`/`couple`) call this on every affected
+    /// shard engine, so a tile compiled before the migration can never
+    /// serve a post-migration step.
+    pub fn invalidate_tier(&mut self) {
+        self.tier.invalidate();
+    }
+
+    /// The tier's counter surface (mirrors the memo stats).
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier.stats()
     }
 }
 
@@ -590,5 +941,166 @@ mod tests {
         let m2 = eng.metrics();
         assert!(m2.size >= m0.size);
         assert!(!m2.is_null);
+    }
+
+    #[test]
+    fn tier_auto_compiles_when_hot_and_serves_hits() {
+        let e = parse("((r0 - r1) + (w0 - w1))*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(0); // force every step through the tier path
+        for _ in 0..2 * TIER_HOT_THRESHOLD {
+            assert!(eng.try_execute(&a("r0")));
+            assert!(eng.try_execute(&a("r1")));
+        }
+        let stats = eng.tier_stats();
+        assert!(stats.tables >= 1, "hot mutex must compile: {stats:?}");
+        assert!(stats.hits > 0, "table must serve steps: {stats:?}");
+        assert_eq!(stats.compiles, 1);
+    }
+
+    #[test]
+    fn tier_budget_zero_disables_compilation() {
+        let e = parse("((r0 - r1) + (w0 - w1))*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_tier_budget(0);
+        eng.set_memo_capacity(0);
+        for _ in 0..2 * TIER_HOT_THRESHOLD {
+            assert!(eng.try_execute(&a("r0")));
+            assert!(eng.try_execute(&a("r1")));
+        }
+        let stats = eng.tier_stats();
+        assert_eq!((stats.tables, stats.hits, stats.compiles), (0, 0, 0));
+    }
+
+    #[test]
+    fn tiered_engine_agrees_with_plain_engine_on_a_mixed_expression() {
+        // A table-resident mutex ⊗ a quantified (never compiled) spine: the
+        // tier serves the mutex tile while the quantifier falls back.
+        let e = parse("((r0 - r1) + (w0 - w1))* @ (some p { r0 - go(p) })*").unwrap();
+        let mut tiered = Engine::new(&e).unwrap();
+        let mut plain = Engine::new(&e).unwrap();
+        tiered.set_memo_capacity(0);
+        plain.set_memo_capacity(0);
+        plain.set_tier_budget(0);
+        let stats = tiered.compile_tier();
+        assert!(stats.tables >= 1, "mutex operand must compile: {stats:?}");
+        let go = |p: i64| Action::concrete("go", [Value::int(p)]);
+        let script =
+            [a("r0"), go(1), a("r1"), a("w0"), a("r0"), a("w1"), a("r0"), go(2), a("r1"), a("zzz")];
+        for action in &script {
+            assert_eq!(tiered.is_permitted(action), plain.is_permitted(action), "ψ on {action}");
+            assert_eq!(
+                tiered.permitted_after([a("r0")].iter(), action),
+                plain.permitted_after([a("r0")].iter(), action),
+                "probe on {action}"
+            );
+            assert_eq!(tiered.try_execute(action), plain.try_execute(action), "τ̂ on {action}");
+            assert_eq!(tiered.state(), plain.state(), "state after {action}");
+            assert_eq!(tiered.is_final(), plain.is_final(), "ϕ after {action}");
+        }
+        assert!(tiered.tier_stats().hits > 0, "the mutex tile must have served steps");
+        assert_eq!(tiered.accepted(), plain.accepted());
+        assert_eq!(tiered.rejected(), plain.rejected());
+    }
+
+    #[test]
+    fn tier_prepare_commit_goes_through_the_table() {
+        let e = parse("(a - b)*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(0);
+        let stats = eng.compile_tier();
+        assert!(stats.tables >= 1);
+        let prepared = eng.prepare(&a("a")).expect("permitted");
+        eng.commit_prepared(prepared);
+        assert!(eng.tier_stats().hits > 0, "prepare must be a table hit");
+        assert!(!eng.is_permitted(&a("a")));
+        assert!(eng.is_permitted(&a("b")));
+    }
+
+    #[test]
+    fn budget_bailout_decomposes_into_leaf_tiles() {
+        // 2^10 product states blow a budget of 8 states at the root, but each
+        // parallel operand is a 3-state loop — the compiler bails on the
+        // spine and tiles the leaves.
+        let mut src = String::from("(a0 - b0)*");
+        for k in 1..10 {
+            src = format!("{src} | (a{k} - b{k})*");
+        }
+        let e = parse(&src).unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(0);
+        eng.set_tier_budget(8);
+        let stats = eng.compile_tier();
+        assert!(stats.bailouts >= 1, "the product spine must bail: {stats:?}");
+        assert_eq!(stats.tables, 10, "one tile per operand: {stats:?}");
+        for k in 0..10 {
+            assert!(eng.try_execute(&Action::nullary(format!("a{k}").as_str())));
+        }
+        assert_eq!(eng.accepted(), 10);
+        assert!(eng.tier_stats().hits > 0, "leaf tiles serve under the spine");
+    }
+
+    #[test]
+    fn budget_too_small_for_any_tile_falls_back_to_cow() {
+        // Two states cannot even hold σ plus a loop position: every subtree
+        // bails and the engine keeps answering from the tree.
+        let e = parse("(a - b)* | (c - d)*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(0);
+        eng.set_tier_budget(2);
+        let stats = eng.compile_tier();
+        assert_eq!(stats.tables, 0, "nothing fits in 2 states: {stats:?}");
+        assert!(stats.bailouts >= 1);
+        for name in ["a", "c", "b", "d"] {
+            assert!(eng.try_execute(&a(name)));
+        }
+        assert_eq!(eng.accepted(), 4);
+        assert_eq!(eng.tier_stats().hits, 0);
+    }
+
+    #[test]
+    fn compile_during_traffic_preserves_in_flight_state() {
+        // Compile mid-protocol: the attach map must pick up the *current*
+        // interior state, not just σ, and a reset must re-attach.
+        let e = parse("(s0 - s1 - s2 - s3)*").unwrap();
+        let mut tiered = Engine::new(&e).unwrap();
+        let mut plain = Engine::new(&e).unwrap();
+        tiered.set_memo_capacity(0);
+        plain.set_memo_capacity(0);
+        plain.set_tier_budget(0);
+        let script = ["s0", "s1", "s2", "s3", "s0", "s1"];
+        for (k, step) in script.iter().enumerate() {
+            if k == 2 {
+                assert!(tiered.compile_tier().tables >= 1);
+            }
+            assert_eq!(tiered.try_execute(&a(step)), plain.try_execute(&a(step)));
+            assert_eq!(tiered.state(), plain.state(), "state after {step}");
+        }
+        assert!(tiered.tier_stats().hits > 0);
+        let hits = tiered.tier_stats().hits;
+        tiered.reset();
+        plain.reset();
+        assert!(tiered.try_execute(&a("s0")) && plain.try_execute(&a("s0")));
+        assert_eq!(tiered.state(), plain.state());
+        assert!(tiered.tier_stats().hits > hits, "tables survive a reset");
+    }
+
+    #[test]
+    fn invalidation_drops_tables_and_allows_recompilation() {
+        let e = parse("(a - b)*").unwrap();
+        let mut eng = Engine::new(&e).unwrap();
+        eng.set_memo_capacity(0);
+        assert!(eng.compile_tier().tables >= 1);
+        assert!(eng.try_execute(&a("a")));
+        assert!(eng.tier_stats().hits > 0);
+        let epoch_before = eng.tier_stats().epoch;
+        eng.invalidate_tier();
+        let stats = eng.tier_stats();
+        assert_eq!(stats.tables, 0, "invalidation must drop every tile");
+        assert_eq!(stats.invalidations, 1);
+        assert!(stats.epoch > epoch_before);
+        assert!(eng.try_execute(&a("b")), "correct from the tree after invalidation");
+        assert!(eng.compile_tier().tables >= 1, "recompilation restores the tier");
+        assert!(eng.try_execute(&a("a")));
     }
 }

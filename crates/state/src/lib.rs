@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod compile;
 pub mod engine;
 pub mod error;
 pub mod init;
@@ -46,6 +47,10 @@ pub mod state;
 pub mod trans;
 
 pub use analysis::{classify, Benignity, Classification};
+pub use compile::{
+    compile, compile_all, CompileBailout, CompileBudget, CompileOutcome, CompiledTable, TierStats,
+    DEAD, DEFAULT_TIER_BUDGET,
+};
 pub use engine::{word_problem, Engine, WordStatus, DEFAULT_MEMO_CAPACITY};
 pub use error::{StateError, StateResult};
 pub use init::{init, initial_state, validate};

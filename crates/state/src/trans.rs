@@ -46,15 +46,38 @@ impl Default for TransitionOptions {
 /// The optimized state transition function τ̂(s, a) = ρ(τ(s, a)), computed in
 /// one fused copy-on-write pass.
 pub fn trans(state: &State, action: &Action) -> State {
-    fused(state, action)
+    fused(state, action, &NoTier)
 }
 
 /// State transition with explicit options.
 pub fn trans_with(state: &State, action: &Action, opts: TransitionOptions) -> State {
     if opts.optimize {
-        fused(state, action)
+        fused(state, action, &NoTier)
     } else {
         step(state, action)
+    }
+}
+
+/// A hook the fused walk consults at every shared child: a tiered engine
+/// answers table-resident subtrees from a compiled DFA tile in O(1) while
+/// the surrounding copy-on-write spine keeps handling composition.
+/// Implementations must be *value-transparent*: a `Some` answer must equal
+/// (by state value) what the fused walk itself would have computed.
+pub(crate) trait TierLookup {
+    /// Table-resident successor of `child` under `action`, if the child's
+    /// allocation is attached to a compiled tile; `None` falls back to the
+    /// tree walk.
+    fn tier_step(&self, child: &Shared<State>, action: &Action) -> Option<Shared<State>>;
+}
+
+/// The zero-cost no-tier hook: the plain `trans` path monomorphizes to
+/// exactly the pre-tier code.
+pub(crate) struct NoTier;
+
+impl TierLookup for NoTier {
+    #[inline(always)]
+    fn tier_step(&self, _child: &Shared<State>, _action: &Action) -> Option<Shared<State>> {
+        None
     }
 }
 
@@ -70,9 +93,13 @@ pub fn trans_reference(state: &State, action: &Action) -> State {
 // ---------------------------------------------------------------------------
 
 /// Steps a shared child, wrapping the fused result.  `Null` results share
-/// the process-wide null singleton.
-fn fstep(child: &Shared<State>, action: &Action) -> Shared<State> {
-    match fused(child, action) {
+/// the process-wide null singleton.  The tier hook is consulted first: a
+/// table-attached child is answered by array lookup without walking it.
+fn fstep<T: TierLookup>(child: &Shared<State>, action: &Action, tier: &T) -> Shared<State> {
+    if let Some(next) = tier.tier_step(child, action) {
+        return next;
+    }
+    match fused(child, action, tier) {
         State::Null => null_state(),
         other => Shared::new(other),
     }
@@ -83,7 +110,7 @@ fn fstep(child: &Shared<State>, action: &Action) -> Shared<State> {
 /// no `Null` components except where ρ deliberately keeps them (`Or`/`And`
 /// children, `Seq` left operands, disjunction-quantifier branches); the
 /// output is `Null` iff it is invalid.
-fn fused(state: &State, action: &Action) -> State {
+pub(crate) fn fused<T: TierLookup>(state: &State, action: &Action, tier: &T) -> State {
     match state {
         State::Null => State::Null,
         // ε accepts no action at all.
@@ -97,7 +124,7 @@ fn fused(state: &State, action: &Action) -> State {
         }
         State::AtomDone => State::Null,
         State::Option { body, .. } => {
-            let body = fstep(body, action);
+            let body = fstep(body, action, tier);
             if body.is_null() {
                 State::Null
             } else {
@@ -105,9 +132,9 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::Seq { left, rights, right_init } => {
-            let new_left = fstep(left, action);
+            let new_left = fstep(left, action, tier);
             let mut new_rights: Vec<Shared<State>> =
-                rights.iter().map(|r| fstep(r, action)).filter(|r| !r.is_null()).collect();
+                rights.iter().map(|r| fstep(r, action, tier)).filter(|r| !r.is_null()).collect();
             if is_final(&new_left) {
                 // Spawn a fresh right-hand run: the precomputed σ(z) is
                 // shared, not rebuilt.
@@ -125,7 +152,7 @@ fn fused(state: &State, action: &Action) -> State {
             let mut boundary = false;
             let mut new_runs: Vec<Shared<State>> = Vec::with_capacity(runs.len() + 1);
             for run in runs {
-                let next = fstep(run, action);
+                let next = fstep(run, action, tier);
                 if next.is_null() {
                     continue;
                 }
@@ -151,11 +178,11 @@ fn fused(state: &State, action: &Action) -> State {
             let mut new_alts: Vec<(Shared<State>, Shared<State>)> =
                 Vec::with_capacity(alts.len() * 2);
             for (l, r) in alts {
-                let stepped_l = fstep(l, action);
+                let stepped_l = fstep(l, action, tier);
                 if !stepped_l.is_null() && !r.is_null() {
                     new_alts.push((stepped_l, r.clone()));
                 }
-                let stepped_r = fstep(r, action);
+                let stepped_r = fstep(r, action, tier);
                 if !l.is_null() && !stepped_r.is_null() {
                     new_alts.push((l.clone(), stepped_r));
                 }
@@ -169,14 +196,14 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::ParIter { alts, body_init } => {
-            match fused_thread_alts(alts, body_init, action, None) {
+            match fused_thread_alts(alts, body_init, action, None, tier) {
                 None => State::Null,
                 Some(new_alts) => State::ParIter { alts: new_alts, body_init: body_init.clone() },
             }
         }
         State::Or { left, right } => {
-            let left = fstep(left, action);
-            let right = fstep(right, action);
+            let left = fstep(left, action, tier);
+            let right = fstep(right, action, tier);
             if left.is_null() && right.is_null() {
                 State::Null
             } else {
@@ -184,11 +211,11 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::And { left, right } => {
-            let left = fstep(left, action);
+            let left = fstep(left, action, tier);
             if left.is_null() {
                 return State::Null;
             }
-            let right = fstep(right, action);
+            let right = fstep(right, action, tier);
             if right.is_null() {
                 return State::Null;
             }
@@ -204,11 +231,11 @@ fn fused(state: &State, action: &Action) -> State {
             }
             // The operand the action bypasses is shared untouched — the
             // copy-on-write payoff for coupled ensembles.
-            let new_left = if in_left { fstep(left, action) } else { left.clone() };
+            let new_left = if in_left { fstep(left, action, tier) } else { left.clone() };
             if new_left.is_null() {
                 return State::Null;
             }
-            let new_right = if in_right { fstep(right, action) } else { right.clone() };
+            let new_right = if in_right { fstep(right, action, tier) } else { right.clone() };
             if new_right.is_null() {
                 return State::Null;
             }
@@ -220,7 +247,7 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::SomeQ(q) => {
-            let (template, branches) = fused_broadcast_quant(q, action);
+            let (template, branches) = fused_broadcast_quant(q, action, tier);
             // ρ keeps dead branches of a disjunction quantifier (as Null):
             // removing them could let a later re-instantiation from the
             // still-valid template resurrect a branch that is already dead.
@@ -236,7 +263,7 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::AllQ(q) => {
-            let (template, branches) = fused_broadcast_quant(q, action);
+            let (template, branches) = fused_broadcast_quant(q, action, tier);
             if template.is_null() || branches.values().any(|b| b.is_null()) {
                 State::Null
             } else {
@@ -248,7 +275,7 @@ fn fused(state: &State, action: &Action) -> State {
                 })
             }
         }
-        State::SyncQ(q) => fused_sync_quant(q, action),
+        State::SyncQ(q) => fused_sync_quant(q, action, tier),
         State::ParQ { param, body_accepts_epsilon, alts, body_init } => {
             let values = action.values();
             if values.is_empty() {
@@ -264,7 +291,7 @@ fn fused(state: &State, action: &Action) -> State {
                 .iter()
                 .map(|v| {
                     let fresh = body_init.substitute(*param, *v);
-                    let stepped = match fused(&fresh, action) {
+                    let stepped = match fused(&fresh, action, tier) {
                         State::Null => null_state(),
                         other => Shared::new(other),
                     };
@@ -278,7 +305,7 @@ fn fused(state: &State, action: &Action) -> State {
                 }
                 for (v, fresh) in &fresh_branches {
                     let branch_state = match branches.get(v) {
-                        Some(existing) => fstep(existing, action),
+                        Some(existing) => fstep(existing, action, tier),
                         None => fresh.clone(),
                     };
                     if branch_state.is_null() {
@@ -303,7 +330,7 @@ fn fused(state: &State, action: &Action) -> State {
             }
         }
         State::Mult { capacity, body_accepts_epsilon, alts, body_init } => {
-            match fused_thread_alts(alts, body_init, action, Some(*capacity)) {
+            match fused_thread_alts(alts, body_init, action, Some(*capacity), tier) {
                 None => State::Null,
                 Some(new_alts) => State::Mult {
                     capacity: *capacity,
@@ -322,23 +349,24 @@ fn fused(state: &State, action: &Action) -> State {
 /// capacity permitting, "a new instance is started with this action".
 /// Variants with an invalid component are pruned before they are ever
 /// sorted; `None` means no alternative survived (the state is invalid).
-fn fused_thread_alts(
+fn fused_thread_alts<T: TierLookup>(
     alts: &[Vec<Shared<State>>],
     body_init: &Shared<State>,
     action: &Action,
     capacity: Option<u32>,
+    tier: &T,
 ) -> Option<Vec<Vec<Shared<State>>>> {
     let mut new_alts = Vec::new();
     // The freshly started instance is the same for every alternative —
     // compute it once per transition, not once per alternative.
-    let started = fstep(body_init, action);
+    let started = fstep(body_init, action, tier);
     let started = (!started.is_null()).then_some(started);
     for threads in alts {
         if threads.iter().any(|t| t.is_null()) {
             continue;
         }
         for (i, thread) in threads.iter().enumerate() {
-            let stepped = fstep(thread, action);
+            let stepped = fstep(thread, action, tier);
             if stepped.is_null() {
                 continue;
             }
@@ -375,16 +403,17 @@ fn fused_thread_alts(
 /// are instantiated from the template *before* the transition (the
 /// template's state is exactly the state such a branch would have reached,
 /// because the branch's value has not occurred so far).
-fn fused_broadcast_quant(
+fn fused_broadcast_quant<T: TierLookup>(
     q: &QuantState,
     action: &Action,
+    tier: &T,
 ) -> (Shared<State>, std::collections::BTreeMap<Value, Shared<State>>) {
     let mut branches = q.branches.clone();
     for v in new_values(q, action) {
         branches.insert(v, Shared::new(q.template.substitute(q.param, v)));
     }
-    let branches = branches.iter().map(|(v, s)| (*v, fstep(s, action))).collect();
-    (fstep(&q.template, action), branches)
+    let branches = branches.iter().map(|(v, s)| (*v, fstep(s, action, tier))).collect();
+    (fstep(&q.template, action, tier), branches)
 }
 
 /// Fused transition of the synchronization quantifier: like the broadcast
@@ -392,7 +421,7 @@ fn fused_broadcast_quant(
 /// (instantiated) alphabet; all other actions pass it by *shared*, not
 /// copied.  Actions covered by no instantiation at all are outside the
 /// quantifier's language.
-fn fused_sync_quant(q: &QuantState, action: &Action) -> State {
+fn fused_sync_quant<T: TierLookup>(q: &QuantState, action: &Action, tier: &T) -> State {
     let in_template = q.scope.covers(action);
     let covered_somewhere =
         in_template || action.values().iter().any(|v| q.scope.covers_with(action, q.param, *v));
@@ -405,8 +434,11 @@ fn fused_sync_quant(q: &QuantState, action: &Action) -> State {
     }
     let mut new_branches = std::collections::BTreeMap::new();
     for (v, s) in &branches {
-        let next =
-            if q.scope.covers_with(action, q.param, *v) { fstep(s, action) } else { s.clone() };
+        let next = if q.scope.covers_with(action, q.param, *v) {
+            fstep(s, action, tier)
+        } else {
+            s.clone()
+        };
         if next.is_null() {
             // The synchronization quantifier is conjunctive: one dead branch
             // kills the whole state.
@@ -414,7 +446,7 @@ fn fused_sync_quant(q: &QuantState, action: &Action) -> State {
         }
         new_branches.insert(*v, next);
     }
-    let template = if in_template { fstep(&q.template, action) } else { q.template.clone() };
+    let template = if in_template { fstep(&q.template, action, tier) } else { q.template.clone() };
     if template.is_null() {
         return State::Null;
     }

@@ -67,6 +67,7 @@ fn main() {
             variant: ProtocolVariant::Leased { lease: 10 },
             durable: false,
             clock: ClockMode::Virtual,
+            ..RuntimeOptions::default()
         },
     )
     .unwrap();

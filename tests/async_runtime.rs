@@ -181,6 +181,7 @@ fn durable_ask_confirm_redelivery_is_at_least_once() {
             variant: ProtocolVariant::Simple,
             durable: true,
             clock: ClockMode::Virtual,
+            ..RuntimeOptions::default()
         },
     )
     .unwrap();

@@ -483,6 +483,81 @@ fn assert_memo_equivalence(
     Ok(())
 }
 
+/// Drives the same word through a tier-compiled engine and a `tier_budget =
+/// 0` (pure-CoW) engine in lockstep, asserting identical verdicts, probe
+/// answers, states and counters — the correctness contract of the compiled
+/// execution tier.  The tier is compiled at σ and then invalidated and
+/// recompiled mid-word, so in-flight states re-attach to fresh tables
+/// (the compile-during-traffic race).
+fn assert_tier_equivalence(
+    x: &Expr,
+    word: &[ix_core::Action],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut tiered = Engine::new(x).unwrap();
+    let mut plain = Engine::new(x).unwrap();
+    // Memoization off on both sides: every step goes through the tier (or
+    // its fallback) rather than the memo.
+    tiered.set_memo_capacity(0);
+    plain.set_memo_capacity(0);
+    plain.set_tier_budget(0);
+    tiered.compile_tier();
+    for (i, action) in word.iter().enumerate() {
+        if i == word.len() / 2 {
+            tiered.invalidate_tier();
+            tiered.compile_tier();
+        }
+        prop_assert_eq!(
+            tiered.is_permitted(action),
+            plain.is_permitted(action),
+            "is_permitted diverges with the tier on `{}` for {}",
+            x,
+            action
+        );
+        let reserved = [word.first().cloned().unwrap_or_else(|| action.clone())];
+        prop_assert_eq!(
+            tiered.permitted_after(reserved.iter(), action),
+            plain.permitted_after(reserved.iter(), action),
+            "permitted_after diverges with the tier on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(
+            tiered.try_execute(action),
+            plain.try_execute(action),
+            "try_execute diverges with the tier on `{}` for {}",
+            x,
+            action
+        );
+        prop_assert_eq!(tiered.state(), plain.state(), "states diverge on `{}`", x);
+        prop_assert_eq!(tiered.is_final(), plain.is_final(), "ϕ diverges on `{}`", x);
+    }
+    prop_assert_eq!(tiered.accepted(), plain.accepted());
+    prop_assert_eq!(tiered.rejected(), plain.rejected());
+    prop_assert_eq!(plain.tier_stats().hits, 0, "a zero-budget tier must never serve");
+    Ok(())
+}
+
+/// Strategy mixing quantified spines (which the compiler bails on) with
+/// quantifier-free operands (which become tiles): the tier serves part of
+/// the expression while the tree walk handles the rest.
+fn mixed_quantified_expr() -> impl Strategy<Value = Expr> {
+    let quant = prop_oneof![
+        Just(parse("(some x { e(x) })*").unwrap()),
+        Just(parse("all x { e(x)* }").unwrap()),
+        Just(parse("(some x { e(x) - a })*").unwrap()),
+    ];
+    let joiner = prop_oneof![Just(true), Just(false)];
+    (small_expr(), quant, joiner).prop_map(
+        |(x, q, sync)| {
+            if sync {
+                Expr::sync(x, q)
+            } else {
+                Expr::par(x, q)
+            }
+        },
+    )
+}
+
 const BOUND: usize = 3;
 
 proptest! {
@@ -518,6 +593,30 @@ proptest! {
         word in word_strategy(),
     ) {
         assert_memo_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn tiered_engine_matches_pure_cow_engine(
+        x in small_expr(),
+        word in word_strategy(),
+    ) {
+        assert_tier_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn tiered_engine_matches_pure_cow_engine_on_overlapping_expressions(
+        x in overlapping_expr(),
+        word in word_strategy(),
+    ) {
+        assert_tier_equivalence(&x, &word)?;
+    }
+
+    #[test]
+    fn tiered_engine_matches_pure_cow_engine_on_quantified_expressions(
+        x in mixed_quantified_expr(),
+        word in word_strategy(),
+    ) {
+        assert_tier_equivalence(&x, &word)?;
     }
 
     #[test]

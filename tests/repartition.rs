@@ -222,3 +222,81 @@ fn repeated_migrations_compose() {
         );
     }
 }
+
+#[test]
+fn a_stale_tile_can_never_serve_a_post_migration_step() {
+    // Shard 0's engine compiles its unordered (open + close)* loop to a
+    // table, then a coupling imposes strict open/close alternation.  The
+    // migration must drop the pre-migration tile (epoch bump) before the
+    // worker resumes: the old table would keep permitting a double open.
+    let expr = parse("(open_0 + close_0)* | (open_1 + close_1)*").unwrap();
+    let runtime = ManagerRuntime::with_protocol(&expr, ProtocolVariant::Combined).unwrap();
+    let session = runtime.session(1);
+    let open = Action::nullary("open_0");
+    let close = Action::nullary("close_0");
+    for _ in 0..100 {
+        assert!(session.execute_blocking(&open).unwrap().is_some());
+        assert!(session.execute_blocking(&close).unwrap().is_some());
+    }
+    let compiled = runtime.compile_tiers();
+    assert!(compiled[0].tables >= 1, "shard 0 must be table-resident: {:?}", compiled[0]);
+    for _ in 0..50 {
+        assert!(session.execute_blocking(&open).unwrap().is_some());
+        assert!(session.execute_blocking(&close).unwrap().is_some());
+    }
+    let before = runtime.tier_stats();
+    assert!(before.hits > 0, "the tile must have served steps: {before:?}");
+    assert_eq!(before.invalidations, 0);
+
+    // The committed history alternates, so it replays onto the coupling.
+    let report = runtime.couple(&parse("(open_0 - close_0)*").unwrap()).unwrap();
+    assert!(report.migrated_shards.contains(&0));
+    let after = runtime.tier_stats();
+    assert!(after.invalidations >= 1, "the migration must drop shard 0's tables: {after:?}");
+
+    // The old tile permitted open_0 in any state; the coupled ensemble
+    // denies a second open before a close.
+    assert!(session.execute_blocking(&open).unwrap().is_some());
+    assert!(session.execute_blocking(&open).unwrap().is_none(), "double open must be denied");
+    assert!(session.execute_blocking(&close).unwrap().is_some());
+
+    // Recompilation under the new epoch restores the tier and agrees with
+    // the coupled semantics.
+    let recompiled = runtime.compile_tiers();
+    assert!(recompiled.iter().any(|t| t.tables >= 1), "recompile after migration: {recompiled:?}");
+    let hits = runtime.tier_stats().hits;
+    for _ in 0..50 {
+        assert!(session.execute_blocking(&open).unwrap().is_some());
+        assert!(session.execute_blocking(&open).unwrap().is_none());
+        assert!(session.execute_blocking(&close).unwrap().is_some());
+    }
+    assert!(runtime.tier_stats().hits > hits, "fresh tiles serve post-migration traffic");
+}
+
+#[test]
+fn workers_compile_hot_engines_in_idle_slots() {
+    // No explicit compile call: blocking traffic leaves the worker an idle
+    // window after every submission, and once the engine runs hot the
+    // worker compiles it there — off the submission path.
+    let runtime =
+        ManagerRuntime::with_protocol(&parse("(tick - tock)*").unwrap(), ProtocolVariant::Combined)
+            .unwrap();
+    let session = runtime.session(1);
+    let tick = Action::nullary("tick");
+    let tock = Action::nullary("tock");
+    let mut compiled = false;
+    for _ in 0..1_000 {
+        assert!(session.execute_blocking(&tick).unwrap().is_some());
+        assert!(session.execute_blocking(&tock).unwrap().is_some());
+        if runtime.tier_stats().tables >= 1 {
+            compiled = true;
+            break;
+        }
+    }
+    assert!(compiled, "an idle worker must compile its hot engine: {:?}", runtime.tier_stats());
+    for _ in 0..5 {
+        assert!(session.execute_blocking(&tick).unwrap().is_some());
+        assert!(session.execute_blocking(&tock).unwrap().is_some());
+    }
+    assert!(runtime.tier_stats().hits > 0);
+}
