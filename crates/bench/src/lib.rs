@@ -11,6 +11,7 @@
 
 pub mod compilebench;
 pub mod contended;
+pub mod crossbench;
 pub mod pipelined;
 pub mod repart;
 pub mod stepbench;
@@ -18,6 +19,7 @@ pub mod workloads;
 
 pub use compilebench::*;
 pub use contended::*;
+pub use crossbench::*;
 pub use pipelined::*;
 pub use repart::*;
 pub use stepbench::*;

@@ -42,6 +42,12 @@ pub struct LatencyReport {
     pub contention: ContentionReport,
     /// Per-submission latencies in nanoseconds, unsorted.
     pub latencies_nanos: Vec<u64>,
+    /// Worker-side queueing-delay breakdown, one `(enqueue_wait, service)`
+    /// nanosecond pair per completed task ([`ManagerRuntime`] runs with
+    /// queue metrics on; empty for the blocking surface).  Separates the
+    /// scheduler's cost (how long a task sat in a shard queue) from the
+    /// commit cost (how long the worker spent deciding and applying it).
+    pub queue_samples: Vec<(u64, u64)>,
 }
 
 impl LatencyReport {
@@ -52,13 +58,7 @@ impl LatencyReport {
 
     /// The `q`-quantile latency in microseconds (q in [0, 1]).
     pub fn quantile_micros(&self, q: f64) -> f64 {
-        if self.latencies_nanos.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_nanos.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[rank] as f64 / 1000.0
+        Self::quantile(&self.latencies_nanos, q)
     }
 
     /// Median latency in microseconds.
@@ -69,6 +69,28 @@ impl LatencyReport {
     /// 99th-percentile latency in microseconds.
     pub fn p99_micros(&self) -> f64 {
         self.quantile_micros(0.99)
+    }
+
+    /// The `q`-quantile of the worker-side enqueue wait, in microseconds.
+    pub fn enqueue_wait_micros(&self, q: f64) -> f64 {
+        let waits: Vec<u64> = self.queue_samples.iter().map(|&(w, _)| w).collect();
+        Self::quantile(&waits, q)
+    }
+
+    /// The `q`-quantile of the worker-side service time, in microseconds.
+    pub fn service_micros(&self, q: f64) -> f64 {
+        let services: Vec<u64> = self.queue_samples.iter().map(|&(_, s)| s).collect();
+        Self::quantile(&services, q)
+    }
+
+    fn quantile(nanos: &[u64], q: f64) -> f64 {
+        if nanos.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = nanos.to_vec();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank] as f64 / 1000.0
     }
 }
 
@@ -153,6 +175,8 @@ pub fn run_pipelined_latency(
     window: usize,
 ) -> LatencyReport {
     let shards = runtime.shard_count();
+    // Start from a clean sample buffer so the report holds this run only.
+    let _ = runtime.drain_queue_samples();
     let started = Instant::now();
     let mut handles = Vec::with_capacity(threads);
     for t in 0..threads {
@@ -179,7 +203,9 @@ pub fn run_pipelined_latency(
             (committed, latencies)
         }));
     }
-    collect(handles, threads, shards, started)
+    let mut report = collect(handles, threads, shards, started);
+    report.queue_samples = runtime.drain_queue_samples();
+    report
 }
 
 type ClientHandleResult = std::thread::JoinHandle<(u64, Vec<u64>)>;
@@ -200,6 +226,7 @@ fn collect(
     LatencyReport {
         contention: ContentionReport { threads, shards, committed, elapsed: started.elapsed() },
         latencies_nanos: latencies,
+        queue_samples: Vec::new(),
     }
 }
 
@@ -223,7 +250,11 @@ pub fn pipelined_vs_blocking(
     let runtime = Arc::new(
         ManagerRuntime::with_options(
             &expr,
-            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() },
+            RuntimeOptions {
+                variant: ProtocolVariant::Combined,
+                queue_metrics: true,
+                ..RuntimeOptions::default()
+            },
         )
         .expect("valid constraint"),
     );
@@ -279,5 +310,14 @@ mod tests {
     #[test]
     fn smoke_runs_quickly() {
         assert!(pipelined_smoke(2, 4) < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn queue_breakdown_is_populated_for_the_runtime_only() {
+        let (blocking, runtime) = pipelined_vs_blocking(2, 6, 0, 8);
+        assert!(blocking.queue_samples.is_empty(), "no worker queue on the blocking surface");
+        assert!(!runtime.queue_samples.is_empty(), "queue metrics are on for the runtime");
+        assert!(runtime.service_micros(0.99) > 0.0);
+        assert!(runtime.enqueue_wait_micros(0.5) <= runtime.enqueue_wait_micros(0.99));
     }
 }

@@ -40,8 +40,8 @@ pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::DurableQueue;
 pub use runtime::{
-    ClockMode, Completion, ManagerRuntime, RepartitionReport, RepartitionStats, RuntimeOptions,
-    RuntimeReport, Session,
+    CascadeStats, ClockMode, Completion, ManagerRuntime, RepartitionReport, RepartitionStats,
+    RuntimeOptions, RuntimeReport, Session,
 };
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
 pub use ticket::{Ticket, TicketIssuer};

@@ -61,16 +61,19 @@ use crate::error::{ManagerError, ManagerResult};
 use crate::manager::{CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats};
 use crate::queue::DurableQueue;
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
-use crate::ticket::{completed, ticket, DeferredWake, Ticket, TicketIssuer};
+use crate::ticket::{completed, ticket, Ticket, TicketIssuer, WakeBatch};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender, TryRecvError};
 use ix_core::{Action, Alphabet, Expr, Partition};
-use ix_state::{Engine, Route, ShardRouter, StateRef, TierStats, DEFAULT_TIER_BUDGET};
+use ix_state::{
+    empty_reservation_fingerprint, Engine, Route, ShardRouter, StateRef, TierStats,
+    DEFAULT_TIER_BUDGET,
+};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the runtime's logical clock advances.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +104,20 @@ pub struct RuntimeOptions {
     /// slots — never on the submission path — and migrations invalidate the
     /// tables of every affected shard.
     pub tier_budget: usize,
+    /// Conditional-vote cascading on the coalesced cross-shard execute
+    /// rendezvous (default on): a voter whose speculative chain runs through
+    /// still-undecided predecessors deposits a *conditional* vote tagged
+    /// with its assumptions instead of holding the vote back, so an
+    /// all-commit chain cascades to decided without one rendezvous park per
+    /// barrier.  Off reproduces the PR-4 unconditional-votes-only protocol
+    /// exactly; the lockstep property tests prove the two modes (and the
+    /// blocking manager) decide identically.
+    pub cascade: bool,
+    /// Record a queueing-delay sample per completed execute — the time a
+    /// task waited in its shard queue vs the time the worker spent serving
+    /// it.  Drained via [`ManagerRuntime::drain_queue_samples`]; off by
+    /// default (each sample costs two clock reads on the worker).
+    pub queue_metrics: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -110,6 +127,8 @@ impl Default for RuntimeOptions {
             durable: false,
             clock: ClockMode::Virtual,
             tier_budget: DEFAULT_TIER_BUDGET,
+            cascade: true,
+            queue_metrics: false,
         }
     }
 }
@@ -310,6 +329,48 @@ struct RuntimeShared {
     next_reservation: AtomicU64,
     stats: SharedStats,
     repart: RepartCounters,
+    /// Conditional-vote cascading enabled (see [`RuntimeOptions::cascade`]).
+    cascade: bool,
+    /// Per-shard published reservation fingerprints: updated by the owning
+    /// worker after every reservation mutation, read by whoever verifies a
+    /// conditional vote's validity tag.  Absent shard = empty table.
+    reservation_fps: Mutex<HashMap<usize, u64>>,
+    /// Counters of the cascading machinery (not part of the protocol stats —
+    /// cascade-on and cascade-off runs produce identical [`ManagerStats`]).
+    cascade_counters: CascadeCounters,
+    /// Queueing-delay sampling enabled (see [`RuntimeOptions::queue_metrics`]).
+    queue_metrics: bool,
+    /// (enqueue-wait, service) nanosecond pairs, one per completed execute,
+    /// flushed by the workers once per drain.
+    queue_samples: Mutex<Vec<(u64, u64)>>,
+}
+
+/// Counters of the conditional-vote cascade (all relaxed).
+#[derive(Default)]
+struct CascadeCounters {
+    /// Conditional votes deposited.
+    conditional_votes: AtomicU64,
+    /// Conditional votes promoted to unconditional yes by a verified tag.
+    promoted_votes: AtomicU64,
+    /// Conditional votes cleared because a task they assumed was denied.
+    invalidated_votes: AtomicU64,
+    /// Commit decisions completed by at least one promoted vote — chains
+    /// that skipped a rendezvous round trip.
+    cascaded_commits: AtomicU64,
+}
+
+/// Snapshot of the conditional-vote cascade counters
+/// ([`ManagerRuntime::cascade_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Conditional votes deposited.
+    pub conditional_votes: u64,
+    /// Conditional votes promoted to unconditional yes by a verified tag.
+    pub promoted_votes: u64,
+    /// Conditional votes cleared because a task they assumed was denied.
+    pub invalidated_votes: u64,
+    /// Commit decisions that included at least one promoted vote.
+    pub cascaded_commits: u64,
 }
 
 /// Sort key of a per-shard log entry.  Cross-shard commits act as epoch
@@ -381,6 +442,8 @@ struct SingleTask {
     client: ClientId,
     op: Op,
     ticket: TicketIssuer<Completion>,
+    /// Submission instant (queue-metrics mode only).
+    submitted: Option<Instant>,
 }
 
 #[derive(Debug)]
@@ -422,30 +485,47 @@ enum CrossOp {
 ///
 /// A worker that dequeues one drains the whole already-queued run of
 /// same-owner-set executes (plus the single-owner executes interleaved
-/// between them) and walks it in one speculative pass.  The protocol admits
-/// only **unconditional** votes: a vote is deposited only when the voter
-/// knows the outcome of every predecessor of the same owner set, which
-/// holds along the speculative chain as long as the voter's own earlier
-/// votes were *no* (a single no forces a global denial, so the assumed
-/// outcome is a fact) or already-decided.  Consequences:
+/// between them) and walks it in one speculative pass, maintaining a chain
+/// of tentative successor states.  Votes come in two strengths:
 ///
-/// * an unconditional **no** decides the task as denied on the spot — the
+/// * an **unconditional no** decides the task as denied on the spot — the
 ///   conjunction is already false, no rendezvous happens at all, and a
 ///   mid-case shard insta-denies an entire run of barrier attempts in one
 ///   pass;
-/// * an unconditional **yes** is deposited and the task commits when all
-///   owners have deposited one (the last depositor decides and assigns the
-///   log sequence number);
-/// * a voter whose chain contains an undecided yes-assumption stays silent
-///   and votes later, when the assumption has resolved — if it resolved
-///   against the assumption, the tail of the speculation is recomputed
-///   (cheaply, through the engine's transition memo) before voting.
+/// * an **unconditional yes** — deposited while the voter's chain has run
+///   only through *known* outcomes — counts toward the commit; the vote
+///   that completes the count decides `Commit` and assigns the log
+///   sequence number;
+/// * a **conditional yes** ([`Vote::Conditional`], cascade mode only) —
+///   deposited when the chain has advanced through still-undecided
+///   predecessors on the *assumption* that they commit.  The vote carries a
+///   [`ValidityTag`] naming exactly those assumptions plus the epoch and
+///   reservation fingerprint the probe ran under; it counts toward the
+///   commit only once the tag *verifies* (every assumed task decided
+///   commit, epoch unchanged, the voter's published reservation
+///   fingerprint unchanged), at which point it is **promoted** to an
+///   unconditional yes.  Promotion happens at every later vote deposit and
+///   along the explicit [`cascade_from`] walk a fresh commit triggers — so
+///   an all-commit chain cascades to decided with no additional rendezvous
+///   round trips.  A denial anywhere in the assumed prefix makes the tag
+///   permanently unverifiable (the denied task is named in it);
+///   [`invalidate_downstream`] clears such votes eagerly, and the voter
+///   re-deposits from the recomputed true state when its in-order
+///   resolution pass reaches the task.
+/// * a **conditional no** is never deposited: the voter stays silent and
+///   votes at resolution.  Its task can never commit early (a commit needs
+///   this owner's yes), so the chain's assumption that it denies is
+///   self-fulfilling *given the voter's own prefix assumptions* — which
+///   later conditional-yes tags carry anyway.
 ///
-/// Decisions therefore still happen strictly in queue order per owner set,
-/// each from votes computed against the true predecessor state, so
-/// per-action outcomes, the merged log and the statistics are identical to
-/// an unbatched rendezvous; what changes is that owners park only on
-/// commit-pending tasks instead of once per action.
+/// In cascade-off mode every conditional deposit is simply withheld and the
+/// protocol degenerates to the strictly-ordered unconditional one.  Either
+/// way each vote that decides a task was computed against that task's true
+/// predecessor state (promotion verifies exactly this), so per-action
+/// outcomes, the merged log and the statistics are identical to an
+/// unbatched rendezvous; what changes is that owners park only on
+/// commit-pending tasks whose outcome genuinely awaits another shard's
+/// *first* vote, instead of once per barrier in a chain.
 struct ExecTask {
     /// The topology epoch the submission was routed under.
     epoch: u64,
@@ -453,8 +533,82 @@ struct ExecTask {
     // The client is not part of a combined execute's semantics (exactly as
     // in the blocking manager, which ignores it on this path).
     action: Action,
+    /// Submission instant (queue-metrics mode only).
+    submitted: Option<Instant>,
+    /// Lock-free mirror of the decision (`EXEC_UNDECIDED` /
+    /// `EXEC_COMMITTED` / `EXEC_DENIED`), written under the `sync` lock when
+    /// the decision is made.  Tag verification reads it without taking the
+    /// predecessor's lock — promotion only ever locks *forward* along the
+    /// chain, so the cascade cannot deadlock with a voter walking the same
+    /// chain.
+    decided: AtomicU8,
     sync: Mutex<ExecSync>,
     barrier: Condvar,
+}
+
+/// `ExecTask::decided` values.
+const EXEC_UNDECIDED: u8 = 0;
+const EXEC_COMMITTED: u8 = 1;
+const EXEC_DENIED: u8 = 2;
+
+/// One owner's vote on an [`ExecTask`].
+enum Vote {
+    /// Not deposited yet.
+    Pending,
+    /// Unconditional yes (deposited, or promoted from a verified
+    /// conditional vote).
+    Yes,
+    /// Yes, assuming the tag's prefix outcomes — counts only once promoted.
+    Conditional(ValidityTag),
+}
+
+/// The compact witness a conditional vote carries: the exact assumptions
+/// its speculative probe ran under.  The vote may be promoted to an
+/// unconditional yes iff every field still verifies at decide time.
+struct ValidityTag {
+    /// Topology epoch the probe ran under; a repartition in between makes
+    /// the tag unverifiable and the voter re-votes through the re-routed
+    /// task (stale-route machinery).
+    epoch: u64,
+    /// The voting shard (key of its published reservation fingerprint).
+    shard: usize,
+    /// Fingerprint of the voter's reservation table at probe time
+    /// ([`Engine::reservation_fingerprint`]); promotion requires the
+    /// shard's currently published fingerprint to match, proving the
+    /// reservation-aware part of the probe still holds.
+    reservation_fp: u64,
+    /// Every same-owner-set predecessor the chain advanced through on an
+    /// assumed *commit* (full prefix, not a delta — one membership check
+    /// suffices to invalidate).  Weak: tags must not keep dead tasks alive;
+    /// an unupgradable entry makes the tag unverifiable, never a false
+    /// promotion.  Assumed *denials* are not listed: each is the voter's
+    /// own withheld no, whose base assumptions are a subset of this list.
+    assumed: Option<Arc<AssumedLink>>,
+}
+
+/// One link of a validity tag's assumed-commit prefix.  The prefix is a
+/// persistent cons list shared structurally between the tags of one
+/// speculative pass: advancing the chain conses one link, and every tag
+/// snapshot is an O(1) `Arc` clone of the current head — without the
+/// sharing, a depth-`d` coalesced chain would clone O(d²) `Weak` handles
+/// per owner, which dominated the cascade's cost on deep batches.
+struct AssumedLink {
+    /// The assumed-committed predecessor.
+    task: std::sync::Weak<ExecTask>,
+    /// The assumptions made before it, in reverse queue order.
+    prev: Option<Arc<AssumedLink>>,
+}
+
+/// Iterates a tag's assumed-commit prefix (most recent assumption first).
+fn assumed_iter(
+    head: &Option<Arc<AssumedLink>>,
+) -> impl Iterator<Item = &std::sync::Weak<ExecTask>> {
+    let mut cursor = head.as_ref();
+    std::iter::from_fn(move || {
+        let link = cursor?;
+        cursor = link.prev.as_ref();
+        Some(&link.task)
+    })
 }
 
 struct ExecSync {
@@ -463,13 +617,23 @@ struct ExecSync {
     /// never be half-retried.  `Some(true)` means the owner set widened and
     /// the task was re-dispatched through the current topology.
     stale: Option<bool>,
-    /// Owners that have deposited an (always unconditional, always yes)
-    /// vote, aligned with `owners`.  No-votes are never deposited — they
-    /// decide the task as denied immediately.
-    voted: Vec<bool>,
-    /// Number of deposited yes votes; the task commits at `owners.len()`.
+    /// Per-owner votes, aligned with `owners`.  No-votes are never stored —
+    /// an unconditional no decides the task as denied immediately, a
+    /// conditional no is withheld entirely.
+    votes: Vec<Vote>,
+    /// Number of unconditional (deposited or promoted) yes votes; the task
+    /// commits at `owners.len()`.
     yes_votes: usize,
-    /// The verdict, set exactly once.
+    /// Whether any vote was ever promoted from a conditional — a commit
+    /// with this set counts as a cascaded commit in the diagnostics.
+    promoted_any: bool,
+    /// Next same-owner-set execute in queue order, linked idempotently by
+    /// every owner that coalesces the two into one batch (queue order is
+    /// identical on every shared queue, so the links agree).  Forward Arcs
+    /// only — the backward references of the validity tags are Weak, so the
+    /// chain is cycle-free.
+    cascade_next: Option<Arc<ExecTask>>,
+    /// The verdict, set exactly once (mirrored in [`ExecTask::decided`]).
     decision: Option<ExecDecision>,
     /// Owners that have applied a commit decision so far.
     applied: usize,
@@ -662,6 +826,11 @@ impl ManagerRuntime {
             next_reservation: AtomicU64::new(1),
             stats: SharedStats::default(),
             repart: RepartCounters::default(),
+            cascade: options.cascade,
+            reservation_fps: Mutex::new(HashMap::new()),
+            cascade_counters: CascadeCounters::default(),
+            queue_metrics: options.queue_metrics,
+            queue_samples: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::with_capacity(engines.len());
         for (id, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
@@ -761,6 +930,29 @@ impl ManagerRuntime {
     /// Statistics so far.
     pub fn stats(&self) -> ManagerStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Counters of the conditional-vote cascade.  Kept outside
+    /// [`ManagerStats`] deliberately: cascade-on and cascade-off runs must
+    /// produce *identical* manager statistics (the lockstep equivalence the
+    /// property tests check); these counters describe how the decisions
+    /// were reached, not what was decided.
+    pub fn cascade_stats(&self) -> CascadeStats {
+        let c = &self.shared.cascade_counters;
+        CascadeStats {
+            conditional_votes: c.conditional_votes.load(Ordering::Relaxed),
+            promoted_votes: c.promoted_votes.load(Ordering::Relaxed),
+            invalidated_votes: c.invalidated_votes.load(Ordering::Relaxed),
+            cascaded_commits: c.cascaded_commits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the queueing-delay samples collected so far (queue-metrics
+    /// mode): one `(enqueue_wait, service)` nanosecond pair per completed
+    /// task, in no particular order.  Empty unless
+    /// [`RuntimeOptions::queue_metrics`] was set.
+    pub fn drain_queue_samples(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut *lock(&self.shared.queue_samples))
     }
 
     /// Counters of the repartitioning machinery.  Test suites use
@@ -1170,6 +1362,10 @@ impl ManagerRuntime {
                     log: Vec::new(),
                     epoch: new_epochs[i],
                 };
+                // Seed the new shard's published reservation fingerprint so
+                // post-migration conditional votes verify against the
+                // migrated table, not the empty default.
+                publish_reservation_fp(shared, &state);
                 let shared = Arc::clone(shared);
                 workers.push(std::thread::spawn(move || worker(shared, rx, state)));
             }
@@ -1425,6 +1621,7 @@ impl Session {
         }
         // Dispatch phase: one enqueue-lock acquisition for the window;
         // consecutive same-shard singles coalesce into one Task::Batch.
+        let submitted = shared.queue_metrics.then(Instant::now);
         let mut run: Vec<SingleTask> = Vec::new();
         let mut run_shard = usize::MAX;
         let _guard = lock(&shared.cross_enqueue);
@@ -1441,11 +1638,12 @@ impl Session {
                         client: self.client,
                         op: Op::Execute { action },
                         ticket: issuer,
+                        submitted,
                     });
                 }
                 Route::Multi(owners) => {
                     flush_run(&topo, run_shard, &mut run);
-                    enqueue_exec(&topo, owners, action, issuer);
+                    enqueue_exec(&topo, owners, action, issuer, submitted);
                 }
             }
         }
@@ -1664,8 +1862,9 @@ fn submit_execute(
         }
         Route::Multi(owners) => {
             let (issuer, t) = ticket();
+            let submitted = shared.queue_metrics.then(Instant::now);
             let _guard = lock(&shared.cross_enqueue);
-            enqueue_exec(topo, owners, action.clone(), issuer);
+            enqueue_exec(topo, owners, action.clone(), issuer, submitted);
             t
         }
     }
@@ -1727,8 +1926,10 @@ fn enqueue_single(
     client: ClientId,
     op: Op,
     issuer: TicketIssuer<Completion>,
+    submitted: Option<Instant>,
 ) {
-    let task = Task::Single(SingleTask { epoch: topo.epoch(), client, op, ticket: issuer });
+    let task =
+        Task::Single(SingleTask { epoch: topo.epoch(), client, op, ticket: issuer, submitted });
     if let Err(SendError(Task::Single(task))) = topo.queues[shard].send(task) {
         task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
     }
@@ -1737,7 +1938,7 @@ fn enqueue_single(
 /// Enqueues a task on one shard's queue and returns its ticket.
 fn dispatch_single(topo: &Topology, shard: usize, client: ClientId, op: Op) -> Ticket<Completion> {
     let (issuer, t) = ticket();
-    enqueue_single(topo, shard, client, op, issuer);
+    enqueue_single(topo, shard, client, op, issuer, None);
     t
 }
 
@@ -1769,16 +1970,21 @@ fn enqueue_exec(
     owners: Vec<usize>,
     action: Action,
     issuer: TicketIssuer<Completion>,
+    submitted: Option<Instant>,
 ) {
     let n = owners.len();
     let task = Arc::new(ExecTask {
         epoch: topo.epoch(),
         owners,
         action,
+        submitted,
+        decided: AtomicU8::new(EXEC_UNDECIDED),
         sync: Mutex::new(ExecSync {
             stale: None,
-            voted: vec![false; n],
+            votes: (0..n).map(|_| Vote::Pending).collect(),
             yes_votes: 0,
+            promoted_any: false,
+            cascade_next: None,
             decision: None,
             applied: 0,
             notes: Vec::new(),
@@ -1975,23 +2181,73 @@ fn worker_spin() -> u32 {
     }
 }
 
-/// Fulfils a completion ticket from a shard worker.  On single-core hosts
-/// the waiter wakeup is deferred into `wakes` (flushed before every park and
-/// on worker exit); elsewhere the completion wakes immediately.
-fn fulfil(ticket: TicketIssuer<Completion>, value: Completion, wakes: &mut Vec<DeferredWake>) {
-    if single_core() {
-        if let Some(wake) = ticket.complete_deferred(value) {
-            wakes.push(wake);
+/// Per-drain context a shard worker threads through its task processing:
+/// the deferred ticket-wakeup batch (single-core hosts) plus, when enabled,
+/// the queueing-delay samples of the drain.
+struct WorkerCtx {
+    /// Deferred ticket wakeups — flushed before every park and on exit, so
+    /// waiters are never stranded, and a whole queue drain costs one
+    /// client/worker context-switch round instead of one per completion.
+    wakes: WakeBatch,
+    /// Queueing-delay sampling enabled ([`RuntimeOptions::queue_metrics`]).
+    metrics: bool,
+    /// Instant the worker dequeued the task (or drained the batch) it is
+    /// currently processing — the boundary between enqueue wait and
+    /// service time.
+    dequeued: Instant,
+    /// (enqueue-wait, service) nanosecond pairs of this drain.
+    samples: Vec<(u64, u64)>,
+}
+
+impl WorkerCtx {
+    fn new(metrics: bool) -> WorkerCtx {
+        WorkerCtx {
+            wakes: WakeBatch::new(),
+            metrics,
+            dequeued: Instant::now(),
+            samples: Vec::new(),
         }
-    } else {
-        ticket.complete(value);
+    }
+
+    /// Stamps the dequeue boundary of the next task (metrics mode only).
+    fn stamp_dequeue(&mut self) {
+        if self.metrics {
+            self.dequeued = Instant::now();
+        }
+    }
+
+    /// Records one completed execute: how long it sat in the queue before
+    /// this worker picked it up vs how long the worker spent on it.  For a
+    /// cross-shard execute the recording owner's own drain boundary is the
+    /// reference — the honest per-shard view of the rendezvous cost.
+    fn record(&mut self, submitted: Option<Instant>) {
+        if !self.metrics {
+            return;
+        }
+        let wait =
+            submitted.map_or(0, |s| self.dequeued.saturating_duration_since(s).as_nanos() as u64);
+        let service = self.dequeued.elapsed().as_nanos() as u64;
+        self.samples.push((wait, service));
+    }
+
+    /// Delivers every deferred wakeup and publishes the drain's samples.
+    fn flush(&mut self, shared: &RuntimeShared) {
+        self.wakes.flush();
+        if !self.samples.is_empty() {
+            lock(&shared.queue_samples).append(&mut self.samples);
+        }
     }
 }
 
-/// Delivers every deferred wakeup collected so far.
-fn flush_wakes(wakes: &mut Vec<DeferredWake>) {
-    for wake in wakes.drain(..) {
-        wake.wake();
+/// Fulfils a completion ticket from a shard worker.  On single-core hosts
+/// the waiter wakeup is deferred into the drain's wake batch (flushed
+/// before every park and on worker exit); elsewhere the completion wakes
+/// immediately.
+fn fulfil(ticket: TicketIssuer<Completion>, value: Completion, cx: &mut WorkerCtx) {
+    if single_core() {
+        cx.wakes.push(ticket.complete_deferred(value));
+    } else {
+        ticket.complete(value);
     }
 }
 
@@ -2016,9 +2272,9 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
     // A one-slot pushback buffer: collecting a run of consecutive
     // multi-owner executes pops one task too many, which is processed next.
     let mut pushback: Option<Task> = None;
-    // Deferred ticket wakeups (single-core hosts only) — flushed before
-    // every park and on exit, so waiters are never stranded.
-    let mut wakes: Vec<DeferredWake> = Vec::new();
+    // Deferred ticket wakeups (single-core hosts only) plus queueing-delay
+    // samples, flushed before every park and on exit.
+    let mut cx = WorkerCtx::new(shared.queue_metrics);
     // The divert watermark: once a stale task of epoch < E is re-routed to
     // the queue tail, every other task stamped below E must follow it there
     // even if its own route is unchanged — processing it inline would
@@ -2034,7 +2290,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 Err(TryRecvError::Empty) => {
                     // About to go idle: deliver the banked wakeups first —
                     // the woken clients are exactly who refills the queue.
-                    flush_wakes(&mut wakes);
+                    cx.flush(&shared);
                     // Idle slot: compile a hot engine's execution tier off
                     // the submission path before parking.
                     if st.engine.tier_wants_compile() {
@@ -2044,20 +2300,21 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 }
             },
         };
+        cx.stamp_dequeue();
         match task {
             Ok(Task::Single(task)) => {
                 if let Some(task) =
-                    ensure_single_route(&shared, &st, task, &mut wakes, &mut divert_below)
+                    ensure_single_route(&shared, &st, task, &mut cx, &mut divert_below)
                 {
-                    process_single(&shared, &mut st, task, &mut wakes)
+                    process_single(&shared, &mut st, task, &mut cx)
                 }
             }
             Ok(Task::Batch(tasks)) => {
-                process_batch_window(&shared, &mut st, tasks, &mut wakes, &mut divert_below)
+                process_batch_window(&shared, &mut st, tasks, &mut cx, &mut divert_below)
             }
             Ok(Task::Cross(task)) => {
                 if cross_is_live(&shared, &task, &mut divert_below) {
-                    flush_wakes(&mut wakes);
+                    cx.flush(&shared);
                     process_cross(&shared, &mut st, &task)
                 }
             }
@@ -2074,7 +2331,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                     match rx.try_recv() {
                         Ok(Task::Exec(next)) if next.owners == batch.owners => {
                             if exec_is_live(&shared, &next, &mut divert_below) {
-                                batch.push_exec(next)
+                                batch.push_exec(&shared, next)
                             }
                         }
                         Ok(Task::Single(single)) if matches!(single.op, Op::Execute { .. }) => {
@@ -2082,7 +2339,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                                 &shared,
                                 &st,
                                 single,
-                                &mut wakes,
+                                &mut cx,
                                 &mut divert_below,
                             ) {
                                 batch.push_local(single)
@@ -2098,14 +2355,14 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                         break;
                     }
                 }
-                process_batch(&shared, &mut st, batch, &mut wakes);
+                process_batch(&shared, &mut st, batch, &mut cx);
             }
             Ok(Task::Pause(pause)) => {
                 // Quiescence point of a live migration: deliver the banked
                 // wakeups, hand the entire shard state (engine, tables, log
                 // segment) to the coordinator, and block until it is
                 // returned.  The rest of the runtime keeps serving.
-                flush_wakes(&mut wakes);
+                cx.flush(&shared);
                 match pause.state_tx.send(st) {
                     Ok(()) => {
                         st = pause
@@ -2136,11 +2393,11 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
             }
             Err(_) => break,
         }
-        if wakes.len() >= 256 {
-            flush_wakes(&mut wakes);
+        if cx.wakes.len() >= 256 {
+            cx.flush(&shared);
         }
     }
-    flush_wakes(&mut wakes);
+    cx.flush(&shared);
     st
 }
 
@@ -2188,14 +2445,14 @@ fn ensure_single_route(
     shared: &Arc<RuntimeShared>,
     st: &ShardState,
     task: SingleTask,
-    wakes: &mut Vec<DeferredWake>,
+    cx: &mut WorkerCtx,
     divert_below: &mut u64,
 ) -> Option<SingleTask> {
     if task.epoch == shared.epoch.load(Ordering::Acquire) {
         return Some(task);
     }
     let Some(slot) = shared.topology.upgrade() else {
-        fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, wakes);
+        fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, cx);
         return None;
     };
     let topo = read_topology(&slot);
@@ -2210,9 +2467,8 @@ fn ensure_single_route(
             route => {
                 shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
                 *divert_below = topo.epoch();
-                let SingleTask { client, op, ticket, .. } = task;
                 let _guard = lock(&shared.cross_enqueue);
-                redispatch_single(shared, &topo, client, op, route, ticket, wakes);
+                redispatch_single(shared, &topo, task, route, cx);
                 None
             }
         },
@@ -2251,16 +2507,15 @@ fn ensure_single_route(
 fn redispatch_single(
     shared: &Arc<RuntimeShared>,
     topo: &Arc<Topology>,
-    client: ClientId,
-    op: Op,
+    task: SingleTask,
     route: Route,
-    issuer: TicketIssuer<Completion>,
-    wakes: &mut Vec<DeferredWake>,
+    cx: &mut WorkerCtx,
 ) {
+    let SingleTask { client, op, ticket: issuer, submitted, .. } = task;
     match (op, route) {
-        (op, Route::Single(shard)) => enqueue_single(topo, shard, client, op, issuer),
+        (op, Route::Single(shard)) => enqueue_single(topo, shard, client, op, issuer, submitted),
         (Op::Execute { action }, Route::Multi(owners)) => {
-            enqueue_exec(topo, owners, action, issuer);
+            enqueue_exec(topo, owners, action, issuer, submitted);
         }
         (Op::Ask { action }, Route::Multi(owners)) => {
             enqueue_cross(topo, owners, CrossOp::Ask { client, action }, issuer)
@@ -2272,7 +2527,7 @@ fn redispatch_single(
             // The migration promoted the registration to the cross-shard
             // registry; remove it there.
             cross_unsubscribe(shared, client, &action);
-            fulfil(issuer, Completion::Unsubscribed, wakes);
+            fulfil(issuer, Completion::Unsubscribed, cx);
         }
         (Op::Query { action }, Route::Multi(owners)) => {
             enqueue_cross(topo, owners, CrossOp::Query { action }, issuer)
@@ -2300,7 +2555,7 @@ fn redispatch_single(
                     Completion::Denied
                 }
             };
-            fulfil(issuer, completion, wakes);
+            fulfil(issuer, completion, cx);
         }
         (op, route) => unreachable!("unhandled stale reroute {op:?} -> {route:?}"),
     }
@@ -2316,26 +2571,22 @@ fn process_batch_window(
     shared: &Arc<RuntimeShared>,
     st: &mut ShardState,
     tasks: Vec<SingleTask>,
-    wakes: &mut Vec<DeferredWake>,
+    cx: &mut WorkerCtx,
     divert_below: &mut u64,
 ) {
     let mut iter = tasks.into_iter();
     while let Some(task) = iter.next() {
         if task.epoch == shared.epoch.load(Ordering::Acquire) {
-            process_single(shared, st, task, wakes);
+            process_single(shared, st, task, cx);
             continue;
         }
         // Stale stamp: check this item's route; if it moved (or it is
         // ordered behind an already-diverted task), divert it and the
         // whole remainder of the window in order.
         let Some(slot) = shared.topology.upgrade() else {
-            fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, wakes);
+            fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, cx);
             for task in iter {
-                fulfil(
-                    task.ticket,
-                    Completion::Failed { error: ManagerError::Disconnected },
-                    wakes,
-                );
+                fulfil(task.ticket, Completion::Failed { error: ManagerError::Disconnected }, cx);
             }
             return;
         };
@@ -2346,25 +2597,25 @@ fn process_batch_window(
         if task.epoch >= *divert_below
             && matches!(topo.router.classify(action), Route::Single(shard) if shard == st.id)
         {
-            process_single(shared, st, task, wakes);
+            process_single(shared, st, task, cx);
             continue;
         }
         *divert_below = topo.epoch();
         let _guard = lock(&shared.cross_enqueue);
         for task in std::iter::once(task).chain(iter) {
             shared.repart.rerouted_tasks.fetch_add(1, Ordering::Relaxed);
-            let SingleTask { client, op, ticket, .. } = task;
+            let SingleTask { client, op, ticket, submitted, .. } = task;
             let Op::Execute { action } = op else {
                 unreachable!("submission windows carry executes only");
             };
             match topo.router.classify(&action) {
                 Route::Single(shard) => {
-                    enqueue_single(&topo, shard, client, Op::Execute { action }, ticket)
+                    enqueue_single(&topo, shard, client, Op::Execute { action }, ticket, submitted)
                 }
-                Route::Multi(owners) => enqueue_exec(&topo, owners, action, ticket),
+                Route::Multi(owners) => enqueue_exec(&topo, owners, action, ticket, submitted),
                 Route::None => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
-                    fulfil(ticket, Completion::Denied, wakes);
+                    fulfil(ticket, Completion::Denied, cx);
                 }
             }
         }
@@ -2448,7 +2699,9 @@ fn exec_is_live(shared: &Arc<RuntimeShared>, task: &Arc<ExecTask>, divert_below:
         }
         return !stale;
     }
-    if sync.voted.iter().any(|v| *v) || sync.decision.is_some() {
+    if sync.votes.iter().any(|v| !matches!(v, Vote::Pending)) || sync.decision.is_some() {
+        // Somebody already voted (even conditionally) under the old epoch,
+        // so the owner set cannot have changed.
         sync.stale = Some(false);
         return true;
     }
@@ -2468,7 +2721,7 @@ fn exec_is_live(shared: &Arc<RuntimeShared>, task: &Arc<ExecTask>, divert_below:
     if let (Some(topo), Some(issuer)) = (current, issuer) {
         *divert_below = topo.epoch();
         let _guard = lock(&shared.cross_enqueue);
-        enqueue_exec(&topo, owners, task.action.clone(), issuer);
+        enqueue_exec(&topo, owners, task.action.clone(), issuer, task.submitted);
     }
     false
 }
@@ -2485,49 +2738,238 @@ const MAX_BATCH: usize = 128;
 /// when reservations are outstanding, as on the single-owner path) followed
 /// by the tentative prepare, both from the speculative `base` state of the
 /// run's chain.  `Some` is a yes vote carrying the prepared successor.
-fn exec_vote(st: &ShardState, base: Option<&StateRef>, action: &Action) -> Option<StateRef> {
-    let permitted = st.reservations.is_empty()
-        || st.engine.permitted_after_from(
+/// Also returns the fingerprint of the reservation table the probe ran
+/// against — the witness a conditional vote built on this probe carries.
+fn exec_vote(st: &ShardState, base: Option<&StateRef>, action: &Action) -> (Option<StateRef>, u64) {
+    let (permitted, fp) = if st.reservations.is_empty() {
+        (true, empty_reservation_fingerprint())
+    } else {
+        st.engine.permitted_after_from_fingerprinted(
             base,
             st.reservations.values().map(|r| &r.action),
             action,
-        );
+        )
+    };
     if !permitted {
+        return (None, fp);
+    }
+    (st.engine.prepare_from(base, action), fp)
+}
+
+/// Publishes the shard's current reservation-table fingerprint, against
+/// which conditional votes prove their probes still hold at promotion time.
+/// Called after every mutation of `st.reservations` (cascade mode only —
+/// nothing reads the table otherwise).
+fn publish_reservation_fp(shared: &RuntimeShared, st: &ShardState) {
+    if !shared.cascade {
+        return;
+    }
+    let fp = Engine::reservation_fingerprint(st.reservations.values().map(|r| &r.action));
+    lock(&shared.reservation_fps).insert(st.id, fp);
+}
+
+/// Records the verdict: the single place `ExecSync::decision` is set.
+/// Mirrors it into the lock-free [`ExecTask::decided`] atomic (read by tag
+/// verification without taking this task's lock) and wakes parked owners.
+fn set_exec_decision(task: &ExecTask, sync: &mut ExecSync, decision: ExecDecision) {
+    sync.decision = Some(decision);
+    let mirror = match decision {
+        ExecDecision::Commit { .. } => EXEC_COMMITTED,
+        ExecDecision::Deny => EXEC_DENIED,
+    };
+    task.decided.store(mirror, Ordering::Release);
+    task.barrier.notify_all();
+}
+
+/// Verifies a conditional vote's validity tag: the epoch is unchanged, the
+/// voter's published reservation fingerprint still matches the one its
+/// probe ran against, and every assumed predecessor actually decided
+/// commit.  All three are machine-checked witnesses — a verified tag means
+/// the vote equals the unconditional vote a recompute would produce.
+fn tag_valid(shared: &RuntimeShared, tag: &ValidityTag) -> bool {
+    if tag.epoch != shared.epoch.load(Ordering::Acquire) {
+        return false;
+    }
+    let published = lock(&shared.reservation_fps)
+        .get(&tag.shard)
+        .copied()
+        .unwrap_or_else(empty_reservation_fingerprint);
+    if published != tag.reservation_fp {
+        return false;
+    }
+    assumed_iter(&tag.assumed)
+        .all(|w| w.upgrade().is_some_and(|t| t.decided.load(Ordering::Acquire) == EXEC_COMMITTED))
+}
+
+/// Promotes every conditional vote whose tag verifies and, when the
+/// unconditional count reaches the owner count, decides `Commit`.  Returns
+/// the decision *this call* made, if any — the caller propagates it along
+/// the cascade links once the lock is dropped.
+fn try_decide_exec(
+    shared: &RuntimeShared,
+    task: &ExecTask,
+    sync: &mut ExecSync,
+) -> Option<ExecDecision> {
+    if sync.decision.is_some() {
         return None;
     }
-    st.engine.prepare_from(base, action)
+    if shared.cascade && sync.yes_votes < task.owners.len() {
+        // Promotion can only complete a decision once *every* slot holds a
+        // yes or a tagged yes — with any slot still pending the commit is
+        // short regardless, so verifying tags early is pure waste that the
+        // next deposit would repeat.  The gate keeps the cascade's tag
+        // checks linear in the chain instead of quadratic.
+        let conditionals = sync.votes.iter().filter(|v| matches!(v, Vote::Conditional(_))).count();
+        if sync.yes_votes + conditionals == task.owners.len() {
+            let mut promoted = 0u64;
+            for vote in sync.votes.iter_mut() {
+                if let Vote::Conditional(tag) = vote {
+                    if tag_valid(shared, tag) {
+                        *vote = Vote::Yes;
+                        sync.yes_votes += 1;
+                        promoted += 1;
+                    }
+                }
+            }
+            if promoted > 0 {
+                sync.promoted_any = true;
+                shared.cascade_counters.promoted_votes.fetch_add(promoted, Ordering::Relaxed);
+            }
+        }
+    }
+    if sync.yes_votes == task.owners.len() {
+        if sync.promoted_any {
+            shared.cascade_counters.cascaded_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        let decision = ExecDecision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) };
+        set_exec_decision(task, sync, decision);
+        return Some(decision);
+    }
+    None
 }
 
 /// Deposits this owner's *unconditional* vote and decides the task when the
 /// vote settles it: a no decides `Deny` immediately (the conjunction is
-/// false), the last yes decides `Commit`.  Must only be called when the
-/// outcome of every same-owner-set predecessor is known to the caller and
-/// reflected in the vote's base state.
+/// false), while a yes triggers promotion of any verifiable conditional
+/// votes and decides `Commit` when the count completes.  Must only be
+/// called when the outcome of every same-owner-set predecessor is known to
+/// the caller and reflected in the vote's base state.  Supersedes this
+/// owner's own earlier conditional vote, never an unconditional one.
 fn deposit_unconditional_vote(
     shared: &RuntimeShared,
     task: &ExecTask,
     sync: &mut ExecSync,
     pos: usize,
     yes: bool,
-) {
-    if sync.decision.is_some() || sync.voted[pos] {
-        return;
+    cx: &mut WorkerCtx,
+) -> Option<ExecDecision> {
+    if sync.decision.is_some() || matches!(sync.votes[pos], Vote::Yes) {
+        return None;
     }
     if yes {
-        sync.voted[pos] = true;
+        sync.votes[pos] = Vote::Yes;
         sync.yes_votes += 1;
-        if sync.yes_votes == task.owners.len() {
-            sync.decision =
-                Some(ExecDecision::Commit { seq: shared.log_seq.fetch_add(1, Ordering::Relaxed) });
-            task.barrier.notify_all();
-        }
+        try_decide_exec(shared, task, sync)
     } else {
+        sync.votes[pos] = Vote::Pending;
         shared.stats.denials.fetch_add(1, Ordering::Relaxed);
         if let Some(issuer) = sync.ticket.take() {
-            issuer.complete(Completion::Denied);
+            fulfil(issuer, Completion::Denied, cx);
         }
-        sync.decision = Some(ExecDecision::Deny);
-        task.barrier.notify_all();
+        cx.record(task.submitted);
+        set_exec_decision(task, sync, ExecDecision::Deny);
+        Some(ExecDecision::Deny)
+    }
+}
+
+/// Deposits this owner's *conditional* yes vote (cascade mode only): the
+/// chain advanced through still-undecided predecessors, and `tag` names
+/// exactly the assumptions the probe ran under.  The deposit itself runs a
+/// decide attempt — the assumptions may already have resolved between the
+/// probe and this lock acquisition.
+fn deposit_conditional_vote(
+    shared: &RuntimeShared,
+    task: &ExecTask,
+    sync: &mut ExecSync,
+    pos: usize,
+    tag: ValidityTag,
+) -> Option<ExecDecision> {
+    if sync.decision.is_some() || matches!(sync.votes[pos], Vote::Yes) {
+        return None;
+    }
+    shared.cascade_counters.conditional_votes.fetch_add(1, Ordering::Relaxed);
+    sync.votes[pos] = Vote::Conditional(tag);
+    try_decide_exec(shared, task, sync)
+}
+
+/// Walks the cascade links forward from a freshly committed task, promoting
+/// and deciding successors whose conditional votes now verify — the
+/// rendezvous-free decided path.  Stops at the first task the walk leaves
+/// undecided: its missing votes await a genuinely unresolved owner, not
+/// this commit.  Locks strictly forward along the chain, so it cannot
+/// deadlock with a voter holding an earlier task's lock.
+fn cascade_from(shared: &RuntimeShared, task: &Arc<ExecTask>) {
+    let mut cur = Arc::clone(task);
+    loop {
+        let next = lock(&cur.sync).cascade_next.clone();
+        let Some(next) = next else { break };
+        let decision = {
+            let mut sync = lock(&next.sync);
+            try_decide_exec(shared, &next, &mut sync)
+        };
+        match decision {
+            Some(ExecDecision::Commit { .. }) => cur = next,
+            _ => break,
+        }
+    }
+}
+
+/// Walks the cascade links forward from a denied task, clearing every
+/// conditional vote whose tag assumed the denied commit.  Correctness does
+/// not depend on this — such a tag names the denied task and can never
+/// verify again — but eager clearing spares every later decide attempt the
+/// doomed verification, and the voters re-deposit from the recomputed true
+/// state when their in-order resolution passes reach the tasks.
+fn invalidate_downstream(shared: &RuntimeShared, denied: &Arc<ExecTask>) {
+    let denied_ptr = Arc::as_ptr(denied);
+    let mut cur = Arc::clone(denied);
+    loop {
+        let next = lock(&cur.sync).cascade_next.clone();
+        let Some(next) = next else { break };
+        {
+            let mut sync = lock(&next.sync);
+            if sync.decision.is_none() {
+                let mut cleared = 0u64;
+                for vote in sync.votes.iter_mut() {
+                    if let Vote::Conditional(tag) = vote {
+                        if assumed_iter(&tag.assumed).any(|w| std::ptr::eq(w.as_ptr(), denied_ptr))
+                        {
+                            *vote = Vote::Pending;
+                            cleared += 1;
+                        }
+                    }
+                }
+                if cleared > 0 {
+                    shared.cascade_counters.invalidated_votes.fetch_add(cleared, Ordering::Relaxed);
+                }
+            }
+        }
+        cur = next;
+    }
+}
+
+/// Cascades or invalidates along the chain links for every decision the
+/// caller made while holding a task's rendezvous lock.  Must be called with
+/// no rendezvous lock held — the walks lock forward along the chain.
+fn propagate_decisions(shared: &RuntimeShared, decided: &mut Vec<(Arc<ExecTask>, ExecDecision)>) {
+    for (task, decision) in decided.drain(..) {
+        if !shared.cascade {
+            continue;
+        }
+        match decision {
+            ExecDecision::Commit { .. } => cascade_from(shared, &task),
+            ExecDecision::Deny => invalidate_downstream(shared, &task),
+        }
     }
 }
 
@@ -2541,6 +2983,7 @@ fn apply_exec_commit(
     pos: usize,
     seq: u64,
     next: StateRef,
+    cx: &mut WorkerCtx,
 ) {
     st.engine.commit_prepared(next);
     st.epoch = seq;
@@ -2565,8 +3008,9 @@ fn apply_exec_commit(
         shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
         deliver(shared, &notes);
         if let Some(issuer) = sync.ticket.take() {
-            issuer.complete(Completion::Executed { notifications: notes });
+            fulfil(issuer, Completion::Executed { notifications: notes }, cx);
         }
+        cx.record(task.submitted);
     }
 }
 
@@ -2577,6 +3021,9 @@ struct Batch {
     owners: Vec<usize>,
     actions: Vec<Action>,
     kinds: Vec<BatchKind>,
+    /// Per-item submission instants (queue-metrics mode only), aligned with
+    /// `kinds`.
+    submitted: Vec<Option<Instant>>,
 }
 
 enum BatchKind {
@@ -2591,12 +3038,29 @@ impl Batch {
         Batch {
             owners: first.owners.clone(),
             actions: vec![first.action.clone()],
+            submitted: vec![first.submitted],
             kinds: vec![BatchKind::Exec(first)],
         }
     }
 
-    fn push_exec(&mut self, task: Arc<ExecTask>) {
+    fn push_exec(&mut self, shared: &RuntimeShared, task: Arc<ExecTask>) {
+        if shared.cascade {
+            // Link the queue-order predecessor to this task.  Every owner
+            // coalesces the identical queue run (enqueue order = lock
+            // order), so each sets the same link; the first write wins and
+            // the rest are no-ops.
+            if let Some(prev) = self.kinds.iter().rev().find_map(|k| match k {
+                BatchKind::Exec(t) => Some(t),
+                BatchKind::Local(_) => None,
+            }) {
+                let mut sync = lock(&prev.sync);
+                if sync.cascade_next.is_none() {
+                    sync.cascade_next = Some(Arc::clone(&task));
+                }
+            }
+        }
         self.actions.push(task.action.clone());
+        self.submitted.push(task.submitted);
         self.kinds.push(BatchKind::Exec(task));
     }
 
@@ -2605,6 +3069,7 @@ impl Batch {
             unreachable!("only execute tasks join a batch");
         };
         self.actions.push(action);
+        self.submitted.push(task.submitted);
         self.kinds.push(BatchKind::Local(Some(task.ticket)));
     }
 }
@@ -2632,23 +3097,42 @@ enum Spec {
 /// execute so far was already decided, insta-denied by this shard's own no
 /// vote, or committed by this shard's completing yes vote — votes are
 /// deposited (and tasks decided) on the spot.  The first yes vote that
-/// leaves a task undecided makes the rest of the chain conditional: specs
-/// are still computed (assuming this shard's own votes win), but nothing is
-/// deposited; the resolution pass deposits them once the assumptions have
-/// resolved, recomputing if one failed.
+/// leaves a task undecided makes the rest of the chain conditional: in
+/// cascade mode later yes votes are still deposited, as
+/// [`Vote::Conditional`] tagged with the exact assumptions the chain ran
+/// through, so the prefix resolving all-commit decides the whole chain with
+/// no further rendezvous; with cascading off they are withheld and the
+/// resolution pass deposits them in order, recomputing if an assumption
+/// failed.  Decisions made along the way are pushed onto `decided` for the
+/// caller to propagate along the cascade links once no lock is held.
+/// Scratch state shared between the speculative and resolution passes of
+/// [`process_batch`]: the per-item verdicts and the decisions reached while
+/// a rendezvous lock was held (propagated along the cascade links once no
+/// lock is held).
+struct SpecPass {
+    specs: Vec<Spec>,
+    decided: Vec<(Arc<ExecTask>, ExecDecision)>,
+}
+
 fn compute_specs(
     shared: &RuntimeShared,
     st: &ShardState,
     batch: &Batch,
     from: usize,
     pos: usize,
-    specs: &mut Vec<Spec>,
+    pass: &mut SpecPass,
+    cx: &mut WorkerCtx,
 ) {
+    let SpecPass { specs, decided } = pass;
     specs.truncate(from);
+    let epoch = shared.epoch.load(Ordering::Acquire);
     let mut chain: Option<StateRef> = None;
     let mut unconditional = true;
+    // The assumed-commit prefix of the conditional chain — a persistent
+    // cons list every later conditional vote's tag snapshots in O(1).
+    let mut assumed_commits: Option<Arc<AssumedLink>> = None;
     for (action, kind) in batch.actions[from..].iter().zip(&batch.kinds[from..]) {
-        let next = exec_vote(st, chain.as_ref(), action);
+        let (next, reservation_fp) = exec_vote(st, chain.as_ref(), action);
         match kind {
             BatchKind::Local(_) => {
                 // A single-owner execute: decided by this shard alone, but
@@ -2680,18 +3164,39 @@ fn compute_specs(
                         }
                         None => {
                             if unconditional {
-                                deposit_unconditional_vote(
+                                if let Some(decision) = deposit_unconditional_vote(
                                     shared,
                                     task,
                                     &mut sync,
                                     pos,
                                     next.is_some(),
-                                );
+                                    cx,
+                                ) {
+                                    decided.push((Arc::clone(task), decision));
+                                }
+                            } else if shared.cascade && next.is_some() {
+                                // A yes on a conditional chain: deposit it
+                                // tagged with the assumptions instead of
+                                // holding it back.  (A conditional *no*
+                                // stays withheld — its task cannot commit
+                                // without our yes, so silence is safe.)
+                                let tag = ValidityTag {
+                                    epoch,
+                                    shard: st.id,
+                                    reservation_fp,
+                                    assumed: assumed_commits.clone(),
+                                };
+                                if let Some(decision) =
+                                    deposit_conditional_vote(shared, task, &mut sync, pos, tag)
+                                {
+                                    decided.push((Arc::clone(task), decision));
+                                }
                             }
                             match (&sync.decision, &next) {
                                 (Some(ExecDecision::Commit { .. }), Some(nx)) => {
-                                    // Our yes completed the commit: outcome
-                                    // known, chain advances.
+                                    // Our yes completed the commit (possibly
+                                    // by promoting the other owners' tagged
+                                    // votes): outcome known, chain advances.
                                     chain = Some(nx.clone());
                                 }
                                 (Some(ExecDecision::Deny), _) | (_, None) => {
@@ -2703,12 +3208,16 @@ fn compute_specs(
                                 }
                                 (None, Some(nx)) => {
                                     // A yes on an undecided task — deposited
-                                    // if unconditional, held back otherwise.
-                                    // The chain *assumes* the commit from
+                                    // (conditionally past the first) with
+                                    // the chain *assuming* the commit from
                                     // here on.
                                     chain = Some(nx.clone());
                                     assumed = true;
                                     unconditional = false;
+                                    assumed_commits = Some(Arc::new(AssumedLink {
+                                        task: Arc::downgrade(task),
+                                        prev: assumed_commits.take(),
+                                    }));
                                 }
                             }
                         }
@@ -2734,7 +3243,7 @@ fn process_batch(
     shared: &RuntimeShared,
     st: &mut ShardState,
     mut batch: Batch,
-    wakes: &mut Vec<DeferredWake>,
+    cx: &mut WorkerCtx,
 ) {
     let pos = batch
         .owners
@@ -2743,8 +3252,14 @@ fn process_batch(
         .expect("exec task routed to a non-owner shard");
 
     // ---- Speculative pass: one chain over the whole batch. ----
-    let mut specs = Vec::with_capacity(batch.actions.len());
-    compute_specs(shared, st, &batch, 0, pos, &mut specs);
+    let mut pass = SpecPass {
+        specs: Vec::with_capacity(batch.actions.len()),
+        // Decisions made while holding a rendezvous lock, propagated along
+        // the cascade links as soon as the lock is dropped.
+        decided: Vec::new(),
+    };
+    compute_specs(shared, st, &batch, 0, pos, &mut pass, cx);
+    propagate_decisions(shared, &mut pass.decided);
 
     // ---- Resolution pass: strictly in queue order. ----
     // True while the outcomes observed so far match the assumptions the
@@ -2755,10 +3270,11 @@ fn process_batch(
             // A commit assumption failed at an earlier item: rebuild the
             // tail from the true committed state.  The chain is
             // unconditional again up to its first undecided yes.
-            compute_specs(shared, st, &batch, i, pos, &mut specs);
+            compute_specs(shared, st, &batch, i, pos, &mut pass, cx);
+            propagate_decisions(shared, &mut pass.decided);
             valid = true;
         }
-        match std::mem::replace(&mut specs[i], Spec::Done) {
+        match std::mem::replace(&mut pass.specs[i], Spec::Done) {
             Spec::Accept(next) => {
                 let BatchKind::Local(ticket) = &mut batch.kinds[i] else {
                     unreachable!("local spec on a cross item");
@@ -2766,7 +3282,8 @@ fn process_batch(
                 let ticket = ticket.take().expect("local resolved once");
                 shared.stats.grants.fetch_add(1, Ordering::Relaxed);
                 let notes = install_commit(shared, st, &batch.actions[i], next, true);
-                fulfil(ticket, Completion::Executed { notifications: notes }, wakes);
+                fulfil(ticket, Completion::Executed { notifications: notes }, cx);
+                cx.record(batch.submitted[i]);
             }
             Spec::Deny => {
                 let BatchKind::Local(ticket) = &mut batch.kinds[i] else {
@@ -2774,7 +3291,8 @@ fn process_batch(
                 };
                 let ticket = ticket.take().expect("local resolved once");
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
-                fulfil(ticket, Completion::Denied, wakes);
+                fulfil(ticket, Completion::Denied, cx);
+                cx.record(batch.submitted[i]);
             }
             Spec::Vote { prepared, assumed } => {
                 let BatchKind::Exec(task) = &batch.kinds[i] else {
@@ -2785,8 +3303,18 @@ fn process_batch(
                     let mut sync = lock(&task.sync);
                     // Reaching this item in order means every predecessor's
                     // outcome is known and reflected in `specs`: the vote is
-                    // unconditional now if it was not deposited before.
-                    deposit_unconditional_vote(shared, &task, &mut sync, pos, prepared.is_some());
+                    // unconditional now, superseding a tagged one deposited
+                    // by the speculative pass.
+                    if let Some(decision) = deposit_unconditional_vote(
+                        shared,
+                        &task,
+                        &mut sync,
+                        pos,
+                        prepared.is_some(),
+                        cx,
+                    ) {
+                        pass.decided.push((Arc::clone(&task), decision));
+                    }
                     let mut flushed = false;
                     loop {
                         if let Some(decision) = sync.decision {
@@ -2795,21 +3323,24 @@ fn process_batch(
                         if !flushed {
                             // About to park at the rendezvous: deliver the
                             // banked wakeups first so no client sleeps
-                            // through the wait.
+                            // through the wait, and propagate our own fresh
+                            // decisions so no chain stalls on them.
                             flushed = true;
                             drop(sync);
-                            flush_wakes(wakes);
+                            cx.flush(shared);
+                            propagate_decisions(shared, &mut pass.decided);
                             sync = lock(&task.sync);
                             continue;
                         }
                         sync = task.barrier.wait(sync).unwrap_or_else(|e| e.into_inner());
                     }
                 };
+                propagate_decisions(shared, &mut pass.decided);
                 match decision {
                     ExecDecision::Commit { seq } => {
                         let next = prepared
                             .expect("commit requires this shard's yes vote and its prepare");
-                        apply_exec_commit(shared, st, &task, pos, seq, next);
+                        apply_exec_commit(shared, st, &task, pos, seq, next, cx);
                     }
                     ExecDecision::Deny => {
                         if assumed {
@@ -2823,15 +3354,16 @@ fn process_batch(
             Spec::Done => unreachable!("batch items resolve exactly once"),
         }
     }
+    propagate_decisions(shared, &mut pass.decided);
 }
 
 fn process_single(
     shared: &RuntimeShared,
     st: &mut ShardState,
     task: SingleTask,
-    wakes: &mut Vec<DeferredWake>,
+    cx: &mut WorkerCtx,
 ) {
-    let SingleTask { client, op, ticket, .. } = task;
+    let SingleTask { client, op, ticket, submitted, .. } = task;
     let completion = match op {
         Op::Execute { action } => match single_commit(shared, st, &action, true) {
             Some(notes) => Completion::Executed { notifications: notes },
@@ -2852,6 +3384,7 @@ fn process_single(
                 shared.stats.grants.fetch_add(1, Ordering::Relaxed);
                 let reservation = shared.new_reservation(client, &action);
                 st.reservations.insert(reservation.id, reservation.clone());
+                publish_reservation_fp(shared, st);
                 lock(&shared.reservation_index).insert(reservation.id, vec![st.id]);
                 if reservation.expires_at != u64::MAX {
                     lock(&shared.timers).schedule(
@@ -2864,7 +3397,11 @@ fn process_single(
         }
         Op::Confirm { id } => {
             lock(&shared.reservation_index).remove(&id);
-            match st.reservations.remove(&id) {
+            let removed = st.reservations.remove(&id);
+            if removed.is_some() {
+                publish_reservation_fp(shared, st);
+            }
+            match removed {
                 None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
                 Some(reservation) => match st.engine.prepare(&reservation.action) {
                     None => Completion::Failed {
@@ -2884,6 +3421,7 @@ fn process_single(
             match st.reservations.remove(&id) {
                 None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
                 Some(reservation) => {
+                    publish_reservation_fp(shared, st);
                     shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
                     Completion::Aborted { reservation }
                 }
@@ -2892,6 +3430,7 @@ fn process_single(
         Op::Expire { id, now } => {
             if st.reservations.get(&id).is_some_and(|r| r.expires_at <= now) {
                 let reservation = st.reservations.remove(&id);
+                publish_reservation_fp(shared, st);
                 lock(&shared.reservation_index).remove(&id);
                 shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
                 Completion::Expired { reservation }
@@ -2911,7 +3450,8 @@ fn process_single(
         }
         Op::Query { action } => Completion::Status { permitted: st.engine.is_permitted(&action) },
     };
-    fulfil(ticket, completion, wakes);
+    fulfil(ticket, completion, cx);
+    cx.record(submitted);
 }
 
 /// Probe + prepare + commit of a single-owner action; `None` is a denial.
@@ -2989,6 +3529,9 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
         }
         CrossOp::Confirm { id } => {
             removed_here = st.reservations.remove(id);
+            if removed_here.is_some() {
+                publish_reservation_fp(shared, st);
+            }
             vote = match &removed_here {
                 Some(reservation) => {
                     prepared = st.engine.prepare(&reservation.action);
@@ -2999,10 +3542,14 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
         }
         CrossOp::Abort { id } => {
             removed_here = st.reservations.remove(id);
+            if removed_here.is_some() {
+                publish_reservation_fp(shared, st);
+            }
         }
         CrossOp::Expire { id, now } => {
             if st.reservations.get(id).is_some_and(|r| r.expires_at <= *now) {
                 removed_here = st.reservations.remove(id);
+                publish_reservation_fp(shared, st);
             }
         }
         CrossOp::Subscribe { action, .. } | CrossOp::Query { action } => {
@@ -3071,6 +3618,7 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
             let reservation =
                 lock(&task.sync).granted.clone().expect("reserve decided with a reservation");
             st.reservations.insert(reservation.id, reservation);
+            publish_reservation_fp(shared, st);
             let mut sync = lock(&task.sync);
             sync.applied += 1;
             if sync.applied == n {

@@ -37,6 +37,7 @@ use crate::trans::{fused, trans_with, TierLookup, TransitionOptions};
 use ix_core::{Action, Expr};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Classification of a word, mirroring the integer result of the paper's
@@ -84,6 +85,20 @@ pub fn word_problem(expr: &Expr, word: &[Action]) -> StateResult<WordStatus> {
 
 /// Default number of `(state, action)` entries the transition memo retains.
 pub const DEFAULT_MEMO_CAPACITY: usize = 256;
+
+/// [`Engine::reservation_fingerprint`] of an empty reservation table — the
+/// hasher's initial state, a process-stable constant (the std default
+/// hasher is seeded with fixed keys).
+pub fn empty_reservation_fingerprint() -> u64 {
+    fingerprint_hasher().finish()
+}
+
+/// The hasher every reservation fingerprint is folded with.  Must be
+/// deterministic within a process so two fingerprints of the same table are
+/// equal; `DefaultHasher::new()` (fixed-key SipHash) satisfies that.
+fn fingerprint_hasher() -> std::collections::hash_map::DefaultHasher {
+    std::collections::hash_map::DefaultHasher::new()
+}
 
 type MemoKey = (usize, Action);
 
@@ -606,6 +621,60 @@ impl Engine {
         let base = speculative.as_ref().unwrap_or(&self.state);
         let next = self.transition(base, action);
         self.successor_valid(&next)
+    }
+
+    /// [`Engine::permitted_after_from`] that additionally returns the
+    /// [`Engine::reservation_fingerprint`] of the `reserved` actions the
+    /// probe walked — folded in the same pass, so the caller gets the
+    /// verdict *and* a compact witness of exactly which reservation table it
+    /// was computed against.  A speculative voter stores the fingerprint in
+    /// its vote's validity tag; whoever decides the vote later compares it
+    /// against the shard's currently published fingerprint to prove the
+    /// probe's reservation assumptions still hold.
+    pub fn permitted_after_from_fingerprinted<'a, I>(
+        &self,
+        base: Option<&Shared<State>>,
+        reserved: I,
+        action: &Action,
+    ) -> (bool, u64)
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let mut hasher = fingerprint_hasher();
+        let mut speculative: Option<Shared<State>> = base.cloned();
+        for r in reserved {
+            r.hash(&mut hasher);
+            if !r.is_concrete() {
+                continue;
+            }
+            let base = speculative.as_ref().unwrap_or(&self.state);
+            let next = self.transition(base, r);
+            if self.successor_valid(&next) {
+                speculative = Some(next);
+            }
+        }
+        if !action.is_concrete() {
+            return (false, hasher.finish());
+        }
+        let base = speculative.as_ref().unwrap_or(&self.state);
+        let next = self.transition(base, action);
+        (self.successor_valid(&next), hasher.finish())
+    }
+
+    /// Content fingerprint of a reservation table: a stable hash over the
+    /// reserved actions in iteration order (callers iterate their
+    /// reservation maps in key order, so equal tables produce equal
+    /// fingerprints).  The empty table hashes to
+    /// [`EMPTY_RESERVATION_FINGERPRINT`].
+    pub fn reservation_fingerprint<'a, I>(reserved: I) -> u64
+    where
+        I: IntoIterator<Item = &'a Action>,
+    {
+        let mut hasher = fingerprint_hasher();
+        for r in reserved {
+            r.hash(&mut hasher);
+        }
+        hasher.finish()
     }
 
     /// The tentative half of a two-phase action step: computes the successor

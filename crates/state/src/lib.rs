@@ -51,7 +51,9 @@ pub use compile::{
     compile, compile_all, CompileBailout, CompileBudget, CompileOutcome, CompiledTable, TierStats,
     DEAD, DEFAULT_TIER_BUDGET,
 };
-pub use engine::{word_problem, Engine, WordStatus, DEFAULT_MEMO_CAPACITY};
+pub use engine::{
+    empty_reservation_fingerprint, word_problem, Engine, WordStatus, DEFAULT_MEMO_CAPACITY,
+};
 pub use error::{StateError, StateResult};
 pub use init::{init, initial_state, validate};
 pub use optimize::optimize;

@@ -9,7 +9,9 @@
 //! words) the paper uses.
 
 use ix_core::{parse, simplify, Expr, Value};
-use ix_manager::{InteractionManager, ManagerError, ManagerRuntime, ProtocolVariant};
+use ix_manager::{
+    Completion, InteractionManager, ManagerError, ManagerRuntime, ProtocolVariant, RuntimeOptions,
+};
 use ix_semantics::{equivalent, Universe};
 use ix_state::{sharded_word_problem, word_problem, Engine, ShardedEngine};
 use proptest::prelude::*;
@@ -779,6 +781,177 @@ proptest! {
             let simplified = ix_state::word_problem(&s, &w).unwrap();
             prop_assert_eq!(original, simplified, "{} vs {} on {:?}", x, s, w);
         }
+    }
+}
+
+/// One step of a commit-heavy chain schedule for the lockstep cascade test.
+#[derive(Clone, Copy, Debug)]
+enum ChainOp {
+    /// A local `call(k, p) - perform(k, p)` pair on department `k`.
+    Pair(usize),
+    /// `n` consecutive cross-shard audits — a commit chain the cascade
+    /// decides without per-barrier rendezvous.
+    Burst(usize),
+    /// `call(k, p)`, an audit, `perform(k, p)`: the audit lands mid-pair
+    /// and is *deterministically denied*, invalidating any downstream
+    /// conditional votes mid-chain.
+    MidPairAudit(usize),
+}
+
+/// Random commit-heavy chain schedules over `departments` coupled groups.
+fn chain_ops(departments: usize) -> impl Strategy<Value = Vec<ChainOp>> {
+    let op = prop_oneof![
+        (0..departments).prop_map(ChainOp::Pair),
+        (1usize..6).prop_map(ChainOp::Burst),
+        (0..departments).prop_map(ChainOp::MidPairAudit),
+    ];
+    proptest::collection::vec(op, 1..20)
+}
+
+/// The lockstep contract of conditional-vote cascading: one submission
+/// stream, pipelined `window` actions at a time, decided by the runtime
+/// with cascading, by the runtime with `cascade = false`, and by the
+/// blocking manager executing the same schedule synchronously.  A single
+/// stream makes the queue order — and therefore, by the enqueue-order =
+/// commit-order contract, every verdict — deterministic, so the three
+/// surfaces must agree action by action even though the cascading runtime
+/// decides whole audit chains from promoted conditional votes while the
+/// others rendezvous per barrier.  Mid-pair audits are deterministically
+/// denied, forcing invalidation and recompute mid-chain on the cascading
+/// surface.
+fn assert_cascade_lockstep_equivalence(
+    departments: usize,
+    ops: &[ChainOp],
+    window: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let group = |k: usize| format!("((some p {{ call{k}(p) - perform{k}(p) }})* - audit)*");
+    let src = (0..departments).map(group).collect::<Vec<_>>().join(" @ ");
+    let x = parse(&src).unwrap();
+    let call = |k: usize, p: i64| ix_core::Action::concrete(&format!("call{k}"), [Value::int(p)]);
+    let perform =
+        |k: usize, p: i64| ix_core::Action::concrete(&format!("perform{k}"), [Value::int(p)]);
+    let audit = ix_core::Action::nullary("audit");
+    let mut next_case = vec![0i64; departments];
+    let mut schedule = Vec::new();
+    for op in ops {
+        match *op {
+            ChainOp::Pair(k) => {
+                let p = next_case[k];
+                next_case[k] += 1;
+                schedule.push(call(k, p));
+                schedule.push(perform(k, p));
+            }
+            ChainOp::Burst(n) => {
+                schedule.extend(std::iter::repeat_n(audit.clone(), n));
+            }
+            ChainOp::MidPairAudit(k) => {
+                let p = next_case[k];
+                next_case[k] += 1;
+                schedule.push(call(k, p));
+                schedule.push(audit.clone());
+                schedule.push(perform(k, p));
+            }
+        }
+    }
+    let blocking = InteractionManager::with_protocol(&x, ProtocolVariant::Combined).unwrap();
+    let blocking_verdicts: Vec<bool> =
+        schedule.iter().map(|action| blocking.try_execute(1, action).unwrap().is_some()).collect();
+    for cascade in [true, false] {
+        let runtime = ManagerRuntime::with_options(
+            &x,
+            RuntimeOptions {
+                variant: ProtocolVariant::Combined,
+                cascade,
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        let session = runtime.session(1);
+        let mut verdicts = Vec::with_capacity(schedule.len());
+        for chunk in schedule.chunks(window) {
+            for ticket in session.submit_batch(chunk) {
+                verdicts.push(matches!(ticket.wait(), Completion::Executed { .. }));
+            }
+        }
+        prop_assert_eq!(
+            &verdicts,
+            &blocking_verdicts,
+            "verdicts diverge from the blocking manager (cascade = {}) on {} departments",
+            cascade,
+            departments
+        );
+        // Pipelining may legally interleave independent locals of *different*
+        // departments, so the merged logs need not match verbatim.  What the
+        // enqueue-order = commit-order contract does fix is each shard's
+        // projection: its own pairs and every audit, in submission order.
+        for k in 0..departments {
+            let project = |log: Vec<ix_core::Action>| -> Vec<String> {
+                log.iter()
+                    .map(|a| a.to_string())
+                    .filter(|a| {
+                        a == "audit"
+                            || a.starts_with(&format!("call{k}("))
+                            || a.starts_with(&format!("perform{k}("))
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(
+                project(runtime.log()),
+                project(blocking.log()),
+                "shard {}'s log projection diverges (cascade = {})",
+                k,
+                cascade
+            );
+        }
+        // And the merged log is still a legal linearization: it replays
+        // verbatim on a fresh monolithic manager.
+        let replay = InteractionManager::monolithic(&x, ProtocolVariant::Combined).unwrap();
+        for action in runtime.log() {
+            prop_assert!(
+                replay.try_execute(9, &action).unwrap().is_some(),
+                "runtime log replay rejected {} (cascade = {}) — not a legal word",
+                action,
+                cascade
+            );
+        }
+        let (rs, bs) = (runtime.stats(), blocking.stats());
+        prop_assert_eq!(rs.confirmations, bs.confirmations, "cascade = {}", cascade);
+        prop_assert_eq!(rs.denials, bs.denials, "cascade = {}", cascade);
+        prop_assert_eq!(rs.asks, bs.asks);
+        prop_assert_eq!(rs.grants, bs.grants);
+    }
+    // The shared log is a legal linearization: it replays verbatim on a
+    // fresh monolithic manager.
+    let replay = InteractionManager::monolithic(&x, ProtocolVariant::Combined).unwrap();
+    for action in blocking.log() {
+        prop_assert!(
+            replay.try_execute(9, &action).unwrap().is_some(),
+            "log replay rejected {} — not a legal word",
+            action
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cascading_runtime_stays_in_lockstep_with_cascade_off_and_blocking(
+        departments in 2usize..5,
+        ops in chain_ops(4),
+        window in prop_oneof![Just(4usize), Just(8), Just(16)],
+    ) {
+        // Departments beyond the generated range are simply never addressed.
+        let ops: Vec<ChainOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                ChainOp::Pair(k) => ChainOp::Pair(k % departments),
+                ChainOp::MidPairAudit(k) => ChainOp::MidPairAudit(k % departments),
+                burst => burst,
+            })
+            .collect();
+        assert_cascade_lockstep_equivalence(departments, &ops, window)?;
     }
 }
 
