@@ -13,6 +13,7 @@ pub mod compilebench;
 pub mod contended;
 pub mod crossbench;
 pub mod pipelined;
+pub mod recover;
 pub mod repart;
 pub mod stepbench;
 pub mod workloads;
@@ -21,6 +22,7 @@ pub use compilebench::*;
 pub use contended::*;
 pub use crossbench::*;
 pub use pipelined::*;
+pub use recover::*;
 pub use repart::*;
 pub use stepbench::*;
 pub use workloads::*;

@@ -256,6 +256,15 @@ impl Partition {
         Partition { components, ownership: OwnershipMap::of(&alphabets), epoch: 0 }
     }
 
+    /// Reassembles a partition from serialized components and a stored
+    /// epoch — the deserialization counterpart of [`Partition::components`]
+    /// / [`Partition::epoch`].  The ownership map is recomputed from the
+    /// component alphabets (it is derived data and is not persisted).
+    pub fn from_components(components: Vec<Component>, epoch: u64) -> Partition {
+        let alphabets: Vec<Alphabet> = components.iter().map(|c| c.alphabet.clone()).collect();
+        Partition { components, ownership: OwnershipMap::of(&alphabets), epoch }
+    }
+
     /// The partition's version: 0 at construction, incremented by every
     /// incremental update ([`Partition::extend`], [`Partition::recouple`],
     /// [`Partition::extend_coalesced`]).

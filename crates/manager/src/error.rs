@@ -46,6 +46,13 @@ pub enum ManagerError {
     /// running ensemble.  A disjoint constraint is a pure shard-append and
     /// should go through `add_constraint`.
     DisjointCoupling,
+    /// A durability operation failed: a snapshot or WAL record did not
+    /// decode, the vault is missing required blobs, or recovery found the
+    /// persisted pieces inconsistent.
+    Durability {
+        /// Human-readable description of what failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ManagerError {
@@ -70,6 +77,9 @@ impl fmt::Display for ManagerError {
             }
             ManagerError::DisjointCoupling => {
                 write!(f, "coupling constraint shares no action with the ensemble")
+            }
+            ManagerError::Durability { detail } => {
+                write!(f, "durability failure: {detail}")
             }
         }
     }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod error;
 pub mod manager;
 pub mod multi;
@@ -34,14 +35,16 @@ pub mod subscription;
 pub mod ticket;
 pub mod timer;
 
+pub use durability::{inspect_vault, ShardInspection, StatDelta, VaultInspection};
 pub use error::{ManagerError, ManagerResult};
+pub use ix_durable::{FileVault, FsyncPolicy, MemVault, Vault};
 pub use manager::{BatchResult, InteractionManager, ManagerStats, ProtocolVariant, Reservation};
 pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
-pub use queue::DurableQueue;
+pub use queue::{DurableQueue, QueueBackend};
 pub use runtime::{
-    CascadeStats, ClockMode, Completion, ManagerRuntime, RepartitionReport, RepartitionStats,
-    RuntimeOptions, RuntimeReport, Session,
+    CascadeStats, CheckpointReport, ClockMode, Completion, ManagerRuntime, RepartitionReport,
+    RepartitionStats, RuntimeOptions, RuntimeReport, Session,
 };
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
 pub use ticket::{Ticket, TicketIssuer};

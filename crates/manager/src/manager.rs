@@ -205,6 +205,17 @@ pub(crate) struct SharedStats {
 }
 
 impl SharedStats {
+    /// Seeds the counters with recovered totals.
+    pub(crate) fn restore(&self, stats: ManagerStats) {
+        self.asks.store(stats.asks, Ordering::Relaxed);
+        self.grants.store(stats.grants, Ordering::Relaxed);
+        self.denials.store(stats.denials, Ordering::Relaxed);
+        self.confirmations.store(stats.confirmations, Ordering::Relaxed);
+        self.expired_reservations.store(stats.expired_reservations, Ordering::Relaxed);
+        self.aborted_reservations.store(stats.aborted_reservations, Ordering::Relaxed);
+        self.notifications.store(stats.notifications, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ManagerStats {
         ManagerStats {
             asks: self.asks.load(Ordering::Relaxed),
@@ -864,10 +875,10 @@ impl InteractionManager {
         Ok(manager)
     }
 
-    /// Overwrites the statistics counters (used by the protocol adapter to
-    /// hand back the runtime's statistics on a manager rebuilt from the
-    /// runtime's log).
-    pub(crate) fn restore_stats(&self, stats: ManagerStats) {
+    /// Overwrites the statistics counters and the logical clock — used by
+    /// the recovery replayer to hand back a pre-crash instance's counters on
+    /// a manager rebuilt from its log.
+    pub(crate) fn restore(&self, stats: ManagerStats, clock: u64) {
         self.stats.asks.store(stats.asks, Ordering::Relaxed);
         self.stats.grants.store(stats.grants, Ordering::Relaxed);
         self.stats.denials.store(stats.denials, Ordering::Relaxed);
@@ -875,12 +886,7 @@ impl InteractionManager {
         self.stats.expired_reservations.store(stats.expired_reservations, Ordering::Relaxed);
         self.stats.aborted_reservations.store(stats.aborted_reservations, Ordering::Relaxed);
         self.stats.notifications.store(stats.notifications, Ordering::Relaxed);
-    }
-
-    /// Sets the logical clock (protocol-adapter counterpart of
-    /// [`InteractionManager::restore_stats`]).
-    pub(crate) fn restore_clock(&self, now: u64) {
-        self.clock.store(now, Ordering::Relaxed);
+        self.clock.store(clock, Ordering::Relaxed);
     }
 }
 

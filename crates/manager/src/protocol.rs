@@ -139,10 +139,7 @@ impl ManagerServer {
     /// dropped them identically — they lived in the dying thread).
     pub fn shutdown(self) -> ManagerResult<InteractionManager> {
         let report = self.runtime.shutdown()?;
-        let manager = InteractionManager::recover(&self.expr, self.variant, &report.log)?;
-        manager.restore_stats(report.stats);
-        manager.restore_clock(report.clock);
-        Ok(manager)
+        crate::durability::rebuild_manager(&self.expr, self.variant, &report)
     }
 }
 

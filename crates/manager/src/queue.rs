@@ -8,11 +8,28 @@
 //! removing it durably, and only an explicit acknowledgement removes it; a
 //! crash loses the volatile cursor but not the log, so unacknowledged
 //! messages are delivered again after recovery (at-least-once delivery).
+//!
+//! The log itself can be mirrored onto real storage through a
+//! [`QueueBackend`]: every enqueue and acknowledgement is journaled *before*
+//! the in-memory structure changes, so a process crash can rebuild the
+//! pending log with [`DurableQueue::restore`].  The backend-free in-memory
+//! variant stays the default (and the test default) — it models durability
+//! by surviving in the same process rather than by writing anywhere.
 
 use std::collections::VecDeque;
 
+/// A storage hook mirroring the queue's durable log: implementations
+/// journal enqueues and acknowledgements so the pending log can be rebuilt
+/// after a process crash.  Callbacks run *before* the in-memory mutation,
+/// so the journal is never behind the structure it protects.
+pub trait QueueBackend<T>: Send {
+    /// Journals one appended message.
+    fn record_enqueue(&mut self, message: &T);
+    /// Journals that the oldest journaled message was acknowledged.
+    fn record_ack(&mut self);
+}
+
 /// A recoverable queue with explicit acknowledgement.
-#[derive(Clone, Debug)]
 pub struct DurableQueue<T: Clone> {
     /// The durable log of not-yet-acknowledged messages (in order).
     log: VecDeque<T>,
@@ -22,11 +39,35 @@ pub struct DurableQueue<T: Clone> {
     enqueued: u64,
     /// Total number of messages acknowledged (statistics).
     acknowledged: u64,
+    /// Number of in-flight messages returned to the backlog by crashes.
+    redelivered: u64,
+    /// Optional storage mirror of the durable log.
+    backend: Option<Box<dyn QueueBackend<T>>>,
 }
 
 impl<T: Clone> Default for DurableQueue<T> {
     fn default() -> Self {
-        DurableQueue { log: VecDeque::new(), in_flight: 0, enqueued: 0, acknowledged: 0 }
+        DurableQueue {
+            log: VecDeque::new(),
+            in_flight: 0,
+            enqueued: 0,
+            acknowledged: 0,
+            redelivered: 0,
+            backend: None,
+        }
+    }
+}
+
+impl<T: Clone> std::fmt::Debug for DurableQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableQueue")
+            .field("len", &self.log.len())
+            .field("in_flight", &self.in_flight)
+            .field("enqueued", &self.enqueued)
+            .field("acknowledged", &self.acknowledged)
+            .field("redelivered", &self.redelivered)
+            .field("backend", &self.backend.is_some())
+            .finish()
     }
 }
 
@@ -36,8 +77,31 @@ impl<T: Clone> DurableQueue<T> {
         DurableQueue::default()
     }
 
-    /// Appends a message to the durable log.
+    /// An empty queue journaling to `backend`.
+    pub fn with_backend(backend: Box<dyn QueueBackend<T>>) -> DurableQueue<T> {
+        DurableQueue { backend: Some(backend), ..DurableQueue::default() }
+    }
+
+    /// Rebuilds a queue from the pending messages a backend journal
+    /// recovered (everything enqueued but not acknowledged, in order).
+    /// Nothing is in flight — recovery redelivers every pending message.
+    pub fn restore(pending: Vec<T>, backend: Option<Box<dyn QueueBackend<T>>>) -> DurableQueue<T> {
+        let enqueued = pending.len() as u64;
+        DurableQueue {
+            log: pending.into(),
+            in_flight: 0,
+            enqueued,
+            acknowledged: 0,
+            redelivered: 0,
+            backend,
+        }
+    }
+
+    /// Appends a message to the durable log (journaling it first).
     pub fn enqueue(&mut self, message: T) {
+        if let Some(backend) = self.backend.as_mut() {
+            backend.record_enqueue(&message);
+        }
         self.log.push_back(message);
         self.enqueued += 1;
     }
@@ -54,13 +118,23 @@ impl<T: Clone> DurableQueue<T> {
         }
     }
 
-    /// Acknowledges the oldest in-flight message, removing it durably.
+    /// Acknowledges the oldest unacknowledged message, removing it durably.
+    ///
+    /// The removal is keyed on the *log*, not on the volatile in-flight
+    /// cursor: after [`DurableQueue::crash_recover`] the cursor resets to
+    /// zero, but an acknowledgement for work completed before the crash may
+    /// still arrive — refusing it would pin the message in the journal
+    /// forever *and* redeliver it.  The cursor only shrinks alongside when
+    /// it covered the removed message.
     pub fn acknowledge(&mut self) -> bool {
-        if self.in_flight == 0 {
+        if self.log.is_empty() {
             return false;
         }
+        if let Some(backend) = self.backend.as_mut() {
+            backend.record_ack();
+        }
         self.log.pop_front();
-        self.in_flight -= 1;
+        self.in_flight = self.in_flight.saturating_sub(1);
         self.acknowledged += 1;
         true
     }
@@ -68,12 +142,39 @@ impl<T: Clone> DurableQueue<T> {
     /// Simulates a crash of the consumer: the volatile in-flight cursor is
     /// lost, so every unacknowledged message becomes deliverable again.
     pub fn crash_recover(&mut self) {
+        self.redelivered += self.in_flight as u64;
         self.in_flight = 0;
     }
 
     /// Number of messages in the durable log (unacknowledged).
     pub fn len(&self) -> usize {
         self.log.len()
+    }
+
+    /// The log length implied by the lifetime counters
+    /// (`enqueued - acknowledged`).  Always equal to [`DurableQueue::len`]
+    /// — the consistency check `reproduce recover` gates on, and the size a
+    /// storage backend's journal must replay to.
+    pub fn sync_len(&self) -> u64 {
+        self.enqueued - self.acknowledged
+    }
+
+    /// Number of messages journaled but not yet handed out — the backlog a
+    /// recovering consumer will be fed.
+    pub fn backlog(&self) -> usize {
+        self.log.len() - self.in_flight
+    }
+
+    /// Number of in-flight messages returned to the backlog by crashes
+    /// (each will be delivered at least twice).
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered
+    }
+
+    /// Clones the durable log in order — the pending set a checkpoint
+    /// persists so recovery can [`DurableQueue::restore`] it.
+    pub fn pending(&self) -> Vec<T> {
+        self.log.iter().cloned().collect()
     }
 
     /// True if there are no unacknowledged messages.
@@ -109,6 +210,7 @@ mod tests {
         assert!(!q.acknowledge());
         assert!(q.is_empty());
         assert_eq!(q.counters(), (2, 2));
+        assert_eq!(q.sync_len(), 0);
     }
 
     #[test]
@@ -123,9 +225,11 @@ mod tests {
         // Consumer crashes before acknowledging message 2.
         q.crash_recover();
         assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.redelivered(), 1);
         assert_eq!(q.dequeue(), Some(2), "message 2 is delivered again");
         assert_eq!(q.dequeue(), Some(3));
         assert_eq!(q.len(), 2);
+        assert_eq!(q.sync_len(), 2);
     }
 
     #[test]
@@ -133,5 +237,57 @@ mod tests {
         let mut q: DurableQueue<u8> = DurableQueue::new();
         assert_eq!(q.dequeue(), None);
         assert!(!q.acknowledge());
+    }
+
+    #[test]
+    fn late_ack_after_crash_still_trims_the_log() {
+        let mut q = DurableQueue::new();
+        q.enqueue("a");
+        q.enqueue("b");
+        assert_eq!(q.dequeue(), Some("a"));
+        // The consumer processed "a", crashed before acknowledging, and the
+        // acknowledgement arrives after the in-flight cursor was reset.
+        q.crash_recover();
+        assert!(q.acknowledge(), "late ack must still remove the message");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.sync_len(), 1, "counters stay consistent with the log");
+        assert_eq!(q.dequeue(), Some("b"));
+    }
+
+    #[test]
+    fn backlog_accounts_for_the_cursor() {
+        let mut q = DurableQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.backlog(), 3);
+        q.dequeue();
+        assert_eq!(q.backlog(), 2);
+        q.crash_recover();
+        assert_eq!(q.backlog(), 3);
+    }
+
+    struct CountingBackend(std::sync::Arc<std::sync::Mutex<(u64, u64)>>);
+    impl QueueBackend<u8> for CountingBackend {
+        fn record_enqueue(&mut self, _message: &u8) {
+            self.0.lock().unwrap().0 += 1;
+        }
+        fn record_ack(&mut self) {
+            self.0.lock().unwrap().1 += 1;
+        }
+    }
+
+    #[test]
+    fn backend_sees_every_enqueue_and_ack() {
+        let counts = std::sync::Arc::new(std::sync::Mutex::new((0u64, 0u64)));
+        let mut q = DurableQueue::with_backend(Box::new(CountingBackend(counts.clone())));
+        q.enqueue(1);
+        q.enqueue(2);
+        q.dequeue();
+        q.acknowledge();
+        assert_eq!(*counts.lock().unwrap(), (2, 1));
+        let restored: DurableQueue<u8> = DurableQueue::restore(vec![2], None);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.sync_len(), 1);
     }
 }

@@ -57,19 +57,26 @@
 //! with the blocking manager on any sequentially submitted workload (see the
 //! equivalence property tests).
 
+use crate::durability::{
+    self, durability_err, DurabilityHub, Manifest, QueueCheckpoint, ShardCapture, StatDelta,
+    TopologyCheckpoint, VaultQueueBackend, WalRecord,
+};
 use crate::error::{ManagerError, ManagerResult};
-use crate::manager::{CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats};
-use crate::queue::DurableQueue;
+use crate::manager::{
+    CrossEntry, CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats,
+};
+use crate::queue::{DurableQueue, QueueBackend};
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
 use crate::ticket::{completed, ticket, Ticket, TicketIssuer, WakeBatch};
 use crate::timer::TimerWheel;
 use crossbeam::channel::{unbounded, Receiver, SendError, Sender, TryRecvError};
-use ix_core::{Action, Alphabet, Expr, Partition};
+use ix_core::{parse, Action, Alphabet, Component, Expr, Partition};
+use ix_durable::{FileVault, FsyncPolicy, Vault, META_STREAM, QUEUE_STREAM};
 use ix_state::{
     empty_reservation_fingerprint, Engine, Route, ShardRouter, StateRef, TierStats,
     DEFAULT_TIER_BUDGET,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
@@ -118,6 +125,10 @@ pub struct RuntimeOptions {
     /// it.  Drained via [`ManagerRuntime::drain_queue_samples`]; off by
     /// default (each sample costs two clock reads on the worker).
     pub queue_metrics: bool,
+    /// Fsync policy of the file-backed vault opened by
+    /// [`ManagerRuntime::with_durability_path`] (ignored when the vault is
+    /// handed in directly, which carries its own policy).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for RuntimeOptions {
@@ -129,6 +140,7 @@ impl Default for RuntimeOptions {
             tier_budget: DEFAULT_TIER_BUDGET,
             cascade: true,
             queue_metrics: false,
+            fsync: FsyncPolicy::Never,
         }
     }
 }
@@ -185,13 +197,14 @@ pub enum Completion {
 
 /// Journal record of a durable submission.
 #[derive(Clone, Debug)]
-struct SubmissionRecord {
-    client: ClientId,
-    op: DurableOp,
+pub(crate) struct SubmissionRecord {
+    pub(crate) client: ClientId,
+    pub(crate) op: DurableOp,
 }
 
+/// The operation a durable submission journals.
 #[derive(Clone, Debug)]
-enum DurableOp {
+pub(crate) enum DurableOp {
     Ask { action: Action },
     Execute { action: Action },
     Confirm { id: u64 },
@@ -324,6 +337,11 @@ struct RuntimeShared {
     /// repartition spawns after construction.
     tier_budget: usize,
     durable: Option<Mutex<DurableQueue<SubmissionRecord>>>,
+    /// The write-ahead vault behind the durable runtime (`None` = the
+    /// in-memory runtime).  Workers journal shard-stream records through
+    /// their own [`ShardState::wal`] clone; this handle serves the
+    /// meta-stream events and the checkpoint/recovery machinery.
+    durability: Option<Arc<DurabilityHub>>,
     clock: AtomicU64,
     log_seq: AtomicU64,
     next_reservation: AtomicU64,
@@ -382,7 +400,7 @@ pub struct CascadeStats {
 /// single-owner commits of *different* shards within the same epoch have
 /// disjoint alphabets (they belong to different sync-components), so any
 /// relative order replays.
-type LogKey = (u64, u8, u64);
+pub(crate) type LogKey = (u64, u8, u64);
 
 /// One shard's state, exclusively owned by its worker thread — no lock.
 struct ShardState {
@@ -394,11 +412,80 @@ struct ShardState {
     /// Sequence number of the last cross-shard commit applied on this shard
     /// — the epoch component of single-owner log keys.
     epoch: u64,
+    /// Write-ahead hub of the durable runtime (`None` = durability off).
+    /// This worker is the *only* writer of its shard stream, so appends need
+    /// no coordination.
+    wal: Option<Arc<DurabilityHub>>,
+    /// Sum of the statistics deltas of every record this shard's stream ever
+    /// carried — including records a checkpoint has since truncated.
+    /// Snapshotted with the shard; recovery sums the bases plus the live
+    /// tails to rebuild the global counters.
+    stat_base: StatDelta,
 }
 
 impl ShardState {
     fn permitted_considering_reservations(&self, action: &Action) -> bool {
         self.engine.permitted_after(self.reservations.values().map(|r| &r.action), action)
+    }
+
+    /// Appends one record to this shard's write-ahead stream and folds its
+    /// statistics delta into the shard's base.  No-op when durability is off.
+    fn journal(&mut self, record: WalRecord) {
+        if let Some(hub) = &self.wal {
+            self.stat_base.add(&record.delta());
+            hub.log_shard(self.id, &record);
+        }
+    }
+
+    fn journal_commit(&mut self, key: LogKey, action: &Action, is_primary: bool, delta: StatDelta) {
+        if self.wal.is_some() {
+            self.journal(WalRecord::Commit { key, action: action.clone(), is_primary, delta });
+        }
+    }
+
+    fn journal_reserve(&mut self, reservation: &Reservation, delta: StatDelta) {
+        if self.wal.is_some() {
+            self.journal(WalRecord::Reserve { reservation: reservation.clone(), delta });
+        }
+    }
+
+    fn journal_release(&mut self, id: u64, delta: StatDelta) {
+        if self.wal.is_some() {
+            self.journal(WalRecord::Release { id, delta });
+        }
+    }
+
+    /// The checkpoint capture of this shard: the CoW state handle, the
+    /// tables, and the stream offset the snapshot covers — taken at a task
+    /// boundary, so state and offset are exactly consistent.
+    fn capture(&self) -> Option<ShardCapture> {
+        let hub = self.wal.as_ref()?;
+        Some(ShardCapture {
+            shard: self.id,
+            covered: hub.vault().stream_len(DurabilityHub::shard_stream(self.id)),
+            epoch: self.epoch,
+            accepted: self.engine.accepted(),
+            rejected: self.engine.rejected(),
+            state: self.engine.state_handle().clone(),
+            log: self.log.clone(),
+            reservations: self.reservations.values().cloned().collect(),
+            subscriptions: self.subscriptions.export(),
+            stat_base: self.stat_base,
+            tier: self.engine.tier_tables(),
+        })
+    }
+}
+
+/// Appends one statistics-only event to the meta stream — the journal of
+/// counter bumps that have no deterministic owner shard (inline denials,
+/// cross-shard decision counters, notification fan-outs).  Skips zero
+/// deltas; no-op when durability is off.
+fn meta_event(shared: &RuntimeShared, delta: StatDelta) {
+    if delta == StatDelta::ZERO {
+        return;
+    }
+    if let Some(hub) = &shared.durability {
+        hub.log_meta(&WalRecord::Event { delta });
     }
 }
 
@@ -425,6 +512,11 @@ enum Task {
     /// Forces a tier compilation pass on the shard engine (workers also
     /// compile hot engines on their own before parking).
     Compile(TicketIssuer<TierStats>),
+    /// A checkpoint cut: the worker captures its CoW state handle plus the
+    /// covered stream offset at this task boundary and keeps serving —
+    /// encoding and blob writes happen on the coordinator, off the shard's
+    /// critical path.  Completes `None` on a non-durable runtime.
+    Checkpoint(TicketIssuer<Option<ShardCapture>>),
     Stop,
 }
 
@@ -768,6 +860,496 @@ pub struct RuntimeReport {
     pub shards: usize,
 }
 
+/// What [`ManagerRuntime::checkpoint`] reports about one completed cut.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Number of shard queues the cut was offered to.
+    pub shards: usize,
+    /// Number of shards that produced a capture (all of them, absent a
+    /// racing shutdown).
+    pub captured: usize,
+    /// Total size of the written snapshot blobs in bytes.
+    pub bytes: u64,
+}
+
+/// Serializes the cross-shard subscription registry into manifest rows.
+fn export_cross(cross: &CrossSubscriptions) -> Vec<durability::CrossRow> {
+    cross
+        .entries
+        .iter()
+        .map(|(action, e)| {
+            (action.clone(), e.owners.clone(), e.bits.clone(), e.clients.clone(), e.permitted)
+        })
+        .collect()
+}
+
+/// Rebuilds the cross-shard subscription registry from manifest rows.
+fn import_cross(rows: Vec<durability::CrossRow>) -> CrossSubscriptions {
+    let mut cross = CrossSubscriptions::default();
+    for (action, owners, bits, clients, permitted) in rows {
+        for &owner in &owners {
+            cross.by_shard.entry(owner).or_default().insert(action.clone());
+        }
+        cross.entries.insert(action, CrossEntry { owners, bits, clients, permitted });
+    }
+    cross
+}
+
+/// One cross-shard commit seen while replaying the log tails: which owners'
+/// streams already carry its echo record, and whether the primary's (the
+/// one whose statistics delta counts) was among them.
+struct TailCommit {
+    key: LogKey,
+    action: Action,
+    present: HashSet<usize>,
+    primary_present: bool,
+}
+
+/// The recovery driver behind [`ManagerRuntime::recover`].
+fn recover_runtime(
+    vault: Arc<dyn Vault>,
+    options: RuntimeOptions,
+) -> ManagerResult<ManagerRuntime> {
+    let hub = Arc::new(DurabilityHub::new(vault));
+    let topo_blob = hub
+        .vault()
+        .load_blob(durability::TOPOLOGY_BLOB)
+        .ok_or_else(|| durability_err("vault has no topology blob — nothing to recover"))?;
+    let topo = durability::decode_topology(&topo_blob)?;
+    let expr = parse(&topo.expr)
+        .map_err(|e| durability_err(format!("stored expression does not parse: {e}")))?;
+    let mut components = Vec::with_capacity(topo.components.len());
+    for (source, alphabet) in topo.components {
+        let component = parse(&source)
+            .map_err(|e| durability_err(format!("stored component does not parse: {e}")))?;
+        components.push(Component { expr: component, alphabet });
+    }
+    let partition = Partition::from_components(components, topo.epoch);
+    let alphabets: Vec<Alphabet> =
+        partition.components().iter().map(|c| c.alphabet.clone()).collect();
+    let router = ShardRouter::with_epoch(alphabets, partition.epoch());
+    let manifest = match hub.vault().load_blob(durability::MANIFEST_BLOB) {
+        Some(blob) => durability::decode_manifest(&blob)?,
+        None => Manifest {
+            clock: 0,
+            meta_covered: 0,
+            meta_base: StatDelta::ZERO,
+            log_seq: 0,
+            next_reservation: 1,
+            cross: Vec::new(),
+            orphans: Vec::new(),
+        },
+    };
+
+    // Per-shard restore: latest snapshot (or fresh state), then the tail.
+    let mut seeds = Vec::with_capacity(partition.len());
+    let mut next_seq = manifest.log_seq;
+    let mut next_reservation = manifest.next_reservation;
+    let mut tail_commits: BTreeMap<u64, TailCommit> = BTreeMap::new();
+    let mut tail_reserved: HashSet<u64> = HashSet::new();
+    let mut tail_released: HashSet<u64> = HashSet::new();
+    for (id, component) in partition.components().iter().enumerate() {
+        let mut seed = ShardSeed {
+            engine: Engine::new(&component.expr).map_err(ManagerError::State)?,
+            reservations: BTreeMap::new(),
+            subscriptions: SubscriptionRegistry::new(),
+            log: Vec::new(),
+            epoch: 0,
+            stat_base: StatDelta::ZERO,
+        };
+        let mut covered = 0;
+        if let Some(blob) = hub.vault().load_blob(&durability::snap_blob(id)) {
+            let cp = durability::decode_shard_checkpoint(&blob)?;
+            seed.engine = Engine::restore(&component.expr, cp.state, cp.accepted, cp.rejected)
+                .map_err(ManagerError::State)?;
+            // Budget and auto-compile mode must be set before adoption:
+            // `set_tier_budget` invalidates an armed tier, which would drop
+            // the adopted tables again.
+            seed.engine.set_tier_budget(options.tier_budget);
+            seed.engine.set_tier_auto(false);
+            // Compiled DFA tiles re-attach from the snapshot — keyed by the
+            // stored fingerprints, counted as zero compiles.
+            seed.engine.adopt_tier(cp.tier);
+            seed.reservations = cp.reservations.into_iter().map(|r| (r.id, r)).collect();
+            seed.subscriptions = SubscriptionRegistry::import(cp.subscriptions);
+            seed.log = cp.log;
+            seed.epoch = cp.epoch;
+            seed.stat_base = cp.stat_base;
+            covered = cp.covered;
+        } else {
+            seed.engine.set_tier_budget(options.tier_budget);
+            seed.engine.set_tier_auto(false);
+        }
+        for (key, _) in &seed.log {
+            next_seq = next_seq.max(key.0 + 1).max(key.2 + 1);
+        }
+        for rid in seed.reservations.keys() {
+            next_reservation = next_reservation.max(rid + 1);
+        }
+        for (index, payload) in hub.vault().read_from(DurabilityHub::shard_stream(id), covered) {
+            let record = WalRecord::decode(&payload)
+                .map_err(|e| durability::codec_err("shard log record", e))?;
+            seed.stat_base.add(&record.delta());
+            match record {
+                WalRecord::Commit { key, action, is_primary, .. } => {
+                    if !seed.engine.try_execute(&action) {
+                        return Err(durability_err(format!(
+                            "log record {index} of shard {id} does not replay: {action}"
+                        )));
+                    }
+                    if is_primary {
+                        seed.log.push((key, action.clone()));
+                    }
+                    if key.1 == 0 {
+                        // A cross-shard commit: an epoch boundary on this
+                        // shard, and a candidate for roll-forward on owners
+                        // whose echo record the crash swallowed.
+                        seed.epoch = key.0;
+                        let entry = tail_commits.entry(key.0).or_insert_with(|| TailCommit {
+                            key,
+                            action: action.clone(),
+                            present: HashSet::new(),
+                            primary_present: false,
+                        });
+                        entry.present.insert(id);
+                        entry.primary_present |= is_primary;
+                    }
+                    next_seq = next_seq.max(key.0 + 1).max(key.2 + 1);
+                }
+                WalRecord::Reserve { reservation, .. } => {
+                    next_reservation = next_reservation.max(reservation.id + 1);
+                    tail_reserved.insert(reservation.id);
+                    seed.reservations.insert(reservation.id, reservation);
+                }
+                WalRecord::Release { id: rid, .. } => {
+                    tail_released.insert(rid);
+                    seed.reservations.remove(&rid);
+                }
+                WalRecord::Event { .. } | WalRecord::Clock { .. } => {
+                    return Err(durability_err(format!(
+                        "meta-stream record in shard stream {id} at {index}"
+                    )));
+                }
+            }
+        }
+        seeds.push(seed);
+    }
+
+    // Roll torn cross-shard commits forward, in sequence order.  A decision
+    // journaled on at least one owner's stream is durable; an owner whose
+    // echo record is missing has applied *nothing* after that commit (the
+    // rendezvous parks owners until the decision), so applying it at the
+    // shard's tail is exactly the order the crash interrupted.
+    for commit in tail_commits.values() {
+        let owners = router.owners(&commit.action);
+        for (pos, &owner) in owners.iter().enumerate() {
+            if commit.present.contains(&owner) {
+                continue;
+            }
+            let seed = &mut seeds[owner];
+            if !seed.engine.try_execute(&commit.action) {
+                return Err(durability_err(format!(
+                    "torn commit {} does not replay on shard {owner}: {}",
+                    commit.key.0, commit.action
+                )));
+            }
+            let is_primary = pos == 0;
+            if is_primary {
+                seed.log.push((commit.key, commit.action.clone()));
+            }
+            seed.epoch = seed.epoch.max(commit.key.0);
+            // Re-journal the missing echo (zero delta — the statistics of a
+            // torn record whose primary echo is lost are lost with it), so
+            // the streams are self-contained again for the next crash.
+            hub.log_shard(
+                owner,
+                &WalRecord::Commit {
+                    key: commit.key,
+                    action: commit.action.clone(),
+                    is_primary,
+                    delta: StatDelta::ZERO,
+                },
+            );
+        }
+    }
+
+    // Resolve torn reservations.  A grant visible in a tail with no visible
+    // release completes everywhere; anything else partial (a torn removal,
+    // or a partial holder set with no tail record at all) is dropped
+    // everywhere — observably equivalent to an immediate lease expiry,
+    // which the protocol already tolerates.
+    let mut holder_map: BTreeMap<u64, (Reservation, Vec<usize>)> = BTreeMap::new();
+    for (id, seed) in seeds.iter().enumerate() {
+        for r in seed.reservations.values() {
+            holder_map.entry(r.id).or_insert_with(|| (r.clone(), Vec::new())).1.push(id);
+        }
+    }
+    for (rid, (reservation, holding)) in &holder_map {
+        let owners = router.owners(&reservation.action);
+        if owners.iter().all(|o| holding.contains(o)) {
+            continue;
+        }
+        if tail_reserved.contains(rid) && !tail_released.contains(rid) {
+            for &owner in owners.iter().filter(|o| !holding.contains(o)) {
+                seeds[owner].reservations.insert(*rid, reservation.clone());
+                hub.log_shard(
+                    owner,
+                    &WalRecord::Reserve {
+                        reservation: reservation.clone(),
+                        delta: StatDelta::ZERO,
+                    },
+                );
+            }
+        } else {
+            for &owner in holding {
+                seeds[owner].reservations.remove(rid);
+                hub.log_shard(owner, &WalRecord::Release { id: *rid, delta: StatDelta::ZERO });
+            }
+        }
+    }
+
+    // Meta-stream tail: order-independent statistics events plus the clock
+    // high-water mark.
+    let mut clock = manifest.clock;
+    let mut stat_total = manifest.meta_base;
+    for (index, payload) in hub.vault().read_from(META_STREAM, manifest.meta_covered) {
+        let record =
+            WalRecord::decode(&payload).map_err(|e| durability::codec_err("meta record", e))?;
+        match record {
+            WalRecord::Event { delta } => stat_total.add(&delta),
+            WalRecord::Clock { now } => clock = clock.max(now),
+            _ => {
+                return Err(durability_err(format!(
+                    "shard-stream record in meta stream at {index}"
+                )))
+            }
+        }
+    }
+    for seed in &seeds {
+        stat_total.add(&seed.stat_base);
+    }
+
+    // Reservation index + timer wheel: every surviving lease re-arms; an
+    // already-overdue one fires on the first clock advance.
+    let mut reservation_index = HashMap::new();
+    let mut timers = TimerWheel::new(clock);
+    for (rid, (reservation, _)) in &holder_map {
+        let owners = router.owners(&reservation.action);
+        if owners.is_empty() || !seeds[owners[0]].reservations.contains_key(rid) {
+            continue;
+        }
+        if reservation.expires_at != u64::MAX {
+            let at = reservation.expires_at.max(clock + 1);
+            timers.schedule(at, ExpiryEvent { id: *rid, owners: owners.clone() });
+        }
+        reservation_index.insert(*rid, owners);
+    }
+
+    // The durable submission journal: checkpointed pending list plus the
+    // queue-stream tail.
+    let mut queue_pending = VecDeque::new();
+    if options.durable {
+        let mut covered = 0;
+        if let Some(blob) = hub.vault().load_blob(durability::QUEUE_BLOB) {
+            let cp = durability::decode_queue_checkpoint(&blob)?;
+            queue_pending = cp.pending.into();
+            covered = cp.covered;
+        }
+        durability::replay_queue_tail(&mut queue_pending, hub.vault(), covered)?;
+    }
+
+    let globals = RecoveredGlobals {
+        clock,
+        log_seq: next_seq,
+        next_reservation,
+        stats: stat_total.as_stats(),
+        reservation_index,
+        timers,
+        cross_subscriptions: import_cross(manifest.cross),
+        orphan_subscriptions: SubscriptionRegistry::import(manifest.orphans),
+        queue_pending,
+    };
+    hub.vault().sync();
+    spawn_runtime(&expr, partition, options, Some(hub), seeds, globals)
+}
+
+/// Construction seed of one shard worker: the engine plus the recovered (or
+/// empty) shard-local state it starts from.
+struct ShardSeed {
+    engine: Engine,
+    reservations: BTreeMap<u64, Reservation>,
+    subscriptions: SubscriptionRegistry,
+    log: Vec<(LogKey, Action)>,
+    epoch: u64,
+    stat_base: StatDelta,
+}
+
+/// Runtime-global state a recovery seeds the shared block with; the default
+/// is the fresh-construction state.
+struct RecoveredGlobals {
+    clock: u64,
+    log_seq: u64,
+    next_reservation: u64,
+    stats: ManagerStats,
+    reservation_index: HashMap<u64, Vec<usize>>,
+    timers: TimerWheel<ExpiryEvent>,
+    cross_subscriptions: CrossSubscriptions,
+    orphan_subscriptions: SubscriptionRegistry,
+    queue_pending: VecDeque<SubmissionRecord>,
+}
+
+impl Default for RecoveredGlobals {
+    fn default() -> RecoveredGlobals {
+        RecoveredGlobals {
+            clock: 0,
+            log_seq: 0,
+            next_reservation: 1,
+            stats: ManagerStats::default(),
+            reservation_index: HashMap::new(),
+            timers: TimerWheel::new(0),
+            cross_subscriptions: CrossSubscriptions::default(),
+            orphan_subscriptions: SubscriptionRegistry::new(),
+            queue_pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Fresh shard seeds for a partition: one new engine per component, empty
+/// shard-local state.
+fn fresh_seeds(partition: &Partition, options: &RuntimeOptions) -> ManagerResult<Vec<ShardSeed>> {
+    let mut seeds = Vec::with_capacity(partition.len());
+    for component in partition.components() {
+        let mut engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
+        // Workers compile in their idle slots, never mid-transition.
+        engine.set_tier_budget(options.tier_budget);
+        engine.set_tier_auto(false);
+        seeds.push(ShardSeed {
+            engine,
+            reservations: BTreeMap::new(),
+            subscriptions: SubscriptionRegistry::new(),
+            log: Vec::new(),
+            epoch: 0,
+            stat_base: StatDelta::ZERO,
+        });
+    }
+    Ok(seeds)
+}
+
+/// Persists the partition's component table plus the joined expression —
+/// the routing ground truth every recovery starts from.
+fn write_topology_blob(hub: &DurabilityHub, expr: &Expr, partition: &Partition) {
+    let components =
+        partition.components().iter().map(|c| (c.expr.to_string(), c.alphabet.clone())).collect();
+    let topo = TopologyCheckpoint { epoch: partition.epoch(), expr: expr.to_string(), components };
+    hub.vault().save_blob(durability::TOPOLOGY_BLOB, &durability::encode_topology(&topo));
+}
+
+/// The one runtime constructor: wires the topology, the shared block, and
+/// the worker threads from per-shard seeds — fresh construction, durable
+/// construction, and crash recovery all funnel through here.
+fn spawn_runtime(
+    expr: &Expr,
+    partition: Partition,
+    options: RuntimeOptions,
+    hub: Option<Arc<DurabilityHub>>,
+    seeds: Vec<ShardSeed>,
+    globals: RecoveredGlobals,
+) -> ManagerResult<ManagerRuntime> {
+    let alphabets: Vec<Alphabet> =
+        partition.components().iter().map(|c| c.alphabet.clone()).collect();
+    let epoch = partition.epoch();
+    let mut senders = Vec::with_capacity(seeds.len());
+    let mut receivers = Vec::with_capacity(seeds.len());
+    for _ in 0..seeds.len() {
+        let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let topology = Arc::new(RwLock::new(Arc::new(Topology {
+        router: ShardRouter::with_epoch(alphabets, epoch),
+        queues: senders,
+        expr: expr.clone(),
+        alphabet: expr.alphabet(),
+    })));
+    let stats = SharedStats::default();
+    stats.restore(globals.stats);
+    let cross_entries = globals.cross_subscriptions.entries.len() as u64;
+    let durable = options.durable.then(|| {
+        let backend = hub.as_ref().map(|hub| {
+            Box::new(VaultQueueBackend::new(Arc::clone(hub.vault())))
+                as Box<dyn QueueBackend<SubmissionRecord>>
+        });
+        Mutex::new(DurableQueue::restore(globals.queue_pending.into(), backend))
+    });
+    let shared = Arc::new(RuntimeShared {
+        variant: options.variant,
+        topology: Arc::downgrade(&topology),
+        epoch: AtomicU64::new(epoch),
+        cross_enqueue: Mutex::new(()),
+        reservation_index: Mutex::new(globals.reservation_index),
+        cross_subscriptions: Mutex::new(globals.cross_subscriptions),
+        orphan_subscriptions: Mutex::new(globals.orphan_subscriptions),
+        notification_channels: Mutex::new(HashMap::new()),
+        cross_entry_count: AtomicU64::new(cross_entries),
+        timers: Mutex::new(globals.timers),
+        tier_budget: options.tier_budget,
+        durable,
+        durability: hub.clone(),
+        clock: AtomicU64::new(globals.clock),
+        log_seq: AtomicU64::new(globals.log_seq),
+        next_reservation: AtomicU64::new(globals.next_reservation),
+        stats,
+        repart: RepartCounters::default(),
+        cascade: options.cascade,
+        reservation_fps: Mutex::new(HashMap::new()),
+        cascade_counters: CascadeCounters::default(),
+        queue_metrics: options.queue_metrics,
+        queue_samples: Mutex::new(Vec::new()),
+    });
+    let mut workers = Vec::with_capacity(seeds.len());
+    for (id, (seed, rx)) in seeds.into_iter().zip(receivers).enumerate() {
+        let state = ShardState {
+            id,
+            engine: seed.engine,
+            reservations: seed.reservations,
+            subscriptions: seed.subscriptions,
+            log: seed.log,
+            epoch: seed.epoch,
+            wal: hub.clone(),
+            stat_base: seed.stat_base,
+        };
+        // Conditional-vote verification reads the published fingerprint, so
+        // recovered reservation tables must be visible before the worker
+        // serves its first task.
+        publish_reservation_fp(&shared, &state);
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker(shared, rx, state)));
+    }
+    let ticker_stop = Arc::new(AtomicBool::new(false));
+    let ticker = match options.clock {
+        ClockMode::Virtual => None,
+        ClockMode::Wall { tick } => {
+            let shared = Arc::clone(&shared);
+            let topology = Arc::clone(&topology);
+            let stop = Arc::clone(&ticker_stop);
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    advance_clock(&shared, &topology, 1);
+                }
+            }))
+        }
+    };
+    Ok(ManagerRuntime {
+        shared,
+        topology,
+        partition: Mutex::new(partition),
+        workers: Mutex::new(workers),
+        ticker: Mutex::new(ticker),
+        ticker_stop,
+    })
+}
+
 impl ManagerRuntime {
     /// Creates a runtime enforcing the expression with the simple protocol,
     /// a virtual clock, and no durability.
@@ -785,89 +1367,44 @@ impl ManagerRuntime {
     /// gets one worker thread and one ordered task queue.
     pub fn with_options(expr: &Expr, options: RuntimeOptions) -> ManagerResult<ManagerRuntime> {
         let partition = Partition::of(expr);
-        let mut alphabets = Vec::with_capacity(partition.len());
-        let mut engines = Vec::with_capacity(partition.len());
-        for component in partition.components() {
-            let mut engine = Engine::new(&component.expr).map_err(ManagerError::State)?;
-            // Workers compile in their idle slots, never mid-transition.
-            engine.set_tier_budget(options.tier_budget);
-            engine.set_tier_auto(false);
-            engines.push(engine);
-            alphabets.push(component.alphabet.clone());
-        }
-        let mut senders = Vec::with_capacity(engines.len());
-        let mut receivers = Vec::with_capacity(engines.len());
-        for _ in 0..engines.len() {
-            let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let topology = Arc::new(RwLock::new(Arc::new(Topology {
-            router: ShardRouter::new(alphabets),
-            queues: senders,
-            expr: expr.clone(),
-            alphabet: expr.alphabet(),
-        })));
-        let shared = Arc::new(RuntimeShared {
-            variant: options.variant,
-            topology: Arc::downgrade(&topology),
-            epoch: AtomicU64::new(0),
-            cross_enqueue: Mutex::new(()),
-            reservation_index: Mutex::new(HashMap::new()),
-            cross_subscriptions: Mutex::new(CrossSubscriptions::default()),
-            orphan_subscriptions: Mutex::new(SubscriptionRegistry::new()),
-            notification_channels: Mutex::new(HashMap::new()),
-            cross_entry_count: AtomicU64::new(0),
-            timers: Mutex::new(TimerWheel::new(0)),
-            tier_budget: options.tier_budget,
-            durable: options.durable.then(|| Mutex::new(DurableQueue::new())),
-            clock: AtomicU64::new(0),
-            log_seq: AtomicU64::new(0),
-            next_reservation: AtomicU64::new(1),
-            stats: SharedStats::default(),
-            repart: RepartCounters::default(),
-            cascade: options.cascade,
-            reservation_fps: Mutex::new(HashMap::new()),
-            cascade_counters: CascadeCounters::default(),
-            queue_metrics: options.queue_metrics,
-            queue_samples: Mutex::new(Vec::new()),
-        });
-        let mut workers = Vec::with_capacity(engines.len());
-        for (id, (engine, rx)) in engines.into_iter().zip(receivers).enumerate() {
-            let shared = Arc::clone(&shared);
-            let state = ShardState {
-                id,
-                engine,
-                reservations: BTreeMap::new(),
-                subscriptions: SubscriptionRegistry::new(),
-                log: Vec::new(),
-                epoch: 0,
-            };
-            workers.push(std::thread::spawn(move || worker(shared, rx, state)));
-        }
-        let ticker_stop = Arc::new(AtomicBool::new(false));
-        let ticker = match options.clock {
-            ClockMode::Virtual => None,
-            ClockMode::Wall { tick } => {
-                let shared = Arc::clone(&shared);
-                let topology = Arc::clone(&topology);
-                let stop = Arc::clone(&ticker_stop);
-                Some(std::thread::spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        std::thread::sleep(tick);
-                        advance_clock(&shared, &topology, 1);
-                    }
-                }))
-            }
-        };
-        Ok(ManagerRuntime {
-            shared,
-            topology,
-            partition: Mutex::new(partition),
-            workers: Mutex::new(workers),
-            ticker: Mutex::new(ticker),
-            ticker_stop,
-        })
+        let seeds = fresh_seeds(&partition, &options)?;
+        spawn_runtime(expr, partition, options, None, seeds, RecoveredGlobals::default())
+    }
+
+    /// Creates a *durable* runtime journaling into the given vault: every
+    /// commit, reservation grant, and release is written ahead to its owner
+    /// shard's log stream, statistics events go to the meta stream, and
+    /// durable submissions ([`RuntimeOptions::durable`]) are journaled in
+    /// the vault-backed queue stream.  [`ManagerRuntime::checkpoint`] cuts
+    /// sharded snapshots without stopping the world, and
+    /// [`ManagerRuntime::recover`] rebuilds an equivalent runtime from the
+    /// latest snapshots plus the log tails.
+    pub fn with_durability(
+        expr: &Expr,
+        options: RuntimeOptions,
+        vault: Arc<dyn Vault>,
+    ) -> ManagerResult<ManagerRuntime> {
+        let hub = Arc::new(DurabilityHub::new(vault));
+        let partition = Partition::of(expr);
+        // Persist the topology before anything journals against it: the log
+        // streams are meaningless without the component table that routed
+        // them.
+        write_topology_blob(&hub, expr, &partition);
+        hub.vault().sync();
+        let seeds = fresh_seeds(&partition, &options)?;
+        spawn_runtime(expr, partition, options, Some(hub), seeds, RecoveredGlobals::default())
+    }
+
+    /// [`ManagerRuntime::with_durability`] over a [`FileVault`] rooted at
+    /// `path`, flushing per [`RuntimeOptions::fsync`].
+    pub fn with_durability_path(
+        expr: &Expr,
+        options: RuntimeOptions,
+        path: impl AsRef<std::path::Path>,
+    ) -> ManagerResult<ManagerRuntime> {
+        let vault = FileVault::open(path, options.fsync)
+            .map_err(|e| durability_err(format!("opening vault: {e}")))?;
+        ManagerRuntime::with_durability(expr, options, Arc::new(vault))
     }
 
     /// Opens a session for a client: its submissions return completion
@@ -1361,11 +1898,22 @@ impl ManagerRuntime {
                     subscriptions: std::mem::take(&mut new_subscriptions[i]),
                     log: Vec::new(),
                     epoch: new_epochs[i],
+                    wal: shared.durability.clone(),
+                    stat_base: StatDelta::ZERO,
                 };
                 // Seed the new shard's published reservation fingerprint so
                 // post-migration conditional votes verify against the
                 // migrated table, not the empty default.
                 publish_reservation_fp(shared, &state);
+                // A new shard is born with replayed history its (empty) log
+                // stream does not cover: snapshot it before it serves.
+                if let Some(cap) = state.capture() {
+                    let hub = shared.durability.as_ref().expect("capture implies a hub");
+                    hub.vault().save_blob(
+                        &durability::snap_blob(idx),
+                        &durability::encode_shard_checkpoint(&cap),
+                    );
+                }
                 let shared = Arc::clone(shared);
                 workers.push(std::thread::spawn(move || worker(shared, rx, state)));
             }
@@ -1378,10 +1926,11 @@ impl ManagerRuntime {
         let mut queues = topo.queues.clone();
         queues.extend(new_senders);
         let epoch = new_router.epoch();
+        let joined_expr = Expr::sync(topo.expr.clone(), constraint.clone());
         let new_topology = Arc::new(Topology {
             router: new_router,
             queues,
-            expr: Expr::sync(topo.expr.clone(), constraint.clone()),
+            expr: joined_expr.clone(),
             alphabet: topo.alphabet.union(&constraint.alphabet()),
         });
         {
@@ -1398,6 +1947,35 @@ impl ManagerRuntime {
         for (_, state, _) in paused.iter_mut() {
             state.engine.invalidate_tier();
         }
+        // ---- Make the repartition durable before any worker resumes.  The
+        // migrated shards are re-snapshotted (their snapshots must stop
+        // carrying the subscriptions promoted above), the topology blob
+        // switches recovery over to the widened partition, and the
+        // manifest's cross/orphan registries follow the promotion.  Order
+        // matters for crash safety: a per-shard snapshot is valid under
+        // either topology (migration never touches an existing shard's
+        // engine or alphabet), so a crash before the blob rewrite simply
+        // recovers the old partition.
+        if let Some(hub) = &shared.durability {
+            for (_, state, _) in paused.iter() {
+                if let Some(cap) = state.capture() {
+                    hub.vault().save_blob(
+                        &durability::snap_blob(cap.shard),
+                        &durability::encode_shard_checkpoint(&cap),
+                    );
+                    hub.vault().truncate(DurabilityHub::shard_stream(cap.shard), cap.covered);
+                }
+            }
+            write_topology_blob(hub, &joined_expr, &new_partition);
+            if let Some(blob) = hub.vault().load_blob(durability::MANIFEST_BLOB) {
+                let mut manifest = durability::decode_manifest(&blob)?;
+                manifest.cross = export_cross(&lock(&shared.cross_subscriptions));
+                manifest.orphans = lock(&shared.orphan_subscriptions).export();
+                hub.vault()
+                    .save_blob(durability::MANIFEST_BLOB, &durability::encode_manifest(&manifest));
+            }
+            hub.vault().sync();
+        }
         resume_paused(paused);
         let repart = &shared.repart;
         repart.repartitions.fetch_add(1, Ordering::Relaxed);
@@ -1406,6 +1984,9 @@ impl ManagerRuntime {
         repart.migrated_reservations.fetch_add(migrated_reservations as u64, Ordering::Relaxed);
         repart.migrated_subscriptions.fetch_add(migrated_subscriptions as u64, Ordering::Relaxed);
         shared.stats.notifications.fetch_add(flips.len() as u64, Ordering::Relaxed);
+        if !flips.is_empty() {
+            meta_event(shared, StatDelta { notifications: flips.len() as u64, ..StatDelta::ZERO });
+        }
         deliver(shared, &flips);
         let report = RepartitionReport {
             epoch,
@@ -1469,6 +2050,133 @@ impl ManagerRuntime {
                 DurableOp::Abort { id } => submit_abort(&self.shared, &self.topology, id),
             })
             .collect()
+    }
+
+    /// The write-ahead vault of a durable runtime (`None` when the runtime
+    /// was built without one).
+    pub fn vault(&self) -> Option<Arc<dyn Vault>> {
+        self.shared.durability.as_ref().map(|hub| Arc::clone(hub.vault()))
+    }
+
+    /// Cuts a checkpoint without stopping the world: each shard worker
+    /// captures its CoW state handle plus the log offset the capture covers
+    /// at one of its own task boundaries (a `Checkpoint` task, ordinary
+    /// queue order — no global barrier, unaffected shards keep serving),
+    /// and the coordinator encodes the captures, writes the snapshot blobs,
+    /// the manifest, and the queue checkpoint, then truncates the covered
+    /// log prefixes — the `ContinueAsNew`-style rollover that keeps
+    /// recovery time proportional to the log *tail*, not the history.
+    ///
+    /// Crash-safe in every interleaving: snapshot blobs are atomic and
+    /// self-describing (each carries the offset it covers), the manifest is
+    /// written before any stream is truncated, and a crash between the two
+    /// merely replays a longer tail.
+    pub fn checkpoint(&self) -> ManagerResult<CheckpointReport> {
+        let hub = self
+            .shared
+            .durability
+            .as_ref()
+            .ok_or_else(|| durability_err("checkpoint requires a runtime with a vault"))?;
+        let topo = read_topology(&self.topology);
+        let mut pending = Vec::with_capacity(topo.queues.len());
+        for queue in topo.queues.iter() {
+            let (issuer, t) = ticket();
+            if queue.send(Task::Checkpoint(issuer)).is_ok() {
+                pending.push(t);
+            }
+        }
+        let shards = pending.len();
+        let mut captures: Vec<ShardCapture> =
+            pending.into_iter().filter_map(|t| t.wait()).collect();
+        captures.sort_by_key(|c| c.shard);
+        let mut bytes = 0u64;
+        for cap in &captures {
+            let blob = durability::encode_shard_checkpoint(cap);
+            bytes += blob.len() as u64;
+            hub.vault().save_blob(&durability::snap_blob(cap.shard), &blob);
+        }
+        // Fold the covered meta-stream prefix into the manifest's statistics
+        // base.  Records racing in *after* the captured length keep an index
+        // >= `meta_len`, survive the truncation, and replay as tail — the
+        // event deltas are order-independent, so the cut is race-free.
+        let previous = match hub.vault().load_blob(durability::MANIFEST_BLOB) {
+            Some(blob) => Some(durability::decode_manifest(&blob)?),
+            None => None,
+        };
+        let (mut meta_base, old_covered) =
+            previous.map_or((StatDelta::ZERO, 0), |m| (m.meta_base, m.meta_covered));
+        let meta_len = hub.vault().stream_len(META_STREAM);
+        let mut clock = self.shared.clock.load(Ordering::Relaxed);
+        for (index, payload) in hub.vault().read_from(META_STREAM, old_covered) {
+            if index >= meta_len {
+                break;
+            }
+            let record =
+                WalRecord::decode(&payload).map_err(|e| durability::codec_err("meta record", e))?;
+            if let WalRecord::Clock { now } = record {
+                clock = clock.max(now);
+            }
+            meta_base.add(&record.delta());
+        }
+        let manifest = Manifest {
+            clock,
+            meta_covered: meta_len,
+            meta_base,
+            log_seq: self.shared.log_seq.load(Ordering::Relaxed),
+            next_reservation: self.shared.next_reservation.load(Ordering::Relaxed),
+            cross: export_cross(&lock(&self.shared.cross_subscriptions)),
+            orphans: lock(&self.shared.orphan_subscriptions).export(),
+        };
+        hub.vault().save_blob(durability::MANIFEST_BLOB, &durability::encode_manifest(&manifest));
+        // Queue checkpoint under the journal lock: the backend appends
+        // before the in-memory push, so pending list and stream length are
+        // consistent exactly while the lock is held.
+        if let Some(durable) = &self.shared.durable {
+            let journal = lock(durable);
+            let covered = hub.vault().stream_len(QUEUE_STREAM);
+            let cp = QueueCheckpoint { covered, pending: journal.pending() };
+            hub.vault()
+                .save_blob(durability::QUEUE_BLOB, &durability::encode_queue_checkpoint(&cp));
+            drop(journal);
+            hub.vault().truncate(QUEUE_STREAM, covered);
+        }
+        for cap in &captures {
+            hub.vault().truncate(DurabilityHub::shard_stream(cap.shard), cap.covered);
+        }
+        hub.vault().truncate(META_STREAM, meta_len);
+        hub.vault().sync();
+        Ok(CheckpointReport { shards, captured: captures.len(), bytes })
+    }
+
+    /// Rebuilds a runtime from a vault: loads the persisted topology, the
+    /// latest snapshot of every shard, and replays only each shard's log
+    /// *tail* (the records past the snapshot's covered offset).  Cross-shard
+    /// commits torn by the crash — journaled by some owners but not others —
+    /// are rolled forward on the missing owners (the decision was durable on
+    /// at least one stream); reservations granted or released on only part
+    /// of their owner set are resolved conservatively (a torn grant with no
+    /// visible release completes; anything ambiguous is dropped everywhere,
+    /// equivalent to an immediate lease expiry).  Leases still pending
+    /// rejoin the timer wheel, overdue ones fire on the next clock advance.
+    ///
+    /// Durable submissions recovered as unacknowledged are *not* redelivered
+    /// automatically — call [`ManagerRuntime::crash_redeliver`] to redeliver
+    /// them and collect fresh completion tickets.
+    pub fn recover(
+        vault: Arc<dyn Vault>,
+        options: RuntimeOptions,
+    ) -> ManagerResult<ManagerRuntime> {
+        recover_runtime(vault, options)
+    }
+
+    /// [`ManagerRuntime::recover`] over a [`FileVault`] rooted at `path`.
+    pub fn recover_path(
+        path: impl AsRef<std::path::Path>,
+        options: RuntimeOptions,
+    ) -> ManagerResult<ManagerRuntime> {
+        let vault = FileVault::open(path, options.fsync)
+            .map_err(|e| durability_err(format!("opening vault: {e}")))?;
+        ManagerRuntime::recover(Arc::new(vault), options)
     }
 
     /// Stops the ticker (if any), lets every worker drain its queue, joins
@@ -1599,6 +2307,7 @@ impl Session {
             shared.stats.asks.fetch_add(1, Ordering::Relaxed);
             self.journal(DurableOp::Execute { action: action.clone() });
             if !action.is_concrete() {
+                meta_event(shared, StatDelta { asks: 1, ..StatDelta::ZERO });
                 out.push(completed(Completion::Failed {
                     error: ManagerError::NonConcreteAction { action: action.to_string() },
                 }));
@@ -1607,6 +2316,7 @@ impl Session {
             match topo.router.classify(action) {
                 Route::None => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                     out.push(completed(Completion::Denied));
                 }
                 route => {
@@ -1820,6 +2530,7 @@ fn submit_ask(
 ) -> Ticket<Completion> {
     shared.stats.asks.fetch_add(1, Ordering::Relaxed);
     if !action.is_concrete() {
+        meta_event(shared, StatDelta { asks: 1, ..StatDelta::ZERO });
         return completed(Completion::Failed {
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
@@ -1829,6 +2540,7 @@ fn submit_ask(
             // Unknown to every shard: denied inline, before any queue or
             // lock is touched (the signature-level miss in the router).
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+            meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
             completed(Completion::Denied)
         }
         Route::Single(shard) => {
@@ -1848,6 +2560,7 @@ fn submit_execute(
 ) -> Ticket<Completion> {
     shared.stats.asks.fetch_add(1, Ordering::Relaxed);
     if !action.is_concrete() {
+        meta_event(shared, StatDelta { asks: 1, ..StatDelta::ZERO });
         return completed(Completion::Failed {
             error: ManagerError::NonConcreteAction { action: action.to_string() },
         });
@@ -1855,6 +2568,7 @@ fn submit_execute(
     match topo.router.classify(action) {
         Route::None => {
             shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+            meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
             completed(Completion::Denied)
         }
         Route::Single(shard) => {
@@ -2128,6 +2842,9 @@ fn promote_subscription(
 /// repartition without rewriting wheel entries.
 fn advance_clock(shared: &Arc<RuntimeShared>, slot: &TopologySlot, delta: u64) -> Vec<Reservation> {
     let now = shared.clock.fetch_add(delta, Ordering::Relaxed) + delta;
+    if let Some(hub) = &shared.durability {
+        hub.log_meta(&WalRecord::Clock { now });
+    }
     let events = lock(&shared.timers).advance(now);
     let tickets: Vec<Ticket<Completion>> = events
         .into_iter()
@@ -2381,6 +3098,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 tier: st.engine.tier_stats(),
             }),
             Ok(Task::Compile(issuer)) => issuer.complete(st.engine.compile_tier()),
+            Ok(Task::Checkpoint(issuer)) => issuer.complete(st.capture()),
             Ok(Task::Stop) => {
                 // Fail everything still queued behind the Stop marker; the
                 // enqueue lock guarantees a cross task behind one owner's
@@ -2425,6 +3143,7 @@ fn fail_task(task: Task) {
         Task::Pause(_) => {}
         Task::Snapshot(issuer) => issuer.complete(ShardSnapshot::default()),
         Task::Compile(issuer) => issuer.complete(TierStats::default()),
+        Task::Checkpoint(issuer) => issuer.complete(None),
         Task::Stop => {}
     }
 }
@@ -2552,6 +3271,7 @@ fn redispatch_single(
                 Op::Query { .. } => Completion::Status { permitted: false },
                 _ => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                     Completion::Denied
                 }
             };
@@ -2615,6 +3335,7 @@ fn process_batch_window(
                 Route::Multi(owners) => enqueue_exec(&topo, owners, action, ticket, submitted),
                 Route::None => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                     fulfil(ticket, Completion::Denied, cx);
                 }
             }
@@ -2873,6 +3594,7 @@ fn deposit_unconditional_vote(
     } else {
         sync.votes[pos] = Vote::Pending;
         shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
         if let Some(issuer) = sync.ticket.take() {
             fulfil(issuer, Completion::Denied, cx);
         }
@@ -2993,6 +3715,19 @@ fn apply_exec_commit(
     if pos == 0 {
         st.log.push(((seq, 0, 0), task.action.clone()));
     }
+    // Every owner echoes the commit into its own stream (self-contained
+    // per-shard recovery); the statistics ride on the primary's record, the
+    // nondeterministically-attributed notification count on a meta event.
+    st.journal_commit(
+        (seq, 0, 0),
+        &task.action,
+        pos == 0,
+        if pos == 0 {
+            StatDelta { asks: 1, grants: 1, confirmations: 1, ..StatDelta::ZERO }
+        } else {
+            StatDelta::ZERO
+        },
+    );
     let mut sync = lock(&task.sync);
     if !local_notes.is_empty() {
         sync.notes.push((pos, local_notes));
@@ -3006,6 +3741,7 @@ fn apply_exec_commit(
         shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
         shared.stats.grants.fetch_add(1, Ordering::Relaxed);
         shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
+        meta_event(shared, StatDelta { notifications: notes.len() as u64, ..StatDelta::ZERO });
         deliver(shared, &notes);
         if let Some(issuer) = sync.ticket.take() {
             fulfil(issuer, Completion::Executed { notifications: notes }, cx);
@@ -3291,6 +4027,7 @@ fn process_batch(
                 };
                 let ticket = ticket.take().expect("local resolved once");
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                 fulfil(ticket, Completion::Denied, cx);
                 cx.record(batch.submitted[i]);
             }
@@ -3379,10 +4116,15 @@ fn process_single(
                 }
             } else if !st.permitted_considering_reservations(&action) {
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                 Completion::Denied
             } else {
                 shared.stats.grants.fetch_add(1, Ordering::Relaxed);
                 let reservation = shared.new_reservation(client, &action);
+                st.journal_reserve(
+                    &reservation,
+                    StatDelta { asks: 1, grants: 1, ..StatDelta::ZERO },
+                );
                 st.reservations.insert(reservation.id, reservation.clone());
                 publish_reservation_fp(shared, st);
                 lock(&shared.reservation_index).insert(reservation.id, vec![st.id]);
@@ -3400,6 +4142,7 @@ fn process_single(
             let removed = st.reservations.remove(&id);
             if removed.is_some() {
                 publish_reservation_fp(shared, st);
+                st.journal_release(id, StatDelta::ZERO);
             }
             match removed {
                 None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
@@ -3422,6 +4165,7 @@ fn process_single(
                 None => Completion::Failed { error: ManagerError::UnknownReservation { id } },
                 Some(reservation) => {
                     publish_reservation_fp(shared, st);
+                    st.journal_release(id, StatDelta { aborted: 1, ..StatDelta::ZERO });
                     shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
                     Completion::Aborted { reservation }
                 }
@@ -3431,6 +4175,7 @@ fn process_single(
             if st.reservations.get(&id).is_some_and(|r| r.expires_at <= now) {
                 let reservation = st.reservations.remove(&id);
                 publish_reservation_fp(shared, st);
+                st.journal_release(id, StatDelta { expired: 1, ..StatDelta::ZERO });
                 lock(&shared.reservation_index).remove(&id);
                 shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
                 Completion::Expired { reservation }
@@ -3466,12 +4211,14 @@ fn single_commit(
     // single-owner worker walks the state once per action, not twice.
     if !st.reservations.is_empty() && !st.permitted_considering_reservations(action) {
         shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
         return None;
     }
     let Some(next) = st.engine.prepare(action) else {
         // The reservation-aware probe can pass while the immediate commit is
         // impossible; that is a denial, exactly as in the blocking manager.
         shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+        meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
         return None;
     };
     if count_grant {
@@ -3488,7 +4235,7 @@ fn install_commit(
     st: &mut ShardState,
     action: &Action,
     next: StateRef,
-    _granted: bool,
+    granted: bool,
 ) -> Vec<Notification> {
     let sub = shared.log_seq.fetch_add(1, Ordering::Relaxed);
     st.engine.commit_prepared(next);
@@ -3496,6 +4243,21 @@ fn install_commit(
     let mut notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
     st.log.push(((st.epoch, 1, sub), action.clone()));
     notes.extend(refresh_cross_for_shard(shared, st.id, &st.engine));
+    // `granted` distinguishes the combined grant-and-commit (one ask, one
+    // grant) from confirming an earlier grant (already journaled with its
+    // Reserve record).
+    st.journal_commit(
+        (st.epoch, 1, sub),
+        action,
+        true,
+        StatDelta {
+            asks: granted as u64,
+            grants: granted as u64,
+            confirmations: 1,
+            notifications: notes.len() as u64,
+            ..StatDelta::ZERO
+        },
+    );
     shared.stats.confirmations.fetch_add(1, Ordering::Relaxed);
     shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
     deliver(shared, &notes);
@@ -3531,6 +4293,7 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
             removed_here = st.reservations.remove(id);
             if removed_here.is_some() {
                 publish_reservation_fp(shared, st);
+                st.journal_release(*id, StatDelta::ZERO);
             }
             vote = match &removed_here {
                 Some(reservation) => {
@@ -3544,12 +4307,14 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
             removed_here = st.reservations.remove(id);
             if removed_here.is_some() {
                 publish_reservation_fp(shared, st);
+                st.journal_release(*id, StatDelta::ZERO);
             }
         }
         CrossOp::Expire { id, now } => {
             if st.reservations.get(id).is_some_and(|r| r.expires_at <= *now) {
                 removed_here = st.reservations.remove(id);
                 publish_reservation_fp(shared, st);
+                st.journal_release(*id, StatDelta::ZERO);
             }
         }
         CrossOp::Subscribe { action, .. } | CrossOp::Query { action } => {
@@ -3594,17 +4359,34 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
             let engine = &st.engine;
             let local_notes = st.subscriptions.refresh(|a| engine.is_permitted(a));
             let bits = cross_bits_for_shard(shared, st);
-            if pos == 0 {
+            if pos == 0 || st.wal.is_some() {
                 let action = match &task.op {
                     CrossOp::Ask { action, .. } => action.clone(),
                     CrossOp::Confirm { .. } => removed_here
                         .as_ref()
-                        .expect("confirm committed, so the primary held the reservation")
+                        .expect("confirm committed, so every owner held the reservation")
                         .action
                         .clone(),
                     _ => unreachable!("only ask/confirm commit"),
                 };
-                st.log.push(((seq, 0, 0), action));
+                // The statistics of the decision ride on the primary's echo
+                // record; the other owners journal a zero-delta echo so
+                // their streams replay standalone.
+                st.journal_commit(
+                    (seq, 0, 0),
+                    &action,
+                    pos == 0,
+                    match (&task.op, pos) {
+                        (CrossOp::Ask { .. }, 0) => {
+                            StatDelta { asks: 1, grants: 1, confirmations: 1, ..StatDelta::ZERO }
+                        }
+                        (_, 0) => StatDelta { confirmations: 1, ..StatDelta::ZERO },
+                        _ => StatDelta::ZERO,
+                    },
+                );
+                if pos == 0 {
+                    st.log.push(((seq, 0, 0), action));
+                }
             }
             let mut sync = lock(&task.sync);
             sync.notes[pos] = local_notes;
@@ -3617,6 +4399,14 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
         Decision::Reserve => {
             let reservation =
                 lock(&task.sync).granted.clone().expect("reserve decided with a reservation");
+            st.journal_reserve(
+                &reservation,
+                if pos == 0 {
+                    StatDelta { asks: 1, grants: 1, ..StatDelta::ZERO }
+                } else {
+                    StatDelta::ZERO
+                },
+            );
             st.reservations.insert(reservation.id, reservation);
             publish_reservation_fp(shared, st);
             let mut sync = lock(&task.sync);
@@ -3645,6 +4435,7 @@ fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Dec
         CrossOp::Ask { client, action } => {
             if !sync.ok {
                 shared.stats.denials.fetch_add(1, Ordering::Relaxed);
+                meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                 complete(sync, Completion::Denied);
                 Decision::Deny
             } else if matches!(shared.variant, ProtocolVariant::Combined) {
@@ -3680,6 +4471,7 @@ fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Dec
             match sync.removed.clone() {
                 Some(reservation) => {
                     shared.stats.aborted_reservations.fetch_add(1, Ordering::Relaxed);
+                    meta_event(shared, StatDelta { aborted: 1, ..StatDelta::ZERO });
                     complete(sync, Completion::Aborted { reservation });
                 }
                 None => complete(
@@ -3694,6 +4486,7 @@ fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Dec
             if reservation.is_some() {
                 lock(&shared.reservation_index).remove(id);
                 shared.stats.expired_reservations.fetch_add(1, Ordering::Relaxed);
+                meta_event(shared, StatDelta { expired: 1, ..StatDelta::ZERO });
             }
             complete(sync, Completion::Expired { reservation });
             Decision::Released
@@ -3744,6 +4537,7 @@ fn finish_commit(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync)
         shared.stats.grants.fetch_add(1, Ordering::Relaxed);
     }
     shared.stats.notifications.fetch_add(notes.len() as u64, Ordering::Relaxed);
+    meta_event(shared, StatDelta { notifications: notes.len() as u64, ..StatDelta::ZERO });
     deliver(shared, &notes);
     if let Some(issuer) = sync.ticket.take() {
         let completion = match &task.op {
@@ -4530,5 +5324,111 @@ mod tests {
             Completion::Failed { error: ManagerError::Disconnected } => {}
             other => panic!("expected Disconnected, got {other:?}"),
         }
+    }
+
+    /// Builds a durable four-shard runtime on a fresh shared vault, commits
+    /// a pair on department `a` plus one full cross-shard audit, and shuts
+    /// it down — the common preamble of the torn-log tests below.
+    fn torn_test_vault() -> Arc<dyn Vault> {
+        let vault: Arc<dyn Vault> = Arc::new(ix_durable::MemVault::new());
+        let options =
+            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+        let runtime =
+            ManagerRuntime::with_durability(&coupled_constraint(), options, Arc::clone(&vault))
+                .unwrap();
+        let session = runtime.session(1);
+        for action in [dept_action("call", 'a', 1), dept_action("perform", 'a', 1), audit()] {
+            assert!(matches!(session.execute(&action).wait(), Completion::Executed { .. }));
+        }
+        runtime.shutdown().unwrap();
+        vault
+    }
+
+    #[test]
+    fn torn_cross_commit_rolls_forward_on_every_missing_owner() {
+        let vault = torn_test_vault();
+        // Hand-tear a second audit: its commit record reached shard 0's
+        // stream (the primary) but the crash swallowed the other owners'
+        // echoes.
+        let hub = DurabilityHub::new(Arc::clone(&vault));
+        hub.log_shard(
+            0,
+            &WalRecord::Commit {
+                key: (100, 0, 0),
+                action: audit(),
+                is_primary: true,
+                delta: StatDelta { asks: 1, grants: 1, confirmations: 1, ..StatDelta::ZERO },
+            },
+        );
+        let recovered = ManagerRuntime::recover(
+            vault,
+            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() },
+        )
+        .unwrap();
+        // The decision was durable on one stream, so it completes on all
+        // four owners: the merged log gains the torn audit exactly once...
+        let log = recovered.log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[3], audit());
+        // ...and every shard's engine advanced through it — a third audit
+        // still commits, which it could not if any owner were left behind.
+        let session = recovered.session(2);
+        assert!(matches!(session.execute(&audit()).wait(), Completion::Executed { .. }));
+        // The roll-forward re-journaled the missing echoes, so a second
+        // crash right now recovers the same state from the streams alone.
+        let vault = recovered.vault().unwrap();
+        recovered.shutdown().unwrap();
+        let again = ManagerRuntime::recover(
+            vault,
+            RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(again.log().len(), 5);
+        again.shutdown().unwrap();
+    }
+
+    #[test]
+    fn torn_reservation_grant_completes_and_torn_release_drops() {
+        let vault = torn_test_vault();
+        let hub = DurabilityHub::new(Arc::clone(&vault));
+        let lease =
+            |id: u64| Reservation { id, action: audit(), client: 9, granted_at: 0, expires_at: 50 };
+        // Reservation 70: granted on shards 0 and 1, the crash swallowed
+        // the other owners' grant records and there is no release in any
+        // tail — the grant is durable, so recovery completes it everywhere.
+        for shard in [0usize, 1] {
+            hub.log_shard(
+                shard,
+                &WalRecord::Reserve { reservation: lease(70), delta: StatDelta::ZERO },
+            );
+        }
+        // Reservation 71: granted everywhere, but shard 2 also journaled
+        // the release before the crash — the removal is durable, so
+        // recovery drops the holders that remain.
+        for shard in 0..4usize {
+            hub.log_shard(
+                shard,
+                &WalRecord::Reserve { reservation: lease(71), delta: StatDelta::ZERO },
+            );
+        }
+        hub.log_shard(2, &WalRecord::Release { id: 71, delta: StatDelta::ZERO });
+        let recovered = ManagerRuntime::recover(
+            vault,
+            RuntimeOptions {
+                variant: ProtocolVariant::Leased { lease: 50 },
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        let session = recovered.session(3);
+        // Reservation 71 was dropped everywhere: confirming it fails.
+        assert!(session.confirm_blocking(71).is_err(), "torn release must drop the lease");
+        // Reservation 70 completed everywhere: its lease re-armed on the
+        // recovered timer wheel and fires once the clock passes it.
+        let expired = recovered.advance_time(60);
+        assert_eq!(expired.len(), 1, "only lease 70 survived recovery");
+        assert_eq!(expired[0].id, 70);
+        assert_eq!(expired[0].action, audit());
+        recovered.shutdown().unwrap();
     }
 }

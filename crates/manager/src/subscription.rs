@@ -30,6 +30,10 @@ use std::collections::BTreeMap;
 /// Identifier of an interaction client.
 pub type ClientId = u64;
 
+/// The snapshot form of one registry entry:
+/// `(abstract key, subscribed action, clients, cached status)`.
+pub type SubscriptionRow = (Action, Action, Vec<ClientId>, bool);
+
 /// A status-change notification sent to a subscriber.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Notification {
@@ -162,6 +166,38 @@ impl SubscriptionRegistry {
         }
         self.by_abstract.retain(|_, entries| !entries.is_empty());
         out
+    }
+
+    /// Flattens the registry into `(key, action, clients, cached status)`
+    /// rows, sorted by the index order — the snapshot form a checkpoint
+    /// persists.
+    pub fn export(&self) -> Vec<SubscriptionRow> {
+        let mut out = Vec::new();
+        for (key, entries) in &self.by_abstract {
+            for (action, entry) in entries {
+                out.push((key.clone(), action.clone(), entry.clients.clone(), entry.permitted));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a registry from rows produced by
+    /// [`SubscriptionRegistry::export`].
+    pub fn import(rows: Vec<SubscriptionRow>) -> SubscriptionRegistry {
+        let mut reg = SubscriptionRegistry::new();
+        for (key, action, clients, permitted) in rows {
+            let entry = reg
+                .by_abstract
+                .entry(key)
+                .or_default()
+                .entry(action)
+                .or_insert(SubEntry { clients: Vec::new(), permitted });
+            entry.clients = clients;
+            entry.clients.sort_unstable();
+            entry.clients.dedup();
+            entry.permitted = permitted;
+        }
+        reg
     }
 
     /// Re-evaluates every entry against `permitted` and returns

@@ -226,6 +226,69 @@ impl CompiledTable {
         }
         Some(id)
     }
+
+    /// Decomposes the table into its serializable parts.  The derived
+    /// lookup maps (`symbol_index`, value→id `index`) and the epoch stamp
+    /// are dropped — [`CompiledTable::from_parts`] rebuilds them.
+    pub fn to_parts(&self) -> TableParts {
+        TableParts {
+            symbols: self.symbols.clone(),
+            states: self.states.clone(),
+            transitions: self.transitions.clone(),
+            finals: self.finals.clone(),
+            permitted: self.permitted.clone(),
+            fingerprint: self.fingerprint,
+            compile_nanos: self.compile_nanos,
+        }
+    }
+
+    /// Reassembles a table from parts (the inverse of
+    /// [`CompiledTable::to_parts`]): rebuilds the symbol and state lookup
+    /// maps and stamps the table with epoch 0 — the adopting tier re-stamps
+    /// it with its own current epoch on install.
+    pub fn from_parts(parts: TableParts) -> CompiledTable {
+        let symbol_index =
+            parts.symbols.iter().enumerate().map(|(i, a)| (a.clone(), i as u16)).collect();
+        #[allow(clippy::mutable_key_type)]
+        let index: HashMap<Shared<State>, u32> =
+            parts.states.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+        let words_per_state = parts.symbols.len().div_ceil(64);
+        CompiledTable {
+            symbols: parts.symbols,
+            symbol_index,
+            states: parts.states,
+            index,
+            transitions: parts.transitions,
+            finals: parts.finals,
+            permitted: parts.permitted,
+            words_per_state,
+            fingerprint: parts.fingerprint,
+            epoch: 0,
+            compile_nanos: parts.compile_nanos,
+        }
+    }
+}
+
+/// The serializable decomposition of a [`CompiledTable`]: everything a
+/// checkpoint must persist so recovery can re-attach the tile instead of
+/// recompiling.  Derived lookup maps are rebuilt on
+/// [`CompiledTable::from_parts`].
+#[derive(Clone, Debug)]
+pub struct TableParts {
+    /// Sorted, deduplicated concrete atoms — the symbol axis.
+    pub symbols: Vec<Action>,
+    /// Interned canonical state handles; index = state id, id 0 = σ.
+    pub states: Vec<Shared<State>>,
+    /// Dense `states.len() × symbols.len()` successor array.
+    pub transitions: Vec<u32>,
+    /// ϕ bitset over state ids.
+    pub finals: Vec<u64>,
+    /// Per-state permitted-symbol bitsets.
+    pub permitted: Vec<u64>,
+    /// Hash of the source sub-state σ and the symbol axis.
+    pub fingerprint: u64,
+    /// Wall-clock nanoseconds the original exploration took.
+    pub compile_nanos: u64,
 }
 
 /// Structural reasons a subexpression can never be table-resident,

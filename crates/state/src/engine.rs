@@ -28,7 +28,7 @@
 //! property tests drive memo-on and memo-off engines in lockstep).
 
 use crate::compile::{compile_all, visit_shared, CompileBudget, CompileOutcome, CompiledTable};
-use crate::compile::{TierStats, DEAD, DEFAULT_TIER_BUDGET};
+use crate::compile::{TableParts, TierStats, DEAD, DEFAULT_TIER_BUDGET};
 use crate::error::StateResult;
 use crate::init::init;
 use crate::predicates::{is_final, is_valid};
@@ -420,6 +420,25 @@ impl Engine {
             accepted: 0,
             rejected: 0,
         })
+    }
+
+    /// Reconstructs an engine from checkpointed pieces: the expression, a
+    /// decoded state, and the accept/reject counters.  The expression is
+    /// re-validated (σ must exist) exactly as in [`Engine::new`]; the decoded
+    /// state then replaces σ.  The memo starts cold and the tier starts
+    /// empty — recovery re-attaches checkpointed tables via
+    /// [`Engine::adopt_tier`] instead of recompiling.
+    pub fn restore(
+        expr: &Expr,
+        state: Shared<State>,
+        accepted: u64,
+        rejected: u64,
+    ) -> StateResult<Engine> {
+        let mut engine = Engine::new(expr)?;
+        engine.state = state;
+        engine.accepted = accepted;
+        engine.rejected = rejected;
+        Ok(engine)
     }
 
     /// The expression this engine enforces.
@@ -824,6 +843,36 @@ impl Engine {
     /// The tier's counter surface (mirrors the memo stats).
     pub fn tier_stats(&self) -> TierStats {
         self.tier.stats()
+    }
+
+    /// The currently installed tables (empty when the tier has not
+    /// compiled).  Checkpoints persist these via
+    /// [`CompiledTable::to_parts`] so recovery can re-attach them.
+    pub fn tier_tables(&self) -> Vec<Arc<CompiledTable>> {
+        self.tier.tables.borrow().clone()
+    }
+
+    /// Installs checkpointed tables without counting a compilation: each
+    /// part is reassembled, stamped with the tier's current epoch, and
+    /// re-attached to the live state.  Marks the tier as `attempted`, so
+    /// the hotness signal does not ask for a redundant recompile; the
+    /// `compiles` counter is untouched — recovery re-attaching tiles is
+    /// observably not a compile.
+    pub fn adopt_tier(&mut self, parts: Vec<TableParts>) {
+        if parts.is_empty() {
+            return;
+        }
+        {
+            let mut tables = self.tier.tables.borrow_mut();
+            tables.clear();
+            for part in parts {
+                let mut table = CompiledTable::from_parts(part);
+                table.epoch = self.tier.epoch.get();
+                tables.push(Arc::new(table));
+            }
+        }
+        self.tier.attempted.set(true);
+        self.tier.rebuild_attach(&self.state);
     }
 }
 

@@ -48,8 +48,8 @@ pub mod trans;
 
 pub use analysis::{classify, Benignity, Classification};
 pub use compile::{
-    compile, compile_all, CompileBailout, CompileBudget, CompileOutcome, CompiledTable, TierStats,
-    DEAD, DEFAULT_TIER_BUDGET,
+    compile, compile_all, CompileBailout, CompileBudget, CompileOutcome, CompiledTable, TableParts,
+    TierStats, DEAD, DEFAULT_TIER_BUDGET,
 };
 pub use engine::{
     empty_reservation_fingerprint, word_problem, Engine, WordStatus, DEFAULT_MEMO_CAPACITY,

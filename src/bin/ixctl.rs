@@ -6,17 +6,24 @@
 //! ixctl dot      '<expression>'            print the Graphviz rendering of the graph view
 //! ixctl word     '<expression>' a b(1) …   solve the word problem for the given actions
 //! ixctl run      '<expression>'            action problem: read one action per stdin line
+//! ixctl snapshot inspect <vault-dir>       describe a durability vault without opening it
+//! ixctl recover  <vault-dir>               crash-recover a vault and report the state
 //! ```
 //!
 //! Actions on the command line / stdin use the same syntax as atomic
 //! expressions, e.g. `call(1, sono)`.  The standard template registry
 //! (`mutex!`, `mutex2!`) and the paper's `flash!` operator are available.
+//! The vault commands take the directory a durable
+//! [`ix_manager::ManagerRuntime`] journaled into
+//! (`ManagerRuntime::with_durability_path`).
 
 use ix_core::{parse_with, Action, CoreResult, Expr, ExprKind, TemplateRegistry};
 use ix_graph::{from_expr, to_dot, InteractionGraph};
+use ix_manager::{inspect_vault, FileVault, FsyncPolicy, ManagerRuntime, RuntimeOptions, Vault};
 use ix_state::{classify, validate, Engine, WordStatus};
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn registry() -> TemplateRegistry {
     let mut reg = TemplateRegistry::with_standard_operators();
@@ -31,7 +38,9 @@ fn registry() -> TemplateRegistry {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: ixctl <check|simplify|dot|word|run> '<expression>' [actions...]";
+    let usage = "usage: ixctl <check|simplify|dot|word|run> '<expression>' [actions...]\n\
+                 \x20      ixctl snapshot inspect <vault-dir>\n\
+                 \x20      ixctl recover <vault-dir>";
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
@@ -39,6 +48,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The vault commands take a directory, not an expression.
+    match command {
+        "snapshot" => {
+            let dir = match rest {
+                [sub, dir] if sub == "inspect" => dir,
+                _ => {
+                    eprintln!("usage: ixctl snapshot inspect <vault-dir>");
+                    return ExitCode::from(2);
+                }
+            };
+            return snapshot_inspect(dir);
+        }
+        "recover" => {
+            let [dir] = rest else {
+                eprintln!("usage: ixctl recover <vault-dir>");
+                return ExitCode::from(2);
+            };
+            return recover(dir);
+        }
+        _ => {}
+    }
     let Some(source) = rest.first() else {
         eprintln!("{usage}");
         return ExitCode::from(2);
@@ -75,6 +105,81 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
     }
+}
+
+/// `ixctl snapshot inspect <dir>` — describes a durability vault (topology,
+/// manifest, per-shard snapshots and log tails) without recovering it.
+fn snapshot_inspect(dir: &str) -> ExitCode {
+    let vault: Arc<dyn Vault> = match FileVault::open(dir, FsyncPolicy::Never) {
+        Ok(v) => Arc::new(v),
+        Err(e) => {
+            eprintln!("error: cannot open vault at `{dir}`: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let inspection = match inspect_vault(&vault) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("vault      : {dir}");
+    println!("expression : {}", inspection.expr);
+    println!("topology   : {} components, epoch {}", inspection.components, inspection.epoch);
+    if inspection.manifest {
+        println!("manifest   : present (clock {})", inspection.clock);
+    } else {
+        println!("manifest   : none (no checkpoint yet)");
+    }
+    println!("meta tail  : {} records", inspection.meta_tail);
+    println!(
+        "queue      : {} pending in blob, {} tail records",
+        inspection.queue_pending, inspection.queue_tail
+    );
+    for s in &inspection.shards {
+        let snapshot = if s.snapshot {
+            format!("snapshot {} B (log epoch {})", s.snapshot_bytes, s.epoch)
+        } else {
+            "no snapshot".to_string()
+        };
+        println!(
+            "shard {:>4} : {snapshot}, {} log entries, {} reservations, \
+             {} tier tables, covered {} + {} tail records",
+            s.shard, s.log_entries, s.reservations, s.tier_tables, s.covered, s.tail_records
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `ixctl recover <dir>` — crash-recovers the vault, reports the recovered
+/// state, and shuts the runtime back down (journaling nothing new).
+fn recover(dir: &str) -> ExitCode {
+    let runtime = match ManagerRuntime::recover_path(dir, RuntimeOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: recovery failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let pending = runtime.unacknowledged_submissions();
+    let report = match runtime.shutdown() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: post-recovery shutdown failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("recovered  : {dir}");
+    println!("shards     : {}", report.shards);
+    println!("clock      : {}", report.clock);
+    println!("log        : {} committed actions", report.log.len());
+    for action in report.log.iter().rev().take(5).rev() {
+        println!("             … {action}");
+    }
+    println!("stats      : {:?}", report.stats);
+    println!("queue      : {pending} unacknowledged durable submissions");
+    ExitCode::SUCCESS
 }
 
 fn check(expr: &Expr) -> CoreResult<()> {

@@ -1,0 +1,452 @@
+//! Integration tests of the durability subsystem: sharded copy-on-write
+//! checkpoints, the file-backed write-ahead log, and log-tail crash
+//! recovery.
+//!
+//! The central property: a runtime recovered from its vault is
+//! *observationally identical* to the uncrashed runtime — same merged log,
+//! same statistics, same clock, same pending leases, and it decides the
+//! same way afterwards.  The workloads are driven through one session with
+//! every ticket awaited, so both runs follow the same deterministic
+//! schedule and the comparison is exact, not statistical.
+
+use ix_core::{parse, Action, Expr, Value};
+use ix_manager::{
+    inspect_vault, ClockMode, Completion, FsyncPolicy, ManagerRuntime, MemVault, ProtocolVariant,
+    RuntimeOptions, Vault,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn coupled_constraint() -> Expr {
+    parse(
+        "((some p { call_a(p) - perform_a(p) })* - audit)* \
+         @ ((some p { call_b(p) - perform_b(p) })* - audit)* \
+         @ ((some p { call_c(p) - perform_c(p) })* - audit)*",
+    )
+    .unwrap()
+}
+
+fn dept(kind: &str, d: usize, p: i64) -> Action {
+    let name = ["a", "b", "c"][d % 3];
+    Action::concrete(&format!("{kind}_{name}"), [Value::int(p)])
+}
+
+fn audit() -> Action {
+    Action::nullary("audit")
+}
+
+fn leased_options() -> RuntimeOptions {
+    RuntimeOptions {
+        variant: ProtocolVariant::Leased { lease: 6 },
+        clock: ClockMode::Virtual,
+        ..RuntimeOptions::default()
+    }
+}
+
+/// One step of the randomized workload.  Every variant is deterministic
+/// when driven through a single session with awaited tickets.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Execute a call/perform pair on a department (Ask + Confirm twice).
+    Pair(usize, i64),
+    /// Execute the cross-shard audit barrier.
+    Audit,
+    /// Ask for a call and leave the lease dangling.
+    Dangle(usize, i64),
+    /// Ask for a call and abort the grant.
+    AskAbort(usize, i64),
+    /// Subscribe a client to a call action.
+    Subscribe(u64, usize, i64),
+    /// Advance the virtual clock (expires due leases synchronously).
+    Tick(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 1u64..4).prop_map(|(d, p)| Op::Pair(d, p as i64)),
+        Just(Op::Audit),
+        (0usize..3, 4u64..7).prop_map(|(d, p)| Op::Dangle(d, p as i64)),
+        (0usize..3, 4u64..7).prop_map(|(d, p)| Op::AskAbort(d, p as i64)),
+        (10u64..14, 0usize..3, 1u64..4).prop_map(|(c, d, p)| Op::Subscribe(c, d, p as i64)),
+        (1u64..4).prop_map(Op::Tick),
+    ]
+}
+
+/// Replays the workload on a runtime through one session, awaiting every
+/// completion, confirming what each variant says to confirm.  Optionally
+/// cuts a checkpoint after `checkpoint_after` ops.
+fn apply_ops(runtime: &ManagerRuntime, ops: &[Op], checkpoint_after: Option<usize>) {
+    let session = runtime.session(1);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Pair(d, p) => {
+                for kind in ["call", "perform"] {
+                    if let Some(r) = session.ask_blocking(&dept(kind, *d, *p)).unwrap() {
+                        session.confirm_blocking(r).unwrap();
+                    }
+                }
+            }
+            Op::Audit => {
+                if let Some(r) = session.ask_blocking(&audit()).unwrap() {
+                    session.confirm_blocking(r).unwrap();
+                }
+            }
+            Op::Dangle(d, p) => {
+                let _ = session.ask_blocking(&dept("call", *d, *p)).unwrap();
+            }
+            Op::AskAbort(d, p) => {
+                if let Some(r) = session.ask_blocking(&dept("call", *d, *p)).unwrap() {
+                    session.abort_blocking(r).unwrap();
+                }
+            }
+            Op::Subscribe(client, d, p) => {
+                let probe = runtime.session(*client);
+                probe.subscribe_blocking(&dept("call", *d, *p)).unwrap();
+            }
+            Op::Tick(delta) => {
+                runtime.advance_time(*delta);
+            }
+        }
+        if checkpoint_after == Some(i) {
+            runtime.checkpoint().unwrap();
+        }
+    }
+}
+
+/// Everything we compare between the uncrashed reference and the recovered
+/// runtime.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    log: Vec<Action>,
+    stats: ix_manager::ManagerStats,
+    clock: u64,
+    subscriptions: usize,
+    expired: Vec<(u64, Action, u64)>,
+    post_audit: bool,
+}
+
+fn observe(runtime: &ManagerRuntime) -> Observation {
+    let log = runtime.log();
+    let stats_before = runtime.stats();
+    let clock = runtime.now();
+    let subscriptions = runtime.subscription_count();
+    // Probe the pending leases: everything still outstanding expires inside
+    // this horizon (lease 6, ticks <= 3 per op), in deadline order.
+    let expired =
+        runtime.advance_time(20).into_iter().map(|r| (r.id, r.action, r.expires_at)).collect();
+    // And the recovered engines must decide like the uncrashed ones.
+    let session = runtime.session(99);
+    let post_audit = match session.ask_blocking(&audit()).unwrap() {
+        Some(r) => {
+            session.confirm_blocking(r).unwrap();
+            true
+        }
+        None => false,
+    };
+    Observation { log, stats: stats_before, clock, subscriptions, expired, post_audit }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole property: for a random workload and a random
+    /// checkpoint position (including none), crash-recovering from the
+    /// vault reproduces the uncrashed runtime exactly.
+    #[test]
+    fn recovered_runtime_matches_uncrashed_runtime(
+        ops in proptest::collection::vec(op_strategy(), 1..28),
+        checkpoint_at in 0usize..32,
+    ) {
+        let checkpoint_after =
+            if checkpoint_at < ops.len() { Some(checkpoint_at) } else { None };
+
+        // Uncrashed reference: identical schedule, no vault.
+        let reference = ManagerRuntime::with_options(&coupled_constraint(), leased_options())
+            .unwrap();
+        apply_ops(&reference, &ops, None);
+        let expected = observe(&reference);
+        reference.shutdown().unwrap();
+
+        // Durable run: same schedule into a vault, checkpoint mid-flight,
+        // then crash (shutdown journals nothing) and recover.
+        let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+        let durable = ManagerRuntime::with_durability(
+            &coupled_constraint(), leased_options(), Arc::clone(&vault),
+        ).unwrap();
+        apply_ops(&durable, &ops, checkpoint_after);
+        durable.shutdown().unwrap();
+
+        let recovered = ManagerRuntime::recover(vault, leased_options()).unwrap();
+        let mut actual = observe(&recovered);
+        recovered.shutdown().unwrap();
+
+        // Subscriptions are checkpoint-durable, not WAL-durable (there is no
+        // Subscribe record in the log): exactly those registered before the
+        // checkpoint cut survive the crash.  Check them against that set and
+        // compare everything else against the uncrashed reference.
+        let covered = checkpoint_after.map_or(0, |c| c + 1);
+        let durable_subs: std::collections::HashSet<_> = ops[..covered]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Subscribe(c, d, p) => Some((*c, *d, *p)),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(actual.subscriptions, durable_subs.len());
+        actual.subscriptions = expected.subscriptions;
+        prop_assert_eq!(actual, expected);
+    }
+}
+
+/// A lease granted before the crash re-arms on the recovered timer wheel:
+/// it still blocks conflicting asks, and firing it frees the slot.
+#[test]
+fn recovered_lease_still_blocks_and_then_expires() {
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let runtime = ManagerRuntime::with_durability(
+        &coupled_constraint(),
+        leased_options(),
+        Arc::clone(&vault),
+    )
+    .unwrap();
+    let holder = runtime.session(1);
+    let r = holder.ask_blocking(&dept("call", 0, 1)).unwrap().expect("granted");
+    assert!(r > 0);
+    runtime.shutdown().unwrap();
+
+    let recovered = ManagerRuntime::recover(vault, leased_options()).unwrap();
+    let rival = recovered.session(2);
+    // The department is mid-grant: a different patient's call conflicts
+    // with the reserved one and is denied.
+    assert_eq!(rival.ask_blocking(&dept("call", 0, 2)).unwrap(), None, "lease survived the crash");
+    // The lease re-armed: advancing past its deadline fires it...
+    let expired = recovered.advance_time(10);
+    assert_eq!(expired.len(), 1);
+    assert_eq!(expired[0].action, dept("call", 0, 1));
+    // ...and the slot is free again.
+    assert!(rival.ask_blocking(&dept("call", 0, 2)).unwrap().is_some());
+    assert_eq!(recovered.stats().expired_reservations, 1);
+    recovered.shutdown().unwrap();
+}
+
+/// Compiled DFA tiles checkpoint alongside the CoW snapshots and re-attach
+/// on recovery — re-attachment is not a compile.  The constraint is ground
+/// (quantified subtrees bail out of tier compilation).
+#[test]
+fn checkpointed_tiles_reattach_without_recompiling() {
+    let constraint = parse("((a - b)* - audit)* @ ((c - d)* - audit)*").unwrap();
+    let step = |name: &str| Action::nullary(name);
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let runtime =
+        ManagerRuntime::with_durability(&constraint, options, Arc::clone(&vault)).unwrap();
+    let session = runtime.session(1);
+    for _ in 0..8 {
+        for name in ["a", "b"] {
+            assert!(matches!(session.execute(&step(name)).wait(), Completion::Executed { .. }));
+        }
+    }
+    let compiled = runtime.compile_tiers();
+    assert!(compiled.iter().any(|t| t.tables > 0), "workload must reach the table tier");
+    runtime.checkpoint().unwrap();
+    runtime.shutdown().unwrap();
+
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let recovered = ManagerRuntime::recover(vault, options).unwrap();
+    let tier = recovered.tier_stats();
+    assert!(tier.tables > 0, "tiles re-attached from the snapshot");
+    assert_eq!(tier.compiles, 0, "re-attachment must not count as a compile");
+    // The re-attached tables serve: more pairs on the same shard hit them.
+    let session = recovered.session(2);
+    for _ in 0..4 {
+        for name in ["a", "b"] {
+            assert!(matches!(session.execute(&step(name)).wait(), Completion::Executed { .. }));
+        }
+    }
+    assert!(recovered.tier_stats().hits > 0, "recovered tiles serve steps");
+    recovered.shutdown().unwrap();
+}
+
+/// The `ContinueAsNew`-style rollover: a checkpoint truncates the covered
+/// log prefix, so recovery replays only the records since the last cut.
+#[test]
+fn checkpoint_truncates_the_covered_log_prefix() {
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let runtime =
+        ManagerRuntime::with_durability(&coupled_constraint(), options, Arc::clone(&vault))
+            .unwrap();
+    let session = runtime.session(1);
+    for p in 1..20 {
+        for kind in ["call", "perform"] {
+            assert!(matches!(
+                session.execute(&dept(kind, 0, p)).wait(),
+                Completion::Executed { .. }
+            ));
+        }
+    }
+    let report = runtime.checkpoint().unwrap();
+    assert_eq!(report.captured, 3, "every shard captured");
+    assert!(report.bytes > 0);
+
+    let cut = inspect_vault(&vault).unwrap();
+    assert!(cut.manifest);
+    assert_eq!(cut.shards.len(), 3);
+    for shard in &cut.shards {
+        assert!(shard.snapshot, "shard {} has a snapshot", shard.shard);
+        assert_eq!(shard.tail_records, 0, "covered prefix truncated on shard {}", shard.shard);
+    }
+    let busy = cut.shards.iter().find(|s| s.covered > 0).expect("the loaded shard rolled over");
+    assert_eq!(busy.log_entries, 38);
+
+    // Post-checkpoint traffic grows only the tail.
+    assert!(matches!(session.execute(&audit()).wait(), Completion::Executed { .. }));
+    let after = inspect_vault(&vault).unwrap();
+    assert!(after.shards.iter().all(|s| s.tail_records >= 1), "audit echoed on every owner");
+    runtime.shutdown().unwrap();
+
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let recovered = ManagerRuntime::recover(vault, options).unwrap();
+    assert_eq!(recovered.log().len(), 39, "snapshot state plus the replayed tail");
+    recovered.shutdown().unwrap();
+}
+
+static FILE_VAULT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_vault_dir() -> std::path::PathBuf {
+    let n = FILE_VAULT_DIR.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ix-durability-test-{}-{n}", std::process::id()))
+}
+
+/// The whole cycle on the file-backed vault: journal to segmented
+/// append-only files, checkpoint, crash, recover from disk.
+#[test]
+fn file_backed_vault_survives_a_crash_and_a_rollover() {
+    let dir = temp_vault_dir();
+    let options = RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        fsync: FsyncPolicy::Interval(8),
+        ..RuntimeOptions::default()
+    };
+    let runtime =
+        ManagerRuntime::with_durability_path(&coupled_constraint(), options, &dir).unwrap();
+    let session = runtime.session(1);
+    for p in 1..10 {
+        for d in 0..3 {
+            for kind in ["call", "perform"] {
+                assert!(matches!(
+                    session.execute(&dept(kind, d, p)).wait(),
+                    Completion::Executed { .. }
+                ));
+            }
+        }
+    }
+    runtime.checkpoint().unwrap();
+    assert!(matches!(session.execute(&audit()).wait(), Completion::Executed { .. }));
+    let stats = runtime.stats();
+    let log = runtime.log();
+    runtime.shutdown().unwrap();
+
+    let options = RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        fsync: FsyncPolicy::Never,
+        ..RuntimeOptions::default()
+    };
+    let recovered = ManagerRuntime::recover_path(&dir, options).unwrap();
+    assert_eq!(recovered.log(), log);
+    assert_eq!(recovered.stats(), stats);
+    // The recovered runtime keeps journaling into the same vault: another
+    // commit, another crash, another recovery.
+    let session = recovered.session(2);
+    assert!(matches!(session.execute(&audit()).wait(), Completion::Executed { .. }));
+    recovered.shutdown().unwrap();
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let again = ManagerRuntime::recover_path(&dir, options).unwrap();
+    assert_eq!(again.log().len(), log.len() + 1);
+    again.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Durable submissions pending at the crash are recovered into the queue
+/// and redelivered (at least once) by `crash_redeliver`.
+#[test]
+fn recovered_durable_queue_redelivers_unacknowledged_submissions() {
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let options = RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        durable: true,
+        ..RuntimeOptions::default()
+    };
+    let runtime =
+        ManagerRuntime::with_durability(&coupled_constraint(), options, Arc::clone(&vault))
+            .unwrap();
+    let session = runtime.session(1);
+    assert!(matches!(session.execute(&dept("call", 0, 1)).wait(), Completion::Executed { .. }));
+    assert!(matches!(session.execute(&dept("perform", 0, 1)).wait(), Completion::Executed { .. }));
+    // Acknowledge one, leave one in the durable journal.
+    assert!(runtime.acknowledge_submission());
+    assert_eq!(runtime.unacknowledged_submissions(), 1);
+    runtime.shutdown().unwrap();
+
+    let options = RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        durable: true,
+        ..RuntimeOptions::default()
+    };
+    let recovered = ManagerRuntime::recover(vault, options).unwrap();
+    assert_eq!(recovered.unacknowledged_submissions(), 1, "pending submission survived");
+    let tickets = recovered.crash_redeliver();
+    assert_eq!(tickets.len(), 1);
+    // Redelivery of the already-committed perform is denied by the engine
+    // (the pair is complete) — at-least-once delivery, exactly-once effect.
+    assert!(matches!(tickets[0].wait(), Completion::Denied));
+    assert_eq!(recovered.log().len(), 2, "no double commit");
+    recovered.shutdown().unwrap();
+}
+
+/// Subscriptions — shard-local and cross-shard — survive recovery, and a
+/// re-attached session under the same client id receives notifications.
+#[test]
+fn subscriptions_survive_recovery_and_keep_notifying() {
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let runtime =
+        ManagerRuntime::with_durability(&coupled_constraint(), options, Arc::clone(&vault))
+            .unwrap();
+    let watcher = runtime.session(7);
+    assert!(watcher.subscribe_blocking(&dept("call", 1, 2)).unwrap());
+    assert!(watcher.subscribe_blocking(&audit()).unwrap());
+    assert_eq!(runtime.subscription_count(), 2);
+    runtime.checkpoint().unwrap();
+    runtime.shutdown().unwrap();
+
+    let options =
+        RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() };
+    let recovered = ManagerRuntime::recover(vault, options).unwrap();
+    assert_eq!(recovered.subscription_count(), 2, "both subscriptions restored");
+    // The same client re-attaches and still hears about its actions: a
+    // call on department b flips call_b(2) to not-permitted.
+    let watcher = recovered.session(7);
+    let worker = recovered.session(8);
+    assert!(matches!(worker.execute(&dept("call", 1, 1)).wait(), Completion::Executed { .. }));
+    let mut notes = Vec::new();
+    for _ in 0..200 {
+        notes.extend(watcher.poll_notifications());
+        if !notes.is_empty() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(
+        notes.iter().any(|n| n.action == dept("call", 1, 2) && !n.permitted),
+        "restored subscription delivers: {notes:?}"
+    );
+    recovered.shutdown().unwrap();
+}
