@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async|cross|step|repart|compile|recover] \
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async|cross|step|repart|compile|recover|overload|chaos] \
 //!           [--check]
 //! ```
 //!
@@ -115,6 +115,18 @@ fn main() {
         recover_bench();
         if check {
             check_recover_report("BENCH_recover.json");
+        }
+    }
+    if all || arg == "overload" {
+        overload_bench();
+        if check {
+            check_overload_report("BENCH_overload.json");
+        }
+    }
+    if all || arg == "chaos" {
+        chaos_bench();
+        if check {
+            check_chaos_report("BENCH_chaos.json");
         }
     }
 }
@@ -1025,6 +1037,234 @@ fn check_recover_report(path: &str) {
     println!(
         "check passed: {checked} configurations — checkpoints truncate their covered prefix \
          and snapshot-plus-tail recovery is >= 5x full replay"
+    );
+}
+
+fn overload_bench() {
+    heading("Overload — bounded admission, load shedding, and goodput under 1x/2x/4x offered load");
+    let report = overload_experiment(4, 64);
+    println!(
+        "calibrated capacity: {:.0} commits/s on {} shards (queue limit {})",
+        report.capacity, report.shards, report.queue_limit
+    );
+    println!(
+        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>9} {:>11} {:>10} {:>9} {:>10}",
+        "mult",
+        "sessions",
+        "offered",
+        "committed",
+        "goodput/s",
+        "p99 ms",
+        "shed probe",
+        "shed spec",
+        "shed cmt",
+        "peak depth"
+    );
+    let mut rows = Vec::new();
+    for p in &report.points {
+        println!(
+            "{:>4.0}x {:>9} {:>10} {:>10} {:>12.0} {:>9.2} {:>11} {:>10} {:>9} {:>10}",
+            p.multiplier,
+            p.sessions,
+            p.offered,
+            p.committed,
+            p.goodput,
+            p.p99_ms,
+            p.shed_probes,
+            p.shed_speculative,
+            p.shed_commits,
+            p.peak_queue_depth,
+        );
+        rows.push(format!(
+            "    {{\"multiplier\": {:.1}, \"sessions\": {}, \"offered\": {}, \"committed\": {}, \
+             \"goodput_per_s\": {:.1}, \"p99_ms\": {:.3}, \"shed_probes\": {}, \
+             \"shed_speculative\": {}, \"shed_commits\": {}, \"peak_queue_depth\": {}}}",
+            p.multiplier,
+            p.sessions,
+            p.offered,
+            p.committed,
+            p.goodput,
+            p.p99_ms,
+            p.shed_probes,
+            p.shed_speculative,
+            p.shed_commits,
+            p.peak_queue_depth,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"overload: bounded admission and load shedding\",\n  \
+          \"workload\": \"Zipf(1.1) work-pool traffic over disjoint components; closed-loop \
+          calibration measures capacity, then open-loop sessions pace offered load at fixed \
+          multiples of it with no completion feedback (every 16th offer a probe-class \
+          is_permitted); the credit gate must hold each shard queue inside its limit and shed \
+          the overflow with retry-after tickets\",\n  \
+          \"shards\": {},\n  \"queue_limit\": {},\n  \"capacity_per_s\": {:.1},\n  \
+          \"overload\": [\n{}\n  ]\n}}\n",
+        report.shards,
+        report.queue_limit,
+        report.capacity,
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json");
+}
+
+/// The overload CI bench smoke: validates `BENCH_overload.json` and fails
+/// when bounded admission stops doing its job — goodput at 2x offered load
+/// collapsing below 0.7x of the 1x point (shedding must protect service,
+/// not replace it), any shard queue observed past its credit limit, or
+/// commit-class sheds without probe-class sheds (the ladder inverted).
+fn check_overload_report(path: &str) {
+    let text = read_validated_report(
+        path,
+        &["\"experiment\"", "\"overload\"", "\"goodput_per_s\"", "\"peak_queue_depth\""],
+    );
+    let queue_limit = json_number(&text, "queue_limit")
+        .unwrap_or_else(|| die(&format!("{path}: missing queue_limit")));
+    let mut goodput_1x = None;
+    let mut goodput_2x = None;
+    let mut checked = 0usize;
+    for row in text.split('{') {
+        let Some(multiplier) = json_number(row, "multiplier") else { continue };
+        let committed = json_number(row, "committed")
+            .unwrap_or_else(|| die(&format!("{path}: overload row without committed")));
+        let goodput = json_number(row, "goodput_per_s")
+            .unwrap_or_else(|| die(&format!("{path}: overload row without goodput_per_s")));
+        let shed_probes = json_number(row, "shed_probes")
+            .unwrap_or_else(|| die(&format!("{path}: overload row without shed_probes")));
+        let shed_commits = json_number(row, "shed_commits")
+            .unwrap_or_else(|| die(&format!("{path}: overload row without shed_commits")));
+        let peak = json_number(row, "peak_queue_depth")
+            .unwrap_or_else(|| die(&format!("{path}: overload row without peak_queue_depth")));
+        if !(goodput.is_finite() && goodput > 0.0 && committed > 0.0) {
+            die(&format!("{path}: degenerate overload numbers in row: {}", row.trim()));
+        }
+        if peak > queue_limit {
+            die(&format!(
+                "the credit gate admitted past its limit at {multiplier}x: \
+                 peak depth {peak} > limit {queue_limit}"
+            ));
+        }
+        if shed_commits > 0.0 && shed_probes == 0.0 {
+            die(&format!(
+                "the shed ladder inverted at {multiplier}x: \
+                 {shed_commits} commits shed while no probe was"
+            ));
+        }
+        if multiplier == 1.0 {
+            goodput_1x = Some(goodput);
+        }
+        if multiplier == 2.0 {
+            goodput_2x = Some(goodput);
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!("{path}: no overload rows to check"));
+    }
+    let g1 = goodput_1x.unwrap_or_else(|| die(&format!("{path}: no 1x row")));
+    let g2 = goodput_2x.unwrap_or_else(|| die(&format!("{path}: no 2x row")));
+    if g2 < 0.7 * g1 {
+        die(&format!(
+            "goodput collapsed under 2x offered load: {g2:.0}/s < 0.7 x {g1:.0}/s — \
+             shedding is supposed to protect service, not replace it"
+        ));
+    }
+    println!(
+        "check passed: {checked} load points — queues stay inside the credit limit, the shed \
+         ladder holds, and 2x goodput is {:.2}x of 1x",
+        g2 / g1
+    );
+}
+
+fn chaos_bench() {
+    heading("Chaos — fault-injected crash points against a loaded durable runtime");
+    let report = chaos_drill(64, 64);
+    println!(
+        "{} storage mutations journaled, {} commits acknowledged, {} drills",
+        report.ops_journaled,
+        report.acknowledged,
+        report.points.len()
+    );
+    println!("{:>11} {:>7} {:>10} {:>7} {:>7}", "mode", "drills", "prefix ok", "serves", "max rec");
+    let mut rows = Vec::new();
+    for mode in ["ErrorAfter", "TornFinal", "FsyncLie"] {
+        let of_mode: Vec<_> = report.points.iter().filter(|p| p.mode == mode).collect();
+        let prefix_ok = of_mode.iter().filter(|p| p.prefix_ok).count();
+        let serves = of_mode.iter().filter(|p| p.serves).count();
+        let max_recovered = of_mode.iter().map(|p| p.recovered).max().unwrap_or(0);
+        println!(
+            "{:>11} {:>7} {:>10} {:>7} {:>7}",
+            mode,
+            of_mode.len(),
+            prefix_ok,
+            serves,
+            max_recovered
+        );
+        rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"drills\": {}, \"prefix_ok\": {prefix_ok}, \
+             \"serves\": {serves}, \"max_recovered\": {max_recovered}}}",
+            of_mode.len(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"chaos: fault-injected recovery drills\",\n  \
+          \"workload\": \"single and cross-shard commits with mid-flight checkpoints on a \
+          fault-journaling vault; each seeded crash point (I/O error, torn final record, fsync \
+          lie) materializes the surviving storage, and recovery must surface a prefix of the \
+          acknowledged commit sequence and still serve decisions\",\n  \
+          \"ops_journaled\": {},\n  \"acknowledged\": {},\n  \"drills\": {},\n  \
+          \"failures\": {},\n  \"chaos\": [\n{}\n  ]\n}}\n",
+        report.ops_journaled,
+        report.acknowledged,
+        report.points.len(),
+        report.failures(),
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json");
+}
+
+/// The chaos CI bench smoke: validates `BENCH_chaos.json` and fails when
+/// any scripted crash point recovered to something that was not a prefix
+/// of the acknowledged commits, failed to serve afterwards, or when a
+/// fault mode went unexercised.
+fn check_chaos_report(path: &str) {
+    let text =
+        read_validated_report(path, &["\"experiment\"", "\"chaos\"", "\"drills\"", "\"failures\""]);
+    let failures =
+        json_number(&text, "failures").unwrap_or_else(|| die(&format!("{path}: missing failures")));
+    if failures > 0.0 {
+        die(&format!("{failures} chaos drills violated the acknowledged-prefix contract"));
+    }
+    let mut checked = 0usize;
+    for row in text.split('{') {
+        if !row.contains("\"mode\"") {
+            continue;
+        }
+        let drills = json_number(row, "drills")
+            .unwrap_or_else(|| die(&format!("{path}: chaos row without drills")));
+        let prefix_ok = json_number(row, "prefix_ok")
+            .unwrap_or_else(|| die(&format!("{path}: chaos row without prefix_ok")));
+        let serves = json_number(row, "serves")
+            .unwrap_or_else(|| die(&format!("{path}: chaos row without serves")));
+        if drills < 1.0 {
+            die(&format!("{path}: a fault mode went unexercised: {}", row.trim()));
+        }
+        if prefix_ok < drills || serves < drills {
+            die(&format!(
+                "chaos drills failed: {prefix_ok}/{drills} prefix-equivalent, \
+                 {serves}/{drills} serving"
+            ));
+        }
+        checked += 1;
+    }
+    if checked < 3 {
+        die(&format!("{path}: expected all three fault modes, found {checked}"));
+    }
+    println!(
+        "check passed: {checked} fault modes — every scripted crash point recovered to an \
+         acknowledged prefix and kept serving"
     );
 }
 

@@ -1,0 +1,146 @@
+//! The chaos drill: kill a loaded durable runtime at scripted crash points
+//! and prove recovery.
+//!
+//! A deterministic workload — single-shard call/perform pairs, cross-shard
+//! audit barriers, checkpoints mid-flight — runs on a [`FaultVault`], which
+//! journals every storage mutation while presenting a healthy device.  Each
+//! seeded [`FaultPlan`] then materializes the storage one crash would have
+//! left behind (I/O error, torn final record, or an fsync lie), the runtime
+//! is recovered from that wreckage, and the drill asserts the contract of
+//! acknowledged durability: the recovered log is a *prefix* of the
+//! acknowledged commit sequence, and the survivor still serves decisions.
+
+use ix_core::{parse, Action, Expr, Value};
+use ix_durable::{FaultPlan, FaultVault};
+use ix_manager::{Completion, ManagerRuntime, ProtocolVariant, RuntimeOptions, Vault};
+use std::sync::Arc;
+
+/// Outcome of one scripted crash point.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// The seed the plan was derived from.
+    pub seed: u64,
+    /// Fault mode name (`ErrorAfter`, `TornFinal`, `FsyncLie`).
+    pub mode: String,
+    /// The storage-mutation ordinal the fault struck at.
+    pub at: u64,
+    /// Commits the recovered runtime surfaced.
+    pub recovered: usize,
+    /// Whether the recovered log was a prefix of the acknowledged commits.
+    pub prefix_ok: bool,
+    /// Whether the recovered runtime completed a fresh decision.
+    pub serves: bool,
+}
+
+/// Outcome of the whole drill.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Storage mutations the loaded run journaled (the crash-point space).
+    pub ops_journaled: u64,
+    /// Commits acknowledged before the crash.
+    pub acknowledged: usize,
+    /// One row per scripted crash point.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosReport {
+    /// Crash points whose recovery violated the acknowledged-prefix
+    /// contract or failed to serve.
+    pub fn failures(&self) -> usize {
+        self.points.iter().filter(|p| !(p.prefix_ok && p.serves)).count()
+    }
+}
+
+/// Three departments, each auditable — `audit` spans all three shards, so
+/// torn cross-shard commits are part of the crash-point space.
+fn constraint() -> Expr {
+    parse(
+        "((some p { call_a(p) - perform_a(p) })* - audit)* \
+         @ ((some p { call_b(p) - perform_b(p) })* - audit)* \
+         @ ((some p { call_c(p) - perform_c(p) })* - audit)*",
+    )
+    .unwrap()
+}
+
+fn dept(kind: &str, d: usize, p: i64) -> Action {
+    let name = ["a", "b", "c"][d % 3];
+    Action::concrete(&format!("{kind}_{name}"), [Value::int(p)])
+}
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions { variant: ProtocolVariant::Combined, ..RuntimeOptions::default() }
+}
+
+/// Runs the loaded workload on a fault-journaling vault, then replays
+/// `drills` seeded crash points against the journal.
+pub fn chaos_drill(pairs: usize, drills: u64) -> ChaosReport {
+    let fault = Arc::new(FaultVault::new());
+    let vault: Arc<dyn Vault> = Arc::clone(&fault) as Arc<dyn Vault>;
+    let runtime =
+        ManagerRuntime::with_durability(&constraint(), options(), vault).expect("chaos runtime");
+    let session = runtime.session(1);
+    let mut committed: Vec<Action> = Vec::new();
+    for i in 0..pairs as i64 {
+        for kind in ["call", "perform"] {
+            let action = dept(kind, (i % 3) as usize, i / 3 + 1);
+            match session.execute(&action).wait() {
+                Completion::Executed { .. } => committed.push(action),
+                other => panic!("workload action failed: {other:?}"),
+            }
+        }
+        if i % 8 == 7 {
+            let audit = Action::nullary("audit");
+            if matches!(session.execute(&audit).wait(), Completion::Executed { .. }) {
+                committed.push(audit);
+            }
+            runtime.checkpoint().expect("chaos checkpoint");
+        }
+    }
+    assert_eq!(runtime.log(), committed, "pre-crash log must equal the acknowledged commits");
+    runtime.shutdown().expect("pre-crash shutdown");
+
+    let ops_journaled = fault.ops();
+    let points = (0..drills)
+        .map(|seed| {
+            let plan = FaultPlan::seeded(seed, ops_journaled);
+            let disk: Arc<dyn Vault> = Arc::new(fault.surviving(&plan));
+            let (recovered, prefix_ok, serves) = match ManagerRuntime::recover(disk, options()) {
+                Err(_) => (0, false, false),
+                Ok(survivor) => {
+                    let log = survivor.log();
+                    let prefix_ok =
+                        log.len() <= committed.len() && log[..] == committed[..log.len()];
+                    let probe = survivor.session(9);
+                    let serves = !matches!(
+                        probe.execute(&dept("call", 0, 1_000_000)).wait(),
+                        Completion::Failed { .. }
+                    );
+                    survivor.shutdown().expect("post-drill shutdown");
+                    (log.len(), prefix_ok, serves)
+                }
+            };
+            ChaosPoint {
+                seed,
+                mode: format!("{:?}", plan.mode),
+                at: plan.at,
+                recovered,
+                prefix_ok,
+                serves,
+            }
+        })
+        .collect();
+    ChaosReport { ops_journaled, acknowledged: committed.len(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scripted_crash_point_recovers_to_an_acknowledged_prefix() {
+        let report = chaos_drill(24, 16);
+        assert!(report.ops_journaled > 60, "workload too small to drill");
+        assert_eq!(report.points.len(), 16);
+        assert_eq!(report.failures(), 0, "failed drills: {:?}", report.points);
+    }
+}

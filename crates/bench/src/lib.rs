@@ -9,18 +9,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod compilebench;
 pub mod contended;
 pub mod crossbench;
+pub mod overload;
 pub mod pipelined;
 pub mod recover;
 pub mod repart;
 pub mod stepbench;
 pub mod workloads;
 
+pub use chaos::*;
 pub use compilebench::*;
 pub use contended::*;
 pub use crossbench::*;
+pub use overload::*;
 pub use pipelined::*;
 pub use recover::*;
 pub use repart::*;

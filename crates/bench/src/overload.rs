@@ -1,0 +1,273 @@
+//! The overload experiment: what happens when offered load exceeds
+//! capacity?
+//!
+//! A closed-loop calibration run measures the runtime's sustainable commit
+//! rate (every window awaited, the queue never saturates).  Open-loop runs
+//! then offer Zipf-skewed traffic at fixed multiples of that capacity —
+//! paced submission with no feedback from completion, the regime where an
+//! unbounded queue grows without limit.  Bounded admission must instead
+//! hold goodput near capacity, shed the overflow with retry-after tickets,
+//! and keep every shard queue inside its credit limit; the `--check` gates
+//! assert exactly that.
+
+use ix_core::{parse, Action, Expr, Value};
+use ix_manager::{Completion, ManagerRuntime, ProtocolVariant, RuntimeOptions, Ticket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `components` disjoint always-repeatable work pools.  Every `work_k(p)`
+/// is independently permissible, so a shed submission never wedges the
+/// rest of its component — offered load translates directly into service
+/// demand, which is what an overload experiment must measure.  (A
+/// call-before-perform constraint would conflate admission with protocol
+/// wedging: `some` commits to one case, and a shed `perform` blocks its
+/// whole component.)
+fn open_pools_constraint(components: usize) -> Expr {
+    assert!(components >= 1);
+    let group = |k: usize| format!("(some p {{ work_{k}(p) }})*");
+    let src = (0..components).map(group).collect::<Vec<_>>().join(" @ ");
+    parse(&src).expect("generated open-pool constraint")
+}
+
+fn work(k: usize, p: i64) -> Action {
+    Action::concrete(&format!("work_{k}"), [Value::int(p)])
+}
+
+/// One offered-load point of the overload experiment.
+#[derive(Clone, Debug)]
+pub struct OverloadPoint {
+    /// Offered load as a multiple of calibrated capacity.
+    pub multiplier: f64,
+    /// Concurrent flooder sessions (ramped with the multiplier).
+    pub sessions: usize,
+    /// Submissions offered across all sessions (commits + probes).
+    pub offered: u64,
+    /// Commits that executed.
+    pub committed: u64,
+    /// Probe-class submissions shed at the probe watermark.
+    pub shed_probes: u64,
+    /// Speculative-class submissions shed at their watermark.
+    pub shed_speculative: u64,
+    /// Commit-class submissions shed at the full limit.
+    pub shed_commits: u64,
+    /// Committed actions per second over the whole point (offer + drain).
+    pub goodput: f64,
+    /// 99th percentile of per-task queue wait + service, milliseconds.
+    pub p99_ms: f64,
+    /// Deepest any shard queue ever got, in admitted task units.
+    pub peak_queue_depth: usize,
+}
+
+/// Outcome of one overload experiment configuration.
+#[derive(Clone, Debug)]
+pub struct OverloadReport {
+    /// Number of components (= shards) in the constraint.
+    pub shards: usize,
+    /// The per-shard admission limit.
+    pub queue_limit: usize,
+    /// Calibrated closed-loop capacity, commits per second.
+    pub capacity: f64,
+    /// One row per offered-load multiplier.
+    pub points: Vec<OverloadPoint>,
+}
+
+fn options(queue_limit: usize) -> RuntimeOptions {
+    RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        queue_limit,
+        queue_metrics: true,
+        ..RuntimeOptions::default()
+    }
+}
+
+/// Zipf(s = 1.1) sampler over `n` components via the inverse CDF, driven
+/// by a splitmix/xorshift generator so runs are reproducible per seed.
+struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    fn new(n: usize, seed: u64) -> Zipf {
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(1.1)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf, state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    fn next(&mut self) -> usize {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.iter().position(|&c| u < c).unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+/// Closed-loop calibration: windows of call/perform pairs, every ticket
+/// awaited before the next window, so the offered rate equals the service
+/// rate by construction.  Returns commits per second.
+fn calibrate(shards: usize, actions: usize) -> f64 {
+    let expr = open_pools_constraint(shards);
+    let runtime = ManagerRuntime::with_options(&expr, options(0)).expect("calibration runtime");
+    let session = runtime.session(1);
+    let mut zipf = Zipf::new(shards, 12);
+    let mut case = vec![0i64; shards];
+    let mut committed = 0usize;
+    let t0 = Instant::now();
+    while committed < actions {
+        let window: Vec<_> = (0..32)
+            .map(|_| {
+                let k = zipf.next();
+                case[k] += 1;
+                work(k, case[k])
+            })
+            .collect();
+        for t in session.submit_batch(&window) {
+            assert!(matches!(t.wait(), Completion::Executed { .. }));
+        }
+        committed += window.len();
+    }
+    let rate = committed as f64 / t0.elapsed().as_secs_f64();
+    runtime.shutdown().expect("calibration shutdown");
+    rate
+}
+
+/// One open-loop point: `sessions` flooder threads pace Zipf traffic at
+/// `multiplier × capacity` for roughly `window`, every 16th offer a
+/// probe-class `is_permitted`.  Nothing is awaited while offering — the
+/// only thing standing between the flood and an unbounded queue is the
+/// admission gate.  Pacing is tick-based (submit the tick's quota, then
+/// *sleep* to the tick deadline) so flooders hand the CPU to the shard
+/// workers between bursts — spin-waiting would starve them on small
+/// hosts.
+fn open_loop(
+    shards: usize,
+    queue_limit: usize,
+    capacity: f64,
+    multiplier: f64,
+    sessions: usize,
+    window: Duration,
+) -> OverloadPoint {
+    let expr = open_pools_constraint(shards);
+    let runtime =
+        Arc::new(ManagerRuntime::with_options(&expr, options(queue_limit)).expect("overload run"));
+    let rate = capacity * multiplier;
+    let tick = Duration::from_millis(2);
+    let ticks = (window.as_secs_f64() / tick.as_secs_f64()) as u64;
+    let per_tick = ((rate * tick.as_secs_f64() / sessions as f64) as u64).max(16);
+    let offered = Arc::new(AtomicU64::new(0));
+    let committed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..sessions {
+            let runtime = Arc::clone(&runtime);
+            let offered = Arc::clone(&offered);
+            let committed = Arc::clone(&committed);
+            scope.spawn(move || {
+                let session = runtime.session(1 + worker as u64);
+                let mut zipf = Zipf::new(shards, 100 + worker as u64);
+                // Disjoint case-id ranges per worker: every admitted work
+                // item is fresh.
+                let mut case = vec![worker as i64 * 1_000_000_000; shards];
+                let mut tickets: Vec<Ticket<Completion>> = Vec::new();
+                let start = Instant::now();
+                let mut i = 0u64;
+                for t in 0..ticks {
+                    for _ in 0..per_tick {
+                        let k = zipf.next();
+                        offered.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                        if i.is_multiple_of(16) {
+                            // Probe-class traffic: first to shed, cheap to
+                            // retry.
+                            tickets.push(session.is_permitted(&work(k, 1)));
+                            continue;
+                        }
+                        case[k] += 1;
+                        if let Ok(ticket) = session.submit(&work(k, case[k])) {
+                            tickets.push(ticket);
+                        }
+                    }
+                    let deadline = tick.mul_f64((t + 1) as f64);
+                    let elapsed = start.elapsed();
+                    if elapsed < deadline {
+                        std::thread::sleep(deadline - elapsed);
+                    }
+                }
+                let n = tickets
+                    .into_iter()
+                    .filter(|t| matches!(t.wait(), Completion::Executed { .. }))
+                    .count();
+                committed.fetch_add(n as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let mut totals: Vec<u64> =
+        runtime.drain_queue_samples().into_iter().map(|(wait, service)| wait + service).collect();
+    totals.sort_unstable();
+    let p99 =
+        totals.get((totals.len().saturating_mul(99)) / 100).or(totals.last()).copied().unwrap_or(0);
+    let report = runtime.load_report();
+    let point = OverloadPoint {
+        multiplier,
+        sessions,
+        offered: offered.load(Ordering::Relaxed),
+        committed: committed.load(Ordering::Relaxed),
+        shed_probes: report.shards.iter().map(|s| s.shed_probes).sum(),
+        shed_speculative: report.shards.iter().map(|s| s.shed_speculative).sum(),
+        shed_commits: report.shards.iter().map(|s| s.shed_commits).sum(),
+        goodput: committed.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        p99_ms: p99 as f64 / 1e6,
+        peak_queue_depth: report.peak_depth(),
+    };
+    Arc::try_unwrap(runtime).expect("all workers joined").shutdown().expect("overload shutdown");
+    point
+}
+
+/// Runs the overload experiment: calibrate capacity, then offer 1×, 2×,
+/// and 4× with a session count that ramps with the pressure.
+pub fn overload_experiment(shards: usize, queue_limit: usize) -> OverloadReport {
+    let capacity = calibrate(shards, 40_000);
+    let window = Duration::from_millis(600);
+    let points = [(1.0, 1), (2.0, 2), (4.0, 4)]
+        .into_iter()
+        .map(|(multiplier, sessions)| {
+            open_loop(shards, queue_limit, capacity, multiplier, sessions, window)
+        })
+        .collect();
+    OverloadReport { shards, queue_limit, capacity, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_points_respect_the_credit_limit_and_keep_goodput() {
+        let report = overload_experiment(3, 32);
+        assert_eq!(report.points.len(), 3);
+        for point in &report.points {
+            assert!(point.committed > 0, "no commits at {}x", point.multiplier);
+            assert!(
+                point.peak_queue_depth <= report.queue_limit,
+                "gate admitted past its limit at {}x: {} > {}",
+                point.multiplier,
+                point.peak_queue_depth,
+                report.queue_limit
+            );
+        }
+        // Overflow at 4x must be shed, not queued.
+        let hot = &report.points[2];
+        assert!(hot.shed_probes + hot.shed_speculative + hot.shed_commits > 0);
+    }
+}

@@ -5,6 +5,10 @@
 //!
 //! * [`codec`] — a tiny self-describing binary codec (varints, zigzag,
 //!   strings) plus the CRC32 used to frame on-disk records;
+//! * [`fault`] — deterministic fault injection: [`FaultVault`] journals
+//!   every mutation while presenting a healthy vault, then materializes the
+//!   storage a scripted crash ([`FaultPlan`]: I/O error, torn final record,
+//!   or fsync lie) would have left behind;
 //! * [`vault`] — the [`Vault`] storage abstraction: numbered append-only
 //!   *streams* of records plus atomically-replaced named *blobs*.
 //!   [`MemVault`] keeps everything in memory (the test default — it survives
@@ -25,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod snapshot;
 pub mod vault;
 
 pub use codec::{crc32, CodecError, Reader, Writer};
+pub use fault::{FaultMode, FaultPlan, FaultVault};
 pub use snapshot::{
     decode_action, decode_alphabet, decode_value, encode_action, encode_alphabet, encode_value,
     StateTableBuilder, StateTableReader,

@@ -170,6 +170,15 @@ pub(crate) enum WalRecord {
     Event { delta: StatDelta },
     /// The logical clock advanced to `now`.
     Clock { now: u64 },
+    /// A subscription registered after the covering checkpoint.  Echoed on
+    /// the owning shard's stream (shard-local registrations) or the meta
+    /// stream (cross-shard and orphan registrations, replayed through the
+    /// recovered router); `permitted` is the cached status at registration
+    /// time, the baseline the first post-recovery refresh diffs against.
+    Subscribe { client: ClientId, action: Action, permitted: bool },
+    /// A subscription removed after the covering checkpoint (same stream
+    /// placement as `Subscribe`).
+    Unsubscribe { client: ClientId, action: Action },
 }
 
 const TAG_COMMIT: u8 = 1;
@@ -177,6 +186,8 @@ const TAG_RESERVE: u8 = 2;
 const TAG_RELEASE: u8 = 3;
 const TAG_EVENT: u8 = 4;
 const TAG_CLOCK: u8 = 5;
+const TAG_SUBSCRIBE: u8 = 6;
+const TAG_UNSUBSCRIBE: u8 = 7;
 
 fn encode_reservation(w: &mut Writer, res: &Reservation) {
     w.u64(res.id);
@@ -228,6 +239,17 @@ impl WalRecord {
                 w.u8(TAG_CLOCK);
                 w.u64(*now);
             }
+            WalRecord::Subscribe { client, action, permitted } => {
+                w.u8(TAG_SUBSCRIBE);
+                w.u64(*client);
+                encode_action(&mut w, action);
+                w.bool(*permitted);
+            }
+            WalRecord::Unsubscribe { client, action } => {
+                w.u8(TAG_UNSUBSCRIBE);
+                w.u64(*client);
+                encode_action(&mut w, action);
+            }
         }
         w.into_bytes()
     }
@@ -252,18 +274,29 @@ impl WalRecord {
             TAG_RELEASE => Ok(WalRecord::Release { id: r.u64()?, delta: decode_delta(&mut r)? }),
             TAG_EVENT => Ok(WalRecord::Event { delta: decode_delta(&mut r)? }),
             TAG_CLOCK => Ok(WalRecord::Clock { now: r.u64()? }),
+            TAG_SUBSCRIBE => Ok(WalRecord::Subscribe {
+                client: r.u64()?,
+                action: decode_action(&mut r)?,
+                permitted: r.bool()?,
+            }),
+            TAG_UNSUBSCRIBE => {
+                Ok(WalRecord::Unsubscribe { client: r.u64()?, action: decode_action(&mut r)? })
+            }
             tag => Err(CodecError::BadTag { tag }),
         }
     }
 
-    /// The record's statistics contribution (zero for `Clock`).
+    /// The record's statistics contribution (zero for the non-delta
+    /// records: `Clock`, `Subscribe`, `Unsubscribe`).
     pub(crate) fn delta(&self) -> StatDelta {
         match self {
             WalRecord::Commit { delta, .. }
             | WalRecord::Reserve { delta, .. }
             | WalRecord::Release { delta, .. }
             | WalRecord::Event { delta } => *delta,
-            WalRecord::Clock { .. } => StatDelta::ZERO,
+            WalRecord::Clock { .. }
+            | WalRecord::Subscribe { .. }
+            | WalRecord::Unsubscribe { .. } => StatDelta::ZERO,
         }
     }
 }
@@ -372,6 +405,19 @@ impl QueueBackend<SubmissionRecord> for VaultQueueBackend {
         w.u8(FORMAT_VERSION);
         w.u8(QTAG_ACK);
         self.vault.append(QUEUE_STREAM, &w.into_bytes());
+    }
+
+    fn compact(&mut self, pending: &[SubmissionRecord]) -> bool {
+        // Same protocol as the checkpoint cut, driven from the queue
+        // itself: persist the pending set with the stream offset it covers,
+        // then release the stream prefix.  The caller holds the journal
+        // lock, so pending and stream length are a consistent pair; a crash
+        // between the two writes replays an empty tail onto the fresh blob.
+        let covered = self.vault.stream_len(QUEUE_STREAM);
+        let cp = QueueCheckpoint { covered, pending: pending.to_vec() };
+        self.vault.save_blob(QUEUE_BLOB, &encode_queue_checkpoint(&cp));
+        self.vault.truncate(QUEUE_STREAM, covered);
+        true
     }
 }
 
@@ -919,6 +965,54 @@ pub fn inspect_vault(vault: &Arc<dyn Vault>) -> ManagerResult<VaultInspection> {
     })
 }
 
+/// One pending durable submission surfaced by [`inspect_queue`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// The submitting client.
+    pub client: u64,
+    /// Human-readable rendering of the journaled operation.
+    pub op: String,
+}
+
+/// A read-only summary of the durable submission queue — what
+/// `ixctl queue` prints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueInspection {
+    /// Queue-stream offset the queue checkpoint covers.
+    pub covered: u64,
+    /// Queue-stream records past the covered offset.
+    pub tail_records: u64,
+    /// Submissions still unacknowledged (checkpoint plus replayed tail),
+    /// in redelivery order.
+    pub pending: Vec<QueueEntry>,
+}
+
+/// Reconstructs the pending durable submissions without recovering the
+/// runtime: the queue checkpoint's captured list plus a replay of the
+/// stream tail (enqueues append, acknowledgement markers pop).  This is
+/// exactly the redelivery set a recovery would hand back.
+pub fn inspect_queue(vault: &Arc<dyn Vault>) -> ManagerResult<QueueInspection> {
+    let queue = match vault.load_blob(QUEUE_BLOB) {
+        Some(blob) => Some(decode_queue_checkpoint(&blob)?),
+        None => None,
+    };
+    let covered = queue.as_ref().map_or(0, |q| q.covered);
+    let mut pending: std::collections::VecDeque<SubmissionRecord> =
+        queue.map_or_else(Default::default, |q| q.pending.into());
+    replay_queue_tail(&mut pending, vault, covered)?;
+    let render = |rec: &SubmissionRecord| match &rec.op {
+        DurableOp::Ask { action } => format!("ask {action}"),
+        DurableOp::Execute { action } => format!("execute {action}"),
+        DurableOp::Confirm { id } => format!("confirm #{id}"),
+        DurableOp::Abort { id } => format!("abort #{id}"),
+    };
+    Ok(QueueInspection {
+        covered,
+        tail_records: vault.stream_len(QUEUE_STREAM).saturating_sub(covered),
+        pending: pending.iter().map(|r| QueueEntry { client: r.client, op: render(r) }).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1069,5 +1163,25 @@ mod tests {
         let decoded = decode_queue_checkpoint(&encode_queue_checkpoint(&cp)).expect("decode");
         assert_eq!(decoded.covered, 4);
         assert_eq!(decoded.pending.len(), 2);
+    }
+
+    #[test]
+    fn inspect_queue_surfaces_the_redelivery_set() {
+        use ix_durable::MemVault;
+        let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+        let mut backend = VaultQueueBackend::new(Arc::clone(&vault));
+        backend.record_enqueue(&SubmissionRecord {
+            client: 4,
+            op: DurableOp::Ask { action: act("open") },
+        });
+        backend.record_enqueue(&SubmissionRecord { client: 4, op: DurableOp::Confirm { id: 9 } });
+        backend.record_ack();
+
+        let inspection = inspect_queue(&vault).expect("inspect");
+        assert_eq!(inspection.covered, 0, "no queue checkpoint was cut");
+        assert_eq!(inspection.tail_records, 3);
+        let rendered: Vec<(u64, &str)> =
+            inspection.pending.iter().map(|e| (e.client, e.op.as_str())).collect();
+        assert_eq!(rendered, vec![(4, "confirm #9")], "the acknowledged ask is gone");
     }
 }

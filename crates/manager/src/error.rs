@@ -1,6 +1,7 @@
 //! Error types of the interaction manager.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised by the interaction manager and its protocol machinery.
 /// Cloneable so runtime completion tickets can hand the same error to every
@@ -53,6 +54,15 @@ pub enum ManagerError {
         /// Human-readable description of what failed.
         detail: String,
     },
+    /// The submission was shed by bounded admission: the owning shard
+    /// queue(s) are at their depth limit for this request class.  Nothing
+    /// was enqueued anywhere.  The submission is safe to retry after the
+    /// hinted backoff.
+    Overloaded {
+        /// Suggested backoff before retrying, derived from the shed shard's
+        /// queue depth and its service-time EWMA.
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for ManagerError {
@@ -81,6 +91,9 @@ impl fmt::Display for ManagerError {
             ManagerError::Durability { detail } => {
                 write!(f, "durability failure: {detail}")
             }
+            ManagerError::Overloaded { retry_after } => {
+                write!(f, "shard queue overloaded; retry after {retry_after:?}")
+            }
         }
     }
 }
@@ -89,6 +102,51 @@ impl std::error::Error for ManagerError {}
 
 /// Result alias for manager operations.
 pub type ManagerResult<T> = Result<T, ManagerError>;
+
+/// The backpressure ticket of the typed submission path
+/// (`Session::submit`): instead of enqueueing
+/// unboundedly, an overloaded runtime hands the caller a retry-after hint
+/// and enqueues nothing.  The blanket `Failed`-completion surface of
+/// `Session::execute`/`ask` wraps the same condition as
+/// [`ManagerError::Overloaded`] so fire-and-forget callers need no new
+/// match arms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission was shed by bounded admission; retry after the hint.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after: Duration,
+    },
+}
+
+impl SubmitError {
+    /// The backoff hint carried by the ticket.
+    pub fn retry_after(&self) -> Duration {
+        match self {
+            SubmitError::Overloaded { retry_after } => *retry_after,
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { retry_after } => {
+                write!(f, "shard queue overloaded; retry after {retry_after:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<SubmitError> for ManagerError {
+    fn from(e: SubmitError) -> ManagerError {
+        match e {
+            SubmitError::Overloaded { retry_after } => ManagerError::Overloaded { retry_after },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -35,16 +35,20 @@ pub mod subscription;
 pub mod ticket;
 pub mod timer;
 
-pub use durability::{inspect_vault, ShardInspection, StatDelta, VaultInspection};
-pub use error::{ManagerError, ManagerResult};
+pub use durability::{
+    inspect_queue, inspect_vault, QueueEntry, QueueInspection, ShardInspection, StatDelta,
+    VaultInspection,
+};
+pub use error::{ManagerError, ManagerResult, SubmitError};
 pub use ix_durable::{FileVault, FsyncPolicy, MemVault, Vault};
 pub use manager::{BatchResult, InteractionManager, ManagerStats, ProtocolVariant, Reservation};
 pub use multi::ManagerFederation;
 pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::{DurableQueue, QueueBackend};
 pub use runtime::{
-    CascadeStats, CheckpointReport, ClockMode, Completion, ManagerRuntime, RepartitionReport,
-    RepartitionStats, RuntimeOptions, RuntimeReport, Session,
+    CascadeStats, CheckpointReport, ClockMode, Completion, LoadReport, ManagerRuntime,
+    RepartitionReport, RepartitionStats, RuntimeOptions, RuntimeReport, Session, ShardLoad,
+    ShedPolicy,
 };
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
 pub use ticket::{Ticket, TicketIssuer};

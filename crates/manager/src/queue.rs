@@ -27,7 +27,20 @@ pub trait QueueBackend<T>: Send {
     fn record_enqueue(&mut self, message: &T);
     /// Journals that the oldest journaled message was acknowledged.
     fn record_ack(&mut self);
+    /// Rewrites the journal to exactly `pending` (the current
+    /// unacknowledged log), releasing the acknowledged prefix.  Returns
+    /// true if the journal was compacted — the queue then resets its
+    /// compaction debt counter.  The default keeps the journal append-only.
+    fn compact(&mut self, _pending: &[T]) -> bool {
+        false
+    }
 }
+
+/// Acknowledgements journaled since the last compaction before the queue
+/// offers the backend a [`QueueBackend::compact`].  Also gated on the debt
+/// exceeding twice the live log, so a mostly-pending queue is not rewritten
+/// over and over for a trickle of acknowledgements.
+const COMPACT_THRESHOLD: u64 = 256;
 
 /// A recoverable queue with explicit acknowledgement.
 pub struct DurableQueue<T: Clone> {
@@ -41,6 +54,11 @@ pub struct DurableQueue<T: Clone> {
     acknowledged: u64,
     /// Number of in-flight messages returned to the backlog by crashes.
     redelivered: u64,
+    /// Acknowledgements journaled since the backend last compacted — the
+    /// dead prefix the backend journal still retains.
+    acked_since_compact: u64,
+    /// Debt level at which the queue offers the backend a compaction.
+    compact_threshold: u64,
     /// Optional storage mirror of the durable log.
     backend: Option<Box<dyn QueueBackend<T>>>,
 }
@@ -53,6 +71,8 @@ impl<T: Clone> Default for DurableQueue<T> {
             enqueued: 0,
             acknowledged: 0,
             redelivered: 0,
+            acked_since_compact: 0,
+            compact_threshold: COMPACT_THRESHOLD,
             backend: None,
         }
     }
@@ -87,14 +107,13 @@ impl<T: Clone> DurableQueue<T> {
     /// Nothing is in flight — recovery redelivers every pending message.
     pub fn restore(pending: Vec<T>, backend: Option<Box<dyn QueueBackend<T>>>) -> DurableQueue<T> {
         let enqueued = pending.len() as u64;
-        DurableQueue {
-            log: pending.into(),
-            in_flight: 0,
-            enqueued,
-            acknowledged: 0,
-            redelivered: 0,
-            backend,
-        }
+        DurableQueue { log: pending.into(), enqueued, backend, ..DurableQueue::default() }
+    }
+
+    /// Overrides the compaction debt threshold (tests drive it low to
+    /// exercise compaction without thousands of messages).
+    pub fn set_compact_threshold(&mut self, threshold: u64) {
+        self.compact_threshold = threshold.max(1);
     }
 
     /// Appends a message to the durable log (journaling it first).
@@ -136,6 +155,19 @@ impl<T: Clone> DurableQueue<T> {
         self.log.pop_front();
         self.in_flight = self.in_flight.saturating_sub(1);
         self.acknowledged += 1;
+        self.acked_since_compact += 1;
+        // Offer the backend a compaction once the dead prefix dominates:
+        // past the debt threshold *and* at least twice the live log, so the
+        // journal stays O(unacknowledged) with amortized-constant rewrites.
+        if self.acked_since_compact >= self.compact_threshold
+            && self.acked_since_compact >= 2 * self.log.len() as u64
+        {
+            if let Some(backend) = self.backend.as_mut() {
+                if backend.compact(self.log.make_contiguous()) {
+                    self.acked_since_compact = 0;
+                }
+            }
+        }
         true
     }
 
@@ -275,6 +307,47 @@ mod tests {
         fn record_ack(&mut self) {
             self.0.lock().unwrap().1 += 1;
         }
+    }
+
+    /// Journal mirror counting rewrites: compaction passes the live log and
+    /// resets the debt, so rewrites stay amortized-constant.
+    struct CompactingBackend {
+        compactions: std::sync::Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+    }
+    impl QueueBackend<u8> for CompactingBackend {
+        fn record_enqueue(&mut self, _message: &u8) {}
+        fn record_ack(&mut self) {}
+        fn compact(&mut self, pending: &[u8]) -> bool {
+            self.compactions.lock().unwrap().push(pending.to_vec());
+            true
+        }
+    }
+
+    #[test]
+    fn compaction_fires_on_debt_and_passes_the_live_log() {
+        let compactions = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut q = DurableQueue::with_backend(Box::new(CompactingBackend {
+            compactions: compactions.clone(),
+        }));
+        q.set_compact_threshold(4);
+        for i in 0..6u8 {
+            q.enqueue(i);
+        }
+        // Three acks: debt 3 < threshold 4 — no compaction yet.
+        for _ in 0..3 {
+            q.dequeue();
+            q.acknowledge();
+        }
+        assert!(compactions.lock().unwrap().is_empty());
+        // Fourth ack reaches the threshold but the live log (2) still holds
+        // it back (debt 4 >= 2*2 passes): compaction fires with [4, 5].
+        q.dequeue();
+        q.acknowledge();
+        assert_eq!(compactions.lock().unwrap().as_slice(), &[vec![4, 5]]);
+        // Debt reset: the next ack (debt 1) does not compact again.
+        q.dequeue();
+        q.acknowledge();
+        assert_eq!(compactions.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -61,7 +61,7 @@ use crate::durability::{
     self, durability_err, DurabilityHub, Manifest, QueueCheckpoint, ShardCapture, StatDelta,
     TopologyCheckpoint, VaultQueueBackend, WalRecord,
 };
-use crate::error::{ManagerError, ManagerResult};
+use crate::error::{ManagerError, ManagerResult, SubmitError};
 use crate::manager::{
     CrossEntry, CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats,
 };
@@ -77,7 +77,7 @@ use ix_state::{
     DEFAULT_TIER_BUDGET,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -129,6 +129,17 @@ pub struct RuntimeOptions {
     /// [`ManagerRuntime::with_durability_path`] (ignored when the vault is
     /// handed in directly, which carries its own policy).
     pub fsync: FsyncPolicy,
+    /// Maximum number of pending client tasks per shard queue (0 =
+    /// unbounded, the default).  With a limit set, session submissions pass
+    /// a per-shard credit gate: a single atomic add on the fast path, a
+    /// [`crate::error::SubmitError::Overloaded`] backpressure ticket (with a
+    /// retry-after hint) when the owning shard is full.  Cross-shard
+    /// submissions reserve a credit on *every* owner queue up front, so a
+    /// 2PC chain can never half-enqueue.  Confirm/abort/expiry releases are
+    /// never shed — shedding them would leak reservations.
+    pub queue_limit: usize,
+    /// The load-shedding ladder applied when `queue_limit` is set.
+    pub shed: ShedPolicy,
 }
 
 impl Default for RuntimeOptions {
@@ -141,8 +152,326 @@ impl Default for RuntimeOptions {
             cascade: true,
             queue_metrics: false,
             fsync: FsyncPolicy::Never,
+            queue_limit: 0,
+            shed: ShedPolicy::default(),
         }
     }
+}
+
+/// Graceful-degradation ladder of the bounded-admission gate: request
+/// classes shed in priority order as a shard queue fills, so committed
+/// workflow progress survives longest.
+///
+/// * **Probes** — `is_permitted` queries and subscription registrations —
+///   are shed first, once the queue passes `probe_watermark × queue_limit`.
+///   A lost probe costs a retry; it holds no protocol state.
+/// * **Speculative** work — multi-owner execute rendezvous (the cascade
+///   batches) — is shed at `speculative_watermark × queue_limit`: it fans
+///   one submission across every owner queue, so it amplifies load exactly
+///   when the runtime can least afford it.
+/// * **Commits** — single-owner execute/ask and cross-shard asks — use the
+///   full limit.
+/// * Releases (confirm / abort / expiry / redelivery) are never shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Percentage of `queue_limit` above which probes and subscription
+    /// registrations are shed (default 50).
+    pub probe_watermark_pct: u8,
+    /// Percentage of `queue_limit` above which speculative multi-owner
+    /// executes are shed (default 75).
+    pub speculative_watermark_pct: u8,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> ShedPolicy {
+        ShedPolicy { probe_watermark_pct: 50, speculative_watermark_pct: 75 }
+    }
+}
+
+impl ShedPolicy {
+    /// The admission cap (in queued task units) of a request class under
+    /// `limit`.  Watermark caps are at least 1 so a tiny limit still admits
+    /// idle-system probes.
+    fn cap(&self, class: AdmitClass, limit: usize) -> usize {
+        let pct = |p: u8| ((limit.saturating_mul(p as usize)) / 100).max(1);
+        match class {
+            AdmitClass::Probe => pct(self.probe_watermark_pct),
+            AdmitClass::Speculative => pct(self.speculative_watermark_pct),
+            AdmitClass::Commit => limit,
+        }
+    }
+}
+
+/// Admission class of a submission, in shed order (see [`ShedPolicy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AdmitClass {
+    /// `is_permitted` queries and subscription registrations.
+    Probe,
+    /// Multi-owner combined executes (the speculative cascade batches).
+    Speculative,
+    /// Single-owner ask/execute and cross-shard asks.
+    Commit,
+}
+
+/// Whether an enqueue already holds its queue credit(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Credit {
+    /// The session path reserved the credits through
+    /// [`ShardGate::try_admit`] before journaling/dispatching.
+    Held,
+    /// Forced traffic — confirm/abort/expiry, durable redelivery, and
+    /// stale-route re-dispatch — charges unconditionally at enqueue and is
+    /// never shed: shedding a release would leak reservations, and shedding
+    /// a re-dispatch would drop an already-accepted submission.
+    Charge,
+}
+
+/// The per-shard credit gate of bounded admission.  One gate per shard id,
+/// carried across repartitions by [`Arc`] (topology snapshots share the
+/// gates of the shards they retain), fully inert when
+/// [`RuntimeOptions::queue_limit`] is 0.
+///
+/// `depth` counts *queued client task units* — 1 per single/cross/exec
+/// message, the window length per batch message, 0 for control tasks.  The
+/// fast path is one `fetch_add` on admission and one on release; there is
+/// no lock anywhere on the credit path.  Because forced traffic charges
+/// unconditionally, `depth` may transiently exceed `limit` under heavy
+/// confirm/abort/redelivery load — admitted (sheddable) load alone never
+/// does.
+struct ShardGate {
+    /// Queue-depth limit in task units (0 = gate inert).
+    limit: usize,
+    /// The shed ladder carving per-class caps out of `limit`.
+    shed: ShedPolicy,
+    /// Currently queued task units (signed: release-before-charge races of
+    /// concurrent enqueues may dip a reading below zero transiently).
+    depth: AtomicI64,
+    /// High-water mark of `depth`.
+    peak: AtomicI64,
+    /// Probes shed at the probe watermark.
+    shed_probes: AtomicU64,
+    /// Multi-owner executes shed at the speculative watermark.
+    shed_speculative: AtomicU64,
+    /// Commits shed at the full limit.
+    shed_commits: AtomicU64,
+    /// EWMA (α = 1/8) of enqueue wait, nanoseconds; written only by the
+    /// owning worker.
+    wait_ewma_ns: AtomicU64,
+    /// EWMA (α = 1/8) of per-task service time, nanoseconds.
+    service_ewma_ns: AtomicU64,
+}
+
+impl ShardGate {
+    fn new(limit: usize, shed: ShedPolicy) -> ShardGate {
+        ShardGate {
+            limit,
+            shed,
+            depth: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+            shed_probes: AtomicU64::new(0),
+            shed_speculative: AtomicU64::new(0),
+            shed_commits: AtomicU64::new(0),
+            wait_ewma_ns: AtomicU64::new(0),
+            service_ewma_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the gate enforces a limit at all.
+    fn active(&self) -> bool {
+        self.limit > 0
+    }
+
+    /// Reserves `units` credits under the class's cap — the one-`fetch_add`
+    /// fast path.  On overflow the reservation is rolled back, the class's
+    /// shed counter bumps, and the error carries the retry-after hint.
+    fn try_admit(&self, units: usize, class: AdmitClass) -> Result<(), SubmitError> {
+        if !self.active() || units == 0 {
+            return Ok(());
+        }
+        let cap = self.shed.cap(class, self.limit) as i64;
+        let prev = self.depth.fetch_add(units as i64, Ordering::Relaxed);
+        if prev + units as i64 > cap {
+            self.depth.fetch_sub(units as i64, Ordering::Relaxed);
+            let shed = match class {
+                AdmitClass::Probe => &self.shed_probes,
+                AdmitClass::Speculative => &self.shed_speculative,
+                AdmitClass::Commit => &self.shed_commits,
+            };
+            shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded { retry_after: self.retry_after() });
+        }
+        self.peak.fetch_max(prev + units as i64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Unconditionally charges `units` credits (forced traffic).
+    fn charge(&self, units: usize) {
+        if !self.active() || units == 0 {
+            return;
+        }
+        let now = self.depth.fetch_add(units as i64, Ordering::Relaxed) + units as i64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Returns `units` credits when the worker dequeues the message.
+    fn release(&self, units: usize) {
+        if !self.active() || units == 0 {
+            return;
+        }
+        self.depth.fetch_sub(units as i64, Ordering::Relaxed);
+    }
+
+    /// Folds one completed task's (wait, service) pair into the EWMAs.
+    /// Called only by the owning worker, so plain load/store is race-free.
+    fn observe(&self, wait_ns: u64, service_ns: u64) {
+        let wait = self.wait_ewma_ns.load(Ordering::Relaxed);
+        self.wait_ewma_ns.store(wait - wait / 8 + wait_ns / 8, Ordering::Relaxed);
+        let service = self.service_ewma_ns.load(Ordering::Relaxed);
+        self.service_ewma_ns.store(service - service / 8 + service_ns / 8, Ordering::Relaxed);
+    }
+
+    /// The backpressure hint: roughly how long the current backlog needs to
+    /// drain at the observed service rate, clamped to [100µs, 100ms].
+    fn retry_after(&self) -> Duration {
+        let depth = self.depth.load(Ordering::Relaxed).max(1) as u64;
+        let service = self.service_ewma_ns.load(Ordering::Relaxed).max(1_000);
+        Duration::from_nanos((service.saturating_mul(depth)).clamp(100_000, 100_000_000))
+    }
+
+    /// The load row this gate contributes to [`LoadReport`].
+    fn load(&self, shard: usize) -> ShardLoad {
+        ShardLoad {
+            shard,
+            limit: self.limit,
+            depth: self.depth.load(Ordering::Relaxed).max(0) as usize,
+            peak_depth: self.peak.load(Ordering::Relaxed).max(0) as usize,
+            shed_probes: self.shed_probes.load(Ordering::Relaxed),
+            shed_speculative: self.shed_speculative.load(Ordering::Relaxed),
+            shed_commits: self.shed_commits.load(Ordering::Relaxed),
+            wait_ewma_ns: self.wait_ewma_ns.load(Ordering::Relaxed),
+            service_ewma_ns: self.service_ewma_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard's row of a [`LoadReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard id.
+    pub shard: usize,
+    /// The configured depth limit (0 = unbounded).
+    pub limit: usize,
+    /// Currently queued client task units.
+    pub depth: usize,
+    /// High-water mark of `depth` since construction.
+    pub peak_depth: usize,
+    /// Probes/subscriptions shed at the probe watermark.
+    pub shed_probes: u64,
+    /// Multi-owner executes shed at the speculative watermark.
+    pub shed_speculative: u64,
+    /// Commits shed at the full limit.
+    pub shed_commits: u64,
+    /// EWMA of enqueue wait, nanoseconds.
+    pub wait_ewma_ns: u64,
+    /// EWMA of per-task service time, nanoseconds.
+    pub service_ewma_ns: u64,
+}
+
+impl ShardLoad {
+    /// Total submissions shed on this shard.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_probes + self.shed_speculative + self.shed_commits
+    }
+}
+
+/// Per-shard load snapshot ([`ManagerRuntime::load_report`]): queue depths,
+/// high-water marks, shed counts, and the wait/service EWMAs the
+/// retry-after hints are derived from.  The same signal feeds hot-shard
+/// detection: [`LoadReport::hottest`] names the shard a
+/// [`ManagerRuntime::couple`]-style repartition should split next.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// The configured per-shard depth limit (0 = unbounded).
+    pub queue_limit: usize,
+    /// One row per shard, indexed by shard id.
+    pub shards: Vec<ShardLoad>,
+}
+
+impl LoadReport {
+    /// The busiest shard: deepest queue, ties broken by enqueue-wait EWMA.
+    pub fn hottest(&self) -> Option<&ShardLoad> {
+        self.shards.iter().max_by_key(|s| (s.depth, s.wait_ewma_ns))
+    }
+
+    /// Total submissions shed across every shard.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_total()).sum()
+    }
+
+    /// The deepest high-water mark across every shard.
+    pub fn peak_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.peak_depth).max().unwrap_or(0)
+    }
+}
+
+/// Queued client task units a channel message represents — the unit of the
+/// [`ShardGate`] credit accounting.  Control messages (pause barriers,
+/// snapshots, compiles, checkpoints, stop markers) are free: they are
+/// runtime-internal and never admitted.
+fn task_units(task: &Task) -> usize {
+    match task {
+        Task::Single(_) | Task::Cross(_) | Task::Exec(_) => 1,
+        Task::Batch(tasks) => tasks.len(),
+        Task::Pause(_)
+        | Task::Snapshot(_)
+        | Task::Compile(_)
+        | Task::Checkpoint(_)
+        | Task::Stop => 0,
+    }
+}
+
+/// All-or-nothing credit reservation for one classified submission: one
+/// unit on the single owner, or one unit on *every* owner of a multi-owner
+/// route (reserved in ascending order, rolled back completely on the first
+/// full gate) — a cross-shard chain can never half-enqueue.  `Route::None`
+/// reserves nothing (resolved inline).
+fn admit_route(topo: &Topology, route: &Route, class: AdmitClass) -> Result<(), SubmitError> {
+    match route {
+        Route::None => Ok(()),
+        Route::Single(shard) => topo.gates[*shard].try_admit(1, class),
+        Route::Multi(owners) => {
+            for (i, &owner) in owners.iter().enumerate() {
+                if let Err(e) = topo.gates[owner].try_admit(1, class) {
+                    for &acquired in &owners[..i] {
+                        topo.gates[acquired].release(1);
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Session-path admission of one action: classifies it and reserves
+/// credits per [`admit_route`], with the class chosen by the route arity.
+/// Free (no classify, no atomics) on unbounded runtimes; non-concrete
+/// actions reserve nothing (they fail inline before any queue).
+fn admit_submission(
+    topo: &Topology,
+    action: &Action,
+    single: AdmitClass,
+    multi: AdmitClass,
+) -> Result<(), SubmitError> {
+    if !topo.bounded || !action.is_concrete() {
+        return Ok(());
+    }
+    let route = topo.router.classify(action);
+    let class = match &route {
+        Route::Multi(_) => multi,
+        _ => single,
+    };
+    admit_route(topo, &route, class)
 }
 
 /// The result a completion ticket resolves to.
@@ -231,6 +560,14 @@ struct ExpiryEvent {
 struct Topology {
     router: ShardRouter,
     queues: Vec<Sender<Task>>,
+    /// Per-shard admission gates, aligned with `queues`.  Shared by [`Arc`]
+    /// across topology snapshots — a repartition carries the gates of
+    /// retained shards forward, so credits charged under the old snapshot
+    /// release correctly under the new one.
+    gates: Vec<Arc<ShardGate>>,
+    /// Whether any gate enforces a limit — the one-branch fast path that
+    /// keeps unbounded runtimes free of admission work.
+    bounded: bool,
     expr: Expr,
     alphabet: Alphabet,
 }
@@ -361,6 +698,19 @@ struct RuntimeShared {
     /// (enqueue-wait, service) nanosecond pairs, one per completed execute,
     /// flushed by the workers once per drain.
     queue_samples: Mutex<Vec<(u64, u64)>>,
+    /// Per-shard admission limit (see [`RuntimeOptions::queue_limit`]) —
+    /// kept here so repartitions gate their new shards identically.
+    queue_limit: usize,
+    /// The shed ladder of bounded admission.
+    shed: ShedPolicy,
+}
+
+/// Enqueue-instant stamp of a submission: taken when queueing-delay
+/// sampling *or* bounded admission is on (the gate EWMAs feed the
+/// retry-after hints), skipped otherwise — the two clock reads stay off the
+/// default path.
+fn stamp_submitted(shared: &RuntimeShared) -> Option<Instant> {
+    (shared.queue_metrics || shared.queue_limit > 0).then(Instant::now)
 }
 
 /// Counters of the conditional-vote cascade (all relaxed).
@@ -1025,6 +1375,18 @@ fn recover_runtime(
                     tail_released.insert(rid);
                     seed.reservations.remove(&rid);
                 }
+                WalRecord::Subscribe { client, action, permitted } => {
+                    let key = router
+                        .alphabet(id)
+                        .actions()
+                        .find(|a| a.matches_concrete(&action))
+                        .cloned()
+                        .unwrap_or_else(|| action.clone());
+                    seed.subscriptions.subscribe(client, action, key, permitted);
+                }
+                WalRecord::Unsubscribe { client, action } => {
+                    seed.subscriptions.unsubscribe(client, &action);
+                }
                 WalRecord::Event { .. } | WalRecord::Clock { .. } => {
                     return Err(durability_err(format!(
                         "meta-stream record in shard stream {id} at {index}"
@@ -1047,6 +1409,20 @@ fn recover_runtime(
                 continue;
             }
             let seed = &mut seeds[owner];
+            // An echo missing from the *tail* may still be covered by the
+            // owner's snapshot — checkpoints cut per shard, and a fault can
+            // persist one owner's snapshot while losing another's.  The
+            // shard epoch is the sequence of its last applied cross-shard
+            // commit (owners park at the rendezvous, so per-owner application
+            // order equals sequence order): at or past this commit means it
+            // is already in the snapshot state, and re-applying would
+            // duplicate it.  Sequence 0 is excluded: commit sequences start
+            // at 0, so for the very first commit an epoch of 0 is ambiguous
+            // between "covered" and "never applied", and we must err on the
+            // side of replaying.
+            if commit.key.0 > 0 && seed.epoch >= commit.key.0 {
+                continue;
+            }
             if !seed.engine.try_execute(&commit.action) {
                 return Err(durability_err(format!(
                     "torn commit {} does not replay on shard {owner}: {}",
@@ -1108,16 +1484,80 @@ fn recover_runtime(
         }
     }
 
-    // Meta-stream tail: order-independent statistics events plus the clock
-    // high-water mark.
+    // Meta-stream tail: order-independent statistics events, the clock
+    // high-water mark, and cross-shard/orphan subscription echoes routed
+    // through the recovered router.
     let mut clock = manifest.clock;
     let mut stat_total = manifest.meta_base;
+    let mut cross_subscriptions = import_cross(manifest.cross);
+    let mut orphan_subscriptions = SubscriptionRegistry::import(manifest.orphans);
     for (index, payload) in hub.vault().read_from(META_STREAM, manifest.meta_covered) {
         let record =
             WalRecord::decode(&payload).map_err(|e| durability::codec_err("meta record", e))?;
         match record {
             WalRecord::Event { delta } => stat_total.add(&delta),
             WalRecord::Clock { now } => clock = clock.max(now),
+            WalRecord::Subscribe { client, action, permitted } => match router.classify(&action) {
+                Route::Multi(owners) => {
+                    for &owner in &owners {
+                        cross_subscriptions
+                            .by_shard
+                            .entry(owner)
+                            .or_default()
+                            .insert(action.clone());
+                    }
+                    let entry =
+                        cross_subscriptions.entries.entry(action.clone()).or_insert_with(|| {
+                            let bits: Vec<bool> = owners
+                                .iter()
+                                .map(|&o| seeds[o].engine.is_permitted(&action))
+                                .collect();
+                            let permitted = bits.iter().all(|b| *b);
+                            crate::manager::CrossEntry {
+                                owners: owners.clone(),
+                                bits,
+                                clients: Vec::new(),
+                                permitted,
+                            }
+                        });
+                    if !entry.clients.contains(&client) {
+                        entry.clients.push(client);
+                        entry.clients.sort_unstable();
+                    }
+                }
+                Route::Single(owner) => {
+                    let key = router
+                        .alphabet(owner)
+                        .actions()
+                        .find(|a| a.matches_concrete(&action))
+                        .cloned()
+                        .unwrap_or_else(|| action.clone());
+                    seeds[owner].subscriptions.subscribe(client, action, key, permitted);
+                }
+                Route::None => {
+                    orphan_subscriptions.subscribe(client, action.clone(), action, false);
+                }
+            },
+            WalRecord::Unsubscribe { client, action } => match router.classify(&action) {
+                Route::Multi(_) => {
+                    let remove = match cross_subscriptions.entries.get_mut(&action) {
+                        Some(entry) => {
+                            entry.clients.retain(|c| *c != client);
+                            entry.clients.is_empty()
+                        }
+                        None => false,
+                    };
+                    if remove {
+                        cross_subscriptions.entries.remove(&action);
+                        for actions in cross_subscriptions.by_shard.values_mut() {
+                            actions.remove(&action);
+                        }
+                        cross_subscriptions.by_shard.retain(|_, actions| !actions.is_empty());
+                    }
+                }
+                Route::Single(owner) => seeds[owner].subscriptions.unsubscribe(client, &action),
+                Route::None => orphan_subscriptions.unsubscribe(client, &action),
+            },
             _ => {
                 return Err(durability_err(format!(
                     "shard-stream record in meta stream at {index}"
@@ -1127,6 +1567,24 @@ fn recover_runtime(
     }
     for seed in &seeds {
         stat_total.add(&seed.stat_base);
+    }
+
+    // Silent subscription refresh: a Subscribe echo carries the cache as of
+    // registration, and checkpointed registries carry it as of the cut;
+    // commits replayed afterwards may have flipped the status.  The
+    // uncrashed runtime kept every cache current through notifications, so
+    // recomputing against the recovered engines — and discarding the
+    // notifications, whose deliveries were never durable — restores exactly
+    // the caches the crash interrupted.
+    for seed in seeds.iter_mut() {
+        let ShardSeed { engine, subscriptions, .. } = seed;
+        let _ = subscriptions.refresh(|a| engine.is_permitted(a));
+    }
+    for (action, entry) in cross_subscriptions.entries.iter_mut() {
+        for (pos, &owner) in entry.owners.iter().enumerate() {
+            entry.bits[pos] = seeds[owner].engine.is_permitted(action);
+        }
+        entry.permitted = entry.bits.iter().all(|b| *b);
     }
 
     // Reservation index + timer wheel: every surviving lease re-arms; an
@@ -1165,8 +1623,8 @@ fn recover_runtime(
         stats: stat_total.as_stats(),
         reservation_index,
         timers,
-        cross_subscriptions: import_cross(manifest.cross),
-        orphan_subscriptions: SubscriptionRegistry::import(manifest.orphans),
+        cross_subscriptions,
+        orphan_subscriptions,
         queue_pending,
     };
     hub.vault().sync();
@@ -1265,9 +1723,14 @@ fn spawn_runtime(
         senders.push(tx);
         receivers.push(rx);
     }
+    let gates: Vec<Arc<ShardGate>> = (0..senders.len())
+        .map(|_| Arc::new(ShardGate::new(options.queue_limit, options.shed)))
+        .collect();
     let topology = Arc::new(RwLock::new(Arc::new(Topology {
         router: ShardRouter::with_epoch(alphabets, epoch),
         queues: senders,
+        gates: gates.clone(),
+        bounded: options.queue_limit > 0,
         expr: expr.clone(),
         alphabet: expr.alphabet(),
     })));
@@ -1305,6 +1768,8 @@ fn spawn_runtime(
         cascade_counters: CascadeCounters::default(),
         queue_metrics: options.queue_metrics,
         queue_samples: Mutex::new(Vec::new()),
+        queue_limit: options.queue_limit,
+        shed: options.shed,
     });
     let mut workers = Vec::with_capacity(seeds.len());
     for (id, (seed, rx)) in seeds.into_iter().zip(receivers).enumerate() {
@@ -1323,7 +1788,8 @@ fn spawn_runtime(
         // serves its first task.
         publish_reservation_fp(&shared, &state);
         let shared = Arc::clone(&shared);
-        workers.push(std::thread::spawn(move || worker(shared, rx, state)));
+        let gate = Arc::clone(&gates[id]);
+        workers.push(std::thread::spawn(move || worker(shared, rx, state, gate)));
     }
     let ticker_stop = Arc::new(AtomicBool::new(false));
     let ticker = match options.clock {
@@ -1490,6 +1956,20 @@ impl ManagerRuntime {
     /// [`RuntimeOptions::queue_metrics`] was set.
     pub fn drain_queue_samples(&self) -> Vec<(u64, u64)> {
         std::mem::take(&mut *lock(&self.shared.queue_samples))
+    }
+
+    /// Per-shard load snapshot: queue depths, high-water marks, shed
+    /// counters, and the wait/service EWMAs behind the retry-after hints.
+    /// Cheap (a handful of relaxed loads per shard) and meaningful on
+    /// bounded runtimes; on unbounded ones depths read 0 — the gates are
+    /// inert.  [`LoadReport::hottest`] is the hot-shard detector the
+    /// repartitioning machinery keys off.
+    pub fn load_report(&self) -> LoadReport {
+        let topo = read_topology(&self.topology);
+        LoadReport {
+            queue_limit: self.shared.queue_limit,
+            shards: topo.gates.iter().enumerate().map(|(i, g)| g.load(i)).collect(),
+        }
     }
 
     /// Counters of the repartitioning machinery.  Test suites use
@@ -1886,11 +2366,14 @@ impl ManagerRuntime {
 
         // ---- Assemble and spawn the new shards.
         let mut new_senders = Vec::with_capacity(new_engines.len());
+        let mut new_gates = Vec::with_capacity(new_engines.len());
         {
             let mut workers = lock(&self.workers);
             for (i, (idx, engine, _)) in new_engines.into_iter().enumerate() {
                 let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
                 new_senders.push(tx);
+                let gate = Arc::new(ShardGate::new(shared.queue_limit, shared.shed));
+                new_gates.push(Arc::clone(&gate));
                 let state = ShardState {
                     id: idx,
                     engine,
@@ -1915,7 +2398,7 @@ impl ManagerRuntime {
                     );
                 }
                 let shared = Arc::clone(shared);
-                workers.push(std::thread::spawn(move || worker(shared, rx, state)));
+                workers.push(std::thread::spawn(move || worker(shared, rx, state, gate)));
             }
         }
 
@@ -1925,11 +2408,15 @@ impl ManagerRuntime {
         // can act on a stale route between the swap and the resume.
         let mut queues = topo.queues.clone();
         queues.extend(new_senders);
+        let mut gates = topo.gates.clone();
+        gates.extend(new_gates);
         let epoch = new_router.epoch();
         let joined_expr = Expr::sync(topo.expr.clone(), constraint.clone());
         let new_topology = Arc::new(Topology {
             router: new_router,
             queues,
+            gates,
+            bounded: shared.queue_limit > 0,
             expr: joined_expr.clone(),
             alphabet: topo.alphabet.union(&constraint.alphabet()),
         });
@@ -2041,10 +2528,10 @@ impl ManagerRuntime {
             .into_iter()
             .map(|record| match record.op {
                 DurableOp::Ask { ref action } => {
-                    submit_ask(&self.shared, &topo, record.client, action)
+                    submit_ask(&self.shared, &topo, record.client, action, Credit::Charge)
                 }
                 DurableOp::Execute { ref action } => {
-                    submit_execute(&self.shared, &topo, record.client, action)
+                    submit_execute(&self.shared, &topo, record.client, action, Credit::Charge)
                 }
                 DurableOp::Confirm { id } => submit_confirm(&self.shared, &self.topology, id),
                 DurableOp::Abort { id } => submit_abort(&self.shared, &self.topology, id),
@@ -2273,17 +2760,41 @@ impl Session {
     }
 
     /// Step 1/2 of the coordination protocol: ask for permission.  Resolves
-    /// to [`Completion::Granted`] or [`Completion::Denied`].
+    /// to [`Completion::Granted`] or [`Completion::Denied`]; on a bounded
+    /// runtime a shed ask resolves inline to [`Completion::Failed`] with
+    /// [`ManagerError::Overloaded`].
     pub fn ask(&self, action: &Action) -> Ticket<Completion> {
+        let topo = self.snapshot();
+        if let Err(e) = admit_submission(&topo, action, AdmitClass::Commit, AdmitClass::Commit) {
+            return completed(Completion::Failed { error: e.into() });
+        }
         self.journal(DurableOp::Ask { action: action.clone() });
-        submit_ask(&self.shared, &self.snapshot(), self.client, action)
+        submit_ask(&self.shared, &topo, self.client, action, Credit::Held)
     }
 
     /// The combined ask-and-execute round trip.  Resolves to
-    /// [`Completion::Executed`] or [`Completion::Denied`].
+    /// [`Completion::Executed`] or [`Completion::Denied`]; a shed execute
+    /// resolves inline to [`Completion::Failed`] with
+    /// [`ManagerError::Overloaded`] (use [`Session::submit`] for the typed
+    /// backpressure surface).
     pub fn execute(&self, action: &Action) -> Ticket<Completion> {
+        match self.submit(action) {
+            Ok(t) => t,
+            Err(e) => completed(Completion::Failed { error: e.into() }),
+        }
+    }
+
+    /// The typed submission path of bounded admission: like
+    /// [`Session::execute`], but a shed submission returns the
+    /// [`SubmitError::Overloaded`] backpressure ticket directly — nothing
+    /// was journaled or enqueued anywhere, and the submission is safe to
+    /// retry after the hinted backoff.  On unbounded runtimes this never
+    /// errs.
+    pub fn submit(&self, action: &Action) -> Result<Ticket<Completion>, SubmitError> {
+        let topo = self.snapshot();
+        admit_submission(&topo, action, AdmitClass::Commit, AdmitClass::Speculative)?;
         self.journal(DurableOp::Execute { action: action.clone() });
-        submit_execute(&self.shared, &self.snapshot(), self.client, action)
+        Ok(submit_execute(&self.shared, &topo, self.client, action, Credit::Held))
     }
 
     /// Submits a whole *window* of combined executes with one topology
@@ -2301,25 +2812,41 @@ impl Session {
         let shared = &self.shared;
         let topo = self.snapshot();
         let mut out = Vec::with_capacity(actions.len());
-        // Plan phase: classify lock-free; inline the denials.
+        // Plan phase: classify lock-free; inline the denials.  On a bounded
+        // runtime each action passes admission *before* it is journaled —
+        // a shed action resolves inline to `Overloaded`, leaves no journal
+        // entry, and holds no credit; an admitted one holds one credit on
+        // each owning shard until its worker dequeues it.
         let mut pending: Vec<(Action, Route, TicketIssuer<Completion>)> = Vec::new();
         for action in actions {
+            let route = action.is_concrete().then(|| topo.router.classify(action));
+            if topo.bounded {
+                if let Some(route) = &route {
+                    let class = match route {
+                        Route::Multi(_) => AdmitClass::Speculative,
+                        _ => AdmitClass::Commit,
+                    };
+                    if let Err(e) = admit_route(&topo, route, class) {
+                        out.push(completed(Completion::Failed { error: e.into() }));
+                        continue;
+                    }
+                }
+            }
             shared.stats.asks.fetch_add(1, Ordering::Relaxed);
             self.journal(DurableOp::Execute { action: action.clone() });
-            if !action.is_concrete() {
-                meta_event(shared, StatDelta { asks: 1, ..StatDelta::ZERO });
-                out.push(completed(Completion::Failed {
-                    error: ManagerError::NonConcreteAction { action: action.to_string() },
-                }));
-                continue;
-            }
-            match topo.router.classify(action) {
-                Route::None => {
+            match route {
+                None => {
+                    meta_event(shared, StatDelta { asks: 1, ..StatDelta::ZERO });
+                    out.push(completed(Completion::Failed {
+                        error: ManagerError::NonConcreteAction { action: action.to_string() },
+                    }));
+                }
+                Some(Route::None) => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
                     meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
                     out.push(completed(Completion::Denied));
                 }
-                route => {
+                Some(route) => {
                     let (issuer, t) = ticket();
                     pending.push((action.clone(), route, issuer));
                     out.push(t);
@@ -2331,7 +2858,7 @@ impl Session {
         }
         // Dispatch phase: one enqueue-lock acquisition for the window;
         // consecutive same-shard singles coalesce into one Task::Batch.
-        let submitted = shared.queue_metrics.then(Instant::now);
+        let submitted = stamp_submitted(shared);
         let mut run: Vec<SingleTask> = Vec::new();
         let mut run_shard = usize::MAX;
         let _guard = lock(&shared.cross_enqueue);
@@ -2353,7 +2880,7 @@ impl Session {
                 }
                 Route::Multi(owners) => {
                     flush_run(&topo, run_shard, &mut run);
-                    enqueue_exec(&topo, owners, action, issuer, submitted);
+                    enqueue_exec(&topo, owners, action, issuer, submitted, Credit::Held);
                 }
             }
         }
@@ -2376,10 +2903,14 @@ impl Session {
 
     /// Subscribes to permissibility changes of an action; the completion
     /// carries the current status, later changes arrive via
-    /// [`Session::poll_notifications`].
+    /// [`Session::poll_notifications`].  Registrations are probe-class
+    /// traffic: a bounded runtime sheds them first.
     pub fn subscribe(&self, action: &Action) -> Ticket<Completion> {
         let shared = &self.shared;
         let topo = self.snapshot();
+        if let Err(e) = admit_submission(&topo, action, AdmitClass::Probe, AdmitClass::Probe) {
+            return completed(Completion::Failed { error: e.into() });
+        }
         match topo.router.classify(action) {
             Route::None => {
                 lock(&shared.orphan_subscriptions).subscribe(
@@ -2388,16 +2919,29 @@ impl Session {
                     action.clone(),
                     false,
                 );
+                if let Some(hub) = &shared.durability {
+                    hub.log_meta(&WalRecord::Subscribe {
+                        client: self.client,
+                        action: action.clone(),
+                        permitted: false,
+                    });
+                }
                 completed(Completion::Subscribed { permitted: false })
             }
-            Route::Single(shard) => {
-                dispatch_single(&topo, shard, self.client, Op::Subscribe { action: action.clone() })
-            }
+            Route::Single(shard) => dispatch_single(
+                shared,
+                &topo,
+                shard,
+                self.client,
+                Op::Subscribe { action: action.clone() },
+                Credit::Held,
+            ),
             Route::Multi(owners) => dispatch_cross(
                 shared,
                 &topo,
                 owners,
                 CrossOp::Subscribe { client: self.client, action: action.clone() },
+                Credit::Held,
             ),
         }
     }
@@ -2409,13 +2953,23 @@ impl Session {
         match topo.router.classify(action) {
             Route::None => {
                 lock(&shared.orphan_subscriptions).unsubscribe(self.client, action);
+                if let Some(hub) = &shared.durability {
+                    hub.log_meta(&WalRecord::Unsubscribe {
+                        client: self.client,
+                        action: action.clone(),
+                    });
+                }
                 completed(Completion::Unsubscribed)
             }
+            // Unsubscribes are never shed: dropping one would leak the
+            // registry entry the client believes is gone.
             Route::Single(shard) => dispatch_single(
+                shared,
                 &topo,
                 shard,
                 self.client,
                 Op::Unsubscribe { action: action.clone() },
+                Credit::Charge,
             ),
             Route::Multi(_) => {
                 cross_unsubscribe(shared, self.client, action);
@@ -2428,16 +2982,25 @@ impl Session {
     /// outstanding reservations), evaluated on the owning shards.
     pub fn is_permitted(&self, action: &Action) -> Ticket<Completion> {
         let topo = self.snapshot();
+        if let Err(e) = admit_submission(&topo, action, AdmitClass::Probe, AdmitClass::Probe) {
+            return completed(Completion::Failed { error: e.into() });
+        }
         match topo.router.classify(action) {
             Route::None => completed(Completion::Status { permitted: false }),
-            Route::Single(shard) => {
-                dispatch_single(&topo, shard, self.client, Op::Query { action: action.clone() })
-            }
+            Route::Single(shard) => dispatch_single(
+                &self.shared,
+                &topo,
+                shard,
+                self.client,
+                Op::Query { action: action.clone() },
+                Credit::Held,
+            ),
             Route::Multi(owners) => dispatch_cross(
                 &self.shared,
                 &topo,
                 owners,
                 CrossOp::Query { action: action.clone() },
+                Credit::Held,
             ),
         }
     }
@@ -2527,6 +3090,7 @@ fn submit_ask(
     topo: &Arc<Topology>,
     client: ClientId,
     action: &Action,
+    credit: Credit,
 ) -> Ticket<Completion> {
     shared.stats.asks.fetch_add(1, Ordering::Relaxed);
     if !action.is_concrete() {
@@ -2544,11 +3108,15 @@ fn submit_ask(
             completed(Completion::Denied)
         }
         Route::Single(shard) => {
-            dispatch_single(topo, shard, client, Op::Ask { action: action.clone() })
+            dispatch_single(shared, topo, shard, client, Op::Ask { action: action.clone() }, credit)
         }
-        Route::Multi(owners) => {
-            dispatch_cross(shared, topo, owners, CrossOp::Ask { client, action: action.clone() })
-        }
+        Route::Multi(owners) => dispatch_cross(
+            shared,
+            topo,
+            owners,
+            CrossOp::Ask { client, action: action.clone() },
+            credit,
+        ),
     }
 }
 
@@ -2557,6 +3125,7 @@ fn submit_execute(
     topo: &Arc<Topology>,
     client: ClientId,
     action: &Action,
+    credit: Credit,
 ) -> Ticket<Completion> {
     shared.stats.asks.fetch_add(1, Ordering::Relaxed);
     if !action.is_concrete() {
@@ -2571,14 +3140,19 @@ fn submit_execute(
             meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
             completed(Completion::Denied)
         }
-        Route::Single(shard) => {
-            dispatch_single(topo, shard, client, Op::Execute { action: action.clone() })
-        }
+        Route::Single(shard) => dispatch_single(
+            shared,
+            topo,
+            shard,
+            client,
+            Op::Execute { action: action.clone() },
+            credit,
+        ),
         Route::Multi(owners) => {
             let (issuer, t) = ticket();
-            let submitted = shared.queue_metrics.then(Instant::now);
+            let submitted = stamp_submitted(shared);
             let _guard = lock(&shared.cross_enqueue);
-            enqueue_exec(topo, owners, action.clone(), issuer, submitted);
+            enqueue_exec(topo, owners, action.clone(), issuer, submitted, credit);
             t
         }
     }
@@ -2593,8 +3167,8 @@ fn submit_confirm(shared: &Arc<RuntimeShared>, slot: &TopologySlot, id: u64) -> 
     };
     let topo = covering_topology(slot, &owners);
     match owners.as_slice() {
-        [shard] => dispatch_single(&topo, *shard, 0, Op::Confirm { id }),
-        _ => dispatch_cross(shared, &topo, owners, CrossOp::Confirm { id }),
+        [shard] => dispatch_single(shared, &topo, *shard, 0, Op::Confirm { id }, Credit::Charge),
+        _ => dispatch_cross(shared, &topo, owners, CrossOp::Confirm { id }, Credit::Charge),
     }
 }
 
@@ -2607,14 +3181,17 @@ fn submit_abort(shared: &Arc<RuntimeShared>, slot: &TopologySlot, id: u64) -> Ti
     };
     let topo = covering_topology(slot, &owners);
     match owners.as_slice() {
-        [shard] => dispatch_single(&topo, *shard, 0, Op::Abort { id }),
-        _ => dispatch_cross(shared, &topo, owners, CrossOp::Abort { id }),
+        [shard] => dispatch_single(shared, &topo, *shard, 0, Op::Abort { id }, Credit::Charge),
+        _ => dispatch_cross(shared, &topo, owners, CrossOp::Abort { id }, Credit::Charge),
     }
 }
 
 /// Removes a cross-shard subscription from the runtime-level registry (no
 /// shard state is involved).
 fn cross_unsubscribe(shared: &RuntimeShared, client: ClientId, action: &Action) {
+    if let Some(hub) = &shared.durability {
+        hub.log_meta(&WalRecord::Unsubscribe { client, action: action.clone() });
+    }
     let mut cross = lock(&shared.cross_subscriptions);
     let remove = match cross.entries.get_mut(action) {
         Some(entry) => {
@@ -2633,7 +3210,9 @@ fn cross_unsubscribe(shared: &RuntimeShared, client: ClientId, action: &Action) 
     }
 }
 
-/// Enqueues an already-issued task on one shard's queue.
+/// Enqueues an already-issued task on one shard's queue.  `Credit::Charge`
+/// callers (forced traffic) take their queue credit here; `Credit::Held`
+/// callers reserved it through admission already.
 fn enqueue_single(
     topo: &Topology,
     shard: usize,
@@ -2641,7 +3220,11 @@ fn enqueue_single(
     op: Op,
     issuer: TicketIssuer<Completion>,
     submitted: Option<Instant>,
+    credit: Credit,
 ) {
+    if credit == Credit::Charge {
+        topo.gates[shard].charge(1);
+    }
     let task =
         Task::Single(SingleTask { epoch: topo.epoch(), client, op, ticket: issuer, submitted });
     if let Err(SendError(Task::Single(task))) = topo.queues[shard].send(task) {
@@ -2650,15 +3233,23 @@ fn enqueue_single(
 }
 
 /// Enqueues a task on one shard's queue and returns its ticket.
-fn dispatch_single(topo: &Topology, shard: usize, client: ClientId, op: Op) -> Ticket<Completion> {
+fn dispatch_single(
+    shared: &RuntimeShared,
+    topo: &Topology,
+    shard: usize,
+    client: ClientId,
+    op: Op,
+    credit: Credit,
+) -> Ticket<Completion> {
     let (issuer, t) = ticket();
-    enqueue_single(topo, shard, client, op, issuer, None);
+    enqueue_single(topo, shard, client, op, issuer, stamp_submitted(shared), credit);
     t
 }
 
 /// Sends a batched run of same-shard single tasks as one channel message
 /// (one [`Task::Single`] when the run has a single element).  The caller
-/// holds the enqueue lock; `run` is left empty.
+/// holds the enqueue lock and already holds one queue credit per run
+/// element (the batch path admits per action); `run` is left empty.
 fn flush_run(topo: &Topology, shard: usize, run: &mut Vec<SingleTask>) {
     if run.is_empty() {
         return;
@@ -2685,7 +3276,13 @@ fn enqueue_exec(
     action: Action,
     issuer: TicketIssuer<Completion>,
     submitted: Option<Instant>,
+    credit: Credit,
 ) {
+    if credit == Credit::Charge {
+        for &owner in &owners {
+            topo.gates[owner].charge(1);
+        }
+    }
     let n = owners.len();
     let task = Arc::new(ExecTask {
         epoch: topo.epoch(),
@@ -2731,7 +3328,13 @@ fn enqueue_cross(
     owners: Vec<usize>,
     op: CrossOp,
     issuer: TicketIssuer<Completion>,
+    credit: Credit,
 ) {
+    if credit == Credit::Charge {
+        for &owner in &owners {
+            topo.gates[owner].charge(1);
+        }
+    }
     let n = owners.len();
     let task = Arc::new(CrossTask {
         epoch: topo.epoch(),
@@ -2774,10 +3377,11 @@ fn dispatch_cross(
     topo: &Topology,
     owners: Vec<usize>,
     op: CrossOp,
+    credit: Credit,
 ) -> Ticket<Completion> {
     let (issuer, t) = ticket();
     let _guard = lock(&shared.cross_enqueue);
-    enqueue_cross(topo, owners, op, issuer);
+    enqueue_cross(topo, owners, op, issuer, credit);
     t
 }
 
@@ -2853,8 +3457,21 @@ fn advance_clock(shared: &Arc<RuntimeShared>, slot: &TopologySlot, delta: u64) -
                 lock(&shared.reservation_index).get(&event.id).cloned().unwrap_or(event.owners);
             let topo = covering_topology(slot, &owners);
             match owners.as_slice() {
-                [shard] => dispatch_single(&topo, *shard, 0, Op::Expire { id: event.id, now }),
-                _ => dispatch_cross(shared, &topo, owners, CrossOp::Expire { id: event.id, now }),
+                [shard] => dispatch_single(
+                    shared,
+                    &topo,
+                    *shard,
+                    0,
+                    Op::Expire { id: event.id, now },
+                    Credit::Charge,
+                ),
+                _ => dispatch_cross(
+                    shared,
+                    &topo,
+                    owners,
+                    CrossOp::Expire { id: event.id, now },
+                    Credit::Charge,
+                ),
             }
         })
         .collect();
@@ -2908,6 +3525,9 @@ struct WorkerCtx {
     wakes: WakeBatch,
     /// Queueing-delay sampling enabled ([`RuntimeOptions::queue_metrics`]).
     metrics: bool,
+    /// This shard's admission gate; completed executes feed its
+    /// wait/service EWMAs whenever the gate is active.
+    gate: Arc<ShardGate>,
     /// Instant the worker dequeued the task (or drained the batch) it is
     /// currently processing — the boundary between enqueue wait and
     /// service time.
@@ -2917,18 +3537,24 @@ struct WorkerCtx {
 }
 
 impl WorkerCtx {
-    fn new(metrics: bool) -> WorkerCtx {
+    fn new(metrics: bool, gate: Arc<ShardGate>) -> WorkerCtx {
         WorkerCtx {
             wakes: WakeBatch::new(),
             metrics,
+            gate,
             dequeued: Instant::now(),
             samples: Vec::new(),
         }
     }
 
-    /// Stamps the dequeue boundary of the next task (metrics mode only).
+    /// Whether completed tasks are timed at all (sampling or gate EWMAs).
+    fn timing(&self) -> bool {
+        self.metrics || self.gate.active()
+    }
+
+    /// Stamps the dequeue boundary of the next task (timed modes only).
     fn stamp_dequeue(&mut self) {
-        if self.metrics {
+        if self.timing() {
             self.dequeued = Instant::now();
         }
     }
@@ -2938,13 +3564,16 @@ impl WorkerCtx {
     /// cross-shard execute the recording owner's own drain boundary is the
     /// reference — the honest per-shard view of the rendezvous cost.
     fn record(&mut self, submitted: Option<Instant>) {
-        if !self.metrics {
+        if !self.timing() {
             return;
         }
         let wait =
             submitted.map_or(0, |s| self.dequeued.saturating_duration_since(s).as_nanos() as u64);
         let service = self.dequeued.elapsed().as_nanos() as u64;
-        self.samples.push((wait, service));
+        self.gate.observe(wait, service);
+        if self.metrics {
+            self.samples.push((wait, service));
+        }
     }
 
     /// Delivers every deferred wakeup and publishes the drain's samples.
@@ -2985,13 +3614,18 @@ fn next_task(rx: &Receiver<Task>) -> Result<Task, crossbeam::channel::RecvError>
     rx.recv()
 }
 
-fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) -> ShardState {
+fn worker(
+    shared: Arc<RuntimeShared>,
+    rx: Receiver<Task>,
+    mut st: ShardState,
+    gate: Arc<ShardGate>,
+) -> ShardState {
     // A one-slot pushback buffer: collecting a run of consecutive
     // multi-owner executes pops one task too many, which is processed next.
     let mut pushback: Option<Task> = None;
     // Deferred ticket wakeups (single-core hosts only) plus queueing-delay
     // samples, flushed before every park and on exit.
-    let mut cx = WorkerCtx::new(shared.queue_metrics);
+    let mut cx = WorkerCtx::new(shared.queue_metrics, Arc::clone(&gate));
     // The divert watermark: once a stale task of epoch < E is re-routed to
     // the queue tail, every other task stamped below E must follow it there
     // even if its own route is unchanged — processing it inline would
@@ -2999,6 +3633,9 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
     // migration hit.
     let mut divert_below: u64 = 0;
     loop {
+        // A pushback was released at its original dequeue; everything
+        // freshly received returns its queue credits here, exactly once.
+        let fresh = pushback.is_none();
         let task = match pushback.take() {
             Some(task) => Ok(task),
             None => match rx.try_recv() {
@@ -3017,6 +3654,11 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 }
             },
         };
+        if fresh {
+            if let Ok(task) = &task {
+                gate.release(task_units(task));
+            }
+        }
         cx.stamp_dequeue();
         match task {
             Ok(Task::Single(task)) => {
@@ -3047,11 +3689,13 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 loop {
                     match rx.try_recv() {
                         Ok(Task::Exec(next)) if next.owners == batch.owners => {
+                            gate.release(1);
                             if exec_is_live(&shared, &next, &mut divert_below) {
                                 batch.push_exec(&shared, next)
                             }
                         }
                         Ok(Task::Single(single)) if matches!(single.op, Op::Execute { .. }) => {
+                            gate.release(1);
                             if let Some(single) = ensure_single_route(
                                 &shared,
                                 &st,
@@ -3063,6 +3707,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                             }
                         }
                         Ok(other) => {
+                            gate.release(task_units(&other));
                             pushback = Some(other);
                             break;
                         }
@@ -3105,6 +3750,7 @@ fn worker(shared: Arc<RuntimeShared>, rx: Receiver<Task>, mut st: ShardState) ->
                 // Stop is behind every owner's Stop, so nobody waits for a
                 // vote that never comes.
                 for task in rx.try_iter() {
+                    gate.release(task_units(&task));
                     fail_task(task);
                 }
                 break;
@@ -3211,7 +3857,7 @@ fn ensure_single_route(
                         _ => unreachable!("reservation ops only"),
                     };
                     let _guard = lock(&shared.cross_enqueue);
-                    enqueue_cross(&topo, owners, op, ticket);
+                    enqueue_cross(&topo, owners, op, ticket, Credit::Charge);
                     None
                 }
             }
@@ -3232,16 +3878,22 @@ fn redispatch_single(
 ) {
     let SingleTask { client, op, ticket: issuer, submitted, .. } = task;
     match (op, route) {
-        (op, Route::Single(shard)) => enqueue_single(topo, shard, client, op, issuer, submitted),
+        (op, Route::Single(shard)) => {
+            enqueue_single(topo, shard, client, op, issuer, submitted, Credit::Charge)
+        }
         (Op::Execute { action }, Route::Multi(owners)) => {
-            enqueue_exec(topo, owners, action, issuer, submitted);
+            enqueue_exec(topo, owners, action, issuer, submitted, Credit::Charge);
         }
         (Op::Ask { action }, Route::Multi(owners)) => {
-            enqueue_cross(topo, owners, CrossOp::Ask { client, action }, issuer)
+            enqueue_cross(topo, owners, CrossOp::Ask { client, action }, issuer, Credit::Charge)
         }
-        (Op::Subscribe { action }, Route::Multi(owners)) => {
-            enqueue_cross(topo, owners, CrossOp::Subscribe { client, action }, issuer)
-        }
+        (Op::Subscribe { action }, Route::Multi(owners)) => enqueue_cross(
+            topo,
+            owners,
+            CrossOp::Subscribe { client, action },
+            issuer,
+            Credit::Charge,
+        ),
         (Op::Unsubscribe { action }, Route::Multi(_)) => {
             // The migration promoted the registration to the cross-shard
             // registry; remove it there.
@@ -3249,7 +3901,7 @@ fn redispatch_single(
             fulfil(issuer, Completion::Unsubscribed, cx);
         }
         (Op::Query { action }, Route::Multi(owners)) => {
-            enqueue_cross(topo, owners, CrossOp::Query { action }, issuer)
+            enqueue_cross(topo, owners, CrossOp::Query { action }, issuer, Credit::Charge)
         }
         (op, Route::None) => {
             // Owner sets never shrink; complete with the outcome an
@@ -3259,13 +3911,19 @@ fn redispatch_single(
                     lock(&shared.orphan_subscriptions).subscribe(
                         client,
                         action.clone(),
-                        action,
+                        action.clone(),
                         false,
                     );
+                    if let Some(hub) = &shared.durability {
+                        hub.log_meta(&WalRecord::Subscribe { client, action, permitted: false });
+                    }
                     Completion::Subscribed { permitted: false }
                 }
                 Op::Unsubscribe { action } => {
                     lock(&shared.orphan_subscriptions).unsubscribe(client, &action);
+                    if let Some(hub) = &shared.durability {
+                        hub.log_meta(&WalRecord::Unsubscribe { client, action });
+                    }
                     Completion::Unsubscribed
                 }
                 Op::Query { .. } => Completion::Status { permitted: false },
@@ -3329,10 +3987,18 @@ fn process_batch_window(
                 unreachable!("submission windows carry executes only");
             };
             match topo.router.classify(&action) {
-                Route::Single(shard) => {
-                    enqueue_single(&topo, shard, client, Op::Execute { action }, ticket, submitted)
+                Route::Single(shard) => enqueue_single(
+                    &topo,
+                    shard,
+                    client,
+                    Op::Execute { action },
+                    ticket,
+                    submitted,
+                    Credit::Charge,
+                ),
+                Route::Multi(owners) => {
+                    enqueue_exec(&topo, owners, action, ticket, submitted, Credit::Charge)
                 }
-                Route::Multi(owners) => enqueue_exec(&topo, owners, action, ticket, submitted),
                 Route::None => {
                     shared.stats.denials.fetch_add(1, Ordering::Relaxed);
                     meta_event(shared, StatDelta { asks: 1, denials: 1, ..StatDelta::ZERO });
@@ -3403,7 +4069,7 @@ fn cross_is_live(
     if let (Some(topo), Some(issuer)) = (current, issuer) {
         *divert_below = topo.epoch();
         let _guard = lock(&shared.cross_enqueue);
-        enqueue_cross(&topo, owners, task.op.clone(), issuer);
+        enqueue_cross(&topo, owners, task.op.clone(), issuer, Credit::Charge);
     }
     false
 }
@@ -3442,7 +4108,7 @@ fn exec_is_live(shared: &Arc<RuntimeShared>, task: &Arc<ExecTask>, divert_below:
     if let (Some(topo), Some(issuer)) = (current, issuer) {
         *divert_below = topo.epoch();
         let _guard = lock(&shared.cross_enqueue);
-        enqueue_exec(&topo, owners, task.action.clone(), issuer, task.submitted);
+        enqueue_exec(&topo, owners, task.action.clone(), issuer, task.submitted, Credit::Charge);
     }
     false
 }
@@ -4186,11 +4852,17 @@ fn process_single(
         Op::Subscribe { action } => {
             let key = abstract_key(shared, st.id, &action);
             let permitted = st.engine.is_permitted(&action);
-            let status = st.subscriptions.subscribe(client, action, key, permitted);
+            let status = st.subscriptions.subscribe(client, action.clone(), key, permitted);
+            if st.wal.is_some() {
+                st.journal(WalRecord::Subscribe { client, action, permitted: status });
+            }
             Completion::Subscribed { permitted: status }
         }
         Op::Unsubscribe { action } => {
             st.subscriptions.unsubscribe(client, &action);
+            if st.wal.is_some() {
+                st.journal(WalRecord::Unsubscribe { client, action });
+            }
             Completion::Unsubscribed
         }
         Op::Query { action } => Completion::Status { permitted: st.engine.is_permitted(&action) },
@@ -4515,6 +5187,13 @@ fn decide(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync) -> Dec
             }
             let status = entry.permitted;
             drop(cross);
+            if let Some(hub) = &shared.durability {
+                hub.log_meta(&WalRecord::Subscribe {
+                    client: *client,
+                    action: action.clone(),
+                    permitted: status,
+                });
+            }
             complete(sync, Completion::Subscribed { permitted: status });
             Decision::Done
         }
