@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async|cross|step|repart|compile|recover|overload|chaos] \
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|table8|fig9|fig10|fig11|sec4|sec6|shards|async|cross|step|repart|compile|recover|overload|chaos|sched] \
 //!           [--check]
 //! ```
 //!
@@ -127,6 +127,12 @@ fn main() {
         chaos_bench();
         if check {
             check_chaos_report("BENCH_chaos.json");
+        }
+    }
+    if all || arg == "sched" {
+        sched_bench();
+        if check {
+            check_sched_report("BENCH_sched.json");
         }
     }
 }
@@ -1123,6 +1129,7 @@ fn check_overload_report(path: &str) {
         .unwrap_or_else(|| die(&format!("{path}: missing queue_limit")));
     let mut goodput_1x = None;
     let mut goodput_2x = None;
+    let mut goodput_4x = None;
     let mut checked = 0usize;
     for row in text.split('{') {
         let Some(multiplier) = json_number(row, "multiplier") else { continue };
@@ -1157,6 +1164,9 @@ fn check_overload_report(path: &str) {
         if multiplier == 2.0 {
             goodput_2x = Some(goodput);
         }
+        if multiplier == 4.0 {
+            goodput_4x = Some(goodput);
+        }
         checked += 1;
     }
     if checked == 0 {
@@ -1164,16 +1174,24 @@ fn check_overload_report(path: &str) {
     }
     let g1 = goodput_1x.unwrap_or_else(|| die(&format!("{path}: no 1x row")));
     let g2 = goodput_2x.unwrap_or_else(|| die(&format!("{path}: no 2x row")));
+    let g4 = goodput_4x.unwrap_or_else(|| die(&format!("{path}: no 4x row")));
     if g2 < 0.7 * g1 {
         die(&format!(
             "goodput collapsed under 2x offered load: {g2:.0}/s < 0.7 x {g1:.0}/s — \
              shedding is supposed to protect service, not replace it"
         ));
     }
+    if g4 < 0.5 * g1 {
+        die(&format!(
+            "goodput collapsed under 4x offered load: {g4:.0}/s < 0.5 x {g1:.0}/s — \
+             shedding is supposed to flatten the curve, not halve it"
+        ));
+    }
     println!(
         "check passed: {checked} load points — queues stay inside the credit limit, the shed \
-         ladder holds, and 2x goodput is {:.2}x of 1x",
-        g2 / g1
+         ladder holds, 2x goodput is {:.2}x of 1x and 4x goodput is {:.2}x of 1x",
+        g2 / g1,
+        g4 / g1
     );
 }
 
@@ -1478,6 +1496,160 @@ fn check_step_report(path: &str) {
 /// the pipelined runtime falls behind the blocking sharded manager on the
 /// contended (0%-overlap) workload at 4 or 8 shards — the regime the
 /// session runtime exists for.
+fn sched_bench() {
+    heading("Sched — worker-pool scheduling vs thread-per-shard, with hot-shard rebalancing");
+    let report = sched_experiment(30_000);
+    println!("pool-of-cores rows use {} workers", report.cores);
+    println!(
+        "{:>7} {:>10} {:>8} {:>10} {:>9} {:>9} {:>13} {:>9} {:>9}",
+        "shards",
+        "shape",
+        "workers",
+        "rebalance",
+        "offered",
+        "committed",
+        "throughput/s",
+        "isolations",
+        "alone"
+    );
+    let mut rows = Vec::new();
+    for p in &report.points {
+        println!(
+            "{:>7} {:>10} {:>8} {:>10} {:>9} {:>9} {:>13.0} {:>9} {:>9}",
+            p.shards,
+            p.shape.name(),
+            p.workers,
+            p.rebalance,
+            p.offered,
+            p.committed,
+            p.throughput,
+            p.rebalances,
+            p.isolated_alone,
+        );
+        rows.push(format!(
+            "    {{\"shards\": {}, \"shape\": \"{}\", \"workers\": {}, \"rebalance\": {}, \
+             \"offered\": {}, \"committed\": {}, \"throughput_per_s\": {:.1}, \
+             \"rebalances\": {}, \"isolated\": {}, \"isolated_alone\": {}}}",
+            p.shards,
+            p.shape.name(),
+            p.workers,
+            p.rebalance,
+            p.offered,
+            p.committed,
+            p.throughput,
+            p.rebalances,
+            p.isolated.map(|s| s.to_string()).unwrap_or_else(|| "null".to_string()),
+            p.isolated_alone,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"sched: worker-pool scheduling and hot-shard rebalancing\",\n  \
+          \"workload\": \"uniform and Zipf(1.1) work-pool traffic over disjoint components; \
+          every row offers the same paced load and awaits every ticket, so committed \
+          throughput isolates the scheduler: pool sizes 1/cores/shards compare the sized \
+          worker pool against the historical thread-per-shard layout, and the rebalance rows \
+          let the load-driven placement isolate the hot shard mid-run\",\n  \
+          \"cores\": {},\n  \"sched\": [\n{}\n  ]\n}}\n",
+        report.cores,
+        rows.join(",\n"),
+    );
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json");
+}
+
+/// The sched CI bench smoke: validates `BENCH_sched.json` and fails when
+/// the pooled layout stops paying for itself at 64 shards — pooled
+/// (pool = cores) below 0.9x thread-per-shard on uniform load, the
+/// rebalance-on Zipf row below 1.3x thread-per-shard, any row losing
+/// tasks, or a rebalance row that never isolated the hot shard.
+fn check_sched_report(path: &str) {
+    let text = read_validated_report(
+        path,
+        &["\"experiment\"", "\"sched\"", "\"throughput_per_s\"", "\"rebalances\""],
+    );
+    let cores =
+        json_number(&text, "cores").unwrap_or_else(|| die(&format!("{path}: missing cores")));
+    let mut checked = 0usize;
+    let mut tps_uniform_64 = None;
+    let mut pooled_uniform_64 = None;
+    let mut tps_zipf_64 = None;
+    let mut rebalance_zipf_64 = None;
+    for row in text.split('{') {
+        let Some(shards) = json_number(row, "shards") else { continue };
+        let workers = json_number(row, "workers")
+            .unwrap_or_else(|| die(&format!("{path}: sched row without workers")));
+        let offered = json_number(row, "offered")
+            .unwrap_or_else(|| die(&format!("{path}: sched row without offered")));
+        let committed = json_number(row, "committed")
+            .unwrap_or_else(|| die(&format!("{path}: sched row without committed")));
+        let throughput = json_number(row, "throughput_per_s")
+            .unwrap_or_else(|| die(&format!("{path}: sched row without throughput_per_s")));
+        let rebalance = row.contains("\"rebalance\": true");
+        if !(throughput.is_finite() && throughput > 0.0) {
+            die(&format!("{path}: degenerate sched numbers in row: {}", row.trim()));
+        }
+        if committed < offered {
+            die(&format!(
+                "tasks lost at {shards} shards / {workers} workers: \
+                 {committed} committed of {offered} offered"
+            ));
+        }
+        if rebalance {
+            let rebalances = json_number(row, "rebalances")
+                .unwrap_or_else(|| die(&format!("{path}: rebalance row without rebalances")));
+            if rebalances > 0.0 && !row.contains("\"isolated_alone\": true") {
+                die(&format!(
+                    "the rebalancer moved placement at {shards} shards but the final \
+                     table does not show the isolated shard alone on its worker"
+                ));
+            }
+        }
+        let uniform = row.contains("\"shape\": \"uniform\"");
+        if shards == 64.0 && uniform && workers == shards {
+            tps_uniform_64 = Some(throughput);
+        }
+        if shards == 64.0 && uniform && workers == cores && !rebalance {
+            pooled_uniform_64 = Some(throughput);
+        }
+        if shards == 64.0 && !uniform && workers == shards {
+            tps_zipf_64 = Some(throughput);
+        }
+        if shards == 64.0 && !uniform && rebalance {
+            rebalance_zipf_64 = Some(throughput);
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        die(&format!("{path}: no sched rows to check"));
+    }
+    let tps_u = tps_uniform_64
+        .unwrap_or_else(|| die(&format!("{path}: no 64-shard thread-per-shard uniform row")));
+    let pooled_u = pooled_uniform_64
+        .unwrap_or_else(|| die(&format!("{path}: no 64-shard pooled uniform row")));
+    let tps_z = tps_zipf_64
+        .unwrap_or_else(|| die(&format!("{path}: no 64-shard thread-per-shard zipf row")));
+    let reb_z = rebalance_zipf_64
+        .unwrap_or_else(|| die(&format!("{path}: no 64-shard rebalance-on zipf row")));
+    if pooled_u < 0.9 * tps_u {
+        die(&format!(
+            "the pool stopped paying for itself on uniform load at 64 shards: \
+             pooled {pooled_u:.0}/s < 0.9 x thread-per-shard {tps_u:.0}/s"
+        ));
+    }
+    if reb_z < 1.3 * tps_z {
+        die(&format!(
+            "rebalanced pool lost its skew advantage at 64 shards: \
+             {reb_z:.0}/s < 1.3 x thread-per-shard {tps_z:.0}/s under Zipf(1.1)"
+        ));
+    }
+    println!(
+        "check passed: {checked} configurations — zero task loss everywhere, pooled uniform is \
+         {:.2}x thread-per-shard and the rebalanced Zipf pool is {:.2}x",
+        pooled_u / tps_u,
+        reb_z / tps_z
+    );
+}
+
 /// Reads a report file and validates its gross structure: balanced
 /// braces/brackets and the presence of the required keys.  Shared by both
 /// bench smoke checks.

@@ -192,6 +192,11 @@ fn chain_runtime(shards: usize, overlap_percent: u32, cascade: bool) -> Arc<Mana
                 variant: ProtocolVariant::Combined,
                 cascade,
                 queue_metrics: true,
+                // This bench measures the cross-shard cascade protocol, so
+                // keep a dedicated worker per shard: with fewer workers the
+                // owners resolve chains in-order through help-while-waiting
+                // and the promotion path under test never gets exercised.
+                worker_threads: shards,
                 ..RuntimeOptions::default()
             },
         )

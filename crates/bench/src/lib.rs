@@ -17,6 +17,7 @@ pub mod overload;
 pub mod pipelined;
 pub mod recover;
 pub mod repart;
+pub mod sched;
 pub mod stepbench;
 pub mod workloads;
 
@@ -28,6 +29,7 @@ pub use overload::*;
 pub use pipelined::*;
 pub use recover::*;
 pub use repart::*;
+pub use sched::*;
 pub use stepbench::*;
 pub use workloads::*;
 

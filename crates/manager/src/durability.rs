@@ -720,6 +720,12 @@ pub(crate) struct Manifest {
     pub(crate) cross: Vec<CrossRow>,
     /// Orphaned subscriptions (actions outside the current alphabet).
     pub(crate) orphans: Vec<SubscriptionRow>,
+    /// The worker-pool placement table at checkpoint time
+    /// (`placement[shard]` = worker), so a recovery keeps hot shards
+    /// isolated.  Encoded as a trailer and decoded tolerantly: manifests
+    /// written before this field read back as empty (round-robin at spawn),
+    /// and a table that does not fit the recovered pool is discarded there.
+    pub(crate) placement: Vec<usize>,
 }
 
 pub(crate) const MANIFEST_BLOB: &str = "manifest";
@@ -752,6 +758,10 @@ pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
         w.bool(*permitted);
     }
     encode_subscription_rows(&mut w, &m.orphans);
+    w.len_prefix(m.placement.len());
+    for worker in &m.placement {
+        w.u64(*worker as u64);
+    }
     w.into_bytes()
 }
 
@@ -789,7 +799,28 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> ManagerResult<Manifest> {
             cross.push((action, owners, bits, clients, r.bool()?));
         }
         let orphans = decode_subscription_rows(&mut r)?;
-        Ok(Manifest { clock, meta_covered, meta_base, log_seq, next_reservation, cross, orphans })
+        // Tolerant trailer: a manifest written before the placement table
+        // existed simply ends here.
+        let placement = match r.len_prefix() {
+            Ok(n) => {
+                let mut table = Vec::with_capacity(n);
+                for _ in 0..n {
+                    table.push(r.u64()? as usize);
+                }
+                table
+            }
+            Err(_) => Vec::new(),
+        };
+        Ok(Manifest {
+            clock,
+            meta_covered,
+            meta_base,
+            log_seq,
+            next_reservation,
+            cross,
+            orphans,
+            placement,
+        })
     })()
     .map_err(|e| codec_err("manifest", e))
 }
@@ -913,6 +944,10 @@ pub struct VaultInspection {
     pub queue_pending: u64,
     /// Queue-stream records past the queue checkpoint's covered offset.
     pub queue_tail: u64,
+    /// Worker-pool placement table the manifest captured (shard → worker;
+    /// empty without a manifest or for pre-placement vaults).  A recovery
+    /// seeds its placement from this table when the worker count matches.
+    pub placement: Vec<usize>,
     /// Per-shard snapshot and tail summary.
     pub shards: Vec<ShardInspection>,
 }
@@ -934,6 +969,7 @@ pub fn inspect_vault(vault: &Arc<dyn Vault>) -> ManagerResult<VaultInspection> {
         None => None,
     };
     let (meta_covered, clock) = manifest.as_ref().map_or((0, 0), |m| (m.meta_covered, m.clock));
+    let placement = manifest.as_ref().map_or_else(Vec::new, |m| m.placement.clone());
     let queue_covered = queue.as_ref().map_or(0, |q| q.covered);
     let mut shards = Vec::with_capacity(topo.components.len());
     for shard in 0..topo.components.len() {
@@ -961,6 +997,7 @@ pub fn inspect_vault(vault: &Arc<dyn Vault>) -> ManagerResult<VaultInspection> {
         meta_tail: vault.stream_len(META_STREAM).saturating_sub(meta_covered),
         queue_pending: queue.as_ref().map_or(0, |q| q.pending.len() as u64),
         queue_tail: vault.stream_len(QUEUE_STREAM).saturating_sub(queue_covered),
+        placement,
         shards,
     })
 }
@@ -1115,6 +1152,7 @@ mod tests {
             next_reservation: 31,
             cross: vec![(act("x"), vec![0, 2], vec![true, false], vec![1], false)],
             orphans: vec![(act("z"), act("z"), vec![3], true)],
+            placement: vec![0, 1, 0, 1],
         };
         let decoded = decode_manifest(&encode_manifest(&manifest)).expect("manifest");
         assert_eq!(decoded.clock, 11);
@@ -1123,6 +1161,17 @@ mod tests {
         assert_eq!(decoded.next_reservation, 31);
         assert_eq!(decoded.cross, manifest.cross);
         assert_eq!(decoded.orphans, manifest.orphans);
+        assert_eq!(decoded.placement, manifest.placement);
+
+        // A manifest written before the placement trailer existed decodes
+        // with an empty table (spawn falls back to round-robin).
+        // The trailer is a varint length plus one varint per shard; every
+        // value here fits in a single byte.
+        let mut legacy = encode_manifest(&manifest);
+        legacy.truncate(legacy.len() - 5);
+        let decoded = decode_manifest(&legacy).expect("legacy manifest");
+        assert_eq!(decoded.orphans, manifest.orphans);
+        assert!(decoded.placement.is_empty());
 
         let expr = parse("a | b").unwrap();
         let topo = TopologyCheckpoint {

@@ -47,8 +47,8 @@ pub use protocol::{ClientHandle, ManagerServer, Reply, Request};
 pub use queue::{DurableQueue, QueueBackend};
 pub use runtime::{
     CascadeStats, CheckpointReport, ClockMode, Completion, LoadReport, ManagerRuntime,
-    RepartitionReport, RepartitionStats, RuntimeOptions, RuntimeReport, Session, ShardLoad,
-    ShedPolicy,
+    RepartitionReport, RepartitionStats, RuntimeOptions, RuntimeReport, SchedStats, Session,
+    ShardLoad, ShedPolicy,
 };
 pub use subscription::{ClientId, Notification, SubscriptionRegistry};
 pub use ticket::{Ticket, TicketIssuer};

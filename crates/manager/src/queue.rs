@@ -225,6 +225,187 @@ impl<T: Clone> DurableQueue<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Worker-pool scheduling primitives
+// ---------------------------------------------------------------------------
+//
+// The runtime's per-shard task queues are *pool-visible*: instead of one OS
+// thread blocking on one shard's channel, a sized pool of workers each owns
+// a set of shards and drains their queues in bounded run-to-completion
+// slices.  What makes that safe to enqueue against is the pair of types
+// below — a placement table naming, for every shard, the single worker that
+// may touch its state, and a token parker per worker so an enqueue onto any
+// owned queue wakes exactly the right thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// A token parker for one pool worker: `unpark` deposits a wake token,
+/// `park_timeout` consumes one or sleeps.  A token deposited *before* the
+/// park is consumed immediately — the enqueue-then-wake protocol can never
+/// lose a wakeup to the race between the worker's last empty queue scan and
+/// its decision to sleep.  The fast path of `unpark` is one atomic swap;
+/// the mutex is only taken for the first token after a quiet period, so an
+/// enqueue storm onto an already-signalled worker stays lock-free.
+pub(crate) struct WorkerParker {
+    token: AtomicBool,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl WorkerParker {
+    fn new() -> WorkerParker {
+        WorkerParker { token: AtomicBool::new(false), mutex: Mutex::new(()), cv: Condvar::new() }
+    }
+
+    /// Deposits the wake token and notifies a parked worker.  Correctness of
+    /// the skip: when the swap observes an already-set token, the unparker
+    /// that set it has done (or is doing) the notify under the mutex, and
+    /// the worker's park re-checks the token under the same mutex before
+    /// waiting — so the token cannot be set with a sleeper unaware of it.
+    pub(crate) fn unpark(&self) {
+        if !self.token.swap(true, Ordering::AcqRel) {
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Consumes the token, or sleeps until one arrives or `timeout` passes.
+    /// The timeout is a liveness backstop (channel disconnects do not route
+    /// through the parker), not the scheduling mechanism.
+    pub(crate) fn park_timeout(&self, timeout: Duration) {
+        if self.token.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.token.swap(false, Ordering::AcqRel) {
+                return;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return;
+            }
+            guard =
+                self.cv.wait_timeout(guard, deadline - now).unwrap_or_else(|e| e.into_inner()).0;
+        }
+    }
+}
+
+/// The scheduling core of the worker pool: the placement table (shard id →
+/// worker id — the exclusivity artifact that replaced "thread = shard"),
+/// one [`WorkerParker`] per worker, and the slot-liveness counter workers
+/// use to decide when the pool is finished.
+///
+/// The placement table is mutable *without* a topology-epoch bump: moving a
+/// shard between workers changes who drains its queue, never how tasks are
+/// routed into it, so the stale-route machinery is deliberately not
+/// involved.  Every mutation wakes both affected workers; every enqueue
+/// consults the table and wakes the placed worker.
+pub(crate) struct PoolCore {
+    /// Shard id → worker id.  Grows by push when a repartition appends
+    /// shards; rewritten in place by the rebalancer.
+    placement: RwLock<Vec<usize>>,
+    parkers: Vec<WorkerParker>,
+    /// Shards whose slot has not yet finished (stop marker or disconnect).
+    /// Workers exit when they own nothing and this reaches zero.
+    pub(crate) live: AtomicUsize,
+    /// Number of placement rewrites the rebalancer performed.
+    pub(crate) rebalances: AtomicU64,
+    /// The shard most recently isolated onto its own worker
+    /// (`usize::MAX` = none yet).
+    pub(crate) last_isolated: AtomicUsize,
+}
+
+impl PoolCore {
+    pub(crate) fn new(workers: usize, placement: Vec<usize>) -> PoolCore {
+        debug_assert!(workers >= 1);
+        debug_assert!(placement.iter().all(|&w| w < workers));
+        PoolCore {
+            live: AtomicUsize::new(placement.len()),
+            placement: RwLock::new(placement),
+            parkers: (0..workers).map(|_| WorkerParker::new()).collect(),
+            rebalances: AtomicU64::new(0),
+            last_isolated: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Number of pool workers (fixed at spawn).
+    pub(crate) fn workers(&self) -> usize {
+        self.parkers.len()
+    }
+
+    /// A snapshot of the placement table.
+    pub(crate) fn placement(&self) -> Vec<usize> {
+        self.placement.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The worker a shard is currently placed on.
+    pub(crate) fn worker_of(&self, shard: usize) -> usize {
+        let table = self.placement.read().unwrap_or_else(|e| e.into_inner());
+        table.get(shard).copied().unwrap_or(0)
+    }
+
+    /// The shards currently placed on `worker`, in shard-id order (a
+    /// snapshot — the table may move on while the worker walks them, which
+    /// is fine: slot checkout is what enforces exclusivity, the table is a
+    /// work-finding hint).
+    pub(crate) fn owned(&self, worker: usize) -> Vec<usize> {
+        let table = self.placement.read().unwrap_or_else(|e| e.into_inner());
+        table.iter().enumerate().filter(|&(_, &w)| w == worker).map(|(shard, _)| shard).collect()
+    }
+
+    /// Registers a newly appended shard on `worker` and returns its id.
+    pub(crate) fn push_shard(&self, worker: usize) {
+        let mut table = self.placement.write().unwrap_or_else(|e| e.into_inner());
+        table.push(worker.min(self.workers() - 1));
+        self.live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Moves `shard` to `worker`, waking both the old owner (to release the
+    /// slot) and the new one (to adopt it).
+    pub(crate) fn assign(&self, shard: usize, worker: usize) {
+        let old = {
+            let mut table = self.placement.write().unwrap_or_else(|e| e.into_inner());
+            if shard >= table.len() || worker >= self.workers() {
+                return;
+            }
+            std::mem::replace(&mut table[shard], worker)
+        };
+        self.wake_worker(old);
+        self.wake_worker(worker);
+    }
+
+    /// Wakes the worker a shard is placed on — called after every enqueue
+    /// onto the shard's queue.
+    pub(crate) fn wake_shard(&self, shard: usize) {
+        self.wake_worker(self.worker_of(shard));
+    }
+
+    /// Wakes one worker by id.
+    pub(crate) fn wake_worker(&self, worker: usize) {
+        if let Some(parker) = self.parkers.get(worker) {
+            parker.unpark();
+        }
+    }
+
+    /// Wakes every worker (pool shutdown, migration resume).
+    pub(crate) fn wake_all(&self) {
+        for parker in &self.parkers {
+            parker.unpark();
+        }
+    }
+
+    /// Parks worker `me` until a wake token arrives or `timeout` passes.
+    pub(crate) fn park(&self, me: usize, timeout: Duration) {
+        if let Some(parker) = self.parkers.get(me) {
+            parker.park_timeout(timeout);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +543,35 @@ mod tests {
         let restored: DurableQueue<u8> = DurableQueue::restore(vec![2], None);
         assert_eq!(restored.len(), 1);
         assert_eq!(restored.sync_len(), 1);
+    }
+
+    #[test]
+    fn parker_token_deposited_before_park_is_consumed() {
+        let parker = WorkerParker::new();
+        parker.unpark();
+        // Must return immediately — the token was already deposited.
+        let t0 = std::time::Instant::now();
+        parker.park_timeout(Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Consumed: the next park runs into the timeout.
+        let t0 = std::time::Instant::now();
+        parker.park_timeout(Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pool_core_placement_moves_and_grows() {
+        let core = PoolCore::new(3, vec![0, 1, 2, 0]);
+        assert_eq!(core.workers(), 3);
+        assert_eq!(core.worker_of(3), 0);
+        core.assign(3, 2);
+        assert_eq!(core.worker_of(3), 2);
+        core.push_shard(1);
+        assert_eq!(core.placement(), vec![0, 1, 2, 2, 1]);
+        assert_eq!(core.live.load(Ordering::SeqCst), 5);
+        // Out-of-range assignments are ignored rather than panicking.
+        core.assign(99, 0);
+        core.assign(0, 99);
+        assert_eq!(core.worker_of(0), 0);
     }
 }

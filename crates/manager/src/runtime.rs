@@ -65,7 +65,7 @@ use crate::error::{ManagerError, ManagerResult, SubmitError};
 use crate::manager::{
     CrossEntry, CrossSubscriptions, ManagerStats, ProtocolVariant, Reservation, SharedStats,
 };
-use crate::queue::{DurableQueue, QueueBackend};
+use crate::queue::{DurableQueue, PoolCore, QueueBackend};
 use crate::subscription::{ClientId, Notification, SubscriptionRegistry};
 use crate::ticket::{completed, ticket, Ticket, TicketIssuer, WakeBatch};
 use crate::timer::TimerWheel;
@@ -140,6 +140,30 @@ pub struct RuntimeOptions {
     pub queue_limit: usize,
     /// The load-shedding ladder applied when `queue_limit` is set.
     pub shed: ShedPolicy,
+    /// Number of pool workers draining the shard queues (0 = one per
+    /// available hardware thread).  Shards are decoupled from OS threads:
+    /// each worker exclusively owns the *set* of shards the placement table
+    /// assigns it and drains their queues in bounded run-to-completion
+    /// slices, so a 64-shard partition on an 8-core host runs 8 threads,
+    /// not 64.  `worker_threads = shards` reproduces the historical
+    /// thread-per-shard layout exactly (1:1 placement).
+    pub worker_threads: usize,
+    /// Load-driven placement: with `Some(period)`, a background rebalancer
+    /// samples the per-shard load signal every `period` and, when one shard
+    /// runs sustained-hot against the mean, isolates it onto its own worker
+    /// and co-locates the cold shards elsewhere.  Placement moves are
+    /// ownership transfers only — no history replay, no topology epoch
+    /// bump.  `None` (the default) keeps placement static;
+    /// [`ManagerRuntime::rebalance_now`] runs one pass on demand either
+    /// way.
+    pub rebalance_every: Option<Duration>,
+    /// Automatic checkpointing period in logical clock ticks (0 = off).
+    /// Arms a timer-wheel entry that triggers a full
+    /// [`ManagerRuntime::checkpoint`] every `checkpoint_every` ticks —
+    /// under [`ClockMode::Wall`] that is wall time, under the virtual
+    /// clock it follows [`ManagerRuntime::advance_time`].  Ignored on
+    /// non-durable runtimes.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RuntimeOptions {
@@ -154,6 +178,9 @@ impl Default for RuntimeOptions {
             fsync: FsyncPolicy::Never,
             queue_limit: 0,
             shed: ShedPolicy::default(),
+            worker_threads: 0,
+            rebalance_every: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -180,20 +207,41 @@ pub struct ShedPolicy {
     /// Percentage of `queue_limit` above which speculative multi-owner
     /// executes are shed (default 75).
     pub speculative_watermark_pct: u8,
+    /// Depth-EWMA watermark scaling (default on).  The static percentages
+    /// describe the right ladder for a queue that breathes; under
+    /// *sustained* pressure they admit sheddable traffic right up to the
+    /// same watermarks while commits fight for the remainder.  Adaptive
+    /// mode scales both watermarks by a factor that falls linearly from
+    /// 1.0 to 0.5 as the shard's depth EWMA climbs from 25% to 75% of the
+    /// limit — probes and speculative fan-out shed *earlier* the longer
+    /// the queue has been deep, reserving the freed credits for commit
+    /// traffic.  Both watermarks scale by the same factor and the commit
+    /// class never scales, so the strict probe → speculative → commit
+    /// shed order is preserved at every pressure level.
+    pub adaptive: bool,
 }
 
 impl Default for ShedPolicy {
     fn default() -> ShedPolicy {
-        ShedPolicy { probe_watermark_pct: 50, speculative_watermark_pct: 75 }
+        ShedPolicy { probe_watermark_pct: 50, speculative_watermark_pct: 75, adaptive: true }
     }
 }
 
 impl ShedPolicy {
     /// The admission cap (in queued task units) of a request class under
-    /// `limit`.  Watermark caps are at least 1 so a tiny limit still admits
-    /// idle-system probes.
-    fn cap(&self, class: AdmitClass, limit: usize) -> usize {
-        let pct = |p: u8| ((limit.saturating_mul(p as usize)) / 100).max(1);
+    /// `limit`, given the shard's current depth-EWMA pressure in percent of
+    /// the limit.  Watermark caps are at least 1 so a tiny limit still
+    /// admits idle-system probes.
+    fn cap(&self, class: AdmitClass, limit: usize, pressure_pct: usize) -> usize {
+        // Scale factor in percent: 100 below a quarter of the limit, then
+        // one point per pressure point down to 50 at three quarters.
+        let scale = if !self.adaptive {
+            100
+        } else {
+            (125usize.saturating_sub(pressure_pct)).clamp(50, 100)
+        };
+        let pct =
+            |p: u8| ((limit.saturating_mul(p as usize).saturating_mul(scale)) / 10_000).max(1);
         match class {
             AdmitClass::Probe => pct(self.probe_watermark_pct),
             AdmitClass::Speculative => pct(self.speculative_watermark_pct),
@@ -259,6 +307,12 @@ struct ShardGate {
     wait_ewma_ns: AtomicU64,
     /// EWMA (α = 1/8) of per-task service time, nanoseconds.
     service_ewma_ns: AtomicU64,
+    /// EWMA (α = 1/8) of queue depth in task units, sampled by the owning
+    /// worker at every completed task.  Drives the adaptive watermark
+    /// scaling ([`ShedPolicy::adaptive`]) and the sustained-hot detection
+    /// of the placement rebalancer — a transient burst barely moves it, a
+    /// queue that *stays* deep saturates it.
+    depth_ewma: AtomicU64,
 }
 
 impl ShardGate {
@@ -273,6 +327,7 @@ impl ShardGate {
             shed_commits: AtomicU64::new(0),
             wait_ewma_ns: AtomicU64::new(0),
             service_ewma_ns: AtomicU64::new(0),
+            depth_ewma: AtomicU64::new(0),
         }
     }
 
@@ -288,7 +343,7 @@ impl ShardGate {
         if !self.active() || units == 0 {
             return Ok(());
         }
-        let cap = self.shed.cap(class, self.limit) as i64;
+        let cap = self.shed.cap(class, self.limit, self.pressure_pct()) as i64;
         let prev = self.depth.fetch_add(units as i64, Ordering::Relaxed);
         if prev + units as i64 > cap {
             self.depth.fetch_sub(units as i64, Ordering::Relaxed);
@@ -321,13 +376,34 @@ impl ShardGate {
         self.depth.fetch_sub(units as i64, Ordering::Relaxed);
     }
 
-    /// Folds one completed task's (wait, service) pair into the EWMAs.
-    /// Called only by the owning worker, so plain load/store is race-free.
+    /// Folds one completed task's (wait, service) pair into the EWMAs and
+    /// samples the current depth into the pressure EWMA.  Called only by
+    /// the owning worker, so plain load/store is race-free.
     fn observe(&self, wait_ns: u64, service_ns: u64) {
         let wait = self.wait_ewma_ns.load(Ordering::Relaxed);
         self.wait_ewma_ns.store(wait - wait / 8 + wait_ns / 8, Ordering::Relaxed);
         let service = self.service_ewma_ns.load(Ordering::Relaxed);
         self.service_ewma_ns.store(service - service / 8 + service_ns / 8, Ordering::Relaxed);
+        // The depth EWMA is stored in 1/16 task units so shallow queues
+        // (depth < 8) still register instead of truncating to zero.
+        let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
+        let ewma = self.depth_ewma.load(Ordering::Relaxed);
+        self.depth_ewma.store(ewma - ewma / 8 + depth * 2, Ordering::Relaxed);
+    }
+
+    /// The instantaneous queued depth in task units (0 on unbounded gates,
+    /// which never charge credits).
+    fn queued_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// The sustained depth pressure: the depth EWMA as a percentage of the
+    /// limit (0 on unbounded gates).
+    fn pressure_pct(&self) -> usize {
+        if self.limit == 0 {
+            return 0;
+        }
+        (self.depth_ewma.load(Ordering::Relaxed) as usize / 16).saturating_mul(100) / self.limit
     }
 
     /// The backpressure hint: roughly how long the current backlog needs to
@@ -350,6 +426,7 @@ impl ShardGate {
             shed_commits: self.shed_commits.load(Ordering::Relaxed),
             wait_ewma_ns: self.wait_ewma_ns.load(Ordering::Relaxed),
             service_ewma_ns: self.service_ewma_ns.load(Ordering::Relaxed),
+            depth_ewma: self.depth_ewma.load(Ordering::Relaxed) as usize / 16,
         }
     }
 }
@@ -375,6 +452,9 @@ pub struct ShardLoad {
     pub wait_ewma_ns: u64,
     /// EWMA of per-task service time, nanoseconds.
     pub service_ewma_ns: u64,
+    /// EWMA of queue depth in task units — the sustained-pressure signal
+    /// behind adaptive watermark scaling and hot-shard rebalancing.
+    pub depth_ewma: usize,
 }
 
 impl ShardLoad {
@@ -414,6 +494,24 @@ impl LoadReport {
     }
 }
 
+/// Scheduling counters of the worker pool
+/// ([`ManagerRuntime::sched_stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Pool worker threads serving the shard queues.
+    pub workers: usize,
+    /// The placement table: `placement[shard]` is the worker currently
+    /// serving that shard.
+    pub placement: Vec<usize>,
+    /// Hot-shard isolations the rebalancer has performed.
+    pub rebalances: u64,
+    /// The most recently isolated shard, if any isolation ever ran.
+    pub last_isolated: Option<usize>,
+    /// Checkpoints cut automatically by the timer wheel
+    /// ([`RuntimeOptions::checkpoint_every`]).
+    pub auto_checkpoints: u64,
+}
+
 /// Queued client task units a channel message represents — the unit of the
 /// [`ShardGate`] credit accounting.  Control messages (pause barriers,
 /// snapshots, compiles, checkpoints, stop markers) are free: they are
@@ -427,6 +525,17 @@ fn task_units(task: &Task) -> usize {
         | Task::Compile(_)
         | Task::Checkpoint(_)
         | Task::Stop => 0,
+    }
+}
+
+/// The global rendezvous sequence of a queued task, for the help-frame
+/// ordering bound ([`PoolCtl::seq`]).  Non-rendezvous tasks never block on
+/// another shard, so they are unordered (always serveable).
+fn task_seq(task: &Task) -> u64 {
+    match task {
+        Task::Cross(task) => task.seq,
+        Task::Exec(task) => task.seq,
+        _ => 0,
     }
 }
 
@@ -540,11 +649,22 @@ pub(crate) enum DurableOp {
     Abort { id: u64 },
 }
 
-/// A timer-wheel payload: which reservation to expire, on which owners.
+/// A lease-expiry timer payload: which reservation to expire, on which
+/// owners.
 #[derive(Clone, Debug)]
 struct ExpiryEvent {
     id: u64,
     owners: Vec<usize>,
+}
+
+/// Everything the runtime's timer wheel can fire.
+#[derive(Clone, Debug)]
+enum TimerEvent {
+    /// A lease ran out.
+    Expiry(ExpiryEvent),
+    /// The periodic checkpoint timer ([`RuntimeOptions::checkpoint_every`])
+    /// came due: cut a checkpoint and re-arm.
+    Checkpoint,
 }
 
 /// One immutable snapshot of the runtime's shard topology: the
@@ -568,6 +688,11 @@ struct Topology {
     /// Whether any gate enforces a limit — the one-branch fast path that
     /// keeps unbounded runtimes free of admission work.
     bounded: bool,
+    /// The worker pool (placement table + parkers): every enqueue wakes the
+    /// worker the placement table names for the target shard.  Shared with
+    /// [`RuntimeShared`]; carried on the topology so the enqueue layer can
+    /// wake without an extra indirection.
+    pool: Arc<PoolCtl>,
     expr: Expr,
     alphabet: Alphabet,
 }
@@ -669,7 +794,7 @@ struct RuntimeShared {
     /// Number of registered cross-shard subscription entries — commits skip
     /// the registry lock entirely while this is zero (the common case).
     cross_entry_count: AtomicU64,
-    timers: Mutex<TimerWheel<ExpiryEvent>>,
+    timers: Mutex<TimerWheel<TimerEvent>>,
     /// Tier budget handed to every shard engine — including the ones a
     /// repartition spawns after construction.
     tier_budget: usize,
@@ -703,6 +828,16 @@ struct RuntimeShared {
     queue_limit: usize,
     /// The shed ladder of bounded admission.
     shed: ShedPolicy,
+    /// The worker pool: placement table, parkers, the slot bench, and the
+    /// rebalancer state.  Shards are scheduling units; workers are the OS
+    /// threads that serve them (see the worker-pool section of
+    /// ARCHITECTURE.md).
+    pool: Arc<PoolCtl>,
+    /// Automatic checkpoint period in logical ticks (0 = off); mirrors
+    /// [`RuntimeOptions::checkpoint_every`].
+    checkpoint_every: u64,
+    /// Checkpoints cut by the timer wheel (diagnostics).
+    auto_checkpoints: AtomicU64,
 }
 
 /// Enqueue-instant stamp of a submission: taken when queueing-delay
@@ -826,6 +961,181 @@ impl ShardState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The worker pool: shards are scheduling units, workers are OS threads.
+//
+// A `PoolCtl` owns one `ShardSlot` per shard (the *bench*) plus the
+// placement table and parkers of `PoolCore`.  A worker pass walks the
+// shards the placement table assigns it and serves each in a bounded
+// run-to-completion slice: it *checks the shard state out* of its slot
+// (phase Live → Busy), drains up to `SLICE_BUDGET` tasks in queue order,
+// and checks it back in.  Exclusivity is a slot-phase property, not a
+// thread identity: exactly one worker can hold a slot Busy, so a shard's
+// tasks still execute in queue order on one worker at a time even while
+// the placement table is being rewritten under it — a rebalance is a
+// table write, and the new owner simply finds the slot Live on its next
+// pass.  `worker_threads = shards` reproduces the historical
+// thread-per-shard layout (1:1 placement, every slice uninterrupted).
+// ---------------------------------------------------------------------------
+
+/// Where one shard's serving state currently is, from the pool's point of
+/// view.
+enum SlotPhase {
+    /// At rest on the bench, ready to be served by whoever the placement
+    /// table names.
+    Live(Box<ShardState>),
+    /// Checked out by a worker — either actively serving a slice or the
+    /// outer frame of a help-while-waiting excursion.  Marks the slot
+    /// non-reentrant: a helping worker never recurses into a shard that is
+    /// already being served, which bounds the help depth by the number of
+    /// shards a worker owns.
+    Busy,
+    /// Surrendered to a migration coordinator ([`Task::Pause`]); the
+    /// receiver yields the (possibly migrated) state back when the
+    /// coordinator resumes the shard.  Unlike the thread-per-shard design
+    /// the worker does **not** block here — it keeps serving its other
+    /// shards and polls the receiver on later visits, so one worker owning
+    /// two quiesced shards cannot deadlock a migration.
+    Suspended(Receiver<ShardState>),
+    /// The shard is finished (stop marker or disconnected queue); its final
+    /// state was harvested into [`PoolCtl::finished`].
+    Done,
+}
+
+/// The mutable part of a shard's slot, guarded by the slot mutex.  The
+/// mutex is held only for phase transitions — never while tasks run.
+struct SlotServe {
+    phase: SlotPhase,
+    /// The one-slot pushback buffer of the exec-coalescing loop, carried
+    /// across slices (its queue credit was already released).
+    pushback: Option<Task>,
+    /// The stale-route divert watermark, carried across slices.
+    divert_below: u64,
+}
+
+/// One shard's pool-visible serving context.
+struct ShardSlot {
+    /// The shard's ordered task queue.  Only the worker holding the slot
+    /// Busy receives from it, so queue order is preserved.
+    rx: Receiver<Task>,
+    /// The shard's admission gate (same `Arc` as the topology's).
+    gate: Arc<ShardGate>,
+    serve: Mutex<SlotServe>,
+}
+
+/// Scratch state of the hot-shard rebalancer.
+#[derive(Default)]
+struct RebalanceState {
+    /// Per-shard backlog EWMA (×16 fixed point, α = 1/4) of the sampled
+    /// signal — gate depth when admission is bounded, raw channel length
+    /// otherwise.
+    ewma: Vec<u64>,
+    /// Consecutive passes `candidate` ran at ≥ 2× the mean backlog.
+    streak: usize,
+    /// The shard the streak is tracking.
+    candidate: usize,
+}
+
+/// Everything the worker pool shares: the placement table and parkers
+/// ([`PoolCore`]), the slot bench, the rebalancer state, and the harvested
+/// final shard states.
+struct PoolCtl {
+    core: PoolCore,
+    /// The bench, indexed by shard id; append-only (repartitions push).
+    slots: RwLock<Vec<Arc<ShardSlot>>>,
+    rebalance: Mutex<RebalanceState>,
+    /// Final shard states of finished slots, collected by
+    /// [`ManagerRuntime::shutdown`] for the merged log.
+    finished: Mutex<Vec<ShardState>>,
+    /// Global rendezvous-task sequence, allocated under the cross-enqueue
+    /// lock, so multi-owner tasks are totally ordered *across* queues (each
+    /// queue holds them in ascending sequence).  Help-while-waiting leans on
+    /// this: a worker blocked on task `S` may only serve rendezvous tasks
+    /// with sequence ≤ `S` from its other shards — picking up a later one
+    /// could block beneath the earlier frame while holding a shard that
+    /// task's quorum needs, a deadlock.  Serving an earlier one is always
+    /// safe: every frame above is blocked on a later task and has therefore
+    /// already voted on everything earlier it owns.
+    seq: AtomicU64,
+}
+
+impl PoolCtl {
+    fn slot(&self, shard: usize) -> Option<Arc<ShardSlot>> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner()).get(shard).cloned()
+    }
+
+    fn slot_snapshot(&self) -> Vec<Arc<ShardSlot>> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// What a worker's visit to one shard slot accomplished.
+enum SliceOutcome {
+    /// At least one task was served (or the shard was suspended mid-pause).
+    Progressed,
+    /// The slot was checked out but its queue was empty.
+    Idle,
+    /// The slot was unavailable: busy in another frame, suspended, or not
+    /// on the bench yet.
+    Skip,
+    /// The shard is done (stop marker, disconnect, or already finished).
+    Finished,
+}
+
+/// Result of taking a shard state off the bench.
+enum Checkout {
+    /// The state plus the carried pushback buffer and divert watermark.
+    State(Box<ShardState>, Option<Task>, u64),
+    Skip,
+    Done,
+}
+
+fn checkout(slot: &ShardSlot) -> Checkout {
+    let mut serve = lock(&slot.serve);
+    match &mut serve.phase {
+        SlotPhase::Busy => Checkout::Skip,
+        SlotPhase::Done => Checkout::Done,
+        SlotPhase::Suspended(rx) => match rx.try_recv() {
+            Ok(st) => {
+                serve.phase = SlotPhase::Busy;
+                Checkout::State(Box::new(st), serve.pushback.take(), serve.divert_below)
+            }
+            Err(TryRecvError::Empty) => Checkout::Skip,
+            Err(TryRecvError::Disconnected) => {
+                panic!("migration coordinator always returns the shard state")
+            }
+        },
+        SlotPhase::Live(_) => {
+            let SlotPhase::Live(st) = std::mem::replace(&mut serve.phase, SlotPhase::Busy) else {
+                unreachable!("matched Live above")
+            };
+            Checkout::State(st, serve.pushback.take(), serve.divert_below)
+        }
+    }
+}
+
+fn checkin(slot: &ShardSlot, st: Box<ShardState>, pushback: Option<Task>, divert_below: u64) {
+    let mut serve = lock(&slot.serve);
+    serve.phase = SlotPhase::Live(st);
+    serve.pushback = pushback;
+    serve.divert_below = divert_below;
+}
+
+/// Parks a finished shard's state for [`ManagerRuntime::shutdown`] and
+/// retires the slot.  The last shard to finish wakes every worker so they
+/// observe `live == 0` and exit.
+fn finish_slot(pool: &PoolCtl, slot: &ShardSlot, st: Box<ShardState>) {
+    {
+        let mut serve = lock(&slot.serve);
+        serve.phase = SlotPhase::Done;
+        serve.pushback = None;
+    }
+    lock(&pool.finished).push(*st);
+    if pool.core.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        pool.core.wake_all();
+    }
+}
+
 /// Appends one statistics-only event to the meta stream — the journal of
 /// counter bumps that have no deterministic owner shard (inline denials,
 /// cross-shard decision counters, notification fan-outs).  Skips zero
@@ -906,6 +1216,9 @@ enum Op {
 struct CrossTask {
     /// The topology epoch the submission was routed under.
     epoch: u64,
+    /// Global rendezvous sequence ([`PoolCtl::seq`]) — the help-while-
+    /// waiting ordering bound.
+    seq: u64,
     owners: Vec<usize>,
     op: CrossOp,
     sync: Mutex<CrossSync>,
@@ -971,6 +1284,9 @@ enum CrossOp {
 struct ExecTask {
     /// The topology epoch the submission was routed under.
     epoch: u64,
+    /// Global rendezvous sequence ([`PoolCtl::seq`]) — the help-while-
+    /// waiting ordering bound.
+    seq: u64,
     owners: Vec<usize>,
     // The client is not part of a combined execute's semantics (exactly as
     // in the blocking manager, which ignores it on this path).
@@ -1157,8 +1473,12 @@ pub struct ManagerRuntime {
     /// The live (epoch-versioned) partition; the mutex also serializes
     /// repartitions — at most one migration is in flight at a time.
     partition: Mutex<Partition>,
-    workers: Mutex<Vec<JoinHandle<ShardState>>>,
-    ticker: Mutex<Option<JoinHandle<()>>>,
+    /// The pool worker threads (final shard states are harvested through
+    /// `shared.pool.finished`, not the join handles).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Service threads: the wall-clock ticker and/or the rebalancer, both
+    /// stopped by `ticker_stop`.
+    ticker: Mutex<Vec<JoinHandle<()>>>,
     ticker_stop: Arc<AtomicBool>,
 }
 
@@ -1288,6 +1608,7 @@ fn recover_runtime(
             next_reservation: 1,
             cross: Vec::new(),
             orphans: Vec::new(),
+            placement: Vec::new(),
         },
     };
 
@@ -1598,7 +1919,8 @@ fn recover_runtime(
         }
         if reservation.expires_at != u64::MAX {
             let at = reservation.expires_at.max(clock + 1);
-            timers.schedule(at, ExpiryEvent { id: *rid, owners: owners.clone() });
+            timers
+                .schedule(at, TimerEvent::Expiry(ExpiryEvent { id: *rid, owners: owners.clone() }));
         }
         reservation_index.insert(*rid, owners);
     }
@@ -1626,6 +1948,7 @@ fn recover_runtime(
         cross_subscriptions,
         orphan_subscriptions,
         queue_pending,
+        placement: manifest.placement,
     };
     hub.vault().sync();
     spawn_runtime(&expr, partition, options, Some(hub), seeds, globals)
@@ -1650,10 +1973,14 @@ struct RecoveredGlobals {
     next_reservation: u64,
     stats: ManagerStats,
     reservation_index: HashMap<u64, Vec<usize>>,
-    timers: TimerWheel<ExpiryEvent>,
+    timers: TimerWheel<TimerEvent>,
     cross_subscriptions: CrossSubscriptions,
     orphan_subscriptions: SubscriptionRegistry,
     queue_pending: VecDeque<SubmissionRecord>,
+    /// The checkpointed placement table (`placement[shard]` = worker), so a
+    /// hot shard isolated before the crash stays isolated after it.  Empty
+    /// or malformed tables fall back to round-robin at spawn.
+    placement: Vec<usize>,
 }
 
 impl Default for RecoveredGlobals {
@@ -1668,6 +1995,7 @@ impl Default for RecoveredGlobals {
             cross_subscriptions: CrossSubscriptions::default(),
             orphan_subscriptions: SubscriptionRegistry::new(),
             queue_pending: VecDeque::new(),
+            placement: Vec::new(),
         }
     }
 }
@@ -1726,11 +2054,63 @@ fn spawn_runtime(
     let gates: Vec<Arc<ShardGate>> = (0..senders.len())
         .map(|_| Arc::new(ShardGate::new(options.queue_limit, options.shed)))
         .collect();
+
+    // ---- The worker pool: size, placement, and the slot bench. ----
+    let workers_n = match options.worker_threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    let shards_n = seeds.len();
+    // Recovery seeds placement (a hot shard isolated before a crash stays
+    // isolated after it); anything malformed falls back to round-robin.
+    let placement: Vec<usize> = if globals.placement.len() == shards_n
+        && globals.placement.iter().all(|&w| w < workers_n)
+    {
+        globals.placement.clone()
+    } else {
+        (0..shards_n).map(|s| s % workers_n).collect()
+    };
+    let cells: Vec<Arc<ShardSlot>> = seeds
+        .into_iter()
+        .zip(receivers)
+        .zip(gates.iter())
+        .enumerate()
+        .map(|(id, ((seed, rx), gate))| {
+            let state = ShardState {
+                id,
+                engine: seed.engine,
+                reservations: seed.reservations,
+                subscriptions: seed.subscriptions,
+                log: seed.log,
+                epoch: seed.epoch,
+                wal: hub.clone(),
+                stat_base: seed.stat_base,
+            };
+            Arc::new(ShardSlot {
+                rx,
+                gate: Arc::clone(gate),
+                serve: Mutex::new(SlotServe {
+                    phase: SlotPhase::Live(Box::new(state)),
+                    pushback: None,
+                    divert_below: 0,
+                }),
+            })
+        })
+        .collect();
+    let pool = Arc::new(PoolCtl {
+        core: PoolCore::new(workers_n, placement),
+        slots: RwLock::new(cells),
+        rebalance: Mutex::new(RebalanceState::default()),
+        finished: Mutex::new(Vec::new()),
+        seq: AtomicU64::new(0),
+    });
+
     let topology = Arc::new(RwLock::new(Arc::new(Topology {
         router: ShardRouter::with_epoch(alphabets, epoch),
         queues: senders,
         gates: gates.clone(),
         bounded: options.queue_limit > 0,
+        pool: Arc::clone(&pool),
         expr: expr.clone(),
         alphabet: expr.alphabet(),
     })));
@@ -1770,48 +2150,61 @@ fn spawn_runtime(
         queue_samples: Mutex::new(Vec::new()),
         queue_limit: options.queue_limit,
         shed: options.shed,
+        pool: Arc::clone(&pool),
+        checkpoint_every: options.checkpoint_every,
+        auto_checkpoints: AtomicU64::new(0),
     });
-    let mut workers = Vec::with_capacity(seeds.len());
-    for (id, (seed, rx)) in seeds.into_iter().zip(receivers).enumerate() {
-        let state = ShardState {
-            id,
-            engine: seed.engine,
-            reservations: seed.reservations,
-            subscriptions: seed.subscriptions,
-            log: seed.log,
-            epoch: seed.epoch,
-            wal: hub.clone(),
-            stat_base: seed.stat_base,
-        };
-        // Conditional-vote verification reads the published fingerprint, so
-        // recovered reservation tables must be visible before the worker
-        // serves its first task.
-        publish_reservation_fp(&shared, &state);
+    // Conditional-vote verification reads the published fingerprints, so
+    // recovered reservation tables must be visible before any worker serves
+    // its first task.
+    for cell in pool.slot_snapshot() {
+        if let SlotPhase::Live(state) = &lock(&cell.serve).phase {
+            publish_reservation_fp(&shared, state);
+        }
+    }
+    // Arm the periodic checkpoint timer (durable runtimes only — a
+    // checkpoint without a vault has nowhere to go).
+    if options.checkpoint_every > 0 && shared.durability.is_some() {
+        let now = shared.clock.load(Ordering::Relaxed);
+        lock(&shared.timers).schedule(now + options.checkpoint_every, TimerEvent::Checkpoint);
+    }
+    let mut workers = Vec::with_capacity(workers_n);
+    for me in 0..workers_n {
         let shared = Arc::clone(&shared);
-        let gate = Arc::clone(&gates[id]);
-        workers.push(std::thread::spawn(move || worker(shared, rx, state, gate)));
+        workers.push(std::thread::spawn(move || pool_worker(shared, me)));
     }
     let ticker_stop = Arc::new(AtomicBool::new(false));
-    let ticker = match options.clock {
-        ClockMode::Virtual => None,
-        ClockMode::Wall { tick } => {
-            let shared = Arc::clone(&shared);
-            let topology = Arc::clone(&topology);
-            let stop = Arc::clone(&ticker_stop);
-            Some(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(tick);
-                    advance_clock(&shared, &topology, 1);
+    let mut service = Vec::new();
+    if let ClockMode::Wall { tick } = options.clock {
+        let shared = Arc::clone(&shared);
+        let topology = Arc::clone(&topology);
+        let stop = Arc::clone(&ticker_stop);
+        service.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                advance_clock(&shared, &topology, 1);
+            }
+        }));
+    }
+    if let Some(every) = options.rebalance_every {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&ticker_stop);
+        service.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(every);
+                if stop.load(Ordering::Relaxed) {
+                    break;
                 }
-            }))
-        }
-    };
+                rebalance_pass(&shared);
+            }
+        }));
+    }
     Ok(ManagerRuntime {
         shared,
         topology,
         partition: Mutex::new(partition),
         workers: Mutex::new(workers),
-        ticker: Mutex::new(ticker),
+        ticker: Mutex::new(service),
         ticker_stop,
     })
 }
@@ -1972,6 +2365,44 @@ impl ManagerRuntime {
         }
     }
 
+    /// Scheduling counters of the worker pool: pool size, the current
+    /// placement table, and what the rebalancer has done so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        let core = &self.shared.pool.core;
+        let last = core.last_isolated.load(Ordering::Relaxed);
+        SchedStats {
+            workers: core.workers(),
+            placement: core.placement(),
+            rebalances: core.rebalances.load(Ordering::Relaxed),
+            last_isolated: (last != usize::MAX).then_some(last),
+            auto_checkpoints: self.shared.auto_checkpoints.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one rebalancer sampling pass right now (the same pass
+    /// [`RuntimeOptions::rebalance_every`] runs on a timer): fold current
+    /// backlogs into the EWMAs and isolate the hottest shard if it has been
+    /// sustained-hot for three consecutive passes.  Returns whether an
+    /// isolation happened.
+    pub fn rebalance_now(&self) -> bool {
+        rebalance_pass(&self.shared)
+    }
+
+    /// Moves `shard` onto `worker` in the placement table — the manual
+    /// override behind the rebalancer (operational pinning, tests).  The
+    /// move is purely a table write: the shard's queue and state stay put,
+    /// the old owner finishes any slice in progress, and the new owner
+    /// picks the slot up on its next pass.  Returns false if either index
+    /// is out of range.
+    pub fn place_shard(&self, shard: usize, worker: usize) -> bool {
+        let core = &self.shared.pool.core;
+        if worker >= core.workers() || shard >= core.placement().len() {
+            return false;
+        }
+        core.assign(shard, worker);
+        true
+    }
+
     /// Counters of the repartitioning machinery.  Test suites use
     /// `migrated_shard_states` to assert that disjoint additions migrate
     /// nothing.
@@ -2023,10 +2454,15 @@ impl ManagerRuntime {
         let tickets: Vec<Ticket<ShardSnapshot>> = topo
             .queues
             .iter()
-            .map(|q| {
+            .enumerate()
+            .map(|(shard, q)| {
                 let (issuer, t) = ticket();
-                if let Err(SendError(Task::Snapshot(issuer))) = q.send(Task::Snapshot(issuer)) {
-                    issuer.complete(ShardSnapshot::default());
+                match q.send(Task::Snapshot(issuer)) {
+                    Ok(()) => topo.pool.core.wake_shard(shard),
+                    Err(SendError(Task::Snapshot(issuer))) => {
+                        issuer.complete(ShardSnapshot::default())
+                    }
+                    Err(_) => unreachable!("send returns the task it was given"),
                 }
                 t
             })
@@ -2044,10 +2480,13 @@ impl ManagerRuntime {
         let tickets: Vec<Ticket<TierStats>> = topo
             .queues
             .iter()
-            .map(|q| {
+            .enumerate()
+            .map(|(shard, q)| {
                 let (issuer, t) = ticket();
-                if let Err(SendError(Task::Compile(issuer))) = q.send(Task::Compile(issuer)) {
-                    issuer.complete(TierStats::default());
+                match q.send(Task::Compile(issuer)) {
+                    Ok(()) => topo.pool.core.wake_shard(shard),
+                    Err(SendError(Task::Compile(issuer))) => issuer.complete(TierStats::default()),
+                    Err(_) => unreachable!("send returns the task it was given"),
                 }
                 t
             })
@@ -2176,13 +2615,14 @@ impl ManagerRuntime {
                     let (resume_tx, resume_rx) = unbounded();
                     if topo.queues[s].send(Task::Pause(PauseTask { state_tx, resume_rx })).is_err()
                     {
-                        // Worker gone (runtime tearing down concurrently).
+                        // Shard gone (runtime tearing down concurrently).
                         // The migration must not proceed with a partially
                         // quiesced set; abort after resuming whoever did
                         // pause.
                         barrier_failed = true;
                         break;
                     }
+                    topo.pool.core.wake_shard(s);
                     waits.push((s, state_rx, resume_tx));
                 }
             }
@@ -2193,7 +2633,7 @@ impl ManagerRuntime {
                 }
             }
             if barrier_failed {
-                resume_paused(paused);
+                resume_paused(&shared.pool, paused);
                 return Err(ManagerError::Disconnected);
             }
 
@@ -2209,7 +2649,7 @@ impl ManagerRuntime {
                 for (key, action) in entries.iter().filter(|(_, a)| alphabet.covers(a)) {
                     if !engine.try_execute(action) {
                         let action = action.to_string();
-                        resume_paused(paused);
+                        resume_paused(&shared.pool, paused);
                         return Err(ManagerError::IncompatibleExtension { action });
                     }
                     replayed += 1;
@@ -2364,11 +2804,15 @@ impl ManagerRuntime {
             flips.extend(registry.refresh(|a| engine.is_permitted(a)));
         }
 
-        // ---- Assemble and spawn the new shards.
+        // ---- Assemble the new shards: slot cells on the bench plus
+        // placement-table entries.  No threads spawn — the pool workers the
+        // placement names pick the new shards up on their next pass.  The
+        // slots register *before* the topology installs, so no enqueue can
+        // ever race a missing slot.
         let mut new_senders = Vec::with_capacity(new_engines.len());
         let mut new_gates = Vec::with_capacity(new_engines.len());
         {
-            let mut workers = lock(&self.workers);
+            let pool = &shared.pool;
             for (i, (idx, engine, _)) in new_engines.into_iter().enumerate() {
                 let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
                 new_senders.push(tx);
@@ -2397,8 +2841,21 @@ impl ManagerRuntime {
                         &durability::encode_shard_checkpoint(&cap),
                     );
                 }
-                let shared = Arc::clone(shared);
-                workers.push(std::thread::spawn(move || worker(shared, rx, state, gate)));
+                let cell = Arc::new(ShardSlot {
+                    rx,
+                    gate,
+                    serve: Mutex::new(SlotServe {
+                        phase: SlotPhase::Live(Box::new(state)),
+                        pushback: None,
+                        divert_below: 0,
+                    }),
+                });
+                {
+                    let mut slots = pool.slots.write().unwrap_or_else(|e| e.into_inner());
+                    debug_assert_eq!(slots.len(), idx, "new shard slots register in id order");
+                    slots.push(cell);
+                }
+                pool.core.push_shard(idx % pool.core.workers());
             }
         }
 
@@ -2417,6 +2874,7 @@ impl ManagerRuntime {
             queues,
             gates,
             bounded: shared.queue_limit > 0,
+            pool: Arc::clone(&topo.pool),
             expr: joined_expr.clone(),
             alphabet: topo.alphabet.union(&constraint.alphabet()),
         });
@@ -2463,7 +2921,7 @@ impl ManagerRuntime {
             }
             hub.vault().sync();
         }
-        resume_paused(paused);
+        resume_paused(&shared.pool, paused);
         let repart = &shared.repart;
         repart.repartitions.fetch_add(1, Ordering::Relaxed);
         repart.migrated_shard_states.fetch_add(migrated_shards.len() as u64, Ordering::Relaxed);
@@ -2559,80 +3017,7 @@ impl ManagerRuntime {
     /// written before any stream is truncated, and a crash between the two
     /// merely replays a longer tail.
     pub fn checkpoint(&self) -> ManagerResult<CheckpointReport> {
-        let hub = self
-            .shared
-            .durability
-            .as_ref()
-            .ok_or_else(|| durability_err("checkpoint requires a runtime with a vault"))?;
-        let topo = read_topology(&self.topology);
-        let mut pending = Vec::with_capacity(topo.queues.len());
-        for queue in topo.queues.iter() {
-            let (issuer, t) = ticket();
-            if queue.send(Task::Checkpoint(issuer)).is_ok() {
-                pending.push(t);
-            }
-        }
-        let shards = pending.len();
-        let mut captures: Vec<ShardCapture> =
-            pending.into_iter().filter_map(|t| t.wait()).collect();
-        captures.sort_by_key(|c| c.shard);
-        let mut bytes = 0u64;
-        for cap in &captures {
-            let blob = durability::encode_shard_checkpoint(cap);
-            bytes += blob.len() as u64;
-            hub.vault().save_blob(&durability::snap_blob(cap.shard), &blob);
-        }
-        // Fold the covered meta-stream prefix into the manifest's statistics
-        // base.  Records racing in *after* the captured length keep an index
-        // >= `meta_len`, survive the truncation, and replay as tail — the
-        // event deltas are order-independent, so the cut is race-free.
-        let previous = match hub.vault().load_blob(durability::MANIFEST_BLOB) {
-            Some(blob) => Some(durability::decode_manifest(&blob)?),
-            None => None,
-        };
-        let (mut meta_base, old_covered) =
-            previous.map_or((StatDelta::ZERO, 0), |m| (m.meta_base, m.meta_covered));
-        let meta_len = hub.vault().stream_len(META_STREAM);
-        let mut clock = self.shared.clock.load(Ordering::Relaxed);
-        for (index, payload) in hub.vault().read_from(META_STREAM, old_covered) {
-            if index >= meta_len {
-                break;
-            }
-            let record =
-                WalRecord::decode(&payload).map_err(|e| durability::codec_err("meta record", e))?;
-            if let WalRecord::Clock { now } = record {
-                clock = clock.max(now);
-            }
-            meta_base.add(&record.delta());
-        }
-        let manifest = Manifest {
-            clock,
-            meta_covered: meta_len,
-            meta_base,
-            log_seq: self.shared.log_seq.load(Ordering::Relaxed),
-            next_reservation: self.shared.next_reservation.load(Ordering::Relaxed),
-            cross: export_cross(&lock(&self.shared.cross_subscriptions)),
-            orphans: lock(&self.shared.orphan_subscriptions).export(),
-        };
-        hub.vault().save_blob(durability::MANIFEST_BLOB, &durability::encode_manifest(&manifest));
-        // Queue checkpoint under the journal lock: the backend appends
-        // before the in-memory push, so pending list and stream length are
-        // consistent exactly while the lock is held.
-        if let Some(durable) = &self.shared.durable {
-            let journal = lock(durable);
-            let covered = hub.vault().stream_len(QUEUE_STREAM);
-            let cp = QueueCheckpoint { covered, pending: journal.pending() };
-            hub.vault()
-                .save_blob(durability::QUEUE_BLOB, &durability::encode_queue_checkpoint(&cp));
-            drop(journal);
-            hub.vault().truncate(QUEUE_STREAM, covered);
-        }
-        for cap in &captures {
-            hub.vault().truncate(DurabilityHub::shard_stream(cap.shard), cap.covered);
-        }
-        hub.vault().truncate(META_STREAM, meta_len);
-        hub.vault().sync();
-        Ok(CheckpointReport { shards, captured: captures.len(), bytes })
+        run_checkpoint(&self.shared, &self.topology)
     }
 
     /// Rebuilds a runtime from a vault: loads the persisted topology, the
@@ -2676,7 +3061,7 @@ impl ManagerRuntime {
     /// sessions before shutting down (`wait_timeout`/`poll` never panic).
     pub fn shutdown(self) -> ManagerResult<RuntimeReport> {
         self.ticker_stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = lock(&self.ticker).take() {
+        for handle in std::mem::take(&mut *lock(&self.ticker)) {
             let _ = handle.join();
         }
         {
@@ -2690,12 +3075,22 @@ impl ManagerRuntime {
             for q in topo.queues.iter() {
                 let _ = q.send(Task::Stop);
             }
+            topo.pool.core.wake_all();
         }
         let workers = std::mem::take(&mut *lock(&self.workers));
+        for handle in workers {
+            handle.join().map_err(|_| ManagerError::Disconnected)?;
+        }
+        // The slot cells keep the queue receivers alive past the workers
+        // that served them, so a dropped-worker disconnect never happens on
+        // its own: close each queue explicitly so surviving sessions get
+        // their submissions failed inline instead of enqueued for nobody.
+        for slot in self.shared.pool.slot_snapshot() {
+            slot.rx.close();
+        }
         let mut entries: Vec<(LogKey, Action)> = Vec::new();
         let mut shards = 0usize;
-        for handle in workers {
-            let state = handle.join().map_err(|_| ManagerError::Disconnected)?;
+        for state in lock(&self.shared.pool.finished).drain(..) {
             entries.extend(state.log);
             shards += 1;
         }
@@ -2711,11 +3106,13 @@ impl ManagerRuntime {
 
 impl Drop for ManagerRuntime {
     /// Dropping without [`ManagerRuntime::shutdown`] must not leak threads:
-    /// stopping the ticker releases its clones of the queue senders, so
-    /// once the sessions are gone too the channels disconnect and every
-    /// worker exits.  (The ticker itself exits within one `tick`.)
+    /// stopping the service threads releases their clones of the queue
+    /// senders, so once the sessions are gone too the channels disconnect
+    /// and every pool worker retires its shards and exits — a parked worker
+    /// re-polls within [`IDLE_PARK`], the wake below just shortens that.
     fn drop(&mut self) {
         self.ticker_stop.store(true, Ordering::Relaxed);
+        self.shared.pool.core.wake_all();
     }
 }
 
@@ -3227,8 +3624,12 @@ fn enqueue_single(
     }
     let task =
         Task::Single(SingleTask { epoch: topo.epoch(), client, op, ticket: issuer, submitted });
-    if let Err(SendError(Task::Single(task))) = topo.queues[shard].send(task) {
-        task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
+    match topo.queues[shard].send(task) {
+        Ok(()) => topo.pool.core.wake_shard(shard),
+        Err(SendError(Task::Single(task))) => {
+            task.ticket.complete(Completion::Failed { error: ManagerError::Disconnected });
+        }
+        Err(_) => unreachable!("send returns the task it was given"),
     }
 }
 
@@ -3259,8 +3660,9 @@ fn flush_run(topo: &Topology, shard: usize, run: &mut Vec<SingleTask>) {
     } else {
         Task::Batch(std::mem::take(run))
     };
-    if let Err(SendError(task)) = topo.queues[shard].send(task) {
-        fail_task(task);
+    match topo.queues[shard].send(task) {
+        Ok(()) => topo.pool.core.wake_shard(shard),
+        Err(SendError(task)) => fail_task(task),
     }
     run.clear();
 }
@@ -3286,6 +3688,7 @@ fn enqueue_exec(
     let n = owners.len();
     let task = Arc::new(ExecTask {
         epoch: topo.epoch(),
+        seq: topo.pool.seq.fetch_add(1, Ordering::Relaxed) + 1,
         owners,
         action,
         submitted,
@@ -3310,6 +3713,7 @@ fn enqueue_exec(
             failed = true;
             break;
         }
+        topo.pool.core.wake_shard(owner);
     }
     if failed {
         // Queues only disconnect when the runtime is gone; nobody will ever
@@ -3338,6 +3742,7 @@ fn enqueue_cross(
     let n = owners.len();
     let task = Arc::new(CrossTask {
         epoch: topo.epoch(),
+        seq: topo.pool.seq.fetch_add(1, Ordering::Relaxed) + 1,
         owners,
         op,
         sync: Mutex::new(CrossSync {
@@ -3362,6 +3767,7 @@ fn enqueue_cross(
             failed = true;
             break;
         }
+        topo.pool.core.wake_shard(owner);
     }
     if failed {
         if let Some(issuer) = lock(&task.sync).ticket.take() {
@@ -3388,10 +3794,175 @@ fn dispatch_cross(
 /// Hands every quiesced shard state back to its worker (used on both the
 /// success and the abort path of a migration — a paused worker is always
 /// resumed).
-fn resume_paused(paused: Vec<(usize, ShardState, Sender<ShardState>)>) {
+fn resume_paused(pool: &PoolCtl, paused: Vec<(usize, ShardState, Sender<ShardState>)>) {
     for (_, state, resume_tx) in paused {
         let _ = resume_tx.send(state);
     }
+    // A Suspended slot is polled on its owning worker's next visit; make
+    // that visit happen now.
+    pool.core.wake_all();
+}
+
+/// The checkpoint cut ([`ManagerRuntime::checkpoint`]); also invoked by the
+/// timer wheel when [`RuntimeOptions::checkpoint_every`] arms the periodic
+/// entry, which is why it is a free function over the shared block rather
+/// than a method on the runtime handle.
+fn run_checkpoint(
+    shared: &Arc<RuntimeShared>,
+    slot: &TopologySlot,
+) -> ManagerResult<CheckpointReport> {
+    let hub = shared
+        .durability
+        .as_ref()
+        .ok_or_else(|| durability_err("checkpoint requires a runtime with a vault"))?;
+    let topo = read_topology(slot);
+    let mut pending = Vec::with_capacity(topo.queues.len());
+    for (shard, queue) in topo.queues.iter().enumerate() {
+        let (issuer, t) = ticket();
+        if queue.send(Task::Checkpoint(issuer)).is_ok() {
+            topo.pool.core.wake_shard(shard);
+            pending.push(t);
+        }
+    }
+    let shards = pending.len();
+    let mut captures: Vec<ShardCapture> = pending.into_iter().filter_map(|t| t.wait()).collect();
+    captures.sort_by_key(|c| c.shard);
+    let mut bytes = 0u64;
+    for cap in &captures {
+        let blob = durability::encode_shard_checkpoint(cap);
+        bytes += blob.len() as u64;
+        hub.vault().save_blob(&durability::snap_blob(cap.shard), &blob);
+    }
+    // Fold the covered meta-stream prefix into the manifest's statistics
+    // base.  Records racing in *after* the captured length keep an index
+    // >= `meta_len`, survive the truncation, and replay as tail — the
+    // event deltas are order-independent, so the cut is race-free.
+    let previous = match hub.vault().load_blob(durability::MANIFEST_BLOB) {
+        Some(blob) => Some(durability::decode_manifest(&blob)?),
+        None => None,
+    };
+    let (mut meta_base, old_covered) =
+        previous.map_or((StatDelta::ZERO, 0), |m| (m.meta_base, m.meta_covered));
+    let meta_len = hub.vault().stream_len(META_STREAM);
+    let mut clock = shared.clock.load(Ordering::Relaxed);
+    for (index, payload) in hub.vault().read_from(META_STREAM, old_covered) {
+        if index >= meta_len {
+            break;
+        }
+        let record =
+            WalRecord::decode(&payload).map_err(|e| durability::codec_err("meta record", e))?;
+        if let WalRecord::Clock { now } = record {
+            clock = clock.max(now);
+        }
+        meta_base.add(&record.delta());
+    }
+    let manifest = Manifest {
+        clock,
+        meta_covered: meta_len,
+        meta_base,
+        log_seq: shared.log_seq.load(Ordering::Relaxed),
+        next_reservation: shared.next_reservation.load(Ordering::Relaxed),
+        cross: export_cross(&lock(&shared.cross_subscriptions)),
+        orphans: lock(&shared.orphan_subscriptions).export(),
+        placement: shared.pool.core.placement(),
+    };
+    hub.vault().save_blob(durability::MANIFEST_BLOB, &durability::encode_manifest(&manifest));
+    // Queue checkpoint under the journal lock: the backend appends
+    // before the in-memory push, so pending list and stream length are
+    // consistent exactly while the lock is held.
+    if let Some(durable) = &shared.durable {
+        let journal = lock(durable);
+        let covered = hub.vault().stream_len(QUEUE_STREAM);
+        let cp = QueueCheckpoint { covered, pending: journal.pending() };
+        hub.vault().save_blob(durability::QUEUE_BLOB, &durability::encode_queue_checkpoint(&cp));
+        drop(journal);
+        hub.vault().truncate(QUEUE_STREAM, covered);
+    }
+    for cap in &captures {
+        hub.vault().truncate(DurabilityHub::shard_stream(cap.shard), cap.covered);
+    }
+    hub.vault().truncate(META_STREAM, meta_len);
+    hub.vault().sync();
+    Ok(CheckpointReport { shards, captured: captures.len(), bytes })
+}
+
+/// One pass of the hot-shard rebalancer: sample every shard's backlog into
+/// the EWMA table and, when the hottest shard has run at ≥ 2× the mean for
+/// three consecutive passes, isolate it onto its own worker.  Returns
+/// whether an isolation happened.
+fn rebalance_pass(shared: &RuntimeShared) -> bool {
+    let pool = &shared.pool;
+    let slots = pool.slot_snapshot();
+    if slots.len() < 2 || pool.core.workers() < 2 {
+        return false;
+    }
+    let mut rb = lock(&pool.rebalance);
+    rb.ewma.resize(slots.len(), 0);
+    for (i, slot) in slots.iter().enumerate() {
+        // The backlog signal: admitted queue units when the gate is
+        // bounded, raw channel length otherwise — whichever is larger.
+        let depth = slot.gate.queued_depth().max(slot.rx.len()) as u64;
+        let e = rb.ewma[i];
+        rb.ewma[i] = e - e / 4 + depth * 4;
+    }
+    let (hot, hot_ewma) =
+        rb.ewma.iter().copied().enumerate().max_by_key(|&(_, e)| e).expect("at least two shards");
+    let mean = rb.ewma.iter().sum::<u64>() / rb.ewma.len() as u64;
+    // Sustained-hot test: a real backlog (≥ 2 tasks smoothed) running at
+    // twice the fleet mean.
+    if hot_ewma < 2 * 16 || hot_ewma < mean.saturating_mul(2) {
+        rb.streak = 0;
+        return false;
+    }
+    if rb.candidate != hot {
+        rb.candidate = hot;
+        rb.streak = 0;
+    }
+    rb.streak += 1;
+    if rb.streak < 3 {
+        return false;
+    }
+    rb.streak = 0;
+    drop(rb);
+    isolate_shard(pool, hot)
+}
+
+/// Isolates `hot` onto its own worker by moving every co-located shard to
+/// the *other* workers, round-robin.  The hot shard itself never moves —
+/// its queue, gate, and slot stay put, so the migration is a placement-
+/// table write plus wakeups: no history replay, no epoch bump, no task ever
+/// in flight between workers (exclusivity lives in the slot phase, not the
+/// table).  Returns whether any shard actually moved.
+fn isolate_shard(pool: &PoolCtl, hot: usize) -> bool {
+    let placement = pool.core.placement();
+    let workers = pool.core.workers();
+    if workers < 2 {
+        return false;
+    }
+    let Some(&hot_worker) = placement.get(hot) else { return false };
+    let siblings: Vec<usize> = placement
+        .iter()
+        .enumerate()
+        .filter(|&(s, &w)| w == hot_worker && s != hot)
+        .map(|(s, _)| s)
+        .collect();
+    if siblings.is_empty() {
+        // Already isolated.
+        pool.core.last_isolated.store(hot, Ordering::Relaxed);
+        return false;
+    }
+    let mut target = (hot_worker + 1) % workers;
+    for s in siblings {
+        pool.core.assign(s, target);
+        target = (target + 1) % workers;
+        if target == hot_worker {
+            target = (target + 1) % workers;
+        }
+    }
+    pool.core.rebalances.fetch_add(1, Ordering::Relaxed);
+    pool.core.last_isolated.store(hot, Ordering::Relaxed);
+    pool.core.wake_all();
+    true
 }
 
 /// Installs a promoted (previously shard-local) subscription as a
@@ -3450,13 +4021,23 @@ fn advance_clock(shared: &Arc<RuntimeShared>, slot: &TopologySlot, delta: u64) -
         hub.log_meta(&WalRecord::Clock { now });
     }
     let events = lock(&shared.timers).advance(now);
+    let mut checkpoint_due = false;
     let tickets: Vec<Ticket<Completion>> = events
         .into_iter()
-        .map(|event| {
+        .filter_map(|event| {
+            let event = match event {
+                TimerEvent::Expiry(event) => event,
+                TimerEvent::Checkpoint => {
+                    // Coalesce however many periods `delta` skipped over
+                    // into one cut, taken after the expiries dispatch.
+                    checkpoint_due = true;
+                    return None;
+                }
+            };
             let owners =
                 lock(&shared.reservation_index).get(&event.id).cloned().unwrap_or(event.owners);
             let topo = covering_topology(slot, &owners);
-            match owners.as_slice() {
+            Some(match owners.as_slice() {
                 [shard] => dispatch_single(
                     shared,
                     &topo,
@@ -3472,27 +4053,37 @@ fn advance_clock(shared: &Arc<RuntimeShared>, slot: &TopologySlot, delta: u64) -
                     CrossOp::Expire { id: event.id, now },
                     Credit::Charge,
                 ),
-            }
+            })
         })
         .collect();
-    tickets
+    let expired = tickets
         .into_iter()
         .filter_map(|t| match t.wait() {
             Completion::Expired { reservation } => reservation,
             _ => None,
         })
-        .collect()
+        .collect();
+    if checkpoint_due {
+        // Re-arm first: a failed cut (e.g. vault error) must not disarm the
+        // period.  The caller is the ticker or a session advancing virtual
+        // time — never a pool worker — so waiting on the capture tickets
+        // inside run_checkpoint cannot self-deadlock.
+        lock(&shared.timers).schedule(now + shared.checkpoint_every, TimerEvent::Checkpoint);
+        if run_checkpoint(shared, slot).is_ok() {
+            shared.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    expired
 }
 
 // ---------------------------------------------------------------------------
-// The worker: one per shard, exclusive owner of the shard state.
+// The worker: one pool thread serving the shard slots placement assigns it.
 // ---------------------------------------------------------------------------
 
-/// True on hosts with a single hardware thread (cached).  Two worker
-/// policies flip there: spinning is pure loss (the producer cannot run
-/// while the consumer burns the core), and ticket wakeups are deferred and
-/// flushed in batches so a client/worker pair context-switches per drained
-/// queue instead of per completion.
+/// True on hosts with a single hardware thread (cached).  One worker policy
+/// flips there: ticket wakeups are deferred and flushed in batches so a
+/// client/worker pair context-switches per drained queue instead of per
+/// completion.
 fn single_core() -> bool {
     static CORES: AtomicU64 = AtomicU64::new(0);
     let cached = CORES.load(Ordering::Relaxed);
@@ -3504,16 +4095,21 @@ fn single_core() -> bool {
     parallelism == 1
 }
 
-/// How many empty polls a worker performs before parking in `recv`.  A hot
-/// queue never parks (no futex round trip per task); an idle one costs a few
-/// hundred spins before sleeping.
-fn worker_spin() -> u32 {
-    if single_core() {
-        0
-    } else {
-        256
-    }
-}
+/// Tasks a worker serves from one shard before moving to the next — the
+/// bounded run-to-completion slice that keeps a hot shard from starving its
+/// co-located siblings.
+const SLICE_BUDGET: usize = 128;
+
+/// How long a rendezvous waiter parks between help attempts.  A vote
+/// deposit wakes the barrier immediately; the timeout only bounds how long
+/// a worker can miss *new enqueues* on its other shards while it waits
+/// (those wake the worker parker, not the barrier).
+const HELP_PARK: Duration = Duration::from_micros(200);
+
+/// Idle-worker park backstop.  Wakeups route through the placement table;
+/// events that bypass it (a queue disconnecting on runtime drop, a
+/// placement write racing a park) are caught by this periodic re-poll.
+const IDLE_PARK: Duration = Duration::from_millis(10);
 
 /// Per-drain context a shard worker threads through its task processing:
 /// the deferred ticket-wakeup batch (single-core hosts) plus, when enabled,
@@ -3597,88 +4193,168 @@ fn fulfil(ticket: TicketIssuer<Completion>, value: Completion, cx: &mut WorkerCt
     }
 }
 
-fn next_task(rx: &Receiver<Task>) -> Result<Task, crossbeam::channel::RecvError> {
-    for i in 0..worker_spin() {
-        match rx.try_recv() {
-            Ok(task) => return Ok(task),
-            Err(TryRecvError::Disconnected) => return Err(crossbeam::channel::RecvError),
-            Err(TryRecvError::Empty) => {
-                if i % 32 == 31 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+/// The help-while-waiting context a worker threads into its rendezvous
+/// waits: which worker it is, and the pool whose placement table names its
+/// other shards.
+struct Help<'a> {
+    pool: &'a Arc<PoolCtl>,
+    me: usize,
+}
+
+/// Serves one task from one of this worker's *other* owned shards while the
+/// current frame is parked on a rendezvous.  The shard being waited on is
+/// marked Busy, so checkout skips it; each nested frame claims a distinct
+/// slot, bounding the recursion depth by the number of shards the worker
+/// owns.  `limit` is the sequence of the rendezvous the caller is blocked
+/// on: only tasks ordered at or before it may be served (see
+/// [`PoolCtl::seq`] — a later task could block beneath this frame while its
+/// quorum needs the shard this frame holds).  Returns whether any task was
+/// served.
+fn help_one(shared: &Arc<RuntimeShared>, help: &Help<'_>, cx: &mut WorkerCtx, limit: u64) -> bool {
+    for shard in help.pool.core.owned(help.me) {
+        if let SliceOutcome::Progressed =
+            serve_slice(shared, help.pool, help.me, shard, cx, 1, limit)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The pool worker loop: walk the shards the placement table assigns this
+/// worker, serve each a bounded slice, park when a full pass makes no
+/// progress, exit when every shard has finished.
+fn pool_worker(shared: Arc<RuntimeShared>, me: usize) {
+    let pool = Arc::clone(&shared.pool);
+    // The inert placeholder gate; serve_slice swaps the served shard's own
+    // gate in for the duration of each slice.
+    let idle_gate = Arc::new(ShardGate::new(0, shared.shed));
+    let mut cx = WorkerCtx::new(shared.queue_metrics, idle_gate);
+    loop {
+        let mut progressed = false;
+        for shard in pool.core.owned(me) {
+            if let SliceOutcome::Progressed =
+                serve_slice(&shared, &pool, me, shard, &mut cx, SLICE_BUDGET, u64::MAX)
+            {
+                progressed = true;
+            }
+        }
+        if pool.core.live.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        if !progressed {
+            // Going idle: deliver the banked wakeups first — the woken
+            // clients are exactly who refills the queues — then compile one
+            // hot engine's execution tier off the submission path, and only
+            // then park.
+            cx.flush(&shared);
+            if !compile_one_idle(&pool, me) {
+                pool.core.park(me, IDLE_PARK);
             }
         }
     }
-    rx.recv()
+    cx.flush(&shared);
 }
 
-fn worker(
-    shared: Arc<RuntimeShared>,
-    rx: Receiver<Task>,
-    mut st: ShardState,
-    gate: Arc<ShardGate>,
-) -> ShardState {
-    // A one-slot pushback buffer: collecting a run of consecutive
-    // multi-owner executes pops one task too many, which is processed next.
-    let mut pushback: Option<Task> = None;
-    // Deferred ticket wakeups (single-core hosts only) plus queueing-delay
-    // samples, flushed before every park and on exit.
-    let mut cx = WorkerCtx::new(shared.queue_metrics, Arc::clone(&gate));
-    // The divert watermark: once a stale task of epoch < E is re-routed to
-    // the queue tail, every other task stamped below E must follow it there
-    // even if its own route is unchanged — processing it inline would
-    // invert the order of submissions that were already queued when the
-    // migration hit.
-    let mut divert_below: u64 = 0;
-    loop {
+/// Compiles the execution tier of at most one owned shard that wants it,
+/// checking states out through the normal slot protocol.  Returns whether
+/// any compile ran (in which case the worker skips its park — fresh work
+/// may have arrived meanwhile).
+fn compile_one_idle(pool: &Arc<PoolCtl>, me: usize) -> bool {
+    for shard in pool.core.owned(me) {
+        let Some(slot) = pool.slot(shard) else { continue };
+        let Checkout::State(mut st, pushback, divert_below) = checkout(&slot) else { continue };
+        let compiled = if st.engine.tier_wants_compile() {
+            st.engine.compile_tier();
+            true
+        } else {
+            false
+        };
+        checkin(&slot, st, pushback, divert_below);
+        if compiled {
+            return true;
+        }
+    }
+    false
+}
+
+/// Serves up to `budget` tasks from `shard`'s queue, checking its state out
+/// of the slot for the duration.  Queue order is preserved because only the
+/// Busy-holder pops the shard's queue; run-to-completion per task is
+/// preserved because the state never leaves this frame mid-task.  `limit`
+/// bounds which rendezvous tasks may start (`u64::MAX` at top level; the
+/// blocked task's sequence in help frames — see [`help_one`]).
+fn serve_slice(
+    shared: &Arc<RuntimeShared>,
+    pool: &Arc<PoolCtl>,
+    me: usize,
+    shard: usize,
+    cx: &mut WorkerCtx,
+    budget: usize,
+    limit: u64,
+) -> SliceOutcome {
+    let Some(slot) = pool.slot(shard) else { return SliceOutcome::Skip };
+    let (mut st, mut pushback, mut divert_below) = match checkout(&slot) {
+        Checkout::State(st, pushback, divert) => (st, pushback, divert),
+        Checkout::Skip => return SliceOutcome::Skip,
+        Checkout::Done => return SliceOutcome::Finished,
+    };
+    // Nested frames (help-while-waiting) serve different shards through the
+    // same ctx: swap this shard's gate in, restore the caller's on exit.
+    let prev_gate = std::mem::replace(&mut cx.gate, Arc::clone(&slot.gate));
+    let help = Help { pool, me };
+    let mut served = 0usize;
+    let outcome = loop {
+        if served >= budget {
+            break SliceOutcome::Progressed;
+        }
         // A pushback was released at its original dequeue; everything
         // freshly received returns its queue credits here, exactly once.
         let fresh = pushback.is_none();
         let task = match pushback.take() {
-            Some(task) => Ok(task),
-            None => match rx.try_recv() {
-                Ok(task) => Ok(task),
-                Err(TryRecvError::Disconnected) => Err(crossbeam::channel::RecvError),
+            Some(task) => task,
+            None => match slot.rx.try_recv() {
+                Ok(task) => task,
                 Err(TryRecvError::Empty) => {
-                    // About to go idle: deliver the banked wakeups first —
-                    // the woken clients are exactly who refills the queue.
-                    cx.flush(&shared);
-                    // Idle slot: compile a hot engine's execution tier off
-                    // the submission path before parking.
-                    if st.engine.tier_wants_compile() {
-                        st.engine.compile_tier();
-                    }
-                    next_task(&rx)
+                    break if served > 0 { SliceOutcome::Progressed } else { SliceOutcome::Idle };
+                }
+                Err(TryRecvError::Disconnected) => {
+                    // Every sender dropped (runtime dropped without
+                    // shutdown): the shard is finished.
+                    finish_slot(pool, &slot, st);
+                    cx.gate = prev_gate;
+                    return SliceOutcome::Finished;
                 }
             },
         };
         if fresh {
-            if let Ok(task) = &task {
-                gate.release(task_units(task));
-            }
+            cx.gate.release(task_units(&task));
+        }
+        // Help-frame ordering bound: a rendezvous task ordered after the one
+        // the caller is blocked on must not start beneath it.
+        if task_seq(&task) > limit {
+            pushback = Some(task);
+            break if served > 0 { SliceOutcome::Progressed } else { SliceOutcome::Idle };
         }
         cx.stamp_dequeue();
+        served += 1;
         match task {
-            Ok(Task::Single(task)) => {
-                if let Some(task) =
-                    ensure_single_route(&shared, &st, task, &mut cx, &mut divert_below)
-                {
-                    process_single(&shared, &mut st, task, &mut cx)
+            Task::Single(task) => {
+                if let Some(task) = ensure_single_route(shared, &st, task, cx, &mut divert_below) {
+                    process_single(shared, &mut st, task, cx)
                 }
             }
-            Ok(Task::Batch(tasks)) => {
-                process_batch_window(&shared, &mut st, tasks, &mut cx, &mut divert_below)
+            Task::Batch(tasks) => {
+                process_batch_window(shared, &mut st, tasks, cx, &mut divert_below)
             }
-            Ok(Task::Cross(task)) => {
-                if cross_is_live(&shared, &task, &mut divert_below) {
-                    cx.flush(&shared);
-                    process_cross(&shared, &mut st, &task)
+            Task::Cross(task) => {
+                if cross_is_live(shared, &task, &mut divert_below) {
+                    cx.flush(shared);
+                    process_cross(shared, &mut st, &task, &help, cx)
                 }
             }
-            Ok(Task::Exec(task)) => {
-                if !exec_is_live(&shared, &task, &mut divert_below) {
+            Task::Exec(task) => {
+                if !exec_is_live(shared, &task, &mut divert_below) {
                     continue;
                 }
                 // Coalesce the already-queued consecutive run of same-owner-
@@ -3687,27 +4363,25 @@ fn worker(
                 // votes once per batch instead of once per action.
                 let mut batch = Batch::new(task);
                 loop {
-                    match rx.try_recv() {
-                        Ok(Task::Exec(next)) if next.owners == batch.owners => {
-                            gate.release(1);
-                            if exec_is_live(&shared, &next, &mut divert_below) {
-                                batch.push_exec(&shared, next)
+                    match slot.rx.try_recv() {
+                        Ok(Task::Exec(next))
+                            if next.owners == batch.owners && next.seq <= limit =>
+                        {
+                            cx.gate.release(1);
+                            if exec_is_live(shared, &next, &mut divert_below) {
+                                batch.push_exec(shared, next)
                             }
                         }
                         Ok(Task::Single(single)) if matches!(single.op, Op::Execute { .. }) => {
-                            gate.release(1);
-                            if let Some(single) = ensure_single_route(
-                                &shared,
-                                &st,
-                                single,
-                                &mut cx,
-                                &mut divert_below,
-                            ) {
+                            cx.gate.release(1);
+                            if let Some(single) =
+                                ensure_single_route(shared, &st, single, cx, &mut divert_below)
+                            {
                                 batch.push_local(single)
                             }
                         }
                         Ok(other) => {
-                            gate.release(task_units(&other));
+                            cx.gate.release(task_units(&other));
                             pushback = Some(other);
                             break;
                         }
@@ -3717,52 +4391,62 @@ fn worker(
                         break;
                     }
                 }
-                process_batch(&shared, &mut st, batch, &mut cx);
+                process_batch(shared, &mut st, batch, &help, cx);
             }
-            Ok(Task::Pause(pause)) => {
+            Task::Pause(pause) => {
                 // Quiescence point of a live migration: deliver the banked
-                // wakeups, hand the entire shard state (engine, tables, log
-                // segment) to the coordinator, and block until it is
-                // returned.  The rest of the runtime keeps serving.
-                cx.flush(&shared);
-                match pause.state_tx.send(st) {
+                // wakeups and hand the entire shard state (engine, tables,
+                // log segment) to the coordinator.  Unlike the old
+                // thread-per-shard worker this frame does NOT block for the
+                // state's return — the slot goes Suspended and the receiver
+                // is polled on later visits, so this worker keeps serving
+                // its other shards (a worker owning two paused shards would
+                // otherwise deadlock the migration).
+                cx.flush(shared);
+                match pause.state_tx.send(*st) {
                     Ok(()) => {
-                        st = pause
-                            .resume_rx
-                            .recv()
-                            .expect("migration coordinator always returns the shard state")
+                        let mut serve = lock(&slot.serve);
+                        serve.phase = SlotPhase::Suspended(pause.resume_rx);
+                        serve.pushback = pushback.take();
+                        serve.divert_below = divert_below;
+                        drop(serve);
+                        cx.gate = prev_gate;
+                        return SliceOutcome::Progressed;
                     }
                     // Coordinator already gone: keep the state and carry on.
-                    Err(SendError(state)) => st = state,
+                    Err(SendError(state)) => st = Box::new(state),
                 }
             }
-            Ok(Task::Snapshot(issuer)) => issuer.complete(ShardSnapshot {
+            Task::Snapshot(issuer) => issuer.complete(ShardSnapshot {
                 log: st.log.clone(),
                 subscriptions: st.subscriptions.len(),
                 is_final: st.engine.is_final(),
                 tier: st.engine.tier_stats(),
             }),
-            Ok(Task::Compile(issuer)) => issuer.complete(st.engine.compile_tier()),
-            Ok(Task::Checkpoint(issuer)) => issuer.complete(st.capture()),
-            Ok(Task::Stop) => {
+            Task::Compile(issuer) => issuer.complete(st.engine.compile_tier()),
+            Task::Checkpoint(issuer) => issuer.complete(st.capture()),
+            Task::Stop => {
                 // Fail everything still queued behind the Stop marker; the
                 // enqueue lock guarantees a cross task behind one owner's
                 // Stop is behind every owner's Stop, so nobody waits for a
                 // vote that never comes.
-                for task in rx.try_iter() {
-                    gate.release(task_units(&task));
+                for task in slot.rx.try_iter() {
+                    cx.gate.release(task_units(&task));
                     fail_task(task);
                 }
-                break;
+                cx.flush(shared);
+                finish_slot(pool, &slot, st);
+                cx.gate = prev_gate;
+                return SliceOutcome::Finished;
             }
-            Err(_) => break,
         }
         if cx.wakes.len() >= 256 {
-            cx.flush(&shared);
+            cx.flush(shared);
         }
-    }
-    cx.flush(&shared);
-    st
+    };
+    checkin(&slot, st, pushback, divert_below);
+    cx.gate = prev_gate;
+    outcome
 }
 
 fn fail_task(task: Task) {
@@ -4642,9 +5326,10 @@ fn compute_specs(
 /// unbatched queue processing; what changes is that owners park only on
 /// commit-pending rendezvous instead of once per cross-shard action.
 fn process_batch(
-    shared: &RuntimeShared,
+    shared: &Arc<RuntimeShared>,
     st: &mut ShardState,
     mut batch: Batch,
+    help: &Help<'_>,
     cx: &mut WorkerCtx,
 ) {
     let pos = batch
@@ -4724,7 +5409,7 @@ fn process_batch(
                             break decision;
                         }
                         if !flushed {
-                            // About to park at the rendezvous: deliver the
+                            // About to wait at the rendezvous: deliver the
                             // banked wakeups first so no client sleeps
                             // through the wait, and propagate our own fresh
                             // decisions so no chain stalls on them.
@@ -4735,7 +5420,25 @@ fn process_batch(
                             sync = lock(&task.sync);
                             continue;
                         }
-                        sync = task.barrier.wait(sync).unwrap_or_else(|e| e.into_inner());
+                        // Help-while-waiting: the co-owner whose vote we
+                        // need may be queued behind another shard this same
+                        // worker owns.  Serve one such task; park briefly
+                        // only when nothing helps.
+                        drop(sync);
+                        let helped = help_one(shared, help, cx, task.seq);
+                        sync = lock(&task.sync);
+                        if sync.decision.is_none() && !helped {
+                            drop(sync);
+                            cx.flush(shared);
+                            sync = lock(&task.sync);
+                            if sync.decision.is_none() {
+                                sync = task
+                                    .barrier
+                                    .wait_timeout(sync, HELP_PARK)
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .0;
+                            }
+                        }
                     }
                 };
                 propagate_decisions(shared, &mut pass.decided);
@@ -4797,7 +5500,7 @@ fn process_single(
                 if reservation.expires_at != u64::MAX {
                     lock(&shared.timers).schedule(
                         reservation.expires_at,
-                        ExpiryEvent { id: reservation.id, owners: vec![st.id] },
+                        TimerEvent::Expiry(ExpiryEvent { id: reservation.id, owners: vec![st.id] }),
                     );
                 }
                 Completion::Granted { reservation: reservation.id }
@@ -4936,7 +5639,13 @@ fn install_commit(
     notes
 }
 
-fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) {
+fn process_cross(
+    shared: &Arc<RuntimeShared>,
+    st: &mut ShardState,
+    task: &CrossTask,
+    help: &Help<'_>,
+    cx: &mut WorkerCtx,
+) {
     let pos = task
         .owners
         .iter()
@@ -5014,8 +5723,29 @@ fn process_cross(shared: &RuntimeShared, st: &mut ShardState, task: &CrossTask) 
             task.barrier.notify_all();
             decision
         } else {
+            // Help-while-waiting: a co-owner's vote may be queued behind
+            // another shard this same worker owns — with fewer workers than
+            // shards, parking unconditionally here would deadlock the
+            // rendezvous.  Serve one task from an owned sibling shard per
+            // round; park briefly only when nothing helps (a vote deposit
+            // wakes the barrier immediately, the timeout just bounds how
+            // long we can miss fresh enqueues on sibling shards).
             while sync.decision.is_none() {
-                sync = task.barrier.wait(sync).unwrap_or_else(|e| e.into_inner());
+                drop(sync);
+                let helped = help_one(shared, help, cx, task.seq);
+                sync = lock(&task.sync);
+                if sync.decision.is_none() && !helped {
+                    drop(sync);
+                    cx.flush(shared);
+                    sync = lock(&task.sync);
+                    if sync.decision.is_none() {
+                        sync = task
+                            .barrier
+                            .wait_timeout(sync, HELP_PARK)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
             }
             sync.decision.expect("checked above")
         }
@@ -5235,7 +5965,7 @@ fn finish_reserve(shared: &RuntimeShared, task: &CrossTask, sync: &mut CrossSync
     if reservation.expires_at != u64::MAX {
         lock(&shared.timers).schedule(
             reservation.expires_at,
-            ExpiryEvent { id: reservation.id, owners: task.owners.clone() },
+            TimerEvent::Expiry(ExpiryEvent { id: reservation.id, owners: task.owners.clone() }),
         );
     }
     if let Some(issuer) = sync.ticket.take() {

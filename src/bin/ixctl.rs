@@ -143,6 +143,17 @@ fn snapshot_inspect(dir: &str) -> ExitCode {
     } else {
         println!("manifest   : none (no checkpoint yet)");
     }
+    if inspection.placement.is_empty() {
+        println!("placement  : none recorded");
+    } else {
+        let workers = inspection.placement.iter().max().map_or(0, |w| w + 1);
+        println!(
+            "placement  : {} shards over {} workers {:?}",
+            inspection.placement.len(),
+            workers,
+            inspection.placement
+        );
+    }
     println!("meta tail  : {} records", inspection.meta_tail);
     println!(
         "queue      : {} pending in blob, {} tail records",
@@ -204,6 +215,7 @@ fn recover(dir: &str) -> ExitCode {
         }
     };
     let pending = runtime.unacknowledged_submissions();
+    let sched = runtime.sched_stats();
     let report = match runtime.shutdown() {
         Ok(r) => r,
         Err(e) => {
@@ -213,6 +225,7 @@ fn recover(dir: &str) -> ExitCode {
     };
     println!("recovered  : {dir}");
     println!("shards     : {}", report.shards);
+    println!("placement  : {:?} over {} workers", sched.placement, sched.workers);
     println!("clock      : {}", report.clock);
     println!("log        : {} committed actions", report.log.len());
     for action in report.log.iter().rev().take(5).rev() {

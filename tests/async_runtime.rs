@@ -219,6 +219,10 @@ fn mid_chain_denial_invalidates_downstream_conditional_votes() {
         RuntimeOptions {
             variant: ProtocolVariant::Combined,
             cascade: true,
+            // The invalidation path needs both owners building speculative
+            // chains concurrently: give every shard its own worker (the
+            // thread-per-shard shape) regardless of host core count.
+            worker_threads: 8,
             ..RuntimeOptions::default()
         },
     )
@@ -280,6 +284,9 @@ fn cascading_chains_racing_a_repartition_are_diverted_and_retried() {
             RuntimeOptions {
                 variant: ProtocolVariant::Combined,
                 cascade: true,
+                // Concurrent per-shard workers, as above: the race this
+                // test drives needs chains built on both owners at once.
+                worker_threads: 8,
                 ..RuntimeOptions::default()
             },
         )

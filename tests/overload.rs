@@ -154,7 +154,7 @@ fn credit_gate_caps_queue_depth_and_sheds_overflow() {
 fn retrying_client_commits_under_sustained_overload() {
     let limit = 8;
     let options = RuntimeOptions {
-        shed: ShedPolicy { probe_watermark_pct: 25, speculative_watermark_pct: 60 },
+        shed: ShedPolicy { probe_watermark_pct: 25, speculative_watermark_pct: 60, adaptive: true },
         ..combined(limit)
     };
     let runtime = ManagerRuntime::with_options(&constraint(), options).unwrap();

@@ -1,0 +1,275 @@
+//! Integration tests of worker-pool scheduling: shards decoupled from OS
+//! threads behind a placement table, with load-driven hot-shard
+//! rebalancing.
+//!
+//! The correctness contract has two halves.  First, the pool size is
+//! *semantically invisible*: a runtime with one worker, a small pool, or a
+//! worker per shard (the historical thread-per-shard layout) must produce
+//! the same verdicts, the same merged log, and the same statistics as the
+//! blocking manager on the same word — pinned here as a lockstep property
+//! over random workloads.  Second, placement moves are *lossless*: while
+//! the rebalancer isolates a hot shard mid-traffic, no task may be lost,
+//! reordered against its session's submission order, or applied twice.
+
+use ix_core::{parse, Action, Expr, Value};
+use ix_manager::{
+    ClockMode, Completion, InteractionManager, ManagerRuntime, MemVault, ProtocolVariant,
+    RuntimeOptions, Ticket, Vault,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Three departments coupled through a cross-shard `audit` barrier: the
+/// same shape the durability suite drives, chosen because a random word
+/// exercises grants, denials, and the multi-owner rendezvous path.
+fn coupled_constraint() -> Expr {
+    parse(
+        "((some p { call_a(p) - perform_a(p) })* - audit)* \
+         @ ((some p { call_b(p) - perform_b(p) })* - audit)* \
+         @ ((some p { call_c(p) - perform_c(p) })* - audit)*",
+    )
+    .unwrap()
+}
+
+fn dept(kind: &str, d: usize, p: i64) -> Action {
+    let name = ["a", "b", "c"][d % 3];
+    Action::concrete(&format!("{kind}_{name}"), [Value::int(p)])
+}
+
+/// `components` disjoint always-permissible work pools — offered load maps
+/// 1:1 onto commits, so scheduling is the only variable.
+fn pools_constraint(components: usize) -> Expr {
+    let group = |k: usize| format!("(some p {{ work_{k}(p) }})*");
+    let src = (0..components).map(group).collect::<Vec<_>>().join(" @ ");
+    parse(&src).unwrap()
+}
+
+fn work(k: usize, p: i64) -> Action {
+    Action::concrete(&format!("work_{k}"), [Value::int(p)])
+}
+
+fn pool_options(workers: usize) -> RuntimeOptions {
+    RuntimeOptions {
+        variant: ProtocolVariant::Combined,
+        worker_threads: workers,
+        ..RuntimeOptions::default()
+    }
+}
+
+/// Drives `word` through a pooled runtime session and the blocking manager
+/// in lockstep, asserting identical per-action verdicts, merged log,
+/// finality, and statistics.
+fn assert_pool_matches_blocking(
+    x: &Expr,
+    word: &[Action],
+    workers: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let blocking = InteractionManager::with_protocol(x, ProtocolVariant::Combined).unwrap();
+    let runtime = ManagerRuntime::with_options(x, pool_options(workers)).unwrap();
+    let session = runtime.session(1);
+    for action in word {
+        prop_assert_eq!(
+            session.is_permitted_blocking(action),
+            blocking.is_permitted(action),
+            "is_permitted disagrees at pool size {} on `{}` for {}",
+            workers,
+            x,
+            action
+        );
+        let r = session.execute_blocking(action).unwrap().is_some();
+        let b = blocking.try_execute(1, action).unwrap().is_some();
+        prop_assert_eq!(
+            r,
+            b,
+            "execute disagrees at pool size {} on `{}` for {}",
+            workers,
+            x,
+            action
+        );
+    }
+    prop_assert_eq!(runtime.log(), blocking.log(), "logs diverge at pool size {}", workers);
+    prop_assert_eq!(runtime.is_final(), blocking.is_final());
+    let (rs, bs) = (runtime.stats(), blocking.stats());
+    prop_assert_eq!(rs.asks, bs.asks);
+    prop_assert_eq!(rs.grants, bs.grants);
+    prop_assert_eq!(rs.denials, bs.denials);
+    prop_assert_eq!(rs.confirmations, bs.confirmations);
+    Ok(())
+}
+
+fn word_strategy() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..3, 1u64..4).prop_map(|(d, p)| dept("call", d, p as i64)),
+            (0usize..3, 1u64..4).prop_map(|(d, p)| dept("perform", d, p as i64)),
+            Just(Action::nullary("audit")),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: scheduling is invisible.  Pool size one
+    /// (fully serialized workers), a two-worker pool (shards genuinely
+    /// share threads), and a worker per shard (the thread-per-shard
+    /// baseline — the constraint has three components) all match the
+    /// blocking manager on the same word, hence match each other.
+    #[test]
+    fn every_pool_size_matches_the_blocking_manager_in_lockstep(
+        word in word_strategy(),
+    ) {
+        let x = coupled_constraint();
+        for workers in [1usize, 2, 3] {
+            assert_pool_matches_blocking(&x, &word, workers)?;
+        }
+    }
+}
+
+/// Placement moves are pure table writes, visible in the scheduling stats.
+#[test]
+fn place_shard_updates_the_placement_table() {
+    let runtime = ManagerRuntime::with_options(&pools_constraint(4), pool_options(2)).unwrap();
+    let before = runtime.sched_stats();
+    assert_eq!(before.workers, 2);
+    assert_eq!(before.placement.len(), 4);
+    // Out-of-range moves are rejected without touching the table.
+    assert!(!runtime.place_shard(4, 0));
+    assert!(!runtime.place_shard(0, 2));
+    assert_eq!(runtime.sched_stats().placement, before.placement);
+    // A valid move lands exactly where asked.
+    let target = 1 - before.placement[0];
+    assert!(runtime.place_shard(0, target));
+    assert_eq!(runtime.sched_stats().placement[0], target);
+    runtime.shutdown().unwrap();
+}
+
+/// Rebalance during traffic: two sessions flood eight shards on a
+/// two-worker pool with heavy skew onto shard 0 while the main thread
+/// drives rebalancer passes and manual placement moves.  The rebalancer
+/// must isolate the hottest shard — shard 0, by construction — and the
+/// migration must lose, reorder, or double-apply nothing: every session's
+/// per-shard submission sequence reappears verbatim as a subsequence of
+/// the merged log.
+#[test]
+fn rebalance_during_traffic_loses_and_reorders_nothing() {
+    let shards = 8usize;
+    let sessions = 2usize;
+    let per_session = 3_000usize;
+    let runtime =
+        Arc::new(ManagerRuntime::with_options(&pools_constraint(shards), pool_options(2)).unwrap());
+    let done = AtomicUsize::new(0);
+    let mut submitted: Vec<Vec<Vec<Action>>> = vec![vec![Vec::new(); shards]; sessions];
+    std::thread::scope(|scope| {
+        let mut flooders = Vec::new();
+        for (s, plan) in submitted.iter_mut().enumerate() {
+            let runtime = Arc::clone(&runtime);
+            let done = &done;
+            flooders.push(scope.spawn(move || {
+                let session = runtime.session(1 + s as u64);
+                let mut tickets: Vec<Ticket<Completion>> = Vec::new();
+                for i in 0..per_session {
+                    // 80% of the traffic hammers shard 0; the rest spreads.
+                    let k = if i % 10 < 8 { 0 } else { 1 + i % (shards - 1) };
+                    let action = work(k, (s * per_session + i) as i64);
+                    plan[k].push(action.clone());
+                    tickets.push(session.submit(&action).expect("unbounded admission"));
+                    if i % 256 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                let committed = tickets
+                    .into_iter()
+                    .filter(|t| matches!(t.wait(), Completion::Executed { .. }))
+                    .count();
+                done.fetch_add(1, Ordering::Release);
+                committed
+            }));
+        }
+        // Drive the rebalancer by hand while the flood is in flight, and
+        // keep nudging a cold shard between the workers so migrations race
+        // live traffic in both directions.
+        let mut toggle = 0usize;
+        while done.load(Ordering::Acquire) < sessions {
+            runtime.rebalance_now();
+            runtime.place_shard(3, toggle);
+            toggle = 1 - toggle;
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        let committed: usize = flooders.into_iter().map(|f| f.join().unwrap()).sum();
+        assert_eq!(committed, sessions * per_session, "tasks lost during rebalancing");
+    });
+    let stats = runtime.sched_stats();
+    assert!(
+        stats.rebalances > 0,
+        "sustained 80% skew onto shard 0 must trigger an isolation: {stats:?}"
+    );
+    assert_eq!(
+        stats.last_isolated,
+        Some(0),
+        "the rebalancer must target the hottest shard: {stats:?}"
+    );
+    // Loss/reorder/duplication audit: the merged log filtered down to one
+    // session's submissions on one shard must equal that submission
+    // sequence exactly — same multiset (nothing lost or double-applied)
+    // and same order (enqueue order is lock order, migrations included).
+    let log = runtime.log();
+    assert_eq!(log.len(), sessions * per_session);
+    for (s, plan) in submitted.iter().enumerate() {
+        for (k, sent) in plan.iter().enumerate() {
+            let mine: HashSet<&Action> = sent.iter().collect();
+            let got: Vec<&Action> = log.iter().filter(|a| mine.contains(a)).collect();
+            let expected: Vec<&Action> = sent.iter().collect();
+            assert_eq!(
+                got, expected,
+                "session {s} shard {k}: log order diverges from submission order"
+            );
+        }
+    }
+    Arc::try_unwrap(runtime).expect("flooders joined").shutdown().unwrap();
+}
+
+/// `checkpoint_every` arms the timer wheel: the virtual clock drives
+/// periodic checkpoints, and a crash-recovery from those checkpoints
+/// restores both the log and the placement table the manifest captured.
+#[test]
+fn periodic_checkpoints_fire_and_recovery_seeds_placement() {
+    let vault: Arc<dyn Vault> = Arc::new(MemVault::new());
+    let options = RuntimeOptions {
+        durable: true,
+        clock: ClockMode::Virtual,
+        checkpoint_every: 5,
+        ..pool_options(2)
+    };
+    let runtime =
+        ManagerRuntime::with_durability(&pools_constraint(4), options, Arc::clone(&vault)).unwrap();
+    let session = runtime.session(1);
+    for p in 1..=20 {
+        session.execute_blocking(&work(0, p)).unwrap();
+    }
+    assert_eq!(runtime.sched_stats().auto_checkpoints, 0, "nothing fires before the clock moves");
+    for _ in 0..4 {
+        runtime.advance_time(5);
+    }
+    let auto = runtime.sched_stats().auto_checkpoints;
+    assert!(auto >= 3, "four periods elapsed but only {auto} automatic checkpoints fired");
+    // Move a shard, let one more period capture the new table, then crash.
+    assert!(runtime.place_shard(3, 0));
+    runtime.advance_time(5);
+    assert!(runtime.sched_stats().auto_checkpoints > auto);
+    let placement = runtime.sched_stats().placement;
+    let log = runtime.log();
+    runtime.shutdown().unwrap();
+
+    let recovered = ManagerRuntime::recover(vault, options).unwrap();
+    assert_eq!(recovered.log(), log, "recovery from periodic checkpoints lost commits");
+    assert_eq!(
+        recovered.sched_stats().placement,
+        placement,
+        "recovery must seed the placement table from the checkpoint manifest"
+    );
+    recovered.shutdown().unwrap();
+}

@@ -8,14 +8,23 @@
 
 /// Multi-producer multi-consumer channels (crossbeam-channel surface).
 pub mod channel {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
 
     /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
+        closed: Arc<AtomicBool>,
+    }
 
     /// The receiving half of an unbounded channel.
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+        depth: Arc<AtomicUsize>,
+        closed: Arc<AtomicBool>,
+    }
 
     /// Error returned by [`Sender::send`] when the channel is disconnected.
     #[derive(Debug, PartialEq, Eq)]
@@ -36,13 +45,21 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            Sender(self.0.clone())
+            Sender {
+                tx: self.tx.clone(),
+                depth: Arc::clone(&self.depth),
+                closed: Arc::clone(&self.closed),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
-            Receiver(self.0.clone())
+            Receiver {
+                rx: Arc::clone(&self.rx),
+                depth: Arc::clone(&self.depth),
+                closed: Arc::clone(&self.closed),
+            }
         }
     }
 
@@ -59,38 +76,88 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if the channel is disconnected.
+        /// Sends a message, failing only if the channel is disconnected —
+        /// every receiver dropped, or the channel explicitly
+        /// [`Receiver::close`]d.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            if self.closed.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            // Count before handing the message over so a racing receiver
+            // can only ever observe the depth as too high, never negative.
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            self.tx.send(value).map_err(|mpsc::SendError(v)| {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                SendError(v)
+            })
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or the channel disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.lock().unwrap_or_else(|e| e.into_inner()).recv().map_err(|_| RecvError)
+            let got =
+                self.rx.lock().unwrap_or_else(|e| e.into_inner()).recv().map_err(|_| RecvError);
+            if got.is_ok() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            got
         }
 
         /// Receives a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let got =
+                self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv().map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                });
+            if got.is_ok() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            got
         }
 
         /// Drains the messages currently in the channel without blocking.
         pub fn try_iter(&self) -> std::vec::IntoIter<T> {
-            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = self.rx.lock().unwrap_or_else(|e| e.into_inner());
             let drained: Vec<T> = guard.try_iter().collect();
+            self.depth.fetch_sub(drained.len(), Ordering::Relaxed);
             drained.into_iter()
+        }
+
+        /// The number of messages currently buffered in the channel.
+        ///
+        /// Like the real crossbeam this is a racy snapshot — useful as a
+        /// load signal, not for synchronization.
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the channel currently buffers no messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Closes the channel from the receiving side: every subsequent
+        /// [`Sender::send`] fails with [`SendError`] as if all receivers
+        /// were dropped, while messages already buffered stay drainable.
+        /// (Not part of the real crossbeam surface — the runtime uses it
+        /// to retire shard queues whose receiver handles outlive the
+        /// workers that served them.)
+        pub fn close(&self) {
+            self.closed.store(true, Ordering::Release);
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let depth = Arc::new(AtomicUsize::new(0));
+        let closed = Arc::new(AtomicBool::new(false));
+        (
+            Sender { tx, depth: Arc::clone(&depth), closed: Arc::clone(&closed) },
+            Receiver { rx: Arc::new(Mutex::new(rx)), depth, closed },
+        )
     }
 
     #[cfg(test)]
@@ -118,6 +185,16 @@ pub mod channel {
             let (tx, rx) = unbounded::<i32>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn close_fails_new_sends_but_keeps_buffered_messages() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            rx.close();
+            assert_eq!(tx.send(2), Err(SendError(2)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         }
     }
 }
